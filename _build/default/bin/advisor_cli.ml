@@ -1,0 +1,231 @@
+(* cudaadvisor — command-line front end.
+
+   Mirrors the artifact workflow of the paper (Appendix A): build an
+   instrumented binary of a benchmark, run it under the profiler, and
+   print the analyses (RD_mode / MD_mode / BD_mode directories of the
+   original artifact become the `--analysis` flag here). *)
+
+open Cmdliner
+
+let arch_conv =
+  let parse = function
+    | "kepler" | "kepler-16k" -> Ok (Gpusim.Arch.kepler_k40c ~l1_kb:16 ())
+    | "kepler-32k" -> Ok (Gpusim.Arch.kepler_k40c ~l1_kb:32 ())
+    | "kepler-48k" -> Ok (Gpusim.Arch.kepler_k40c ~l1_kb:48 ())
+    | "pascal" -> Ok (Gpusim.Arch.pascal_p100 ())
+    | s -> Error (`Msg (Printf.sprintf "unknown architecture %s" s))
+  in
+  Arg.conv (parse, fun fmt a -> Format.pp_print_string fmt a.Gpusim.Arch.short_name)
+
+let arch_arg =
+  Arg.(
+    value
+    & opt arch_conv (Gpusim.Arch.kepler_k40c ~l1_kb:16 ())
+    & info [ "arch" ] ~docv:"ARCH"
+        ~doc:"Target architecture: kepler, kepler-32k, kepler-48k or pascal.")
+
+let scale_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "scale" ] ~docv:"N" ~doc:"Input scale factor (default: per-app).")
+
+let app_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"APP" ~doc:"Benchmark name (see `cudaadvisor list`).")
+
+let find_app name =
+  match List.find_opt (fun (w : Workloads.Common.t) -> w.name = name) Workloads.Registry.all with
+  | Some w -> `Ok w
+  | None ->
+    `Error
+      (false, Printf.sprintf "unknown application %s (try `cudaadvisor list`)" name)
+
+(* ----- list ----- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (w : Workloads.Common.t) ->
+        Printf.printf "%-10s %-40s (%s)\n" w.name w.description w.input_desc)
+      Workloads.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the available benchmark applications.")
+    Term.(const run $ const ())
+
+(* ----- profile ----- *)
+
+let profile_run app arch scale analysis json =
+  match find_app app with
+  | `Error _ as e -> e
+  | `Ok w when json ->
+    let session = Advisor.profile ~arch ?scale w in
+    print_endline
+      (Analysis.Report.to_string
+         (Analysis.Report.of_profile ~app:w.name ~arch_name:arch.Gpusim.Arch.name
+            ~line_size:arch.Gpusim.Arch.line_size session.profiler));
+    `Ok ()
+  | `Ok w ->
+    let session = Advisor.profile ~arch ?scale w in
+    let line_size = arch.Gpusim.Arch.line_size in
+    if List.mem `Rd analysis then begin
+      Printf.printf "== Reuse distance (per CTA, element-based) ==\n";
+      Format.printf "%a@." Analysis.Reuse_distance.pp (Advisor.reuse_distance session)
+    end;
+    if List.mem `Md analysis then begin
+      Printf.printf "== Memory divergence (line size %d B) ==\n" line_size;
+      Format.printf "%a@." Analysis.Mem_divergence.pp
+        (Advisor.mem_divergence session)
+    end;
+    if List.mem `Bd analysis then begin
+      let bd = Advisor.branch_divergence session in
+      Printf.printf "== Branch divergence ==\n%d divergent of %d blocks (%.2f%%)\n"
+        bd.divergent_blocks bd.total_blocks
+        (Analysis.Branch_divergence.percent bd)
+    end;
+    Printf.printf "== Kernel instances (merged by calling context) ==\n";
+    List.iter
+      (fun (ctx, s) ->
+        Format.printf "%s@   cycles: %a@." ctx Analysis.Statistics.pp_summary s)
+      (Analysis.Statistics.by_context (Advisor.instances session)
+         ~metric:Analysis.Statistics.cycles);
+    `Ok ()
+
+let analysis_arg =
+  let kind = Arg.enum [ ("rd", `Rd); ("md", `Md); ("bd", `Bd) ] in
+  Arg.(
+    value
+    & opt_all kind [ `Rd; `Md; `Bd ]
+    & info [ "analysis" ] ~docv:"KIND"
+        ~doc:"Analyses to report: rd (reuse distance), md (memory divergence), \
+              bd (branch divergence).  Repeatable.")
+
+let json_flag =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit a machine-readable JSON report.")
+
+let profile_cmd =
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Instrument an application, run it under the profiler, print analyses.")
+    Term.(
+      ret (const profile_run $ app_arg $ arch_arg $ scale_arg $ analysis_arg $ json_flag))
+
+(* ----- report (Figures 8/9) ----- *)
+
+let report_run app arch scale =
+  match find_app app with
+  | `Error _ as e -> e
+  | `Ok w ->
+    let session = Advisor.profile ~arch ?scale w in
+    let line_size = arch.Gpusim.Arch.line_size in
+    let busiest =
+      List.fold_left
+        (fun acc (i : Profiler.Profile.instance) ->
+          match acc with
+          | Some (b : Profiler.Profile.instance) when b.mem_count >= i.mem_count -> acc
+          | _ -> Some i)
+        None (Advisor.instances session)
+    in
+    (match busiest with
+    | None -> Printf.printf "no kernel instances recorded\n"
+    | Some instance ->
+      print_string
+        (Analysis.Views.divergent_sites_report session.profiler instance ~line_size
+           ~top:3);
+      print_newline ();
+      print_string
+        (Analysis.Views.data_centric_report session.profiler instance ~line_size
+           ~top:3));
+    `Ok ()
+
+let report_cmd =
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Code- and data-centric debugging views of the most divergent accesses.")
+    Term.(ret (const report_run $ app_arg $ arch_arg $ scale_arg))
+
+(* ----- bypass ----- *)
+
+let bypass_run app arch scale =
+  match find_app app with
+  | `Error _ as e -> e
+  | `Ok w ->
+    let b = Advisor.bypass_study ~arch ?scale w in
+    Printf.printf "baseline (no bypassing): %d cycles\n" b.baseline_cycles;
+    List.iter
+      (fun (n, c) ->
+        Printf.printf "  %2d caching warps/CTA: %9d cycles (%.3f)\n" n c
+          (float_of_int c /. float_of_int b.baseline_cycles))
+      b.sweep;
+    Printf.printf "oracle:     N=%d (%d cycles)\n" b.oracle_warps b.oracle_cycles;
+    Printf.printf "prediction: N=%d (%d cycles)  [Eq. (1)]\n" b.predicted_warps
+      b.predicted_cycles;
+    `Ok ()
+
+let bypass_cmd =
+  Cmd.v
+    (Cmd.info "bypass"
+       ~doc:"Horizontal cache-bypassing study: oracle sweep vs the Eq.-(1) model.")
+    Term.(ret (const bypass_run $ app_arg $ arch_arg $ scale_arg))
+
+(* ----- overhead ----- *)
+
+let overhead_run app arch scale =
+  match find_app app with
+  | `Error _ as e -> e
+  | `Ok w ->
+    let o = Advisor.overhead_study ~arch ?scale w in
+    Printf.printf "native:       %9d cycles\ninstrumented: %9d cycles\nslowdown: %.1fx\n"
+      o.native_cycles o.instrumented_cycles o.slowdown;
+    `Ok ()
+
+let overhead_cmd =
+  Cmd.v
+    (Cmd.info "overhead" ~doc:"Instrumentation overhead (Figure 10 methodology).")
+    Term.(ret (const overhead_run $ app_arg $ arch_arg $ scale_arg))
+
+(* ----- dump-ir / dump-ptx ----- *)
+
+let instrument_flag =
+  Arg.(value & flag & info [ "instrument" ] ~doc:"Run the instrumentation engine first.")
+
+let dump_ir_run app instrument =
+  match find_app app with
+  | `Error _ as e -> e
+  | `Ok w ->
+    let m = Workloads.Common.compile w in
+    if instrument then ignore (Passes.Instrument.run m);
+    print_string (Bitc.Printer.module_to_string m);
+    `Ok ()
+
+let dump_ir_cmd =
+  Cmd.v
+    (Cmd.info "dump-ir" ~doc:"Print the (optionally instrumented) Bitc IR.")
+    Term.(ret (const dump_ir_run $ app_arg $ instrument_flag))
+
+let dump_ptx_run app instrument =
+  match find_app app with
+  | `Error _ as e -> e
+  | `Ok w ->
+    let m = Workloads.Common.compile w in
+    if instrument then ignore (Passes.Instrument.run m);
+    print_string (Ptx.Printer.prog_to_string (Ptx.Codegen.gen_module m));
+    `Ok ()
+
+let dump_ptx_cmd =
+  Cmd.v
+    (Cmd.info "dump-ptx" ~doc:"Print the generated PTX-like code.")
+    Term.(ret (const dump_ptx_run $ app_arg $ instrument_flag))
+
+let () =
+  let info =
+    Cmd.info "cudaadvisor" ~version:"1.0.0"
+      ~doc:"LLVM-style runtime profiling for a simulated modern GPU (CGO'18 reproduction)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; profile_cmd; report_cmd; bypass_cmd; overhead_cmd;
+            dump_ir_cmd; dump_ptx_cmd ]))

@@ -1,0 +1,1 @@
+examples/bypass_tuning.ml: Advisor Analysis Gpusim List Printf Workloads

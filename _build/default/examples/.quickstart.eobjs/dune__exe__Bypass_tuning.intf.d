@@ -1,0 +1,1 @@
+examples/bypass_tuning.mli:

@@ -1,0 +1,1 @@
+examples/custom_analysis.ml: Advisor Array Gpusim Hashtbl List Passes Printf

@@ -1,0 +1,1 @@
+examples/debugging.ml: Advisor Analysis Format Gpusim List Option Printf Profiler Workloads

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Advisor Analysis Array Gpusim Hostrt List Option Printf Profiler

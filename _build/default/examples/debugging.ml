@@ -1,0 +1,50 @@
+(* Code- and data-centric debugging (Section 4.2-(E), Figures 8/9).
+
+     dune exec examples/debugging.exe
+
+   Profiles BFS and reconstructs, for its most memory-divergent
+   accesses, the concatenated CPU+GPU calling context and the provenance
+   of the data objects involved — the paper's d_graph_visited
+   walkthrough. *)
+
+let () =
+  let arch = Gpusim.Arch.kepler_k40c () in
+  let bfs = Workloads.Registry.find "bfs" in
+  Printf.printf "profiling %s (%s)...\n%!" bfs.name bfs.description;
+  let session = Advisor.profile ~arch bfs in
+
+  (* BFS launches Kernel once per frontier sweep; pick the instance with
+     the most memory traffic (the widest frontier). *)
+  let busiest =
+    List.fold_left
+      (fun acc (i : Profiler.Profile.instance) ->
+        match acc with
+        | Some (b : Profiler.Profile.instance) when b.mem_count >= i.mem_count -> acc
+        | _ -> Some i)
+      None (Advisor.instances session)
+    |> Option.get
+  in
+  Printf.printf "inspecting launch #%d of %s (%d memory events)\n\n"
+    busiest.launch_index busiest.kernel busiest.mem_count;
+
+  (* Figure 8: where does the divergence come from? *)
+  print_string
+    (Analysis.Views.divergent_sites_report session.profiler busiest
+       ~line_size:arch.line_size ~top:3);
+
+  (* Figure 9: which data objects does it touch, and where do they come
+     from on the host? *)
+  print_newline ();
+  print_string
+    (Analysis.Views.data_centric_report session.profiler busiest
+       ~line_size:arch.line_size ~top:3);
+
+  (* The offline statistics view (Section 3.3): merge the instances of
+     each kernel in the same calling context. *)
+  Printf.printf "\nPer-context kernel statistics (cycles across instances):\n";
+  List.iter
+    (fun (ctx, s) ->
+      Printf.printf "  %s\n    %s\n" ctx
+        (Format.asprintf "%a" Analysis.Statistics.pp_summary s))
+    (Analysis.Statistics.by_context (Advisor.instances session)
+       ~metric:Analysis.Statistics.cycles)

@@ -1,0 +1,1 @@
+lib/analysis/branch_divergence.ml: Hashtbl List Passes Profiler

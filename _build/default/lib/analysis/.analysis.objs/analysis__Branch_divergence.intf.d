@@ -1,0 +1,1 @@
+lib/analysis/branch_divergence.mli: Passes Profiler

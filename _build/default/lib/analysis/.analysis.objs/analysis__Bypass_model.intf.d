@@ -1,0 +1,1 @@
+lib/analysis/bypass_model.mli: Gpusim Mem_divergence Reuse_distance

@@ -1,0 +1,1 @@
+lib/analysis/fenwick.ml: Array Printf

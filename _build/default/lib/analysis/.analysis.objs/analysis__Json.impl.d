@@ -1,0 +1,1 @@
+lib/analysis/json.ml: Buffer Char Float List Printf String

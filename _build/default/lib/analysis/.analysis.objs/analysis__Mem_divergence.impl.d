@@ -1,0 +1,1 @@
+lib/analysis/mem_divergence.ml: Array Bitc Format Gpusim Hashtbl List Profiler

@@ -1,0 +1,1 @@
+lib/analysis/mem_divergence.mli: Bitc Format Gpusim Profiler

@@ -1,0 +1,1 @@
+lib/analysis/report.ml: Array Bitc Branch_divergence Json List Mem_divergence Profiler Reuse_distance Statistics

@@ -1,0 +1,1 @@
+lib/analysis/reuse_distance.ml: Array Fenwick Format Gpusim Hashtbl List Option Passes Profiler

@@ -1,0 +1,1 @@
+lib/analysis/reuse_distance.mli: Format Gpusim Profiler

@@ -1,0 +1,1 @@
+lib/analysis/site_reuse.ml: Array Bitc Gpusim Hashtbl List Passes

@@ -1,0 +1,1 @@
+lib/analysis/site_reuse.mli: Bitc Gpusim

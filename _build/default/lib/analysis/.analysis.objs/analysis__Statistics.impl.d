@@ -1,0 +1,1 @@
+lib/analysis/statistics.ml: Float Format Gpusim Hashtbl List Profiler String

@@ -1,0 +1,1 @@
+lib/analysis/statistics.mli: Format Profiler

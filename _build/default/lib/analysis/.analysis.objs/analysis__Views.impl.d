@@ -1,0 +1,1 @@
+lib/analysis/views.ml: Array Bitc Buffer Gpusim List Mem_divergence Printf Profiler String

@@ -1,0 +1,1 @@
+lib/analysis/views.mli: Bitc Profiler

@@ -1,0 +1,48 @@
+(* The optimal-warp estimation model for horizontal cache bypassing,
+   Eq. (1) of the paper:
+
+       Opt_Num_Warps =
+         floor( L1_Cache_Size /
+                (R.D. * Cacheline_Size * M.D. * #CTAs/SM) )
+
+   R.D. is the application's average reuse distance and M.D. its average
+   memory divergence degree, both taken from CUDAAdvisor's profiles.
+   The paper uses plain averages (outliers included) as a conservative
+   estimate; so do we. *)
+
+type inputs = {
+  l1_cache_size : int;
+  cacheline_size : int;
+  reuse_distance : float; (* mean finite reuse distance *)
+  mem_divergence : float; (* mean unique lines per warp access *)
+  ctas_per_sm : int;
+  warps_per_cta : int;
+}
+
+(* Number of warps per CTA that should keep accessing L1; the remaining
+   warps bypass.  Clamped to [0, warps_per_cta]: a prediction above the
+   CTA's warp count means "cache everything" (no bypassing), and 0 means
+   "bypass everything". *)
+let optimal_warps inp =
+  let denom =
+    Float.max 1e-9
+      (inp.reuse_distance
+      *. float_of_int inp.cacheline_size
+      *. inp.mem_divergence
+      *. float_of_int (max 1 inp.ctas_per_sm))
+  in
+  let raw = float_of_int inp.l1_cache_size /. denom in
+  let n = int_of_float (Float.floor raw) in
+  max 0 (min inp.warps_per_cta n)
+
+(* Convenience: build the inputs from analyzer results. *)
+let inputs_of ~(arch : Gpusim.Arch.t) ~(rd : Reuse_distance.result)
+    ~(md : Mem_divergence.result) ~ctas_per_sm ~warps_per_cta =
+  {
+    l1_cache_size = arch.l1_size;
+    cacheline_size = arch.line_size;
+    reuse_distance = Float.max 1. rd.mean_finite_distance;
+    mem_divergence = Float.max 1. md.degree;
+    ctas_per_sm;
+    warps_per_cta;
+  }

@@ -1,0 +1,32 @@
+(** The optimal-warp estimation model for horizontal cache bypassing,
+    Eq. (1) of the paper:
+
+    {v Opt_Num_Warps = floor(L1_Cache_Size /
+        (R.D. * Cacheline_Size * M.D. * #CTAs/SM)) v}
+
+    R.D. and M.D. come from CUDAAdvisor's reuse-distance and
+    memory-divergence profiles; the paper uses plain averages as a
+    conservative estimate. *)
+
+type inputs = {
+  l1_cache_size : int;
+  cacheline_size : int;
+  reuse_distance : float;  (** mean finite reuse distance *)
+  mem_divergence : float;  (** mean unique lines per warp access *)
+  ctas_per_sm : int;
+  warps_per_cta : int;
+}
+
+(** Number of warps per CTA that should keep using the L1, clamped to
+    [0, warps_per_cta] (above the CTA's warp count means "no
+    bypassing"; 0 means "bypass everything"). *)
+val optimal_warps : inputs -> int
+
+(** Build the inputs from analyzer results. *)
+val inputs_of :
+  arch:Gpusim.Arch.t ->
+  rd:Reuse_distance.result ->
+  md:Mem_divergence.result ->
+  ctas_per_sm:int ->
+  warps_per_cta:int ->
+  inputs

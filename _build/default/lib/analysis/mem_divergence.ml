@@ -1,0 +1,110 @@
+(* Memory-divergence analysis (Section 4.2-(B)): for every warp-level
+   global memory instruction, the number of unique cache lines its
+   active lanes touch (1..32); Figure 5 is the distribution over the
+   whole application, and the "memory divergence degree" is the weighted
+   average — the M.D. input of the bypass model (Eq. 1). *)
+
+type result = {
+  line_size : int;
+  total_instructions : int; (* warp-level memory instructions *)
+  distribution : int array; (* index 1..32: count of instructions *)
+  degree : float; (* weighted average of unique lines *)
+}
+
+let max_lines = 32
+
+let of_events ~line_size events =
+  let distribution = Array.make (max_lines + 1) 0 in
+  let total = ref 0 in
+  let weighted = ref 0 in
+  List.iter
+    (fun ((m : Gpusim.Hookev.mem), _node) ->
+      if Array.length m.accesses > 0 then begin
+        let addrs = Array.to_list (Array.map snd m.accesses) in
+        let width = max 1 (m.bits / 8) in
+        let lines = Gpusim.Coalesce.transactions ~line_size ~width addrs in
+        let lines = min lines max_lines in
+        distribution.(lines) <- distribution.(lines) + 1;
+        weighted := !weighted + lines;
+        incr total
+      end)
+    events;
+  {
+    line_size;
+    total_instructions = !total;
+    distribution;
+    degree = (if !total = 0 then 1. else float_of_int !weighted /. float_of_int !total);
+  }
+
+let of_instance ~line_size (instance : Profiler.Profile.instance) =
+  of_events ~line_size (Profiler.Profile.mem_events instance)
+
+(* Merge results of independent kernel instances into the whole-
+   application distribution of Figure 5. *)
+let merge = function
+  | [] -> invalid_arg "Mem_divergence.merge: empty"
+  | first :: _ as results ->
+    let distribution = Array.make (max_lines + 1) 0 in
+    let total = ref 0 and weighted = ref 0. in
+    List.iter
+      (fun r ->
+        Array.iteri (fun i c -> distribution.(i) <- distribution.(i) + c) r.distribution;
+        total := !total + r.total_instructions;
+        weighted := !weighted +. (r.degree *. float_of_int r.total_instructions))
+      results;
+    {
+      line_size = first.line_size;
+      total_instructions = !total;
+      distribution;
+      degree = (if !total = 0 then 1. else !weighted /. float_of_int !total);
+    }
+
+let fraction r lines =
+  if r.total_instructions = 0 then 0.
+  else float_of_int r.distribution.(lines) /. float_of_int r.total_instructions
+
+(* Per-source-location divergence: average unique lines per warp access,
+   used by the code-centric debugging view (Figure 8). *)
+type site = {
+  site_loc : Bitc.Loc.t;
+  site_node : int; (* CCT node of the call path *)
+  site_count : int;
+  site_avg_lines : float;
+}
+
+let sites ~line_size events =
+  let table : (Bitc.Loc.t * int, int ref * int ref) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun ((m : Gpusim.Hookev.mem), node) ->
+      if Array.length m.accesses > 0 then begin
+        let addrs = Array.to_list (Array.map snd m.accesses) in
+        let width = max 1 (m.bits / 8) in
+        let lines = min max_lines (Gpusim.Coalesce.transactions ~line_size ~width addrs) in
+        match Hashtbl.find_opt table (m.loc, node) with
+        | Some (count, sum) ->
+          incr count;
+          sum := !sum + lines
+        | None -> Hashtbl.replace table (m.loc, node) (ref 1, ref lines)
+      end)
+    events;
+  Hashtbl.fold
+    (fun (loc, node) (count, sum) acc ->
+      {
+        site_loc = loc;
+        site_node = node;
+        site_count = !count;
+        site_avg_lines = float_of_int !sum /. float_of_int !count;
+      }
+      :: acc)
+    table []
+  |> List.sort (fun a b -> compare b.site_avg_lines a.site_avg_lines)
+
+let pp fmt r =
+  Format.fprintf fmt "@[<v>";
+  for i = 1 to max_lines do
+    if r.distribution.(i) > 0 then
+      Format.fprintf fmt "%2d lines: %6.2f%% (%d)@ " i (100. *. fraction r i)
+        r.distribution.(i)
+  done;
+  Format.fprintf fmt "degree: %.3f over %d instructions@]" r.degree
+    r.total_instructions

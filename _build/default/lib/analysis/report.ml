@@ -1,0 +1,95 @@
+(* Structured, machine-readable profile reports: everything the
+   analyzer derives for one application run, as a JSON document, so the
+   tool's output can feed scripts and dashboards. *)
+
+let loc_json (loc : Bitc.Loc.t) =
+  Json.Obj
+    [ ("file", Json.String loc.file); ("line", Json.Int loc.line);
+      ("col", Json.Int loc.col) ]
+
+let reuse_distance_json (rd : Reuse_distance.result) =
+  Json.Obj
+    [ ("samples", Json.Int rd.samples);
+      ("finite_reuses", Json.Int rd.finite_reuses);
+      ("no_reuse", Json.Int rd.infinite_reuses);
+      ("no_reuse_fraction", Json.Float (Reuse_distance.no_reuse_fraction rd));
+      ("mean_finite_distance", Json.Float rd.mean_finite_distance);
+      ("max_finite_distance", Json.Int rd.max_finite_distance);
+      ( "histogram",
+        Json.Obj
+          (List.map
+             (fun (b, c) -> (Reuse_distance.bucket_label b, Json.Int c))
+             rd.histogram) ) ]
+
+let mem_divergence_json (md : Mem_divergence.result) =
+  let dist =
+    List.filter_map
+      (fun lines ->
+        if md.distribution.(lines) = 0 then None
+        else Some (string_of_int lines, Json.Int md.distribution.(lines)))
+      (List.init Mem_divergence.max_lines (fun i -> i + 1))
+  in
+  Json.Obj
+    [ ("line_size", Json.Int md.line_size);
+      ("instructions", Json.Int md.total_instructions);
+      ("degree", Json.Float md.degree); ("distribution", Json.Obj dist) ]
+
+let branch_divergence_json (bd : Branch_divergence.result) =
+  Json.Obj
+    [ ("divergent_blocks", Json.Int bd.divergent_blocks);
+      ("total_blocks", Json.Int bd.total_blocks);
+      ("percent", Json.Float (Branch_divergence.percent bd)) ]
+
+let summary_json (s : Statistics.summary) =
+  Json.Obj
+    [ ("count", Json.Int s.count); ("mean", Json.Float s.mean);
+      ("min", Json.Float s.min); ("max", Json.Float s.max);
+      ("stddev", Json.Float s.stddev) ]
+
+let sites_json ~line_size events ~top =
+  let sites = Mem_divergence.sites ~line_size events in
+  let sites = List.filteri (fun i _ -> i < top) sites in
+  Json.List
+    (List.map
+       (fun (s : Mem_divergence.site) ->
+         Json.Obj
+           [ ("loc", loc_json s.site_loc);
+             ("warp_accesses", Json.Int s.site_count);
+             ("avg_unique_lines", Json.Float s.site_avg_lines) ])
+       sites)
+
+(* The full report of one profiled application run. *)
+let of_profile ?(top_sites = 5) ~app ~arch_name ~line_size
+    (profiler : Profiler.Profile.t) =
+  let instances = Profiler.Profile.instances profiler in
+  let events = List.concat_map Profiler.Profile.mem_events instances in
+  (* an application that launched nothing still gets a valid report *)
+  let rd =
+    match instances with
+    | [] -> Reuse_distance.of_events []
+    | _ -> Reuse_distance.merge (List.map Reuse_distance.of_instance instances)
+  in
+  let md =
+    match instances with
+    | [] -> Mem_divergence.of_events ~line_size []
+    | _ ->
+      Mem_divergence.merge
+        (List.map (Mem_divergence.of_instance ~line_size) instances)
+  in
+  let bd = Branch_divergence.of_instances instances in
+  let contexts =
+    Statistics.by_context instances ~metric:Statistics.cycles
+    |> List.map (fun (ctx, s) ->
+           Json.Obj [ ("context", Json.String ctx); ("cycles", summary_json s) ])
+  in
+  Json.Obj
+    [ ("application", Json.String app);
+      ("architecture", Json.String arch_name);
+      ("kernel_launches", Json.Int (List.length instances));
+      ("reuse_distance", reuse_distance_json rd);
+      ("memory_divergence", mem_divergence_json md);
+      ("branch_divergence", branch_divergence_json bd);
+      ("divergent_sites", sites_json ~line_size events ~top:top_sites);
+      ("contexts", Json.List contexts) ]
+
+let to_string = Json.to_string

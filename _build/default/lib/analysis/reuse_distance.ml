@@ -1,0 +1,203 @@
+(* Reuse-distance analysis (Section 4.2-(A)).
+
+   Definitions follow the paper: the trace is regrouped by CTA; within a
+   CTA, the reuse distance of a use is the number of distinct elements
+   accessed between it and the previous use of the same element.
+   Because the GPU L1 is write-evict / write-no-allocate, a write to an
+   address restarts its counting: the pending forward reuse of the old
+   value is recorded as infinite, mirroring the paper's definition of
+   the infinity bucket ("never reused during execution or before the
+   next write to the address").
+
+   Two models are offered: memory-element based (granularity = access
+   width) and cache-line based. *)
+
+type granularity = Element | Cache_line of int
+
+(* Histogram buckets of Figure 4. *)
+type bucket = B0 | B1_2 | B3_8 | B9_32 | B33_128 | B129_512 | B_gt512 | B_inf
+
+let buckets = [ B0; B1_2; B3_8; B9_32; B33_128; B129_512; B_gt512; B_inf ]
+
+let bucket_of_distance = function
+  | 0 -> B0
+  | d when d <= 2 -> B1_2
+  | d when d <= 8 -> B3_8
+  | d when d <= 32 -> B9_32
+  | d when d <= 128 -> B33_128
+  | d when d <= 512 -> B129_512
+  | _ -> B_gt512
+
+let bucket_label = function
+  | B0 -> "0"
+  | B1_2 -> "1-2"
+  | B3_8 -> "3-8"
+  | B9_32 -> "9-32"
+  | B33_128 -> "33-128"
+  | B129_512 -> "129-512"
+  | B_gt512 -> ">512"
+  | B_inf -> "inf"
+
+type result = {
+  granularity : granularity;
+  samples : int; (* total use samples (finite + infinite) *)
+  histogram : (bucket * int) list;
+  finite_reuses : int;
+  infinite_reuses : int; (* streaming / no-reuse accesses *)
+  mean_finite_distance : float; (* R.D. input of the bypass model, Eq. 1 *)
+  max_finite_distance : int;
+}
+
+let fraction result bucket =
+  if result.samples = 0 then 0.
+  else
+    float_of_int (List.assoc bucket result.histogram) /. float_of_int result.samples
+
+let no_reuse_fraction result =
+  if result.samples = 0 then 0.
+  else float_of_int result.infinite_reuses /. float_of_int result.samples
+
+(* One CTA's access stream: (element, is_write) in execution order. *)
+let analyze_stream accesses =
+  let n = Array.length accesses in
+  let bit = Fenwick.create (max n 1) in
+  let last : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+  let hist = Hashtbl.create 8 in
+  let bump bucket = Hashtbl.replace hist bucket (1 + Option.value (Hashtbl.find_opt hist bucket) ~default:0) in
+  let finite = ref 0 and infinite = ref 0 in
+  let sum = ref 0 and maxd = ref 0 in
+  Array.iteri
+    (fun i (elem, is_write) ->
+      let pos = i + 1 in
+      if is_write then (
+        (* write-evict: pending forward reuse of the old value dies *)
+        match Hashtbl.find_opt last elem with
+        | Some q ->
+          bump B_inf;
+          incr infinite;
+          Fenwick.add bit q (-1);
+          Hashtbl.remove last elem
+        | None -> ())
+      else begin
+        (match Hashtbl.find_opt last elem with
+        | Some q ->
+          let d = Fenwick.between bit ~lo:q ~hi:pos in
+          bump (bucket_of_distance d);
+          incr finite;
+          sum := !sum + d;
+          if d > !maxd then maxd := d;
+          Fenwick.add bit q (-1)
+        | None -> ());
+        Hashtbl.replace last elem pos;
+        Fenwick.add bit pos 1
+      end)
+    accesses;
+  (* accesses still pending at the end were never reused *)
+  Hashtbl.iter
+    (fun _ _ ->
+      bump B_inf;
+      incr infinite)
+    last;
+  (hist, !finite, !infinite, !sum, !maxd)
+
+(* Element id of one lane access under the chosen granularity. *)
+let element_of ~granularity ~bits addr =
+  match granularity with
+  | Element -> addr / max 1 (bits / 8)
+  | Cache_line line -> addr / line
+
+(* Analyze the memory events of one kernel instance (in execution
+   order), regrouped per CTA as in the paper. *)
+let of_events ?(granularity = Element) events =
+  let per_cta : (int, (int * bool) list ref) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun ((m : Gpusim.Hookev.mem), _node) ->
+      let stream =
+        match Hashtbl.find_opt per_cta m.cta with
+        | Some r -> r
+        | None ->
+          let r = ref [] in
+          Hashtbl.replace per_cta m.cta r;
+          r
+      in
+      let is_write = m.kind = Passes.Hooks.mem_kind_store in
+      Array.iter
+        (fun (_lane, addr) ->
+          stream := (element_of ~granularity ~bits:m.bits addr, is_write) :: !stream)
+        m.accesses)
+    events;
+  let hist_total = Hashtbl.create 8 in
+  let finite = ref 0 and infinite = ref 0 and sum = ref 0 and maxd = ref 0 in
+  Hashtbl.iter
+    (fun _cta stream ->
+      let accesses = Array.of_list (List.rev !stream) in
+      let hist, f, inf, s, m = analyze_stream accesses in
+      Hashtbl.iter
+        (fun b c ->
+          Hashtbl.replace hist_total b
+            (c + Option.value (Hashtbl.find_opt hist_total b) ~default:0))
+        hist;
+      finite := !finite + f;
+      infinite := !infinite + inf;
+      sum := !sum + s;
+      maxd := max !maxd m)
+    per_cta;
+  let histogram =
+    List.map
+      (fun b -> (b, Option.value (Hashtbl.find_opt hist_total b) ~default:0))
+      buckets
+  in
+  {
+    granularity;
+    samples = !finite + !infinite;
+    histogram;
+    finite_reuses = !finite;
+    infinite_reuses = !infinite;
+    mean_finite_distance =
+      (if !finite = 0 then 0. else float_of_int !sum /. float_of_int !finite);
+    max_finite_distance = !maxd;
+  }
+
+let of_instance ?granularity (instance : Profiler.Profile.instance) =
+  of_events ?granularity (Profiler.Profile.mem_events instance)
+
+(* Merge results of independent kernel instances into the whole-
+   application view of Figure 4 (reuse is per CTA per instance, so
+   merging is summing histograms and weighting the means). *)
+let merge = function
+  | [] -> invalid_arg "Reuse_distance.merge: empty"
+  | first :: _ as results ->
+    let histogram =
+      List.map
+        (fun b ->
+          (b, List.fold_left (fun acc r -> acc + List.assoc b r.histogram) 0 results))
+        buckets
+    in
+    let finite = List.fold_left (fun acc r -> acc + r.finite_reuses) 0 results in
+    let infinite = List.fold_left (fun acc r -> acc + r.infinite_reuses) 0 results in
+    let weighted_sum =
+      List.fold_left
+        (fun acc r -> acc +. (r.mean_finite_distance *. float_of_int r.finite_reuses))
+        0. results
+    in
+    {
+      granularity = first.granularity;
+      samples = finite + infinite;
+      histogram;
+      finite_reuses = finite;
+      infinite_reuses = infinite;
+      mean_finite_distance =
+        (if finite = 0 then 0. else weighted_sum /. float_of_int finite);
+      max_finite_distance =
+        List.fold_left (fun acc r -> max acc r.max_finite_distance) 0 results;
+    }
+
+let pp fmt r =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun (b, c) ->
+      Format.fprintf fmt "%-8s %6.2f%% (%d)@ " (bucket_label b)
+        (100. *. fraction r b) c)
+    r.histogram;
+  Format.fprintf fmt "mean finite RD: %.2f, samples: %d@]" r.mean_finite_distance
+    r.samples

@@ -1,0 +1,112 @@
+(* Per-instruction (source-site) reuse statistics: the input of
+   *vertical* cache bypassing (Xie et al. [55], discussed in Section
+   4.2-(D) of the paper), which bypasses individual load instructions
+   with little reuse for every warp.
+
+   For each load site we measure how often the data it touches is
+   reused by a later access of the same CTA before being written: sites
+   that are almost pure streaming gain nothing from the L1 and are
+   bypass candidates. *)
+
+type site_stat = {
+  loc : Bitc.Loc.t;
+  accesses : int; (* thread-level accesses issued by the site *)
+  reused_later : int; (* of those, how many were reused afterwards *)
+}
+
+let reuse_fraction s =
+  if s.accesses = 0 then 0. else float_of_int s.reused_later /. float_of_int s.accesses
+
+(* Streams of (line, is_write, site-loc, event id) per CTA, at
+   cache-line granularity (the reuse that matters to the L1).  The
+   event id distinguishes lanes of one warp instruction: lanes sharing a
+   line within a single access are one coalesced transaction, not an L1
+   reuse. *)
+let of_events ~line_size events =
+  let per_cta : (int, (int * bool * Bitc.Loc.t * int) list ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  List.iteri
+    (fun event_id ((m : Gpusim.Hookev.mem), _node) ->
+      let stream =
+        match Hashtbl.find_opt per_cta m.cta with
+        | Some r -> r
+        | None ->
+          let r = ref [] in
+          Hashtbl.replace per_cta m.cta r;
+          r
+      in
+      let is_write = m.kind = Passes.Hooks.mem_kind_store in
+      Array.iter
+        (fun (_lane, addr) ->
+          stream := (addr / line_size, is_write, m.loc, event_id) :: !stream)
+        m.accesses)
+    events;
+  let stats : (Bitc.Loc.t, int ref * int ref) Hashtbl.t = Hashtbl.create 64 in
+  let stat loc =
+    match Hashtbl.find_opt stats loc with
+    | Some s -> s
+    | None ->
+      let s = (ref 0, ref 0) in
+      Hashtbl.replace stats loc s;
+      s
+  in
+  Hashtbl.iter
+    (fun _cta stream ->
+      let accesses = Array.of_list (List.rev !stream) in
+      (* for each load, was its line touched again by a *later* warp
+         instruction before a write? *)
+      let pending : (int, (Bitc.Loc.t * int) list ref) Hashtbl.t =
+        Hashtbl.create 256
+      in
+      let credit line event_id =
+        match Hashtbl.find_opt pending line with
+        | Some sites ->
+          let later, same =
+            List.partition (fun (_, ev) -> ev <> event_id) !sites
+          in
+          List.iter
+            (fun (loc, _) ->
+              let _, reused = stat loc in
+              incr reused)
+            later;
+          sites := same
+        | None -> ()
+      in
+      Array.iter
+        (fun (line, is_write, loc, event_id) ->
+          if is_write then (
+            (* write-evict: outstanding loads of this line are never
+               L1-reused *)
+            match Hashtbl.find_opt pending line with
+            | Some sites -> sites := []
+            | None -> ())
+          else begin
+            (* this access is a reuse for pendings from earlier events *)
+            credit line event_id;
+            let count, _ = stat loc in
+            incr count;
+            let sites =
+              match Hashtbl.find_opt pending line with
+              | Some s -> s
+              | None ->
+                let s = ref [] in
+                Hashtbl.replace pending line s;
+                s
+            in
+            sites := (loc, event_id) :: !sites
+          end)
+        accesses)
+    per_cta;
+  Hashtbl.fold
+    (fun loc (count, reused) acc ->
+      { loc; accesses = !count; reused_later = !reused } :: acc)
+    stats []
+  |> List.sort (fun a b -> Bitc.Loc.compare a.loc b.loc)
+
+(* Load sites whose reuse fraction falls below [threshold]: the
+   candidates vertical bypassing sends straight to the L2. *)
+let bypass_candidates ?(threshold = 0.15) ~line_size events =
+  of_events ~line_size events
+  |> List.filter (fun s -> reuse_fraction s < threshold && s.accesses > 0)
+  |> List.map (fun s -> s.loc)

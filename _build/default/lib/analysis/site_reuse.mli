@@ -1,0 +1,27 @@
+(** Per-instruction (source-site) reuse statistics: the input of
+    *vertical* cache bypassing (Xie et al., contrasted in Section
+    4.2-(D) of the paper), which bypasses individual load sites with
+    little reuse for every warp. *)
+
+type site_stat = {
+  loc : Bitc.Loc.t;
+  accesses : int;  (** thread-level accesses issued by the site *)
+  reused_later : int;
+      (** of those, how many had their cache line touched again by a
+          later instruction of the same CTA before a write *)
+}
+
+val reuse_fraction : site_stat -> float
+
+(** Per-site statistics over warp-level memory events, at cache-line
+    granularity (the reuse that matters to the L1). *)
+val of_events :
+  line_size:int -> (Gpusim.Hookev.mem * int) list -> site_stat list
+
+(** Load sites whose reuse fraction is below [threshold] (default
+    0.15): the candidates vertical bypassing flips to [ld.cg]. *)
+val bypass_candidates :
+  ?threshold:float ->
+  line_size:int ->
+  (Gpusim.Hookev.mem * int) list ->
+  Bitc.Loc.t list

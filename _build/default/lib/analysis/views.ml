@@ -1,0 +1,115 @@
+(* Code- and data-centric debugging views (Section 4.2-(E), Figures 8
+   and 9): render the host+device calling context of divergent memory
+   accesses and the provenance of the data objects they touch. *)
+
+(* Figure 8: concatenated CPU + GPU calling context ending at one
+   monitored instruction. *)
+let code_centric_path (p : Profiler.Profile.t) (instance : Profiler.Profile.instance)
+    ~node ~(loc : Bitc.Loc.t) =
+  let buf = Buffer.create 256 in
+  let index = ref 0 in
+  let line prefix text =
+    Buffer.add_string buf (Printf.sprintf "%-4s %d: %s\n" prefix !index text);
+    incr index
+  in
+  List.iteri
+    (fun i frame ->
+      line (if i = 0 then "CPU" else "") (Profiler.Records.frame_to_string frame))
+    instance.host_path;
+  let device_frames = Profiler.Profile.device_path p instance node in
+  List.iteri
+    (fun i (func, floc) ->
+      let where =
+        if Bitc.Loc.is_none floc then Bitc.Loc.to_string loc
+        else Printf.sprintf "%s: %d" floc.Bitc.Loc.file floc.Bitc.Loc.line
+      in
+      line (if i = 0 then "GPU" else "") (Printf.sprintf "%s():: %s" func where))
+    device_frames;
+  (* the monitored instruction itself *)
+  Buffer.add_string buf
+    (Printf.sprintf "     -> access at %s\n" (Bitc.Loc.to_string loc));
+  Buffer.contents buf
+
+(* The most memory-divergent sites of an instance with their full
+   calling contexts — what a programmer reads to find Figure 8's
+   "Line 33 of Kernel.cu has significant memory divergence". *)
+let divergent_sites_report (p : Profiler.Profile.t)
+    (instance : Profiler.Profile.instance) ~line_size ~top =
+  let events = Profiler.Profile.mem_events instance in
+  let sites = Mem_divergence.sites ~line_size events in
+  let sites = List.filteri (fun i _ -> i < top) sites in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "Top divergent memory accesses of kernel %s:\n" instance.kernel);
+  List.iter
+    (fun (s : Mem_divergence.site) ->
+      Buffer.add_string buf
+        (Printf.sprintf "\n%s: avg %.2f unique lines over %d warp accesses\n"
+           (Bitc.Loc.to_string s.site_loc) s.site_avg_lines s.site_count);
+      Buffer.add_string buf
+        (code_centric_path p instance ~node:s.site_node ~loc:s.site_loc))
+    sites;
+  Buffer.contents buf
+
+let path_to_string frames =
+  String.concat " -> "
+    (List.map (fun f -> f.Profiler.Records.frame_func) frames)
+
+(* Figure 9: the data object a divergent access belongs to, where it was
+   allocated on device and host, and how it was transferred. *)
+let data_centric_report (p : Profiler.Profile.t)
+    (instance : Profiler.Profile.instance) ~line_size ~top =
+  let events = Profiler.Profile.mem_events instance in
+  let sites = Mem_divergence.sites ~line_size events in
+  let sites = List.filteri (fun i _ -> i < top) sites in
+  let buf = Buffer.create 1024 in
+  (* representative address per site: first event matching the loc *)
+  let addr_of_site (s : Mem_divergence.site) =
+    List.find_map
+      (fun ((m : Gpusim.Hookev.mem), node) ->
+        if Bitc.Loc.equal m.loc s.site_loc && node = s.site_node
+           && Array.length m.accesses > 0
+        then Some (snd m.accesses.(0))
+        else None)
+      events
+  in
+  List.iter
+    (fun (s : Mem_divergence.site) ->
+      match addr_of_site s with
+      | None -> ()
+      | Some addr -> (
+        match Profiler.Data_centric.find_device_alloc p addr with
+        | None ->
+          Buffer.add_string buf
+            (Printf.sprintf "access at %s: address %d not in any data object\n"
+               (Bitc.Loc.to_string s.site_loc) addr)
+        | Some dev_alloc ->
+          let flow = Profiler.Data_centric.flow_of p dev_alloc in
+          Buffer.add_string buf
+            (Printf.sprintf
+               "Data object '%s' (%d bytes on device) suffers memory divergence at \
+                %s (avg %.2f lines)\n"
+               dev_alloc.label dev_alloc.size
+               (Bitc.Loc.to_string s.site_loc)
+               s.site_avg_lines);
+          Buffer.add_string buf
+            (Printf.sprintf "  cudaMalloc at: %s\n"
+               (path_to_string dev_alloc.alloc_path));
+          (match flow.host_object with
+          | Some h ->
+            Buffer.add_string buf
+              (Printf.sprintf "  host counterpart '%s' allocated at: %s\n" h.label
+                 (path_to_string h.alloc_path))
+          | None ->
+            Buffer.add_string buf "  no host counterpart (device-initialized)\n");
+          List.iter
+            (fun (t : Profiler.Records.transfer) ->
+              Buffer.add_string buf
+                (Printf.sprintf "  %s of %d bytes at: %s\n"
+                   (Profiler.Records.direction_to_string t.direction)
+                   t.bytes
+                   (path_to_string t.transfer_path)))
+            flow.inbound;
+          Buffer.add_char buf '\n'))
+    sites;
+  Buffer.contents buf

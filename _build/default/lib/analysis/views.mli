@@ -1,0 +1,31 @@
+(** Code- and data-centric debugging views (paper Section 4.2-(E),
+    Figures 8 and 9): render the host+device calling context of
+    divergent memory accesses and the provenance of the data objects
+    they touch. *)
+
+(** Figure 8: one concatenated CPU+GPU calling context ending at a
+    monitored instruction. *)
+val code_centric_path :
+  Profiler.Profile.t ->
+  Profiler.Profile.instance ->
+  node:int ->
+  loc:Bitc.Loc.t ->
+  string
+
+(** The most memory-divergent sites of an instance with their full
+    calling contexts. *)
+val divergent_sites_report :
+  Profiler.Profile.t ->
+  Profiler.Profile.instance ->
+  line_size:int ->
+  top:int ->
+  string
+
+(** Figure 9: the data objects behind the most divergent accesses —
+    device allocation site, host counterpart and transfers. *)
+val data_centric_report :
+  Profiler.Profile.t ->
+  Profiler.Profile.instance ->
+  line_size:int ->
+  top:int ->
+  string

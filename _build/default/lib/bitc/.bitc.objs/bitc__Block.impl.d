@@ -1,0 +1,1 @@
+lib/bitc/block.ml: Instr Printf

@@ -1,0 +1,1 @@
+lib/bitc/builder.ml: Block Func Instr Loc Printf Types Value

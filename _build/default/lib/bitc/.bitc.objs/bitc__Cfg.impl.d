@@ -1,0 +1,1 @@
+lib/bitc/cfg.ml: Array Block Fun Func Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/bitc/func.ml: Block Hashtbl List Printf Types Value

@@ -1,0 +1,1 @@
+lib/bitc/instr.ml: Loc Types Value

@@ -1,0 +1,1 @@
+lib/bitc/irmod.ml: Func List Printf Types

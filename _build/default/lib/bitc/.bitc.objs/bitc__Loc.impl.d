@@ -1,0 +1,1 @@
+lib/bitc/loc.ml: Format Int Printf String

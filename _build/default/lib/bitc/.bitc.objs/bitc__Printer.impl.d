@@ -1,0 +1,1 @@
+lib/bitc/printer.ml: Block Buffer Func Instr Irmod List Loc Printf String Types Value

@@ -1,0 +1,1 @@
+lib/bitc/types.ml: Format Printf

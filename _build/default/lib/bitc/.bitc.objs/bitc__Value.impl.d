@@ -1,0 +1,1 @@
+lib/bitc/value.ml: Float Format Printf

@@ -1,0 +1,1 @@
+lib/bitc/verify.ml: Block Func Hashtbl Instr Irmod List Printf Types Value

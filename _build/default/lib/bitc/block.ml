@@ -1,0 +1,32 @@
+(* A basic block: a label, a straight-line instruction list, and a
+   terminator.  Blocks under construction have [term = None]; the
+   verifier rejects unterminated blocks. *)
+
+type t = {
+  name : string;
+  mutable instrs : Instr.t list; (* stored in execution order *)
+  mutable term : Instr.terminator option;
+}
+
+let create name = { name; instrs = []; term = None }
+
+let terminator t =
+  match t.term with
+  | Some term -> term
+  | None -> invalid_arg (Printf.sprintf "Block.terminator: %s unterminated" t.name)
+
+let successors t = Instr.successors (terminator t)
+
+(* Insert [instr] immediately before the instruction satisfying [before].
+   Used by instrumentation passes to place hooks ahead of the monitored
+   instruction, as in Listing 1 of the paper. *)
+let insert_before t ~before instr =
+  let rec go = function
+    | [] -> [ instr ]
+    | x :: rest when before x -> instr :: x :: rest
+    | x :: rest -> x :: go rest
+  in
+  t.instrs <- go t.instrs
+
+let prepend t instr = t.instrs <- instr :: t.instrs
+let append t instr = t.instrs <- t.instrs @ [ instr ]

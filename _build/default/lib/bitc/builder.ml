@@ -1,0 +1,117 @@
+(* IRBuilder in the style of LLVM's: tracks a current insertion block and
+   a current source location, allocates fresh registers, and offers one
+   constructor per instruction. *)
+
+type t = {
+  func : Func.t;
+  mutable block : Block.t;
+  mutable loc : Loc.t;
+}
+
+let create func =
+  let entry =
+    match func.Func.blocks with
+    | b :: _ -> b
+    | [] ->
+      let b = Block.create "entry" in
+      Func.add_block func b;
+      b
+  in
+  { func; block = entry; loc = Loc.none }
+
+let set_block t block = t.block <- block
+let set_loc t loc = t.loc <- loc
+let current_block t = t.block
+
+let new_block t name =
+  let base = name in
+  let rec unique i =
+    let candidate = if i = 0 then base else Printf.sprintf "%s.%d" base i in
+    if Func.find_block t.func candidate = None then candidate else unique (i + 1)
+  in
+  let b = Block.create (unique 0) in
+  Func.add_block t.func b;
+  b
+
+let emit t ?result ~ty kind =
+  let instr = { Instr.result; ty; kind; loc = t.loc } in
+  Block.append t.block instr;
+  instr
+
+let emit_value t ~ty kind =
+  let r = Func.fresh_reg t.func ty in
+  ignore (emit t ~result:r ~ty kind);
+  Value.Reg r
+
+let alloca t ty n = emit_value t ~ty:(Types.Ptr (ty, Types.Local)) (Instr.Alloca (ty, n))
+
+let shared_alloca t ty n =
+  emit_value t ~ty:(Types.Ptr (ty, Types.Shared)) (Instr.Shared_alloca (ty, n))
+
+let load t ptr =
+  let ty = Types.pointee (Func.value_ty t.func ptr) in
+  emit_value t ~ty (Instr.Load ptr)
+
+let store t ~ptr ~value =
+  let value_ty = Func.value_ty t.func value in
+  ignore (emit t ~ty:Types.Void (Instr.Store { ptr; value; value_ty }))
+
+let gep t ~base ~index =
+  let ptr_ty = Func.value_ty t.func base in
+  let elem = Types.pointee ptr_ty in
+  emit_value t ~ty:ptr_ty (Instr.Gep { base; index; elem })
+
+let binop t op a b =
+  let ty = Func.value_ty t.func a in
+  emit_value t ~ty (Instr.Binop (op, ty, a, b))
+
+let unop t op a =
+  let ty =
+    match op with
+    | Instr.Int_to_float | Instr.Sqrt | Instr.Exp | Instr.Log | Instr.Fabs ->
+      Types.F32
+    | Instr.Float_to_int -> Types.I32
+    | Instr.Neg -> Func.value_ty t.func a
+    | Instr.Not -> Func.value_ty t.func a
+  in
+  emit_value t ~ty (Instr.Unop (op, a))
+
+let cmp t op a b =
+  let operand_ty = Func.value_ty t.func a in
+  emit_value t ~ty:Types.I1 (Instr.Cmp (op, operand_ty, a, b))
+
+let select t c a b =
+  let ty = Func.value_ty t.func a in
+  emit_value t ~ty (Instr.Select (c, a, b))
+
+let call t ~callee ~args ~ret =
+  match ret with
+  | Types.Void ->
+    ignore (emit t ~ty:Types.Void (Instr.Call { callee; args }));
+    None
+  | ty -> Some (emit_value t ~ty (Instr.Call { callee; args }))
+
+let special t s = emit_value t ~ty:Types.I32 (Instr.Special s)
+let sync t = ignore (emit t ~ty:Types.Void Instr.Sync)
+
+(* The i8* "generic byte pointer" type used by instrumentation hooks. *)
+let byte_ptr_ty = Types.Ptr (Types.I1, Types.Generic)
+
+let ptr_cast t v = emit_value t ~ty:byte_ptr_ty (Instr.Ptr_cast v)
+
+let atomic_add t ~ptr ~value =
+  let value_ty = Func.value_ty t.func value in
+  emit_value t ~ty:value_ty (Instr.Atomic_add { ptr; value; value_ty })
+
+let terminate t term =
+  match t.block.Block.term with
+  | Some _ -> () (* ignore unreachable extra terminators after returns *)
+  | None -> t.block.Block.term <- Some term
+
+let br t target = terminate t (Instr.Br target.Block.name)
+
+let cond_br t cond ~then_:bt ~else_:bf =
+  terminate t (Instr.Cond_br (cond, bt.Block.name, bf.Block.name))
+
+let ret t v = terminate t (Instr.Ret v)
+let is_terminated t = t.block.Block.term <> None

@@ -1,0 +1,129 @@
+(* Control-flow graph utilities over a [Func.t]: successor/predecessor
+   maps, reverse postorder, and post-dominators.  The immediate
+   post-dominator of a divergent branch is the SIMT reconvergence point
+   the GPU simulator uses, matching how real hardware (and GPGPU-Sim)
+   reconverges warps. *)
+
+type t = {
+  func : Func.t;
+  blocks : Block.t array;
+  index : (string, int) Hashtbl.t; (* block name -> array index *)
+  succ : int list array;
+  pred : int list array;
+}
+
+let build (func : Func.t) =
+  let blocks = Array.of_list func.blocks in
+  let n = Array.length blocks in
+  let index = Hashtbl.create (2 * n) in
+  Array.iteri (fun i (b : Block.t) -> Hashtbl.replace index b.name i) blocks;
+  let succ = Array.make n [] in
+  let pred = Array.make n [] in
+  Array.iteri
+    (fun i b ->
+      let targets = Block.successors b in
+      succ.(i) <-
+        List.map
+          (fun name ->
+            match Hashtbl.find_opt index name with
+            | Some j -> j
+            | None ->
+              invalid_arg
+                (Printf.sprintf "Cfg.build: %s branches to unknown block %s"
+                   func.name name))
+          targets)
+    blocks;
+  Array.iteri (fun i _ -> List.iter (fun j -> pred.(j) <- i :: pred.(j)) succ.(i)) blocks;
+  { func; blocks; index; succ; pred }
+
+let size t = Array.length t.blocks
+let block t i = t.blocks.(i)
+let index_of t name = Hashtbl.find t.index name
+
+(* Reverse postorder from the entry block.  Unreachable blocks are
+   appended at the end so every block gets an order. *)
+let reverse_postorder t =
+  let n = size t in
+  let visited = Array.make n false in
+  let order = ref [] in
+  let rec dfs i =
+    if not visited.(i) then begin
+      visited.(i) <- true;
+      List.iter dfs t.succ.(i);
+      order := i :: !order
+    end
+  in
+  if n > 0 then dfs 0;
+  for i = 0 to n - 1 do
+    if not visited.(i) then order := !order @ [ i ]
+  done;
+  Array.of_list !order
+
+(* Iterative dataflow post-dominator computation on the reverse graph.
+   Exit nodes (returns) post-dominate themselves; a virtual exit joins
+   all of them.  [ipdom.(i)] is the immediate post-dominator index of
+   block [i], or [-1] for exit blocks (their reconvergence is the
+   function return). *)
+let post_dominators t =
+  let n = size t in
+  let exit_nodes =
+    Array.to_list
+      (Array.mapi (fun i b -> (i, Block.successors b = [])) t.blocks)
+    |> List.filter snd |> List.map fst
+  in
+  (* Sets as sorted int lists would be slow for big CFGs; our kernels are
+     small, so use boolean arrays: pdom.(i) = set of post-dominators. *)
+  let pdom = Array.init n (fun _ -> Array.make n true) in
+  List.iter
+    (fun e ->
+      let s = Array.make n false in
+      s.(e) <- true;
+      pdom.(e) <- s)
+    exit_nodes;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = n - 1 downto 0 do
+      if not (List.mem i exit_nodes) then begin
+        let inter = Array.make n true in
+        (match t.succ.(i) with
+        | [] -> ()
+        | first :: rest ->
+          Array.blit pdom.(first) 0 inter 0 n;
+          List.iter (fun j -> Array.iteri (fun k v -> inter.(k) <- v && pdom.(j).(k)) inter) rest);
+        inter.(i) <- true;
+        if inter <> pdom.(i) then begin
+          pdom.(i) <- inter;
+          changed := true
+        end
+      end
+    done
+  done;
+  (* Immediate post-dominator: the strict post-dominator nearest to the
+     block, i.e. the one post-dominated by every other strict
+     post-dominator — equivalently, the strict pdom with the largest
+     post-dominator set. *)
+  let ipdom = Array.make n (-1) in
+  for i = 0 to n - 1 do
+    let strict =
+      List.filter (fun j -> j <> i && pdom.(i).(j)) (List.init n Fun.id)
+    in
+    let count j = Array.fold_left (fun acc v -> if v then acc + 1 else acc) 0 pdom.(j) in
+    match strict with
+    | [] -> ipdom.(i) <- -1
+    | first :: rest ->
+      let best =
+        List.fold_left (fun b j -> if count j > count b then j else b) first rest
+      in
+      ipdom.(i) <- best
+  done;
+  ipdom
+
+(* Name of the reconvergence block for a conditional branch placed at the
+   end of [block_name], or [None] when control reconverges only at the
+   function exit. *)
+let reconvergence_point t ipdom block_name =
+  let i = index_of t block_name in
+  match ipdom.(i) with
+  | -1 -> None
+  | j -> Some (block t j).Block.name

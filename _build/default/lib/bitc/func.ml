@@ -1,0 +1,81 @@
+(* Functions of a Bitc module.  Parameters occupy registers
+   [0 .. arity-1].  [reg_tys] tracks the type of every virtual register,
+   which the verifier and the PTX code generator rely on. *)
+
+type fkind =
+  | Kernel (* __global__: launchable from the host *)
+  | Device (* __device__: callable from device code *)
+  | Host (* host-side function *)
+
+type t = {
+  name : string;
+  params : (string * Types.ty) list;
+  ret : Types.ty;
+  fkind : fkind;
+  mutable blocks : Block.t list; (* entry block first *)
+  mutable next_reg : int;
+  reg_tys : (int, Types.ty) Hashtbl.t;
+}
+
+let create ~name ~params ~ret ~fkind =
+  let t =
+    {
+      name;
+      params;
+      ret;
+      fkind;
+      blocks = [];
+      next_reg = 0;
+      reg_tys = Hashtbl.create 64;
+    }
+  in
+  List.iter
+    (fun (_, ty) ->
+      Hashtbl.replace t.reg_tys t.next_reg ty;
+      t.next_reg <- t.next_reg + 1)
+    params;
+  t
+
+let arity t = List.length t.params
+
+let fresh_reg t ty =
+  let r = t.next_reg in
+  t.next_reg <- r + 1;
+  Hashtbl.replace t.reg_tys r ty;
+  r
+
+let reg_ty t r =
+  match Hashtbl.find_opt t.reg_tys r with
+  | Some ty -> ty
+  | None -> invalid_arg (Printf.sprintf "Func.reg_ty: %%%d unknown in %s" r t.name)
+
+let entry t =
+  match t.blocks with
+  | b :: _ -> b
+  | [] -> invalid_arg (Printf.sprintf "Func.entry: %s has no blocks" t.name)
+
+let find_block t name = List.find_opt (fun (b : Block.t) -> b.name = name) t.blocks
+
+let find_block_exn t name =
+  match find_block t name with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Func.find_block: %s has no block %s" t.name name)
+
+let add_block t block = t.blocks <- t.blocks @ [ block ]
+
+let value_ty t = function
+  | Value.Reg r -> reg_ty t r
+  | Value.Int _ -> Types.I32
+  | Value.Float _ -> Types.F32
+  | Value.Bool _ -> Types.I1
+  | Value.Null -> Types.Ptr (Types.I32, Types.Global)
+
+let iter_instrs t f =
+  List.iter (fun (b : Block.t) -> List.iter (f b) b.instrs) t.blocks
+
+let fold_instrs t init f =
+  List.fold_left
+    (fun acc (b : Block.t) -> List.fold_left (fun acc i -> f acc b i) acc b.instrs)
+    init t.blocks
+
+let is_kernel t = t.fkind = Kernel

@@ -1,0 +1,152 @@
+(* Bitc instructions.  The set matches what the MiniCUDA frontend emits
+   and what the instrumentation passes of the paper operate on: memory
+   operations (Listing 1), arithmetic operations, and control flow
+   (basic-block structure, Listing 3). *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Lshr
+  | Min
+  | Max
+
+type unop =
+  | Neg
+  | Not (* bitwise/logical complement *)
+  | Int_to_float
+  | Float_to_int (* truncation *)
+  | Sqrt
+  | Exp
+  | Log
+  | Fabs
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+(* GPU special registers readable by device code. *)
+type special =
+  | Tid_x
+  | Tid_y
+  | Ctaid_x
+  | Ctaid_y
+  | Ntid_x
+  | Ntid_y
+  | Nctaid_x
+  | Nctaid_y
+  | Warpid (* %warpid: the warp's index within its CTA *)
+
+type kind =
+  | Alloca of Types.ty * int (* per-thread local array of [n] elements *)
+  | Shared_alloca of Types.ty * int (* per-CTA shared array *)
+  | Load of Value.t (* pointer operand; result type is [ty] *)
+  | Store of { ptr : Value.t; value : Value.t; value_ty : Types.ty }
+  | Gep of { base : Value.t; index : Value.t; elem : Types.ty }
+  | Binop of binop * Types.ty * Value.t * Value.t
+  | Unop of unop * Value.t
+  | Cmp of cmp * Types.ty * Value.t * Value.t
+  | Select of Value.t * Value.t * Value.t
+  | Call of { callee : string; args : Value.t list }
+  | Special of special
+  | Sync (* __syncthreads *)
+  | Atomic_add of { ptr : Value.t; value : Value.t; value_ty : Types.ty }
+  | Ptr_cast of Value.t (* bitcast to i8* (generic); used by instrumentation *)
+
+type terminator =
+  | Br of string
+  | Cond_br of Value.t * string * string
+  | Ret of Value.t option
+
+type t = {
+  result : int option; (* destination register, if any *)
+  ty : Types.ty; (* type of the result ([Void] if none) *)
+  kind : kind;
+  loc : Loc.t;
+}
+
+let binop_to_string = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Rem -> "rem"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Shl -> "shl"
+  | Lshr -> "lshr"
+  | Min -> "min"
+  | Max -> "max"
+
+let unop_to_string = function
+  | Neg -> "neg"
+  | Not -> "not"
+  | Int_to_float -> "sitofp"
+  | Float_to_int -> "fptosi"
+  | Sqrt -> "sqrt"
+  | Exp -> "exp"
+  | Log -> "log"
+  | Fabs -> "fabs"
+
+let cmp_to_string = function
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Lt -> "lt"
+  | Le -> "le"
+  | Gt -> "gt"
+  | Ge -> "ge"
+
+let special_to_string = function
+  | Tid_x -> "tid.x"
+  | Tid_y -> "tid.y"
+  | Ctaid_x -> "ctaid.x"
+  | Ctaid_y -> "ctaid.y"
+  | Ntid_x -> "ntid.x"
+  | Ntid_y -> "ntid.y"
+  | Nctaid_x -> "nctaid.x"
+  | Nctaid_y -> "nctaid.y"
+  | Warpid -> "warpid"
+
+(* Registers read by an instruction, for the verifier and for liveness. *)
+let operands t =
+  match t.kind with
+  | Alloca _ | Shared_alloca _ | Special _ | Sync -> []
+  | Load ptr -> [ ptr ]
+  | Store { ptr; value; _ } -> [ ptr; value ]
+  | Gep { base; index; _ } -> [ base; index ]
+  | Binop (_, _, a, b) | Cmp (_, _, a, b) -> [ a; b ]
+  | Unop (_, a) -> [ a ]
+  | Select (c, a, b) -> [ c; a; b ]
+  | Call { args; _ } -> args
+  | Atomic_add { ptr; value; _ } -> [ ptr; value ]
+  | Ptr_cast v -> [ v ]
+
+let terminator_operands = function
+  | Br _ -> []
+  | Cond_br (c, _, _) -> [ c ]
+  | Ret (Some v) -> [ v ]
+  | Ret None -> []
+
+let successors = function
+  | Br l -> [ l ]
+  | Cond_br (_, t, f) -> [ t; f ]
+  | Ret _ -> []
+
+let is_memory_access t =
+  match t.kind with
+  | Load _ | Store _ | Atomic_add _ -> true
+  | Alloca _ | Shared_alloca _ | Gep _ | Binop _ | Unop _ | Cmp _ | Select _
+  | Call _ | Special _ | Sync | Ptr_cast _ ->
+    false
+
+let is_arithmetic t =
+  match t.kind with
+  | Binop _ | Unop _ | Cmp _ -> true
+  | Alloca _ | Shared_alloca _ | Load _ | Store _ | Gep _ | Select _ | Call _
+  | Special _ | Sync | Atomic_add _ | Ptr_cast _ ->
+    false

@@ -1,0 +1,37 @@
+(* A Bitc module: the unit the instrumentation engine operates on.  A
+   CUDA translation unit yields one device module (kernels + device
+   functions) which, after instrumentation, is linked with the analysis
+   device functions and lowered to PTX. *)
+
+type t = {
+  name : string;
+  mutable funcs : Func.t list;
+  (* External declarations, e.g. the profiler's device-side analysis
+     functions ([Record], [passBasicBlock], ...). *)
+  mutable declares : (string * Types.ty list * Types.ty) list;
+}
+
+let create name = { name; funcs = []; declares = [] }
+
+let add_func t f =
+  if List.exists (fun (g : Func.t) -> g.name = f.Func.name) t.funcs then
+    invalid_arg (Printf.sprintf "Irmod.add_func: duplicate %s" f.Func.name);
+  t.funcs <- t.funcs @ [ f ]
+
+let declare t name ~params ~ret =
+  if not (List.mem_assoc name (List.map (fun (n, p, r) -> (n, (p, r))) t.declares))
+  then t.declares <- t.declares @ [ (name, params, ret) ]
+
+let find_func t name = List.find_opt (fun (f : Func.t) -> f.name = name) t.funcs
+
+let find_func_exn t name =
+  match find_func t name with
+  | Some f -> f
+  | None -> invalid_arg (Printf.sprintf "Irmod.find_func: no function %s" name)
+
+let kernels t = List.filter Func.is_kernel t.funcs
+
+let find_declare t name =
+  List.find_map
+    (fun (n, params, ret) -> if n = name then Some (params, ret) else None)
+    t.declares

@@ -1,0 +1,22 @@
+(* Source locations attached to IR instructions, mirroring LLVM's !dbg
+   metadata.  The instrumentation engine forwards these to the analysis
+   hooks so every profiled event carries file/line/column attribution. *)
+
+type t = { file : string; line : int; col : int }
+
+let make ~file ~line ~col = { file; line; col }
+let none = { file = "<unknown>"; line = 0; col = 0 }
+let is_none t = t.line = 0 && t.col = 0
+let equal a b = String.equal a.file b.file && a.line = b.line && a.col = b.col
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c else Int.compare a.col b.col
+
+let to_string t =
+  if is_none t then "?" else Printf.sprintf "%s:%d:%d" t.file t.line t.col
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,101 @@
+(* Textual rendering of Bitc modules, in an LLVM-flavoured syntax.  Used
+   by tests, by the [advisor dump-ir] command, and when reporting
+   verifier failures. *)
+
+let instr_to_string (f : Func.t) (i : Instr.t) =
+  let v = Value.to_string in
+  let body =
+    match i.kind with
+    | Alloca (ty, n) -> Printf.sprintf "alloca %s, %d" (Types.to_string ty) n
+    | Shared_alloca (ty, n) ->
+      Printf.sprintf "alloca.shared %s, %d" (Types.to_string ty) n
+    | Load ptr ->
+      Printf.sprintf "load %s, %s %s" (Types.to_string i.ty)
+        (Types.to_string (Func.value_ty f ptr))
+        (v ptr)
+    | Store { ptr; value; value_ty } ->
+      Printf.sprintf "store %s %s, %s" (Types.to_string value_ty) (v value) (v ptr)
+    | Gep { base; index; elem } ->
+      Printf.sprintf "getelementptr %s, %s, %s" (Types.to_string elem) (v base)
+        (v index)
+    | Binop (op, ty, a, b) ->
+      Printf.sprintf "%s%s %s %s, %s"
+        (if Types.is_float ty then "f" else "")
+        (Instr.binop_to_string op) (Types.to_string ty) (v a) (v b)
+    | Unop (op, a) -> Printf.sprintf "%s %s" (Instr.unop_to_string op) (v a)
+    | Cmp (op, ty, a, b) ->
+      Printf.sprintf "%s %s %s %s, %s"
+        (if Types.is_float ty then "fcmp" else "icmp")
+        (Instr.cmp_to_string op) (Types.to_string ty) (v a) (v b)
+    | Select (c, a, b) -> Printf.sprintf "select %s, %s, %s" (v c) (v a) (v b)
+    | Call { callee; args } ->
+      Printf.sprintf "call %s @%s(%s)" (Types.to_string i.ty) callee
+        (String.concat ", " (List.map v args))
+    | Special s -> Printf.sprintf "read.sreg.%s" (Instr.special_to_string s)
+    | Sync -> "barrier.sync"
+    | Atomic_add { ptr; value; _ } ->
+      Printf.sprintf "atomicrmw add %s, %s" (v ptr) (v value)
+    | Ptr_cast p ->
+      Printf.sprintf "bitcast %s %s to i8*" (Types.to_string (Func.value_ty f p)) (v p)
+  in
+  let lhs = match i.result with Some r -> Printf.sprintf "%%%d = " r | None -> "" in
+  let dbg = if Loc.is_none i.loc then "" else ", !dbg " ^ Loc.to_string i.loc in
+  "  " ^ lhs ^ body ^ dbg
+
+let terminator_to_string = function
+  | Instr.Br l -> Printf.sprintf "  br label %%%s" l
+  | Instr.Cond_br (c, t, f) ->
+    Printf.sprintf "  br i1 %s, label %%%s, label %%%s" (Value.to_string c) t f
+  | Instr.Ret None -> "  ret void"
+  | Instr.Ret (Some value) -> Printf.sprintf "  ret %s" (Value.to_string value)
+
+let block_to_string f (b : Block.t) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (b.name ^ ":\n");
+  List.iter
+    (fun i ->
+      Buffer.add_string buf (instr_to_string f i);
+      Buffer.add_char buf '\n')
+    b.instrs;
+  (match b.term with
+  | Some t ->
+    Buffer.add_string buf (terminator_to_string t);
+    Buffer.add_char buf '\n'
+  | None -> Buffer.add_string buf "  <unterminated>\n");
+  Buffer.contents buf
+
+let fkind_to_string = function
+  | Func.Kernel -> "kernel"
+  | Func.Device -> "device"
+  | Func.Host -> "host"
+
+let func_to_string (f : Func.t) =
+  let buf = Buffer.create 1024 in
+  let params =
+    List.mapi
+      (fun idx (name, ty) -> Printf.sprintf "%s %%%d /*%s*/" (Types.to_string ty) idx name)
+      f.params
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "define %s %s @%s(%s) {\n" (fkind_to_string f.fkind)
+       (Types.to_string f.ret) f.name
+       (String.concat ", " params));
+  List.iter (fun b -> Buffer.add_string buf (block_to_string f b)) f.blocks;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let module_to_string (m : Irmod.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "; module %s\n" m.name);
+  List.iter
+    (fun (name, params, ret) ->
+      Buffer.add_string buf
+        (Printf.sprintf "declare %s @%s(%s)\n" (Types.to_string ret) name
+           (String.concat ", " (List.map Types.to_string params))))
+    m.declares;
+  List.iter
+    (fun f ->
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (func_to_string f))
+    m.funcs;
+  Buffer.contents buf

@@ -1,0 +1,54 @@
+(* First-order types of the Bitc IR.  The IR is deliberately close to the
+   LLVM subset that clang emits for CUDA kernels at -O0: scalars, pointers
+   tagged with an address space, and function types for declarations. *)
+
+type space =
+  | Generic
+  | Global (* device global memory *)
+  | Shared (* per-CTA scratchpad *)
+  | Local (* per-thread stack (alloca) *)
+
+type ty =
+  | I1 (* booleans; one byte in memory *)
+  | I32
+  | F32
+  | Ptr of ty * space
+  | Void
+
+let rec equal a b =
+  match a, b with
+  | I1, I1 | I32, I32 | F32, F32 | Void, Void -> true
+  | Ptr (ta, sa), Ptr (tb, sb) -> equal ta tb && sa = sb
+  | (I1 | I32 | F32 | Ptr _ | Void), _ -> false
+
+(* Size of a value of this type in device memory, in bytes. *)
+let size_of = function
+  | I1 -> 1
+  | I32 | F32 -> 4
+  | Ptr _ -> 8
+  | Void -> 0
+
+let is_pointer = function Ptr _ -> true | I1 | I32 | F32 | Void -> false
+let is_float = function F32 -> true | I1 | I32 | Ptr _ | Void -> false
+
+let pointee = function
+  | Ptr (ty, _) -> ty
+  | (I1 | I32 | F32 | Void) as ty ->
+    invalid_arg (Printf.sprintf "Types.pointee: not a pointer (%d)" (size_of ty))
+
+let space_to_string = function
+  | Generic -> "generic"
+  | Global -> "global"
+  | Shared -> "shared"
+  | Local -> "local"
+
+let rec to_string = function
+  | I1 -> "i1"
+  | I32 -> "i32"
+  | F32 -> "f32"
+  | Void -> "void"
+  | Ptr (ty, Generic) -> to_string ty ^ "*"
+  | Ptr (ty, space) ->
+    Printf.sprintf "%s addrspace(%s)*" (to_string ty) (space_to_string space)
+
+let pp fmt ty = Format.pp_print_string fmt (to_string ty)

@@ -1,0 +1,32 @@
+(* Operands of Bitc instructions.  Registers are virtual and unbounded;
+   function parameters occupy the first registers of a function. *)
+
+type t =
+  | Reg of int
+  | Int of int (* i32 immediate *)
+  | Float of float (* f32 immediate *)
+  | Bool of bool (* i1 immediate *)
+  | Null (* null pointer *)
+
+let equal a b =
+  match a, b with
+  | Reg x, Reg y -> x = y
+  | Int x, Int y -> x = y
+  | Float x, Float y -> Float.equal x y
+  | Bool x, Bool y -> x = y
+  | Null, Null -> true
+  | (Reg _ | Int _ | Float _ | Bool _ | Null), _ -> false
+
+let is_const = function
+  | Int _ | Float _ | Bool _ | Null -> true
+  | Reg _ -> false
+
+let to_string = function
+  | Reg r -> Printf.sprintf "%%%d" r
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%h" f
+  | Bool true -> "true"
+  | Bool false -> "false"
+  | Null -> "null"
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)

@@ -1,0 +1,157 @@
+(* Module verifier: structural and type well-formedness checks run after
+   the frontend and after every instrumentation pass.  Mirrors the role
+   of LLVM's verifier in the paper's toolchain. *)
+
+exception Invalid of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Invalid s)) fmt
+
+let check_value (m : Irmod.t) (f : Func.t) ctx expected v =
+  let actual = Func.value_ty f v in
+  (* [Null] compares equal to any pointer type. *)
+  let ok =
+    match v, expected with
+    | Value.Null, Types.Ptr _ -> true
+    | _ -> Types.equal actual expected
+  in
+  if not ok then
+    fail "%s: in %s.%s, operand %s has type %s, expected %s" m.name f.name ctx
+      (Value.to_string v) (Types.to_string actual) (Types.to_string expected)
+
+let check_instr (m : Irmod.t) (f : Func.t) (b : Block.t) (i : Instr.t) =
+  let ctx = b.name in
+  let check = check_value m f ctx in
+  let ptr_check v =
+    let ty = Func.value_ty f v in
+    if not (Types.is_pointer ty) then
+      fail "%s: in %s.%s, %s used as pointer but has type %s" m.name f.name ctx
+        (Value.to_string v) (Types.to_string ty)
+  in
+  (match i.kind with
+  | Alloca (_, n) | Shared_alloca (_, n) ->
+    if n <= 0 then fail "%s: %s.%s alloca with count %d" m.name f.name ctx n
+  | Load ptr ->
+    ptr_check ptr;
+    if not (Types.equal (Types.pointee (Func.value_ty f ptr)) i.ty) then
+      fail "%s: %s.%s load type mismatch" m.name f.name ctx
+  | Store { ptr; value; value_ty } ->
+    ptr_check ptr;
+    check value_ty value;
+    if not (Types.equal (Types.pointee (Func.value_ty f ptr)) value_ty) then
+      fail "%s: %s.%s store type mismatch" m.name f.name ctx
+  | Gep { base; index; elem } ->
+    ptr_check base;
+    check Types.I32 index;
+    if not (Types.equal (Types.pointee (Func.value_ty f base)) elem) then
+      fail "%s: %s.%s gep element type mismatch" m.name f.name ctx
+  | Binop (_, ty, a, bv) ->
+    check ty a;
+    check ty bv
+  | Unop (op, a) -> (
+    match op with
+    | Instr.Int_to_float -> check Types.I32 a
+    | Instr.Float_to_int | Instr.Sqrt | Instr.Exp | Instr.Log | Instr.Fabs ->
+      check Types.F32 a
+    | Instr.Neg | Instr.Not -> ())
+  | Cmp (_, ty, a, bv) ->
+    check ty a;
+    check ty bv
+  | Select (c, a, bv) ->
+    check Types.I1 c;
+    check (Func.value_ty f a) bv
+  | Call { callee; args } -> (
+    let signature =
+      match Irmod.find_func m callee with
+      | Some g -> Some (List.map snd g.Func.params, g.Func.ret)
+      | None -> Irmod.find_declare m callee
+    in
+    match signature with
+    | None -> fail "%s: %s.%s calls undeclared function %s" m.name f.name ctx callee
+    | Some (params, ret) ->
+      if List.length params <> List.length args then
+        fail "%s: %s.%s call to %s: arity %d vs %d" m.name f.name ctx callee
+          (List.length params) (List.length args);
+      List.iter2 check params args;
+      if not (Types.equal ret i.ty) then
+        fail "%s: %s.%s call to %s: result type mismatch" m.name f.name ctx callee)
+  | Special _ | Sync -> ()
+  | Atomic_add { ptr; value; value_ty } ->
+    ptr_check ptr;
+    check value_ty value
+  | Ptr_cast p -> ptr_check p);
+  match i.result with
+  | None -> ()
+  | Some r ->
+    if not (Types.equal (Func.reg_ty f r) i.ty) then
+      fail "%s: %s.%s result %%%d type mismatch" m.name f.name ctx r
+
+let check_func (m : Irmod.t) (f : Func.t) =
+  if f.blocks = [] then fail "%s: function %s has no blocks" m.name f.name;
+  (* Unique block names, all terminated, branch targets exist. *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Block.t) ->
+      if Hashtbl.mem seen b.name then
+        fail "%s: %s has duplicate block %s" m.name f.name b.name;
+      Hashtbl.replace seen b.name ();
+      match b.term with
+      | None -> fail "%s: %s.%s is unterminated" m.name f.name b.name
+      | Some term ->
+        List.iter
+          (fun target ->
+            if Func.find_block f target = None then
+              fail "%s: %s.%s branches to unknown block %s" m.name f.name b.name
+                target)
+          (Instr.successors term);
+        (match term with
+        | Instr.Ret None ->
+          if not (Types.equal f.ret Types.Void) then
+            fail "%s: %s returns void but declared %s" m.name f.name
+              (Types.to_string f.ret)
+        | Instr.Ret (Some v) -> check_value m f b.name f.ret v
+        | Instr.Cond_br (c, _, _) -> check_value m f b.name Types.I1 c
+        | Instr.Br _ -> ()))
+    f.blocks;
+  (* Each register assigned at most once (params + instruction results). *)
+  let assigned = Hashtbl.create 64 in
+  List.iteri (fun i _ -> Hashtbl.replace assigned i ()) f.params;
+  Func.iter_instrs f (fun b i ->
+      ignore b;
+      match i.Instr.result with
+      | None -> ()
+      | Some r ->
+        if Hashtbl.mem assigned r then
+          fail "%s: %s assigns %%%d twice" m.name f.name r;
+        Hashtbl.replace assigned r ());
+  (* Every used register is assigned somewhere (flow-insensitive; the
+     frontend's alloca discipline guarantees dominance). *)
+  let check_uses vs =
+    List.iter
+      (function
+        | Value.Reg r when not (Hashtbl.mem assigned r) ->
+          fail "%s: %s uses undefined register %%%d" m.name f.name r
+        | Value.Reg _ | Value.Int _ | Value.Float _ | Value.Bool _ | Value.Null -> ())
+      vs
+  in
+  Func.iter_instrs f (fun _ i -> check_uses (Instr.operands i));
+  List.iter
+    (fun (b : Block.t) ->
+      match b.term with
+      | Some t -> check_uses (Instr.terminator_operands t)
+      | None -> ())
+    f.blocks;
+  (* Instruction-level type checks. *)
+  Func.iter_instrs f (fun b i -> check_instr m f b i)
+
+let run (m : Irmod.t) = List.iter (check_func m) m.funcs
+
+let run_exn = run
+
+let check m =
+  match run m with
+  | () -> Ok ()
+  | exception Invalid msg -> Error msg
+  (* structural lookups (e.g. a register that was never allocated) raise
+     Invalid_argument from the accessors; report them as verification
+     failures rather than crashing *)
+  | exception Invalid_argument msg -> Error msg

@@ -1,0 +1,235 @@
+(* CUDAAdvisor's front door: the three-component pipeline of Figure 1
+   (instrumentation engine -> profiler -> analyzer), wired end to end.
+
+   - [instrument_source] runs the engine: MiniCUDA -> bitcode ->
+     instrumented bitcode -> PTX (Figure 2);
+   - [profile] runs a workload under the profiler and returns a session
+     holding the raw profiles;
+   - the analysis accessors produce the metrics of Section 4.2. *)
+
+type compiled = {
+  modul : Bitc.Irmod.t;
+  manifest : Passes.Manifest.t option; (* None when uninstrumented *)
+  prog : Ptx.Isa.prog;
+}
+
+(* Compile device source; when [instrument] is set, run the engine with
+   the given optional-instrumentation selection. *)
+let compile_source ?instrument ~file src =
+  let modul = Minicuda.Frontend.compile ~file src in
+  let manifest =
+    match instrument with
+    | None -> None
+    | Some options ->
+      let r = Passes.Instrument.run ~options modul in
+      Some r.Passes.Instrument.manifest
+  in
+  { modul; manifest; prog = Ptx.Codegen.gen_module modul }
+
+let instrument_source ?(options = Passes.Instrument.all) ~file src =
+  compile_source ~instrument:options ~file src
+
+(* ----- profiling sessions ----- *)
+
+type session = {
+  workload : Workloads.Common.t;
+  arch : Gpusim.Arch.t;
+  profiler : Profiler.Profile.t;
+  host : Hostrt.Host.t;
+  scale : int;
+}
+
+(* Default instrumentation for profiling sessions: memory + control
+   flow, as in the paper's case studies (arithmetic hooks are opt-in). *)
+let default_options =
+  { Passes.Instrument.memory = true; control_flow = true; arithmetic = false }
+
+(* Run [workload] fully instrumented under the profiler. *)
+let profile ?(options = default_options) ?(keep_mem_events = true) ?scale
+    ~arch (workload : Workloads.Common.t) =
+  let scale = Option.value scale ~default:workload.default_scale in
+  let compiled =
+    compile_source ~instrument:options ~file:workload.source_file workload.source
+  in
+  let manifest = Option.get compiled.manifest in
+  let profiler = Profiler.Profile.create ~keep_mem_events ~manifest () in
+  let host = Hostrt.Host.create ~profiler ~arch ~prog:compiled.prog () in
+  workload.run host ~scale;
+  { workload; arch; profiler; host; scale }
+
+(* Run [workload] natively (no instrumentation, no profiler); returns
+   total kernel cycles — the baseline of the overhead study (Fig. 10)
+   and of the bypassing experiments (Figs. 6/7). *)
+let run_native ?(l1_enabled = true) ?(transform = fun p -> p) ?scale ~arch
+    (workload : Workloads.Common.t) =
+  let scale = Option.value scale ~default:workload.default_scale in
+  let compiled = compile_source ~file:workload.source_file workload.source in
+  let prog = transform compiled.prog in
+  let host = Hostrt.Host.create ~l1_enabled ~arch ~prog () in
+  workload.run host ~scale;
+  (Hostrt.Host.total_kernel_cycles host, host)
+
+(* ----- analyzer accessors (Section 4.2) ----- *)
+
+let instances session = Profiler.Profile.instances session.profiler
+
+let reuse_distance ?granularity session =
+  Analysis.Reuse_distance.merge
+    (List.map (Analysis.Reuse_distance.of_instance ?granularity) (instances session))
+
+let mem_divergence ?line_size session =
+  let line_size = Option.value line_size ~default:session.arch.Gpusim.Arch.line_size in
+  Analysis.Mem_divergence.merge
+    (List.map (Analysis.Mem_divergence.of_instance ~line_size) (instances session))
+
+let branch_divergence session =
+  Analysis.Branch_divergence.of_instances (instances session)
+
+(* ----- the bypassing study (Section 4.2-(D)) ----- *)
+
+type bypass_experiment = {
+  app : string;
+  arch_name : string;
+  warps_per_cta : int;
+  baseline_cycles : int; (* no bypassing: every warp uses L1 *)
+  (* (warps allowed to cache, cycles) for every setting tried *)
+  sweep : (int * int) list;
+  oracle_warps : int;
+  oracle_cycles : int;
+  predicted_warps : int; (* from Eq. (1) *)
+  predicted_cycles : int;
+}
+
+let rewrite_all_kernels prog ~warps_to_cache =
+  List.fold_left
+    (fun p (name, f) ->
+      if f.Ptx.Isa.is_kernel then
+        Ptx.Bypass.rewrite_prog p ~kernel:name ~warps_to_cache
+      else p)
+    prog prog.Ptx.Isa.funcs
+
+(* Run the full study for one app on one architecture: a profiled run
+   feeds Eq. (1); the oracle exhaustively sweeps the number of caching
+   warps like [31] does in its sampling phase. *)
+let bypass_study ?scale ~arch (workload : Workloads.Common.t) =
+  let session = profile ?scale ~arch workload in
+  (* Eq. (1) multiplies R.D. by the cache-line size, i.e. the reuse
+     footprint is counted in cache lines: use the line-based RD model. *)
+  let rd =
+    reuse_distance
+      ~granularity:(Analysis.Reuse_distance.Cache_line arch.Gpusim.Arch.line_size)
+      session
+  in
+  let md = mem_divergence session in
+  let warps_per_cta = workload.warps_per_cta in
+  (* CTAs resident per SM: the occupancy limit capped by how many CTAs
+     the application's launches actually put on each SM *)
+  let occupancy = Gpusim.Gpu.occupancy_limit arch ~warps_per_cta ~shared_bytes:0 in
+  let num_sms = arch.Gpusim.Arch.num_sms in
+  let ctas_per_sm =
+    List.fold_left
+      (fun acc (_, (r : Gpusim.Gpu.result)) ->
+        max acc (min occupancy ((r.ctas + num_sms - 1) / num_sms)))
+      1
+      (Hostrt.Host.launches session.host)
+  in
+  let inputs =
+    Analysis.Bypass_model.inputs_of ~arch ~rd ~md ~ctas_per_sm ~warps_per_cta
+  in
+  let predicted_warps = Analysis.Bypass_model.optimal_warps inputs in
+  let run_with n =
+    let transform prog = rewrite_all_kernels prog ~warps_to_cache:n in
+    fst (run_native ?scale ~arch ~transform workload)
+  in
+  let baseline_cycles = fst (run_native ?scale ~arch workload) in
+  (* exhaustive up to 8 warps, stride 2 beyond (the curve is smooth) *)
+  let points =
+    List.init (warps_per_cta + 1) Fun.id
+    |> List.filter (fun n -> n <= 8 || n mod 2 = 0)
+  in
+  let sweep = List.map (fun n -> (n, run_with n)) points in
+  let oracle_warps, oracle_cycles =
+    List.fold_left
+      (fun (bn, bc) (n, c) -> if c < bc then (n, c) else (bn, bc))
+      (warps_per_cta, baseline_cycles)
+      sweep
+  in
+  let predicted_cycles =
+    if predicted_warps >= warps_per_cta then baseline_cycles
+    else
+      match List.assoc_opt predicted_warps sweep with
+      | Some c -> c
+      | None -> run_with predicted_warps
+  in
+  {
+    app = workload.name;
+    arch_name = arch.Gpusim.Arch.name;
+    warps_per_cta;
+    baseline_cycles;
+    sweep;
+    oracle_warps;
+    oracle_cycles;
+    predicted_warps;
+    predicted_cycles;
+  }
+
+(* ----- vertical bypassing (the alternative scheme of Section 4.2-(D)) ----- *)
+
+type vertical_experiment = {
+  v_app : string;
+  v_baseline_cycles : int;
+  v_cycles : int; (* with low-reuse load sites bypassed for every warp *)
+  v_sites_bypassed : int;
+  v_sites_total : int;
+}
+
+(* Profile, find the load sites with (almost) no L1-visible reuse, flip
+   them to ld.cg for every warp, and re-run. *)
+let vertical_bypass_study ?(threshold = 0.15) ?scale ~arch
+    (workload : Workloads.Common.t) =
+  let session = profile ?scale ~arch workload in
+  let line_size = arch.Gpusim.Arch.line_size in
+  let events =
+    List.concat_map Profiler.Profile.mem_events (instances session)
+  in
+  let sites = Analysis.Site_reuse.of_events ~line_size events in
+  let candidates =
+    Analysis.Site_reuse.bypass_candidates ~threshold ~line_size events
+  in
+  let should_bypass loc = List.exists (Bitc.Loc.equal loc) candidates in
+  let transform prog = Ptx.Bypass.rewrite_prog_vertical prog ~should_bypass in
+  let baseline = fst (run_native ?scale ~arch workload) in
+  let rewritten = fst (run_native ?scale ~arch ~transform workload) in
+  {
+    v_app = workload.name;
+    v_baseline_cycles = baseline;
+    v_cycles = rewritten;
+    v_sites_bypassed = List.length candidates;
+    v_sites_total = List.length sites;
+  }
+
+(* ----- the overhead study (Section 5, Figure 10) ----- *)
+
+type overhead = {
+  oh_app : string;
+  oh_arch : string;
+  native_cycles : int;
+  instrumented_cycles : int;
+  slowdown : float;
+}
+
+(* Memory + control-flow instrumentation, as in Figure 10. *)
+let overhead_study ?scale ~arch (workload : Workloads.Common.t) =
+  let native_cycles = fst (run_native ?scale ~arch workload) in
+  let options =
+    { Passes.Instrument.memory = true; control_flow = true; arithmetic = false }
+  in
+  let session = profile ~options ~keep_mem_events:false ?scale ~arch workload in
+  let instrumented_cycles = Hostrt.Host.total_kernel_cycles session.host in
+  {
+    oh_app = workload.name;
+    oh_arch = arch.Gpusim.Arch.name;
+    native_cycles;
+    instrumented_cycles;
+    slowdown = float_of_int instrumented_cycles /. float_of_int (max 1 native_cycles);
+  }

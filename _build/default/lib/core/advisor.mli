@@ -1,0 +1,137 @@
+(** CUDAAdvisor's front door: the three-component pipeline of the
+    paper's Figure 1 — instrumentation engine, profiler and analyzer —
+    wired end to end.
+
+    Typical use:
+    {[
+      let arch = Gpusim.Arch.kepler_k40c () in
+      let session = Advisor.profile ~arch (Workloads.Registry.find "bfs") in
+      let rd = Advisor.reuse_distance session in
+      let md = Advisor.mem_divergence session in
+      ...
+    ]} *)
+
+(** A compiled device module: IR, optional instrumentation manifest and
+    generated PTX. *)
+type compiled = {
+  modul : Bitc.Irmod.t;
+  manifest : Passes.Manifest.t option;  (** [None] when uninstrumented *)
+  prog : Ptx.Isa.prog;
+}
+
+(** Compile MiniCUDA device source, optionally running the
+    instrumentation engine with the given option set. *)
+val compile_source :
+  ?instrument:Passes.Instrument.options -> file:string -> string -> compiled
+
+(** [compile_source] with instrumentation always on (defaults to all
+    three optional categories). *)
+val instrument_source :
+  ?options:Passes.Instrument.options -> file:string -> string -> compiled
+
+(** Default instrumentation for profiling sessions: memory +
+    control-flow, as in the paper's case studies. *)
+val default_options : Passes.Instrument.options
+
+(** A completed profiling run of one workload: the profiler holds the
+    raw traces, the host the launch results. *)
+type session = {
+  workload : Workloads.Common.t;
+  arch : Gpusim.Arch.t;
+  profiler : Profiler.Profile.t;
+  host : Hostrt.Host.t;
+  scale : int;
+}
+
+(** Instrument [workload], run it on the simulated [arch] under the
+    profiler, and return the session.  [keep_mem_events:false] drops the
+    raw memory trace (for overhead-only runs). *)
+val profile :
+  ?options:Passes.Instrument.options ->
+  ?keep_mem_events:bool ->
+  ?scale:int ->
+  arch:Gpusim.Arch.t ->
+  Workloads.Common.t ->
+  session
+
+(** Run [workload] without instrumentation.  [transform] rewrites the
+    PTX before execution (e.g. bypassing); returns total kernel cycles
+    and the host. *)
+val run_native :
+  ?l1_enabled:bool ->
+  ?transform:(Ptx.Isa.prog -> Ptx.Isa.prog) ->
+  ?scale:int ->
+  arch:Gpusim.Arch.t ->
+  Workloads.Common.t ->
+  int * Hostrt.Host.t
+
+(** Kernel instances of the session, in launch order. *)
+val instances : session -> Profiler.Profile.instance list
+
+(** Whole-application reuse-distance result (Section 4.2-(A)), merged
+    over all kernel instances. *)
+val reuse_distance :
+  ?granularity:Analysis.Reuse_distance.granularity ->
+  session ->
+  Analysis.Reuse_distance.result
+
+(** Whole-application memory-divergence distribution (Section 4.2-(B)).
+    [line_size] defaults to the session architecture's. *)
+val mem_divergence : ?line_size:int -> session -> Analysis.Mem_divergence.result
+
+(** Whole-application branch divergence (Section 4.2-(C), Table 3). *)
+val branch_divergence : session -> Analysis.Branch_divergence.result
+
+(** One row of Figures 6/7: baseline vs exhaustive-oracle vs Eq.-(1)
+    prediction for horizontal cache bypassing. *)
+type bypass_experiment = {
+  app : string;
+  arch_name : string;
+  warps_per_cta : int;
+  baseline_cycles : int;
+  sweep : (int * int) list;  (** (caching warps per CTA, cycles) *)
+  oracle_warps : int;
+  oracle_cycles : int;
+  predicted_warps : int;
+  predicted_cycles : int;
+}
+
+(** Rewrite every kernel of [prog] for horizontal bypassing with the
+    given number of caching warps (Listing 5). *)
+val rewrite_all_kernels : Ptx.Isa.prog -> warps_to_cache:int -> Ptx.Isa.prog
+
+(** The full bypassing study of Section 4.2-(D): profile, predict with
+    Eq. (1), sweep the warp counts exhaustively for the oracle. *)
+val bypass_study :
+  ?scale:int -> arch:Gpusim.Arch.t -> Workloads.Common.t -> bypass_experiment
+
+(** Vertical bypassing (the alternative scheme contrasted in Section
+    4.2-(D)): load *sites* with an L1-visible reuse fraction below
+    [threshold] are flipped to [ld.cg] for every warp. *)
+type vertical_experiment = {
+  v_app : string;
+  v_baseline_cycles : int;
+  v_cycles : int;
+  v_sites_bypassed : int;
+  v_sites_total : int;
+}
+
+val vertical_bypass_study :
+  ?threshold:float ->
+  ?scale:int ->
+  arch:Gpusim.Arch.t ->
+  Workloads.Common.t ->
+  vertical_experiment
+
+(** Instrumentation overhead (Section 5, Figure 10): instrumented vs
+    native cycles under memory + control-flow instrumentation. *)
+type overhead = {
+  oh_app : string;
+  oh_arch : string;
+  native_cycles : int;
+  instrumented_cycles : int;
+  slowdown : float;
+}
+
+val overhead_study :
+  ?scale:int -> arch:Gpusim.Arch.t -> Workloads.Common.t -> overhead

@@ -1,0 +1,1 @@
+lib/gpusim/devmem.ml: Array Bytes Char Int32 Int64 Printf Value

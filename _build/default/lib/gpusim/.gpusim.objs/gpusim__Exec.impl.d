@@ -1,0 +1,1 @@
+lib/gpusim/exec.ml: Arch Array Bitc Bytes Cache Char Coalesce Devmem Float Hookev Int32 Int64 List Machine Mshr Option Printf Ptx Stats Value

@@ -1,0 +1,1 @@
+lib/gpusim/gpu.ml: Arch Array Bytes Cache Devmem Exec Heap Hookev Lazy List Machine Mshr Printf Ptx Stats

@@ -1,0 +1,1 @@
+lib/gpusim/gpu.mli: Arch Cache Devmem Hookev Ptx Stats Value

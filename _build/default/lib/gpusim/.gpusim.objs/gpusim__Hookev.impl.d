@@ -1,0 +1,1 @@
+lib/gpusim/hookev.ml: Bitc

@@ -1,0 +1,1 @@
+lib/gpusim/machine.ml: Array Bytes Cache Hashtbl Mshr Ptx Value

@@ -1,0 +1,1 @@
+lib/gpusim/value.ml: Float Printf

@@ -1,0 +1,129 @@
+(* GPU architecture configurations (Table 1 of the paper) and the timing
+   parameters of the simulator.  Latencies follow published
+   microbenchmark numbers for Kepler/Pascal in rough proportion; the
+   experiments depend on their relative magnitudes (L1 << L2 << DRAM),
+   not their absolute values. *)
+
+type hook_cost = {
+  hook_base : int; (* call overhead of the inserted analysis function *)
+  hook_per_lane : int; (* atomic serialization of trace-buffer appends *)
+  hook_mem_txn : int; (* extra global-memory traffic per trace entry *)
+}
+
+type t = {
+  name : string;
+  short_name : string;
+  compute_capability : string;
+  num_sms : int;
+  warp_size : int;
+  max_warps_per_sm : int;
+  max_ctas_per_sm : int;
+  max_threads_per_cta : int;
+  shared_mem_per_sm : int;
+  (* L1 data cache *)
+  l1_size : int;
+  l1_assoc : int;
+  line_size : int; (* L1 line == coalescing granularity *)
+  l1_latency : int;
+  mshr_entries : int;
+  (* shared L2 *)
+  l2_size : int;
+  l2_assoc : int;
+  l2_latency : int;
+  l2_service : int; (* cycles of shared L2 bandwidth per transaction *)
+  dram_latency : int;
+  dram_service : int; (* cycles of shared DRAM bandwidth per transaction *)
+  (* instruction costs *)
+  alu_latency : int;
+  sfu_latency : int; (* sqrt/exp/log *)
+  branch_latency : int;
+  shared_latency : int;
+  call_latency : int;
+  atom_latency : int;
+  txn_issue : int; (* extra cycles per additional coalesced transaction *)
+  issue_gap : int; (* SM issue slot width *)
+  (* where the L1/tex cache sits: Pascal's unified cache lives in the TPC
+     between SM and NoC, which shortens the L1-miss path (Section 4.2-(D)) *)
+  l1_in_tpc : bool;
+  hook : hook_cost;
+}
+
+let default_hook_cost = { hook_base = 12; hook_per_lane = 3; hook_mem_txn = 50 }
+
+(* NVIDIA Tesla K40c (Kepler, CC 3.5).  The L1 and shared memory share
+   on-chip storage: 16/48, 32/32 or 48/16 KB splits. *)
+let kepler_k40c ?(num_sms = 15) ?(l1_kb = 16) () =
+  if l1_kb <> 16 && l1_kb <> 32 && l1_kb <> 48 then
+    invalid_arg "Arch.kepler_k40c: L1 split must be 16, 32 or 48 KB";
+  {
+    name = Printf.sprintf "NVIDIA Tesla K40c (Kepler, %dKB L1)" l1_kb;
+    short_name = Printf.sprintf "kepler-%dk" l1_kb;
+    compute_capability = "3.5";
+    num_sms;
+    warp_size = 32;
+    max_warps_per_sm = 64;
+    max_ctas_per_sm = 16;
+    max_threads_per_cta = 1024;
+    shared_mem_per_sm = (64 - l1_kb) * 1024;
+    l1_size = l1_kb * 1024;
+    l1_assoc = 4;
+    line_size = 128;
+    l1_latency = 32;
+    mshr_entries = 64;
+    l2_size = 1536 * 1024;
+    l2_assoc = 16;
+    l2_latency = 190;
+    l2_service = 1;
+    dram_latency = 350;
+    dram_service = 4;
+    alu_latency = 4;
+    sfu_latency = 10;
+    branch_latency = 2;
+    shared_latency = 26;
+    call_latency = 10;
+    atom_latency = 120;
+    txn_issue = 6;
+    issue_gap = 1;
+    l1_in_tpc = false;
+    hook = default_hook_cost;
+  }
+
+(* NVIDIA Tesla P100 (Pascal, CC 6.0): 24 KB unified L1/texture cache
+   with 32 B sectors; shared memory is a dedicated 64 KB array. *)
+let pascal_p100 ?(num_sms = 56) () =
+  {
+    name = "NVIDIA Tesla P100 (Pascal, 24KB unified L1)";
+    short_name = "pascal-24k";
+    compute_capability = "6.0";
+    num_sms;
+    warp_size = 32;
+    max_warps_per_sm = 64;
+    max_ctas_per_sm = 32;
+    max_threads_per_cta = 1024;
+    shared_mem_per_sm = 64 * 1024;
+    l1_size = 24 * 1024;
+    l1_assoc = 4;
+    line_size = 32;
+    l1_latency = 28;
+    mshr_entries = 64;
+    l2_size = 4096 * 1024;
+    l2_assoc = 16;
+    l2_latency = 160;
+    l2_service = 1;
+    dram_latency = 300;
+    dram_service = 1;
+    alu_latency = 4;
+    sfu_latency = 8;
+    branch_latency = 2;
+    shared_latency = 24;
+    call_latency = 10;
+    atom_latency = 100;
+    txn_issue = 4;
+    issue_gap = 1;
+    l1_in_tpc = true;
+    hook = default_hook_cost;
+  }
+
+(* Effective L1-miss penalty: on Pascal the unified cache sits in the
+   TPC, in front of the NoC, so the miss path to L2 is shorter. *)
+let l1_miss_to_l2_latency t = if t.l1_in_tpc then t.l2_latency - 30 else t.l2_latency

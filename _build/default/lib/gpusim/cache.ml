@@ -1,0 +1,113 @@
+(* Set-associative LRU cache model with the GPU L1 write policy of the
+   paper (Section 4.2-(A)): write-through, write-no-allocate, and
+   write-evict — a store invalidates any cached copy of its line.  The
+   same structure models the L2 (with allocate-on-write disabled there
+   too, which is a close-enough approximation for read-dominated
+   kernels). *)
+
+type stats = {
+  mutable reads : int;
+  mutable read_hits : int;
+  mutable read_misses : int;
+  mutable writes : int;
+  mutable write_evictions : int;
+}
+
+let empty_stats () =
+  { reads = 0; read_hits = 0; read_misses = 0; writes = 0; write_evictions = 0 }
+
+let add_stats a b =
+  {
+    reads = a.reads + b.reads;
+    read_hits = a.read_hits + b.read_hits;
+    read_misses = a.read_misses + b.read_misses;
+    writes = a.writes + b.writes;
+    write_evictions = a.write_evictions + b.write_evictions;
+  }
+
+let hit_rate s = if s.reads = 0 then 0. else float_of_int s.read_hits /. float_of_int s.reads
+
+type t = {
+  sets : int;
+  assoc : int;
+  line : int;
+  tags : int array; (* sets * assoc; -1 = invalid *)
+  stamps : int array; (* LRU timestamps *)
+  mutable tick : int;
+  stats : stats;
+}
+
+let create ~size ~assoc ~line =
+  if size mod (assoc * line) <> 0 then
+    invalid_arg "Cache.create: size not divisible by assoc*line";
+  let sets = size / (assoc * line) in
+  {
+    sets;
+    assoc;
+    line;
+    tags = Array.make (sets * assoc) (-1);
+    stamps = Array.make (sets * assoc) 0;
+    tick = 0;
+    stats = empty_stats ();
+  }
+
+let line_of t addr = addr / t.line
+
+(* Set index with XOR hashing of the upper line bits, as GPU caches do:
+   power-of-two strides (matrix rows) would otherwise alias into a
+   handful of sets. *)
+let set_of t line = (line lxor (line / t.sets) lxor (line / (t.sets * t.sets))) mod t.sets
+
+let find_way t set line =
+  let base = set * t.assoc in
+  let rec go w = if w = t.assoc then None else if t.tags.(base + w) = line then Some w else go (w + 1) in
+  go 0
+
+(* Read access: returns [true] on hit.  A miss allocates the line,
+   evicting the LRU way. *)
+let access_read t addr =
+  t.tick <- t.tick + 1;
+  t.stats.reads <- t.stats.reads + 1;
+  let line = line_of t addr in
+  let set = set_of t line in
+  let base = set * t.assoc in
+  match find_way t set line with
+  | Some w ->
+    t.stamps.(base + w) <- t.tick;
+    t.stats.read_hits <- t.stats.read_hits + 1;
+    true
+  | None ->
+    t.stats.read_misses <- t.stats.read_misses + 1;
+    (* victim: invalid way if any, else LRU *)
+    let victim = ref 0 in
+    (try
+       for w = 0 to t.assoc - 1 do
+         if t.tags.(base + w) = -1 then begin
+           victim := w;
+           raise Exit
+         end;
+         if t.stamps.(base + w) < t.stamps.(base + !victim) then victim := w
+       done
+     with Exit -> ());
+    t.tags.(base + !victim) <- line;
+    t.stamps.(base + !victim) <- t.tick;
+    false
+
+(* Write access under write-evict: invalidate the line if present. *)
+let access_write t addr =
+  t.tick <- t.tick + 1;
+  t.stats.writes <- t.stats.writes + 1;
+  let line = line_of t addr in
+  let set = set_of t line in
+  match find_way t set line with
+  | Some w ->
+    t.tags.((set * t.assoc) + w) <- -1;
+    t.stats.write_evictions <- t.stats.write_evictions + 1
+  | None -> ()
+
+(* Probe without side effects (used by tests). *)
+let contains t addr = find_way t (set_of t (line_of t addr)) (line_of t addr) <> None
+
+let clear t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.stamps 0 (Array.length t.stamps) 0

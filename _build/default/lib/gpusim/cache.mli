@@ -1,0 +1,44 @@
+(** Set-associative LRU cache model with the GPU L1 write policy of the
+    paper (Section 4.2-(A)): write-through, write-no-allocate,
+    write-evict.  The set index XOR-hashes the upper line bits, as GPU
+    caches do, so power-of-two strides don't alias.  Also models the
+    shared L2. *)
+
+type stats = {
+  mutable reads : int;
+  mutable read_hits : int;
+  mutable read_misses : int;
+  mutable writes : int;
+  mutable write_evictions : int;
+}
+
+val empty_stats : unit -> stats
+val add_stats : stats -> stats -> stats
+val hit_rate : stats -> float
+
+type t = {
+  sets : int;
+  assoc : int;
+  line : int;
+  tags : int array;
+  stamps : int array;
+  mutable tick : int;
+  stats : stats;
+}
+
+(** [size] must be divisible by [assoc * line]. *)
+val create : size:int -> assoc:int -> line:int -> t
+
+val line_of : t -> int -> int
+val set_of : t -> int -> int
+
+(** Read access: true on hit; a miss allocates the line (LRU victim). *)
+val access_read : t -> int -> bool
+
+(** Write under write-evict: invalidates the line if present. *)
+val access_write : t -> int -> unit
+
+(** Probe without side effects. *)
+val contains : t -> int -> bool
+
+val clear : t -> unit

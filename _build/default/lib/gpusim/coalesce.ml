@@ -1,0 +1,22 @@
+(* The memory coalescing unit: combines the per-lane addresses of one
+   warp memory instruction into transactions of cache-line granularity
+   (128 B on Kepler, 32 B sectors on Pascal).  The number of unique
+   lines touched is exactly the paper's per-instruction memory
+   divergence measure (Figure 5). *)
+
+(* Unique cache lines touched by [addrs] (each access [width] bytes
+   wide, so an access may straddle two lines).  Returns the sorted list
+   of line ids. *)
+let unique_lines ~line_size ~width addrs =
+  let lines =
+    List.concat_map
+      (fun addr ->
+        let first = addr / line_size in
+        let last = (addr + width - 1) / line_size in
+        if first = last then [ first ] else [ first; last ])
+      addrs
+  in
+  List.sort_uniq compare lines
+
+let transactions ~line_size ~width addrs =
+  List.length (unique_lines ~line_size ~width addrs)

@@ -1,0 +1,10 @@
+(** The memory coalescing unit: combines the per-lane addresses of one
+    warp memory instruction into cache-line-granularity transactions.
+    The number of unique lines touched is exactly the paper's
+    per-instruction memory divergence measure (Figure 5). *)
+
+(** Sorted unique line ids touched by the accesses ([width] bytes each;
+    an access may straddle two lines). *)
+val unique_lines : line_size:int -> width:int -> int list -> int list
+
+val transactions : line_size:int -> width:int -> int list -> int

@@ -1,0 +1,584 @@
+(* Functional + timing execution of one warp instruction.  Lanes of a
+   warp execute in lock-step under the active mask of the top SIMT-stack
+   entry; memory instructions are coalesced into cache-line transactions
+   and timed through the L1/MSHR/L2/DRAM hierarchy. *)
+
+open Machine
+
+exception Trap of { kernel : string; pc : int; loc : Bitc.Loc.t; msg : string }
+
+type ctx = {
+  arch : Arch.t;
+  prog : Ptx.Isa.prog;
+  kernel : string;
+  devmem : Devmem.t;
+  l2 : Cache.t;
+  sink : Hookev.sink;
+  stats : Stats.t;
+  grid : int * int;
+  block : int * int;
+  l1_enabled : bool;
+  (* shared bandwidth queues: next cycle at which the L2 / DRAM can
+     accept another transaction.  Thrashing saturates these, which is
+     what makes L1 hits (and bypassing) worth anything. *)
+  l2_free : int ref;
+  dram_free : int ref;
+  (* trace-buffer cursor: instrumentation hooks serialize on a global
+     atomic, the paper's first overhead source (Section 5) *)
+  hook_free : int ref;
+}
+
+let trap ctx ~pc ~loc fmt =
+  Printf.ksprintf (fun msg -> raise (Trap { kernel = ctx.kernel; pc; loc; msg })) fmt
+
+(* ----- per-lane helpers ----- *)
+
+let ev (frame : frame) lane (op : Ptx.Isa.operand) : Value.t =
+  match op with
+  | Ptx.Isa.R r -> frame.regs.(lane).(r)
+  | Ptx.Isa.I i -> Value.I i
+  | Ptx.Isa.F f -> Value.F f
+
+let first_lane mask =
+  let rec go i = if i = 32 then invalid_arg "first_lane: empty mask" else if mask land (1 lsl i) <> 0 then i else go (i + 1) in
+  go 0
+
+let int_binop ctx ~pc ~loc (op : Bitc.Instr.binop) a b =
+  match op with
+  | Add -> a + b
+  | Sub -> a - b
+  | Mul -> a * b
+  | Div -> if b = 0 then trap ctx ~pc ~loc "integer division by zero" else a / b
+  | Rem -> if b = 0 then trap ctx ~pc ~loc "integer remainder by zero" else a mod b
+  | And -> a land b
+  | Or -> a lor b
+  | Xor -> a lxor b
+  | Shl -> a lsl (b land 31)
+  | Lshr -> a lsr (b land 31)
+  | Min -> min a b
+  | Max -> max a b
+
+let float_binop ctx ~pc ~loc (op : Bitc.Instr.binop) a b =
+  match op with
+  | Add -> a +. b
+  | Sub -> a -. b
+  | Mul -> a *. b
+  | Div -> a /. b
+  | Min -> Float.min a b
+  | Max -> Float.max a b
+  | Rem | And | Or | Xor | Shl | Lshr ->
+    trap ctx ~pc ~loc "bitwise operator on float operands"
+
+let compare_vals (op : Bitc.Instr.cmp) c =
+  match op with Eq -> c = 0 | Ne -> c <> 0 | Lt -> c < 0 | Le -> c <= 0 | Gt -> c > 0 | Ge -> c >= 0
+
+(* ----- local / shared byte buffers ----- *)
+
+let bytes_read (buf : Bytes.t) ~addr ~width ~fl : Value.t =
+  match width, fl with
+  | 1, false -> Value.I (Char.code (Bytes.get buf addr))
+  | 4, false -> Value.I (Int32.to_int (Bytes.get_int32_le buf addr))
+  | 4, true -> Value.F (Int32.float_of_bits (Bytes.get_int32_le buf addr))
+  | 8, false -> Value.I (Int64.to_int (Bytes.get_int64_le buf addr))
+  | _ -> invalid_arg "bytes_read: unsupported width"
+
+let bytes_write (buf : Bytes.t) ~addr ~width ~fl (v : Value.t) =
+  match width, fl with
+  | 1, false -> Bytes.set buf addr (Char.chr (Value.to_int v land 0xff))
+  | 4, false -> Bytes.set_int32_le buf addr (Int32.of_int (Value.to_int v))
+  | 4, true -> Bytes.set_int32_le buf addr (Int32.bits_of_float (Value.to_float v))
+  | 8, false -> Bytes.set_int64_le buf addr (Int64.of_int (Value.to_int v))
+  | _ -> invalid_arg "bytes_write: unsupported width"
+
+(* ----- timing of global transactions ----- *)
+
+(* Time one fill from the L2/DRAM side issued at [now]: accounts for the
+   shared bandwidth queues and returns the added latency beyond the
+   L1-miss base path. *)
+let l2_side_fill ctx ?(sector = false) ~scale ~now line_addr =
+  let arch = ctx.arch in
+  (* 32 B sector requests ride the wide L2 crossbar for free; full-line
+     fills consume an L2 queue slot *)
+  let start =
+    if sector then now
+    else begin
+      let s = max now !(ctx.l2_free) in
+      ctx.l2_free := s + arch.l2_service;
+      s
+    end
+  in
+  if Cache.access_read ctx.l2 line_addr then start - now
+  else begin
+    let dram_start = max start !(ctx.dram_free) in
+    ctx.dram_free := dram_start + max 1 (arch.dram_service / scale);
+    dram_start - now + (arch.dram_latency - arch.l2_latency)
+  end
+
+(* Time one read transaction on line [line_addr] issued at [now];
+   returns data-arrival time.  [granularity] is the transaction size in
+   bytes: full L1 lines for caching loads, 32 B sectors for bypassed
+   ones, which scales the bandwidth they consume. *)
+let time_read_txn ctx (sm : sm) ~cop ~granularity ~now line_addr =
+  let arch = ctx.arch in
+  let scale = max 1 (arch.line_size / max 1 granularity) in
+  match cop with
+  | Ptx.Isa.Ca when ctx.l1_enabled ->
+    (* serial tag-port lookup: divergent accesses queue here *)
+    let at = max now sm.l1_port_free in
+    sm.l1_port_free <- at + 1;
+    if Cache.access_read sm.l1 line_addr then at + arch.l1_latency
+    else
+      let latency start =
+        arch.l1_latency + Arch.l1_miss_to_l2_latency arch
+        + l2_side_fill ctx ~scale:1 ~now:start line_addr
+      in
+      Mshr.acquire sm.mshr ~line:(line_addr / arch.line_size) ~now:at ~latency
+  | Ptx.Isa.Ca | Ptx.Isa.Cg ->
+    (* bypass L1: straight to L2/DRAM through the TPC-level sector path,
+       which has ample bandwidth for 32 B sectors *)
+    now + Arch.l1_miss_to_l2_latency arch
+    + l2_side_fill ctx ~scale ~sector:(scale > 1) ~now line_addr
+
+(* Stores are write-through fire-and-forget: they do not stall the warp
+   but they evict L1/L2 copies and consume shared bandwidth. *)
+let time_write_txn ctx (sm : sm) ~now line_addr =
+  if ctx.l1_enabled then begin
+    (* write-evict probe occupies the tag port too *)
+    sm.l1_port_free <- max now sm.l1_port_free + 1;
+    Cache.access_write sm.l1 line_addr
+  end;
+  Cache.access_write ctx.l2 line_addr;
+  let start = max now !(ctx.l2_free) in
+  ctx.l2_free := start + ctx.arch.l2_service;
+  let dram_start = max start !(ctx.dram_free) in
+  ctx.dram_free := dram_start + ctx.arch.dram_service
+
+(* ----- special registers ----- *)
+
+let sreg_value ctx (warp : warp) lane (which : Bitc.Instr.special) =
+  let bx, by = ctx.block in
+  let gx, gy = ctx.grid in
+  ignore by;
+  let lin = (warp.warp_id * 32) + lane in
+  match which with
+  | Tid_x -> lin mod bx
+  | Tid_y -> lin / bx
+  | Ctaid_x -> warp.cta.cta_x
+  | Ctaid_y -> warp.cta.cta_y
+  | Ntid_x -> fst ctx.block
+  | Ntid_y -> snd ctx.block
+  | Nctaid_x -> gx
+  | Nctaid_y -> gy
+  | Warpid -> warp.warp_id
+
+(* ----- SIMT stack maintenance ----- *)
+
+(* Pop reconverged entries and completed frames until the warp is ready
+   to execute, finished, or at a barrier. *)
+let rec normalize (warp : warp) =
+  match warp.frames with
+  | [] -> ()
+  | frame :: rest -> (
+    match frame.stack with
+    | [] ->
+      (* every lane returned: pop the frame, deliver return values *)
+      warp.frames <- rest;
+      (match rest, frame.ret_dst with
+      | caller :: _, Some dst ->
+        List.iter
+          (fun lane -> caller.regs.(lane).(dst) <- frame.retvals.(lane))
+          (lanes_of_mask frame.init_mask)
+      | _, _ -> ());
+      if rest = [] then begin
+        warp.status <- Finished;
+        warp.cta.finished_warps <- warp.cta.finished_warps + 1
+      end
+      else normalize warp
+    | entry :: below ->
+      if entry.pc = entry.rpc then begin
+        frame.stack <- below;
+        normalize warp
+      end)
+
+(* ----- hook dispatch ----- *)
+
+let dispatch_hook ctx (warp : warp) (frame : frame) ~pc ~mask ~issue ~name ~args =
+  let loc = frame.func.locs.(pc) in
+  let lanes = lanes_of_mask mask in
+  let fl = first_lane mask in
+  let evi op = Value.to_int (ev frame fl op) in
+  let cta = warp.cta.cta_linear in
+  let event =
+    match name, (args : Ptx.Isa.operand list) with
+    | "__ca_record_mem", [ addr; bits; _line; _col; kind ] ->
+      let accesses =
+        Array.of_list
+          (List.map (fun lane -> (lane, Value.to_int (ev frame lane addr))) lanes)
+      in
+      Some
+        (Hookev.Mem
+           { kernel = ctx.kernel; cta; warp = warp.warp_id; loc; bits = evi bits;
+             kind = evi kind; accesses })
+    | "__ca_record_bb", [ bb_id; _line; _col ] ->
+      Some
+        (Hookev.Bb
+           { kernel = ctx.kernel; cta; warp = warp.warp_id; bb_id = evi bb_id; loc;
+             active_mask = mask; live_mask = warp.live_mask })
+    | ("__ca_record_arith_i" | "__ca_record_arith_f"), [ code; a; b; _line; _col ] ->
+      let operands =
+        Array.of_list
+          (List.map
+             (fun lane ->
+               (lane, Value.to_float (ev frame lane a), Value.to_float (ev frame lane b)))
+             lanes)
+      in
+      Some
+        (Hookev.Arith
+           { kernel = ctx.kernel; cta; warp = warp.warp_id; code = evi code; loc;
+             operands })
+    | "__ca_push_call", [ callsite ] ->
+      Some
+        (Hookev.Call
+           { kernel = ctx.kernel; cta; warp = warp.warp_id; callsite = evi callsite;
+             mask; push = true })
+    | "__ca_pop_call", [ callsite ] ->
+      Some
+        (Hookev.Call
+           { kernel = ctx.kernel; cta; warp = warp.warp_id; callsite = evi callsite;
+             mask; push = false })
+    | _ -> trap ctx ~pc ~loc "unknown or malformed hook %s" name
+  in
+  Option.iter ctx.sink event;
+  ctx.stats.hook_calls <- ctx.stats.hook_calls + 1;
+  (* overhead model (Section 5): the inserted analysis function performs
+     one atomic trace-buffer append per active thread — serialized
+     globally — plus the entry's global-memory traffic *)
+  let h = ctx.arch.hook in
+  let busy = h.hook_base + (h.hook_per_lane * popcount mask) in
+  let start = max issue !(ctx.hook_free) in
+  ctx.hook_free := start + busy;
+  start - issue + busy + h.hook_mem_txn
+
+(* ----- one warp instruction ----- *)
+
+
+(* Source registers an instruction reads, for the scoreboard. *)
+let srcs_of_inst (inst : Ptx.Isa.inst) =
+  let of_op acc (op : Ptx.Isa.operand) =
+    match op with Ptx.Isa.R r -> r :: acc | Ptx.Isa.I _ | Ptx.Isa.F _ -> acc
+  in
+  let of_pred acc = function Some (r, _) -> r :: acc | None -> acc in
+  match inst with
+  | Ptx.Isa.Mov { src; _ } -> of_op [] src
+  | Ptx.Isa.Iop { a; b; _ } | Ptx.Isa.Fop { a; b; _ } -> of_op (of_op [] a) b
+  | Ptx.Isa.Unop { a; _ } -> of_op [] a
+  | Ptx.Isa.Setp { a; b; _ } -> of_op (of_op [] a) b
+  | Ptx.Isa.Selp { cond; a; b; _ } -> of_op (of_op (of_op [] cond) a) b
+  | Ptx.Isa.Ld { addr; pred; _ } -> of_pred (of_op [] addr) pred
+  | Ptx.Isa.St { addr; src; pred; _ } -> of_pred (of_op (of_op [] addr) src) pred
+  | Ptx.Isa.Atom { addr; src; _ } -> of_op (of_op [] addr) src
+  | Ptx.Isa.Bra _ -> []
+  | Ptx.Isa.Cond_bra { pr; _ } -> [ pr ]
+  | Ptx.Isa.Call { args; _ } -> List.fold_left of_op [] args
+  | Ptx.Isa.Ret (Some op) -> of_op [] op
+  | Ptx.Isa.Ret None -> []
+  | Ptx.Isa.Bar -> []
+  | Ptx.Isa.Sreg _ -> []
+  | Ptx.Isa.Hook { args; _ } -> List.fold_left of_op [] args
+
+(* Execute the next instruction of [warp] on [sm].
+
+   Timing model: instructions issue in program order once their source
+   registers are ready (scoreboard).  ALU results become ready after the
+   unit latency while the warp keeps issuing (pipelined); global loads
+   mark their destination ready when the fill arrives, so independent
+   work — including further loads — overlaps outstanding misses
+   (memory-level parallelism).  Local/shared accesses and control flow
+   serialize the warp. *)
+let step ctx (sm : sm) (warp : warp) =
+  normalize warp;
+  match warp.frames with
+  | [] -> ()
+  | frame :: _ -> (
+    let entry = List.hd frame.stack in
+    let pc = entry.pc in
+    let mask = entry.mask in
+    let body = frame.func.body in
+    let inst = body.(pc) in
+    let loc () = frame.func.locs.(pc) in
+    let srcs_ready =
+      List.fold_left (fun acc r -> max acc frame.reg_ready.(r)) 0 (srcs_of_inst inst)
+    in
+    let base = max warp.ready_at sm.next_issue in
+    if srcs_ready > base then
+      (* operands still in flight: requeue without consuming an issue
+         slot so other warps fill the latency *)
+      warp.ready_at <- srcs_ready
+    else begin
+    let issue = base in
+    sm.next_issue <- issue + ctx.arch.issue_gap;
+    warp.insts <- warp.insts + 1;
+    ctx.stats.warp_insts <- ctx.stats.warp_insts + 1;
+    ctx.stats.thread_insts <- ctx.stats.thread_insts + popcount mask;
+    let lanes () = lanes_of_mask mask in
+    let arch = ctx.arch in
+    let advance () = entry.pc <- pc + 1 in
+    (* pipelined completion: the warp issues on, the consumer waits *)
+    let pipeline ~dst ~latency =
+      frame.reg_ready.(dst) <- issue + latency;
+      warp.ready_at <- issue + 1
+    in
+    (* serializing completion: the warp itself stalls *)
+    let serialize ?dst cost =
+      (match dst with Some d -> frame.reg_ready.(d) <- issue + cost | None -> ());
+      warp.ready_at <- issue + cost
+    in
+    (* apply a predicate to the active mask *)
+    let masked pred =
+      match pred with
+      | None -> mask
+      | Some (r, expect) ->
+        List.fold_left
+          (fun acc lane ->
+            let v = Value.to_int frame.regs.(lane).(r) <> 0 in
+            if v = expect then acc lor (1 lsl lane) else acc)
+          0 (lanes ())
+    in
+    match inst with
+    | Ptx.Isa.Mov { dst; src } ->
+      List.iter (fun l -> frame.regs.(l).(dst) <- ev frame l src) (lanes ());
+      advance ();
+      pipeline ~dst ~latency:1
+    | Ptx.Isa.Iop { op; dst; a; b } ->
+      List.iter
+        (fun l ->
+          let x = Value.to_int (ev frame l a) and y = Value.to_int (ev frame l b) in
+          frame.regs.(l).(dst) <- Value.I (int_binop ctx ~pc ~loc:(loc ()) op x y))
+        (lanes ());
+      advance ();
+      pipeline ~dst ~latency:arch.alu_latency
+    | Ptx.Isa.Fop { op; dst; a; b } ->
+      List.iter
+        (fun l ->
+          let x = Value.to_float (ev frame l a) and y = Value.to_float (ev frame l b) in
+          frame.regs.(l).(dst) <- Value.F (float_binop ctx ~pc ~loc:(loc ()) op x y))
+        (lanes ());
+      advance ();
+      pipeline ~dst ~latency:arch.alu_latency
+    | Ptx.Isa.Unop { op; dst; a; fl } ->
+      let apply l =
+        let v = ev frame l a in
+        let out =
+          match op with
+          | Bitc.Instr.Neg ->
+            if fl then Value.F (-.Value.to_float v) else Value.I (-Value.to_int v)
+          | Bitc.Instr.Not -> Value.I (if Value.to_int v = 0 then 1 else 0)
+          | Bitc.Instr.Int_to_float -> Value.F (float_of_int (Value.to_int v))
+          | Bitc.Instr.Float_to_int -> Value.I (int_of_float (Value.to_float v))
+          | Bitc.Instr.Sqrt -> Value.F (sqrt (Value.to_float v))
+          | Bitc.Instr.Exp -> Value.F (exp (Value.to_float v))
+          | Bitc.Instr.Log -> Value.F (log (Value.to_float v))
+          | Bitc.Instr.Fabs -> Value.F (Float.abs (Value.to_float v))
+        in
+        frame.regs.(l).(dst) <- out
+      in
+      List.iter apply (lanes ());
+      advance ();
+      let sfu =
+        match op with
+        | Bitc.Instr.Sqrt | Bitc.Instr.Exp | Bitc.Instr.Log -> true
+        | _ -> false
+      in
+      pipeline ~dst ~latency:(if sfu then arch.sfu_latency else arch.alu_latency)
+    | Ptx.Isa.Setp { op; dst; a; b; fl } ->
+      List.iter
+        (fun l ->
+          let c =
+            if fl then
+              compare (Value.to_float (ev frame l a)) (Value.to_float (ev frame l b))
+            else compare (Value.to_int (ev frame l a)) (Value.to_int (ev frame l b))
+          in
+          frame.regs.(l).(dst) <- Value.I (if compare_vals op c then 1 else 0))
+        (lanes ());
+      advance ();
+      pipeline ~dst ~latency:arch.alu_latency
+    | Ptx.Isa.Selp { dst; cond; a; b } ->
+      List.iter
+        (fun l ->
+          let c = Value.to_int (ev frame l cond) <> 0 in
+          frame.regs.(l).(dst) <- (if c then ev frame l a else ev frame l b))
+        (lanes ());
+      advance ();
+      pipeline ~dst ~latency:arch.alu_latency
+    | Ptx.Isa.Ld { dst; space; cop; addr; width; fl; pred } -> (
+      let active = masked pred in
+      advance ();
+      match space with
+      | Ptx.Isa.Local ->
+        List.iter
+          (fun l ->
+            let a = Value.to_int (ev frame l addr) in
+            frame.regs.(l).(dst) <- bytes_read frame.local.(l) ~addr:a ~width ~fl)
+          (lanes_of_mask active);
+        serialize ~dst arch.alu_latency
+      | Ptx.Isa.Shared ->
+        List.iter
+          (fun l ->
+            let a = Value.to_int (ev frame l addr) in
+            frame.regs.(l).(dst) <- bytes_read warp.cta.shared ~addr:a ~width ~fl)
+          (lanes_of_mask active);
+        ctx.stats.shared_accesses <- ctx.stats.shared_accesses + 1;
+        serialize ~dst arch.shared_latency
+      | Ptx.Isa.Global ->
+        (* a fully predicated-off load must not touch the scoreboard:
+           its twin with the complementary predicate owns [dst] *)
+        if active = 0 then serialize 1
+        else begin
+          let lanes_a = lanes_of_mask active in
+          let addrs = List.map (fun l -> Value.to_int (ev frame l addr)) lanes_a in
+          List.iter2
+            (fun l a -> frame.regs.(l).(dst) <- Devmem.read ctx.devmem ~addr:a ~width ~fl)
+            lanes_a addrs;
+          (* bypassed loads move 32 B sectors, not full L1 lines *)
+          let granularity =
+            match cop with
+            | Ptx.Isa.Ca when ctx.l1_enabled -> arch.line_size
+            | Ptx.Isa.Ca | Ptx.Isa.Cg -> min 32 arch.line_size
+          in
+          let lines = Coalesce.unique_lines ~line_size:granularity ~width addrs in
+          ctx.stats.global_loads <- ctx.stats.global_loads + 1;
+          ctx.stats.load_transactions <- ctx.stats.load_transactions + List.length lines;
+          let arrival =
+            List.fold_left
+              (fun acc line ->
+                max acc
+                  (time_read_txn ctx sm ~cop ~granularity ~now:issue (line * granularity)))
+              issue lines
+          in
+          frame.reg_ready.(dst) <- arrival;
+          warp.ready_at <- issue + arch.alu_latency + ((List.length lines - 1) * arch.txn_issue)
+        end)
+    | Ptx.Isa.St { space; addr; src; width; fl; pred; cop = _ } -> (
+      let active = masked pred in
+      advance ();
+      match space with
+      | Ptx.Isa.Local ->
+        List.iter
+          (fun l ->
+            let a = Value.to_int (ev frame l addr) in
+            bytes_write frame.local.(l) ~addr:a ~width ~fl (ev frame l src))
+          (lanes_of_mask active);
+        serialize arch.alu_latency
+      | Ptx.Isa.Shared ->
+        List.iter
+          (fun l ->
+            let a = Value.to_int (ev frame l addr) in
+            bytes_write warp.cta.shared ~addr:a ~width ~fl (ev frame l src))
+          (lanes_of_mask active);
+        ctx.stats.shared_accesses <- ctx.stats.shared_accesses + 1;
+        serialize arch.shared_latency
+      | Ptx.Isa.Global ->
+        if active = 0 then serialize 1
+        else begin
+          let lanes_a = lanes_of_mask active in
+          let addrs = List.map (fun l -> Value.to_int (ev frame l addr)) lanes_a in
+          List.iter2
+            (fun l a -> Devmem.write ctx.devmem ~addr:a ~width ~fl (ev frame l src))
+            lanes_a addrs;
+          let lines = Coalesce.unique_lines ~line_size:arch.line_size ~width addrs in
+          List.iter
+            (fun line -> time_write_txn ctx sm ~now:issue (line * arch.line_size))
+            lines;
+          ctx.stats.global_stores <- ctx.stats.global_stores + 1;
+          ctx.stats.store_transactions <-
+            ctx.stats.store_transactions + List.length lines;
+          serialize (arch.alu_latency + ((List.length lines - 1) * arch.txn_issue))
+        end)
+    | Ptx.Isa.Atom { dst; addr; src; width; fl } ->
+      let lanes_a = lanes () in
+      List.iter
+        (fun l ->
+          let a = Value.to_int (ev frame l addr) in
+          let old = Devmem.read ctx.devmem ~addr:a ~width ~fl in
+          let v = ev frame l src in
+          let fresh =
+            if fl then Value.F (Value.to_float old +. Value.to_float v)
+            else Value.I (Value.to_int old + Value.to_int v)
+          in
+          Devmem.write ctx.devmem ~addr:a ~width ~fl fresh;
+          time_write_txn ctx sm ~now:issue (a / arch.line_size * arch.line_size);
+          frame.regs.(l).(dst) <- old)
+        lanes_a;
+      ctx.stats.global_atomics <- ctx.stats.global_atomics + 1;
+      advance ();
+      serialize ~dst (arch.atom_latency + (6 * (popcount mask - 1)))
+    | Ptx.Isa.Bra { target } ->
+      entry.pc <- target;
+      serialize arch.branch_latency
+    | Ptx.Isa.Cond_bra { pr; if_true; if_false; reconv } ->
+      ctx.stats.branches <- ctx.stats.branches + 1;
+      let mt =
+        List.fold_left
+          (fun acc l ->
+            if Value.to_int frame.regs.(l).(pr) <> 0 then acc lor (1 lsl l) else acc)
+          0 (lanes ())
+      in
+      let mf = mask land lnot mt in
+      if mf = 0 then entry.pc <- if_true
+      else if mt = 0 then entry.pc <- if_false
+      else begin
+        ctx.stats.divergent_branches <- ctx.stats.divergent_branches + 1;
+        let rpc = match reconv with Some r -> r | None -> exit_pc frame.func in
+        entry.pc <- rpc;
+        frame.stack <-
+          { pc = if_true; mask = mt; rpc }
+          :: { pc = if_false; mask = mf; rpc }
+          :: frame.stack
+      end;
+      serialize arch.branch_latency
+    | Ptx.Isa.Call { callee; args; dst } ->
+      let cf = Ptx.Isa.find_func ctx.prog callee in
+      advance ();
+      let new_frame = make_frame cf ~init_mask:mask ~ret_dst:dst in
+      List.iter
+        (fun l -> List.iteri (fun i a -> new_frame.regs.(l).(i) <- ev frame l a) args)
+        (lanes ());
+      Array.fill new_frame.reg_ready 0 (Array.length new_frame.reg_ready)
+        (issue + arch.call_latency);
+      warp.frames <- new_frame :: warp.frames;
+      serialize arch.call_latency
+    | Ptx.Isa.Ret v ->
+      List.iter
+        (fun l ->
+          frame.retvals.(l) <-
+            (match v with Some op -> ev frame l op | None -> Value.zero))
+        (lanes ());
+      (match warp.frames with
+      | _ :: caller :: _ -> (
+        match frame.ret_dst with
+        | Some dst -> caller.reg_ready.(dst) <- issue + arch.call_latency
+        | None -> ())
+      | _ -> ());
+      frame.stack <- List.tl frame.stack;
+      normalize warp;
+      serialize arch.call_latency
+    | Ptx.Isa.Bar ->
+      advance ();
+      ctx.stats.barriers <- ctx.stats.barriers + 1;
+      warp.status <- At_barrier;
+      warp.barrier_arrival <- issue + 1;
+      warp.cta.at_barrier <- warp.cta.at_barrier + 1;
+      serialize 1
+    | Ptx.Isa.Sreg { dst; which } ->
+      List.iter
+        (fun l -> frame.regs.(l).(dst) <- Value.I (sreg_value ctx warp l which))
+        (lanes ());
+      advance ();
+      pipeline ~dst ~latency:1
+    | Ptx.Isa.Hook { name; args } ->
+      (* instrumentation cost serializes the warp: the inserted analysis
+         call performs atomics and trace-buffer writes inline *)
+      let cost = dispatch_hook ctx warp frame ~pc ~mask ~issue ~name ~args in
+      advance ();
+      serialize cost
+    end)

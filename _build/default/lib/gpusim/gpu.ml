@@ -1,0 +1,238 @@
+(* Kernel launch engine: CTA scheduling across SMs, per-SM greedy
+   warp scheduling driven by an event heap, barrier handling, and
+   result/statistics collection. *)
+
+exception Launch_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Launch_error s)) fmt
+
+type device = {
+  arch : Arch.t;
+  devmem : Devmem.t;
+  l2 : Cache.t;
+}
+
+let create_device arch =
+  {
+    arch;
+    devmem = Devmem.create ();
+    l2 = Cache.create ~size:arch.Arch.l2_size ~assoc:arch.Arch.l2_assoc ~line:arch.Arch.line_size;
+  }
+
+type result = {
+  cycles : int;
+  stats : Stats.t;
+  l1_stats : Cache.stats;
+  l2_stats : Cache.stats; (* delta for this launch *)
+  mshr_stalls : int;
+  mshr_merges : int;
+  ctas : int;
+  warps_per_cta : int;
+}
+
+let launch_overhead = 2_000
+let max_warp_insts = 400_000_000
+
+let occupancy_limit (arch : Arch.t) ~warps_per_cta ~shared_bytes =
+  let by_warps = arch.max_warps_per_sm / warps_per_cta in
+  let by_shared =
+    if shared_bytes = 0 then max_int else arch.shared_mem_per_sm / shared_bytes
+  in
+  max 1 (min arch.max_ctas_per_sm (min by_warps by_shared))
+
+let launch ?(sink = Hookev.null_sink) ?(l1_enabled = true) device ~prog ~kernel
+    ~grid:(gx, gy) ~block:(bx, by) ~args () : result =
+  let arch = device.arch in
+  let kf = Ptx.Isa.find_func prog kernel in
+  if not kf.is_kernel then fail "%s is not a kernel" kernel;
+  if List.length args <> kf.arity then
+    fail "%s expects %d arguments, got %d" kernel kf.arity (List.length args);
+  let threads_per_cta = bx * by in
+  if threads_per_cta <= 0 || threads_per_cta > arch.max_threads_per_cta then
+    fail "block size %dx%d out of range" bx by;
+  if gx <= 0 || gy <= 0 then fail "empty grid %dx%d" gx gy;
+  let warps_per_cta = (threads_per_cta + 31) / 32 in
+  let shared_bytes = Ptx.Isa.shared_bytes_for_launch prog kernel in
+  if shared_bytes > arch.shared_mem_per_sm then
+    fail "kernel needs %d B shared memory, SM has %d" shared_bytes
+      arch.shared_mem_per_sm;
+  let stats = Stats.create () in
+  let ctx =
+    {
+      Exec.arch;
+      prog;
+      kernel;
+      devmem = device.devmem;
+      l2 = device.l2;
+      sink;
+      stats;
+      grid = (gx, gy);
+      block = (bx, by);
+      l1_enabled;
+      l2_free = ref 0;
+      dram_free = ref 0;
+      hook_free = ref 0;
+    }
+  in
+  let sms =
+    Array.init arch.num_sms (fun i ->
+        {
+          Machine.sm_id' = i;
+          l1 = Cache.create ~size:arch.l1_size ~assoc:arch.l1_assoc ~line:arch.line_size;
+          mshr = Mshr.create arch.mshr_entries;
+          next_issue = 0;
+          l1_port_free = 0;
+          resident_ctas = 0;
+        })
+  in
+  let l2_before =
+    { device.l2.Cache.stats with Cache.reads = device.l2.Cache.stats.Cache.reads }
+  in
+  let heap : (Machine.sm * Machine.warp) Heap.t = Heap.create () in
+  let total_ctas = gx * gy in
+  let next_cta = ref 0 in
+  let end_time = ref 0 in
+  let args = Array.of_list args in
+  let make_cta ~linear ~(sm : Machine.sm) ~start_time =
+    let cx = linear mod gx and cy = linear / gx in
+    let rec cta =
+      {
+        Machine.cta_x = cx;
+        cta_y = cy;
+        cta_linear = linear;
+        shared = Bytes.make (max shared_bytes 1) '\000';
+        warps = [||];
+        at_barrier = 0;
+        finished_warps = 0;
+        sm_id = sm.Machine.sm_id';
+      }
+    and warps =
+      lazy
+        (Array.init warps_per_cta (fun w ->
+             let first_thread = w * 32 in
+             let live =
+               min 32 (threads_per_cta - first_thread) |> fun n ->
+               if n <= 0 then 0 else Machine.full_mask n
+             in
+             let frame = Machine.make_frame kf ~init_mask:live ~ret_dst:None in
+             Array.iteri
+               (fun i v ->
+                 List.iter
+                   (fun lane -> frame.Machine.regs.(lane).(i) <- v)
+                   (Machine.lanes_of_mask live))
+               args;
+             {
+               Machine.warp_id = w;
+               live_mask = live;
+               cta;
+               frames = [ frame ];
+               ready_at = start_time;
+               status = Machine.Ready;
+               barrier_arrival = 0;
+               insts = 0;
+             }))
+    in
+    cta.Machine.warps <- Lazy.force warps;
+    sm.Machine.resident_ctas <- sm.Machine.resident_ctas + 1;
+    Array.iter (fun w -> Heap.push heap w.Machine.ready_at (sm, w)) cta.Machine.warps;
+    cta
+  in
+  (* Initial CTA placement: fill SMs round-robin up to the occupancy
+     limit. *)
+  let limit = occupancy_limit arch ~warps_per_cta ~shared_bytes in
+  (try
+     for _round = 1 to limit do
+       Array.iter
+         (fun sm ->
+           if !next_cta < total_ctas then begin
+             ignore (make_cta ~linear:!next_cta ~sm ~start_time:0);
+             incr next_cta
+           end
+           else raise Exit)
+         sms
+     done
+   with Exit -> ());
+  (* Barrier release: when every non-finished warp of the CTA arrived. *)
+  let try_release_barrier (cta : Machine.cta) =
+    let active = Array.length cta.warps - cta.finished_warps in
+    if active > 0 && cta.at_barrier >= active then begin
+      let release_time =
+        Array.fold_left
+          (fun acc (w : Machine.warp) ->
+            if w.status = Machine.At_barrier then max acc w.barrier_arrival else acc)
+          0 cta.warps
+      in
+      cta.at_barrier <- 0;
+      Array.iter
+        (fun (w : Machine.warp) ->
+          if w.status = Machine.At_barrier then begin
+            w.status <- Machine.Ready;
+            w.ready_at <- release_time;
+            let sm = sms.(cta.sm_id) in
+            Heap.push heap w.ready_at (sm, w)
+          end)
+        cta.warps
+    end
+    else if active = 0 && cta.at_barrier > 0 then cta.at_barrier <- 0
+  in
+  (* Main event loop. *)
+  while not (Heap.is_empty heap) do
+    match Heap.pop heap with
+    | None -> ()
+    | Some (_, (sm, warp)) -> (
+      match warp.Machine.status with
+      | Machine.Finished | Machine.At_barrier -> ()
+      | Machine.Ready ->
+        Exec.step ctx sm warp;
+        if stats.Stats.warp_insts > max_warp_insts then
+          fail "kernel %s exceeded %d warp instructions (runaway loop?)" kernel
+            max_warp_insts;
+        end_time := max !end_time warp.Machine.ready_at;
+        let cta = warp.Machine.cta in
+        (match warp.Machine.status with
+        | Machine.Ready -> Heap.push heap warp.Machine.ready_at (sm, warp)
+        | Machine.At_barrier -> try_release_barrier cta
+        | Machine.Finished ->
+          try_release_barrier cta;
+          if cta.Machine.finished_warps = Array.length cta.Machine.warps then begin
+            sm.Machine.resident_ctas <- sm.Machine.resident_ctas - 1;
+            if !next_cta < total_ctas then begin
+              ignore
+                (make_cta ~linear:!next_cta ~sm ~start_time:warp.Machine.ready_at);
+              incr next_cta
+            end
+          end))
+  done;
+  if !next_cta < total_ctas then
+    fail "launch of %s ended with %d/%d CTAs unscheduled" kernel !next_cta total_ctas;
+  let l1_stats =
+    Array.fold_left
+      (fun acc (sm : Machine.sm) -> Cache.add_stats acc sm.l1.Cache.stats)
+      (Cache.empty_stats ()) sms
+  in
+  let l2_stats =
+    {
+      Cache.reads = device.l2.Cache.stats.Cache.reads - l2_before.Cache.reads;
+      read_hits = device.l2.Cache.stats.Cache.read_hits - l2_before.Cache.read_hits;
+      read_misses = device.l2.Cache.stats.Cache.read_misses - l2_before.Cache.read_misses;
+      writes = device.l2.Cache.stats.Cache.writes - l2_before.Cache.writes;
+      write_evictions =
+        device.l2.Cache.stats.Cache.write_evictions - l2_before.Cache.write_evictions;
+    }
+  in
+  let mshr_stalls =
+    Array.fold_left (fun acc (sm : Machine.sm) -> acc + sm.mshr.Mshr.stall_cycles) 0 sms
+  in
+  let mshr_merges =
+    Array.fold_left (fun acc (sm : Machine.sm) -> acc + sm.mshr.Mshr.merges) 0 sms
+  in
+  {
+    cycles = !end_time + launch_overhead;
+    stats;
+    l1_stats;
+    l2_stats;
+    mshr_stalls;
+    mshr_merges;
+    ctas = total_ctas;
+    warps_per_cta;
+  }

@@ -1,0 +1,51 @@
+(** Kernel launch engine: CTA scheduling across SMs, per-SM warp
+    scheduling driven by an event heap, barrier handling and statistics
+    collection.  This is the "real GPU hardware" of the paper's Figure
+    1, in simulated form. *)
+
+exception Launch_error of string
+
+(** A simulated GPU: architecture, global memory and shared L2.  Device
+    state (memory contents, L2) persists across launches, like a real
+    CUDA context. *)
+type device = {
+  arch : Arch.t;
+  devmem : Devmem.t;
+  l2 : Cache.t;
+}
+
+val create_device : Arch.t -> device
+
+(** Result of one kernel launch. *)
+type result = {
+  cycles : int;  (** launch duration including launch overhead *)
+  stats : Stats.t;
+  l1_stats : Cache.stats;  (** aggregated over SMs *)
+  l2_stats : Cache.stats;  (** delta for this launch *)
+  mshr_stalls : int;
+  mshr_merges : int;
+  ctas : int;
+  warps_per_cta : int;
+}
+
+val launch_overhead : int
+
+(** Maximum CTAs resident per SM for a kernel with the given shape. *)
+val occupancy_limit : Arch.t -> warps_per_cta:int -> shared_bytes:int -> int
+
+(** Launch [kernel] from [prog] over [grid] x [block] threads.  [sink]
+    receives instrumentation hook events; [l1_enabled:false] disables
+    L1 caching of global loads (Kepler's default for real hardware).
+    Raises {!Launch_error} on malformed launches and {!Exec.Trap} on
+    runtime faults inside the kernel. *)
+val launch :
+  ?sink:Hookev.sink ->
+  ?l1_enabled:bool ->
+  device ->
+  prog:Ptx.Isa.prog ->
+  kernel:string ->
+  grid:int * int ->
+  block:int * int ->
+  args:Value.t list ->
+  unit ->
+  result

@@ -1,0 +1,69 @@
+(* Binary min-heap keyed by integer priority, used by the simulator's
+   event loop to pick the next ready warp. *)
+
+type 'a t = {
+  mutable keys : int array;
+  mutable vals : 'a option array;
+  mutable size : int;
+}
+
+let create () = { keys = Array.make 64 max_int; vals = Array.make 64 None; size = 0 }
+
+let is_empty t = t.size = 0
+let size t = t.size
+
+let grow t =
+  let n = Array.length t.keys in
+  let keys = Array.make (2 * n) max_int in
+  let vals = Array.make (2 * n) None in
+  Array.blit t.keys 0 keys 0 t.size;
+  Array.blit t.vals 0 vals 0 t.size;
+  t.keys <- keys;
+  t.vals <- vals
+
+let swap t i j =
+  let k = t.keys.(i) in
+  t.keys.(i) <- t.keys.(j);
+  t.keys.(j) <- k;
+  let v = t.vals.(i) in
+  t.vals.(i) <- t.vals.(j);
+  t.vals.(j) <- v
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.keys.(i) < t.keys.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && t.keys.(l) < t.keys.(!smallest) then smallest := l;
+  if r < t.size && t.keys.(r) < t.keys.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t key v =
+  if t.size = Array.length t.keys then grow t;
+  t.keys.(t.size) <- key;
+  t.vals.(t.size) <- Some v;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let key = t.keys.(0) in
+    let v = t.vals.(0) in
+    t.size <- t.size - 1;
+    t.keys.(0) <- t.keys.(t.size);
+    t.vals.(0) <- t.vals.(t.size);
+    t.vals.(t.size) <- None;
+    if t.size > 0 then sift_down t 0;
+    match v with Some v -> Some (key, v) | None -> assert false
+  end

@@ -1,0 +1,12 @@
+(** Binary min-heap keyed by integer priority: the simulator's event
+    queue of ready warps. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+val push : 'a t -> int -> 'a -> unit
+
+(** Pop the minimum-key element. *)
+val pop : 'a t -> (int * 'a) option

@@ -1,0 +1,58 @@
+(* Events delivered from instrumented device code to the profiler.
+
+   The paper's [Record]/[passBasicBlock] device functions append one
+   entry per thread to a device-side trace buffer which is copied to the
+   host at kernel exit; the analyzer then regroups entries by CTA and
+   warp.  We deliver the already-grouped warp-level event (the grouping
+   key — CTA id, warp id, lane — is carried explicitly), which is the
+   same information without materializing the raw buffer. *)
+
+type mem = {
+  kernel : string;
+  cta : int; (* linear CTA id *)
+  warp : int; (* warp id within the CTA *)
+  loc : Bitc.Loc.t;
+  bits : int; (* access width in bits *)
+  kind : int; (* Hooks.mem_kind_load / _store / _atomic *)
+  (* (lane, effective byte address) for each active lane *)
+  accesses : (int * int) array;
+}
+
+type bb = {
+  kernel : string;
+  cta : int;
+  warp : int;
+  bb_id : int;
+  loc : Bitc.Loc.t;
+  active_mask : int; (* lanes executing this block entry *)
+  live_mask : int; (* lanes that exist in this warp *)
+}
+
+type arith = {
+  kernel : string;
+  cta : int;
+  warp : int;
+  code : int; (* Hooks.arith_code_* *)
+  loc : Bitc.Loc.t;
+  (* (lane, a, b) operand values, floats covering both int and float ops *)
+  operands : (int * float * float) array;
+}
+
+type call = {
+  kernel : string;
+  cta : int;
+  warp : int;
+  callsite : int;
+  mask : int;
+  push : bool; (* push = call, pop = return *)
+}
+
+type t =
+  | Mem of mem
+  | Bb of bb
+  | Arith of arith
+  | Call of call
+
+type sink = t -> unit
+
+let null_sink : sink = fun _ -> ()

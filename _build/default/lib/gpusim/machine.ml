@@ -1,0 +1,101 @@
+(* Mutable machine state of a kernel launch: warps with their SIMT
+   divergence stacks and call frames, CTAs with their shared memory and
+   barrier state, and SMs with their L1 caches and MSHRs. *)
+
+(* One entry of the post-dominator SIMT reconvergence stack (Fung et
+   al.; the scheme GPGPU-Sim and real hardware implement).  [rpc] is the
+   pc at which this entry's lanes rejoin their parent; the function exit
+   is represented by [rpc = Array.length body]. *)
+type simt_entry = {
+  mutable pc : int;
+  mutable mask : int;
+  rpc : int;
+}
+
+type frame = {
+  func : Ptx.Isa.func;
+  (* regs.(lane).(reg) *)
+  regs : Value.t array array;
+  (* scoreboard: cycle at which each register's value arrives.  Loads
+     write their functional value immediately but mark the destination
+     ready only when the fill lands, so independent instructions issue
+     in the shadow of outstanding misses (memory-level parallelism). *)
+  reg_ready : int array;
+  (* per-lane local frame for allocas *)
+  local : Bytes.t array;
+  mutable stack : simt_entry list; (* top first *)
+  init_mask : int; (* lanes that entered this call *)
+  ret_dst : int option; (* caller register receiving the return value *)
+  retvals : Value.t array; (* per lane *)
+}
+
+type warp_status = Ready | At_barrier | Finished
+
+type warp = {
+  warp_id : int; (* within its CTA *)
+  live_mask : int; (* lanes backed by real threads *)
+  cta : cta;
+  mutable frames : frame list; (* top first *)
+  mutable ready_at : int;
+  mutable status : warp_status;
+  mutable barrier_arrival : int; (* time it reached the current barrier *)
+  mutable insts : int; (* warp-level instructions issued *)
+}
+
+and cta = {
+  cta_x : int;
+  cta_y : int;
+  cta_linear : int;
+  shared : Bytes.t;
+  mutable warps : warp array;
+  mutable at_barrier : int;
+  mutable finished_warps : int;
+  sm_id : int;
+}
+
+type sm = {
+  sm_id' : int;
+  l1 : Cache.t;
+  mshr : Mshr.t;
+  mutable next_issue : int;
+  (* single L1 tag port: each L1 transaction (lookup or write-probe)
+     occupies it for one cycle, so divergent accesses contend *)
+  mutable l1_port_free : int;
+  mutable resident_ctas : int;
+}
+
+let popcount mask =
+  let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
+  go mask 0
+
+(* Lane lists per mask, memoized: the interpreter asks for the same few
+   masks millions of times per launch. *)
+let lanes_memo : (int, int list) Hashtbl.t = Hashtbl.create 256
+
+let lanes_of_mask mask =
+  match Hashtbl.find_opt lanes_memo mask with
+  | Some lanes -> lanes
+  | None ->
+    let rec go i acc =
+      if i < 0 then acc
+      else go (i - 1) (if mask land (1 lsl i) <> 0 then i :: acc else acc)
+    in
+    let lanes = go 31 [] in
+    Hashtbl.replace lanes_memo mask lanes;
+    lanes
+
+let full_mask n = if n >= 63 then invalid_arg "full_mask" else (1 lsl n) - 1
+
+let exit_pc (f : Ptx.Isa.func) = Array.length f.body
+
+let make_frame (func : Ptx.Isa.func) ~init_mask ~ret_dst =
+  {
+    func;
+    regs = Array.init 32 (fun _ -> Array.make (max func.nregs 1) Value.zero);
+    reg_ready = Array.make (max func.nregs 1) 0;
+    local = Array.init 32 (fun _ -> Bytes.make (max func.local_bytes 1) '\000');
+    stack = [ { pc = 0; mask = init_mask; rpc = exit_pc func } ];
+    init_mask;
+    ret_dst;
+    retvals = Array.make 32 Value.zero;
+  }

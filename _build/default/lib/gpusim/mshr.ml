@@ -1,0 +1,50 @@
+(* Miss-status holding registers for an SM's L1.  A bounded pool of
+   in-flight misses: a primary miss takes an entry until its fill
+   completes; secondary misses to the same line merge with the pending
+   entry.  When the pool is full a new miss stalls until the earliest
+   completion — the "MSHR allocation failure" congestion the paper's
+   bypassing case study (Section 4.2-(D)) relieves. *)
+
+type entry = { line : int; completes_at : int }
+
+type t = {
+  capacity : int;
+  mutable entries : entry list;
+  mutable stall_cycles : int; (* accumulated, for reporting *)
+  mutable merges : int;
+}
+
+let create capacity = { capacity; entries = []; stall_cycles = 0; merges = 0 }
+
+let purge t ~now = t.entries <- List.filter (fun e -> e.completes_at > now) t.entries
+
+(* Reserve an entry for a miss on [line] issued at [now]; [latency] maps
+   the time the entry is actually acquired to the fill duration (it
+   traverses the L2/DRAM bandwidth queues from that point, not from the
+   request time).  Returns the time at which the data arrives,
+   accounting for merging and for stalls when the pool is full. *)
+let acquire t ~line ~now ~latency =
+  purge t ~now;
+  match List.find_opt (fun e -> e.line = line) t.entries with
+  | Some e ->
+    t.merges <- t.merges + 1;
+    e.completes_at
+  | None ->
+    let start =
+      if List.length t.entries < t.capacity then now
+      else begin
+        let earliest =
+          List.fold_left (fun acc e -> min acc e.completes_at) max_int t.entries
+        in
+        t.stall_cycles <- t.stall_cycles + (earliest - now);
+        (* the earliest entry retires at [earliest]; drop it *)
+        t.entries <- List.filter (fun e -> e.completes_at > earliest) t.entries;
+        earliest
+      end
+    in
+    let completes_at = start + latency start in
+    t.entries <- { line; completes_at } :: t.entries;
+    completes_at
+
+let in_flight t = List.length t.entries
+let reset t = t.entries <- []

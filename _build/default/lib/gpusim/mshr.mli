@@ -1,0 +1,25 @@
+(** Miss-status holding registers for an SM's L1: a bounded pool of
+    in-flight misses.  Secondary misses to a pending line merge; when
+    the pool is full a new miss stalls until the earliest completion —
+    the "MSHR allocation failure" congestion the paper's bypassing case
+    study relieves (Section 4.2-(D)). *)
+
+type t = {
+  capacity : int;
+  mutable entries : entry list;
+  mutable stall_cycles : int;
+  mutable merges : int;
+}
+
+and entry = { line : int; completes_at : int }
+
+val create : int -> t
+
+(** Reserve an entry for a miss on [line] issued at [now].  [latency]
+    maps the acquisition time to the fill duration (it traverses the
+    bandwidth queues from that point).  Returns the data-arrival
+    time. *)
+val acquire : t -> line:int -> now:int -> latency:(int -> int) -> int
+
+val in_flight : t -> int
+val reset : t -> unit

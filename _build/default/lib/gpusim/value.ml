@@ -1,0 +1,20 @@
+(* Runtime values held in simulated registers.  Integers double as
+   device pointers (byte addresses). *)
+
+type t = I of int | F of float
+
+let zero = I 0
+
+let to_int = function
+  | I i -> i
+  | F f -> invalid_arg (Printf.sprintf "Value.to_int: float %g" f)
+
+let to_float = function F f -> f | I i -> float_of_int i
+
+let to_string = function I i -> string_of_int i | F f -> Printf.sprintf "%g" f
+
+let equal a b =
+  match a, b with
+  | I x, I y -> x = y
+  | F x, F y -> Float.equal x y
+  | I _, F _ | F _, I _ -> false

@@ -1,0 +1,15 @@
+(** Runtime values held in simulated registers; integers double as
+    device pointers (byte addresses). *)
+
+type t = I of int | F of float
+
+val zero : t
+
+(** Raises [Invalid_argument] on floats. *)
+val to_int : t -> int
+
+(** Converts integers implicitly. *)
+val to_float : t -> float
+
+val to_string : t -> string
+val equal : t -> t -> bool

@@ -1,0 +1,1 @@
+lib/hostrt/host.ml: Fun Gpusim List Option Profiler Ptx

@@ -1,0 +1,1 @@
+lib/hostrt/host.mli: Gpusim Profiler Ptx

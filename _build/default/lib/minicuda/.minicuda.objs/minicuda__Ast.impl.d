@@ -1,0 +1,1 @@
+lib/minicuda/ast.ml: Bitc

@@ -1,0 +1,1 @@
+lib/minicuda/frontend.ml: Bitc Lexer Lower Parser Printf Typecheck

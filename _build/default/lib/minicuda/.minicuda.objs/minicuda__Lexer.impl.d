@@ -1,0 +1,1 @@
+lib/minicuda/lexer.ml: List Printf String Token

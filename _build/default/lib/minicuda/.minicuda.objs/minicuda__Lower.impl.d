@@ -1,0 +1,1 @@
+lib/minicuda/lower.ml: Ast Bitc List Option Printf Tast

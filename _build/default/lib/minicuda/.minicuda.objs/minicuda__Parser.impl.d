@@ -1,0 +1,1 @@
+lib/minicuda/parser.ml: Ast Bitc Lexer List Printf Token

@@ -1,0 +1,1 @@
+lib/minicuda/tast.ml: Ast Bitc

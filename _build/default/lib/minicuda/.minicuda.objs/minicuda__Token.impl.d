@@ -1,0 +1,1 @@
+lib/minicuda/token.ml:

@@ -1,0 +1,1 @@
+lib/minicuda/typecheck.ml: Ast Bitc Hashtbl List Option Printf Tast

@@ -1,0 +1,80 @@
+(* Raw abstract syntax of MiniCUDA, produced by the parser.  Every node
+   carries the source position that becomes !dbg metadata in the IR. *)
+
+type pos = { line : int; col : int }
+
+type ty =
+  | Void
+  | Int
+  | Float
+  | Bool
+  | Ptr of ty
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | BAnd
+  | BOr
+  | BXor
+  | Shl
+  | Shr
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | LAnd (* short-circuit *)
+  | LOr (* short-circuit *)
+
+type unop = Neg | LNot | AddrOf
+
+type expr = { e : expr_kind; pos : pos }
+
+and expr_kind =
+  | Int_lit of int
+  | Float_lit of float
+  | Bool_lit of bool
+  | Var of string
+  | Builtin of string * string (* threadIdx.x, blockDim.y, ... *)
+  | Index of expr * expr (* a[i] *)
+  | Deref of expr (* *p *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Ternary of expr * expr * expr
+  | Cast of ty * expr
+  | Call of string * expr list
+
+type stmt = { s : stmt_kind; spos : pos }
+
+and stmt_kind =
+  | Decl of ty * string * expr option
+  | Shared_decl of ty * string * int (* __shared__ float tile[256]; *)
+  | Assign of expr * expr (* lvalue = rvalue *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of stmt option * expr option * stmt option * stmt list
+  | Return of expr option
+  | Expr_stmt of expr (* calls for effect, e.g. __syncthreads() *)
+  | Block of stmt list
+
+type func = {
+  fkind : Bitc.Func.fkind;
+  ret : ty;
+  name : string;
+  params : (ty * string) list;
+  body : stmt list;
+  fpos : pos;
+}
+
+type program = { file : string; funcs : func list }
+
+let rec ty_to_string = function
+  | Void -> "void"
+  | Int -> "int"
+  | Float -> "float"
+  | Bool -> "bool"
+  | Ptr t -> ty_to_string t ^ "*"

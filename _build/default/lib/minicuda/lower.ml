@@ -1,0 +1,300 @@
+(* Lowering from the typed AST to Bitc IR.  The scheme matches clang at
+   -O0, which is what the paper instruments: every local variable
+   (including parameters) lives in an alloca; reads and writes become
+   load/store; short-circuit operators and ternaries become control
+   flow.  This keeps all memory operations visible to the
+   instrumentation engine. *)
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let rec lower_ty = function
+  | Ast.Void -> Bitc.Types.Void
+  | Ast.Int -> Bitc.Types.I32
+  | Ast.Float -> Bitc.Types.F32
+  | Ast.Bool -> Bitc.Types.I1
+  | Ast.Ptr t -> Bitc.Types.Ptr (lower_ty t, Bitc.Types.Global)
+
+type env = {
+  file : string;
+  builder : Bitc.Builder.t;
+  func : Bitc.Func.t;
+  (* Variable name -> address of its alloca slot. *)
+  mutable vars : (string * Bitc.Value.t) list;
+  (* __shared__ array name -> its base pointer value. *)
+  mutable shared : (string * Bitc.Value.t) list;
+}
+
+let loc_of env (pos : Ast.pos) =
+  Bitc.Loc.make ~file:env.file ~line:pos.line ~col:pos.col
+
+let set_loc env pos = Bitc.Builder.set_loc env.builder (loc_of env pos)
+
+let lookup_var env name =
+  match List.assoc_opt name env.vars with
+  | Some v -> v
+  | None -> fail "Lower: unbound variable %s" name
+
+let lookup_shared env name =
+  match List.assoc_opt name env.shared with
+  | Some v -> v
+  | None -> fail "Lower: unbound shared array %s" name
+
+let binop_instr ~float_ok op =
+  ignore float_ok;
+  match op with
+  | Ast.Add -> Bitc.Instr.Add
+  | Ast.Sub -> Bitc.Instr.Sub
+  | Ast.Mul -> Bitc.Instr.Mul
+  | Ast.Div -> Bitc.Instr.Div
+  | Ast.Rem -> Bitc.Instr.Rem
+  | Ast.BAnd -> Bitc.Instr.And
+  | Ast.BOr -> Bitc.Instr.Or
+  | Ast.BXor -> Bitc.Instr.Xor
+  | Ast.Shl -> Bitc.Instr.Shl
+  | Ast.Shr -> Bitc.Instr.Lshr
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne | Ast.LAnd | Ast.LOr ->
+    fail "Lower: not an arithmetic operator"
+
+let cmp_instr = function
+  | Ast.Lt -> Bitc.Instr.Lt
+  | Ast.Le -> Bitc.Instr.Le
+  | Ast.Gt -> Bitc.Instr.Gt
+  | Ast.Ge -> Bitc.Instr.Ge
+  | Ast.Eq -> Bitc.Instr.Eq
+  | Ast.Ne -> Bitc.Instr.Ne
+  | _ -> fail "Lower: not a comparison operator"
+
+let rec lower_expr env (e : Tast.expr) : Bitc.Value.t =
+  let b = env.builder in
+  set_loc env e.pos;
+  match e.e with
+  | Tast.Int_lit i -> Bitc.Value.Int i
+  | Tast.Float_lit f -> Bitc.Value.Float f
+  | Tast.Bool_lit v -> Bitc.Value.Bool v
+  | Tast.Rvalue lv ->
+    let addr = lower_lvalue env lv in
+    set_loc env lv.lpos;
+    Bitc.Builder.load b addr
+  | Tast.Shared_ref name -> lookup_shared env name
+  | Tast.Builtin s -> Bitc.Builder.special b s
+  | Tast.Binop (op, lhs, rhs) -> (
+    let vl = lower_expr env lhs and vr = lower_expr env rhs in
+    set_loc env e.pos;
+    match lhs.ty, op with
+    | Ast.Ptr _, Ast.Add -> Bitc.Builder.gep b ~base:vl ~index:vr
+    | Ast.Ptr _, Ast.Sub ->
+      let neg = Bitc.Builder.binop b Bitc.Instr.Sub (Bitc.Value.Int 0) vr in
+      Bitc.Builder.gep b ~base:vl ~index:neg
+    | _ -> Bitc.Builder.binop b (binop_instr ~float_ok:true op) vl vr)
+  | Tast.Cmp (op, lhs, rhs) ->
+    let vl = lower_expr env lhs and vr = lower_expr env rhs in
+    set_loc env e.pos;
+    Bitc.Builder.cmp b (cmp_instr op) vl vr
+  | Tast.Short_circuit (which, lhs, rhs) ->
+    let tmp = Bitc.Builder.alloca b Bitc.Types.I1 1 in
+    let vl = lower_expr env lhs in
+    Bitc.Builder.store b ~ptr:tmp ~value:vl;
+    let rhs_block = Bitc.Builder.new_block b "sc.rhs" in
+    let merge = Bitc.Builder.new_block b "sc.end" in
+    (match which with
+    | `And -> Bitc.Builder.cond_br b vl ~then_:rhs_block ~else_:merge
+    | `Or -> Bitc.Builder.cond_br b vl ~then_:merge ~else_:rhs_block);
+    Bitc.Builder.set_block b rhs_block;
+    let vr = lower_expr env rhs in
+    Bitc.Builder.store b ~ptr:tmp ~value:vr;
+    Bitc.Builder.br b merge;
+    Bitc.Builder.set_block b merge;
+    Bitc.Builder.load b tmp
+  | Tast.Unop (`Neg, a) ->
+    let v = lower_expr env a in
+    set_loc env e.pos;
+    Bitc.Builder.unop b Bitc.Instr.Neg v
+  | Tast.Unop (`LNot, a) ->
+    let v = lower_expr env a in
+    set_loc env e.pos;
+    Bitc.Builder.unop b Bitc.Instr.Not v
+  | Tast.Addr_of lv -> lower_lvalue env lv
+  | Tast.Ternary (c, a, other) ->
+    let ty = lower_ty e.ty in
+    let tmp = Bitc.Builder.alloca b ty 1 in
+    let vc = lower_expr env c in
+    let then_block = Bitc.Builder.new_block b "sel.then" in
+    let else_block = Bitc.Builder.new_block b "sel.else" in
+    let merge = Bitc.Builder.new_block b "sel.end" in
+    Bitc.Builder.cond_br b vc ~then_:then_block ~else_:else_block;
+    Bitc.Builder.set_block b then_block;
+    let va = lower_expr env a in
+    Bitc.Builder.store b ~ptr:tmp ~value:va;
+    Bitc.Builder.br b merge;
+    Bitc.Builder.set_block b else_block;
+    let vo = lower_expr env other in
+    Bitc.Builder.store b ~ptr:tmp ~value:vo;
+    Bitc.Builder.br b merge;
+    Bitc.Builder.set_block b merge;
+    Bitc.Builder.load b tmp
+  | Tast.Cast (target, a) -> (
+    let v = lower_expr env a in
+    set_loc env e.pos;
+    match a.ty, target with
+    | Ast.Int, Ast.Float -> Bitc.Builder.unop b Bitc.Instr.Int_to_float v
+    | Ast.Float, Ast.Int -> Bitc.Builder.unop b Bitc.Instr.Float_to_int v
+    | Ast.Bool, Ast.Int ->
+      Bitc.Builder.select b v (Bitc.Value.Int 1) (Bitc.Value.Int 0)
+    | from, to_ ->
+      fail "Lower: unsupported cast %s -> %s" (Ast.ty_to_string from)
+        (Ast.ty_to_string to_))
+  | Tast.Call (callee, args) -> (
+    let vargs = List.map (lower_expr env) args in
+    set_loc env e.pos;
+    let ret = lower_ty e.ty in
+    match Bitc.Builder.call b ~callee ~args:vargs ~ret with
+    | Some v -> v
+    | None -> Bitc.Value.Int 0 (* void call used as expression: unreachable *))
+  | Tast.Intrinsic (intr, args) -> (
+    let vargs = List.map (lower_expr env) args in
+    set_loc env e.pos;
+    match intr, vargs with
+    | Tast.Sqrtf, [ v ] -> Bitc.Builder.unop b Bitc.Instr.Sqrt v
+    | Tast.Expf, [ v ] -> Bitc.Builder.unop b Bitc.Instr.Exp v
+    | Tast.Logf, [ v ] -> Bitc.Builder.unop b Bitc.Instr.Log v
+    | Tast.Fabsf, [ v ] -> Bitc.Builder.unop b Bitc.Instr.Fabs v
+    | Tast.Min _, [ x; y ] -> Bitc.Builder.binop b Bitc.Instr.Min x y
+    | Tast.Max _, [ x; y ] -> Bitc.Builder.binop b Bitc.Instr.Max x y
+    | Tast.Atomic_add, [ ptr; v ] -> Bitc.Builder.atomic_add b ~ptr ~value:v
+    | Tast.Syncthreads, [] ->
+      Bitc.Builder.sync b;
+      Bitc.Value.Int 0
+    | _ -> fail "Lower: malformed intrinsic application")
+
+and lower_lvalue env (lv : Tast.lvalue) : Bitc.Value.t =
+  match lv.l with
+  | Tast.Lvar name -> lookup_var env name
+  | Tast.Lindex (base, idx) ->
+    let vb = lower_expr env base in
+    let vi = lower_expr env idx in
+    set_loc env lv.lpos;
+    Bitc.Builder.gep env.builder ~base:vb ~index:vi
+  | Tast.Lderef p -> lower_expr env p
+
+let rec lower_stmt env (st : Tast.stmt) : unit =
+  let b = env.builder in
+  set_loc env st.spos;
+  match st.s with
+  | Tast.Decl (ty, name, init) ->
+    let slot = Bitc.Builder.alloca b (lower_ty ty) 1 in
+    env.vars <- (name, slot) :: env.vars;
+    Option.iter
+      (fun e ->
+        let v = lower_expr env e in
+        set_loc env st.spos;
+        Bitc.Builder.store b ~ptr:slot ~value:v)
+      init
+  | Tast.Shared_decl (ty, name, size) ->
+    let base = Bitc.Builder.shared_alloca b (lower_ty ty) size in
+    env.shared <- (name, base) :: env.shared
+  | Tast.Assign (lv, rhs) ->
+    let addr = lower_lvalue env lv in
+    let v = lower_expr env rhs in
+    set_loc env st.spos;
+    Bitc.Builder.store b ~ptr:addr ~value:v
+  | Tast.If (cond, then_b, else_b) ->
+    let vc = lower_expr env cond in
+    let then_block = Bitc.Builder.new_block b "if.then" in
+    let merge = Bitc.Builder.new_block b "if.end" in
+    let else_block =
+      if else_b = [] then merge else Bitc.Builder.new_block b "if.else"
+    in
+    Bitc.Builder.cond_br b vc ~then_:then_block ~else_:else_block;
+    Bitc.Builder.set_block b then_block;
+    lower_block env then_b;
+    Bitc.Builder.br b merge;
+    if else_b <> [] then begin
+      Bitc.Builder.set_block b else_block;
+      lower_block env else_b;
+      Bitc.Builder.br b merge
+    end;
+    Bitc.Builder.set_block b merge
+  | Tast.While (cond, body) ->
+    let cond_block = Bitc.Builder.new_block b "while.cond" in
+    let body_block = Bitc.Builder.new_block b "while.body" in
+    let exit_block = Bitc.Builder.new_block b "while.end" in
+    Bitc.Builder.br b cond_block;
+    Bitc.Builder.set_block b cond_block;
+    let vc = lower_expr env cond in
+    Bitc.Builder.cond_br b vc ~then_:body_block ~else_:exit_block;
+    Bitc.Builder.set_block b body_block;
+    lower_block env body;
+    Bitc.Builder.br b cond_block;
+    Bitc.Builder.set_block b exit_block
+  | Tast.For (init, cond, step, body) ->
+    let saved = env.vars in
+    Option.iter (lower_stmt env) init;
+    let cond_block = Bitc.Builder.new_block b "for.cond" in
+    let body_block = Bitc.Builder.new_block b "for.body" in
+    let exit_block = Bitc.Builder.new_block b "for.end" in
+    Bitc.Builder.br b cond_block;
+    Bitc.Builder.set_block b cond_block;
+    (match cond with
+    | Some c ->
+      let vc = lower_expr env c in
+      Bitc.Builder.cond_br b vc ~then_:body_block ~else_:exit_block
+    | None -> Bitc.Builder.br b body_block);
+    Bitc.Builder.set_block b body_block;
+    lower_block env body;
+    Option.iter (lower_stmt env) step;
+    Bitc.Builder.br b cond_block;
+    Bitc.Builder.set_block b exit_block;
+    env.vars <- saved
+  | Tast.Return v ->
+    let value = Option.map (lower_expr env) v in
+    Bitc.Builder.ret b value;
+    (* Statements after a return are dead; emit them into an unreachable
+       block so the current block keeps a single terminator. *)
+    let dead = Bitc.Builder.new_block b "dead" in
+    Bitc.Builder.set_block b dead
+  | Tast.Expr_stmt e -> ignore (lower_expr env e)
+  | Tast.Block body -> lower_block env body
+
+and lower_block env stmts =
+  let saved = env.vars in
+  List.iter (lower_stmt env) stmts;
+  env.vars <- saved
+
+let default_return (f : Bitc.Func.t) =
+  match f.ret with
+  | Bitc.Types.Void -> None
+  | Bitc.Types.I32 -> Some (Bitc.Value.Int 0)
+  | Bitc.Types.F32 -> Some (Bitc.Value.Float 0.)
+  | Bitc.Types.I1 -> Some (Bitc.Value.Bool false)
+  | Bitc.Types.Ptr _ -> Some Bitc.Value.Null
+
+let lower_func ~file (m : Bitc.Irmod.t) (f : Tast.func) : Bitc.Func.t =
+  let params = List.map (fun (ty, name) -> (name, lower_ty ty)) f.params in
+  let func =
+    Bitc.Func.create ~name:f.name ~params ~ret:(lower_ty f.ret) ~fkind:f.fkind
+  in
+  Bitc.Irmod.add_func m func;
+  let builder = Bitc.Builder.create func in
+  let env = { file; builder; func; vars = []; shared = [] } in
+  set_loc env f.fpos;
+  (* Spill parameters to allocas, clang -O0 style. *)
+  List.iteri
+    (fun i (name, ty) ->
+      let slot = Bitc.Builder.alloca builder ty 1 in
+      Bitc.Builder.store builder ~ptr:slot ~value:(Bitc.Value.Reg i);
+      env.vars <- (name, slot) :: env.vars)
+    params;
+  lower_block env f.body;
+  (* Terminate any fall-through or dead blocks. *)
+  List.iter
+    (fun (blk : Bitc.Block.t) ->
+      if blk.term = None then blk.term <- Some (Bitc.Instr.Ret (default_return func)))
+    func.blocks;
+  func
+
+let lower_program (p : Tast.program) : Bitc.Irmod.t =
+  let m = Bitc.Irmod.create p.file in
+  List.iter (fun f -> ignore (lower_func ~file:p.file m f)) p.funcs;
+  m

@@ -1,0 +1,364 @@
+(* Recursive-descent parser for MiniCUDA with precedence climbing for
+   expressions.  Menhir is not vendored in this environment, and the
+   grammar is small enough that a hand-written parser keeps the frontend
+   dependency-free (see DESIGN.md). *)
+
+exception Error of { file : string; line : int; col : int; msg : string }
+
+type state = {
+  file : string;
+  mutable toks : Lexer.spanned list;
+}
+
+let error st msg =
+  let line, col =
+    match st.toks with sp :: _ -> (sp.Lexer.line, sp.Lexer.col) | [] -> (0, 0)
+  in
+  raise (Error { file = st.file; line; col; msg })
+
+let peek st = match st.toks with sp :: _ -> sp.Lexer.tok | [] -> Token.Eof
+
+let peek_snd st =
+  match st.toks with _ :: sp :: _ -> sp.Lexer.tok | _ -> Token.Eof
+
+let pos st : Ast.pos =
+  match st.toks with
+  | sp :: _ -> { line = sp.Lexer.line; col = sp.Lexer.col }
+  | [] -> { line = 0; col = 0 }
+
+let advance st = match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let expect st tok =
+  if Token.equal (peek st) tok then advance st
+  else
+    error st
+      (Printf.sprintf "expected %s but found %s" (Token.to_string tok)
+         (Token.to_string (peek st)))
+
+let expect_ident st =
+  match peek st with
+  | Token.Ident name ->
+    advance st;
+    name
+  | t -> error st (Printf.sprintf "expected identifier, found %s" (Token.to_string t))
+
+(* type := ("void"|"int"|"float"|"bool") "*"*  *)
+let parse_base_ty st =
+  match peek st with
+  | Token.Kw_void ->
+    advance st;
+    Ast.Void
+  | Token.Kw_int ->
+    advance st;
+    Ast.Int
+  | Token.Kw_float ->
+    advance st;
+    Ast.Float
+  | Token.Kw_bool ->
+    advance st;
+    Ast.Bool
+  | t -> error st (Printf.sprintf "expected a type, found %s" (Token.to_string t))
+
+let parse_ty st =
+  let base = parse_base_ty st in
+  let rec stars ty =
+    if Token.equal (peek st) Token.Star then (
+      advance st;
+      stars (Ast.Ptr ty))
+    else ty
+  in
+  stars base
+
+let starts_type = function
+  | Token.Kw_void | Token.Kw_int | Token.Kw_float | Token.Kw_bool -> true
+  | _ -> false
+
+let builtin_objects = [ "threadIdx"; "blockIdx"; "blockDim"; "gridDim" ]
+
+(* Binary operator precedence, loosest first; C-compatible ordering. *)
+let binop_of_token = function
+  | Token.Pipe_pipe -> Some (Ast.LOr, 1)
+  | Token.Amp_amp -> Some (Ast.LAnd, 2)
+  | Token.Pipe -> Some (Ast.BOr, 3)
+  | Token.Caret -> Some (Ast.BXor, 4)
+  | Token.Amp -> Some (Ast.BAnd, 5)
+  | Token.Eq_eq -> Some (Ast.Eq, 6)
+  | Token.Bang_eq -> Some (Ast.Ne, 6)
+  | Token.Lt -> Some (Ast.Lt, 7)
+  | Token.Le -> Some (Ast.Le, 7)
+  | Token.Gt -> Some (Ast.Gt, 7)
+  | Token.Ge -> Some (Ast.Ge, 7)
+  | Token.Shl -> Some (Ast.Shl, 8)
+  | Token.Shr -> Some (Ast.Shr, 8)
+  | Token.Plus -> Some (Ast.Add, 9)
+  | Token.Minus -> Some (Ast.Sub, 9)
+  | Token.Star -> Some (Ast.Mul, 10)
+  | Token.Slash -> Some (Ast.Div, 10)
+  | Token.Percent -> Some (Ast.Rem, 10)
+  | _ -> None
+
+let rec parse_expr st = parse_ternary st
+
+and parse_ternary st =
+  let cond = parse_binary st 1 in
+  if Token.equal (peek st) Token.Question then begin
+    let p = pos st in
+    advance st;
+    let then_e = parse_expr st in
+    expect st Token.Colon;
+    let else_e = parse_ternary st in
+    { Ast.e = Ast.Ternary (cond, then_e, else_e); pos = p }
+  end
+  else cond
+
+and parse_binary st min_prec =
+  let lhs = parse_unary st in
+  let rec loop lhs =
+    match binop_of_token (peek st) with
+    | Some (op, prec) when prec >= min_prec ->
+      let p = pos st in
+      advance st;
+      let rhs = parse_binary st (prec + 1) in
+      loop { Ast.e = Ast.Binop (op, lhs, rhs); pos = p }
+    | Some _ | None -> lhs
+  in
+  loop lhs
+
+and parse_unary st =
+  let p = pos st in
+  match peek st with
+  | Token.Minus ->
+    advance st;
+    { Ast.e = Ast.Unop (Ast.Neg, parse_unary st); pos = p }
+  | Token.Bang ->
+    advance st;
+    { Ast.e = Ast.Unop (Ast.LNot, parse_unary st); pos = p }
+  | Token.Amp ->
+    advance st;
+    { Ast.e = Ast.Unop (Ast.AddrOf, parse_unary st); pos = p }
+  | Token.Star ->
+    advance st;
+    { Ast.e = Ast.Deref (parse_unary st); pos = p }
+  | Token.Lparen when starts_type (peek_snd st) ->
+    advance st;
+    let ty = parse_ty st in
+    expect st Token.Rparen;
+    { Ast.e = Ast.Cast (ty, parse_unary st); pos = p }
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let base = parse_primary st in
+  let rec loop e =
+    match peek st with
+    | Token.Lbracket ->
+      let p = pos st in
+      advance st;
+      let idx = parse_expr st in
+      expect st Token.Rbracket;
+      loop { Ast.e = Ast.Index (e, idx); pos = p }
+    | _ -> e
+  in
+  loop base
+
+and parse_primary st =
+  let p = pos st in
+  match peek st with
+  | Token.Int_lit i ->
+    advance st;
+    { Ast.e = Ast.Int_lit i; pos = p }
+  | Token.Float_lit f ->
+    advance st;
+    { Ast.e = Ast.Float_lit f; pos = p }
+  | Token.Kw_true ->
+    advance st;
+    { Ast.e = Ast.Bool_lit true; pos = p }
+  | Token.Kw_false ->
+    advance st;
+    { Ast.e = Ast.Bool_lit false; pos = p }
+  | Token.Lparen ->
+    advance st;
+    let e = parse_expr st in
+    expect st Token.Rparen;
+    e
+  | Token.Ident name when List.mem name builtin_objects ->
+    advance st;
+    expect st Token.Dot;
+    let field = expect_ident st in
+    if field <> "x" && field <> "y" then
+      error st (Printf.sprintf "unknown builtin field %s.%s" name field);
+    { Ast.e = Ast.Builtin (name, field); pos = p }
+  | Token.Ident name when Token.equal (peek_snd st) Token.Lparen ->
+    advance st;
+    advance st;
+    let rec args acc =
+      if Token.equal (peek st) Token.Rparen then List.rev acc
+      else
+        let a = parse_expr st in
+        if Token.equal (peek st) Token.Comma then (
+          advance st;
+          args (a :: acc))
+        else List.rev (a :: acc)
+    in
+    let actuals = args [] in
+    expect st Token.Rparen;
+    { Ast.e = Ast.Call (name, actuals); pos = p }
+  | Token.Ident name ->
+    advance st;
+    { Ast.e = Ast.Var name; pos = p }
+  | t -> error st (Printf.sprintf "unexpected token %s in expression" (Token.to_string t))
+
+let rec parse_stmt st : Ast.stmt =
+  let p = pos st in
+  match peek st with
+  | Token.Kw_shared ->
+    advance st;
+    let ty = parse_ty st in
+    let name = expect_ident st in
+    expect st Token.Lbracket;
+    let size =
+      match peek st with
+      | Token.Int_lit n ->
+        advance st;
+        n
+      | t -> error st (Printf.sprintf "expected array size, found %s" (Token.to_string t))
+    in
+    expect st Token.Rbracket;
+    expect st Token.Semi;
+    { Ast.s = Ast.Shared_decl (ty, name, size); spos = p }
+  | t when starts_type t ->
+    let ty = parse_ty st in
+    let name = expect_ident st in
+    let init =
+      if Token.equal (peek st) Token.Assign then (
+        advance st;
+        Some (parse_expr st))
+      else None
+    in
+    expect st Token.Semi;
+    { Ast.s = Ast.Decl (ty, name, init); spos = p }
+  | Token.Kw_if ->
+    advance st;
+    expect st Token.Lparen;
+    let cond = parse_expr st in
+    expect st Token.Rparen;
+    let then_body = parse_body st in
+    let else_body =
+      if Token.equal (peek st) Token.Kw_else then (
+        advance st;
+        parse_body st)
+      else []
+    in
+    { Ast.s = Ast.If (cond, then_body, else_body); spos = p }
+  | Token.Kw_while ->
+    advance st;
+    expect st Token.Lparen;
+    let cond = parse_expr st in
+    expect st Token.Rparen;
+    let body = parse_body st in
+    { Ast.s = Ast.While (cond, body); spos = p }
+  | Token.Kw_for ->
+    advance st;
+    expect st Token.Lparen;
+    let init =
+      if Token.equal (peek st) Token.Semi then (
+        advance st;
+        None)
+      else Some (parse_stmt st) (* consumes the ';' for decl/assign *)
+    in
+    let cond =
+      if Token.equal (peek st) Token.Semi then None else Some (parse_expr st)
+    in
+    expect st Token.Semi;
+    let step =
+      if Token.equal (peek st) Token.Rparen then None
+      else Some (parse_simple_stmt st)
+    in
+    expect st Token.Rparen;
+    let body = parse_body st in
+    { Ast.s = Ast.For (init, cond, step, body); spos = p }
+  | Token.Kw_return ->
+    advance st;
+    let v =
+      if Token.equal (peek st) Token.Semi then None else Some (parse_expr st)
+    in
+    expect st Token.Semi;
+    { Ast.s = Ast.Return v; spos = p }
+  | Token.Lbrace -> { Ast.s = Ast.Block (parse_body st); spos = p }
+  | _ ->
+    let s = parse_simple_stmt st in
+    expect st Token.Semi;
+    s
+
+(* assignment or expression statement, without trailing ';' (shared with
+   the for-step position). *)
+and parse_simple_stmt st : Ast.stmt =
+  let p = pos st in
+  let lhs = parse_expr st in
+  if Token.equal (peek st) Token.Assign then begin
+    advance st;
+    let rhs = parse_expr st in
+    { Ast.s = Ast.Assign (lhs, rhs); spos = p }
+  end
+  else { Ast.s = Ast.Expr_stmt lhs; spos = p }
+
+and parse_body st : Ast.stmt list =
+  if Token.equal (peek st) Token.Lbrace then begin
+    advance st;
+    let rec go acc =
+      if Token.equal (peek st) Token.Rbrace then (
+        advance st;
+        List.rev acc)
+      else go (parse_stmt st :: acc)
+    in
+    go []
+  end
+  else [ parse_stmt st ]
+
+let parse_func st : Ast.func =
+  let p = pos st in
+  let fkind =
+    match peek st with
+    | Token.Kw_global ->
+      advance st;
+      Bitc.Func.Kernel
+    | Token.Kw_device ->
+      advance st;
+      Bitc.Func.Device
+    | t ->
+      error st
+        (Printf.sprintf "expected __global__ or __device__, found %s"
+           (Token.to_string t))
+  in
+  let ret = parse_ty st in
+  let name = expect_ident st in
+  expect st Token.Lparen;
+  let rec params acc =
+    if Token.equal (peek st) Token.Rparen then List.rev acc
+    else
+      let ty = parse_ty st in
+      let pname = expect_ident st in
+      let acc = (ty, pname) :: acc in
+      if Token.equal (peek st) Token.Comma then (
+        advance st;
+        params acc)
+      else List.rev acc
+  in
+  let params = params [] in
+  expect st Token.Rparen;
+  expect st Token.Lbrace;
+  let rec body acc =
+    if Token.equal (peek st) Token.Rbrace then (
+      advance st;
+      List.rev acc)
+    else body (parse_stmt st :: acc)
+  in
+  let body = body [] in
+  { Ast.fkind; ret; name; params; body; fpos = p }
+
+let parse_program ~file src : Ast.program =
+  let st = { file; toks = Lexer.tokenize ~file src } in
+  let rec go acc =
+    if Token.equal (peek st) Token.Eof then List.rev acc
+    else go (parse_func st :: acc)
+  in
+  { Ast.file; funcs = go [] }

@@ -1,0 +1,65 @@
+(* Typed abstract syntax: output of the typechecker, input of IR
+   lowering.  Reads of variables/array cells are explicit [Rvalue]
+   nodes, implicit int->float promotions are explicit [Cast] nodes, and
+   short-circuit operators are distinguished from bitwise ones because
+   they lower to control flow. *)
+
+type intrinsic =
+  | Sqrtf
+  | Expf
+  | Logf
+  | Fabsf
+  | Min of Ast.ty (* Int or Float *)
+  | Max of Ast.ty
+  | Atomic_add (* atomicAdd(ptr, v) *)
+  | Syncthreads
+
+type lvalue = { l : lvalue_kind; lty : Ast.ty; lpos : Ast.pos }
+
+and lvalue_kind =
+  | Lvar of string (* alloca-backed local or parameter *)
+  | Lindex of expr * expr (* base pointer expression, element index *)
+  | Lderef of expr
+
+and expr = { e : expr_kind; ty : Ast.ty; pos : Ast.pos }
+
+and expr_kind =
+  | Int_lit of int
+  | Float_lit of float
+  | Bool_lit of bool
+  | Rvalue of lvalue
+  | Shared_ref of string (* the pointer value of a __shared__ array *)
+  | Builtin of Bitc.Instr.special
+  | Binop of Ast.binop * expr * expr (* arithmetic/bitwise, unified types *)
+  | Cmp of Ast.binop * expr * expr (* result is Bool *)
+  | Short_circuit of [ `And | `Or ] * expr * expr
+  | Unop of [ `Neg | `LNot ] * expr
+  | Addr_of of lvalue
+  | Ternary of expr * expr * expr
+  | Cast of Ast.ty * expr
+  | Call of string * expr list
+  | Intrinsic of intrinsic * expr list
+
+type stmt = { s : stmt_kind; spos : Ast.pos }
+
+and stmt_kind =
+  | Decl of Ast.ty * string * expr option
+  | Shared_decl of Ast.ty * string * int
+  | Assign of lvalue * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of stmt option * expr option * stmt option * stmt list
+  | Return of expr option
+  | Expr_stmt of expr
+  | Block of stmt list
+
+type func = {
+  fkind : Bitc.Func.fkind;
+  ret : Ast.ty;
+  name : string;
+  params : (Ast.ty * string) list;
+  body : stmt list;
+  fpos : Ast.pos;
+}
+
+type program = { file : string; funcs : func list }

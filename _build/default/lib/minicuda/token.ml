@@ -1,0 +1,106 @@
+(* Tokens of the MiniCUDA language: the C subset in which the evaluation
+   kernels (Table 2 of the paper) are written. *)
+
+type t =
+  | Int_lit of int
+  | Float_lit of float
+  | Ident of string
+  | Kw_global (* __global__ *)
+  | Kw_device (* __device__ *)
+  | Kw_shared (* __shared__ *)
+  | Kw_void
+  | Kw_int
+  | Kw_float
+  | Kw_bool
+  | Kw_if
+  | Kw_else
+  | Kw_for
+  | Kw_while
+  | Kw_return
+  | Kw_true
+  | Kw_false
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Comma
+  | Semi
+  | Dot
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Percent
+  | Amp
+  | Pipe
+  | Caret
+  | Shl
+  | Shr
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq_eq
+  | Bang_eq
+  | Amp_amp
+  | Pipe_pipe
+  | Bang
+  | Assign
+  | Question
+  | Colon
+  | Eof
+
+let to_string = function
+  | Int_lit i -> string_of_int i
+  | Float_lit f -> string_of_float f
+  | Ident s -> s
+  | Kw_global -> "__global__"
+  | Kw_device -> "__device__"
+  | Kw_shared -> "__shared__"
+  | Kw_void -> "void"
+  | Kw_int -> "int"
+  | Kw_float -> "float"
+  | Kw_bool -> "bool"
+  | Kw_if -> "if"
+  | Kw_else -> "else"
+  | Kw_for -> "for"
+  | Kw_while -> "while"
+  | Kw_return -> "return"
+  | Kw_true -> "true"
+  | Kw_false -> "false"
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Lbrace -> "{"
+  | Rbrace -> "}"
+  | Lbracket -> "["
+  | Rbracket -> "]"
+  | Comma -> ","
+  | Semi -> ";"
+  | Dot -> "."
+  | Plus -> "+"
+  | Minus -> "-"
+  | Star -> "*"
+  | Slash -> "/"
+  | Percent -> "%"
+  | Amp -> "&"
+  | Pipe -> "|"
+  | Caret -> "^"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq_eq -> "=="
+  | Bang_eq -> "!="
+  | Amp_amp -> "&&"
+  | Pipe_pipe -> "||"
+  | Bang -> "!"
+  | Assign -> "="
+  | Question -> "?"
+  | Colon -> ":"
+  | Eof -> "<eof>"
+
+let equal (a : t) (b : t) = a = b

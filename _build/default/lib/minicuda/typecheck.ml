@@ -1,0 +1,306 @@
+(* MiniCUDA typechecker: elaborates the raw AST into the typed AST,
+   resolving builtins and intrinsics, inserting implicit int->float
+   promotions, and rejecting ill-typed programs with positioned
+   errors. *)
+
+exception Error of { file : string; pos : Ast.pos; msg : string }
+
+type binding =
+  | Local of Ast.ty (* alloca-backed: parameters and declared locals *)
+  | Shared of Ast.ty (* __shared__ array of this element type *)
+
+type env = {
+  file : string;
+  funcs : (string, Ast.ty list * Ast.ty) Hashtbl.t;
+  mutable scopes : (string, binding) Hashtbl.t list;
+}
+
+let err env pos fmt =
+  Printf.ksprintf (fun msg -> raise (Error { file = env.file; pos; msg })) fmt
+
+let push_scope env = env.scopes <- Hashtbl.create 16 :: env.scopes
+let pop_scope env =
+  match env.scopes with
+  | _ :: rest -> env.scopes <- rest
+  | [] -> invalid_arg "Typecheck.pop_scope: empty"
+
+let lookup env name =
+  List.find_map (fun scope -> Hashtbl.find_opt scope name) env.scopes
+
+let bind env pos name binding =
+  match env.scopes with
+  | scope :: _ ->
+    if Hashtbl.mem scope name then err env pos "redeclaration of %s" name;
+    Hashtbl.replace scope name binding
+  | [] -> invalid_arg "Typecheck.bind: no scope"
+
+let special_of_builtin env pos obj field : Bitc.Instr.special =
+  match obj, field with
+  | "threadIdx", "x" -> Tid_x
+  | "threadIdx", "y" -> Tid_y
+  | "blockIdx", "x" -> Ctaid_x
+  | "blockIdx", "y" -> Ctaid_y
+  | "blockDim", "x" -> Ntid_x
+  | "blockDim", "y" -> Ntid_y
+  | "gridDim", "x" -> Nctaid_x
+  | "gridDim", "y" -> Nctaid_y
+  | _ -> err env pos "unknown builtin %s.%s" obj field
+
+let is_numeric = function Ast.Int | Ast.Float -> true | _ -> false
+
+(* Implicit promotion: int -> float only. *)
+let coerce env (e : Tast.expr) target =
+  if e.ty = target then e
+  else
+    match e.ty, target with
+    | Ast.Int, Ast.Float -> { Tast.e = Tast.Cast (Ast.Float, e); ty = Ast.Float; pos = e.pos }
+    | _ ->
+      err env e.pos "type mismatch: expected %s, found %s" (Ast.ty_to_string target)
+        (Ast.ty_to_string e.ty)
+
+(* Unify two numeric operands, promoting int to float when mixed. *)
+let unify_numeric env pos a b =
+  match a.Tast.ty, b.Tast.ty with
+  | x, y when x = y -> (a, b, x)
+  | Ast.Int, Ast.Float -> (coerce env a Ast.Float, b, Ast.Float)
+  | Ast.Float, Ast.Int -> (a, coerce env b Ast.Float, Ast.Float)
+  | x, y ->
+    err env pos "operands have incompatible types %s and %s" (Ast.ty_to_string x)
+      (Ast.ty_to_string y)
+
+let rec check_expr env (e : Ast.expr) : Tast.expr =
+  let pos = e.pos in
+  match e.e with
+  | Ast.Int_lit i -> { e = Tast.Int_lit i; ty = Ast.Int; pos }
+  | Ast.Float_lit f -> { e = Tast.Float_lit f; ty = Ast.Float; pos }
+  | Ast.Bool_lit b -> { e = Tast.Bool_lit b; ty = Ast.Bool; pos }
+  | Ast.Builtin (obj, field) ->
+    { e = Tast.Builtin (special_of_builtin env pos obj field); ty = Ast.Int; pos }
+  | Ast.Var name -> (
+    match lookup env name with
+    | Some (Local ty) ->
+      { e = Tast.Rvalue { l = Tast.Lvar name; lty = ty; lpos = pos }; ty; pos }
+    | Some (Shared ty) -> { e = Tast.Shared_ref name; ty = Ast.Ptr ty; pos }
+    | None -> err env pos "unbound variable %s" name)
+  | Ast.Index (base, idx) ->
+    let lv = check_index env pos base idx in
+    { e = Tast.Rvalue lv; ty = lv.lty; pos }
+  | Ast.Deref p ->
+    let lv = check_deref env pos p in
+    { e = Tast.Rvalue lv; ty = lv.lty; pos }
+  | Ast.Unop (Ast.Neg, a) ->
+    let a = check_expr env a in
+    if not (is_numeric a.ty) then err env pos "unary - requires int or float";
+    { e = Tast.Unop (`Neg, a); ty = a.ty; pos }
+  | Ast.Unop (Ast.LNot, a) ->
+    let a = check_expr env a in
+    if a.ty <> Ast.Bool then err env pos "! requires bool";
+    { e = Tast.Unop (`LNot, a); ty = Ast.Bool; pos }
+  | Ast.Unop (Ast.AddrOf, inner) -> (
+    match inner.e with
+    | Ast.Var name -> (
+      match lookup env name with
+      | Some (Local ty) ->
+        { e = Tast.Addr_of { l = Tast.Lvar name; lty = ty; lpos = pos };
+          ty = Ast.Ptr ty; pos }
+      | Some (Shared ty) -> { e = Tast.Shared_ref name; ty = Ast.Ptr ty; pos }
+      | None -> err env pos "unbound variable %s" name)
+    | Ast.Index (base, idx) ->
+      let lv = check_index env pos base idx in
+      { e = Tast.Addr_of lv; ty = Ast.Ptr lv.lty; pos }
+    | Ast.Deref p -> check_expr env p
+    | _ -> err env pos "& requires an lvalue")
+  | Ast.Binop ((Ast.LAnd | Ast.LOr) as op, a, b) ->
+    let a = check_expr env a and b = check_expr env b in
+    if a.ty <> Ast.Bool || b.ty <> Ast.Bool then
+      err env pos "&&/|| require bool operands";
+    let which = if op = Ast.LAnd then `And else `Or in
+    { e = Tast.Short_circuit (which, a, b); ty = Ast.Bool; pos }
+  | Ast.Binop ((Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne) as op, a, b) ->
+    let a = check_expr env a and b = check_expr env b in
+    let a, b, _ = unify_numeric env pos a b in
+    { e = Tast.Cmp (op, a, b); ty = Ast.Bool; pos }
+  | Ast.Binop ((Ast.BAnd | Ast.BOr | Ast.BXor | Ast.Shl | Ast.Shr | Ast.Rem) as op, a, b)
+    ->
+    let a = check_expr env a and b = check_expr env b in
+    if a.ty <> Ast.Int || b.ty <> Ast.Int then
+      err env pos "%s requires int operands"
+        (match op with
+        | Ast.BAnd -> "&"
+        | Ast.BOr -> "|"
+        | Ast.BXor -> "^"
+        | Ast.Shl -> "<<"
+        | Ast.Shr -> ">>"
+        | _ -> "%");
+    { e = Tast.Binop (op, a, b); ty = Ast.Int; pos }
+  | Ast.Binop ((Ast.Add | Ast.Sub | Ast.Mul | Ast.Div) as op, a, b) -> (
+    let a = check_expr env a and b = check_expr env b in
+    (* Pointer arithmetic: ptr + int / ptr - int. *)
+    match a.ty, op with
+    | Ast.Ptr _, (Ast.Add | Ast.Sub) when b.ty = Ast.Int ->
+      { e = Tast.Binop (op, a, b); ty = a.ty; pos }
+    | _ ->
+      let a, b, ty = unify_numeric env pos a b in
+      { e = Tast.Binop (op, a, b); ty; pos })
+  | Ast.Ternary (c, a, b) ->
+    let c = check_expr env c in
+    if c.ty <> Ast.Bool then err env pos "ternary condition must be bool";
+    let a = check_expr env a and b = check_expr env b in
+    let a, b, ty = unify_numeric env pos a b in
+    { e = Tast.Ternary (c, a, b); ty; pos }
+  | Ast.Cast (ty, a) -> (
+    let a = check_expr env a in
+    match ty, a.ty with
+    | t, u when t = u -> a
+    | Ast.Float, Ast.Int | Ast.Int, Ast.Float | Ast.Int, Ast.Bool ->
+      { e = Tast.Cast (ty, a); ty; pos }
+    | Ast.Ptr _, Ast.Ptr _ -> { e = Tast.Cast (ty, a); ty; pos }
+    | _ ->
+      err env pos "cannot cast %s to %s" (Ast.ty_to_string a.ty) (Ast.ty_to_string ty))
+  | Ast.Call (name, args) -> check_call env pos name args
+
+and check_index env pos base idx : Tast.lvalue =
+  let base = check_expr env base in
+  let idx = check_expr env idx in
+  (match base.ty with
+  | Ast.Ptr _ -> ()
+  | t -> err env pos "cannot index a value of type %s" (Ast.ty_to_string t));
+  if idx.ty <> Ast.Int then err env pos "array index must be int";
+  let elem = match base.ty with Ast.Ptr t -> t | _ -> assert false in
+  { l = Tast.Lindex (base, idx); lty = elem; lpos = pos }
+
+and check_deref env pos p : Tast.lvalue =
+  let p = check_expr env p in
+  match p.ty with
+  | Ast.Ptr elem -> { l = Tast.Lderef p; lty = elem; lpos = pos }
+  | t -> err env pos "cannot dereference a value of type %s" (Ast.ty_to_string t)
+
+and check_call env pos name args : Tast.expr =
+  let args = List.map (check_expr env) args in
+  let float_intrinsic intr =
+    match args with
+    | [ a ] ->
+      let a = coerce env a Ast.Float in
+      { Tast.e = Tast.Intrinsic (intr, [ a ]); ty = Ast.Float; pos }
+    | _ -> err env pos "%s expects one argument" name
+  in
+  match name, args with
+  | "sqrtf", _ -> float_intrinsic Tast.Sqrtf
+  | "expf", _ -> float_intrinsic Tast.Expf
+  | "logf", _ -> float_intrinsic Tast.Logf
+  | "fabsf", _ -> float_intrinsic Tast.Fabsf
+  | ("min" | "max"), [ a; b ] ->
+    let a, b, ty = unify_numeric env pos a b in
+    let intr = if name = "min" then Tast.Min ty else Tast.Max ty in
+    { e = Tast.Intrinsic (intr, [ a; b ]); ty; pos }
+  | "atomicAdd", [ p; v ] -> (
+    match p.ty with
+    | Ast.Ptr elem when is_numeric elem ->
+      let v = coerce env v elem in
+      { e = Tast.Intrinsic (Tast.Atomic_add, [ p; v ]); ty = elem; pos }
+    | _ -> err env pos "atomicAdd expects (T*, T) with numeric T")
+  | "__syncthreads", [] ->
+    { e = Tast.Intrinsic (Tast.Syncthreads, []); ty = Ast.Void; pos }
+  | _ -> (
+    match Hashtbl.find_opt env.funcs name with
+    | None -> err env pos "call to undefined function %s" name
+    | Some (param_tys, ret) ->
+      if List.length param_tys <> List.length args then
+        err env pos "%s expects %d arguments, got %d" name (List.length param_tys)
+          (List.length args);
+      let args = List.map2 (fun ty a -> coerce env a ty) param_tys args in
+      { e = Tast.Call (name, args); ty = ret; pos })
+
+let check_lvalue env (e : Ast.expr) : Tast.lvalue =
+  match e.e with
+  | Ast.Var name -> (
+    match lookup env name with
+    | Some (Local ty) -> { l = Tast.Lvar name; lty = ty; lpos = e.pos }
+    | Some (Shared _) -> err env e.pos "cannot assign to shared array %s" name
+    | None -> err env e.pos "unbound variable %s" name)
+  | Ast.Index (base, idx) -> check_index env e.pos base idx
+  | Ast.Deref p -> check_deref env e.pos p
+  | _ -> err env e.pos "expression is not assignable"
+
+let rec check_stmt env ~ret (st : Ast.stmt) : Tast.stmt =
+  let pos = st.spos in
+  match st.s with
+  | Ast.Decl (ty, name, init) ->
+    if ty = Ast.Void then err env pos "cannot declare a void variable";
+    let init = Option.map (fun e -> coerce env (check_expr env e) ty) init in
+    bind env pos name (Local ty);
+    { s = Tast.Decl (ty, name, init); spos = pos }
+  | Ast.Shared_decl (ty, name, size) ->
+    if size <= 0 then err env pos "shared array %s must have positive size" name;
+    bind env pos name (Shared ty);
+    { s = Tast.Shared_decl (ty, name, size); spos = pos }
+  | Ast.Assign (lhs, rhs) ->
+    let lv = check_lvalue env lhs in
+    let rhs = coerce env (check_expr env rhs) lv.lty in
+    { s = Tast.Assign (lv, rhs); spos = pos }
+  | Ast.If (cond, then_b, else_b) ->
+    let cond = check_expr env cond in
+    if cond.ty <> Ast.Bool then err env pos "if condition must be bool";
+    { s = Tast.If (cond, check_block env ~ret then_b, check_block env ~ret else_b);
+      spos = pos }
+  | Ast.While (cond, body) ->
+    let cond = check_expr env cond in
+    if cond.ty <> Ast.Bool then err env pos "while condition must be bool";
+    { s = Tast.While (cond, check_block env ~ret body); spos = pos }
+  | Ast.For (init, cond, step, body) ->
+    push_scope env;
+    let init = Option.map (check_stmt env ~ret) init in
+    let cond =
+      Option.map
+        (fun c ->
+          let c = check_expr env c in
+          if c.ty <> Ast.Bool then err env pos "for condition must be bool";
+          c)
+        cond
+    in
+    let step = Option.map (check_stmt env ~ret) step in
+    let body = check_block env ~ret body in
+    pop_scope env;
+    { s = Tast.For (init, cond, step, body); spos = pos }
+  | Ast.Return None ->
+    if ret <> Ast.Void then err env pos "return without a value";
+    { s = Tast.Return None; spos = pos }
+  | Ast.Return (Some e) ->
+    if ret = Ast.Void then err env pos "void function cannot return a value";
+    let e = coerce env (check_expr env e) ret in
+    { s = Tast.Return (Some e); spos = pos }
+  | Ast.Expr_stmt e ->
+    let e = check_expr env e in
+    { s = Tast.Expr_stmt e; spos = pos }
+  | Ast.Block body ->
+    { s = Tast.Block (check_block env ~ret body); spos = pos }
+
+and check_block env ~ret body =
+  push_scope env;
+  let body = List.map (check_stmt env ~ret) body in
+  pop_scope env;
+  body
+
+let check_func env (f : Ast.func) : Tast.func =
+  if f.fkind = Bitc.Func.Kernel && f.ret <> Ast.Void then
+    err env f.fpos "__global__ kernel %s must return void" f.name;
+  push_scope env;
+  List.iter
+    (fun (ty, name) ->
+      if ty = Ast.Void then err env f.fpos "parameter %s has type void" name;
+      bind env f.fpos name (Local ty))
+    f.params;
+  let body = List.map (check_stmt env ~ret:f.ret) f.body in
+  pop_scope env;
+  { Tast.fkind = f.fkind; ret = f.ret; name = f.name; params = f.params; body;
+    fpos = f.fpos }
+
+let check_program (p : Ast.program) : Tast.program =
+  let env = { file = p.file; funcs = Hashtbl.create 16; scopes = [] } in
+  List.iter
+    (fun (f : Ast.func) ->
+      if Hashtbl.mem env.funcs f.name then
+        err env f.fpos "duplicate function %s" f.name;
+      Hashtbl.replace env.funcs f.name (List.map fst f.params, f.ret))
+    p.funcs;
+  { Tast.file = p.file; funcs = List.map (check_func env) p.funcs }

@@ -1,0 +1,1 @@
+lib/passes/constfold.ml: Bitc Float Hashtbl List Option Pass

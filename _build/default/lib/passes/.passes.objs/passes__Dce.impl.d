@@ -1,0 +1,1 @@
+lib/passes/dce.ml: Bitc Hashtbl List Pass

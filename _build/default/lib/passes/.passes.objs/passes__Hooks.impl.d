@@ -1,0 +1,1 @@
+lib/passes/hooks.ml: Bitc Printf String

@@ -1,0 +1,1 @@
+lib/passes/instrument.ml: Bitc Hooks List Manifest Option Pass

@@ -1,0 +1,1 @@
+lib/passes/instrument.mli: Bitc Manifest Pass

@@ -1,0 +1,1 @@
+lib/passes/manifest.ml: Bitc List Printf

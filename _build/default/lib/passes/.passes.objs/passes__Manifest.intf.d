@@ -1,0 +1,1 @@
+lib/passes/manifest.mli: Bitc

@@ -1,0 +1,135 @@
+(* Constant folding: evaluates instructions whose operands are all
+   immediates and propagates the results.  Together with [Dce] this
+   demonstrates that the engine is an ordinary compiler pass pipeline
+   that tool developers can extend (the paper's "expansibility" claim
+   versus the closed-source SASSI). *)
+
+let fold_binop op ty (a : Bitc.Value.t) (b : Bitc.Value.t) : Bitc.Value.t option =
+  match ty, a, b with
+  | Bitc.Types.I32, Bitc.Value.Int x, Bitc.Value.Int y -> (
+    let open Bitc.Instr in
+    match op with
+    | Add -> Some (Bitc.Value.Int (x + y))
+    | Sub -> Some (Bitc.Value.Int (x - y))
+    | Mul -> Some (Bitc.Value.Int (x * y))
+    | Div -> if y = 0 then None else Some (Bitc.Value.Int (x / y))
+    | Rem -> if y = 0 then None else Some (Bitc.Value.Int (x mod y))
+    | And -> Some (Bitc.Value.Int (x land y))
+    | Or -> Some (Bitc.Value.Int (x lor y))
+    | Xor -> Some (Bitc.Value.Int (x lxor y))
+    | Shl -> Some (Bitc.Value.Int (x lsl (y land 31)))
+    | Lshr -> Some (Bitc.Value.Int (x lsr (y land 31)))
+    | Min -> Some (Bitc.Value.Int (min x y))
+    | Max -> Some (Bitc.Value.Int (max x y)))
+  | Bitc.Types.F32, Bitc.Value.Float x, Bitc.Value.Float y -> (
+    let open Bitc.Instr in
+    match op with
+    | Add -> Some (Bitc.Value.Float (x +. y))
+    | Sub -> Some (Bitc.Value.Float (x -. y))
+    | Mul -> Some (Bitc.Value.Float (x *. y))
+    | Div -> Some (Bitc.Value.Float (x /. y))
+    | Min -> Some (Bitc.Value.Float (Float.min x y))
+    | Max -> Some (Bitc.Value.Float (Float.max x y))
+    | Rem | And | Or | Xor | Shl | Lshr -> None)
+  | _ -> None
+
+let fold_cmp op (a : Bitc.Value.t) (b : Bitc.Value.t) : Bitc.Value.t option =
+  let decide c =
+    let open Bitc.Instr in
+    Some
+      (Bitc.Value.Bool
+         (match op with
+         | Eq -> c = 0
+         | Ne -> c <> 0
+         | Lt -> c < 0
+         | Le -> c <= 0
+         | Gt -> c > 0
+         | Ge -> c >= 0))
+  in
+  match a, b with
+  | Bitc.Value.Int x, Bitc.Value.Int y -> decide (compare x y)
+  | Bitc.Value.Float x, Bitc.Value.Float y -> decide (compare x y)
+  | _ -> None
+
+let fold_unop op (a : Bitc.Value.t) : Bitc.Value.t option =
+  let open Bitc.Instr in
+  match op, a with
+  | Neg, Bitc.Value.Int x -> Some (Bitc.Value.Int (-x))
+  | Neg, Bitc.Value.Float x -> Some (Bitc.Value.Float (-.x))
+  | Not, Bitc.Value.Bool x -> Some (Bitc.Value.Bool (not x))
+  | Not, Bitc.Value.Int x -> Some (Bitc.Value.Int (lnot x))
+  | Int_to_float, Bitc.Value.Int x -> Some (Bitc.Value.Float (float_of_int x))
+  | Float_to_int, Bitc.Value.Float x -> Some (Bitc.Value.Int (int_of_float x))
+  | Sqrt, Bitc.Value.Float x when x >= 0. -> Some (Bitc.Value.Float (sqrt x))
+  | Fabs, Bitc.Value.Float x -> Some (Bitc.Value.Float (Float.abs x))
+  | Exp, Bitc.Value.Float x -> Some (Bitc.Value.Float (exp x))
+  | Log, Bitc.Value.Float x when x > 0. -> Some (Bitc.Value.Float (log x))
+  | _ -> None
+
+let run_func (f : Bitc.Func.t) =
+  let consts : (int, Bitc.Value.t) Hashtbl.t = Hashtbl.create 32 in
+  let subst (v : Bitc.Value.t) =
+    match v with
+    | Bitc.Value.Reg r -> (
+      match Hashtbl.find_opt consts r with Some c -> c | None -> v)
+    | _ -> v
+  in
+  let folded = ref 0 in
+  let fold_instr (i : Bitc.Instr.t) : Bitc.Instr.t option =
+    let kind =
+      match i.kind with
+      | Bitc.Instr.Binop (op, ty, a, b) -> Bitc.Instr.Binop (op, ty, subst a, subst b)
+      | Bitc.Instr.Cmp (op, ty, a, b) -> Bitc.Instr.Cmp (op, ty, subst a, subst b)
+      | Bitc.Instr.Unop (op, a) -> Bitc.Instr.Unop (op, subst a)
+      | Bitc.Instr.Select (c, a, b) -> Bitc.Instr.Select (subst c, subst a, subst b)
+      | Bitc.Instr.Load p -> Bitc.Instr.Load (subst p)
+      | Bitc.Instr.Store s ->
+        Bitc.Instr.Store { s with ptr = subst s.ptr; value = subst s.value }
+      | Bitc.Instr.Gep g ->
+        Bitc.Instr.Gep { g with base = subst g.base; index = subst g.index }
+      | Bitc.Instr.Call c ->
+        Bitc.Instr.Call { c with args = List.map subst c.args }
+      | Bitc.Instr.Atomic_add a ->
+        Bitc.Instr.Atomic_add { a with ptr = subst a.ptr; value = subst a.value }
+      | Bitc.Instr.Ptr_cast p -> Bitc.Instr.Ptr_cast (subst p)
+      | (Bitc.Instr.Alloca _ | Bitc.Instr.Shared_alloca _ | Bitc.Instr.Special _
+        | Bitc.Instr.Sync) as k ->
+        k
+    in
+    let i = { i with kind } in
+    let try_const =
+      match i.kind, i.result with
+      | Bitc.Instr.Binop (op, ty, a, b), Some _ -> fold_binop op ty a b
+      | Bitc.Instr.Cmp (op, _, a, b), Some _ -> fold_cmp op a b
+      | Bitc.Instr.Unop (op, a), Some _ -> fold_unop op a
+      | Bitc.Instr.Select (Bitc.Value.Bool c, a, b), Some _ ->
+        Some (if c then a else b)
+      | _ -> None
+    in
+    match try_const, i.result with
+    | Some c, Some r ->
+      Hashtbl.replace consts r c;
+      incr folded;
+      None
+    | _ -> Some i
+  in
+  List.iter
+    (fun (b : Bitc.Block.t) ->
+      b.instrs <- List.filter_map fold_instr b.instrs;
+      b.term <-
+        Option.map
+          (fun t ->
+            match t with
+            | Bitc.Instr.Cond_br (c, bt, bf) -> (
+              match subst c with
+              | Bitc.Value.Bool true -> Bitc.Instr.Br bt
+              | Bitc.Value.Bool false -> Bitc.Instr.Br bf
+              | c -> Bitc.Instr.Cond_br (c, bt, bf))
+            | Bitc.Instr.Ret (Some v) -> Bitc.Instr.Ret (Some (subst v))
+            | Bitc.Instr.Br _ | Bitc.Instr.Ret None -> t)
+          b.term)
+    f.blocks;
+  !folded
+
+let run (m : Bitc.Irmod.t) = List.fold_left (fun acc f -> acc + run_func f) 0 m.funcs
+let pass = Pass.make ~name:"constfold" (fun m -> ignore (run m))

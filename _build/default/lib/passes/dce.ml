@@ -1,0 +1,62 @@
+(* Dead-code elimination: removes side-effect-free instructions whose
+   results are never read.  Loads are deliberately kept — removing them
+   would change the memory profile the tool exists to measure — so this
+   pass is safe to run before instrumentation. *)
+
+let is_pure (i : Bitc.Instr.t) =
+  match i.kind with
+  | Bitc.Instr.Binop _ | Bitc.Instr.Unop _ | Bitc.Instr.Cmp _
+  | Bitc.Instr.Select _ | Bitc.Instr.Gep _ | Bitc.Instr.Special _
+  | Bitc.Instr.Ptr_cast _ ->
+    true
+  | Bitc.Instr.Alloca _ | Bitc.Instr.Shared_alloca _ | Bitc.Instr.Load _
+  | Bitc.Instr.Store _ | Bitc.Instr.Call _ | Bitc.Instr.Sync
+  | Bitc.Instr.Atomic_add _ ->
+    false
+
+let used_regs (f : Bitc.Func.t) =
+  let used = Hashtbl.create 64 in
+  let mark = function
+    | Bitc.Value.Reg r -> Hashtbl.replace used r ()
+    | Bitc.Value.Int _ | Bitc.Value.Float _ | Bitc.Value.Bool _ | Bitc.Value.Null ->
+      ()
+  in
+  Bitc.Func.iter_instrs f (fun _ i -> List.iter mark (Bitc.Instr.operands i));
+  List.iter
+    (fun (b : Bitc.Block.t) ->
+      match b.term with
+      | Some t -> List.iter mark (Bitc.Instr.terminator_operands t)
+      | None -> ())
+    f.blocks;
+  used
+
+(* One sweep; returns the number of removed instructions. *)
+let sweep_func (f : Bitc.Func.t) =
+  let used = used_regs f in
+  let removed = ref 0 in
+  List.iter
+    (fun (b : Bitc.Block.t) ->
+      b.instrs <-
+        List.filter
+          (fun (i : Bitc.Instr.t) ->
+            match i.result with
+            | Some r when is_pure i && not (Hashtbl.mem used r) ->
+              incr removed;
+              false
+            | _ -> true)
+          b.instrs)
+    f.blocks;
+  !removed
+
+let run_func f =
+  let total = ref 0 in
+  let rec fixpoint () =
+    let n = sweep_func f in
+    total := !total + n;
+    if n > 0 then fixpoint ()
+  in
+  fixpoint ();
+  !total
+
+let run (m : Bitc.Irmod.t) = List.fold_left (fun acc f -> acc + run_func f) 0 m.funcs
+let pass = Pass.make ~name:"dce" (fun m -> ignore (run m))

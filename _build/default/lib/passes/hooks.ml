@@ -1,0 +1,99 @@
+(* Device-side analysis functions inserted by the instrumentation engine.
+   In the paper these are CUDA device functions (e.g. [Record],
+   [passBasicBlock]) compiled separately and merged with the kernel
+   bitcode by llvm-link; here they are declarations the PTX backend turns
+   into profiler hook instructions the simulator dispatches. *)
+
+let record_mem = "__ca_record_mem"
+let record_bb = "__ca_record_bb"
+let record_arith_i = "__ca_record_arith_i"
+let record_arith_f = "__ca_record_arith_f"
+let push_call = "__ca_push_call"
+let pop_call = "__ca_pop_call"
+
+let is_hook name = String.length name >= 5 && String.sub name 0 5 = "__ca_"
+
+(* Memory-operation kind codes passed as [Record]'s last argument
+   (Listing 2 passes "operation type"). *)
+let mem_kind_load = 1
+let mem_kind_store = 2
+let mem_kind_atomic = 3
+
+let i32 = Bitc.Types.I32
+let f32 = Bitc.Types.F32
+let byte_ptr = Bitc.Builder.byte_ptr_ty
+
+(* Declare every hook into [m] so calls to them verify. *)
+let declare_all (m : Bitc.Irmod.t) =
+  Bitc.Irmod.declare m record_mem
+    ~params:[ byte_ptr; i32; i32; i32; i32 ]
+    ~ret:Bitc.Types.Void;
+  Bitc.Irmod.declare m record_bb ~params:[ i32; i32; i32 ] ~ret:Bitc.Types.Void;
+  Bitc.Irmod.declare m record_arith_i
+    ~params:[ i32; i32; i32; i32; i32 ]
+    ~ret:Bitc.Types.Void;
+  Bitc.Irmod.declare m record_arith_f
+    ~params:[ i32; f32; f32; i32; i32 ]
+    ~ret:Bitc.Types.Void;
+  Bitc.Irmod.declare m push_call ~params:[ i32 ] ~ret:Bitc.Types.Void;
+  Bitc.Irmod.declare m pop_call ~params:[ i32 ] ~ret:Bitc.Types.Void
+
+(* Numeric opcodes for the arithmetic-operation hook. *)
+let arith_code_of_binop (op : Bitc.Instr.binop) =
+  match op with
+  | Add -> 1
+  | Sub -> 2
+  | Mul -> 3
+  | Div -> 4
+  | Rem -> 5
+  | And -> 6
+  | Or -> 7
+  | Xor -> 8
+  | Shl -> 9
+  | Lshr -> 10
+  | Min -> 11
+  | Max -> 12
+
+let arith_code_of_unop (op : Bitc.Instr.unop) =
+  match op with
+  | Neg -> 20
+  | Not -> 21
+  | Int_to_float -> 22
+  | Float_to_int -> 23
+  | Sqrt -> 24
+  | Exp -> 25
+  | Log -> 26
+  | Fabs -> 27
+
+let arith_code_of_cmp (op : Bitc.Instr.cmp) =
+  match op with Eq -> 30 | Ne -> 31 | Lt -> 32 | Le -> 33 | Gt -> 34 | Ge -> 35
+
+let arith_code_to_string code =
+  match code with
+  | 1 -> "add"
+  | 2 -> "sub"
+  | 3 -> "mul"
+  | 4 -> "div"
+  | 5 -> "rem"
+  | 6 -> "and"
+  | 7 -> "or"
+  | 8 -> "xor"
+  | 9 -> "shl"
+  | 10 -> "lshr"
+  | 11 -> "min"
+  | 12 -> "max"
+  | 20 -> "neg"
+  | 21 -> "not"
+  | 22 -> "sitofp"
+  | 23 -> "fptosi"
+  | 24 -> "sqrt"
+  | 25 -> "exp"
+  | 26 -> "log"
+  | 27 -> "fabs"
+  | 30 -> "eq"
+  | 31 -> "ne"
+  | 32 -> "lt"
+  | 33 -> "le"
+  | 34 -> "gt"
+  | 35 -> "ge"
+  | _ -> Printf.sprintf "op%d" code

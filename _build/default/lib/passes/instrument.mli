@@ -1,0 +1,33 @@
+(** The CUDAAdvisor instrumentation engine (paper Section 3.1).
+
+    Mandatory instrumentation brackets device-function calls with shadow
+    stack push/pop hooks; optional instrumentation covers the three
+    categories of the paper — memory operations (effective address,
+    width, source location: Listings 1/2), control flow (basic-block
+    entries: Listings 3/4) and arithmetic operations (opcode + dynamic
+    operand values). *)
+
+(** Which optional instrumentation categories to insert. *)
+type options = {
+  memory : bool;
+  control_flow : bool;
+  arithmetic : bool;
+}
+
+val all : options
+val memory_only : options
+val control_flow_only : options
+
+(** No optional instrumentation — only the mandatory call hooks. *)
+val nothing : options
+
+type result = { manifest : Manifest.t }
+
+(** Instrument all kernels and device functions of the module in place;
+    returns the manifest mapping hook ids back to source entities.  The
+    instrumented module is re-verified.  Run at most once per module. *)
+val run : ?options:options -> Bitc.Irmod.t -> result
+
+(** The engine packaged as a pass for {!Pass.run_all}; the result is
+    delivered through [into]. *)
+val as_pass : ?options:options -> into:result option ref -> unit -> Pass.t

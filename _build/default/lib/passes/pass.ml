@@ -1,0 +1,19 @@
+(* A minimal pass manager in the spirit of LLVM's legacy PM: named
+   module transforms run in sequence, with the verifier checked after
+   each pass so a broken transform is caught at its source. *)
+
+type t = { name : string; run : Bitc.Irmod.t -> unit }
+
+exception Pass_error of { pass : string; msg : string }
+
+let make ~name run = { name; run }
+
+let run_all ?(verify = true) passes (m : Bitc.Irmod.t) =
+  List.iter
+    (fun pass ->
+      pass.run m;
+      if verify then
+        match Bitc.Verify.check m with
+        | Ok () -> ()
+        | Error msg -> raise (Pass_error { pass = pass.name; msg }))
+    passes

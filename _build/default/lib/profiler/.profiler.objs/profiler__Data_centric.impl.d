@@ -1,0 +1,1 @@
+lib/profiler/data_centric.ml: List Profile Records

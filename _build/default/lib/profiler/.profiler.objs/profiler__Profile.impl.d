@@ -1,0 +1,1 @@
+lib/profiler/profile.ml: Array Bitc Cct Gpusim Hashtbl List Option Passes Records

@@ -1,0 +1,1 @@
+lib/profiler/profile.mli: Bitc Cct Gpusim Hashtbl Passes Records

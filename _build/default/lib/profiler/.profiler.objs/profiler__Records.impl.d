@@ -1,0 +1,1 @@
+lib/profiler/records.ml: Printf

@@ -1,0 +1,59 @@
+(* Calling-context tree.  Device shadow stacks are interned into CCT
+   nodes so each monitored instruction carries a single integer that
+   expands to its full device call path; the host call path is
+   concatenated in front at reporting time (Section 3.2.1). *)
+
+type node = {
+  id : int;
+  parent : int; (* -1 for roots *)
+  callsite : int; (* manifest callsite id; -1 for roots (kernel entry) *)
+}
+
+type t = {
+  mutable nodes : node array;
+  mutable len : int;
+  children : (int * int, int) Hashtbl.t; (* (parent, callsite) -> id *)
+}
+
+let create () = { nodes = Array.make 64 { id = 0; parent = -1; callsite = -1 }; len = 0; children = Hashtbl.create 64 }
+
+let add t ~parent ~callsite =
+  if t.len = Array.length t.nodes then begin
+    let bigger = Array.make (2 * t.len) t.nodes.(0) in
+    Array.blit t.nodes 0 bigger 0 t.len;
+    t.nodes <- bigger
+  end;
+  let id = t.len in
+  t.nodes.(id) <- { id; parent; callsite };
+  t.len <- t.len + 1;
+  Hashtbl.replace t.children (parent, callsite) id;
+  id
+
+(* A root node represents a kernel entry; [key] distinguishes kernels. *)
+let root t ~key =
+  match Hashtbl.find_opt t.children (-1, -key - 2) with
+  | Some id -> id
+  | None -> add t ~parent:(-1) ~callsite:(-key - 2)
+
+let child t parent ~callsite =
+  match Hashtbl.find_opt t.children (parent, callsite) with
+  | Some id -> id
+  | None -> add t ~parent ~callsite
+
+let node t id =
+  if id < 0 || id >= t.len then invalid_arg (Printf.sprintf "Cct.node: bad id %d" id);
+  t.nodes.(id)
+
+let parent t id = (node t id).parent
+
+(* Call-site ids from the root (exclusive) down to [id]. *)
+let path t id =
+  let rec go id acc =
+    if id < 0 then acc
+    else
+      let n = node t id in
+      if n.callsite < 0 then acc else go n.parent (n.callsite :: acc)
+  in
+  go id []
+
+let size t = t.len

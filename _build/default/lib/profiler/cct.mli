@@ -1,0 +1,27 @@
+(** Calling-context tree: device shadow stacks are interned into nodes
+    so each monitored instruction carries one integer that expands to
+    its full device call path (paper Section 3.2.1). *)
+
+type node = {
+  id : int;
+  parent : int;  (** [-1] for roots *)
+  callsite : int;  (** manifest call-site id; negative for roots *)
+}
+
+type t
+
+val create : unit -> t
+
+(** The root node for kernel [key] (one per kernel). *)
+val root : t -> key:int -> int
+
+(** The child of [parent] through [callsite], interned. *)
+val child : t -> int -> callsite:int -> int
+
+val node : t -> int -> node
+val parent : t -> int -> int
+
+(** Call-site ids from the root (exclusive) down to the node. *)
+val path : t -> int -> int list
+
+val size : t -> int

@@ -1,0 +1,58 @@
+(* Data-centric attribution primitives (Section 3.2.2, Figure 3): map a
+   device address back to the data object it belongs to, and reconstruct
+   the object's flow from its host-side origin through cudaMemcpy. *)
+
+(* The device allocation containing [addr], if any. *)
+let find_device_alloc (p : Profile.t) addr =
+  List.find_opt
+    (fun (a : Records.alloc) -> a.side = Records.Device_side && Records.contains a addr)
+    (Profile.allocations p)
+
+let find_host_alloc (p : Profile.t) addr =
+  List.find_opt
+    (fun (a : Records.alloc) -> a.side = Records.Host_side && Records.contains a addr)
+    (Profile.allocations p)
+
+(* Transfers that wrote into device allocation [a]. *)
+let transfers_into (p : Profile.t) (a : Records.alloc) =
+  List.filter
+    (fun (t : Records.transfer) ->
+      t.direction = Records.Host_to_device
+      && t.dst < a.base + a.size
+      && t.dst + t.bytes > a.base)
+    (Profile.transfers p)
+
+(* Transfers that read out of device allocation [a]. *)
+let transfers_out_of (p : Profile.t) (a : Records.alloc) =
+  List.filter
+    (fun (t : Records.transfer) ->
+      t.direction = Records.Device_to_host
+      && t.src < a.base + a.size
+      && t.src + t.bytes > a.base)
+    (Profile.transfers p)
+
+(* The host-side counterpart object of a device allocation: the host
+   allocation from which data was last copied into it. *)
+let host_counterpart (p : Profile.t) (a : Records.alloc) =
+  match transfers_into p a with
+  | [] -> None
+  | ts ->
+    let last = List.nth ts (List.length ts - 1) in
+    find_host_alloc p last.Records.src
+
+(* Full data flow of one device object, as (host object option,
+   inbound transfers, outbound transfers). *)
+type flow = {
+  device_object : Records.alloc;
+  host_object : Records.alloc option;
+  inbound : Records.transfer list;
+  outbound : Records.transfer list;
+}
+
+let flow_of (p : Profile.t) (a : Records.alloc) =
+  {
+    device_object = a;
+    host_object = host_counterpart p a;
+    inbound = transfers_into p a;
+    outbound = transfers_out_of p a;
+  }

@@ -1,0 +1,1 @@
+lib/ptx/bypass.ml: Array Bitc Isa List Option Printf

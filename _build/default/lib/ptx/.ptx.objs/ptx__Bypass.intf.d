@@ -1,0 +1,1 @@
+lib/ptx/bypass.mli: Bitc Isa

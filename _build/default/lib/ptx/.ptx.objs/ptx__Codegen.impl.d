@@ -1,0 +1,1 @@
+lib/ptx/codegen.ml: Array Bitc Hashtbl Isa List Option Passes Printf

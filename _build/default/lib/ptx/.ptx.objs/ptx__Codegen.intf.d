@@ -1,0 +1,1 @@
+lib/ptx/codegen.mli: Bitc Isa

@@ -1,0 +1,1 @@
+lib/ptx/printer.ml: Array Bitc Buffer Isa List Printf String

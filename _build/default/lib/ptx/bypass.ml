@@ -1,0 +1,143 @@
+(* Horizontal cache bypassing at PTX level (Section 4.2-(D), Listing 5).
+
+   The transformation prepends a small prologue to the kernel that
+   computes the warp id within the CTA and a predicate
+   [warp_id < num_warps_to_cache], then splits every global [ld.ca] into
+   a pair of complementarily-predicated loads:
+
+       @%p  ld.global.ca  %r, [addr];
+       @!%p ld.global.cg  %r, [addr];
+
+   Because the warp id is uniform across a warp, exactly one of the two
+   issues real transactions per warp; the other is fully masked.  Warps
+   beyond the threshold bypass L1 and go straight to L2, which is the
+   paper's mechanism for relieving L1 thrashing and MSHR congestion. *)
+
+let warp_size = 32
+
+(* Rewrite one kernel so that only warps with id < [warps_to_cache]
+   access the L1 cache.  Functions it calls are left untouched: the
+   paper's horizontal scheme works at per-kernel granularity; the
+   overwhelming share of global loads sits in the kernel body. *)
+let rewrite_kernel (f : Isa.func) ~warps_to_cache : Isa.func =
+  if not f.is_kernel then invalid_arg "Bypass.rewrite_kernel: not a kernel";
+  let r_warp = f.nregs in
+  let r_pred = f.nregs + 1 in
+  let nregs = f.nregs + 2 in
+  let prologue =
+    [|
+      Isa.Sreg { dst = r_warp; which = Bitc.Instr.Warpid };
+      Isa.Setp
+        { op = Bitc.Instr.Lt; dst = r_pred; a = Isa.R r_warp;
+          b = Isa.I warps_to_cache; fl = false };
+    |]
+  in
+  let shift = Array.length prologue in
+  let adjust_target t = t + shift in
+  let rewritten =
+    Array.to_list f.body
+    |> List.concat_map (fun inst ->
+           match inst with
+           | Isa.Ld ({ space = Isa.Global; cop = Isa.Ca; pred = None; _ } as ld) ->
+             [ Isa.Ld { ld with pred = Some (r_pred, true) };
+               Isa.Ld { ld with cop = Isa.Cg; pred = Some (r_pred, false) } ]
+           | inst -> [ inst ])
+  in
+  (* Splitting loads moves pcs; build the old-pc -> new-pc map, then fix
+     every branch target. *)
+  let old_len = Array.length f.body in
+  let new_pc = Array.make (old_len + 1) 0 in
+  let counted = ref 0 in
+  Array.iteri
+    (fun old_pc inst ->
+      new_pc.(old_pc) <- !counted;
+      match inst with
+      | Isa.Ld { space = Isa.Global; cop = Isa.Ca; pred = None; _ } ->
+        counted := !counted + 2
+      | _ -> incr counted)
+    f.body;
+  new_pc.(old_len) <- !counted;
+  let body =
+    List.map
+      (fun inst ->
+        match inst with
+        | Isa.Bra { target } -> Isa.Bra { target = adjust_target new_pc.(target) }
+        | Isa.Cond_bra { pr; if_true; if_false; reconv } ->
+          Isa.Cond_bra
+            { pr;
+              if_true = adjust_target new_pc.(if_true);
+              if_false = adjust_target new_pc.(if_false);
+              reconv = Option.map (fun r -> adjust_target new_pc.(r)) reconv }
+        | inst -> inst)
+      rewritten
+  in
+  let body = Array.append prologue (Array.of_list body) in
+  (* Metadata arrays expand in lock-step with the body. *)
+  let expand : 'a. 'a array -> 'a -> 'a array =
+   fun arr fill ->
+    let out = Array.make (Array.length body) fill in
+    let j = ref shift in
+    Array.iteri
+      (fun old_pc inst ->
+        match inst with
+        | Isa.Ld { space = Isa.Global; cop = Isa.Ca; pred = None; _ } ->
+          out.(!j) <- arr.(old_pc);
+          out.(!j + 1) <- arr.(old_pc);
+          j := !j + 2
+        | _ ->
+          out.(!j) <- arr.(old_pc);
+          incr j)
+      f.body;
+    out
+  in
+  {
+    f with
+    nregs;
+    body;
+    locs = expand f.locs Bitc.Loc.none;
+    block_of_pc = expand f.block_of_pc "bypass.prologue";
+  }
+
+(* Vertical bypassing (Xie et al. [55], Section 4.2-(D)): flip chosen
+   load *sites* from ld.ca to ld.cg for every warp.  [should_bypass]
+   selects sites by their source location (as produced by the
+   per-site reuse analysis). *)
+let rewrite_kernel_vertical (f : Isa.func) ~should_bypass : Isa.func =
+  let body =
+    Array.mapi
+      (fun pc inst ->
+        match inst with
+        | Isa.Ld ({ space = Isa.Global; cop = Isa.Ca; _ } as ld)
+          when should_bypass f.locs.(pc) ->
+          Isa.Ld { ld with cop = Isa.Cg }
+        | inst -> inst)
+      f.body
+  in
+  { f with body }
+
+let rewrite_prog_vertical (p : Isa.prog) ~should_bypass : Isa.prog =
+  {
+    p with
+    funcs =
+      List.map
+        (fun (name, f) ->
+          if f.Isa.is_kernel then (name, rewrite_kernel_vertical f ~should_bypass)
+          else (name, f))
+        p.funcs;
+  }
+
+(* Apply the rewrite to one kernel of a program. *)
+let rewrite_prog (p : Isa.prog) ~kernel ~warps_to_cache : Isa.prog =
+  let found = ref false in
+  let funcs =
+    List.map
+      (fun (name, f) ->
+        if name = kernel then begin
+          found := true;
+          (name, rewrite_kernel f ~warps_to_cache)
+        end
+        else (name, f))
+      p.funcs
+  in
+  if not !found then invalid_arg (Printf.sprintf "Bypass.rewrite_prog: no kernel %s" kernel);
+  { p with funcs }

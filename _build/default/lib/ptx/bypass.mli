@@ -1,0 +1,26 @@
+(** Horizontal cache bypassing at PTX level (paper Section 4.2-(D),
+    Listing 5): a prologue computes the warp id and a predicate
+    [warp_id < warps_to_cache]; every global [ld.ca] is split into a
+    pair of complementarily-predicated [ld.ca]/[ld.cg], so warps beyond
+    the threshold bypass the L1. *)
+
+val warp_size : int
+
+(** Rewrite one kernel; raises [Invalid_argument] on non-kernels. *)
+val rewrite_kernel : Isa.func -> warps_to_cache:int -> Isa.func
+
+(** Rewrite the named kernel of a program; raises [Invalid_argument] if
+    it does not exist. *)
+val rewrite_prog : Isa.prog -> kernel:string -> warps_to_cache:int -> Isa.prog
+
+(** {2 Vertical bypassing}
+
+    The alternative scheme the paper contrasts with (Xie et al.):
+    individual load sites with little reuse become [ld.cg] for every
+    warp.  [should_bypass] selects sites by source location. *)
+
+val rewrite_kernel_vertical :
+  Isa.func -> should_bypass:(Bitc.Loc.t -> bool) -> Isa.func
+
+val rewrite_prog_vertical :
+  Isa.prog -> should_bypass:(Bitc.Loc.t -> bool) -> Isa.prog

@@ -1,0 +1,235 @@
+(* Code generation from Bitc IR to the PTX-like ISA: the NVPTX-backend +
+   ptxas stage of Figure 2.  Registers map one-to-one from IR virtual
+   registers; allocas become per-thread frame offsets; shared allocas
+   become static per-CTA offsets; conditional branches are annotated
+   with their reconvergence pc (immediate post-dominator). *)
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let operand_of_value : Bitc.Value.t -> Isa.operand = function
+  | Bitc.Value.Reg r -> Isa.R r
+  | Bitc.Value.Int i -> Isa.I i
+  | Bitc.Value.Float f -> Isa.F f
+  | Bitc.Value.Bool b -> Isa.I (if b then 1 else 0)
+  | Bitc.Value.Null -> Isa.I 0
+
+let space_of = function
+  | Bitc.Types.Global -> Isa.Global
+  | Bitc.Types.Shared -> Isa.Shared
+  | Bitc.Types.Local -> Isa.Local
+  | Bitc.Types.Generic -> fail "Codegen: load/store through generic pointer"
+
+let align offset size = (offset + size - 1) / size * size
+
+type state = {
+  bfunc : Bitc.Func.t;
+  mutable next_reg : int;
+  buf : Isa.inst option array ref; (* None marks a to-be-patched branch slot *)
+  mutable len : int;
+  mutable locs : Bitc.Loc.t list; (* reversed *)
+  mutable blocks_of : string list; (* reversed *)
+  mutable patches : (int * patch) list;
+  mutable local_off : int;
+  mutable shared_off : int;
+  shared_base : int; (* module-wide shared offset at which this fn starts *)
+}
+
+and patch =
+  | P_bra of string
+  | P_cond of { pr : int; t : string; f : string; reconv : string option }
+
+let fresh st =
+  let r = st.next_reg in
+  st.next_reg <- r + 1;
+  r
+
+let emit st ~loc ~block inst =
+  let buf = !(st.buf) in
+  let buf =
+    if st.len >= Array.length buf then begin
+      let bigger = Array.make (2 * Array.length buf + 8) None in
+      Array.blit buf 0 bigger 0 st.len;
+      st.buf := bigger;
+      bigger
+    end
+    else buf
+  in
+  buf.(st.len) <- inst;
+  st.len <- st.len + 1;
+  st.locs <- loc :: st.locs;
+  st.blocks_of <- block :: st.blocks_of
+
+let value_width (ty : Bitc.Types.ty) = Bitc.Types.size_of ty
+
+let gen_instr st ~block (i : Bitc.Instr.t) =
+  let f = st.bfunc in
+  let v = operand_of_value in
+  let emit = emit st ~loc:i.loc ~block in
+  let dst () =
+    match i.result with
+    | Some r -> r
+    | None -> fail "Codegen: instruction missing result register"
+  in
+  match i.kind with
+  | Bitc.Instr.Alloca (ty, n) ->
+    let size = Bitc.Types.size_of ty in
+    st.local_off <- align st.local_off size;
+    let off = st.local_off in
+    st.local_off <- st.local_off + (size * n);
+    emit (Some (Isa.Mov { dst = dst (); src = Isa.I off }))
+  | Bitc.Instr.Shared_alloca (ty, n) ->
+    let size = Bitc.Types.size_of ty in
+    st.shared_off <- align st.shared_off size;
+    let off = st.shared_base + st.shared_off in
+    st.shared_off <- st.shared_off + (size * n);
+    emit (Some (Isa.Mov { dst = dst (); src = Isa.I off }))
+  | Bitc.Instr.Load ptr ->
+    let pty = Bitc.Func.value_ty f ptr in
+    let space = space_of (match pty with Bitc.Types.Ptr (_, s) -> s | _ -> fail "load") in
+    emit
+      (Some
+         (Isa.Ld
+            { dst = dst (); space; cop = Isa.Ca; addr = v ptr;
+              width = value_width i.ty; fl = Bitc.Types.is_float i.ty; pred = None }))
+  | Bitc.Instr.Store { ptr; value; value_ty } ->
+    let pty = Bitc.Func.value_ty f ptr in
+    let space = space_of (match pty with Bitc.Types.Ptr (_, s) -> s | _ -> fail "store") in
+    emit
+      (Some
+         (Isa.St
+            { space; cop = Isa.Ca; addr = v ptr; src = v value;
+              width = value_width value_ty; fl = Bitc.Types.is_float value_ty;
+              pred = None }))
+  | Bitc.Instr.Gep { base; index; elem } ->
+    let size = Bitc.Types.size_of elem in
+    if size = 1 then
+      emit (Some (Isa.Iop { op = Bitc.Instr.Add; dst = dst (); a = v base; b = v index }))
+    else begin
+      let tmp = fresh st in
+      emit (Some (Isa.Iop { op = Bitc.Instr.Mul; dst = tmp; a = v index; b = Isa.I size }));
+      emit (Some (Isa.Iop { op = Bitc.Instr.Add; dst = dst (); a = v base; b = Isa.R tmp }))
+    end
+  | Bitc.Instr.Binop (op, ty, a, b) ->
+    if Bitc.Types.is_float ty then
+      emit (Some (Isa.Fop { op; dst = dst (); a = v a; b = v b }))
+    else emit (Some (Isa.Iop { op; dst = dst (); a = v a; b = v b }))
+  | Bitc.Instr.Unop (op, a) ->
+    let fl = Bitc.Types.is_float (Bitc.Func.value_ty f a) in
+    emit (Some (Isa.Unop { op; dst = dst (); a = v a; fl }))
+  | Bitc.Instr.Cmp (op, ty, a, b) ->
+    emit
+      (Some (Isa.Setp { op; dst = dst (); a = v a; b = v b; fl = Bitc.Types.is_float ty }))
+  | Bitc.Instr.Select (c, a, b) ->
+    emit (Some (Isa.Selp { dst = dst (); cond = v c; a = v a; b = v b }))
+  | Bitc.Instr.Call { callee; args } ->
+    if Passes.Hooks.is_hook callee then
+      emit (Some (Isa.Hook { name = callee; args = List.map v args }))
+    else emit (Some (Isa.Call { callee; args = List.map v args; dst = i.result }))
+  | Bitc.Instr.Special which -> emit (Some (Isa.Sreg { dst = dst (); which }))
+  | Bitc.Instr.Sync -> emit (Some Isa.Bar)
+  | Bitc.Instr.Atomic_add { ptr; value; value_ty } ->
+    emit
+      (Some
+         (Isa.Atom
+            { dst = dst (); addr = v ptr; src = v value;
+              width = value_width value_ty; fl = Bitc.Types.is_float value_ty }))
+  | Bitc.Instr.Ptr_cast p -> emit (Some (Isa.Mov { dst = dst (); src = v p }))
+
+let gen_func ~shared_base (bfunc : Bitc.Func.t) : Isa.func * int =
+  let st =
+    {
+      bfunc;
+      next_reg = bfunc.next_reg;
+      buf = ref (Array.make 64 None);
+      len = 0;
+      locs = [];
+      blocks_of = [];
+      patches = [];
+      local_off = 0;
+      shared_off = 0;
+      shared_base;
+    }
+  in
+  let cfg = Bitc.Cfg.build bfunc in
+  let ipdom = Bitc.Cfg.post_dominators cfg in
+  let block_start = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Bitc.Block.t) ->
+      Hashtbl.replace block_start b.name st.len;
+      List.iter (gen_instr st ~block:b.name) b.instrs;
+      let term_loc =
+        match List.rev b.instrs with i :: _ -> i.Bitc.Instr.loc | [] -> Bitc.Loc.none
+      in
+      let emit_patch p =
+        st.patches <- (st.len, p) :: st.patches;
+        emit st ~loc:term_loc ~block:b.name None
+      in
+      match Bitc.Block.terminator b with
+      | Bitc.Instr.Br target -> emit_patch (P_bra target)
+      | Bitc.Instr.Cond_br (c, t, f) -> (
+        let reconv = Bitc.Cfg.reconvergence_point cfg ipdom b.name in
+        match c with
+        | Bitc.Value.Reg pr -> emit_patch (P_cond { pr; t; f; reconv })
+        | Bitc.Value.Bool cv -> emit_patch (P_bra (if cv then t else f))
+        | _ -> fail "Codegen: conditional branch on non-boolean")
+      | Bitc.Instr.Ret vopt ->
+        emit st ~loc:term_loc ~block:b.name
+          (Some (Isa.Ret (Option.map operand_of_value vopt))))
+    bfunc.blocks;
+  (* Patch branch targets now that all block start pcs are known. *)
+  let resolve label =
+    match Hashtbl.find_opt block_start label with
+    | Some pc -> pc
+    | None -> fail "Codegen: unresolved label %s in %s" label bfunc.name
+  in
+  let buf = !(st.buf) in
+  List.iter
+    (fun (pc, patch) ->
+      buf.(pc) <-
+        (match patch with
+        | P_bra target -> Some (Isa.Bra { target = resolve target })
+        | P_cond { pr; t; f; reconv } ->
+          Some
+            (Isa.Cond_bra
+               { pr; if_true = resolve t; if_false = resolve f;
+                 reconv = Option.map resolve reconv })))
+    st.patches;
+  let body =
+    Array.init st.len (fun i ->
+        match buf.(i) with
+        | Some inst -> inst
+        | None -> fail "Codegen: unpatched instruction at pc %d" i)
+  in
+  let locs = Array.of_list (List.rev st.locs) in
+  let block_of_pc = Array.of_list (List.rev st.blocks_of) in
+  ( {
+      Isa.name = bfunc.name;
+      arity = Bitc.Func.arity bfunc;
+      nregs = st.next_reg;
+      body;
+      locs;
+      block_of_pc;
+      local_bytes = align st.local_off 8;
+      shared_bytes = align st.shared_off 8;
+      is_kernel = Bitc.Func.is_kernel bfunc;
+    },
+    st.shared_off )
+
+(* Lower a whole device module.  Host functions are not device code and
+   are skipped (they are modeled by the host runtime). *)
+let gen_module (m : Bitc.Irmod.t) : Isa.prog =
+  let shared_base = ref 0 in
+  let funcs =
+    List.filter_map
+      (fun (f : Bitc.Func.t) ->
+        match f.fkind with
+        | Bitc.Func.Host -> None
+        | Bitc.Func.Kernel | Bitc.Func.Device ->
+          let pf, shared_used = gen_func ~shared_base:!shared_base f in
+          shared_base := !shared_base + align shared_used 8;
+          Some (f.name, pf))
+      m.funcs
+  in
+  { Isa.module_name = m.name; funcs }

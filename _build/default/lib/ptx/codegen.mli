@@ -1,0 +1,17 @@
+(** Code generation from Bitc IR to the PTX-like ISA — the
+    NVPTX-backend + ptxas stage of the paper's Figure 2.  Registers map
+    one-to-one from IR virtual registers; allocas become per-thread
+    frame offsets; shared allocas become static per-CTA offsets;
+    conditional branches carry their reconvergence pc (the immediate
+    post-dominator). *)
+
+exception Error of string
+
+(** Lower one function.  [shared_base] is the module-wide shared-memory
+    offset this function's declarations start at; returns the lowered
+    function and the shared bytes it consumed. *)
+val gen_func : shared_base:int -> Bitc.Func.t -> Isa.func * int
+
+(** Lower a whole device module (host functions are skipped — they are
+    modeled by the host runtime). *)
+val gen_module : Bitc.Irmod.t -> Isa.prog

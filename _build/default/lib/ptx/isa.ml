@@ -1,0 +1,103 @@
+(* The PTX-like target ISA.  It is a linear, register-based instruction
+   set with explicit memory spaces and cache operators (ld.ca / ld.cg),
+   which is the level at which the paper's horizontal cache bypassing
+   (Listing 5) operates.  Branches carry their SIMT reconvergence point,
+   computed from the IR's immediate post-dominators at code generation
+   time — the same policy real hardware implements with its divergence
+   stack. *)
+
+type operand =
+  | R of int (* virtual register *)
+  | I of int (* integer immediate *)
+  | F of float (* float immediate *)
+
+type space =
+  | Global
+  | Shared (* per-CTA scratchpad; not L1/L2 traffic *)
+  | Local (* per-thread frame; register-file cost, not traced *)
+
+(* PTX cache operators on global loads: [Ca] caches at L1 (default),
+   [Cg] bypasses L1 and caches at L2. *)
+type cache_op = Ca | Cg
+
+(* [pred] guards execution per thread: [Some (r, b)] runs the instruction
+   only in threads where register [r] (0/1) equals [b]. *)
+type pred = (int * bool) option
+
+type inst =
+  | Mov of { dst : int; src : operand }
+  | Iop of { op : Bitc.Instr.binop; dst : int; a : operand; b : operand }
+  | Fop of { op : Bitc.Instr.binop; dst : int; a : operand; b : operand }
+  | Unop of { op : Bitc.Instr.unop; dst : int; a : operand; fl : bool }
+  | Setp of { op : Bitc.Instr.cmp; dst : int; a : operand; b : operand; fl : bool }
+  | Selp of { dst : int; cond : operand; a : operand; b : operand }
+  | Ld of {
+      dst : int;
+      space : space;
+      cop : cache_op;
+      addr : operand;
+      width : int; (* bytes: 1, 4 or 8 *)
+      fl : bool; (* float-typed destination *)
+      pred : pred;
+    }
+  | St of {
+      space : space;
+      cop : cache_op;
+      addr : operand;
+      src : operand;
+      width : int;
+      fl : bool;
+      pred : pred;
+    }
+  | Atom of { dst : int; addr : operand; src : operand; width : int; fl : bool }
+  | Bra of { target : int } (* unconditional *)
+  | Cond_bra of {
+      pr : int; (* predicate register *)
+      if_true : int;
+      if_false : int;
+      reconv : int option; (* immediate post-dominator pc *)
+    }
+  | Call of { callee : string; args : operand list; dst : int option }
+  | Ret of operand option
+  | Bar (* CTA-wide barrier *)
+  | Sreg of { dst : int; which : Bitc.Instr.special }
+  | Hook of { name : string; args : operand list } (* profiler hook call *)
+
+(* Debug location per instruction, parallel to the body array. *)
+type func = {
+  name : string;
+  arity : int; (* parameters arrive in registers 0..arity-1 *)
+  nregs : int;
+  body : inst array;
+  locs : Bitc.Loc.t array;
+  block_of_pc : string array; (* enclosing IR block name, for reporting *)
+  local_bytes : int; (* per-thread frame size *)
+  shared_bytes : int; (* per-CTA static shared memory this fn declares *)
+  is_kernel : bool;
+}
+
+type prog = {
+  module_name : string;
+  funcs : (string * func) list;
+}
+
+let find_func prog name =
+  match List.assoc_opt name prog.funcs with
+  | Some f -> f
+  | None -> invalid_arg (Printf.sprintf "Isa.find_func: unknown function %s" name)
+
+let kernels prog = List.filter (fun (_, f) -> f.is_kernel) prog.funcs
+
+(* Total static shared memory a launch of [kernel] needs: its own
+   declarations plus those of every function in the module it may call
+   (conservative, resolved statically). *)
+let shared_bytes_for_launch prog _kernel =
+  List.fold_left (fun acc (_, f) -> acc + f.shared_bytes) 0 prog.funcs
+
+let operand_to_string = function
+  | R r -> Printf.sprintf "%%r%d" r
+  | I i -> string_of_int i
+  | F f -> Printf.sprintf "%h" f
+
+let space_to_string = function Global -> "global" | Shared -> "shared" | Local -> "local"
+let cop_to_string = function Ca -> "ca" | Cg -> "cg"

@@ -1,0 +1,75 @@
+(* Textual PTX-flavoured rendering, for dumps and tests. *)
+
+let pred_prefix = function
+  | None -> ""
+  | Some (r, true) -> Printf.sprintf "@%%p%d " r
+  | Some (r, false) -> Printf.sprintf "@!%%p%d " r
+
+let inst_to_string (i : Isa.inst) =
+  let op = Isa.operand_to_string in
+  match i with
+  | Isa.Mov { dst; src } -> Printf.sprintf "mov %%r%d, %s" dst (op src)
+  | Isa.Iop { op = o; dst; a; b } ->
+    Printf.sprintf "%s.s32 %%r%d, %s, %s" (Bitc.Instr.binop_to_string o) dst (op a) (op b)
+  | Isa.Fop { op = o; dst; a; b } ->
+    Printf.sprintf "%s.f32 %%r%d, %s, %s" (Bitc.Instr.binop_to_string o) dst (op a) (op b)
+  | Isa.Unop { op = o; dst; a; fl } ->
+    Printf.sprintf "%s.%s %%r%d, %s" (Bitc.Instr.unop_to_string o)
+      (if fl then "f32" else "s32") dst (op a)
+  | Isa.Setp { op = o; dst; a; b; fl } ->
+    Printf.sprintf "setp.%s.%s %%p%d, %s, %s" (Bitc.Instr.cmp_to_string o)
+      (if fl then "f32" else "s32") dst (op a) (op b)
+  | Isa.Selp { dst; cond; a; b } ->
+    Printf.sprintf "selp %%r%d, %s, %s, %s" dst (op a) (op b) (op cond)
+  | Isa.Ld { dst; space; cop; addr; width; fl; pred } ->
+    Printf.sprintf "%sld.%s.%s.%s%d %%r%d, [%s]" (pred_prefix pred)
+      (Isa.space_to_string space) (Isa.cop_to_string cop)
+      (if fl then "f" else "u") (8 * width) dst (op addr)
+  | Isa.St { space; cop; addr; src; width; fl; pred } ->
+    Printf.sprintf "%sst.%s.%s.%s%d [%s], %s" (pred_prefix pred)
+      (Isa.space_to_string space) (Isa.cop_to_string cop)
+      (if fl then "f" else "u") (8 * width) (op addr) (op src)
+  | Isa.Atom { dst; addr; src; width; fl } ->
+    Printf.sprintf "atom.global.add.%s%d %%r%d, [%s], %s"
+      (if fl then "f" else "u") (8 * width) dst (op addr) (op src)
+  | Isa.Bra { target } -> Printf.sprintf "bra L%d" target
+  | Isa.Cond_bra { pr; if_true; if_false; reconv } ->
+    Printf.sprintf "@%%p%d bra L%d, L%d%s" pr if_true if_false
+      (match reconv with Some r -> Printf.sprintf " ; reconv L%d" r | None -> "")
+  | Isa.Call { callee; args; dst } ->
+    Printf.sprintf "call%s %s(%s)"
+      (match dst with Some d -> Printf.sprintf " %%r%d," d | None -> "")
+      callee
+      (String.concat ", " (List.map op args))
+  | Isa.Ret None -> "ret"
+  | Isa.Ret (Some v) -> Printf.sprintf "ret %s" (op v)
+  | Isa.Bar -> "bar.sync 0"
+  | Isa.Sreg { dst; which } ->
+    Printf.sprintf "mov %%r%d, %%%s" dst (Bitc.Instr.special_to_string which)
+  | Isa.Hook { name; args } ->
+    Printf.sprintf "call.hook %s(%s)" name (String.concat ", " (List.map op args))
+
+let func_to_string (f : Isa.func) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf ".%s %s (arity %d, %d regs, %dB local, %dB shared)\n"
+       (if f.is_kernel then "entry" else "func")
+       f.name f.arity f.nregs f.local_bytes f.shared_bytes);
+  Array.iteri
+    (fun pc inst ->
+      Buffer.add_string buf
+        (Printf.sprintf "L%-4d %s ; %s @ %s\n" pc (inst_to_string inst)
+           f.block_of_pc.(pc)
+           (Bitc.Loc.to_string f.locs.(pc))))
+    f.body;
+  Buffer.contents buf
+
+let prog_to_string (p : Isa.prog) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "// ptx module %s\n" p.module_name);
+  List.iter
+    (fun (_, f) ->
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (func_to_string f))
+    p.funcs;
+  Buffer.contents buf

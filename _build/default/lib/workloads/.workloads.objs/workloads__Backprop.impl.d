@@ -1,0 +1,1 @@
+lib/workloads/backprop.ml: Array Common Gpusim Hostrt Rng

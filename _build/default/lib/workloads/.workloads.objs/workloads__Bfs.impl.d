@@ -1,0 +1,1 @@
+lib/workloads/bfs.ml: Array Common Gpusim Hostrt Rng

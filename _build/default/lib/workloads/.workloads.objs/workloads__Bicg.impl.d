@@ -1,0 +1,1 @@
+lib/workloads/bicg.ml: Array Common Gpusim Hostrt Rng

@@ -1,0 +1,1 @@
+lib/workloads/hotspot.ml: Array Common Gpusim Hostrt Rng

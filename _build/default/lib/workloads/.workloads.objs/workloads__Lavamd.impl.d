@@ -1,0 +1,1 @@
+lib/workloads/lavamd.ml: Array Common Gpusim Hostrt Rng

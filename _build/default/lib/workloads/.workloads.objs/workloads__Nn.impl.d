@@ -1,0 +1,1 @@
+lib/workloads/nn.ml: Array Common Gpusim Hostrt Rng

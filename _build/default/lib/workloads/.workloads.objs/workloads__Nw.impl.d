@@ -1,0 +1,1 @@
+lib/workloads/nw.ml: Array Common Gpusim Hostrt Rng

@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Backprop Bfs Bicg Common Hotspot Lavamd List Nn Nw Srad_v2 Syr2k Syrk

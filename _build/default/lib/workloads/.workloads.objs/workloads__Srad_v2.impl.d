@@ -1,0 +1,1 @@
+lib/workloads/srad_v2.ml: Array Common Gpusim Hostrt Rng

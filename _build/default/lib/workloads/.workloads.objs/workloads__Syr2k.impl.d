@@ -1,0 +1,1 @@
+lib/workloads/syr2k.ml: Array Common Gpusim Hostrt Rng

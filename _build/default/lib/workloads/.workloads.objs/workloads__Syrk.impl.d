@@ -1,0 +1,1 @@
+lib/workloads/syrk.ml: Array Common Gpusim Hostrt Rng

@@ -1,0 +1,125 @@
+(* Backprop — neural-network training layer (Rodinia).  The forward
+   kernel stages inputs and weights in shared memory and tree-reduces
+   partial products (the `ty % power_two` conditionals are the source of
+   its ~28% divergent blocks in Table 3); the weight-adjust kernel is a
+   fully coalesced read-modify-write sweep. *)
+
+let source =
+  {|
+__global__ void bpnn_layerforward_CUDA(float* input_cuda, float* input_hidden_cuda,
+                                       float* hidden_partial_sum, int in, int hid) {
+  __shared__ float input_node[16];
+  __shared__ float weight_matrix[256];
+  int by = blockIdx.y;
+  int tx = threadIdx.x;
+  int ty = threadIdx.y;
+  int row = 16 * by + ty;
+  if (tx == 0) {
+    input_node[ty] = input_cuda[row];
+  }
+  __syncthreads();
+  weight_matrix[ty * 16 + tx] = input_hidden_cuda[row * hid + tx];
+  __syncthreads();
+  weight_matrix[ty * 16 + tx] = weight_matrix[ty * 16 + tx] * input_node[ty];
+  __syncthreads();
+  for (int i = 1; i <= 4; i = i + 1) {
+    int power_two = 1 << i;
+    if (ty % power_two == 0) {
+      weight_matrix[ty * 16 + tx] =
+        weight_matrix[ty * 16 + tx] + weight_matrix[(ty + power_two / 2) * 16 + tx];
+    }
+    __syncthreads();
+  }
+  if (ty == 0) {
+    hidden_partial_sum[by * hid + tx] = weight_matrix[tx];
+  }
+}
+
+__global__ void bpnn_adjust_weights_cuda(float* delta, int hid, float* ly, int in,
+                                         float* w, float* oldw) {
+  int by = blockIdx.y;
+  int tx = threadIdx.x;
+  int ty = threadIdx.y;
+  int index_y = 16 * by + ty;
+  int index_x = tx;
+  int index = index_y * hid + index_x;
+  float adjust = 0.3f * delta[index_x] * ly[index_y] + 0.3f * oldw[index];
+  w[index] = w[index] + adjust;
+  oldw[index] = adjust;
+  __syncthreads();
+  if (ty == 0 && by == 0) {
+    // bias row, updated once per column as in Rodinia
+    float adjust0 = 0.3f * delta[index_x] + 0.3f * oldw[index_x];
+    w[index_x] = w[index_x] + adjust0;
+    oldw[index_x] = adjust0;
+  }
+}
+|}
+
+let hid = 16
+let block = (16, 16) (* 8 warps/CTA *)
+
+let run host ~scale =
+  let open Hostrt.Host in
+  let in_size = 4096 * scale in
+  let num_blocks = in_size / 16 in
+  in_function host ~func:"main" ~file:"backprop.cu" ~line:42 (fun () ->
+      let rng = Rng.create ~seed:3 () in
+      let hm = host_mem host in
+      let h_input = malloc host ~label:"net->input_units" (4 * in_size) in
+      let h_weights = malloc host ~label:"net->input_weights" (4 * in_size * hid) in
+      let h_partial = malloc host ~label:"partial_sum" (4 * num_blocks * hid) in
+      let h_delta = malloc host ~label:"net->hidden_delta" (4 * hid) in
+      let h_oldw = malloc host ~label:"net->input_prev_weights" (4 * in_size * hid) in
+      Gpusim.Devmem.write_f32_array hm h_input
+        (Array.init in_size (fun _ -> Rng.float rng));
+      Gpusim.Devmem.write_f32_array hm h_weights
+        (Array.init (in_size * hid) (fun _ -> Rng.float rng -. 0.5));
+      Gpusim.Devmem.write_f32_array hm h_delta
+        (Array.init hid (fun _ -> Rng.float rng -. 0.5));
+      Gpusim.Devmem.write_f32_array hm h_oldw
+        (Array.make (in_size * hid) 0.);
+      let d_input = cuda_malloc host ~label:"input_cuda" (4 * in_size) in
+      let d_weights = cuda_malloc host ~label:"input_hidden_cuda" (4 * in_size * hid) in
+      let d_partial = cuda_malloc host ~label:"hidden_partial_sum" (4 * num_blocks * hid) in
+      let d_delta = cuda_malloc host ~label:"hidden_delta_cuda" (4 * hid) in
+      let d_oldw = cuda_malloc host ~label:"input_prev_weights_cuda" (4 * in_size * hid) in
+      memcpy_h2d host ~dst:d_input ~src:h_input ~bytes:(4 * in_size);
+      memcpy_h2d host ~dst:d_weights ~src:h_weights ~bytes:(4 * in_size * hid);
+      memcpy_h2d host ~dst:d_delta ~src:h_delta ~bytes:(4 * hid);
+      memcpy_h2d host ~dst:d_oldw ~src:h_oldw ~bytes:(4 * in_size * hid);
+      in_function host ~func:"bpnn_train_cuda" ~file:"backprop_cuda.cu" ~line:240
+        (fun () ->
+          ignore
+            (launch_kernel host ~kernel:"bpnn_layerforward_CUDA" ~grid:(1, num_blocks)
+               ~block
+               ~args:
+                 [ iarg d_input; iarg d_weights; iarg d_partial; iarg in_size;
+                   iarg hid ]);
+          memcpy_d2h host ~dst:h_partial ~src:d_partial
+            ~bytes:(4 * num_blocks * hid);
+          (* host-side accumulation of the partial sums, as in Rodinia *)
+          let partial = Gpusim.Devmem.read_f32_array hm h_partial (num_blocks * hid) in
+          let sums = Array.make hid 0. in
+          Array.iteri (fun i v -> sums.(i mod hid) <- sums.(i mod hid) +. v) partial;
+          ignore sums;
+          ignore
+            (launch_kernel host ~kernel:"bpnn_adjust_weights_cuda" ~grid:(1, num_blocks)
+               ~block
+               ~args:
+                 [ iarg d_delta; iarg hid; iarg d_input; iarg in_size; iarg d_weights;
+                   iarg d_oldw ]));
+      memcpy_d2h host ~dst:h_weights ~src:d_weights ~bytes:(4 * in_size * hid))
+
+let workload =
+  {
+    Common.name = "backprop";
+    description = "Back Propagation";
+    source_file = "backprop.cu";
+    source;
+    warps_per_cta = 8;
+    input_desc = "4096*scale input units (paper: 65536)";
+    kernels = [ "bpnn_layerforward_CUDA"; "bpnn_adjust_weights_cuda" ];
+    run;
+    default_scale = 1;
+  }

@@ -1,0 +1,136 @@
+(* BFS — frontier-based breadth-first search (Rodinia).  Branch-heavy
+   with data-dependent neighbor accesses through byte-sized mask arrays:
+   the paper's example of a low-reuse, high-divergence application
+   (Section 4.2-(E) builds its Figures 8/9 around this code). *)
+
+let source =
+  {|
+__global__ void Kernel(int* g_nodes_start, int* g_nodes_edges, int* g_edges,
+                       bool* g_graph_mask, bool* g_updating_graph_mask,
+                       bool* g_graph_visited, int* g_cost, int no_of_nodes) {
+  int tid = blockIdx.x * blockDim.x + threadIdx.x;
+  if (tid < no_of_nodes && g_graph_mask[tid]) {
+    g_graph_mask[tid] = false;
+    int start = g_nodes_start[tid];
+    int num_edges = g_nodes_edges[tid];
+    for (int i = start; i < start + num_edges; i = i + 1) {
+      int id = g_edges[i];
+      if (!g_graph_visited[id]) {
+        g_cost[id] = g_cost[tid] + 1;
+        g_updating_graph_mask[id] = true;
+      }
+    }
+  }
+}
+
+__global__ void Kernel2(bool* g_graph_mask, bool* g_updating_graph_mask,
+                        bool* g_graph_visited, bool* g_over, int no_of_nodes) {
+  int tid = blockIdx.x * blockDim.x + threadIdx.x;
+  if (tid < no_of_nodes && g_updating_graph_mask[tid]) {
+    g_graph_mask[tid] = true;
+    g_graph_visited[tid] = true;
+    g_over[0] = true;
+    g_updating_graph_mask[tid] = false;
+  }
+}
+|}
+
+let block = 512 (* 16 warps/CTA, Table 2 *)
+
+(* Random graph in CSR form with exactly [degree] edges per node, like
+   the paper's graph1MW_6.txt input (1M nodes, 6 edges each) at small
+   scale.  Edge targets are locality-biased (mostly near the source id,
+   occasionally far), which graph generators of that era produce; it
+   makes BFS frontiers partially id-contiguous. *)
+let generate_graph rng ~nodes ~degree =
+  let starts = Array.init nodes (fun i -> i * degree) in
+  let counts = Array.make nodes degree in
+  let window = max 64 (nodes / 16) in
+  let edges =
+    Array.init (nodes * degree) (fun e ->
+        let src = e / degree in
+        if Rng.int rng 8 = 0 then Rng.int rng nodes
+        else
+          let off = Rng.int rng (2 * window) - window in
+          ((src + off) mod nodes + nodes) mod nodes)
+  in
+  (starts, counts, edges)
+
+let run host ~scale =
+  let open Hostrt.Host in
+  let no_of_nodes = 10_000 * scale in
+  in_function host ~func:"main" ~file:"bfs.cu" ~line:57 (fun () ->
+      let rng = Rng.create ~seed:6 () in
+      let starts, counts, edges = generate_graph rng ~nodes:no_of_nodes ~degree:6 in
+      let edge_count = Array.length edges in
+      in_function host ~func:"BFSGraph" ~file:"bfs.cu" ~line:63 (fun () ->
+          let hm = host_mem host in
+          let h_mask = malloc host ~label:"h_graph_mask" no_of_nodes in
+          let h_updating = malloc host ~label:"h_updating_graph_mask" no_of_nodes in
+          let h_visited = malloc host ~label:"h_graph_visited" no_of_nodes in
+          let h_cost = malloc host ~label:"h_cost" (4 * no_of_nodes) in
+          let h_over = malloc host ~label:"h_over" 1 in
+          let h_starts = malloc host ~label:"h_nodes_start" (4 * no_of_nodes) in
+          let h_counts = malloc host ~label:"h_nodes_edges" (4 * no_of_nodes) in
+          let h_edges = malloc host ~label:"h_edges" (4 * edge_count) in
+          let source_node = 0 in
+          Gpusim.Devmem.write_bool_array hm h_mask
+            (Array.init no_of_nodes (fun i -> i = source_node));
+          Gpusim.Devmem.write_bool_array hm h_updating
+            (Array.make no_of_nodes false);
+          Gpusim.Devmem.write_bool_array hm h_visited
+            (Array.init no_of_nodes (fun i -> i = source_node));
+          Gpusim.Devmem.write_i32_array hm h_cost
+            (Array.init no_of_nodes (fun i -> if i = source_node then 0 else -1));
+          Gpusim.Devmem.write_i32_array hm h_starts starts;
+          Gpusim.Devmem.write_i32_array hm h_counts counts;
+          Gpusim.Devmem.write_i32_array hm h_edges edges;
+          let d_starts = cuda_malloc host ~label:"d_graph_nodes_start" (4 * no_of_nodes) in
+          let d_counts = cuda_malloc host ~label:"d_graph_nodes_edges" (4 * no_of_nodes) in
+          let d_edges = cuda_malloc host ~label:"d_graph_edges" (4 * edge_count) in
+          let d_mask = cuda_malloc host ~label:"d_graph_mask" no_of_nodes in
+          let d_updating = cuda_malloc host ~label:"d_updating_graph_mask" no_of_nodes in
+          let d_visited = cuda_malloc host ~label:"d_graph_visited" no_of_nodes in
+          let d_cost = cuda_malloc host ~label:"d_cost" (4 * no_of_nodes) in
+          let d_over = cuda_malloc host ~label:"d_over" 1 in
+          memcpy_h2d host ~dst:d_starts ~src:h_starts ~bytes:(4 * no_of_nodes);
+          memcpy_h2d host ~dst:d_counts ~src:h_counts ~bytes:(4 * no_of_nodes);
+          memcpy_h2d host ~dst:d_edges ~src:h_edges ~bytes:(4 * edge_count);
+          memcpy_h2d host ~dst:d_mask ~src:h_mask ~bytes:no_of_nodes;
+          memcpy_h2d host ~dst:d_updating ~src:h_updating ~bytes:no_of_nodes;
+          memcpy_h2d host ~dst:d_visited ~src:h_visited ~bytes:no_of_nodes;
+          memcpy_h2d host ~dst:d_cost ~src:h_cost ~bytes:(4 * no_of_nodes);
+          let grid = (no_of_nodes + block - 1) / block in
+          let continue_search = ref true in
+          let iterations = ref 0 in
+          while !continue_search && !iterations < 50 do
+            Gpusim.Devmem.write_bool_array hm h_over [| false |];
+            memcpy_h2d host ~dst:d_over ~src:h_over ~bytes:1;
+            ignore
+              (launch_kernel host ~kernel:"Kernel" ~grid:(grid, 1) ~block:(block, 1)
+                 ~args:
+                   [ iarg d_starts; iarg d_counts; iarg d_edges; iarg d_mask;
+                     iarg d_updating; iarg d_visited; iarg d_cost; iarg no_of_nodes ]);
+            ignore
+              (launch_kernel host ~kernel:"Kernel2" ~grid:(grid, 1) ~block:(block, 1)
+                 ~args:
+                   [ iarg d_mask; iarg d_updating; iarg d_visited; iarg d_over;
+                     iarg no_of_nodes ]);
+            memcpy_d2h host ~dst:h_over ~src:d_over ~bytes:1;
+            continue_search := (Gpusim.Devmem.read_bool_array hm h_over 1).(0);
+            incr iterations
+          done;
+          memcpy_d2h host ~dst:h_cost ~src:d_cost ~bytes:(4 * no_of_nodes)))
+
+let workload =
+  {
+    Common.name = "bfs";
+    description = "Breadth First Search";
+    source_file = "bfs.cu";
+    source;
+    warps_per_cta = 16;
+    input_desc = "random graph, 10000*scale nodes, 6 edges/node (graph1MW_6 analog)";
+    kernels = [ "Kernel"; "Kernel2" ];
+    run;
+    default_scale = 1;
+  }

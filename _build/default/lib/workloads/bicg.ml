@@ -1,0 +1,78 @@
+(* BICG — BiCGStab linear solver sub-kernels (Polybench).  Kernel 1
+   walks the matrix column-wise (coalesced); kernel 2 walks it row-wise,
+   so a warp touches 32 distinct cache lines per access — the bimodal
+   1-or-32 divergence the paper reports for BICG in Figure 5. *)
+
+let source =
+  {|
+__global__ void bicg_kernel1(float* A, float* r, float* s, int nx, int ny) {
+  int j = blockIdx.x * blockDim.x + threadIdx.x;
+  if (j < ny) {
+    s[j] = 0.0f;
+    for (int i = 0; i < nx; i = i + 1) {
+      s[j] = s[j] + A[i * ny + j] * r[i];
+    }
+  }
+}
+
+__global__ void bicg_kernel2(float* A, float* p, float* q, int nx, int ny) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < nx) {
+    q[i] = 0.0f;
+    for (int j = 0; j < ny; j = j + 1) {
+      q[i] = q[i] + A[i * ny + j] * p[j];
+    }
+  }
+}
+|}
+
+let block = 256 (* 8 warps/CTA *)
+
+let run host ~scale =
+  let open Hostrt.Host in
+  let n = 256 * scale in
+  in_function host ~func:"main" ~file:"bicg.cu" ~line:180 (fun () ->
+      let rng = Rng.create ~seed:7 () in
+      let hm = host_mem host in
+      let h_a = malloc host ~label:"A" (4 * n * n) in
+      let h_r = malloc host ~label:"r" (4 * n) in
+      let h_p = malloc host ~label:"p" (4 * n) in
+      let h_s = malloc host ~label:"s" (4 * n) in
+      let h_q = malloc host ~label:"q" (4 * n) in
+      Gpusim.Devmem.write_f32_array hm h_a
+        (Array.init (n * n) (fun _ -> Rng.float rng));
+      Gpusim.Devmem.write_f32_array hm h_r (Array.init n (fun i -> float_of_int i /. float_of_int n));
+      Gpusim.Devmem.write_f32_array hm h_p (Array.init n (fun i -> float_of_int (i mod 7)));
+      let d_a = cuda_malloc host ~label:"A_gpu" (4 * n * n) in
+      let d_r = cuda_malloc host ~label:"r_gpu" (4 * n) in
+      let d_p = cuda_malloc host ~label:"p_gpu" (4 * n) in
+      let d_s = cuda_malloc host ~label:"s_gpu" (4 * n) in
+      let d_q = cuda_malloc host ~label:"q_gpu" (4 * n) in
+      memcpy_h2d host ~dst:d_a ~src:h_a ~bytes:(4 * n * n);
+      memcpy_h2d host ~dst:d_r ~src:h_r ~bytes:(4 * n);
+      memcpy_h2d host ~dst:d_p ~src:h_p ~bytes:(4 * n);
+      in_function host ~func:"bicgCuda" ~file:"bicg.cu" ~line:150 (fun () ->
+          let grid = (n + block - 1) / block in
+          ignore
+            (launch_kernel host ~kernel:"bicg_kernel1" ~grid:(grid, 1)
+               ~block:(block, 1)
+               ~args:[ iarg d_a; iarg d_r; iarg d_s; iarg n; iarg n ]);
+          ignore
+            (launch_kernel host ~kernel:"bicg_kernel2" ~grid:(grid, 1)
+               ~block:(block, 1)
+               ~args:[ iarg d_a; iarg d_p; iarg d_q; iarg n; iarg n ]));
+      memcpy_d2h host ~dst:h_s ~src:d_s ~bytes:(4 * n);
+      memcpy_d2h host ~dst:h_q ~src:d_q ~bytes:(4 * n))
+
+let workload =
+  {
+    Common.name = "bicg";
+    description = "BiCGStab Linear Solver";
+    source_file = "bicg.cu";
+    source;
+    warps_per_cta = 8;
+    input_desc = "(256*scale)^2 matrix";
+    kernels = [ "bicg_kernel1"; "bicg_kernel2" ];
+    run;
+    default_scale = 1;
+  }

@@ -1,0 +1,24 @@
+(* Workload descriptor: one Table-2 application — its MiniCUDA device
+   source and its (instrumented) host driver. *)
+
+type t = {
+  name : string;
+  description : string; (* Table 2's "Description" column *)
+  source_file : string; (* e.g. "bfs.cu" *)
+  source : string; (* MiniCUDA device code *)
+  warps_per_cta : int; (* Table 2 *)
+  input_desc : string; (* Table 2's input dataset, scaled *)
+  kernels : string list;
+  (* Host driver: allocate, transfer, launch; [scale] grows the input
+     linearly (1 = default benchmark size). *)
+  run : Hostrt.Host.t -> scale:int -> unit;
+  default_scale : int;
+}
+
+(* Compile a workload's device source to a verified Bitc module. *)
+let compile w = Minicuda.Frontend.compile ~file:w.source_file w.source
+
+let find all name =
+  match List.find_opt (fun w -> w.name = name) all with
+  | Some w -> w
+  | None -> invalid_arg (Printf.sprintf "Workloads: unknown application %s" name)

@@ -1,0 +1,23 @@
+(** Workload descriptor: one Table-2 application — its MiniCUDA device
+    source and its (instrumented) host driver. *)
+
+type t = {
+  name : string;
+  description : string;  (** Table 2's "Description" column *)
+  source_file : string;
+  source : string;  (** MiniCUDA device code *)
+  warps_per_cta : int;  (** Table 2 *)
+  input_desc : string;
+  kernels : string list;  (** kernel names, for bypass rewriting *)
+  run : Hostrt.Host.t -> scale:int -> unit;
+      (** host driver: allocate, transfer, launch.  [scale] grows the
+          input linearly (1 = default benchmark size). *)
+  default_scale : int;
+}
+
+(** Compile the device source to a verified Bitc module. *)
+val compile : t -> Bitc.Irmod.t
+
+(** Find a workload by name in a list; raises [Invalid_argument] if
+    absent. *)
+val find : t list -> string -> t

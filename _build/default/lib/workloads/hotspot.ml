@@ -1,0 +1,99 @@
+(* Hotspot — thermal simulation stencil (Rodinia).  Each block stages a
+   16x16 tile (with one-cell halo) in shared memory, synchronizes and
+   computes the interior 14x14 cells.  Global traffic is one streaming
+   sweep per iteration: the paper's Figure 4 shows hotspot dominated by
+   no-reuse and long distances, making it insensitive to L1
+   optimizations. *)
+
+let source =
+  {|
+__global__ void calculate_temp(float* power, float* temp_src, float* temp_dst,
+                               int grid_cols, int grid_rows,
+                               float Cap, float Rx, float Ry, float Rz,
+                               float step, float amb_temp) {
+  __shared__ float temp_on_cuda[256];
+  __shared__ float power_on_cuda[256];
+  int bx = blockIdx.x;
+  int by = blockIdx.y;
+  int tx = threadIdx.x;
+  int ty = threadIdx.y;
+  int col = bx * 14 + tx - 1;
+  int row = by * 14 + ty - 1;
+  int index = row * grid_cols + col;
+  bool valid = row >= 0 && row < grid_rows && col >= 0 && col < grid_cols;
+  if (valid) {
+    temp_on_cuda[ty * 16 + tx] = temp_src[index];
+    power_on_cuda[ty * 16 + tx] = power[index];
+  } else {
+    temp_on_cuda[ty * 16 + tx] = amb_temp;
+    power_on_cuda[ty * 16 + tx] = 0.0f;
+  }
+  __syncthreads();
+  bool interior = tx >= 1 && tx <= 14 && ty >= 1 && ty <= 14;
+  if (interior && valid) {
+    float t = temp_on_cuda[ty * 16 + tx];
+    float delta = (step / Cap)
+      * (power_on_cuda[ty * 16 + tx]
+         + (temp_on_cuda[(ty + 1) * 16 + tx] + temp_on_cuda[(ty - 1) * 16 + tx]
+            - 2.0f * t) / Ry
+         + (temp_on_cuda[ty * 16 + tx + 1] + temp_on_cuda[ty * 16 + tx - 1]
+            - 2.0f * t) / Rx
+         + (amb_temp - t) / Rz);
+    temp_dst[index] = t + delta;
+  }
+}
+|}
+
+let block = (16, 16) (* 8 warps/CTA *)
+
+let run host ~scale =
+  let open Hostrt.Host in
+  let rows = 128 * scale in
+  let cols = rows in
+  let iterations = 4 in
+  in_function host ~func:"main" ~file:"hotspot.cu" ~line:300 (fun () ->
+      let rng = Rng.create ~seed:5 () in
+      let hm = host_mem host in
+      let cells = rows * cols in
+      let h_temp = malloc host ~label:"FilesavingTemp" (4 * cells) in
+      let h_power = malloc host ~label:"FilesavingPower" (4 * cells) in
+      Gpusim.Devmem.write_f32_array hm h_temp
+        (Array.init cells (fun _ -> 320. +. Rng.float_range rng 0. 20.));
+      Gpusim.Devmem.write_f32_array hm h_power
+        (Array.init cells (fun _ -> Rng.float_range rng 0. 0.01));
+      let d_power = cuda_malloc host ~label:"MatrixPower" (4 * cells) in
+      let d_temp0 = cuda_malloc host ~label:"MatrixTemp[0]" (4 * cells) in
+      let d_temp1 = cuda_malloc host ~label:"MatrixTemp[1]" (4 * cells) in
+      memcpy_h2d host ~dst:d_power ~src:h_power ~bytes:(4 * cells);
+      memcpy_h2d host ~dst:d_temp0 ~src:h_temp ~bytes:(4 * cells);
+      memcpy_h2d host ~dst:d_temp1 ~src:h_temp ~bytes:(4 * cells);
+      in_function host ~func:"compute_tran_temp" ~file:"hotspot.cu" ~line:260
+        (fun () ->
+          let tiles = (rows + 13) / 14 in
+          let src = ref d_temp0 and dst = ref d_temp1 in
+          for _iter = 1 to iterations do
+            ignore
+              (launch_kernel host ~kernel:"calculate_temp" ~grid:(tiles, tiles)
+                 ~block
+                 ~args:
+                   [ iarg d_power; iarg !src; iarg !dst; iarg cols; iarg rows;
+                     farg 0.5; farg 1.0; farg 1.0; farg 0.0005; farg 0.001;
+                     farg 80.0 ]);
+            let tmp = !src in
+            src := !dst;
+            dst := tmp
+          done);
+      memcpy_d2h host ~dst:h_temp ~src:d_temp0 ~bytes:(4 * cells))
+
+let workload =
+  {
+    Common.name = "hotspot";
+    description = "Temperature Simulation";
+    source_file = "hotspot.cu";
+    source;
+    warps_per_cta = 8;
+    input_desc = "temp/power (128*scale)^2 grids, 4 iterations";
+    kernels = [ "calculate_temp" ];
+    run;
+    default_scale = 1;
+  }

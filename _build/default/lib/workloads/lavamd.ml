@@ -1,0 +1,156 @@
+(* LavaMD — particle interactions within a 3D box grid (Rodinia).  One
+   CTA per home box; the neighbor-box particle lists are staged in
+   shared memory cooperatively while each thread re-reads its own
+   particle from global memory per neighbor iteration — giving the mix
+   of short-distance reuse and no-reuse the paper reports, plus the
+   tail-warp divergence of the `tid < par_per_box` guard (Table 3:
+   13.84%). *)
+
+let source =
+  {|
+__global__ void kernel_gpu_cuda(float* rv_x, float* rv_y, float* rv_z, float* qv,
+                                float* fv_x, float* fv_y, float* fv_z,
+                                int* nn_list, int* nn_count,
+                                int par_per_box, float a2) {
+  __shared__ float rA_x[128];
+  __shared__ float rA_y[128];
+  __shared__ float rA_z[128];
+  __shared__ float qB[128];
+  int bx = blockIdx.x;
+  int tx = threadIdx.x;
+  int wtx = tx;
+  int neighbors = nn_count[bx];
+  float fx = 0.0f;
+  float fy = 0.0f;
+  float fz = 0.0f;
+  for (int k = 0; k < neighbors; k = k + 1) {
+    int nb = nn_list[bx * 27 + k];
+    int first_j = nb * par_per_box;
+    if (wtx < par_per_box) {
+      rA_x[wtx] = rv_x[first_j + wtx];
+      rA_y[wtx] = rv_y[first_j + wtx];
+      rA_z[wtx] = rv_z[first_j + wtx];
+      qB[wtx] = qv[first_j + wtx];
+    }
+    __syncthreads();
+    if (wtx < par_per_box) {
+      int i = bx * par_per_box + wtx;
+      float xi = rv_x[i];
+      float yi = rv_y[i];
+      float zi = rv_z[i];
+      for (int j = 0; j < par_per_box; j = j + 1) {
+        float dx = xi - rA_x[j];
+        float dy = yi - rA_y[j];
+        float dz = zi - rA_z[j];
+        float r2 = dx * dx + dy * dy + dz * dz;
+        float u2 = a2 * r2;
+        float vij = expf(0.0f - u2);
+        float fs = 2.0f * vij * qB[j];
+        fx = fx + fs * dx;
+        fy = fy + fs * dy;
+        fz = fz + fs * dz;
+      }
+    }
+    __syncthreads();
+  }
+  if (wtx < par_per_box) {
+    int i = bx * par_per_box + wtx;
+    fv_x[i] = fx;
+    fv_y[i] = fy;
+    fv_z[i] = fz;
+  }
+}
+|}
+
+let block = 128 (* 4 warps/CTA, Table 2 *)
+let par_per_box = 100 (* as in Rodinia; leaves a divergent tail warp *)
+
+(* Neighbor lists of a boxes1d^3 grid: all boxes within distance 1. *)
+let neighbor_lists boxes1d =
+  let nboxes = boxes1d * boxes1d * boxes1d in
+  let id x y z = ((z * boxes1d) + y) * boxes1d + x in
+  let nn_list = Array.make (nboxes * 27) 0 in
+  let nn_count = Array.make nboxes 0 in
+  for z = 0 to boxes1d - 1 do
+    for y = 0 to boxes1d - 1 do
+      for x = 0 to boxes1d - 1 do
+        let b = id x y z in
+        let count = ref 0 in
+        for dz = -1 to 1 do
+          for dy = -1 to 1 do
+            for dx = -1 to 1 do
+              let nx = x + dx and ny = y + dy and nz = z + dz in
+              if nx >= 0 && nx < boxes1d && ny >= 0 && ny < boxes1d && nz >= 0
+                 && nz < boxes1d
+              then begin
+                nn_list.((b * 27) + !count) <- id nx ny nz;
+                incr count
+              end
+            done
+          done
+        done;
+        nn_count.(b) <- !count
+      done
+    done
+  done;
+  (nn_list, nn_count, nboxes)
+
+let run host ~scale =
+  let open Hostrt.Host in
+  let boxes1d = 3 * scale in
+  in_function host ~func:"main" ~file:"lavaMD.cu" ~line:80 (fun () ->
+      let rng = Rng.create ~seed:17 () in
+      let hm = host_mem host in
+      let nn_list, nn_count, nboxes = neighbor_lists boxes1d in
+      let n = nboxes * par_per_box in
+      let coords label =
+        let h = malloc host ~label (4 * n) in
+        Gpusim.Devmem.write_f32_array hm h
+          (Array.init n (fun _ -> Rng.float_range rng 0. 1.));
+        h
+      in
+      let h_rvx = coords "rv.x" and h_rvy = coords "rv.y" and h_rvz = coords "rv.z" in
+      let h_qv = coords "qv" in
+      let h_fv = malloc host ~label:"fv" (4 * n) in
+      let h_nn_list = malloc host ~label:"nn_list" (4 * nboxes * 27) in
+      let h_nn_count = malloc host ~label:"nn_count" (4 * nboxes) in
+      Gpusim.Devmem.write_i32_array hm h_nn_list nn_list;
+      Gpusim.Devmem.write_i32_array hm h_nn_count nn_count;
+      let d_rvx = cuda_malloc host ~label:"d_rv_x" (4 * n) in
+      let d_rvy = cuda_malloc host ~label:"d_rv_y" (4 * n) in
+      let d_rvz = cuda_malloc host ~label:"d_rv_z" (4 * n) in
+      let d_qv = cuda_malloc host ~label:"d_qv" (4 * n) in
+      let d_fvx = cuda_malloc host ~label:"d_fv_x" (4 * n) in
+      let d_fvy = cuda_malloc host ~label:"d_fv_y" (4 * n) in
+      let d_fvz = cuda_malloc host ~label:"d_fv_z" (4 * n) in
+      let d_nn_list = cuda_malloc host ~label:"d_nn_list" (4 * nboxes * 27) in
+      let d_nn_count = cuda_malloc host ~label:"d_nn_count" (4 * nboxes) in
+      memcpy_h2d host ~dst:d_rvx ~src:h_rvx ~bytes:(4 * n);
+      memcpy_h2d host ~dst:d_rvy ~src:h_rvy ~bytes:(4 * n);
+      memcpy_h2d host ~dst:d_rvz ~src:h_rvz ~bytes:(4 * n);
+      memcpy_h2d host ~dst:d_qv ~src:h_qv ~bytes:(4 * n);
+      memcpy_h2d host ~dst:d_nn_list ~src:h_nn_list ~bytes:(4 * nboxes * 27);
+      memcpy_h2d host ~dst:d_nn_count ~src:h_nn_count ~bytes:(4 * nboxes);
+      in_function host ~func:"kernel_gpu_cuda_wrapper" ~file:"kernel_gpu_cuda_wrapper.cu"
+        ~line:40 (fun () ->
+          ignore
+            (launch_kernel host ~kernel:"kernel_gpu_cuda" ~grid:(nboxes, 1)
+               ~block:(block, 1)
+               ~args:
+                 [ iarg d_rvx; iarg d_rvy; iarg d_rvz; iarg d_qv; iarg d_fvx;
+                   iarg d_fvy; iarg d_fvz; iarg d_nn_list; iarg d_nn_count;
+                   iarg par_per_box; farg 0.5 ]));
+      memcpy_d2h host ~dst:h_fv ~src:d_fvx ~bytes:(4 * n))
+
+let workload =
+  {
+    Common.name = "lavaMD";
+    description = "Molecular Dynamics";
+    source_file = "lavaMD.cu";
+    source;
+    warps_per_cta = 4;
+    input_desc = "-boxes1d (3*scale) (paper: 10), 100 particles/box";
+    kernels = [ "kernel_gpu_cuda" ];
+    run;
+    default_scale = 1;
+  }

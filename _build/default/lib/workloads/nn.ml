@@ -1,0 +1,70 @@
+(* NN — Nearest Neighbor (Rodinia).  One thread computes the Euclidean
+   distance of one record to the query point: a purely streaming kernel
+   with almost no data reuse (the paper excludes it from Figure 4 for
+   >99% no-reuse) and almost no branch divergence (Table 3: 4.05%). *)
+
+let source =
+  {|
+__device__ float euclid_dist(float lat1, float lng1, float lat2, float lng2) {
+  float dlat = lat1 - lat2;
+  float dlng = lng1 - lng2;
+  return sqrtf(dlat * dlat + dlng * dlng);
+}
+
+__global__ void euclid(float* d_lat, float* d_lng, float* d_distances,
+                       int numRecords, float lat, float lng) {
+  int globalId = blockDim.x * (gridDim.x * blockIdx.y + blockIdx.x) + threadIdx.x;
+  if (globalId < numRecords) {
+    float lat_d = d_lat[globalId];
+    float lng_d = d_lng[globalId];
+    d_distances[globalId] = euclid_dist(lat, lng, lat_d, lng_d);
+  }
+}
+|}
+
+let block = 256 (* 8 warps/CTA, Table 2 *)
+
+let run host ~scale =
+  let open Hostrt.Host in
+  (* not a multiple of the block size, like Rodinia's 42764-record input:
+     the tail block diverges on the bounds check *)
+  let n = (8192 * scale) - 37 in
+  in_function host ~func:"main" ~file:"nn.cu" ~line:109 (fun () ->
+      let rng = Rng.create ~seed:42 () in
+      let h_lat = malloc host ~label:"h_locations_lat" (4 * n) in
+      let h_lng = malloc host ~label:"h_locations_lng" (4 * n) in
+      let h_dist = malloc host ~label:"h_distances" (4 * n) in
+      let hm = host_mem host in
+      Gpusim.Devmem.write_f32_array hm h_lat
+        (Array.init n (fun _ -> Rng.float_range rng 0. 90.));
+      Gpusim.Devmem.write_f32_array hm h_lng
+        (Array.init n (fun _ -> Rng.float_range rng (-180.) 180.));
+      let d_lat = cuda_malloc host ~label:"d_locations_lat" (4 * n) in
+      let d_lng = cuda_malloc host ~label:"d_locations_lng" (4 * n) in
+      let d_dist = cuda_malloc host ~label:"d_distances" (4 * n) in
+      memcpy_h2d host ~dst:d_lat ~src:h_lat ~bytes:(4 * n);
+      memcpy_h2d host ~dst:d_lng ~src:h_lng ~bytes:(4 * n);
+      in_function host ~func:"findLowest" ~file:"nn.cu" ~line:133 (fun () ->
+          let grid = (n + block - 1) / block in
+          ignore
+            (launch_kernel host ~kernel:"euclid" ~grid:(grid, 1) ~block:(block, 1)
+               ~args:[ iarg d_lat; iarg d_lng; iarg d_dist; iarg n; farg 30.; farg 90. ]));
+      memcpy_d2h host ~dst:h_dist ~src:d_dist ~bytes:(4 * n);
+      (* host-side reduction to the nearest record, as in Rodinia *)
+      let dist = Gpusim.Devmem.read_f32_array hm h_dist n in
+      let best = ref 0 in
+      Array.iteri (fun i d -> if d < dist.(!best) then best := i) dist;
+      ignore !best)
+
+let workload =
+  {
+    Common.name = "nn";
+    description = "Nearest Neighbor";
+    source_file = "nn.cu";
+    source;
+    warps_per_cta = 8;
+    input_desc = "filelist_4 -r 5 -lat 30 -lng 90 (8192*scale records)";
+    kernels = [ "euclid" ];
+    run;
+    default_scale = 1;
+  }

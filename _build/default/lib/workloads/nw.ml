@@ -1,0 +1,166 @@
+(* NW — Needleman-Wunsch sequence alignment (Rodinia).  Tiles are
+   processed along anti-diagonals; inside a tile, a 16-thread block
+   sweeps a wavefront guarded by `tx <= m`, so almost every dynamic
+   block executes under a partial mask — the worst branch-divergence
+   case of Table 3 (69.43%). *)
+
+let source =
+  {|
+__device__ int maximum(int a, int b, int c) {
+  int k;
+  if (a <= b) {
+    k = b;
+  } else {
+    k = a;
+  }
+  if (k <= c) {
+    k = c;
+  }
+  return k;
+}
+
+__global__ void needle_cuda_shared_1(int* referrence, int* matrix_cuda,
+                                     int cols, int penalty, int i) {
+  __shared__ int temp[289];
+  __shared__ int ref_sh[256];
+  int bx = blockIdx.x;
+  int tx = threadIdx.x;
+  int b_index_x = bx;
+  int b_index_y = i - 1 - bx;
+  int index_nw = cols * 16 * b_index_y + 16 * b_index_x;
+  if (tx == 0) {
+    temp[0] = matrix_cuda[index_nw];
+  }
+  for (int ty = 0; ty < 16; ty = ty + 1) {
+    ref_sh[ty * 16 + tx] = referrence[index_nw + cols * (ty + 1) + (tx + 1)];
+  }
+  temp[(tx + 1) * 17] = matrix_cuda[index_nw + cols * (tx + 1)];
+  temp[tx + 1] = matrix_cuda[index_nw + (tx + 1)];
+  __syncthreads();
+  for (int m = 0; m < 16; m = m + 1) {
+    if (tx <= m) {
+      int t_x = tx + 1;
+      int t_y = m - tx + 1;
+      temp[t_y * 17 + t_x] =
+        maximum(temp[(t_y - 1) * 17 + t_x - 1] + ref_sh[(t_y - 1) * 16 + t_x - 1],
+                temp[t_y * 17 + t_x - 1] - penalty,
+                temp[(t_y - 1) * 17 + t_x] - penalty);
+    }
+    __syncthreads();
+  }
+  for (int m = 14; m >= 0; m = m - 1) {
+    if (tx <= m) {
+      int t_x = tx + 16 - m;
+      int t_y = 16 - tx;
+      temp[t_y * 17 + t_x] =
+        maximum(temp[(t_y - 1) * 17 + t_x - 1] + ref_sh[(t_y - 1) * 16 + t_x - 1],
+                temp[t_y * 17 + t_x - 1] - penalty,
+                temp[(t_y - 1) * 17 + t_x] - penalty);
+    }
+    __syncthreads();
+  }
+  for (int ty = 0; ty < 16; ty = ty + 1) {
+    matrix_cuda[index_nw + cols * (ty + 1) + tx + 1] = temp[(ty + 1) * 17 + tx + 1];
+  }
+}
+
+__global__ void needle_cuda_shared_2(int* referrence, int* matrix_cuda,
+                                     int cols, int penalty, int i, int block_width) {
+  __shared__ int temp[289];
+  __shared__ int ref_sh[256];
+  int bx = blockIdx.x;
+  int tx = threadIdx.x;
+  int b_index_x = bx + block_width - i;
+  int b_index_y = block_width - 1 - bx;
+  int index_nw = cols * 16 * b_index_y + 16 * b_index_x;
+  if (tx == 0) {
+    temp[0] = matrix_cuda[index_nw];
+  }
+  for (int ty = 0; ty < 16; ty = ty + 1) {
+    ref_sh[ty * 16 + tx] = referrence[index_nw + cols * (ty + 1) + (tx + 1)];
+  }
+  temp[(tx + 1) * 17] = matrix_cuda[index_nw + cols * (tx + 1)];
+  temp[tx + 1] = matrix_cuda[index_nw + (tx + 1)];
+  __syncthreads();
+  for (int m = 0; m < 16; m = m + 1) {
+    if (tx <= m) {
+      int t_x = tx + 1;
+      int t_y = m - tx + 1;
+      temp[t_y * 17 + t_x] =
+        maximum(temp[(t_y - 1) * 17 + t_x - 1] + ref_sh[(t_y - 1) * 16 + t_x - 1],
+                temp[t_y * 17 + t_x - 1] - penalty,
+                temp[(t_y - 1) * 17 + t_x] - penalty);
+    }
+    __syncthreads();
+  }
+  for (int m = 14; m >= 0; m = m - 1) {
+    if (tx <= m) {
+      int t_x = tx + 16 - m;
+      int t_y = 16 - tx;
+      temp[t_y * 17 + t_x] =
+        maximum(temp[(t_y - 1) * 17 + t_x - 1] + ref_sh[(t_y - 1) * 16 + t_x - 1],
+                temp[t_y * 17 + t_x - 1] - penalty,
+                temp[(t_y - 1) * 17 + t_x] - penalty);
+    }
+    __syncthreads();
+  }
+  for (int ty = 0; ty < 16; ty = ty + 1) {
+    matrix_cuda[index_nw + cols * (ty + 1) + tx + 1] = temp[(ty + 1) * 17 + tx + 1];
+  }
+}
+|}
+
+let penalty = 10
+
+let run host ~scale =
+  let open Hostrt.Host in
+  let n = 256 * scale in
+  let cols = n + 1 in
+  in_function host ~func:"main" ~file:"needle.cu" ~line:70 (fun () ->
+      let rng = Rng.create ~seed:21 () in
+      let hm = host_mem host in
+      let cells = cols * cols in
+      let h_ref = malloc host ~label:"referrence" (4 * cells) in
+      let h_matrix = malloc host ~label:"input_itemsets" (4 * cells) in
+      let reference = Array.init cells (fun _ -> Rng.int rng 10) in
+      let matrix =
+        Array.init cells (fun idx ->
+            let r = idx / cols and c = idx mod cols in
+            if r = 0 then -c * penalty else if c = 0 then -r * penalty else 0)
+      in
+      Gpusim.Devmem.write_i32_array hm h_ref reference;
+      Gpusim.Devmem.write_i32_array hm h_matrix matrix;
+      let d_ref = cuda_malloc host ~label:"referrence_cuda" (4 * cells) in
+      let d_matrix = cuda_malloc host ~label:"matrix_cuda" (4 * cells) in
+      memcpy_h2d host ~dst:d_ref ~src:h_ref ~bytes:(4 * cells);
+      memcpy_h2d host ~dst:d_matrix ~src:h_matrix ~bytes:(4 * cells);
+      in_function host ~func:"runTest" ~file:"needle.cu" ~line:120 (fun () ->
+          let block_width = n / 16 in
+          for i = 1 to block_width do
+            ignore
+              (launch_kernel host ~kernel:"needle_cuda_shared_1" ~grid:(i, 1)
+                 ~block:(16, 1)
+                 ~args:[ iarg d_ref; iarg d_matrix; iarg cols; iarg penalty; iarg i ])
+          done;
+          for i = block_width - 1 downto 1 do
+            ignore
+              (launch_kernel host ~kernel:"needle_cuda_shared_2" ~grid:(i, 1)
+                 ~block:(16, 1)
+                 ~args:
+                   [ iarg d_ref; iarg d_matrix; iarg cols; iarg penalty; iarg i;
+                     iarg block_width ])
+          done);
+      memcpy_d2h host ~dst:h_matrix ~src:d_matrix ~bytes:(4 * cells))
+
+let workload =
+  {
+    Common.name = "nw";
+    description = "Needleman-Wunsch";
+    source_file = "needle.cu";
+    source;
+    warps_per_cta = 1;
+    input_desc = "(256*scale)x(256*scale) alignment, penalty 10 (paper: 2048-10)";
+    kernels = [ "needle_cuda_shared_1"; "needle_cuda_shared_2" ];
+    run;
+    default_scale = 1;
+  }

@@ -1,0 +1,18 @@
+(* The benchmark registry: the ten applications of Table 2. *)
+
+let all : Common.t list =
+  [
+    Backprop.workload;
+    Bfs.workload;
+    Hotspot.workload;
+    Lavamd.workload;
+    Nn.workload;
+    Nw.workload;
+    Srad_v2.workload;
+    Bicg.workload;
+    Syrk.workload;
+    Syr2k.workload;
+  ]
+
+let names = List.map (fun (w : Common.t) -> w.name) all
+let find name = Common.find all name

@@ -1,0 +1,8 @@
+(** The benchmark registry: the ten applications of the paper's
+    Table 2. *)
+
+val all : Common.t list
+val names : string list
+
+(** Find by name; raises [Invalid_argument] on unknown names. *)
+val find : string -> Common.t

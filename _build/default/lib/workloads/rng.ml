@@ -1,0 +1,25 @@
+(* Deterministic xorshift PRNG for input generation, so every run of
+   every experiment sees identical inputs. *)
+
+type t = { mutable state : int }
+
+let create ?(seed = 0x9e3779b9) () = { state = (if seed = 0 then 1 else seed) }
+
+let next t =
+  let x = t.state in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = x lxor (x lsl 17) in
+  let x = x land max_int in
+  t.state <- (if x = 0 then 1 else x);
+  t.state
+
+(* Uniform integer in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
+  next t mod bound
+
+(* Uniform float in [0, 1). *)
+let float t = float_of_int (next t land 0xFFFFFF) /. 16777216.0
+
+let float_range t lo hi = lo +. ((hi -. lo) *. float t)

@@ -1,0 +1,125 @@
+(* SRAD v2 — speckle-reducing anisotropic diffusion (Rodinia).  Two
+   stencil kernels per iteration reading 4-neighborhoods straight from
+   global memory with boundary clamping: mostly coalesced (Figure 5)
+   with a mix of short-distance reuse (neighbor rows within a CTA) and
+   no-reuse (Figure 4). *)
+
+let source =
+  {|
+__global__ void srad_cuda_1(float* E_C, float* W_C, float* N_C, float* S_C,
+                            float* J_cuda, float* C_cuda,
+                            int cols, int rows, float q0sqr) {
+  int bx = blockIdx.x;
+  int by = blockIdx.y;
+  int tx = threadIdx.x;
+  int ty = threadIdx.y;
+  int row = by * 16 + ty;
+  int col = bx * 16 + tx;
+  if (row < rows && col < cols) {
+    int index = row * cols + col;
+    int index_n = (row == 0 ? row : row - 1) * cols + col;
+    int index_s = (row == rows - 1 ? row : row + 1) * cols + col;
+    int index_w = row * cols + (col == 0 ? col : col - 1);
+    int index_e = row * cols + (col == cols - 1 ? col : col + 1);
+    float jc = J_cuda[index];
+    float dn = J_cuda[index_n] - jc;
+    float ds = J_cuda[index_s] - jc;
+    float dw = J_cuda[index_w] - jc;
+    float de = J_cuda[index_e] - jc;
+    float g2 = (dn * dn + ds * ds + dw * dw + de * de) / (jc * jc);
+    float l = (dn + ds + dw + de) / jc;
+    float num = (0.5f * g2) - ((1.0f / 16.0f) * (l * l));
+    float den = 1.0f + 0.25f * l;
+    float qsqr = num / (den * den);
+    float c;
+    // diffusion coefficient: the comparison against q0sqr is per-pixel
+    // (speckle) data, so warps straddle the threshold and diverge
+    if (qsqr > q0sqr) {
+      den = (qsqr - q0sqr) / (q0sqr * (1.0f + q0sqr));
+      c = 1.0f / (1.0f + den);
+      if (c < 0.0f) {
+        c = 0.0f;
+      }
+    } else {
+      c = 1.0f;
+    }
+    N_C[index] = dn;
+    S_C[index] = ds;
+    W_C[index] = dw;
+    E_C[index] = de;
+    C_cuda[index] = c;
+  }
+}
+
+__global__ void srad_cuda_2(float* E_C, float* W_C, float* N_C, float* S_C,
+                            float* J_cuda, float* C_cuda,
+                            int cols, int rows, float lambda) {
+  int bx = blockIdx.x;
+  int by = blockIdx.y;
+  int tx = threadIdx.x;
+  int ty = threadIdx.y;
+  int row = by * 16 + ty;
+  int col = bx * 16 + tx;
+  if (row < rows && col < cols) {
+    int index = row * cols + col;
+    int index_s = (row == rows - 1 ? row : row + 1) * cols + col;
+    int index_e = row * cols + (col == cols - 1 ? col : col + 1);
+    float cc = C_cuda[index];
+    float cs = C_cuda[index_s];
+    float ce = C_cuda[index_e];
+    float d_sum = cc * N_C[index] + cs * S_C[index]
+                + cc * W_C[index] + ce * E_C[index];
+    J_cuda[index] = J_cuda[index] + 0.25f * lambda * d_sum;
+  }
+}
+|}
+
+let block = (16, 16) (* 8 warps/CTA *)
+
+let run host ~scale =
+  let open Hostrt.Host in
+  let rows = 128 * scale in
+  let cols = rows in
+  let iterations = 2 in
+  in_function host ~func:"main" ~file:"srad.cu" ~line:120 (fun () ->
+      let rng = Rng.create ~seed:9 () in
+      let hm = host_mem host in
+      let cells = rows * cols in
+      let h_j = malloc host ~label:"J" (4 * cells) in
+      Gpusim.Devmem.write_f32_array hm h_j
+        (Array.init cells (fun _ -> exp (Rng.float_range rng 0. 1.)));
+      let d_j = cuda_malloc host ~label:"J_cuda" (4 * cells) in
+      let d_c = cuda_malloc host ~label:"C_cuda" (4 * cells) in
+      let d_e = cuda_malloc host ~label:"E_C" (4 * cells) in
+      let d_w = cuda_malloc host ~label:"W_C" (4 * cells) in
+      let d_n = cuda_malloc host ~label:"N_C" (4 * cells) in
+      let d_s = cuda_malloc host ~label:"S_C" (4 * cells) in
+      memcpy_h2d host ~dst:d_j ~src:h_j ~bytes:(4 * cells);
+      in_function host ~func:"srad_main_loop" ~file:"srad.cu" ~line:160 (fun () ->
+          let tiles = (rows + 15) / 16 in
+          for _iter = 1 to iterations do
+            ignore
+              (launch_kernel host ~kernel:"srad_cuda_1" ~grid:(tiles, tiles) ~block
+                 ~args:
+                   [ iarg d_e; iarg d_w; iarg d_n; iarg d_s; iarg d_j; iarg d_c;
+                     iarg cols; iarg rows; farg 0.35 ]);
+            ignore
+              (launch_kernel host ~kernel:"srad_cuda_2" ~grid:(tiles, tiles) ~block
+                 ~args:
+                   [ iarg d_e; iarg d_w; iarg d_n; iarg d_s; iarg d_j; iarg d_c;
+                     iarg cols; iarg rows; farg 0.5 ])
+          done);
+      memcpy_d2h host ~dst:h_j ~src:d_j ~bytes:(4 * cells))
+
+let workload =
+  {
+    Common.name = "srad_v2";
+    description = "Speckle Reducing Anisotropic Diffusion";
+    source_file = "srad.cu";
+    source;
+    warps_per_cta = 8;
+    input_desc = "(128*scale)^2 image, 2 iterations (paper: 2048x2048)";
+    kernels = [ "srad_cuda_1"; "srad_cuda_2" ];
+    run;
+    default_scale = 1;
+  }

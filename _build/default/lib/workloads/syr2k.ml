@@ -1,0 +1,63 @@
+(* SYR2K — symmetric rank-2K update C = alpha*(A*B^T + B*A^T) + beta*C
+   (Polybench).  Same access structure as SYRK with twice the streams;
+   the paper notes its profiles resemble SYRK's. *)
+
+let source =
+  {|
+__global__ void syr2k_kernel(float* A, float* B, float* C, float alpha,
+                             float beta, int n, int m) {
+  int j = blockIdx.x * blockDim.x + threadIdx.x;
+  int i = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i < n && j < n) {
+    C[i * n + j] = C[i * n + j] * beta;
+    for (int k = 0; k < m; k = k + 1) {
+      C[i * n + j] = C[i * n + j]
+        + alpha * A[i * m + k] * B[j * m + k]
+        + alpha * B[i * m + k] * A[j * m + k];
+    }
+  }
+}
+|}
+
+let block = (32, 8) (* 8 warps/CTA; warp spans 32 columns like Polybench GPU *)
+
+let run host ~scale =
+  let open Hostrt.Host in
+  let n = 96 * scale in
+  let m = 96 * scale in
+  in_function host ~func:"main" ~file:"syr2k.cu" ~line:150 (fun () ->
+      let rng = Rng.create ~seed:13 () in
+      let hm = host_mem host in
+      let h_a = malloc host ~label:"A" (4 * n * m) in
+      let h_b = malloc host ~label:"B" (4 * n * m) in
+      let h_c = malloc host ~label:"C" (4 * n * n) in
+      Gpusim.Devmem.write_f32_array hm h_a (Array.init (n * m) (fun _ -> Rng.float rng));
+      Gpusim.Devmem.write_f32_array hm h_b (Array.init (n * m) (fun _ -> Rng.float rng));
+      Gpusim.Devmem.write_f32_array hm h_c (Array.init (n * n) (fun _ -> Rng.float rng));
+      let d_a = cuda_malloc host ~label:"A_gpu" (4 * n * m) in
+      let d_b = cuda_malloc host ~label:"B_gpu" (4 * n * m) in
+      let d_c = cuda_malloc host ~label:"C_gpu" (4 * n * n) in
+      memcpy_h2d host ~dst:d_a ~src:h_a ~bytes:(4 * n * m);
+      memcpy_h2d host ~dst:d_b ~src:h_b ~bytes:(4 * n * m);
+      memcpy_h2d host ~dst:d_c ~src:h_c ~bytes:(4 * n * n);
+      in_function host ~func:"syr2kCuda" ~file:"syr2k.cu" ~line:120 (fun () ->
+          let bx, by = block in
+          let grid = ((n + bx - 1) / bx, (n + by - 1) / by) in
+          ignore
+            (launch_kernel host ~kernel:"syr2k_kernel" ~grid ~block
+               ~args:
+                 [ iarg d_a; iarg d_b; iarg d_c; farg 1.5; farg 2.5; iarg n; iarg m ]));
+      memcpy_d2h host ~dst:h_c ~src:d_c ~bytes:(4 * n * n))
+
+let workload =
+  {
+    Common.name = "syr2k";
+    description = "Symmetric Rank-2K Operations";
+    source_file = "syr2k.cu";
+    source;
+    warps_per_cta = 8;
+    input_desc = "(96*scale)^2 matrices";
+    kernels = [ "syr2k_kernel" ];
+    run;
+    default_scale = 1;
+  }

@@ -1,0 +1,60 @@
+(* SYRK — symmetric rank-K update C = alpha*A*A^T + beta*C (Polybench).
+   Thread (i,j) accumulates over k: the A[i*m+k] stream is warp-uniform
+   per row while A[j*m+k] strides by the row length across lanes —
+   Figure 5's ~50/50 split between 1 and 32 touched lines, and Figure
+   4's mix of distance-0 reuse with a long >512 tail. *)
+
+let source =
+  {|
+__global__ void syrk_kernel(float* A, float* C, float alpha, float beta,
+                            int n, int m) {
+  int j = blockIdx.x * blockDim.x + threadIdx.x;
+  int i = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i < n && j < n) {
+    C[i * n + j] = C[i * n + j] * beta;
+    for (int k = 0; k < m; k = k + 1) {
+      C[i * n + j] = C[i * n + j] + alpha * A[i * m + k] * A[j * m + k];
+    }
+  }
+}
+|}
+
+let block = (32, 8) (* 8 warps/CTA; warp spans 32 columns like Polybench GPU *)
+
+let run host ~scale =
+  let open Hostrt.Host in
+  let n = 96 * scale in
+  let m = 96 * scale in
+  in_function host ~func:"main" ~file:"syrk.cu" ~line:140 (fun () ->
+      let rng = Rng.create ~seed:11 () in
+      let hm = host_mem host in
+      let h_a = malloc host ~label:"A" (4 * n * m) in
+      let h_c = malloc host ~label:"C" (4 * n * n) in
+      Gpusim.Devmem.write_f32_array hm h_a
+        (Array.init (n * m) (fun _ -> Rng.float rng));
+      Gpusim.Devmem.write_f32_array hm h_c
+        (Array.init (n * n) (fun _ -> Rng.float rng));
+      let d_a = cuda_malloc host ~label:"A_gpu" (4 * n * m) in
+      let d_c = cuda_malloc host ~label:"C_gpu" (4 * n * n) in
+      memcpy_h2d host ~dst:d_a ~src:h_a ~bytes:(4 * n * m);
+      memcpy_h2d host ~dst:d_c ~src:h_c ~bytes:(4 * n * n);
+      in_function host ~func:"syrkCuda" ~file:"syrk.cu" ~line:110 (fun () ->
+          let bx, by = block in
+          let grid = ((n + bx - 1) / bx, (n + by - 1) / by) in
+          ignore
+            (launch_kernel host ~kernel:"syrk_kernel" ~grid ~block
+               ~args:[ iarg d_a; iarg d_c; farg 1.5; farg 2.5; iarg n; iarg m ]));
+      memcpy_d2h host ~dst:h_c ~src:d_c ~bytes:(4 * n * n))
+
+let workload =
+  {
+    Common.name = "syrk";
+    description = "Symmetric Rank-K Operations";
+    source_file = "syrk.cu";
+    source;
+    warps_per_cta = 8;
+    input_desc = "(96*scale)^2 matrices";
+    kernels = [ "syrk_kernel" ];
+    run;
+    default_scale = 1;
+  }

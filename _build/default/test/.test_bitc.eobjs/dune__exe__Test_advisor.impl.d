@@ -1,0 +1,1 @@
+test/test_advisor.ml: Advisor Alcotest Analysis Array Gpusim Hashtbl List Passes Ptx Workloads

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Array Bitc Float Fun Gpusim List Passes Profiler QCheck2 QCheck_alcotest Testutil

@@ -1,0 +1,1 @@
+test/test_bitc.ml: Alcotest Array Bitc List Printf QCheck2 QCheck_alcotest Result Testutil

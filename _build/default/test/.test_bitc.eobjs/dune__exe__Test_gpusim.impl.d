@@ -1,0 +1,1 @@
+test/test_gpusim.ml: Alcotest Array Fun Gpusim List Minicuda Ptx QCheck2 QCheck_alcotest Testutil

@@ -1,0 +1,1 @@
+test/test_minicuda.ml: Alcotest Bitc Gpusim List Minicuda Printf QCheck2 QCheck_alcotest Testutil

@@ -1,0 +1,1 @@
+test/test_passes.ml: Alcotest Bitc Gpusim List Minicuda Passes Ptx Result String Testutil

@@ -1,0 +1,1 @@
+test/test_profiler.ml: Alcotest Analysis Array Gpusim Hashtbl Hostrt List Minicuda Passes Profiler Ptx

@@ -1,0 +1,1 @@
+test/test_ptx.ml: Alcotest Array Gpusim List Minicuda Printf Ptx Testutil

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Advisor Alcotest Array Bitc Gpusim Hostrt Int32 List Passes Printf Profiler Ptx Queue Result Workloads

@@ -1,0 +1,1 @@
+test/testutil.ml: Gpusim Minicuda Passes Ptx String

@@ -1,0 +1,93 @@
+(* End-to-end tests of the Advisor facade: profiling sessions, the
+   overhead study and the bypassing study. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let arch = Gpusim.Arch.kepler_k40c ~l1_kb:16 ()
+
+let test_instrument_source () =
+  let c =
+    Advisor.instrument_source ~file:"k.cu"
+      "__global__ void k(float* a) { a[threadIdx.x] = 1.0f; }"
+  in
+  check "manifest present" true (c.manifest <> None);
+  check "prog has kernel" true
+    (List.exists (fun (n, _) -> n = "k") c.prog.Ptx.Isa.funcs)
+
+let test_profile_session () =
+  let w = Workloads.Registry.find "nn" in
+  let s = Advisor.profile ~arch w in
+  check "instances recorded" true (Advisor.instances s <> []);
+  let rd = Advisor.reuse_distance s in
+  check "nn is streaming" true (Analysis.Reuse_distance.no_reuse_fraction rd > 0.99);
+  let md = Advisor.mem_divergence s in
+  check "nn coalesced" true (md.degree < 1.1);
+  let bd = Advisor.branch_divergence s in
+  check "nn near-zero divergence" true (Analysis.Branch_divergence.percent bd < 2.)
+
+let test_profile_options_respected () =
+  let w = Workloads.Registry.find "nn" in
+  let s =
+    Advisor.profile
+      ~options:
+        { Passes.Instrument.memory = false; control_flow = true; arithmetic = false }
+      ~arch w
+  in
+  let i = List.hd (Advisor.instances s) in
+  check_int "no memory events without memory hooks" 0 i.mem_count;
+  check "blocks still recorded" true (Hashtbl.length i.bb_stats > 0)
+
+let test_run_native_deterministic () =
+  let w = Workloads.Registry.find "nn" in
+  let a = fst (Advisor.run_native ~arch w) in
+  let b = fst (Advisor.run_native ~arch w) in
+  check_int "same cycles across runs" a b
+
+let test_overhead_positive () =
+  let w = Workloads.Registry.find "nn" in
+  let o = Advisor.overhead_study ~arch w in
+  check "instrumented slower" true (o.slowdown > 1.5);
+  check "paper band (<= 500x)" true (o.slowdown < 500.)
+
+let test_bypass_study_shape () =
+  let w = Workloads.Registry.find "bicg" in
+  let b = Advisor.bypass_study ~arch:(Gpusim.Arch.kepler_k40c ~num_sms:5 ~l1_kb:16 ()) w in
+  check_int "sweep covers 0..warps" (b.warps_per_cta + 1) (List.length b.sweep);
+  check "oracle no worse than baseline" true (b.oracle_cycles <= b.baseline_cycles);
+  check "oracle no worse than prediction" true (b.oracle_cycles <= b.predicted_cycles);
+  (* full caching must behave like the baseline (modulo the prologue) *)
+  let full = List.assoc b.warps_per_cta b.sweep in
+  let ratio = float_of_int full /. float_of_int b.baseline_cycles in
+  check "N=warps == baseline within 10%" true (ratio > 0.9 && ratio < 1.1);
+  check "prediction in range" true
+    (b.predicted_warps >= 0 && b.predicted_warps <= b.warps_per_cta)
+
+let test_rewrite_all_kernels () =
+  let c =
+    Advisor.instrument_source ~file:"k.cu"
+      "__global__ void k1(float* a) { a[0] = a[1]; }\n__global__ void k2(float* a) { a[2] = a[3]; }"
+  in
+  let rewritten = Advisor.rewrite_all_kernels c.prog ~warps_to_cache:1 in
+  let has_cg name =
+    let f = Ptx.Isa.find_func rewritten name in
+    Array.exists
+      (function Ptx.Isa.Ld { cop = Ptx.Isa.Cg; _ } -> true | _ -> false)
+      f.Ptx.Isa.body
+  in
+  check "k1 rewritten" true (has_cg "k1");
+  check "k2 rewritten" true (has_cg "k2")
+
+let () =
+  Alcotest.run "advisor"
+    [
+      ( "pipeline",
+        [ Alcotest.test_case "instrument_source" `Quick test_instrument_source;
+          Alcotest.test_case "profile session" `Slow test_profile_session;
+          Alcotest.test_case "options respected" `Slow test_profile_options_respected;
+          Alcotest.test_case "determinism" `Slow test_run_native_deterministic ] );
+      ( "studies",
+        [ Alcotest.test_case "overhead" `Slow test_overhead_positive;
+          Alcotest.test_case "bypass shape" `Slow test_bypass_study_shape;
+          Alcotest.test_case "rewrite all kernels" `Quick test_rewrite_all_kernels ] );
+    ]

@@ -1,0 +1,358 @@
+(* Tests for the analyzers: reuse distance (including the paper's own
+   worked example), memory divergence, branch divergence, statistics and
+   the bypass model. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Build a synthetic warp-level memory event. *)
+let mem_event ?(cta = 0) ?(warp = 0) ?(kind = Passes.Hooks.mem_kind_load)
+    ?(bits = 32) addrs =
+  ( { Gpusim.Hookev.kernel = "k";
+      cta;
+      warp;
+      loc = Bitc.Loc.none;
+      bits;
+      kind;
+      accesses = Array.of_list (List.mapi (fun lane a -> (lane, a)) addrs) },
+    0 )
+
+(* single-lane access stream helper: element index -> byte address *)
+let stream ?(kind = Passes.Hooks.mem_kind_load) elems =
+  List.map (fun e -> mem_event ~kind [ e * 4 ]) elems
+
+(* ----- fenwick ----- *)
+
+let qcheck_fenwick_matches_naive =
+  QCheck2.Test.make ~name:"fenwick prefix sums match naive" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 50) (pair (int_range 1 40) (int_range (-3) 3)))
+    (fun updates ->
+      let t = Analysis.Fenwick.create 40 in
+      let naive = Array.make 41 0 in
+      List.iter
+        (fun (i, d) ->
+          Analysis.Fenwick.add t i d;
+          naive.(i) <- naive.(i) + d)
+        updates;
+      let ok = ref true in
+      for i = 0 to 40 do
+        let expect = Array.fold_left ( + ) 0 (Array.sub naive 0 (i + 1)) in
+        if Analysis.Fenwick.prefix t i <> expect then ok := false
+      done;
+      !ok)
+
+(* ----- reuse distance ----- *)
+
+(* The paper's example: sequence ABCCDEFAAAB — "the reuse distance of B
+   is 5" (distinct elements between the two uses of B). *)
+let test_rd_paper_example () =
+  let seq = [ 0; 1; 2; 2; 3; 4; 5; 0; 0; 0; 1 ] (* A B C C D E F A A A B *) in
+  let r = Analysis.Reuse_distance.of_events (stream seq) in
+  (* distances: C->C:0, A->A:5, A->A:0, A->A:0, B->B:5 => finite = 5 *)
+  check_int "finite reuses" 5 r.finite_reuses;
+  check_int "rd0 count" 3 (List.assoc Analysis.Reuse_distance.B0 r.histogram);
+  (* B's reuse at distance 5 falls in bucket 3-8; so does A's first *)
+  check_int "rd 3-8 count" 2 (List.assoc Analysis.Reuse_distance.B3_8 r.histogram);
+  (* 6 distinct elements never reused again -> infinite *)
+  check_int "no-reuse" 6 r.infinite_reuses;
+  check_int "samples" 11 r.samples
+
+let test_rd_streaming_is_all_infinite () =
+  let r = Analysis.Reuse_distance.of_events (stream [ 0; 1; 2; 3; 4; 5 ]) in
+  check_int "no finite reuse" 0 r.finite_reuses;
+  check "all infinite" true (Analysis.Reuse_distance.no_reuse_fraction r = 1.0)
+
+let test_rd_write_restarts () =
+  (* read A, write A, read A: the write kills the pending reuse *)
+  let events =
+    [ mem_event [ 0 ]; mem_event ~kind:Passes.Hooks.mem_kind_store [ 0 ];
+      mem_event [ 0 ] ]
+  in
+  let r = Analysis.Reuse_distance.of_events events in
+  check_int "no finite reuse across a write" 0 r.finite_reuses;
+  (* first read -> inf (killed by write); second read pending at end -> inf *)
+  check_int "two no-reuse samples" 2 r.infinite_reuses
+
+let test_rd_read_read_is_finite () =
+  let r = Analysis.Reuse_distance.of_events (stream [ 0; 1; 0 ]) in
+  check_int "one finite reuse" 1 r.finite_reuses;
+  check_int "distance 1 bucket" 1
+    (List.assoc Analysis.Reuse_distance.B1_2 r.histogram)
+
+let test_rd_per_cta_separation () =
+  (* same element touched by two CTAs: no cross-CTA reuse *)
+  let events = [ mem_event ~cta:0 [ 0 ]; mem_event ~cta:1 [ 0 ] ] in
+  let r = Analysis.Reuse_distance.of_events events in
+  check_int "no cross-CTA reuse" 0 r.finite_reuses
+
+let test_rd_cache_line_granularity () =
+  (* adjacent words share a 128-byte line: reuse at line granularity only *)
+  let events = [ mem_event [ 0 ]; mem_event [ 4 ] ] in
+  let elem = Analysis.Reuse_distance.of_events events in
+  let line =
+    Analysis.Reuse_distance.of_events
+      ~granularity:(Analysis.Reuse_distance.Cache_line 128) events
+  in
+  check_int "element: no reuse" 0 elem.finite_reuses;
+  check_int "line: one reuse at 0" 1 line.finite_reuses
+
+let test_rd_merge () =
+  let a = Analysis.Reuse_distance.of_events (stream [ 0; 0 ]) in
+  let b = Analysis.Reuse_distance.of_events (stream [ 1; 2; 1 ]) in
+  let m = Analysis.Reuse_distance.merge [ a; b ] in
+  check_int "samples add" (a.samples + b.samples) m.samples;
+  check_int "finite add" (a.finite_reuses + b.finite_reuses) m.finite_reuses
+
+let test_rd_buckets () =
+  let open Analysis.Reuse_distance in
+  check "bucket 0" true (bucket_of_distance 0 = B0);
+  check "bucket 2" true (bucket_of_distance 2 = B1_2);
+  check "bucket 8" true (bucket_of_distance 8 = B3_8);
+  check "bucket 32" true (bucket_of_distance 32 = B9_32);
+  check "bucket 128" true (bucket_of_distance 128 = B33_128);
+  check "bucket 512" true (bucket_of_distance 512 = B129_512);
+  check "bucket 513" true (bucket_of_distance 513 = B_gt512)
+
+let qcheck_rd_sample_conservation =
+  (* every read access yields exactly one sample (finite or infinite) *)
+  QCheck2.Test.make ~name:"reuse-distance samples = read accesses" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 100) (int_range 0 10))
+    (fun elems ->
+      let r = Analysis.Reuse_distance.of_events (stream elems) in
+      r.samples = List.length elems && r.finite_reuses + r.infinite_reuses = r.samples)
+
+let qcheck_rd_write_only_no_samples_finite =
+  QCheck2.Test.make ~name:"write-only streams have no finite reuse" ~count:50
+    QCheck2.Gen.(list_size (int_range 1 50) (int_range 0 10))
+    (fun elems ->
+      let events =
+        List.map (fun e -> mem_event ~kind:Passes.Hooks.mem_kind_store [ e * 4 ]) elems
+      in
+      (Analysis.Reuse_distance.of_events events).finite_reuses = 0)
+
+(* ----- memory divergence ----- *)
+
+let test_md_coalesced () =
+  let ev = mem_event (List.init 32 (fun i -> 4 * i)) in
+  let r = Analysis.Mem_divergence.of_events ~line_size:128 [ ev ] in
+  check_int "one line" 1 r.distribution.(1);
+  check "degree 1" true (r.degree = 1.
+
+)
+
+let test_md_divergent () =
+  let ev = mem_event (List.init 32 (fun i -> 1024 * i)) in
+  let r = Analysis.Mem_divergence.of_events ~line_size:128 [ ev ] in
+  check_int "32 lines" 1 r.distribution.(32);
+  check "degree 32" true (r.degree = 32.)
+
+let test_md_line_size_matters () =
+  (* 32 consecutive floats: one 128B line but four 32B sectors *)
+  let ev = mem_event (List.init 32 (fun i -> 4 * i)) in
+  let kepler = Analysis.Mem_divergence.of_events ~line_size:128 [ ev ] in
+  let pascal = Analysis.Mem_divergence.of_events ~line_size:32 [ ev ] in
+  check "kepler 1 line" true (kepler.degree = 1.);
+  check "pascal 4 lines" true (pascal.degree = 4.)
+
+let test_md_byte_accesses () =
+  (* 32 consecutive bools: one 32B sector on Pascal *)
+  let ev = mem_event ~bits:8 (List.init 32 Fun.id) in
+  let r = Analysis.Mem_divergence.of_events ~line_size:32 [ ev ] in
+  check "one sector" true (r.degree = 1.)
+
+let test_md_sites_ranking () =
+  let loc1 = Bitc.Loc.make ~file:"a.cu" ~line:1 ~col:1 in
+  let loc2 = Bitc.Loc.make ~file:"a.cu" ~line:2 ~col:1 in
+  let ev loc addrs =
+    ( { Gpusim.Hookev.kernel = "k"; cta = 0; warp = 0; loc; bits = 32;
+        kind = Passes.Hooks.mem_kind_load;
+        accesses = Array.of_list (List.mapi (fun l a -> (l, a)) addrs) },
+      0 )
+  in
+  let events =
+    [ ev loc1 (List.init 32 (fun i -> 4 * i)); ev loc2 (List.init 32 (fun i -> 512 * i)) ]
+  in
+  let sites = Analysis.Mem_divergence.sites ~line_size:128 events in
+  check_int "two sites" 2 (List.length sites);
+  check "worst first" true
+    ((List.hd sites).site_loc.Bitc.Loc.line = 2)
+
+let qcheck_md_degree_bounds =
+  QCheck2.Test.make ~name:"divergence degree in [1, 32]" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 32) (int_range 0 100000))
+    (fun addrs ->
+      let ev = mem_event (List.map (fun a -> a * 4) addrs) in
+      let r = Analysis.Mem_divergence.of_events ~line_size:128 [ ev ] in
+      r.degree >= 1. && r.degree <= 32.)
+
+
+(* ----- per-site reuse (vertical bypassing input) ----- *)
+
+let site_ev ?(kind = Passes.Hooks.mem_kind_load) ~line ~col addrs =
+  ( { Gpusim.Hookev.kernel = "k"; cta = 0; warp = 0;
+      loc = Bitc.Loc.make ~file:"a.cu" ~line ~col; bits = 32; kind;
+      accesses = Array.of_list (List.mapi (fun l a -> (l, a)) addrs) },
+    0 )
+
+let test_site_reuse_streaming_site () =
+  (* site at line 1 streams; site at line 2 re-reads what line 1 read *)
+  let events =
+    [ site_ev ~line:1 ~col:1 [ 0 ]; site_ev ~line:2 ~col:1 [ 0 ];
+      site_ev ~line:1 ~col:1 [ 1024 ] ]
+  in
+  let sites = Analysis.Site_reuse.of_events ~line_size:128 events in
+  let s1 = List.find (fun (s : Analysis.Site_reuse.site_stat) -> s.loc.line = 1) sites in
+  (* line-1's first access was reused by line-2; its second never *)
+  check_int "site1 accesses" 2 s1.accesses;
+  check_int "site1 reused" 1 s1.reused_later
+
+let test_site_reuse_intra_instruction_not_reuse () =
+  (* 32 lanes on one line in a single instruction: no self-credit *)
+  let events = [ site_ev ~line:3 ~col:1 (List.init 32 (fun i -> 4 * i)) ] in
+  let sites = Analysis.Site_reuse.of_events ~line_size:128 events in
+  let s = List.hd sites in
+  check_int "no intra-instruction reuse" 0 s.reused_later
+
+let test_site_reuse_write_kills () =
+  let events =
+    [ site_ev ~line:4 ~col:1 [ 0 ];
+      site_ev ~kind:Passes.Hooks.mem_kind_store ~line:5 ~col:1 [ 0 ];
+      site_ev ~line:6 ~col:1 [ 0 ] ]
+  in
+  let sites = Analysis.Site_reuse.of_events ~line_size:128 events in
+  let s4 = List.find (fun (s : Analysis.Site_reuse.site_stat) -> s.loc.line = 4) sites in
+  check_int "write killed the reuse" 0 s4.reused_later
+
+let test_site_reuse_candidates () =
+  let events =
+    [ site_ev ~line:1 ~col:1 [ 0 ]; site_ev ~line:1 ~col:1 [ 1024 ];
+      (* line 2 has full reuse of what it reads *)
+      site_ev ~line:2 ~col:1 [ 4096 ]; site_ev ~line:2 ~col:1 [ 4096 ] ]
+  in
+  let cands = Analysis.Site_reuse.bypass_candidates ~threshold:0.4 ~line_size:128 events in
+  check_int "one streaming candidate" 1 (List.length cands);
+  check_int "it is line 1" 1 (List.hd cands).line
+
+(* ----- bypass model ----- *)
+
+let test_bypass_model_clamps () =
+  let inp =
+    { Analysis.Bypass_model.l1_cache_size = 16384;
+      cacheline_size = 128;
+      reuse_distance = 1.;
+      mem_divergence = 1.;
+      ctas_per_sm = 1;
+      warps_per_cta = 8 }
+  in
+  (* 16384 / 128 = 128 -> clamp to 8 *)
+  check_int "clamp to warps_per_cta" 8 (Analysis.Bypass_model.optimal_warps inp);
+  let heavy = { inp with reuse_distance = 1000.; mem_divergence = 32. } in
+  check_int "heavy pressure -> 0" 0 (Analysis.Bypass_model.optimal_warps heavy)
+
+let test_bypass_model_formula () =
+  (* 16384 / (4 * 128 * 2 * 4) = 4 *)
+  let inp =
+    { Analysis.Bypass_model.l1_cache_size = 16384;
+      cacheline_size = 128;
+      reuse_distance = 4.;
+      mem_divergence = 2.;
+      ctas_per_sm = 4;
+      warps_per_cta = 8 }
+  in
+  check_int "Eq.(1)" 4 (Analysis.Bypass_model.optimal_warps inp)
+
+let qcheck_bypass_model_monotone =
+  QCheck2.Test.make ~name:"more pressure never means more caching warps" ~count:100
+    QCheck2.Gen.(pair (float_range 1. 100.) (float_range 1. 100.))
+    (fun (rd, rd') ->
+      let mk rd =
+        { Analysis.Bypass_model.l1_cache_size = 16384;
+          cacheline_size = 128;
+          reuse_distance = rd;
+          mem_divergence = 4.;
+          ctas_per_sm = 2;
+          warps_per_cta = 16 }
+      in
+      let lo = Float.min rd rd' and hi = Float.max rd rd' in
+      Analysis.Bypass_model.optimal_warps (mk hi)
+      <= Analysis.Bypass_model.optimal_warps (mk lo))
+
+
+(* ----- json / report ----- *)
+
+let test_json_emitter () =
+  let j =
+    Analysis.Json.(
+      Obj
+        [ ("a", Int 1); ("b", Float 2.5); ("s", String "x\"y\n");
+          ("l", List [ Bool true; Null ]) ])
+  in
+  Alcotest.(check string) "rendering"
+    "{\"a\":1,\"b\":2.5,\"s\":\"x\\\"y\\n\",\"l\":[true,null]}"
+    (Analysis.Json.to_string j)
+
+let test_report_structure () =
+  (* a report over an empty profile still has all sections *)
+  let manifest = Passes.Manifest.create () in
+  let profiler = Profiler.Profile.create ~manifest () in
+  let r =
+    Analysis.Report.to_string
+      (Analysis.Report.of_profile ~app:"x" ~arch_name:"a" ~line_size:128 profiler)
+  in
+  List.iter
+    (fun key -> check ("has " ^ key) true (Testutil.contains r key))
+    [ "reuse_distance"; "memory_divergence"; "branch_divergence"; "contexts" ]
+
+(* ----- statistics ----- *)
+
+let test_statistics_summary () =
+  let s = Analysis.Statistics.summarize [ 1.; 2.; 3.; 4. ] in
+  check_int "count" 4 s.count;
+  check "mean" true (s.mean = 2.5);
+  check "min" true (s.min = 1.);
+  check "max" true (s.max = 4.);
+  check "stddev" true (abs_float (s.stddev -. sqrt 1.25) < 1e-9)
+
+let test_statistics_empty () =
+  let s = Analysis.Statistics.summarize [] in
+  check_int "count" 0 s.count;
+  check "mean 0" true (s.mean = 0.)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ("fenwick", [ QCheck_alcotest.to_alcotest qcheck_fenwick_matches_naive ]);
+      ( "reuse distance",
+        [ Alcotest.test_case "paper example ABCCDEFAAAB" `Quick test_rd_paper_example;
+          Alcotest.test_case "streaming" `Quick test_rd_streaming_is_all_infinite;
+          Alcotest.test_case "write restarts" `Quick test_rd_write_restarts;
+          Alcotest.test_case "read-read finite" `Quick test_rd_read_read_is_finite;
+          Alcotest.test_case "per-CTA separation" `Quick test_rd_per_cta_separation;
+          Alcotest.test_case "line granularity" `Quick test_rd_cache_line_granularity;
+          Alcotest.test_case "merge" `Quick test_rd_merge;
+          Alcotest.test_case "buckets" `Quick test_rd_buckets;
+          QCheck_alcotest.to_alcotest qcheck_rd_sample_conservation;
+          QCheck_alcotest.to_alcotest qcheck_rd_write_only_no_samples_finite ] );
+      ( "memory divergence",
+        [ Alcotest.test_case "coalesced" `Quick test_md_coalesced;
+          Alcotest.test_case "divergent" `Quick test_md_divergent;
+          Alcotest.test_case "line size" `Quick test_md_line_size_matters;
+          Alcotest.test_case "byte accesses" `Quick test_md_byte_accesses;
+          Alcotest.test_case "site ranking" `Quick test_md_sites_ranking;
+          QCheck_alcotest.to_alcotest qcheck_md_degree_bounds ] );
+      ( "site reuse",
+        [ Alcotest.test_case "streaming site" `Quick test_site_reuse_streaming_site;
+          Alcotest.test_case "intra-instruction" `Quick test_site_reuse_intra_instruction_not_reuse;
+          Alcotest.test_case "write kills" `Quick test_site_reuse_write_kills;
+          Alcotest.test_case "candidates" `Quick test_site_reuse_candidates ] );
+      ( "bypass model",
+        [ Alcotest.test_case "clamps" `Quick test_bypass_model_clamps;
+          Alcotest.test_case "formula" `Quick test_bypass_model_formula;
+          QCheck_alcotest.to_alcotest qcheck_bypass_model_monotone ] );
+      ( "report",
+        [ Alcotest.test_case "json emitter" `Quick test_json_emitter;
+          Alcotest.test_case "report structure" `Quick test_report_structure ] );
+      ( "statistics",
+        [ Alcotest.test_case "summary" `Quick test_statistics_summary;
+          Alcotest.test_case "empty" `Quick test_statistics_empty ] );
+    ]

@@ -1,0 +1,375 @@
+(* Unit and property tests for the Bitc IR: types, builder, verifier,
+   printer and CFG analyses. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* ----- types ----- *)
+
+let test_type_sizes () =
+  check_int "i1" 1 (Bitc.Types.size_of Bitc.Types.I1);
+  check_int "i32" 4 (Bitc.Types.size_of Bitc.Types.I32);
+  check_int "f32" 4 (Bitc.Types.size_of Bitc.Types.F32);
+  check_int "ptr" 8 (Bitc.Types.size_of (Bitc.Types.Ptr (Bitc.Types.F32, Bitc.Types.Global)));
+  check_int "void" 0 (Bitc.Types.size_of Bitc.Types.Void)
+
+let test_type_equal () =
+  let p s = Bitc.Types.Ptr (Bitc.Types.F32, s) in
+  check "same" true (Bitc.Types.equal (p Bitc.Types.Global) (p Bitc.Types.Global));
+  check "space differs" false (Bitc.Types.equal (p Bitc.Types.Global) (p Bitc.Types.Shared));
+  check "scalar vs ptr" false (Bitc.Types.equal Bitc.Types.F32 (p Bitc.Types.Global));
+  check "i32 vs f32" false (Bitc.Types.equal Bitc.Types.I32 Bitc.Types.F32)
+
+let test_pointee () =
+  check "pointee" true
+    (Bitc.Types.equal Bitc.Types.I32
+       (Bitc.Types.pointee (Bitc.Types.Ptr (Bitc.Types.I32, Bitc.Types.Local))));
+  Alcotest.check_raises "pointee of scalar" (Invalid_argument "Types.pointee: not a pointer (4)")
+    (fun () -> ignore (Bitc.Types.pointee Bitc.Types.I32))
+
+let test_type_strings () =
+  check_str "i32" "i32" (Bitc.Types.to_string Bitc.Types.I32);
+  check_str "generic ptr" "f32*"
+    (Bitc.Types.to_string (Bitc.Types.Ptr (Bitc.Types.F32, Bitc.Types.Generic)));
+  check_str "global ptr" "f32 addrspace(global)*"
+    (Bitc.Types.to_string (Bitc.Types.Ptr (Bitc.Types.F32, Bitc.Types.Global)))
+
+(* ----- locations ----- *)
+
+let test_loc () =
+  let l = Bitc.Loc.make ~file:"a.cu" ~line:3 ~col:7 in
+  check_str "to_string" "a.cu:3:7" (Bitc.Loc.to_string l);
+  check "none" true (Bitc.Loc.is_none Bitc.Loc.none);
+  check "not none" false (Bitc.Loc.is_none l);
+  check "equal" true (Bitc.Loc.equal l (Bitc.Loc.make ~file:"a.cu" ~line:3 ~col:7));
+  check "compare" true (Bitc.Loc.compare l (Bitc.Loc.make ~file:"a.cu" ~line:4 ~col:0) < 0)
+
+(* ----- values ----- *)
+
+let test_values () =
+  check "reg eq" true (Bitc.Value.equal (Bitc.Value.Reg 3) (Bitc.Value.Reg 3));
+  check "reg neq" false (Bitc.Value.equal (Bitc.Value.Reg 3) (Bitc.Value.Reg 4));
+  check "const" true (Bitc.Value.is_const (Bitc.Value.Int 1));
+  check "reg not const" false (Bitc.Value.is_const (Bitc.Value.Reg 1));
+  check_str "print reg" "%5" (Bitc.Value.to_string (Bitc.Value.Reg 5));
+  check_str "print true" "true" (Bitc.Value.to_string (Bitc.Value.Bool true))
+
+(* ----- builder + verifier ----- *)
+
+(* Build: kernel f(p: f32*, n: i32) { if (n > 0) p[0] = 1.0; } *)
+let build_simple_kernel () =
+  let m = Bitc.Irmod.create "t" in
+  let f =
+    Bitc.Func.create ~name:"k"
+      ~params:
+        [ ("p", Bitc.Types.Ptr (Bitc.Types.F32, Bitc.Types.Global));
+          ("n", Bitc.Types.I32) ]
+      ~ret:Bitc.Types.Void ~fkind:Bitc.Func.Kernel
+  in
+  Bitc.Irmod.add_func m f;
+  let b = Bitc.Builder.create f in
+  let cond = Bitc.Builder.cmp b Bitc.Instr.Gt (Bitc.Value.Reg 1) (Bitc.Value.Int 0) in
+  let then_b = Bitc.Builder.new_block b "then" in
+  let end_b = Bitc.Builder.new_block b "end" in
+  Bitc.Builder.cond_br b cond ~then_:then_b ~else_:end_b;
+  Bitc.Builder.set_block b then_b;
+  Bitc.Builder.store b ~ptr:(Bitc.Value.Reg 0) ~value:(Bitc.Value.Float 1.0);
+  Bitc.Builder.br b end_b;
+  Bitc.Builder.set_block b end_b;
+  Bitc.Builder.ret b None;
+  (m, f)
+
+let test_builder_simple () =
+  let m, f = build_simple_kernel () in
+  Bitc.Verify.run m;
+  check_int "blocks" 3 (List.length f.blocks);
+  check "entry terminated" true
+    (match (Bitc.Func.entry f).term with
+    | Some (Bitc.Instr.Cond_br _) -> true
+    | _ -> false)
+
+let test_block_names_unique () =
+  let m, f = build_simple_kernel () in
+  ignore m;
+  let b = Bitc.Builder.create f in
+  let extra = Bitc.Builder.new_block b "then" in
+  check "renamed" true (extra.Bitc.Block.name <> "then")
+
+let test_verifier_rejects_unterminated () =
+  let m = Bitc.Irmod.create "t" in
+  let f =
+    Bitc.Func.create ~name:"k" ~params:[] ~ret:Bitc.Types.Void ~fkind:Bitc.Func.Kernel
+  in
+  Bitc.Irmod.add_func m f;
+  Bitc.Func.add_block f (Bitc.Block.create "entry");
+  check "unterminated rejected" true (Result.is_error (Bitc.Verify.check m))
+
+let test_verifier_rejects_bad_branch_target () =
+  let m, f = build_simple_kernel () in
+  (Bitc.Func.entry f).term <- Some (Bitc.Instr.Br "nowhere");
+  check "bad target rejected" true (Result.is_error (Bitc.Verify.check m))
+
+let test_verifier_rejects_type_mismatch () =
+  let m, f = build_simple_kernel () in
+  (* store an i32 through an f32 pointer *)
+  let blk = Bitc.Func.find_block_exn f "then" in
+  blk.instrs <-
+    [ { Bitc.Instr.result = None;
+        ty = Bitc.Types.Void;
+        kind =
+          Bitc.Instr.Store
+            { ptr = Bitc.Value.Reg 0; value = Bitc.Value.Int 1; value_ty = Bitc.Types.I32 };
+        loc = Bitc.Loc.none } ];
+  check "type mismatch rejected" true (Result.is_error (Bitc.Verify.check m))
+
+let test_verifier_rejects_undefined_reg () =
+  let m, f = build_simple_kernel () in
+  let blk = Bitc.Func.find_block_exn f "then" in
+  blk.term <- Some (Bitc.Instr.Cond_br (Bitc.Value.Reg 99, "then", "end"));
+  ignore (Bitc.Func.fresh_reg f Bitc.Types.I1);
+  check "undefined reg rejected" true (Result.is_error (Bitc.Verify.check m))
+
+let test_verifier_rejects_double_assign () =
+  let m, f = build_simple_kernel () in
+  let blk = Bitc.Func.find_block_exn f "then" in
+  let dup =
+    { Bitc.Instr.result = Some 2;
+      ty = Bitc.Types.I1;
+      kind = Bitc.Instr.Cmp (Bitc.Instr.Eq, Bitc.Types.I32, Bitc.Value.Int 0, Bitc.Value.Int 0);
+      loc = Bitc.Loc.none }
+  in
+  Bitc.Block.prepend blk dup;
+  check "double assign rejected" true (Result.is_error (Bitc.Verify.check m))
+
+let test_verifier_rejects_undeclared_call () =
+  let m, f = build_simple_kernel () in
+  let blk = Bitc.Func.find_block_exn f "then" in
+  Bitc.Block.prepend blk
+    { Bitc.Instr.result = None;
+      ty = Bitc.Types.Void;
+      kind = Bitc.Instr.Call { callee = "missing"; args = [] };
+      loc = Bitc.Loc.none };
+  check "undeclared call rejected" true (Result.is_error (Bitc.Verify.check m))
+
+let test_printer_contains () =
+  let m, _ = build_simple_kernel () in
+  let text = Bitc.Printer.module_to_string m in
+  check "has define" true
+    (Testutil.contains text "define kernel void @k");
+  check "has icmp" true (Testutil.contains text "icmp gt");
+  check "has store" true (Testutil.contains text "store f32")
+
+(* ----- CFG ----- *)
+
+(* diamond: entry -> (a|b) -> join -> exit(ret) *)
+let build_diamond () =
+  let m = Bitc.Irmod.create "t" in
+  let f =
+    Bitc.Func.create ~name:"d" ~params:[ ("c", Bitc.Types.I1) ] ~ret:Bitc.Types.Void
+      ~fkind:Bitc.Func.Device
+  in
+  Bitc.Irmod.add_func m f;
+  let b = Bitc.Builder.create f in
+  let a = Bitc.Builder.new_block b "a" in
+  let bb = Bitc.Builder.new_block b "b" in
+  let join = Bitc.Builder.new_block b "join" in
+  Bitc.Builder.cond_br b (Bitc.Value.Reg 0) ~then_:a ~else_:bb;
+  Bitc.Builder.set_block b a;
+  Bitc.Builder.br b join;
+  Bitc.Builder.set_block b bb;
+  Bitc.Builder.br b join;
+  Bitc.Builder.set_block b join;
+  Bitc.Builder.ret b None;
+  (m, f)
+
+let test_cfg_diamond_ipdom () =
+  let _, f = build_diamond () in
+  let cfg = Bitc.Cfg.build f in
+  let ipdom = Bitc.Cfg.post_dominators cfg in
+  Alcotest.(check (option string))
+    "entry reconverges at join" (Some "join")
+    (Bitc.Cfg.reconvergence_point cfg ipdom "entry")
+
+let test_cfg_loop_ipdom () =
+  (* entry -> cond; cond -> (body|exit); body -> cond *)
+  let m = Bitc.Irmod.create "t" in
+  let f =
+    Bitc.Func.create ~name:"l" ~params:[ ("c", Bitc.Types.I1) ] ~ret:Bitc.Types.Void
+      ~fkind:Bitc.Func.Device
+  in
+  Bitc.Irmod.add_func m f;
+  let b = Bitc.Builder.create f in
+  let cond = Bitc.Builder.new_block b "cond" in
+  let body = Bitc.Builder.new_block b "body" in
+  let exit_b = Bitc.Builder.new_block b "exit" in
+  Bitc.Builder.br b cond;
+  Bitc.Builder.set_block b cond;
+  Bitc.Builder.cond_br b (Bitc.Value.Reg 0) ~then_:body ~else_:exit_b;
+  Bitc.Builder.set_block b body;
+  Bitc.Builder.br b cond;
+  Bitc.Builder.set_block b exit_b;
+  Bitc.Builder.ret b None;
+  Bitc.Verify.run m;
+  let cfg = Bitc.Cfg.build f in
+  let ipdom = Bitc.Cfg.post_dominators cfg in
+  Alcotest.(check (option string))
+    "loop branch reconverges at exit" (Some "exit")
+    (Bitc.Cfg.reconvergence_point cfg ipdom "cond")
+
+let test_cfg_nested_if_ipdom () =
+  (* if (c) { if (c) {x} y } z  — inner reconverges at y, outer at z *)
+  let m = Bitc.Irmod.create "t" in
+  let f =
+    Bitc.Func.create ~name:"n" ~params:[ ("c", Bitc.Types.I1) ] ~ret:Bitc.Types.Void
+      ~fkind:Bitc.Func.Device
+  in
+  Bitc.Irmod.add_func m f;
+  let b = Bitc.Builder.create f in
+  let outer_then = Bitc.Builder.new_block b "outer.then" in
+  let inner_then = Bitc.Builder.new_block b "inner.then" in
+  let inner_end = Bitc.Builder.new_block b "inner.end" in
+  let outer_end = Bitc.Builder.new_block b "outer.end" in
+  Bitc.Builder.cond_br b (Bitc.Value.Reg 0) ~then_:outer_then ~else_:outer_end;
+  Bitc.Builder.set_block b outer_then;
+  Bitc.Builder.cond_br b (Bitc.Value.Reg 0) ~then_:inner_then ~else_:inner_end;
+  Bitc.Builder.set_block b inner_then;
+  Bitc.Builder.br b inner_end;
+  Bitc.Builder.set_block b inner_end;
+  Bitc.Builder.br b outer_end;
+  Bitc.Builder.set_block b outer_end;
+  Bitc.Builder.ret b None;
+  Bitc.Verify.run m;
+  let cfg = Bitc.Cfg.build f in
+  let ipdom = Bitc.Cfg.post_dominators cfg in
+  Alcotest.(check (option string))
+    "inner" (Some "inner.end")
+    (Bitc.Cfg.reconvergence_point cfg ipdom "outer.then");
+  Alcotest.(check (option string))
+    "outer" (Some "outer.end")
+    (Bitc.Cfg.reconvergence_point cfg ipdom "entry")
+
+let test_cfg_early_return () =
+  (* if (c) ret; rest — reconvergence only at function exit *)
+  let m = Bitc.Irmod.create "t" in
+  let f =
+    Bitc.Func.create ~name:"e" ~params:[ ("c", Bitc.Types.I1) ] ~ret:Bitc.Types.Void
+      ~fkind:Bitc.Func.Device
+  in
+  Bitc.Irmod.add_func m f;
+  let b = Bitc.Builder.create f in
+  let ret_b = Bitc.Builder.new_block b "early" in
+  let rest = Bitc.Builder.new_block b "rest" in
+  Bitc.Builder.cond_br b (Bitc.Value.Reg 0) ~then_:ret_b ~else_:rest;
+  Bitc.Builder.set_block b ret_b;
+  Bitc.Builder.ret b None;
+  Bitc.Builder.set_block b rest;
+  Bitc.Builder.ret b None;
+  Bitc.Verify.run m;
+  let cfg = Bitc.Cfg.build f in
+  let ipdom = Bitc.Cfg.post_dominators cfg in
+  Alcotest.(check (option string))
+    "no reconvergence before exit" None
+    (Bitc.Cfg.reconvergence_point cfg ipdom "entry")
+
+let test_cfg_rpo () =
+  let _, f = build_diamond () in
+  let cfg = Bitc.Cfg.build f in
+  let rpo = Bitc.Cfg.reverse_postorder cfg in
+  check_int "rpo covers all blocks" 4 (Array.length rpo);
+  check_int "entry first" 0 rpo.(0)
+
+(* ----- qcheck properties ----- *)
+
+let qcheck_straightline_verifies =
+  (* arbitrary straight-line arithmetic over two i32 params always
+     passes the verifier when built through the Builder *)
+  QCheck2.Test.make ~name:"builder output always verifies" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 30) (int_range 0 5))
+    (fun ops ->
+      let m = Bitc.Irmod.create "q" in
+      let f =
+        Bitc.Func.create ~name:"f"
+          ~params:[ ("a", Bitc.Types.I32); ("b", Bitc.Types.I32) ]
+          ~ret:Bitc.Types.I32 ~fkind:Bitc.Func.Device
+      in
+      Bitc.Irmod.add_func m f;
+      let b = Bitc.Builder.create f in
+      let acc = ref (Bitc.Value.Reg 0) in
+      List.iter
+        (fun op ->
+          let binop =
+            match op with
+            | 0 -> Bitc.Instr.Add
+            | 1 -> Bitc.Instr.Sub
+            | 2 -> Bitc.Instr.Mul
+            | 3 -> Bitc.Instr.And
+            | 4 -> Bitc.Instr.Min
+            | _ -> Bitc.Instr.Max
+          in
+          acc := Bitc.Builder.binop b binop !acc (Bitc.Value.Reg 1))
+        ops;
+      Bitc.Builder.ret b (Some !acc);
+      Result.is_ok (Bitc.Verify.check m))
+
+let qcheck_ipdom_of_chain =
+  (* in a linear chain every block's ipdom is its successor *)
+  QCheck2.Test.make ~name:"linear chain ipdom" ~count:50
+    QCheck2.Gen.(int_range 2 12)
+    (fun n ->
+      let m = Bitc.Irmod.create "q" in
+      let f =
+        Bitc.Func.create ~name:"f" ~params:[] ~ret:Bitc.Types.Void
+          ~fkind:Bitc.Func.Device
+      in
+      Bitc.Irmod.add_func m f;
+      let b = Bitc.Builder.create f in
+      let blocks =
+        List.init (n - 1) (fun i -> Bitc.Builder.new_block b (Printf.sprintf "b%d" i))
+      in
+      List.iter
+        (fun blk ->
+          Bitc.Builder.br b blk;
+          Bitc.Builder.set_block b blk)
+        blocks;
+      Bitc.Builder.ret b None;
+      let cfg = Bitc.Cfg.build f in
+      let ipdom = Bitc.Cfg.post_dominators cfg in
+      (* block i's ipdom is block i+1 for all but the last *)
+      let ok = ref true in
+      for i = 0 to Bitc.Cfg.size cfg - 2 do
+        if ipdom.(i) <> i + 1 then ok := false
+      done;
+      !ok && ipdom.(Bitc.Cfg.size cfg - 1) = -1)
+
+let () =
+  Alcotest.run "bitc"
+    [
+      ( "types",
+        [ Alcotest.test_case "sizes" `Quick test_type_sizes;
+          Alcotest.test_case "equality" `Quick test_type_equal;
+          Alcotest.test_case "pointee" `Quick test_pointee;
+          Alcotest.test_case "to_string" `Quick test_type_strings ] );
+      ( "loc+value",
+        [ Alcotest.test_case "loc" `Quick test_loc;
+          Alcotest.test_case "values" `Quick test_values ] );
+      ( "builder+verify",
+        [ Alcotest.test_case "simple kernel" `Quick test_builder_simple;
+          Alcotest.test_case "unique block names" `Quick test_block_names_unique;
+          Alcotest.test_case "rejects unterminated" `Quick test_verifier_rejects_unterminated;
+          Alcotest.test_case "rejects bad branch" `Quick test_verifier_rejects_bad_branch_target;
+          Alcotest.test_case "rejects type mismatch" `Quick test_verifier_rejects_type_mismatch;
+          Alcotest.test_case "rejects undefined reg" `Quick test_verifier_rejects_undefined_reg;
+          Alcotest.test_case "rejects double assign" `Quick test_verifier_rejects_double_assign;
+          Alcotest.test_case "rejects undeclared call" `Quick test_verifier_rejects_undeclared_call;
+          Alcotest.test_case "printer" `Quick test_printer_contains ] );
+      ( "cfg",
+        [ Alcotest.test_case "diamond ipdom" `Quick test_cfg_diamond_ipdom;
+          Alcotest.test_case "loop ipdom" `Quick test_cfg_loop_ipdom;
+          Alcotest.test_case "nested if ipdom" `Quick test_cfg_nested_if_ipdom;
+          Alcotest.test_case "early return" `Quick test_cfg_early_return;
+          Alcotest.test_case "reverse postorder" `Quick test_cfg_rpo ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest qcheck_straightline_verifies;
+          QCheck_alcotest.to_alcotest qcheck_ipdom_of_chain ] );
+    ]

@@ -1,0 +1,247 @@
+(* Tests for the instrumentation engine and the cleanup passes. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let sample =
+  {|
+__device__ float helper(float x) { return x * 2.0f; }
+__global__ void k(float* a, float* b, int n) {
+  int tid = blockIdx.x * blockDim.x + threadIdx.x;
+  if (tid < n) {
+    b[tid] = helper(a[tid]) + 1.0f;
+  }
+}
+|}
+
+let count_hook_calls ?(name_prefix = "__ca_") (m : Bitc.Irmod.t) =
+  List.fold_left
+    (fun acc f ->
+      Bitc.Func.fold_instrs f acc (fun acc _ (i : Bitc.Instr.t) ->
+          match i.kind with
+          | Bitc.Instr.Call { callee; _ }
+            when String.length callee >= String.length name_prefix
+                 && String.sub callee 0 (String.length name_prefix) = name_prefix ->
+            acc + 1
+          | _ -> acc))
+    0 m.funcs
+
+let count_global_mem_ops (m : Bitc.Irmod.t) =
+  List.fold_left
+    (fun acc f ->
+      Bitc.Func.fold_instrs f acc (fun acc _ (i : Bitc.Instr.t) ->
+          let is_global ptr =
+            match Bitc.Func.value_ty f ptr with
+            | Bitc.Types.Ptr (_, Bitc.Types.Global) -> true
+            | _ -> false
+          in
+          match i.kind with
+          | Bitc.Instr.Load p when is_global p -> acc + 1
+          | Bitc.Instr.Store { ptr; _ } when is_global ptr -> acc + 1
+          | Bitc.Instr.Atomic_add { ptr; _ } when is_global ptr -> acc + 1
+          | _ -> acc))
+    0 m.funcs
+
+let count_blocks (m : Bitc.Irmod.t) =
+  List.fold_left
+    (fun acc (f : Bitc.Func.t) ->
+      match f.fkind with
+      | Bitc.Func.Kernel | Bitc.Func.Device -> acc + List.length f.blocks
+      | Bitc.Func.Host -> acc)
+    0 m.funcs
+
+let test_mem_hooks_count () =
+  let m = Minicuda.Frontend.compile ~file:"t.cu" sample in
+  let mem_ops = count_global_mem_ops m in
+  ignore (Passes.Instrument.run ~options:Passes.Instrument.memory_only m);
+  (* one Record call per global memory op (call push/pop hooks are
+     mandatory and counted separately) *)
+  let hooks = count_hook_calls ~name_prefix:"__ca_record_mem" m in
+  check_int "one hook per global access" mem_ops hooks;
+  check "module still verifies" true (Result.is_ok (Bitc.Verify.check m))
+
+let test_bb_hooks_count () =
+  let m = Minicuda.Frontend.compile ~file:"t.cu" sample in
+  let blocks = count_blocks m in
+  let r = Passes.Instrument.run ~options:Passes.Instrument.control_flow_only m in
+  check_int "one hook per block" blocks
+    (count_hook_calls ~name_prefix:"__ca_record_bb" m);
+  check_int "manifest registers all blocks" blocks
+    (Passes.Manifest.num_blocks r.manifest)
+
+let test_mandatory_call_hooks () =
+  let m = Minicuda.Frontend.compile ~file:"t.cu" sample in
+  let r = Passes.Instrument.run ~options:Passes.Instrument.nothing m in
+  (* the call to helper gets a push and a pop *)
+  check_int "callsites recorded" 1 (Passes.Manifest.num_callsites r.manifest);
+  check_int "push+pop hooks" 2 (count_hook_calls m);
+  let cs = Passes.Manifest.callsite r.manifest 0 in
+  Alcotest.(check string) "caller" "k" cs.caller;
+  Alcotest.(check string) "callee" "helper" cs.callee;
+  check "call loc recorded" true (cs.call_loc.Bitc.Loc.line > 0)
+
+let test_local_accesses_not_instrumented () =
+  let src = "__global__ void k(int n) { int x = n; x = x + 1; }" in
+  let m = Minicuda.Frontend.compile ~file:"t.cu" src in
+  ignore (Passes.Instrument.run ~options:Passes.Instrument.memory_only m);
+  check_int "allocas produce no Record hooks" 0
+    (count_hook_calls ~name_prefix:"__ca_record_mem" m)
+
+let test_arith_hooks () =
+  let src = "__global__ void k(float* a) { a[0] = a[1] * 2.0f + 1.0f; }" in
+  let m = Minicuda.Frontend.compile ~file:"t.cu" src in
+  ignore
+    (Passes.Instrument.run
+       ~options:
+         { Passes.Instrument.memory = false; control_flow = false; arithmetic = true }
+       m);
+  (* fmul, fadd and the tid arithmetic: at least the two float ops *)
+  check "arith hooks present" true (count_hook_calls m >= 2);
+  check "module still verifies" true (Result.is_ok (Bitc.Verify.check m))
+
+let test_instrumented_runs_and_matches_native () =
+  (* instrumentation must not change results *)
+  let src =
+    {|
+__global__ void k(float* a, int n) {
+  int tid = blockIdx.x * blockDim.x + threadIdx.x;
+  if (tid < n) { a[tid] = a[tid] * 3.0f; }
+}
+|}
+  in
+  let run instrument =
+    let out = ref 0 in
+    let dev, _, _ =
+      Testutil.run_kernel ~instrument ~kernel:"k" ~block:(64, 1)
+        ~setup:(fun dev ->
+          let d = Gpusim.Devmem.malloc dev.Gpusim.Gpu.devmem (4 * 64) in
+          out := d;
+          for i = 0 to 63 do
+            Gpusim.Devmem.write_f32 dev.Gpusim.Gpu.devmem (d + (4 * i)) (float_of_int i)
+          done;
+          [ Gpusim.Value.I d; Gpusim.Value.I 64 ])
+        src
+    in
+    Testutil.f32s dev !out 64
+  in
+  check "results identical" true (run true = run false)
+
+(* ----- dce ----- *)
+
+let test_dce_removes_dead_code () =
+  let m =
+    Minicuda.Frontend.compile ~file:"t.cu"
+      "__global__ void k(float* a) { int unused = 1 + 2; a[0] = 1.0f; }"
+  in
+  (* lowering stores 1+2 into an alloca: kill the store's value chain by
+     building a dead pure chain directly *)
+  let f = Bitc.Irmod.find_func_exn m "k" in
+  let b = Bitc.Builder.create f in
+  (* append dead arithmetic into the entry block (before terminator) *)
+  let dead1 = Bitc.Builder.binop b Bitc.Instr.Add (Bitc.Value.Int 1) (Bitc.Value.Int 2) in
+  let _dead2 = Bitc.Builder.binop b Bitc.Instr.Mul dead1 (Bitc.Value.Int 3) in
+  let removed = Passes.Dce.run m in
+  check "removed at least the dead chain" true (removed >= 2);
+  check "still verifies" true (Result.is_ok (Bitc.Verify.check m))
+
+let test_dce_preserves_semantics () =
+  let src =
+    "__global__ void k(int* out, int n) { int t = n * 2; out[0] = t + 1; }"
+  in
+  let run with_dce =
+    let m = Minicuda.Frontend.compile ~file:"t.cu" src in
+    if with_dce then ignore (Passes.Dce.run m);
+    let prog = Ptx.Codegen.gen_module m in
+    let dev = Gpusim.Gpu.create_device (Gpusim.Arch.kepler_k40c ()) in
+    let d = Gpusim.Devmem.malloc dev.devmem 64 in
+    ignore
+      (Gpusim.Gpu.launch dev ~prog ~kernel:"k" ~grid:(1, 1) ~block:(1, 1)
+         ~args:[ Gpusim.Value.I d; Gpusim.Value.I 21 ] ());
+    Gpusim.Devmem.read_i32 dev.devmem d
+  in
+  check_int "same result" (run false) (run true);
+  check_int "expected value" 43 (run true)
+
+(* ----- constfold ----- *)
+
+let test_constfold_folds () =
+  let m =
+    Minicuda.Frontend.compile ~file:"t.cu"
+      "__global__ void k(int* out) { out[0] = 2 * 3 + 4; }"
+  in
+  let folded = Passes.Constfold.run m in
+  check "folded something" true (folded >= 2);
+  check "still verifies" true (Result.is_ok (Bitc.Verify.check m))
+
+let test_constfold_preserves_semantics () =
+  let src = "__global__ void k(int* out, int n) { out[0] = (2 * 3 + n) * (10 - 4); }" in
+  let run fold =
+    let m = Minicuda.Frontend.compile ~file:"t.cu" src in
+    if fold then ignore (Passes.Constfold.run m);
+    let prog = Ptx.Codegen.gen_module m in
+    let dev = Gpusim.Gpu.create_device (Gpusim.Arch.kepler_k40c ()) in
+    let d = Gpusim.Devmem.malloc dev.devmem 64 in
+    ignore
+      (Gpusim.Gpu.launch dev ~prog ~kernel:"k" ~grid:(1, 1) ~block:(1, 1)
+         ~args:[ Gpusim.Value.I d; Gpusim.Value.I 5 ] ());
+    Gpusim.Devmem.read_i32 dev.devmem d
+  in
+  check_int "same result" (run false) (run true);
+  check_int "expected" 66 (run true)
+
+let test_constfold_no_division_by_zero_fold () =
+  let m =
+    Minicuda.Frontend.compile ~file:"t.cu"
+      "__global__ void k(int* out, int n) { if (n > 0) { out[0] = 1 / 0; } }"
+  in
+  (* folding must leave the trapping division alone *)
+  ignore (Passes.Constfold.run m);
+  check "still verifies" true (Result.is_ok (Bitc.Verify.check m))
+
+let test_pass_manager_verifies_between_passes () =
+  let m = Minicuda.Frontend.compile ~file:"t.cu" sample in
+  let broken = Passes.Pass.make ~name:"breaker" (fun m ->
+      let f = Bitc.Irmod.find_func_exn m "k" in
+      (Bitc.Func.entry f).term <- Some (Bitc.Instr.Br "nowhere"))
+  in
+  check "pass manager catches broken pass" true
+    (match Passes.Pass.run_all [ broken ] m with
+    | () -> false
+    | exception Passes.Pass.Pass_error { pass = "breaker"; _ } -> true)
+
+(* one hook per executed global access at run time, too *)
+let test_hook_event_counts () =
+  let src =
+    "__global__ void k(float* a, int n) { int tid = threadIdx.x; if (tid < n) { a[tid] = a[tid] + 1.0f; } }"
+  in
+  let events = ref 0 in
+  let sink (_ : Gpusim.Hookev.t) = incr events in
+  let _, result, _ =
+    Testutil.run_kernel ~instrument:true ~sink ~kernel:"k" ~block:(32, 1)
+      ~setup:(fun dev ->
+        let d = Gpusim.Devmem.malloc dev.Gpusim.Gpu.devmem (4 * 32) in
+        [ Gpusim.Value.I d; Gpusim.Value.I 32 ])
+      src
+  in
+  check "every hook produced an event" true (!events = result.stats.hook_calls);
+  check "events happened" true (!events > 0)
+
+let () =
+  Alcotest.run "passes"
+    [
+      ( "instrument",
+        [ Alcotest.test_case "memory hooks" `Quick test_mem_hooks_count;
+          Alcotest.test_case "basic-block hooks" `Quick test_bb_hooks_count;
+          Alcotest.test_case "call push/pop" `Quick test_mandatory_call_hooks;
+          Alcotest.test_case "locals untouched" `Quick test_local_accesses_not_instrumented;
+          Alcotest.test_case "arith hooks" `Quick test_arith_hooks;
+          Alcotest.test_case "semantics preserved" `Quick test_instrumented_runs_and_matches_native;
+          Alcotest.test_case "runtime events" `Quick test_hook_event_counts ] );
+      ( "cleanup passes",
+        [ Alcotest.test_case "dce removes" `Quick test_dce_removes_dead_code;
+          Alcotest.test_case "dce preserves semantics" `Quick test_dce_preserves_semantics;
+          Alcotest.test_case "constfold folds" `Quick test_constfold_folds;
+          Alcotest.test_case "constfold preserves semantics" `Quick test_constfold_preserves_semantics;
+          Alcotest.test_case "constfold leaves div-by-zero" `Quick test_constfold_no_division_by_zero_fold;
+          Alcotest.test_case "pass manager verification" `Quick test_pass_manager_verifies_between_passes ] );
+    ]

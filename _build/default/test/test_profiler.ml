@@ -1,0 +1,183 @@
+(* Tests for the profiler: CCT interning, shadow-stack call paths, and
+   data-centric attribution. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ----- CCT ----- *)
+
+let test_cct_interning () =
+  let t = Profiler.Cct.create () in
+  let root = Profiler.Cct.root t ~key:0 in
+  let a = Profiler.Cct.child t root ~callsite:1 in
+  let a' = Profiler.Cct.child t root ~callsite:1 in
+  let b = Profiler.Cct.child t root ~callsite:2 in
+  check_int "same path interned" a a';
+  check "different callsite differs" true (a <> b);
+  check_int "path of a" 1 (List.length (Profiler.Cct.path t a));
+  check "path content" true (Profiler.Cct.path t a = [ 1 ])
+
+let test_cct_nested_path () =
+  let t = Profiler.Cct.create () in
+  let root = Profiler.Cct.root t ~key:0 in
+  let a = Profiler.Cct.child t root ~callsite:5 in
+  let b = Profiler.Cct.child t a ~callsite:9 in
+  check "nested path root-to-leaf" true (Profiler.Cct.path t b = [ 5; 9 ]);
+  check_int "parent" a (Profiler.Cct.parent t b)
+
+let test_cct_roots_per_kernel () =
+  let t = Profiler.Cct.create () in
+  let r0 = Profiler.Cct.root t ~key:0 in
+  let r1 = Profiler.Cct.root t ~key:1 in
+  let r0' = Profiler.Cct.root t ~key:0 in
+  check "distinct kernels distinct roots" true (r0 <> r1);
+  check_int "same kernel same root" r0 r0';
+  check "root path empty" true (Profiler.Cct.path t r1 = [])
+
+(* ----- end-to-end profile of a kernel with a device call ----- *)
+
+let profile_src =
+  {|
+__device__ float scale(float* a, int i) {
+  return a[i] * 2.0f;
+}
+__global__ void k(float* a, int n) {
+  int tid = blockIdx.x * blockDim.x + threadIdx.x;
+  if (tid < n) {
+    a[tid] = scale(a, tid);
+  }
+}
+|}
+
+let make_session () =
+  let m = Minicuda.Frontend.compile ~file:"p.cu" profile_src in
+  let r = Passes.Instrument.run m in
+  let prog = Ptx.Codegen.gen_module m in
+  let profiler = Profiler.Profile.create ~manifest:r.manifest () in
+  let host =
+    Hostrt.Host.create ~profiler ~arch:(Gpusim.Arch.kepler_k40c ()) ~prog ()
+  in
+  let open Hostrt.Host in
+  in_function host ~func:"main" ~file:"p.cu" ~line:1 (fun () ->
+      let h_a = malloc host ~label:"h_a" (4 * 64) in
+      Gpusim.Devmem.write_f32_array (host_mem host) h_a
+        (Array.init 64 float_of_int);
+      let d_a = cuda_malloc host ~label:"d_a" (4 * 64) in
+      memcpy_h2d host ~dst:d_a ~src:h_a ~bytes:(4 * 64);
+      in_function host ~func:"launcher" ~file:"p.cu" ~line:20 (fun () ->
+          ignore
+            (launch_kernel host ~kernel:"k" ~grid:(2, 1) ~block:(32, 1)
+               ~args:[ iarg d_a; iarg 64 ]));
+      memcpy_d2h host ~dst:h_a ~src:d_a ~bytes:(4 * 64));
+  (profiler, host)
+
+let test_instance_host_path () =
+  let profiler, _ = make_session () in
+  match Profiler.Profile.instances profiler with
+  | [ i ] ->
+    check_int "host path depth" 2 (List.length i.host_path);
+    check "main first" true
+      ((List.hd i.host_path).Profiler.Records.frame_func = "main")
+  | _ -> Alcotest.fail "expected one instance"
+
+let test_device_call_path_attribution () =
+  let profiler, _ = make_session () in
+  let i = List.hd (Profiler.Profile.instances profiler) in
+  (* the load inside scale() must be attributed to a context whose path
+     goes through the callsite in k *)
+  let in_scale =
+    List.filter
+      (fun ((m : Gpusim.Hookev.mem), node) ->
+        ignore m;
+        Profiler.Profile.device_path profiler i node |> List.map fst
+        |> List.mem "scale")
+      (Profiler.Profile.mem_events i)
+  in
+  check "some accesses attributed to scale()" true (List.length in_scale > 0)
+
+let test_mem_events_recorded_in_order () =
+  let profiler, _ = make_session () in
+  let i = List.hd (Profiler.Profile.instances profiler) in
+  check "events recorded" true (i.mem_count > 0);
+  check_int "list matches count" i.mem_count
+    (List.length (Profiler.Profile.mem_events i))
+
+let test_bb_stats_present () =
+  let profiler, _ = make_session () in
+  let i = List.hd (Profiler.Profile.instances profiler) in
+  check "blocks recorded" true (Hashtbl.length i.bb_stats > 0)
+
+(* ----- data-centric ----- *)
+
+let test_data_centric_mapping () =
+  let profiler, _ = make_session () in
+  let allocs = Profiler.Profile.allocations profiler in
+  check_int "two allocations" 2 (List.length allocs);
+  let d_a =
+    List.find (fun (a : Profiler.Records.alloc) -> a.label = "d_a") allocs
+  in
+  check "device side" true (d_a.side = Profiler.Records.Device_side);
+  (* an address inside d_a maps back to it *)
+  (match Profiler.Data_centric.find_device_alloc profiler (d_a.base + 16) with
+  | Some a -> Alcotest.(check string) "found by address" "d_a" a.label
+  | None -> Alcotest.fail "address not attributed");
+  (* flow: h_a --H2D--> d_a --D2H--> h_a *)
+  let flow = Profiler.Data_centric.flow_of profiler d_a in
+  (match flow.host_object with
+  | Some h -> Alcotest.(check string) "host counterpart" "h_a" h.label
+  | None -> Alcotest.fail "no host counterpart");
+  check_int "one inbound transfer" 1 (List.length flow.inbound);
+  check_int "one outbound transfer" 1 (List.length flow.outbound)
+
+let test_transfers_have_paths () =
+  let profiler, _ = make_session () in
+  List.iter
+    (fun (t : Profiler.Records.transfer) ->
+      check "transfer path nonempty" true (t.transfer_path <> []))
+    (Profiler.Profile.transfers profiler)
+
+let test_statistics_merge_instances () =
+  (* two launches from the same host context merge into one summary *)
+  let m = Minicuda.Frontend.compile ~file:"p.cu" profile_src in
+  let r = Passes.Instrument.run m in
+  let prog = Ptx.Codegen.gen_module m in
+  let profiler = Profiler.Profile.create ~manifest:r.manifest () in
+  let host =
+    Hostrt.Host.create ~profiler ~arch:(Gpusim.Arch.kepler_k40c ()) ~prog ()
+  in
+  let open Hostrt.Host in
+  in_function host ~func:"main" ~file:"p.cu" ~line:1 (fun () ->
+      let d_a = cuda_malloc host ~label:"d_a" (4 * 64) in
+      for _ = 1 to 3 do
+        ignore
+          (launch_kernel host ~kernel:"k" ~grid:(2, 1) ~block:(32, 1)
+             ~args:[ iarg d_a; iarg 64 ])
+      done);
+  let groups =
+    Analysis.Statistics.by_context
+      (Profiler.Profile.instances profiler)
+      ~metric:Analysis.Statistics.cycles
+  in
+  check_int "one context group" 1 (List.length groups);
+  let _, s = List.hd groups in
+  check_int "three instances merged" 3 s.count;
+  check "mean within min..max" true (s.mean >= s.min && s.mean <= s.max)
+
+let () =
+  Alcotest.run "profiler"
+    [
+      ( "cct",
+        [ Alcotest.test_case "interning" `Quick test_cct_interning;
+          Alcotest.test_case "nested paths" `Quick test_cct_nested_path;
+          Alcotest.test_case "roots" `Quick test_cct_roots_per_kernel ] );
+      ( "code-centric",
+        [ Alcotest.test_case "host path" `Quick test_instance_host_path;
+          Alcotest.test_case "device call attribution" `Quick test_device_call_path_attribution;
+          Alcotest.test_case "mem events" `Quick test_mem_events_recorded_in_order;
+          Alcotest.test_case "bb stats" `Quick test_bb_stats_present ] );
+      ( "data-centric",
+        [ Alcotest.test_case "address mapping + flow" `Quick test_data_centric_mapping;
+          Alcotest.test_case "transfer paths" `Quick test_transfers_have_paths ] );
+      ( "statistics",
+        [ Alcotest.test_case "merge by context" `Quick test_statistics_merge_instances ] );
+    ]

@@ -1,0 +1,162 @@
+(* Tests for PTX code generation and the horizontal-bypass rewriter. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let sample =
+  {|
+__global__ void k(float* a, int n) {
+  int tid = blockIdx.x * blockDim.x + threadIdx.x;
+  if (tid < n) {
+    a[tid] = a[tid] * 2.0f;
+  }
+}
+|}
+
+let test_codegen_structure () =
+  let _, prog = Testutil.compile sample in
+  let f = Ptx.Isa.find_func prog "k" in
+  check "is kernel" true f.is_kernel;
+  check_int "arity" 2 f.arity;
+  check "has instructions" true (Array.length f.body > 0);
+  check "locs parallel to body" true (Array.length f.locs = Array.length f.body);
+  check "blocks parallel to body" true
+    (Array.length f.block_of_pc = Array.length f.body)
+
+let test_codegen_branch_targets_valid () =
+  let _, prog = Testutil.compile sample in
+  let f = Ptx.Isa.find_func prog "k" in
+  let len = Array.length f.body in
+  Array.iter
+    (fun inst ->
+      match inst with
+      | Ptx.Isa.Bra { target } -> check "bra in range" true (target >= 0 && target < len)
+      | Ptx.Isa.Cond_bra { if_true; if_false; reconv; _ } ->
+        check "true in range" true (if_true >= 0 && if_true < len);
+        check "false in range" true (if_false >= 0 && if_false < len);
+        (match reconv with
+        | Some r -> check "reconv in range" true (r >= 0 && r < len)
+        | None -> ())
+      | _ -> ())
+    f.body
+
+let test_codegen_reconv_matches_merge_block () =
+  let _, prog = Testutil.compile sample in
+  let f = Ptx.Isa.find_func prog "k" in
+  (* the tid<n branch must reconverge at the start of if.end *)
+  Array.iter
+    (fun inst ->
+      match inst with
+      | Ptx.Isa.Cond_bra { reconv = Some r; _ } ->
+        check "reconv is a block start" true
+          (r = 0 || f.block_of_pc.(r) <> f.block_of_pc.(r - 1))
+      | _ -> ())
+    f.body
+
+let test_shared_offsets_disjoint () =
+  let src =
+    {|
+__global__ void k(float* a) {
+  __shared__ float x[8];
+  __shared__ int y[4];
+  x[threadIdx.x] = 1.0f;
+  y[threadIdx.x] = 2;
+  a[threadIdx.x] = x[threadIdx.x] + (float)y[threadIdx.x];
+}
+|}
+  in
+  let m, prog = Testutil.compile src in
+  ignore m;
+  let f = Ptx.Isa.find_func prog "k" in
+  check "shared size covers both arrays" true (f.shared_bytes >= (8 * 4) + (4 * 4));
+  (* run it: if offsets overlapped the sum would be wrong *)
+  let out = ref 0 in
+  let dev, _, _ =
+    Testutil.run_kernel ~kernel:"k" ~block:(4, 1)
+      ~setup:(fun dev ->
+        let d = Gpusim.Devmem.malloc dev.Gpusim.Gpu.devmem (4 * 4) in
+        out := d;
+        [ Gpusim.Value.I d ])
+      src
+  in
+  check "x+y correct" true (Testutil.f32s dev !out 4 = [| 3.; 3.; 3.; 3. |])
+
+let test_printer_mentions_cache_ops () =
+  let _, prog = Testutil.compile sample in
+  let prog = Ptx.Bypass.rewrite_prog prog ~kernel:"k" ~warps_to_cache:1 in
+  let text = Ptx.Printer.prog_to_string prog in
+  check "has ld.global.ca" true (Testutil.contains text "ld.global.ca");
+  check "has ld.global.cg" true (Testutil.contains text "ld.global.cg")
+
+(* ----- bypass rewriter ----- *)
+
+let run_k ?(transform = fun p -> p) n_threads =
+  let m = Minicuda.Frontend.compile ~file:"t.cu" sample in
+  let prog = transform (Ptx.Codegen.gen_module m) in
+  let dev = Gpusim.Gpu.create_device (Gpusim.Arch.kepler_k40c ()) in
+  let d = Gpusim.Devmem.malloc dev.devmem (4 * n_threads) in
+  for i = 0 to n_threads - 1 do
+    Gpusim.Devmem.write_f32 dev.devmem (d + (4 * i)) (float_of_int i)
+  done;
+  ignore
+    (Gpusim.Gpu.launch dev ~prog ~kernel:"k" ~grid:(2, 1)
+       ~block:(n_threads / 2, 1)
+       ~args:[ Gpusim.Value.I d; Gpusim.Value.I n_threads ] ());
+  Gpusim.Devmem.read_f32_array dev.devmem d n_threads
+
+let test_bypass_preserves_results () =
+  let native = run_k 128 in
+  List.iter
+    (fun n ->
+      let rewritten =
+        run_k ~transform:(fun p -> Ptx.Bypass.rewrite_prog p ~kernel:"k" ~warps_to_cache:n) 128
+      in
+      check (Printf.sprintf "N=%d same results" n) true (native = rewritten))
+    [ 0; 1; 2; 4 ]
+
+let test_bypass_splits_loads () =
+  let _, prog = Testutil.compile sample in
+  let count_loads cop p =
+    let f = Ptx.Isa.find_func p "k" in
+    Array.fold_left
+      (fun acc inst ->
+        match inst with
+        | Ptx.Isa.Ld { space = Ptx.Isa.Global; cop = c; _ } when c = cop -> acc + 1
+        | _ -> acc)
+      0 f.body
+  in
+  let before_ca = count_loads Ptx.Isa.Ca prog in
+  let rewritten = Ptx.Bypass.rewrite_prog prog ~kernel:"k" ~warps_to_cache:2 in
+  check_int "each ca load gets a cg twin" before_ca (count_loads Ptx.Isa.Cg rewritten);
+  check_int "ca loads preserved" before_ca (count_loads Ptx.Isa.Ca rewritten)
+
+let test_bypass_rejects_unknown_kernel () =
+  let _, prog = Testutil.compile sample in
+  check "unknown kernel" true
+    (match Ptx.Bypass.rewrite_prog prog ~kernel:"nope" ~warps_to_cache:1 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_shared_bytes_for_launch () =
+  let src =
+    "__global__ void k() { __shared__ float t[16]; t[0] = 1.0f; }"
+  in
+  let _, prog = Testutil.compile src in
+  check "launch shared covers declaration" true
+    (Ptx.Isa.shared_bytes_for_launch prog "k" >= 64)
+
+let () =
+  Alcotest.run "ptx"
+    [
+      ( "codegen",
+        [ Alcotest.test_case "structure" `Quick test_codegen_structure;
+          Alcotest.test_case "branch targets" `Quick test_codegen_branch_targets_valid;
+          Alcotest.test_case "reconvergence points" `Quick test_codegen_reconv_matches_merge_block;
+          Alcotest.test_case "shared offsets" `Quick test_shared_offsets_disjoint;
+          Alcotest.test_case "shared for launch" `Quick test_shared_bytes_for_launch;
+          Alcotest.test_case "printer" `Quick test_printer_mentions_cache_ops ] );
+      ( "bypass",
+        [ Alcotest.test_case "results preserved" `Quick test_bypass_preserves_results;
+          Alcotest.test_case "loads split" `Quick test_bypass_splits_loads;
+          Alcotest.test_case "unknown kernel" `Quick test_bypass_rejects_unknown_kernel ] );
+    ]

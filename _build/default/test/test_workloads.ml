@@ -1,0 +1,182 @@
+(* Tests for the ten Table-2 applications: every kernel compiles,
+   verifies and instruments; every app runs end-to-end on the simulator;
+   and for nn, bfs and nw the device results are checked against direct
+   OCaml reference implementations. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_all_compile_and_verify () =
+  List.iter
+    (fun (w : Workloads.Common.t) ->
+      let m = Workloads.Common.compile w in
+      check (w.name ^ " verifies") true (Result.is_ok (Bitc.Verify.check m));
+      (* all declared kernels exist *)
+      List.iter
+        (fun k ->
+          check
+            (Printf.sprintf "%s has kernel %s" w.name k)
+            true
+            (match Bitc.Irmod.find_func m k with
+            | Some f -> Bitc.Func.is_kernel f
+            | None -> false))
+        w.kernels)
+    Workloads.Registry.all
+
+let test_all_instrument () =
+  List.iter
+    (fun (w : Workloads.Common.t) ->
+      let m = Workloads.Common.compile w in
+      ignore (Passes.Instrument.run m);
+      check (w.name ^ " instrumented verifies") true
+        (Result.is_ok (Bitc.Verify.check m));
+      (* and still lowers to PTX *)
+      ignore (Ptx.Codegen.gen_module m))
+    Workloads.Registry.all
+
+let test_registry () =
+  check_int "ten applications" 10 (List.length Workloads.Registry.all);
+  check "find works" true ((Workloads.Registry.find "bfs").name = "bfs");
+  check "unknown raises" true
+    (match Workloads.Registry.find "nope" with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* run one workload natively; return the host for result inspection *)
+let run_app ?(profiled = false) name =
+  let w = Workloads.Registry.find name in
+  let arch = Gpusim.Arch.kepler_k40c () in
+  if profiled then
+    let session = Advisor.profile ~arch w in
+    session.host
+  else snd (Advisor.run_native ~arch w)
+
+(* find a labeled host allocation recorded by the profiler *)
+let host_alloc profiler label : Profiler.Records.alloc =
+  match
+    List.find_opt
+      (fun (a : Profiler.Records.alloc) ->
+        a.label = label && a.side = Profiler.Records.Host_side)
+      (Profiler.Profile.allocations profiler)
+  with
+  | Some a -> a
+  | None -> Alcotest.failf "no host allocation %s" label
+
+let session_of name =
+  let w = Workloads.Registry.find name in
+  Advisor.profile ~arch:(Gpusim.Arch.kepler_k40c ()) w
+
+(* ----- nn: distances match an OCaml reference ----- *)
+
+let test_nn_reference () =
+  let s = session_of "nn" in
+  let hm = Hostrt.Host.host_mem s.host in
+  let p = s.profiler in
+  let find label = host_alloc p label in
+  let lat = find "h_locations_lat" in
+  let lng = find "h_locations_lng" in
+  let dist = find "h_distances" in
+  let n = lat.Profiler.Records.size / 4 in
+  let lats = Gpusim.Devmem.read_f32_array hm lat.base n in
+  let lngs = Gpusim.Devmem.read_f32_array hm lng.base n in
+  let dists = Gpusim.Devmem.read_f32_array hm dist.base n in
+  let f32 x = Int32.float_of_bits (Int32.bits_of_float x) in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    let dlat = f32 (30. -. lats.(i)) and dlng = f32 (90. -. lngs.(i)) in
+    let expect = f32 (sqrt (f32 ((dlat *. dlat) +. (dlng *. dlng)))) in
+    if abs_float (dists.(i) -. expect) > 1e-3 *. (1. +. abs_float expect) then
+      ok := false
+  done;
+  check "all distances match reference" true !ok
+
+(* ----- bfs: levels match an OCaml BFS ----- *)
+
+let test_bfs_reference () =
+  let s = session_of "bfs" in
+  let hm = Hostrt.Host.host_mem s.host in
+  let p = s.profiler in
+  let find label = host_alloc p label in
+  let starts_a = find "h_nodes_start" in
+  let counts_a = find "h_nodes_edges" in
+  let edges_a = find "h_edges" in
+  let cost_a = find "h_cost" in
+  let n = starts_a.Profiler.Records.size / 4 in
+  let starts = Gpusim.Devmem.read_i32_array hm starts_a.base n in
+  let counts = Gpusim.Devmem.read_i32_array hm counts_a.base n in
+  let edges =
+    Gpusim.Devmem.read_i32_array hm edges_a.base (edges_a.Profiler.Records.size / 4)
+  in
+  let cost = Gpusim.Devmem.read_i32_array hm cost_a.base n in
+  (* reference BFS from node 0 *)
+  let expect = Array.make n (-1) in
+  expect.(0) <- 0;
+  let q = Queue.create () in
+  Queue.add 0 q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    for e = starts.(u) to starts.(u) + counts.(u) - 1 do
+      let v = edges.(e) in
+      if expect.(v) = -1 then begin
+        expect.(v) <- expect.(u) + 1;
+        Queue.add v q
+      end
+    done
+  done;
+  check "bfs levels match reference" true (cost = expect)
+
+(* ----- nw: DP table matches an OCaml reference ----- *)
+
+let test_nw_reference () =
+  let s = session_of "nw" in
+  let hm = Hostrt.Host.host_mem s.host in
+  let p = s.profiler in
+  let find label = host_alloc p label in
+  let ref_a = find "referrence" in
+  let mat_a = find "input_itemsets" in
+  let cells = ref_a.Profiler.Records.size / 4 in
+  let cols = int_of_float (sqrt (float_of_int cells)) in
+  let reference = Gpusim.Devmem.read_i32_array hm ref_a.base cells in
+  let got = Gpusim.Devmem.read_i32_array hm mat_a.base cells in
+  let penalty = 10 in
+  let dp = Array.make cells 0 in
+  for i = 0 to cols - 1 do
+    dp.(i) <- -i * penalty;
+    dp.(i * cols) <- -i * penalty
+  done;
+  for r = 1 to cols - 1 do
+    for c = 1 to cols - 1 do
+      let idx = (r * cols) + c in
+      dp.(idx) <-
+        max
+          (max
+             (dp.(((r - 1) * cols) + c - 1) + reference.(idx))
+             (dp.((r * cols) + c - 1) - penalty))
+          (dp.(((r - 1) * cols) + c) - penalty)
+    done
+  done;
+  check "needleman-wunsch table matches reference" true (got = dp)
+
+(* ----- all applications run end-to-end without faulting ----- *)
+
+let smoke name () =
+  let host = run_app name in
+  check (name ^ " launched kernels") true (Hostrt.Host.launches host <> []);
+  check (name ^ " consumed cycles") true (Hostrt.Host.total_kernel_cycles host > 0)
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "static",
+        [ Alcotest.test_case "compile+verify" `Quick test_all_compile_and_verify;
+          Alcotest.test_case "instrument" `Quick test_all_instrument;
+          Alcotest.test_case "registry" `Quick test_registry ] );
+      ( "references",
+        [ Alcotest.test_case "nn distances" `Slow test_nn_reference;
+          Alcotest.test_case "bfs levels" `Slow test_bfs_reference;
+          Alcotest.test_case "nw alignment" `Slow test_nw_reference ] );
+      ( "smoke",
+        List.map
+          (fun name -> Alcotest.test_case name `Slow (smoke name))
+          [ "backprop"; "hotspot"; "srad_v2"; "bicg"; "syrk"; "syr2k"; "lavaMD" ] );
+    ]

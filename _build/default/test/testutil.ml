@@ -1,0 +1,37 @@
+(* Shared helpers for the test suites. *)
+
+(* Substring search (no external string library needed). *)
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  if nl = 0 then true
+  else
+    let rec go i =
+      if i + nl > hl then false
+      else if String.sub haystack i nl = needle then true
+      else go (i + 1)
+    in
+    go 0
+
+(* Compile MiniCUDA source and return (module, ptx program). *)
+let compile ?(file = "test.cu") src =
+  let m = Minicuda.Frontend.compile ~file src in
+  (m, Ptx.Codegen.gen_module m)
+
+(* Compile, optionally instrument, and launch one kernel on a fresh
+   device; returns (device, launch result). *)
+let run_kernel ?(arch = Gpusim.Arch.kepler_k40c ()) ?(instrument = false)
+    ?(sink = Gpusim.Hookev.null_sink) ?(grid = (1, 1)) ?(block = (32, 1)) ~kernel
+    ~setup src =
+  let m = Minicuda.Frontend.compile ~file:"test.cu" src in
+  let manifest =
+    if instrument then Some (Passes.Instrument.run m).Passes.Instrument.manifest
+    else None
+  in
+  let prog = Ptx.Codegen.gen_module m in
+  let dev = Gpusim.Gpu.create_device arch in
+  let args = setup dev in
+  let result = Gpusim.Gpu.launch dev ~sink ~prog ~kernel ~grid ~block ~args () in
+  (dev, result, manifest)
+
+let f32s dev addr n = Gpusim.Devmem.read_f32_array dev.Gpusim.Gpu.devmem addr n
+let i32s dev addr n = Gpusim.Devmem.read_i32_array dev.Gpusim.Gpu.devmem addr n

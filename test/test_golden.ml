@@ -1,0 +1,115 @@
+(* Golden-metric regression tests: the fig4/fig5/table3 numbers for two
+   small workloads (nn, bfs) on Kepler 16KB, pinned from the seed
+   list-based pipeline.  The packed trace-buffer pipeline must
+   reproduce every count bit-for-bit — these are deterministic program
+   properties, not timing. *)
+
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-6))
+
+let arch = Gpusim.Arch.kepler_k40c ~l1_kb:16 ()
+
+let session =
+  let cache = Hashtbl.create 4 in
+  fun name ->
+    match Hashtbl.find_opt cache name with
+    | Some s -> s
+    | None ->
+      let s = Advisor.profile ~arch (Workloads.Registry.find name) in
+      Hashtbl.replace cache name s;
+      s
+
+type golden = {
+  app : string;
+  (* fig4: reuse distance *)
+  rd_samples : int;
+  rd_finite : int;
+  rd_infinite : int;
+  rd_mean : float;
+  rd_max : int;
+  rd_histogram : int list; (* bucket order of Reuse_distance.buckets *)
+  (* fig5: memory divergence at 128B lines *)
+  md_total : int;
+  md_degree : float;
+  md_distribution : int list; (* index 0..32 *)
+  (* table3: branch divergence *)
+  bd_divergent : int;
+  bd_total : int;
+}
+
+let goldens =
+  [
+    {
+      app = "nn";
+      rd_samples = 16310;
+      rd_finite = 0;
+      rd_infinite = 16310;
+      rd_mean = 0.;
+      rd_max = 0;
+      rd_histogram = [ 0; 0; 0; 0; 0; 0; 0; 16310 ];
+      md_total = 765;
+      md_degree = 1.;
+      md_distribution =
+        [ 0; 765; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0;
+          0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0 ];
+      bd_divergent = 2;
+      bd_total = 1022;
+    };
+    {
+      app = "bfs";
+      rd_samples = 338642;
+      rd_finite = 26918;
+      rd_infinite = 311724;
+      rd_mean = 612.366149;
+      rd_max = 2788;
+      rd_histogram = [ 30; 98; 278; 1044; 3403; 9720; 12345; 311724 ];
+      md_total = 46813;
+      md_degree = 2.664495;
+      md_distribution =
+        [ 0; 26375; 4313; 3194; 2661; 2688; 3729; 1039; 887; 789; 600; 318;
+          153; 53; 11; 3; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0 ];
+      bd_divergent = 34127;
+      bd_total = 57023;
+    };
+  ]
+
+let test_fig4 g () =
+  let rd = Advisor.reuse_distance (session g.app) in
+  check_int "samples" g.rd_samples rd.samples;
+  check_int "finite reuses" g.rd_finite rd.finite_reuses;
+  check_int "infinite reuses" g.rd_infinite rd.infinite_reuses;
+  check_float "mean finite distance" g.rd_mean rd.mean_finite_distance;
+  check_int "max finite distance" g.rd_max rd.max_finite_distance;
+  List.iter2
+    (fun b expect ->
+      check_int
+        (Printf.sprintf "bucket %s" (Analysis.Reuse_distance.bucket_label b))
+        expect
+        (List.assoc b rd.histogram))
+    Analysis.Reuse_distance.buckets g.rd_histogram
+
+let test_fig5 g () =
+  let md = Advisor.mem_divergence ~line_size:128 (session g.app) in
+  check_int "warp instructions" g.md_total md.total_instructions;
+  check_float "divergence degree" g.md_degree md.degree;
+  List.iteri
+    (fun i expect ->
+      check_int (Printf.sprintf "=%d lines" i) expect md.distribution.(i))
+    g.md_distribution
+
+let test_table3 g () =
+  let bd = Advisor.branch_divergence (session g.app) in
+  check_int "divergent blocks" g.bd_divergent bd.divergent_blocks;
+  check_int "total blocks" g.bd_total bd.total_blocks
+
+let () =
+  Alcotest.run "golden"
+    (List.map
+       (fun g ->
+         ( g.app,
+           [
+             Alcotest.test_case "fig4 reuse distance" `Quick (test_fig4 g);
+             Alcotest.test_case "fig5 memory divergence" `Quick (test_fig5 g);
+             Alcotest.test_case "table3 branch divergence" `Quick (test_table3 g);
+           ] ))
+       goldens)

@@ -5,7 +5,12 @@
 
    or a subset, e.g. `dune exec bench/main.exe -- fig4 table3`.  The
    [bech] section additionally runs Bechamel micro-benchmarks of the
-   framework's own pipelines (one Test.make per table/figure). *)
+   framework's own pipelines (one Test.make per table/figure).
+
+   `--json FILE` additionally records per-section wall-clock seconds
+   (and, when the bech section runs, its ns/run estimates) as JSON.
+   Independent experiments fan out across domains via [Pool]; set
+   POOL_DOMAINS=1 to force sequential runs. *)
 
 let kepler16 () = Gpusim.Arch.kepler_k40c ~l1_kb:16 ()
 let kepler48 () = Gpusim.Arch.kepler_k40c ~l1_kb:48 ()
@@ -31,6 +36,18 @@ let section s = Printf.printf "\n--- %s ---\n%!" s
    is architecture-independent). *)
 let sessions : (string, Advisor.session) Hashtbl.t = Hashtbl.create 16
 
+(* Profile any not-yet-cached sessions of [names] in parallel, then
+   publish them to the (domain-unsafe) cache from the main domain. *)
+let prewarm names =
+  let missing =
+    List.sort_uniq compare names
+    |> List.filter (fun n -> not (Hashtbl.mem sessions n))
+  in
+  Pool.map
+    (fun n -> (n, Advisor.profile ~arch:(kepler16 ()) (Workloads.Registry.find n)))
+    missing
+  |> List.iter (fun (n, s) -> Hashtbl.replace sessions n s)
+
 let session_of name =
   match Hashtbl.find_opt sessions name with
   | Some s -> s
@@ -39,6 +56,8 @@ let session_of name =
     let s = Advisor.profile ~arch:(kepler16 ()) w in
     Hashtbl.replace sessions name s;
     s
+
+let all_names = List.map (fun (w : Workloads.Common.t) -> w.name) Workloads.Registry.all
 
 (* ----- Table 1 ----- *)
 
@@ -74,6 +93,7 @@ let fig4_apps = [ "backprop"; "hotspot"; "lavaMD"; "nw"; "srad_v2"; "bicg"; "syr
 
 let fig4 () =
   heading "Figure 4: reuse distance analysis (Kepler)";
+  prewarm (fig4_apps @ [ "bfs"; "nn" ]);
   Printf.printf "%-10s" "App";
   List.iter
     (fun b -> Printf.printf " %8s" (Analysis.Reuse_distance.bucket_label b))
@@ -122,6 +142,7 @@ let fig5_arch label line_size =
 
 let fig5 () =
   heading "Figure 5: memory divergence distribution";
+  prewarm all_names;
   fig5_arch "a: Kepler, 128B lines" 128;
   fig5_arch "b: Pascal, 32B lines" 32
 
@@ -129,6 +150,7 @@ let fig5 () =
 
 let table3 () =
   heading "Table 3: branch divergence (architecture-independent)";
+  prewarm all_names;
   Printf.printf "%-10s %18s %14s %14s\n" "App" "# divergent blocks" "# total blocks"
     "% divergence";
   List.iter
@@ -146,21 +168,26 @@ let bypass_table label arch =
   section label;
   Printf.printf "%-10s %8s %14s %16s\n" "App" "baseline" "oracle(norm)"
     "prediction(norm)";
-  let gaps = ref [] in
-  List.iter
-    (fun name ->
-      let w = Workloads.Registry.find name in
-      let b = Advisor.bypass_study ~arch w in
-      let norm c = float_of_int c /. float_of_int b.baseline_cycles in
-      Printf.printf "%-10s %8s %14s %16s   oracle=N%d pred=N%d\n%!" b.app "1.000"
-        (Printf.sprintf "%.3f" (norm b.oracle_cycles))
-        (Printf.sprintf "%.3f" (norm b.predicted_cycles))
-        b.oracle_warps b.predicted_warps;
-      gaps :=
-        (float_of_int b.predicted_cycles /. float_of_int b.oracle_cycles) :: !gaps)
-    bypass_apps;
-  let n = List.length !gaps in
-  let avg = List.fold_left ( +. ) 0. !gaps /. float_of_int n in
+  (* the per-app studies are independent: compute in parallel, print in
+     order (each study still fans out its own sweep when domains remain) *)
+  let studies =
+    Pool.map
+      (fun name -> Advisor.bypass_study ~arch (Workloads.Registry.find name))
+      bypass_apps
+  in
+  let gaps =
+    List.map
+      (fun (b : Advisor.bypass_experiment) ->
+        let norm c = float_of_int c /. float_of_int b.baseline_cycles in
+        Printf.printf "%-10s %8s %14s %16s   oracle=N%d pred=N%d\n%!" b.app "1.000"
+          (Printf.sprintf "%.3f" (norm b.oracle_cycles))
+          (Printf.sprintf "%.3f" (norm b.predicted_cycles))
+          b.oracle_warps b.predicted_warps;
+        float_of_int b.predicted_cycles /. float_of_int b.oracle_cycles)
+      studies
+  in
+  let n = List.length gaps in
+  let avg = List.fold_left ( +. ) 0. gaps /. float_of_int n in
   Printf.printf "prediction is on average %.1f%% slower than oracle (paper: 4-7%%)\n%!"
     (100. *. (avg -. 1.))
 
@@ -212,12 +239,14 @@ let fig9 () =
 let fig10 () =
   heading "Figure 10: runtime overhead of memory + control-flow instrumentation";
   Printf.printf "%-10s %14s %14s\n" "App" "Kepler" "Pascal";
-  List.iter
+  Pool.map
     (fun (w : Workloads.Common.t) ->
       let k = Advisor.overhead_study ~arch:(kepler16 ()) w in
       let p = Advisor.overhead_study ~arch:(pascal ()) w in
-      Printf.printf "%-10s %13.1fx %13.1fx\n%!" w.name k.slowdown p.slowdown)
+      (w.name, k.slowdown, p.slowdown))
     Workloads.Registry.all
+  |> List.iter (fun (name, k, p) ->
+         Printf.printf "%-10s %13.1fx %13.1fx\n%!" name k p)
 
 (* ----- Extension: vertical bypassing (the other scheme of 4.2-(D)) ----- *)
 
@@ -225,17 +254,16 @@ let vertical () =
   heading "Extension: vertical (per-instruction) bypassing, Kepler 16KB";
   Printf.printf "%-10s %10s %10s %8s %s\n" "App" "baseline" "vertical" "speedup"
     "bypassed sites";
-  List.iter
+  Pool.map
     (fun name ->
-      let w = Workloads.Registry.find name in
-      let v =
-        Advisor.vertical_bypass_study ~arch:(kepler_bypass 16) w
-      in
-      Printf.printf "%-10s %10d %10d %7.2fx %d of %d load sites\n%!" v.v_app
-        v.v_baseline_cycles v.v_cycles
-        (float_of_int v.v_baseline_cycles /. float_of_int v.v_cycles)
-        v.v_sites_bypassed v.v_sites_total)
+      Advisor.vertical_bypass_study ~arch:(kepler_bypass 16)
+        (Workloads.Registry.find name))
     [ "bicg"; "hotspot"; "nn"; "syr2k" ]
+  |> List.iter (fun (v : Advisor.vertical_experiment) ->
+         Printf.printf "%-10s %10d %10d %7.2fx %d of %d load sites\n%!" v.v_app
+           v.v_baseline_cycles v.v_cycles
+           (float_of_int v.v_baseline_cycles /. float_of_int v.v_cycles)
+           v.v_sites_bypassed v.v_sites_total)
 
 (* ----- Ablations of the design choices DESIGN.md calls out ----- *)
 
@@ -274,6 +302,9 @@ let ablation () =
 
 (* ----- Bechamel micro-benchmarks of the framework itself ----- *)
 
+(* ns/run estimates of the last [bech] run, kept for `--json`. *)
+let bech_rows : (string * float) list ref = ref []
+
 let bechamel () =
   heading "Bechamel micro-benchmarks (framework pipelines)";
   let open Bechamel in
@@ -281,7 +312,7 @@ let bechamel () =
   let compiled = Workloads.Common.compile nn in
   let session = session_of "nn" in
   let instance = List.hd (Advisor.instances session) in
-  let events = Profiler.Profile.mem_events instance in
+  let trace = instance.Profiler.Profile.trace in
   let tests =
     Test.make_grouped ~name:"cudaadvisor"
       [
@@ -295,10 +326,10 @@ let bechamel () =
           (Staged.stage (fun () ->
                ignore (Advisor.run_native ~arch:(kepler16 ()) nn)));
         Test.make ~name:"fig4-reuse-distance"
-          (Staged.stage (fun () -> ignore (Analysis.Reuse_distance.of_events events)));
+          (Staged.stage (fun () -> ignore (Analysis.Reuse_distance.of_trace trace)));
         Test.make ~name:"fig5-mem-divergence"
           (Staged.stage (fun () ->
-               ignore (Analysis.Mem_divergence.of_events ~line_size:128 events)));
+               ignore (Analysis.Mem_divergence.of_trace ~line_size:128 trace)));
         Test.make ~name:"table3-branch-divergence"
           (Staged.stage (fun () ->
                ignore
@@ -313,10 +344,13 @@ let bechamel () =
   in
   let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [] in
+  bech_rows := [];
   List.iter
     (fun (name, v) ->
       match Analyze.OLS.estimates v with
-      | Some (t :: _) -> Printf.printf "  %-40s %12.1f ns/run\n" name t
+      | Some (t :: _) ->
+        bech_rows := (name, t) :: !bech_rows;
+        Printf.printf "  %-40s %12.1f ns/run\n" name t
       | _ -> Printf.printf "  %-40s (no estimate)\n" name)
     (List.sort compare rows)
 
@@ -327,17 +361,46 @@ let all_sections =
     ("ablation", ablation); ("bech", bechamel) ]
 
 let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst all_sections
+  (* `--json FILE` may appear anywhere among the section names *)
+  let rec split_json acc = function
+    | "--json" :: file :: rest -> (Some file, List.rev_append acc rest)
+    | "--json" :: [] -> failwith "--json needs a file argument"
+    | x :: rest -> split_json (x :: acc) rest
+    | [] -> (None, List.rev acc)
   in
+  let json_file, names = split_json [] (List.tl (Array.to_list Sys.argv)) in
+  let requested = if names = [] then List.map fst all_sections else names in
   Printf.printf "CUDAAdvisor reproduction benchmarks\n%!";
+  let timings = ref [] in
   List.iter
     (fun name ->
       match List.assoc_opt name all_sections with
-      | Some f -> f ()
+      | Some f ->
+        let t0 = Unix.gettimeofday () in
+        f ();
+        timings := (name, Unix.gettimeofday () -. t0) :: !timings
       | None ->
         Printf.eprintf "unknown section %s (available: %s)\n" name
           (String.concat ", " (List.map fst all_sections)))
-    requested
+    requested;
+  match json_file with
+  | None -> ()
+  | Some file ->
+    let open Analysis.Json in
+    let hits, misses = Advisor.compile_cache_stats () in
+    let doc =
+      Obj
+        [
+          ("sections",
+           Obj (List.rev_map (fun (n, s) -> (n, Float s)) !timings));
+          ("bechamel_ns_per_run",
+           Obj (List.map (fun (n, t) -> (n, Float t)) (List.sort compare !bech_rows)));
+          ("compile_cache", Obj [ ("hits", Int hits); ("misses", Int misses) ]);
+          ("pool_domains", Int (Domain.recommended_domain_count ()));
+        ]
+    in
+    let oc = open_out file in
+    output_string oc (to_string doc);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "\nwrote %s\n%!" file

@@ -13,22 +13,28 @@ type result = {
 
 let max_lines = 32
 
-let of_events ~line_size events =
+(* Single pass over the packed columns: coalescing runs straight on the
+   trace's address arena through a reused scratch array, so no per-event
+   address list is materialized. *)
+let of_trace ~line_size (tr : Profiler.Tracebuf.t) =
   let distribution = Array.make (max_lines + 1) 0 in
   let total = ref 0 in
   let weighted = ref 0 in
-  List.iter
-    (fun ((m : Gpusim.Hookev.mem), _node) ->
-      if Array.length m.accesses > 0 then begin
-        let addrs = Array.to_list (Array.map snd m.accesses) in
-        let width = max 1 (m.bits / 8) in
-        let lines = Gpusim.Coalesce.transactions ~line_size ~width addrs in
+  let scratch = Array.make 64 0 in
+  let arena = Profiler.Tracebuf.addr_arena tr in
+  Profiler.Tracebuf.iter tr (fun i ->
+      let n = Profiler.Tracebuf.acc_len tr i in
+      if n > 0 then begin
+        let width = max 1 (Profiler.Tracebuf.bits tr i / 8) in
+        let lines =
+          Gpusim.Coalesce.collect_unique_lines ~line_size ~width ~src:arena
+            ~off:(Profiler.Tracebuf.acc_off tr i) ~n scratch
+        in
         let lines = min lines max_lines in
         distribution.(lines) <- distribution.(lines) + 1;
         weighted := !weighted + lines;
         incr total
-      end)
-    events;
+      end);
   {
     line_size;
     total_instructions = !total;
@@ -36,8 +42,11 @@ let of_events ~line_size events =
     degree = (if !total = 0 then 1. else float_of_int !weighted /. float_of_int !total);
   }
 
+let of_events ~line_size events =
+  of_trace ~line_size (Profiler.Tracebuf.of_events events)
+
 let of_instance ~line_size (instance : Profiler.Profile.instance) =
-  of_events ~line_size (Profiler.Profile.mem_events instance)
+  of_trace ~line_size instance.trace
 
 (* Merge results of independent kernel instances into the whole-
    application distribution of Figure 5. *)
@@ -72,25 +81,32 @@ type site = {
   site_avg_lines : float;
 }
 
-let sites ~line_size events =
-  let table : (Bitc.Loc.t * int, int ref * int ref) Hashtbl.t = Hashtbl.create 64 in
-  List.iter
-    (fun ((m : Gpusim.Hookev.mem), node) ->
-      if Array.length m.accesses > 0 then begin
-        let addrs = Array.to_list (Array.map snd m.accesses) in
-        let width = max 1 (m.bits / 8) in
-        let lines = min max_lines (Gpusim.Coalesce.transactions ~line_size ~width addrs) in
-        match Hashtbl.find_opt table (m.loc, node) with
+let sites_of_trace ~line_size (tr : Profiler.Tracebuf.t) =
+  (* keyed by (interned location id, CCT node) so the pass stays on flat
+     ints; ids decode to locations only in the final fold *)
+  let table : (int * int, int ref * int ref) Hashtbl.t = Hashtbl.create 64 in
+  let scratch = Array.make 64 0 in
+  let arena = Profiler.Tracebuf.addr_arena tr in
+  Profiler.Tracebuf.iter tr (fun i ->
+      let n = Profiler.Tracebuf.acc_len tr i in
+      if n > 0 then begin
+        let width = max 1 (Profiler.Tracebuf.bits tr i / 8) in
+        let lines =
+          min max_lines
+            (Gpusim.Coalesce.collect_unique_lines ~line_size ~width ~src:arena
+               ~off:(Profiler.Tracebuf.acc_off tr i) ~n scratch)
+        in
+        let key = (Profiler.Tracebuf.loc_id tr i, Profiler.Tracebuf.node tr i) in
+        match Hashtbl.find_opt table key with
         | Some (count, sum) ->
           incr count;
           sum := !sum + lines
-        | None -> Hashtbl.replace table (m.loc, node) (ref 1, ref lines)
-      end)
-    events;
+        | None -> Hashtbl.replace table key (ref 1, ref lines)
+      end);
   Hashtbl.fold
-    (fun (loc, node) (count, sum) acc ->
+    (fun (loc_id, node) (count, sum) acc ->
       {
-        site_loc = loc;
+        site_loc = Profiler.Tracebuf.loc_of_id tr loc_id;
         site_node = node;
         site_count = !count;
         site_avg_lines = float_of_int !sum /. float_of_int !count;
@@ -98,6 +114,8 @@ let sites ~line_size events =
       :: acc)
     table []
   |> List.sort (fun a b -> compare b.site_avg_lines a.site_avg_lines)
+
+let sites ~line_size events = sites_of_trace ~line_size (Profiler.Tracebuf.of_events events)
 
 let pp fmt r =
   Format.fprintf fmt "@[<v>";

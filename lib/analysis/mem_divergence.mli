@@ -12,6 +12,10 @@ type result = {
 
 val max_lines : int
 
+(** Single pass over a packed trace: coalescing runs on the trace's
+    address arena, allocating nothing per event. *)
+val of_trace : line_size:int -> Profiler.Tracebuf.t -> result
+
 val of_events : line_size:int -> (Gpusim.Hookev.mem * int) list -> result
 val of_instance : line_size:int -> Profiler.Profile.instance -> result
 
@@ -31,5 +35,6 @@ type site = {
   site_avg_lines : float;
 }
 
+val sites_of_trace : line_size:int -> Profiler.Tracebuf.t -> site list
 val sites : line_size:int -> (Gpusim.Hookev.mem * int) list -> site list
 val pp : Format.formatter -> result -> unit

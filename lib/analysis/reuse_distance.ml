@@ -57,41 +57,43 @@ let no_reuse_fraction result =
   if result.samples = 0 then 0.
   else float_of_int result.infinite_reuses /. float_of_int result.samples
 
-(* One CTA's access stream: (element, is_write) in execution order. *)
-let analyze_stream accesses =
-  let n = Array.length accesses in
+(* One CTA's access stream, packed as [elem * 2 lor is_write] per lane
+   access in execution order (no tuple per access). *)
+let analyze_stream (accesses : Profiler.Intvec.t) =
+  let n = Profiler.Intvec.length accesses in
   let bit = Fenwick.create (max n 1) in
   let last : (int, int) Hashtbl.t = Hashtbl.create 1024 in
   let hist = Hashtbl.create 8 in
   let bump bucket = Hashtbl.replace hist bucket (1 + Option.value (Hashtbl.find_opt hist bucket) ~default:0) in
   let finite = ref 0 and infinite = ref 0 in
   let sum = ref 0 and maxd = ref 0 in
-  Array.iteri
-    (fun i (elem, is_write) ->
-      let pos = i + 1 in
-      if is_write then (
-        (* write-evict: pending forward reuse of the old value dies *)
-        match Hashtbl.find_opt last elem with
-        | Some q ->
-          bump B_inf;
-          incr infinite;
-          Fenwick.add bit q (-1);
-          Hashtbl.remove last elem
-        | None -> ())
-      else begin
-        (match Hashtbl.find_opt last elem with
-        | Some q ->
-          let d = Fenwick.between bit ~lo:q ~hi:pos in
-          bump (bucket_of_distance d);
-          incr finite;
-          sum := !sum + d;
-          if d > !maxd then maxd := d;
-          Fenwick.add bit q (-1)
-        | None -> ());
-        Hashtbl.replace last elem pos;
-        Fenwick.add bit pos 1
-      end)
-    accesses;
+  for i = 0 to n - 1 do
+    let packed = Profiler.Intvec.get accesses i in
+    let elem = packed lsr 1 and is_write = packed land 1 = 1 in
+    let pos = i + 1 in
+    if is_write then (
+      (* write-evict: pending forward reuse of the old value dies *)
+      match Hashtbl.find_opt last elem with
+      | Some q ->
+        bump B_inf;
+        incr infinite;
+        Fenwick.add bit q (-1);
+        Hashtbl.remove last elem
+      | None -> ())
+    else begin
+      (match Hashtbl.find_opt last elem with
+      | Some q ->
+        let d = Fenwick.between bit ~lo:q ~hi:pos in
+        bump (bucket_of_distance d);
+        incr finite;
+        sum := !sum + d;
+        if d > !maxd then maxd := d;
+        Fenwick.add bit q (-1)
+      | None -> ());
+      Hashtbl.replace last elem pos;
+      Fenwick.add bit pos 1
+    end
+  done;
   (* accesses still pending at the end were never reused *)
   Hashtbl.iter
     (fun _ _ ->
@@ -106,32 +108,40 @@ let element_of ~granularity ~bits addr =
   | Element -> addr / max 1 (bits / 8)
   | Cache_line line -> addr / line
 
-(* Analyze the memory events of one kernel instance (in execution
-   order), regrouped per CTA as in the paper. *)
-let of_events ?(granularity = Element) events =
-  let per_cta : (int, (int * bool) list ref) Hashtbl.t = Hashtbl.create 64 in
-  List.iter
-    (fun ((m : Gpusim.Hookev.mem), _node) ->
-      let stream =
-        match Hashtbl.find_opt per_cta m.cta with
-        | Some r -> r
-        | None ->
-          let r = ref [] in
-          Hashtbl.replace per_cta m.cta r;
-          r
-      in
-      let is_write = m.kind = Passes.Hooks.mem_kind_store in
-      Array.iter
-        (fun (_lane, addr) ->
-          stream := (element_of ~granularity ~bits:m.bits addr, is_write) :: !stream)
-        m.accesses)
-    events;
+(* Analyze the packed trace of one kernel instance (in execution
+   order), regrouped per CTA as in the paper.  One pass over the
+   columns builds packed per-CTA streams; no per-event record is
+   decoded. *)
+let of_trace ?(granularity = Element) (tr : Profiler.Tracebuf.t) =
+  let per_cta : (int, Profiler.Intvec.t) Hashtbl.t = Hashtbl.create 64 in
+  let arena = Profiler.Tracebuf.addr_arena tr in
+  Profiler.Tracebuf.iter tr (fun i ->
+      let n = Profiler.Tracebuf.acc_len tr i in
+      if n > 0 then begin
+        let stream =
+          let cta = Profiler.Tracebuf.cta tr i in
+          match Hashtbl.find_opt per_cta cta with
+          | Some v -> v
+          | None ->
+            let v = Profiler.Intvec.create () in
+            Hashtbl.replace per_cta cta v;
+            v
+        in
+        let is_write =
+          if Profiler.Tracebuf.kind tr i = Passes.Hooks.mem_kind_store then 1 else 0
+        in
+        let bits = Profiler.Tracebuf.bits tr i in
+        let off = Profiler.Tracebuf.acc_off tr i in
+        for j = off to off + n - 1 do
+          let elem = element_of ~granularity ~bits arena.(j) in
+          Profiler.Intvec.push stream ((elem lsl 1) lor is_write)
+        done
+      end);
   let hist_total = Hashtbl.create 8 in
   let finite = ref 0 and infinite = ref 0 and sum = ref 0 and maxd = ref 0 in
   Hashtbl.iter
     (fun _cta stream ->
-      let accesses = Array.of_list (List.rev !stream) in
-      let hist, f, inf, s, m = analyze_stream accesses in
+      let hist, f, inf, s, m = analyze_stream stream in
       Hashtbl.iter
         (fun b c ->
           Hashtbl.replace hist_total b
@@ -158,8 +168,11 @@ let of_events ?(granularity = Element) events =
     max_finite_distance = !maxd;
   }
 
+let of_events ?granularity events =
+  of_trace ?granularity (Profiler.Tracebuf.of_events events)
+
 let of_instance ?granularity (instance : Profiler.Profile.instance) =
-  of_events ?granularity (Profiler.Profile.mem_events instance)
+  of_trace ?granularity instance.trace
 
 (* Merge results of independent kernel instances into the whole-
    application view of Figure 4 (reuse is per CTA per instance, so

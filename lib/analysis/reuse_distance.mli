@@ -35,8 +35,12 @@ val fraction : result -> bucket -> float
 (** Fraction of no-reuse samples, in [0,1]. *)
 val no_reuse_fraction : result -> float
 
-(** Analyze warp-level memory events (as collected by the profiler) in
-    execution order. *)
+(** Analyze a packed trace in one pass over its columns: per-CTA
+    streams are built without decoding any event record. *)
+val of_trace : ?granularity:granularity -> Profiler.Tracebuf.t -> result
+
+(** Convenience wrapper over {!of_trace} for unpacked event lists
+    (tests, synthetic traces). *)
 val of_events :
   ?granularity:granularity -> (Gpusim.Hookev.mem * int) list -> result
 

@@ -21,92 +21,137 @@ let reuse_fraction s =
    cache-line granularity (the reuse that matters to the L1).  The
    event id distinguishes lanes of one warp instruction: lanes sharing a
    line within a single access are one coalesced transaction, not an L1
-   reuse. *)
-let of_events ~line_size events =
-  let per_cta : (int, (int * bool * Bitc.Loc.t * int) list ref) Hashtbl.t =
-    Hashtbl.create 64
-  in
-  List.iteri
-    (fun event_id ((m : Gpusim.Hookev.mem), _node) ->
-      let stream =
-        match Hashtbl.find_opt per_cta m.cta with
-        | Some r -> r
-        | None ->
-          let r = ref [] in
-          Hashtbl.replace per_cta m.cta r;
-          r
-      in
-      let is_write = m.kind = Passes.Hooks.mem_kind_store in
-      Array.iter
-        (fun (_lane, addr) ->
-          stream := (addr / line_size, is_write, m.loc, event_id) :: !stream)
-        m.accesses)
-    events;
-  let stats : (Bitc.Loc.t, int ref * int ref) Hashtbl.t = Hashtbl.create 64 in
-  let stat loc =
-    match Hashtbl.find_opt stats loc with
-    | Some s -> s
-    | None ->
-      let s = (ref 0, ref 0) in
-      Hashtbl.replace stats loc s;
-      s
-  in
+   reuse.
+
+   The whole-application view feeds every kernel instance's trace in
+   launch order with a running event id, so CTA streams span instances
+   (CTA ids persist across launches).  Each per-CTA stream is packed
+   into a flat int vector, three slots per lane access; source
+   locations are interned across traces so the pass stays on ints. *)
+let of_traces ~line_size (traces : Profiler.Tracebuf.t list) =
+  let per_cta : (int, Profiler.Intvec.t) Hashtbl.t = Hashtbl.create 64 in
+  (* global location interning across traces *)
+  let loc_ids : (Bitc.Loc.t, int) Hashtbl.t = Hashtbl.create 64 in
+  let locs : Bitc.Loc.t list ref = ref [] in
+  let nlocs = ref 0 in
+  let next_event = ref 0 in
+  List.iter
+    (fun tr ->
+      (* per-trace cache: global id of each of the trace's interned locs *)
+      let local = Array.make (max 1 (Profiler.Tracebuf.num_locs tr)) (-1) in
+      let arena = Profiler.Tracebuf.addr_arena tr in
+      Profiler.Tracebuf.iter tr (fun i ->
+          let event_id = !next_event in
+          incr next_event;
+          let n = Profiler.Tracebuf.acc_len tr i in
+          if n > 0 then begin
+            let stream =
+              let cta = Profiler.Tracebuf.cta tr i in
+              match Hashtbl.find_opt per_cta cta with
+              | Some v -> v
+              | None ->
+                let v = Profiler.Intvec.create () in
+                Hashtbl.replace per_cta cta v;
+                v
+            in
+            let lid = Profiler.Tracebuf.loc_id tr i in
+            let gloc =
+              if local.(lid) >= 0 then local.(lid)
+              else begin
+                let loc = Profiler.Tracebuf.loc_of_id tr lid in
+                let g =
+                  match Hashtbl.find_opt loc_ids loc with
+                  | Some g -> g
+                  | None ->
+                    let g = !nlocs in
+                    incr nlocs;
+                    Hashtbl.add loc_ids loc g;
+                    locs := loc :: !locs;
+                    g
+                in
+                local.(lid) <- g;
+                g
+              end
+            in
+            let is_write =
+              if Profiler.Tracebuf.kind tr i = Passes.Hooks.mem_kind_store then 1
+              else 0
+            in
+            let off = Profiler.Tracebuf.acc_off tr i in
+            for j = off to off + n - 1 do
+              Profiler.Intvec.push stream ((arena.(j) / line_size * 2) lor is_write);
+              Profiler.Intvec.push stream gloc;
+              Profiler.Intvec.push stream event_id
+            done
+          end))
+    traces;
+  let loc_of_gloc = Array.make (max 1 !nlocs) Bitc.Loc.none in
+  List.iteri (fun i loc -> loc_of_gloc.(!nlocs - 1 - i) <- loc) !locs;
+  let counts = Array.make (max 1 !nlocs) 0 in
+  let reused = Array.make (max 1 !nlocs) 0 in
   Hashtbl.iter
     (fun _cta stream ->
-      let accesses = Array.of_list (List.rev !stream) in
       (* for each load, was its line touched again by a *later* warp
          instruction before a write? *)
-      let pending : (int, (Bitc.Loc.t * int) list ref) Hashtbl.t =
-        Hashtbl.create 256
-      in
+      let pending : (int, (int * int) list ref) Hashtbl.t = Hashtbl.create 256 in
       let credit line event_id =
         match Hashtbl.find_opt pending line with
         | Some sites ->
           let later, same =
             List.partition (fun (_, ev) -> ev <> event_id) !sites
           in
-          List.iter
-            (fun (loc, _) ->
-              let _, reused = stat loc in
-              incr reused)
-            later;
+          List.iter (fun (gloc, _) -> reused.(gloc) <- reused.(gloc) + 1) later;
           sites := same
         | None -> ()
       in
-      Array.iter
-        (fun (line, is_write, loc, event_id) ->
-          if is_write then (
-            (* write-evict: outstanding loads of this line are never
-               L1-reused *)
+      let len = Profiler.Intvec.length stream in
+      let k = ref 0 in
+      while !k < len do
+        let packed = Profiler.Intvec.get stream !k in
+        let gloc = Profiler.Intvec.get stream (!k + 1) in
+        let event_id = Profiler.Intvec.get stream (!k + 2) in
+        k := !k + 3;
+        let line = packed lsr 1 and is_write = packed land 1 = 1 in
+        if is_write then (
+          (* write-evict: outstanding loads of this line are never
+             L1-reused *)
+          match Hashtbl.find_opt pending line with
+          | Some sites -> sites := []
+          | None -> ())
+        else begin
+          (* this access is a reuse for pendings from earlier events *)
+          credit line event_id;
+          counts.(gloc) <- counts.(gloc) + 1;
+          let sites =
             match Hashtbl.find_opt pending line with
-            | Some sites -> sites := []
-            | None -> ())
-          else begin
-            (* this access is a reuse for pendings from earlier events *)
-            credit line event_id;
-            let count, _ = stat loc in
-            incr count;
-            let sites =
-              match Hashtbl.find_opt pending line with
-              | Some s -> s
-              | None ->
-                let s = ref [] in
-                Hashtbl.replace pending line s;
-                s
-            in
-            sites := (loc, event_id) :: !sites
-          end)
-        accesses)
+            | Some s -> s
+            | None ->
+              let s = ref [] in
+              Hashtbl.replace pending line s;
+              s
+          in
+          sites := (gloc, event_id) :: !sites
+        end
+      done)
     per_cta;
-  Hashtbl.fold
-    (fun loc (count, reused) acc ->
-      { loc; accesses = !count; reused_later = !reused } :: acc)
-    stats []
-  |> List.sort (fun a b -> Bitc.Loc.compare a.loc b.loc)
+  let acc = ref [] in
+  for g = !nlocs - 1 downto 0 do
+    if counts.(g) > 0 then
+      acc :=
+        { loc = loc_of_gloc.(g); accesses = counts.(g); reused_later = reused.(g) }
+        :: !acc
+  done;
+  List.sort (fun a b -> Bitc.Loc.compare a.loc b.loc) !acc
+
+let of_events ~line_size events =
+  of_traces ~line_size [ Profiler.Tracebuf.of_events events ]
 
 (* Load sites whose reuse fraction falls below [threshold]: the
    candidates vertical bypassing sends straight to the L2. *)
-let bypass_candidates ?(threshold = 0.15) ~line_size events =
-  of_events ~line_size events
+let candidates_of_sites ?(threshold = 0.15) sites =
+  sites
   |> List.filter (fun s -> reuse_fraction s < threshold && s.accesses > 0)
   |> List.map (fun s -> s.loc)
+
+let bypass_candidates ?threshold ~line_size events =
+  candidates_of_sites ?threshold (of_events ~line_size events)

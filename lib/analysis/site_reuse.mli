@@ -13,10 +13,18 @@ type site_stat = {
 
 val reuse_fraction : site_stat -> float
 
-(** Per-site statistics over warp-level memory events, at cache-line
-    granularity (the reuse that matters to the L1). *)
+(** Per-site statistics over the packed traces of the application's
+    kernel instances (in launch order), at cache-line granularity (the
+    reuse that matters to the L1).  A single pass over the columns
+    builds packed per-CTA streams spanning instances. *)
+val of_traces : line_size:int -> Profiler.Tracebuf.t list -> site_stat list
+
+(** Wrapper over {!of_traces} for one unpacked event list. *)
 val of_events :
   line_size:int -> (Gpusim.Hookev.mem * int) list -> site_stat list
+
+(** Filter a precomputed site list down to bypass candidates. *)
+val candidates_of_sites : ?threshold:float -> site_stat list -> Bitc.Loc.t list
 
 (** Load sites whose reuse fraction is below [threshold] (default
     0.15): the candidates vertical bypassing flips to [ld.cg]. *)

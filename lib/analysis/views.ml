@@ -35,8 +35,7 @@ let code_centric_path (p : Profiler.Profile.t) (instance : Profiler.Profile.inst
    "Line 33 of Kernel.cu has significant memory divergence". *)
 let divergent_sites_report (p : Profiler.Profile.t)
     (instance : Profiler.Profile.instance) ~line_size ~top =
-  let events = Profiler.Profile.mem_events instance in
-  let sites = Mem_divergence.sites ~line_size events in
+  let sites = Mem_divergence.sites_of_trace ~line_size instance.trace in
   let sites = List.filteri (fun i _ -> i < top) sites in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
@@ -59,19 +58,23 @@ let path_to_string frames =
    allocated on device and host, and how it was transferred. *)
 let data_centric_report (p : Profiler.Profile.t)
     (instance : Profiler.Profile.instance) ~line_size ~top =
-  let events = Profiler.Profile.mem_events instance in
-  let sites = Mem_divergence.sites ~line_size events in
+  let tr = instance.trace in
+  let sites = Mem_divergence.sites_of_trace ~line_size tr in
   let sites = List.filteri (fun i _ -> i < top) sites in
   let buf = Buffer.create 1024 in
   (* representative address per site: first event matching the loc *)
   let addr_of_site (s : Mem_divergence.site) =
-    List.find_map
-      (fun ((m : Gpusim.Hookev.mem), node) ->
-        if Bitc.Loc.equal m.loc s.site_loc && node = s.site_node
-           && Array.length m.accesses > 0
-        then Some (snd m.accesses.(0))
-        else None)
-      events
+    let n = Profiler.Tracebuf.length tr in
+    let rec find i =
+      if i >= n then None
+      else if
+        Bitc.Loc.equal (Profiler.Tracebuf.loc tr i) s.site_loc
+        && Profiler.Tracebuf.node tr i = s.site_node
+        && Profiler.Tracebuf.acc_len tr i > 0
+      then Some (Profiler.Tracebuf.addr tr i 0)
+      else find (i + 1)
+    in
+    find 0
   in
   List.iter
     (fun (s : Mem_divergence.site) ->

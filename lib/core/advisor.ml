@@ -15,7 +15,7 @@ type compiled = {
 
 (* Compile device source; when [instrument] is set, run the engine with
    the given optional-instrumentation selection. *)
-let compile_source ?instrument ~file src =
+let compile_uncached ?instrument ~file src =
   let modul = Minicuda.Frontend.compile ~file src in
   let manifest =
     match instrument with
@@ -25,6 +25,38 @@ let compile_source ?instrument ~file src =
       Some r.Passes.Instrument.manifest
   in
   { modul; manifest; prog = Ptx.Codegen.gen_module modul }
+
+(* Experiments recompile the same workload dozens of times (a bypass
+   sweep is ~15 otherwise-identical runs), so compilation memoizes on
+   (file, source, instrumentation options).  The cache key carries the
+   full option set because [Passes.Instrument.run] rewrites the module
+   in place: each distinct instrumentation of a source is compiled
+   fresh, then shared.  Everything in [compiled] is read-only after
+   construction — the PTX program in particular is safe to simulate
+   from several domains at once — and the lock makes the memo table
+   itself domain-safe. *)
+let compile_cache :
+    (string * string * Passes.Instrument.options option, compiled) Hashtbl.t =
+  Hashtbl.create 16
+
+let compile_cache_lock = Mutex.create ()
+let compile_cache_hits = ref 0
+let compile_cache_misses = ref 0
+
+let compile_source ?instrument ~file src =
+  Mutex.protect compile_cache_lock (fun () ->
+      let key = (file, src, instrument) in
+      match Hashtbl.find_opt compile_cache key with
+      | Some compiled ->
+        incr compile_cache_hits;
+        compiled
+      | None ->
+        incr compile_cache_misses;
+        let compiled = compile_uncached ?instrument ~file src in
+        Hashtbl.add compile_cache key compiled;
+        compiled)
+
+let compile_cache_stats () = (!compile_cache_hits, !compile_cache_misses)
 
 let instrument_source ?(options = Passes.Instrument.all) ~file src =
   compile_source ~instrument:options ~file src
@@ -111,7 +143,7 @@ let rewrite_all_kernels prog ~warps_to_cache =
 (* Run the full study for one app on one architecture: a profiled run
    feeds Eq. (1); the oracle exhaustively sweeps the number of caching
    warps like [31] does in its sampling phase. *)
-let bypass_study ?scale ~arch (workload : Workloads.Common.t) =
+let bypass_study ?scale ?domains ~arch (workload : Workloads.Common.t) =
   let session = profile ?scale ~arch workload in
   (* Eq. (1) multiplies R.D. by the cache-line size, i.e. the reuse
      footprint is counted in cache lines: use the line-based RD model. *)
@@ -141,13 +173,23 @@ let bypass_study ?scale ~arch (workload : Workloads.Common.t) =
     let transform prog = rewrite_all_kernels prog ~warps_to_cache:n in
     fst (run_native ?scale ~arch ~transform workload)
   in
-  let baseline_cycles = fst (run_native ?scale ~arch workload) in
   (* exhaustive up to 8 warps, stride 2 beyond (the curve is smooth) *)
   let points =
     List.init (warps_per_cta + 1) Fun.id
     |> List.filter (fun n -> n <= 8 || n mod 2 = 0)
   in
-  let sweep = List.map (fun n -> (n, run_with n)) points in
+  (* every run is an independent simulation on its own device state, so
+     the baseline and the sweep points fan out across domains *)
+  let cycles =
+    Pool.map ?domains
+      (function None -> fst (run_native ?scale ~arch workload) | Some n -> run_with n)
+      (None :: List.map Option.some points)
+  in
+  let baseline_cycles, sweep =
+    match cycles with
+    | baseline :: sweep_cycles -> (baseline, List.combine points sweep_cycles)
+    | [] -> assert false
+  in
   let oracle_warps, oracle_cycles =
     List.fold_left
       (fun (bn, bc) (n, c) -> if c < bc then (n, c) else (bn, bc))
@@ -189,13 +231,13 @@ let vertical_bypass_study ?(threshold = 0.15) ?scale ~arch
     (workload : Workloads.Common.t) =
   let session = profile ?scale ~arch workload in
   let line_size = arch.Gpusim.Arch.line_size in
-  let events =
-    List.concat_map Profiler.Profile.mem_events (instances session)
+  let traces =
+    List.map
+      (fun (i : Profiler.Profile.instance) -> i.trace)
+      (instances session)
   in
-  let sites = Analysis.Site_reuse.of_events ~line_size events in
-  let candidates =
-    Analysis.Site_reuse.bypass_candidates ~threshold ~line_size events
-  in
+  let sites = Analysis.Site_reuse.of_traces ~line_size traces in
+  let candidates = Analysis.Site_reuse.candidates_of_sites ~threshold sites in
   let should_bypass loc = List.exists (Bitc.Loc.equal loc) candidates in
   let transform prog = Ptx.Bypass.rewrite_prog_vertical prog ~should_bypass in
   let baseline = fst (run_native ?scale ~arch workload) in

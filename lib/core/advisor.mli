@@ -20,9 +20,14 @@ type compiled = {
 }
 
 (** Compile MiniCUDA device source, optionally running the
-    instrumentation engine with the given option set. *)
+    instrumentation engine with the given option set.  Memoized on
+    (file, source, options): experiment sweeps recompiling the same
+    workload share one read-only [compiled].  Domain-safe. *)
 val compile_source :
   ?instrument:Passes.Instrument.options -> file:string -> string -> compiled
+
+(** (hits, misses) of the compile memo table since process start. *)
+val compile_cache_stats : unit -> int * int
 
 (** [compile_source] with instrumentation always on (defaults to all
     three optional categories). *)
@@ -101,9 +106,16 @@ type bypass_experiment = {
 val rewrite_all_kernels : Ptx.Isa.prog -> warps_to_cache:int -> Ptx.Isa.prog
 
 (** The full bypassing study of Section 4.2-(D): profile, predict with
-    Eq. (1), sweep the warp counts exhaustively for the oracle. *)
+    Eq. (1), sweep the warp counts exhaustively for the oracle.  The
+    baseline and sweep-point simulations are independent and fan out
+    over [domains] domains (see {!Pool.map}); the result does not
+    depend on the domain count. *)
 val bypass_study :
-  ?scale:int -> arch:Gpusim.Arch.t -> Workloads.Common.t -> bypass_experiment
+  ?scale:int ->
+  ?domains:int ->
+  arch:Gpusim.Arch.t ->
+  Workloads.Common.t ->
+  bypass_experiment
 
 (** Vertical bypassing (the alternative scheme contrasted in Section
     4.2-(D)): load *sites* with an L1-visible reuse fraction below

@@ -1,0 +1,82 @@
+(* A tiny stdlib-only domain pool for experiment sweeps.
+
+   Experiments (bypass sweep points, per-app bench sections) are
+   independent full simulations, so they parallelize across OCaml 5
+   domains with no shared mutable state beyond the compile cache (which
+   serializes on its own lock).  domainslib is deliberately not used:
+   the work units are seconds long and few, so a work-stealing deque
+   buys nothing over one atomic counter.
+
+   A process-global budget caps the total number of extra domains ever
+   live at once: nested [map] calls (apps in parallel, each sweeping
+   points in parallel) degrade gracefully to sequential execution
+   instead of tripping the runtime's domain limit. *)
+
+(* Extra domains beyond the callers themselves; the OCaml runtime caps
+   total domains at 128, so leave headroom for the main domain and any
+   nesting. *)
+let budget = Atomic.make 120
+
+let reserve want =
+  if want <= 0 then 0
+  else
+    let rec go () =
+      let avail = Atomic.get budget in
+      let take = min want avail in
+      if take = 0 then 0
+      else if Atomic.compare_and_set budget avail (avail - take) then take
+      else go ()
+    in
+    go ()
+
+let release n = if n > 0 then ignore (Atomic.fetch_and_add budget n)
+
+(* Worker count when the caller does not pass [~domains]: the
+   [POOL_DOMAINS] environment variable, else the runtime's
+   recommendation for this machine. *)
+let default_domains () =
+  match Sys.getenv_opt "POOL_DOMAINS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | _ -> invalid_arg (Printf.sprintf "POOL_DOMAINS=%S is not a positive integer" s))
+  | None -> Domain.recommended_domain_count ()
+
+(* [map ?domains f xs] is [List.map f xs] with the applications spread
+   over [domains] domains (the caller works too).  Results keep input
+   order and do not depend on the domain count; if any application
+   raises, the first exception in input order is re-raised after all
+   workers finish. *)
+let map ?domains f xs =
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  if n = 0 then []
+  else begin
+    let want =
+      match domains with Some d -> max 1 d | None -> default_domains ()
+    in
+    let extra = reserve (min want n - 1) in
+    let results = Array.make n None in
+    let errors = Array.make n None in
+    let next = Atomic.make 0 in
+    let work () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (match f items.(i) with
+          | v -> results.(i) <- Some v
+          | exception e -> errors.(i) <- Some e);
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let workers = Array.init extra (fun _ -> Domain.spawn work) in
+    work ();
+    Array.iter Domain.join workers;
+    release extra;
+    Array.iter (function Some e -> raise e | None -> ()) errors;
+    Array.to_list (Array.map Option.get results)
+  end
+
+let iter ?domains f xs = ignore (map ?domains (fun x -> f x) xs)

@@ -1,0 +1,18 @@
+(** A tiny stdlib-only domain pool for experiment sweeps: independent
+    full simulations (bypass sweep points, per-app bench sections)
+    spread over OCaml 5 domains.
+
+    A process-global budget caps the extra domains live at once, so
+    nested [map] calls degrade to sequential execution instead of
+    exceeding the runtime's domain limit. *)
+
+(** [map ?domains f xs] is [List.map f xs] with the applications spread
+    over up to [domains] domains, the calling domain included.
+    [domains] defaults to the [POOL_DOMAINS] environment variable, else
+    [Domain.recommended_domain_count ()].  Results keep input order and
+    are independent of the domain count (for deterministic [f]); if
+    applications raise, the first exception in input order is re-raised
+    after all workers finish. *)
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+
+val iter : ?domains:int -> ('a -> unit) -> 'a list -> unit

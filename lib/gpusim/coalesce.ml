@@ -20,3 +20,34 @@ let unique_lines ~line_size ~width addrs =
 
 let transactions ~line_size ~width addrs =
   List.length (unique_lines ~line_size ~width addrs)
+
+(* Allocation-free variant for the interpreter's inner loop and the
+   packed-trace analyzers: collect the unique lines touched by the [n]
+   addresses at [src.(off) .. src.(off+n-1)] into [scratch] (sorted
+   ascending) and return their count.  [scratch] must hold at least
+   [2*n] slots — each access may straddle two lines. *)
+let collect_unique_lines ~line_size ~width ~src ~off ~n scratch =
+  let cnt = ref 0 in
+  let add line =
+    (* insertion into the sorted prefix, skipping duplicates; warp
+       accesses touch at most 64 lines so this stays tiny *)
+    let lo = ref 0 in
+    while !lo < !cnt && scratch.(!lo) < line do
+      incr lo
+    done;
+    if !lo = !cnt || scratch.(!lo) <> line then begin
+      for k = !cnt downto !lo + 1 do
+        scratch.(k) <- scratch.(k - 1)
+      done;
+      scratch.(!lo) <- line;
+      incr cnt
+    end
+  in
+  for k = off to off + n - 1 do
+    let addr = src.(k) in
+    let first = addr / line_size in
+    let last = (addr + width - 1) / line_size in
+    add first;
+    if last <> first then add last
+  done;
+  !cnt

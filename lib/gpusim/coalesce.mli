@@ -8,3 +8,17 @@
 val unique_lines : line_size:int -> width:int -> int list -> int list
 
 val transactions : line_size:int -> width:int -> int list -> int
+
+(** Allocation-free variant for the interpreter's inner loop and the
+    packed-trace analyzers: collect the unique lines touched by the
+    addresses [src.(off) .. src.(off+n-1)] into [scratch] (sorted
+    ascending) and return their count.  [scratch] must hold at least
+    [2*n] slots. *)
+val collect_unique_lines :
+  line_size:int ->
+  width:int ->
+  src:int array ->
+  off:int ->
+  n:int ->
+  int array ->
+  int

@@ -26,18 +26,49 @@ type ctx = {
   (* trace-buffer cursor: instrumentation hooks serialize on a global
      atomic, the paper's first overhead source (Section 5) *)
   hook_free : int ref;
+  (* per-launch scratch for the coalescing unit: active-lane addresses
+     and the unique lines they touch.  Reused every memory instruction
+     so the inner loop allocates nothing. *)
+  addr_scratch : int array; (* 32 lanes *)
+  line_scratch : int array; (* each access may straddle 2 lines *)
 }
+
+let make_scratch () = (Array.make 32 0, Array.make 64 0)
 
 let trap ctx ~pc ~loc fmt =
   Printf.ksprintf (fun msg -> raise (Trap { kernel = ctx.kernel; pc; loc; msg })) fmt
 
 (* ----- per-lane helpers ----- *)
 
-let ev (frame : frame) lane (op : Ptx.Isa.operand) : Value.t =
+(* Operand evaluation, typed so the hot loop never boxes a [Value.t].
+   [ev_int]/[ev_float] mirror [Value.to_int]/[Value.to_float] on the old
+   boxed representation (float-as-int traps, int-to-float coerces);
+   [store_operand] copies an operand into a destination register
+   preserving its int/float identity (Mov, Selp, call arguments). *)
+
+let[@inline] ev_int (frame : frame) lane (op : Ptx.Isa.operand) =
   match op with
-  | Ptx.Isa.R r -> frame.regs.(lane).(r)
+  | Ptx.Isa.R r -> reg_int frame lane r
+  | Ptx.Isa.I i -> i
+  | Ptx.Isa.F f -> Value.to_int (Value.F f)
+
+let[@inline] ev_float (frame : frame) lane (op : Ptx.Isa.operand) =
+  match op with
+  | Ptx.Isa.R r -> reg_float frame lane r
+  | Ptx.Isa.I i -> float_of_int i
+  | Ptx.Isa.F f -> f
+
+let ev_value (frame : frame) lane (op : Ptx.Isa.operand) : Value.t =
+  match op with
+  | Ptx.Isa.R r -> reg_value frame lane r
   | Ptx.Isa.I i -> Value.I i
   | Ptx.Isa.F f -> Value.F f
+
+let[@inline] store_operand (frame : frame) lane (op : Ptx.Isa.operand) dframe dlane dst =
+  match op with
+  | Ptx.Isa.R r -> copy_reg ~src:frame ~src_lane:lane ~src_r:r ~dst:dframe ~dst_lane:dlane ~dst_r:dst
+  | Ptx.Isa.I i -> set_reg_int dframe dlane dst i
+  | Ptx.Isa.F f -> set_reg_float dframe dlane dst f
 
 let first_lane mask =
   let rec go i = if i = 32 then invalid_arg "first_lane: empty mask" else if mask land (1 lsl i) <> 0 then i else go (i + 1) in
@@ -74,20 +105,23 @@ let compare_vals (op : Bitc.Instr.cmp) c =
 
 (* ----- local / shared byte buffers ----- *)
 
-let bytes_read (buf : Bytes.t) ~addr ~width ~fl : Value.t =
+(* Load from a byte buffer straight into a register (no intermediate
+   [Value.t]); store an operand's value into a byte buffer likewise. *)
+
+let[@inline] bytes_read_reg (buf : Bytes.t) ~addr ~width ~fl frame lane dst =
   match width, fl with
-  | 1, false -> Value.I (Char.code (Bytes.get buf addr))
-  | 4, false -> Value.I (Int32.to_int (Bytes.get_int32_le buf addr))
-  | 4, true -> Value.F (Int32.float_of_bits (Bytes.get_int32_le buf addr))
-  | 8, false -> Value.I (Int64.to_int (Bytes.get_int64_le buf addr))
+  | 1, false -> set_reg_int frame lane dst (Char.code (Bytes.get buf addr))
+  | 4, false -> set_reg_int frame lane dst (Int32.to_int (Bytes.get_int32_le buf addr))
+  | 4, true -> set_reg_float frame lane dst (Int32.float_of_bits (Bytes.get_int32_le buf addr))
+  | 8, false -> set_reg_int frame lane dst (Int64.to_int (Bytes.get_int64_le buf addr))
   | _ -> invalid_arg "bytes_read: unsupported width"
 
-let bytes_write (buf : Bytes.t) ~addr ~width ~fl (v : Value.t) =
+let[@inline] bytes_write_op (buf : Bytes.t) ~addr ~width ~fl frame lane src =
   match width, fl with
-  | 1, false -> Bytes.set buf addr (Char.chr (Value.to_int v land 0xff))
-  | 4, false -> Bytes.set_int32_le buf addr (Int32.of_int (Value.to_int v))
-  | 4, true -> Bytes.set_int32_le buf addr (Int32.bits_of_float (Value.to_float v))
-  | 8, false -> Bytes.set_int64_le buf addr (Int64.of_int (Value.to_int v))
+  | 1, false -> Bytes.set buf addr (Char.chr (ev_int frame lane src land 0xff))
+  | 4, false -> Bytes.set_int32_le buf addr (Int32.of_int (ev_int frame lane src))
+  | 4, true -> Bytes.set_int32_le buf addr (Int32.bits_of_float (ev_float frame lane src))
+  | 8, false -> Bytes.set_int64_le buf addr (Int64.of_int (ev_int frame lane src))
   | _ -> invalid_arg "bytes_write: unsupported width"
 
 (* ----- timing of global transactions ----- *)
@@ -185,9 +219,8 @@ let rec normalize (warp : warp) =
       warp.frames <- rest;
       (match rest, frame.ret_dst with
       | caller :: _, Some dst ->
-        List.iter
-          (fun lane -> caller.regs.(lane).(dst) <- frame.retvals.(lane))
-          (lanes_of_mask frame.init_mask)
+        iter_lanes frame.init_mask (fun lane ->
+            set_reg_value caller lane dst frame.retvals.(lane))
       | _, _ -> ());
       if rest = [] then begin
         warp.status <- Finished;
@@ -204,17 +237,17 @@ let rec normalize (warp : warp) =
 
 let dispatch_hook ctx (warp : warp) (frame : frame) ~pc ~mask ~issue ~name ~args =
   let loc = frame.func.locs.(pc) in
-  let lanes = lanes_of_mask mask in
   let fl = first_lane mask in
-  let evi op = Value.to_int (ev frame fl op) in
+  let evi op = ev_int frame fl op in
   let cta = warp.cta.cta_linear in
   let event =
     match name, (args : Ptx.Isa.operand list) with
     | "__ca_record_mem", [ addr; bits; _line; _col; kind ] ->
-      let accesses =
-        Array.of_list
-          (List.map (fun lane -> (lane, Value.to_int (ev frame lane addr))) lanes)
-      in
+      let accesses = Array.make (popcount mask) (0, 0) in
+      let k = ref 0 in
+      iter_lanes mask (fun lane ->
+          accesses.(!k) <- (lane, ev_int frame lane addr);
+          incr k);
       Some
         (Hookev.Mem
            { kernel = ctx.kernel; cta; warp = warp.warp_id; loc; bits = evi bits;
@@ -225,13 +258,11 @@ let dispatch_hook ctx (warp : warp) (frame : frame) ~pc ~mask ~issue ~name ~args
            { kernel = ctx.kernel; cta; warp = warp.warp_id; bb_id = evi bb_id; loc;
              active_mask = mask; live_mask = warp.live_mask })
     | ("__ca_record_arith_i" | "__ca_record_arith_f"), [ code; a; b; _line; _col ] ->
-      let operands =
-        Array.of_list
-          (List.map
-             (fun lane ->
-               (lane, Value.to_float (ev frame lane a), Value.to_float (ev frame lane b)))
-             lanes)
-      in
+      let operands = Array.make (popcount mask) (0, 0., 0.) in
+      let k = ref 0 in
+      iter_lanes mask (fun lane ->
+          operands.(!k) <- (lane, ev_float frame lane a, ev_float frame lane b);
+          incr k);
       Some
         (Hookev.Arith
            { kernel = ctx.kernel; cta; warp = warp.warp_id; code = evi code; loc;
@@ -262,29 +293,31 @@ let dispatch_hook ctx (warp : warp) (frame : frame) ~pc ~mask ~issue ~name ~args
 (* ----- one warp instruction ----- *)
 
 
-(* Source registers an instruction reads, for the scoreboard. *)
-let srcs_of_inst (inst : Ptx.Isa.inst) =
+(* Cycle at which every source register an instruction reads is ready
+   (scoreboard), computed without materializing a source list. *)
+let srcs_ready_at (frame : frame) (inst : Ptx.Isa.inst) =
+  let rr = frame.reg_ready in
   let of_op acc (op : Ptx.Isa.operand) =
-    match op with Ptx.Isa.R r -> r :: acc | Ptx.Isa.I _ | Ptx.Isa.F _ -> acc
+    match op with Ptx.Isa.R r -> max acc rr.(r) | Ptx.Isa.I _ | Ptx.Isa.F _ -> acc
   in
-  let of_pred acc = function Some (r, _) -> r :: acc | None -> acc in
+  let of_pred acc = function Some (r, _) -> max acc rr.(r) | None -> acc in
   match inst with
-  | Ptx.Isa.Mov { src; _ } -> of_op [] src
-  | Ptx.Isa.Iop { a; b; _ } | Ptx.Isa.Fop { a; b; _ } -> of_op (of_op [] a) b
-  | Ptx.Isa.Unop { a; _ } -> of_op [] a
-  | Ptx.Isa.Setp { a; b; _ } -> of_op (of_op [] a) b
-  | Ptx.Isa.Selp { cond; a; b; _ } -> of_op (of_op (of_op [] cond) a) b
-  | Ptx.Isa.Ld { addr; pred; _ } -> of_pred (of_op [] addr) pred
-  | Ptx.Isa.St { addr; src; pred; _ } -> of_pred (of_op (of_op [] addr) src) pred
-  | Ptx.Isa.Atom { addr; src; _ } -> of_op (of_op [] addr) src
-  | Ptx.Isa.Bra _ -> []
-  | Ptx.Isa.Cond_bra { pr; _ } -> [ pr ]
-  | Ptx.Isa.Call { args; _ } -> List.fold_left of_op [] args
-  | Ptx.Isa.Ret (Some op) -> of_op [] op
-  | Ptx.Isa.Ret None -> []
-  | Ptx.Isa.Bar -> []
-  | Ptx.Isa.Sreg _ -> []
-  | Ptx.Isa.Hook { args; _ } -> List.fold_left of_op [] args
+  | Ptx.Isa.Mov { src; _ } -> of_op 0 src
+  | Ptx.Isa.Iop { a; b; _ } | Ptx.Isa.Fop { a; b; _ } -> of_op (of_op 0 a) b
+  | Ptx.Isa.Unop { a; _ } -> of_op 0 a
+  | Ptx.Isa.Setp { a; b; _ } -> of_op (of_op 0 a) b
+  | Ptx.Isa.Selp { cond; a; b; _ } -> of_op (of_op (of_op 0 cond) a) b
+  | Ptx.Isa.Ld { addr; pred; _ } -> of_pred (of_op 0 addr) pred
+  | Ptx.Isa.St { addr; src; pred; _ } -> of_pred (of_op (of_op 0 addr) src) pred
+  | Ptx.Isa.Atom { addr; src; _ } -> of_op (of_op 0 addr) src
+  | Ptx.Isa.Bra _ -> 0
+  | Ptx.Isa.Cond_bra { pr; _ } -> rr.(pr)
+  | Ptx.Isa.Call { args; _ } -> List.fold_left of_op 0 args
+  | Ptx.Isa.Ret (Some op) -> of_op 0 op
+  | Ptx.Isa.Ret None -> 0
+  | Ptx.Isa.Bar -> 0
+  | Ptx.Isa.Sreg _ -> 0
+  | Ptx.Isa.Hook { args; _ } -> List.fold_left of_op 0 args
 
 (* Execute the next instruction of [warp] on [sm].
 
@@ -306,9 +339,7 @@ let step ctx (sm : sm) (warp : warp) =
     let body = frame.func.body in
     let inst = body.(pc) in
     let loc () = frame.func.locs.(pc) in
-    let srcs_ready =
-      List.fold_left (fun acc r -> max acc frame.reg_ready.(r)) 0 (srcs_of_inst inst)
-    in
+    let srcs_ready = srcs_ready_at frame inst in
     let base = max warp.ready_at sm.next_issue in
     if srcs_ready > base then
       (* operands still in flight: requeue without consuming an issue
@@ -320,7 +351,6 @@ let step ctx (sm : sm) (warp : warp) =
     warp.insts <- warp.insts + 1;
     ctx.stats.warp_insts <- ctx.stats.warp_insts + 1;
     ctx.stats.thread_insts <- ctx.stats.thread_insts + popcount mask;
-    let lanes () = lanes_of_mask mask in
     let arch = ctx.arch in
     let advance () = entry.pc <- pc + 1 in
     (* pipelined completion: the warp issues on, the consumer waits *)
@@ -338,51 +368,44 @@ let step ctx (sm : sm) (warp : warp) =
       match pred with
       | None -> mask
       | Some (r, expect) ->
-        List.fold_left
-          (fun acc lane ->
-            let v = Value.to_int frame.regs.(lane).(r) <> 0 in
-            if v = expect then acc lor (1 lsl lane) else acc)
-          0 (lanes ())
+        let acc = ref 0 in
+        iter_lanes mask (fun lane ->
+            let v = reg_int frame lane r <> 0 in
+            if v = expect then acc := !acc lor (1 lsl lane));
+        !acc
     in
     match inst with
     | Ptx.Isa.Mov { dst; src } ->
-      List.iter (fun l -> frame.regs.(l).(dst) <- ev frame l src) (lanes ());
+      iter_lanes mask (fun l -> store_operand frame l src frame l dst);
       advance ();
       pipeline ~dst ~latency:1
     | Ptx.Isa.Iop { op; dst; a; b } ->
-      List.iter
-        (fun l ->
-          let x = Value.to_int (ev frame l a) and y = Value.to_int (ev frame l b) in
-          frame.regs.(l).(dst) <- Value.I (int_binop ctx ~pc ~loc:(loc ()) op x y))
-        (lanes ());
+      iter_lanes mask (fun l ->
+          let x = ev_int frame l a and y = ev_int frame l b in
+          set_reg_int frame l dst (int_binop ctx ~pc ~loc:(loc ()) op x y));
       advance ();
       pipeline ~dst ~latency:arch.alu_latency
     | Ptx.Isa.Fop { op; dst; a; b } ->
-      List.iter
-        (fun l ->
-          let x = Value.to_float (ev frame l a) and y = Value.to_float (ev frame l b) in
-          frame.regs.(l).(dst) <- Value.F (float_binop ctx ~pc ~loc:(loc ()) op x y))
-        (lanes ());
+      iter_lanes mask (fun l ->
+          let x = ev_float frame l a and y = ev_float frame l b in
+          set_reg_float frame l dst (float_binop ctx ~pc ~loc:(loc ()) op x y));
       advance ();
       pipeline ~dst ~latency:arch.alu_latency
     | Ptx.Isa.Unop { op; dst; a; fl } ->
       let apply l =
-        let v = ev frame l a in
-        let out =
-          match op with
-          | Bitc.Instr.Neg ->
-            if fl then Value.F (-.Value.to_float v) else Value.I (-Value.to_int v)
-          | Bitc.Instr.Not -> Value.I (if Value.to_int v = 0 then 1 else 0)
-          | Bitc.Instr.Int_to_float -> Value.F (float_of_int (Value.to_int v))
-          | Bitc.Instr.Float_to_int -> Value.I (int_of_float (Value.to_float v))
-          | Bitc.Instr.Sqrt -> Value.F (sqrt (Value.to_float v))
-          | Bitc.Instr.Exp -> Value.F (exp (Value.to_float v))
-          | Bitc.Instr.Log -> Value.F (log (Value.to_float v))
-          | Bitc.Instr.Fabs -> Value.F (Float.abs (Value.to_float v))
-        in
-        frame.regs.(l).(dst) <- out
+        match op with
+        | Bitc.Instr.Neg ->
+          if fl then set_reg_float frame l dst (-.ev_float frame l a)
+          else set_reg_int frame l dst (-ev_int frame l a)
+        | Bitc.Instr.Not -> set_reg_int frame l dst (if ev_int frame l a = 0 then 1 else 0)
+        | Bitc.Instr.Int_to_float -> set_reg_float frame l dst (float_of_int (ev_int frame l a))
+        | Bitc.Instr.Float_to_int -> set_reg_int frame l dst (int_of_float (ev_float frame l a))
+        | Bitc.Instr.Sqrt -> set_reg_float frame l dst (sqrt (ev_float frame l a))
+        | Bitc.Instr.Exp -> set_reg_float frame l dst (exp (ev_float frame l a))
+        | Bitc.Instr.Log -> set_reg_float frame l dst (log (ev_float frame l a))
+        | Bitc.Instr.Fabs -> set_reg_float frame l dst (Float.abs (ev_float frame l a))
       in
-      List.iter apply (lanes ());
+      iter_lanes mask apply;
       advance ();
       let sfu =
         match op with
@@ -391,23 +414,18 @@ let step ctx (sm : sm) (warp : warp) =
       in
       pipeline ~dst ~latency:(if sfu then arch.sfu_latency else arch.alu_latency)
     | Ptx.Isa.Setp { op; dst; a; b; fl } ->
-      List.iter
-        (fun l ->
+      iter_lanes mask (fun l ->
           let c =
-            if fl then
-              compare (Value.to_float (ev frame l a)) (Value.to_float (ev frame l b))
-            else compare (Value.to_int (ev frame l a)) (Value.to_int (ev frame l b))
+            if fl then compare (ev_float frame l a) (ev_float frame l b)
+            else compare (ev_int frame l a) (ev_int frame l b)
           in
-          frame.regs.(l).(dst) <- Value.I (if compare_vals op c then 1 else 0))
-        (lanes ());
+          set_reg_int frame l dst (if compare_vals op c then 1 else 0));
       advance ();
       pipeline ~dst ~latency:arch.alu_latency
     | Ptx.Isa.Selp { dst; cond; a; b } ->
-      List.iter
-        (fun l ->
-          let c = Value.to_int (ev frame l cond) <> 0 in
-          frame.regs.(l).(dst) <- (if c then ev frame l a else ev frame l b))
-        (lanes ());
+      iter_lanes mask (fun l ->
+          let c = ev_int frame l cond <> 0 in
+          store_operand frame l (if c then a else b) frame l dst);
       advance ();
       pipeline ~dst ~latency:arch.alu_latency
     | Ptx.Isa.Ld { dst; space; cop; addr; width; fl; pred } -> (
@@ -415,18 +433,14 @@ let step ctx (sm : sm) (warp : warp) =
       advance ();
       match space with
       | Ptx.Isa.Local ->
-        List.iter
-          (fun l ->
-            let a = Value.to_int (ev frame l addr) in
-            frame.regs.(l).(dst) <- bytes_read frame.local.(l) ~addr:a ~width ~fl)
-          (lanes_of_mask active);
+        iter_lanes active (fun l ->
+            let a = ev_int frame l addr in
+            bytes_read_reg frame.local.(l) ~addr:a ~width ~fl frame l dst);
         serialize ~dst arch.alu_latency
       | Ptx.Isa.Shared ->
-        List.iter
-          (fun l ->
-            let a = Value.to_int (ev frame l addr) in
-            frame.regs.(l).(dst) <- bytes_read warp.cta.shared ~addr:a ~width ~fl)
-          (lanes_of_mask active);
+        iter_lanes active (fun l ->
+            let a = ev_int frame l addr in
+            bytes_read_reg warp.cta.shared ~addr:a ~width ~fl frame l dst);
         ctx.stats.shared_accesses <- ctx.stats.shared_accesses + 1;
         serialize ~dst arch.shared_latency
       | Ptx.Isa.Global ->
@@ -434,81 +448,106 @@ let step ctx (sm : sm) (warp : warp) =
            its twin with the complementary predicate owns [dst] *)
         if active = 0 then serialize 1
         else begin
-          let lanes_a = lanes_of_mask active in
-          let addrs = List.map (fun l -> Value.to_int (ev frame l addr)) lanes_a in
-          List.iter2
-            (fun l a -> frame.regs.(l).(dst) <- Devmem.read ctx.devmem ~addr:a ~width ~fl)
-            lanes_a addrs;
+          let n = ref 0 in
+          iter_lanes active (fun l ->
+              let a = ev_int frame l addr in
+              (match width, fl with
+              | 4, true -> set_reg_float frame l dst (Devmem.read_f32 ctx.devmem a)
+              | 1, false -> set_reg_int frame l dst (Devmem.read_u8 ctx.devmem a)
+              | 4, false -> set_reg_int frame l dst (Devmem.read_i32 ctx.devmem a)
+              | 8, false -> set_reg_int frame l dst (Devmem.read_i64 ctx.devmem a)
+              | _ ->
+                raise
+                  (Devmem.Fault { addr = a; size = width; msg = "unsupported access width" }));
+              ctx.addr_scratch.(!n) <- a;
+              incr n);
           (* bypassed loads move 32 B sectors, not full L1 lines *)
           let granularity =
             match cop with
             | Ptx.Isa.Ca when ctx.l1_enabled -> arch.line_size
             | Ptx.Isa.Ca | Ptx.Isa.Cg -> min 32 arch.line_size
           in
-          let lines = Coalesce.unique_lines ~line_size:granularity ~width addrs in
-          ctx.stats.global_loads <- ctx.stats.global_loads + 1;
-          ctx.stats.load_transactions <- ctx.stats.load_transactions + List.length lines;
-          let arrival =
-            List.fold_left
-              (fun acc line ->
-                max acc
-                  (time_read_txn ctx sm ~cop ~granularity ~now:issue (line * granularity)))
-              issue lines
+          let nlines =
+            Coalesce.collect_unique_lines ~line_size:granularity ~width
+              ~src:ctx.addr_scratch ~off:0 ~n:!n ctx.line_scratch
           in
-          frame.reg_ready.(dst) <- arrival;
-          warp.ready_at <- issue + arch.alu_latency + ((List.length lines - 1) * arch.txn_issue)
+          ctx.stats.global_loads <- ctx.stats.global_loads + 1;
+          ctx.stats.load_transactions <- ctx.stats.load_transactions + nlines;
+          let arrival = ref issue in
+          for k = 0 to nlines - 1 do
+            arrival :=
+              max !arrival
+                (time_read_txn ctx sm ~cop ~granularity ~now:issue
+                   (ctx.line_scratch.(k) * granularity))
+          done;
+          frame.reg_ready.(dst) <- !arrival;
+          warp.ready_at <- issue + arch.alu_latency + ((nlines - 1) * arch.txn_issue)
         end)
     | Ptx.Isa.St { space; addr; src; width; fl; pred; cop = _ } -> (
       let active = masked pred in
       advance ();
       match space with
       | Ptx.Isa.Local ->
-        List.iter
-          (fun l ->
-            let a = Value.to_int (ev frame l addr) in
-            bytes_write frame.local.(l) ~addr:a ~width ~fl (ev frame l src))
-          (lanes_of_mask active);
+        iter_lanes active (fun l ->
+            let a = ev_int frame l addr in
+            bytes_write_op frame.local.(l) ~addr:a ~width ~fl frame l src);
         serialize arch.alu_latency
       | Ptx.Isa.Shared ->
-        List.iter
-          (fun l ->
-            let a = Value.to_int (ev frame l addr) in
-            bytes_write warp.cta.shared ~addr:a ~width ~fl (ev frame l src))
-          (lanes_of_mask active);
+        iter_lanes active (fun l ->
+            let a = ev_int frame l addr in
+            bytes_write_op warp.cta.shared ~addr:a ~width ~fl frame l src);
         ctx.stats.shared_accesses <- ctx.stats.shared_accesses + 1;
         serialize arch.shared_latency
       | Ptx.Isa.Global ->
         if active = 0 then serialize 1
         else begin
-          let lanes_a = lanes_of_mask active in
-          let addrs = List.map (fun l -> Value.to_int (ev frame l addr)) lanes_a in
-          List.iter2
-            (fun l a -> Devmem.write ctx.devmem ~addr:a ~width ~fl (ev frame l src))
-            lanes_a addrs;
-          let lines = Coalesce.unique_lines ~line_size:arch.line_size ~width addrs in
-          List.iter
-            (fun line -> time_write_txn ctx sm ~now:issue (line * arch.line_size))
-            lines;
+          let n = ref 0 in
+          iter_lanes active (fun l ->
+              let a = ev_int frame l addr in
+              (match width, fl with
+              | 1, false -> Devmem.write_u8 ctx.devmem a (ev_int frame l src land 0xff)
+              | 4, false -> Devmem.write_i32 ctx.devmem a (ev_int frame l src)
+              | 4, true -> Devmem.write_f32 ctx.devmem a (ev_float frame l src)
+              | 8, false -> Devmem.write_i64 ctx.devmem a (ev_int frame l src)
+              | _ ->
+                raise
+                  (Devmem.Fault { addr = a; size = width; msg = "unsupported access width" }));
+              ctx.addr_scratch.(!n) <- a;
+              incr n);
+          let nlines =
+            Coalesce.collect_unique_lines ~line_size:arch.line_size ~width
+              ~src:ctx.addr_scratch ~off:0 ~n:!n ctx.line_scratch
+          in
+          for k = 0 to nlines - 1 do
+            time_write_txn ctx sm ~now:issue (ctx.line_scratch.(k) * arch.line_size)
+          done;
           ctx.stats.global_stores <- ctx.stats.global_stores + 1;
-          ctx.stats.store_transactions <-
-            ctx.stats.store_transactions + List.length lines;
-          serialize (arch.alu_latency + ((List.length lines - 1) * arch.txn_issue))
+          ctx.stats.store_transactions <- ctx.stats.store_transactions + nlines;
+          serialize (arch.alu_latency + ((nlines - 1) * arch.txn_issue))
         end)
     | Ptx.Isa.Atom { dst; addr; src; width; fl } ->
-      let lanes_a = lanes () in
-      List.iter
-        (fun l ->
-          let a = Value.to_int (ev frame l addr) in
-          let old = Devmem.read ctx.devmem ~addr:a ~width ~fl in
-          let v = ev frame l src in
-          let fresh =
-            if fl then Value.F (Value.to_float old +. Value.to_float v)
-            else Value.I (Value.to_int old + Value.to_int v)
-          in
-          Devmem.write ctx.devmem ~addr:a ~width ~fl fresh;
-          time_write_txn ctx sm ~now:issue (a / arch.line_size * arch.line_size);
-          frame.regs.(l).(dst) <- old)
-        lanes_a;
+      iter_lanes mask (fun l ->
+          let a = ev_int frame l addr in
+          (match width, fl with
+          | 4, true ->
+            let old = Devmem.read_f32 ctx.devmem a in
+            Devmem.write_f32 ctx.devmem a (old +. ev_float frame l src);
+            set_reg_float frame l dst old
+          | 1, false ->
+            let old = Devmem.read_u8 ctx.devmem a in
+            Devmem.write_u8 ctx.devmem a ((old + ev_int frame l src) land 0xff);
+            set_reg_int frame l dst old
+          | 4, false ->
+            let old = Devmem.read_i32 ctx.devmem a in
+            Devmem.write_i32 ctx.devmem a (old + ev_int frame l src);
+            set_reg_int frame l dst old
+          | 8, false ->
+            let old = Devmem.read_i64 ctx.devmem a in
+            Devmem.write_i64 ctx.devmem a (old + ev_int frame l src);
+            set_reg_int frame l dst old
+          | _ ->
+            raise (Devmem.Fault { addr = a; size = width; msg = "unsupported access width" }));
+          time_write_txn ctx sm ~now:issue (a / arch.line_size * arch.line_size));
       ctx.stats.global_atomics <- ctx.stats.global_atomics + 1;
       advance ();
       serialize ~dst (arch.atom_latency + (6 * (popcount mask - 1)))
@@ -517,12 +556,10 @@ let step ctx (sm : sm) (warp : warp) =
       serialize arch.branch_latency
     | Ptx.Isa.Cond_bra { pr; if_true; if_false; reconv } ->
       ctx.stats.branches <- ctx.stats.branches + 1;
-      let mt =
-        List.fold_left
-          (fun acc l ->
-            if Value.to_int frame.regs.(l).(pr) <> 0 then acc lor (1 lsl l) else acc)
-          0 (lanes ())
-      in
+      let mt = ref 0 in
+      iter_lanes mask (fun l ->
+          if reg_int frame l pr <> 0 then mt := !mt lor (1 lsl l));
+      let mt = !mt in
       let mf = mask land lnot mt in
       if mf = 0 then entry.pc <- if_true
       else if mt = 0 then entry.pc <- if_false
@@ -540,19 +577,16 @@ let step ctx (sm : sm) (warp : warp) =
       let cf = Ptx.Isa.find_func ctx.prog callee in
       advance ();
       let new_frame = make_frame cf ~init_mask:mask ~ret_dst:dst in
-      List.iter
-        (fun l -> List.iteri (fun i a -> new_frame.regs.(l).(i) <- ev frame l a) args)
-        (lanes ());
+      iter_lanes mask (fun l ->
+          List.iteri (fun i a -> store_operand frame l a new_frame l i) args);
       Array.fill new_frame.reg_ready 0 (Array.length new_frame.reg_ready)
         (issue + arch.call_latency);
       warp.frames <- new_frame :: warp.frames;
       serialize arch.call_latency
     | Ptx.Isa.Ret v ->
-      List.iter
-        (fun l ->
+      iter_lanes mask (fun l ->
           frame.retvals.(l) <-
-            (match v with Some op -> ev frame l op | None -> Value.zero))
-        (lanes ());
+            (match v with Some op -> ev_value frame l op | None -> Value.zero));
       (match warp.frames with
       | _ :: caller :: _ -> (
         match frame.ret_dst with
@@ -570,9 +604,8 @@ let step ctx (sm : sm) (warp : warp) =
       warp.cta.at_barrier <- warp.cta.at_barrier + 1;
       serialize 1
     | Ptx.Isa.Sreg { dst; which } ->
-      List.iter
-        (fun l -> frame.regs.(l).(dst) <- Value.I (sreg_value ctx warp l which))
-        (lanes ());
+      iter_lanes mask (fun l ->
+          set_reg_int frame l dst (sreg_value ctx warp l which));
       advance ();
       pipeline ~dst ~latency:1
     | Ptx.Isa.Hook { name; args } ->

@@ -57,6 +57,7 @@ let launch ?(sink = Hookev.null_sink) ?(l1_enabled = true) device ~prog ~kernel
     fail "kernel needs %d B shared memory, SM has %d" shared_bytes
       arch.shared_mem_per_sm;
   let stats = Stats.create () in
+  let addr_scratch, line_scratch = Exec.make_scratch () in
   let ctx =
     {
       Exec.arch;
@@ -72,6 +73,8 @@ let launch ?(sink = Hookev.null_sink) ?(l1_enabled = true) device ~prog ~kernel
       l2_free = ref 0;
       dram_free = ref 0;
       hook_free = ref 0;
+      addr_scratch;
+      line_scratch;
     }
   in
   let sms =
@@ -117,9 +120,8 @@ let launch ?(sink = Hookev.null_sink) ?(l1_enabled = true) device ~prog ~kernel
              let frame = Machine.make_frame kf ~init_mask:live ~ret_dst:None in
              Array.iteri
                (fun i v ->
-                 List.iter
-                   (fun lane -> frame.Machine.regs.(lane).(i) <- v)
-                   (Machine.lanes_of_mask live))
+                 Machine.iter_lanes live (fun lane ->
+                     Machine.set_reg_value frame lane i v))
                args;
              {
                Machine.warp_id = w;

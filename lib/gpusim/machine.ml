@@ -14,8 +14,16 @@ type simt_entry = {
 
 type frame = {
   func : Ptx.Isa.func;
-  (* regs.(lane).(reg) *)
-  regs : Value.t array array;
+  nregs : int;
+  (* Unboxed register file, flattened lane-major: register [r] of lane
+     [l] lives at index [l * nregs + r].  Registers hold either an int
+     or a float; a boxed [Value.t] per write would be promoted into
+     these long-lived arrays and dominate GC time, so the two payloads
+     live in parallel flat arrays with a tag byte selecting which one is
+     current ('\001' = float). *)
+  regs_i : int array;
+  regs_f : float array;
+  regs_tag : Bytes.t;
   (* scoreboard: cycle at which each register's value arrives.  Loads
      write their functional value immediately but mark the destination
      ready only when the fill lands, so independent instructions issue
@@ -68,34 +76,100 @@ let popcount mask =
   let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
   go mask 0
 
-(* Lane lists per mask, memoized: the interpreter asks for the same few
-   masks millions of times per launch. *)
-let lanes_memo : (int, int list) Hashtbl.t = Hashtbl.create 256
+(* Bit index of an isolated power of two below 2^32: [b mod 37] is
+   injective over {2^0 .. 2^31}, so a 37-entry table decodes it without
+   a loop. *)
+let ntz_table =
+  let t = Array.make 37 0 in
+  for i = 0 to 31 do
+    t.((1 lsl i) mod 37) <- i
+  done;
+  t
 
+(* Apply [f] to each set lane of [mask] in ascending order, without
+   materializing a lane list — this runs once per simulated
+   instruction, the innermost loop of every experiment. *)
+let[@inline] iter_lanes mask f =
+  let m = ref mask in
+  while !m <> 0 do
+    let b = !m land (- !m) in
+    f ntz_table.(b mod 37);
+    m := !m lxor b
+  done
+
+(* Lane list of a mask, ascending.  Cold-path convenience (frame pops,
+   call events); the interpreter's hot paths use [iter_lanes]. *)
 let lanes_of_mask mask =
-  match Hashtbl.find_opt lanes_memo mask with
-  | Some lanes -> lanes
-  | None ->
-    let rec go i acc =
-      if i < 0 then acc
-      else go (i - 1) (if mask land (1 lsl i) <> 0 then i :: acc else acc)
-    in
-    let lanes = go 31 [] in
-    Hashtbl.replace lanes_memo mask lanes;
-    lanes
+  let rec go i acc =
+    if i < 0 then acc
+    else go (i - 1) (if mask land (1 lsl i) <> 0 then i :: acc else acc)
+  in
+  go 31 []
 
 let full_mask n = if n >= 63 then invalid_arg "full_mask" else (1 lsl n) - 1
 
 let exit_pc (f : Ptx.Isa.func) = Array.length f.body
 
 let make_frame (func : Ptx.Isa.func) ~init_mask ~ret_dst =
+  let nregs = max func.nregs 1 in
   {
     func;
-    regs = Array.init 32 (fun _ -> Array.make (max func.nregs 1) Value.zero);
-    reg_ready = Array.make (max func.nregs 1) 0;
+    nregs;
+    regs_i = Array.make (32 * nregs) 0;
+    regs_f = Array.make (32 * nregs) 0.;
+    regs_tag = Bytes.make (32 * nregs) '\000';
+    reg_ready = Array.make nregs 0;
     local = Array.init 32 (fun _ -> Bytes.make (max func.local_bytes 1) '\000');
     stack = [ { pc = 0; mask = init_mask; rpc = exit_pc func } ];
     init_mask;
     ret_dst;
     retvals = Array.make 32 Value.zero;
   }
+
+(* ----- register accessors ----- *)
+
+let[@inline] reg_idx frame lane r = (lane * frame.nregs) + r
+
+let[@inline] reg_is_float frame lane r =
+  Bytes.get frame.regs_tag (reg_idx frame lane r) = '\001'
+
+let[@inline] set_reg_int frame lane r v =
+  let i = reg_idx frame lane r in
+  Bytes.set frame.regs_tag i '\000';
+  frame.regs_i.(i) <- v
+
+let[@inline] set_reg_float frame lane r v =
+  let i = reg_idx frame lane r in
+  Bytes.set frame.regs_tag i '\001';
+  frame.regs_f.(i) <- v
+
+(* Typed reads keep the boxed-era semantics: reading a float register as
+   an int is the same error [Value.to_int] raised; ints coerce to float
+   implicitly like [Value.to_float] did. *)
+let[@inline] reg_int frame lane r =
+  let i = reg_idx frame lane r in
+  if Bytes.get frame.regs_tag i = '\001' then Value.to_int (Value.F frame.regs_f.(i))
+  else frame.regs_i.(i)
+
+let[@inline] reg_float frame lane r =
+  let i = reg_idx frame lane r in
+  if Bytes.get frame.regs_tag i = '\001' then frame.regs_f.(i)
+  else float_of_int frame.regs_i.(i)
+
+(* Boxed views, for the cold paths (argument setup, call returns). *)
+let reg_value frame lane r : Value.t =
+  let i = reg_idx frame lane r in
+  if Bytes.get frame.regs_tag i = '\001' then Value.F frame.regs_f.(i)
+  else Value.I frame.regs_i.(i)
+
+let set_reg_value frame lane r (v : Value.t) =
+  match v with
+  | Value.I i -> set_reg_int frame lane r i
+  | Value.F f -> set_reg_float frame lane r f
+
+(* Tag-preserving register-to-register copy (Mov, call argument and
+   return-value plumbing) without boxing. *)
+let[@inline] copy_reg ~src ~src_lane ~src_r ~dst ~dst_lane ~dst_r =
+  if reg_is_float src src_lane src_r then
+    set_reg_float dst dst_lane dst_r src.regs_f.(reg_idx src src_lane src_r)
+  else set_reg_int dst dst_lane dst_r src.regs_i.(reg_idx src src_lane src_r)

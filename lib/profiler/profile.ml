@@ -11,9 +11,9 @@ type instance = {
   kernel : string;
   launch_index : int;
   host_path : Records.host_frame list;
-  (* warp-level memory events paired with the CCT node of their call
-     path, most recent first *)
-  mutable mem_events : (Gpusim.Hookev.mem * int) list;
+  (* packed warp-level memory events with the CCT node of their call
+     path, in execution order *)
+  trace : Tracebuf.t;
   mutable mem_count : int;
   bb_stats : (int, bb_stat) Hashtbl.t;
   arith_stats : (Bitc.Loc.t * int, int ref) Hashtbl.t;
@@ -24,7 +24,9 @@ type t = {
   manifest : Passes.Manifest.t;
   cct : Cct.t;
   mutable kernel_keys : (string * int) list; (* kernel name -> root key *)
-  mutable instances : instance list; (* reversed *)
+  mutable instances_rev : instance list; (* most recent first *)
+  (* launch-order view, rebuilt lazily after an append *)
+  mutable instances_fwd : instance list option;
   mutable next_launch : int;
   mutable allocs : Records.alloc list;
   mutable transfers : Records.transfer list;
@@ -38,7 +40,8 @@ let create ?(keep_mem_events = true) ~manifest () =
     manifest;
     cct = Cct.create ();
     kernel_keys = [];
-    instances = [];
+    instances_rev = [];
+    instances_fwd = None;
     next_launch = 0;
     allocs = [];
     transfers = [];
@@ -80,7 +83,7 @@ let begin_instance t ~kernel ~host_path =
       kernel;
       launch_index = t.next_launch;
       host_path;
-      mem_events = [];
+      trace = Tracebuf.create ();
       mem_count = 0;
       bb_stats = Hashtbl.create 64;
       arith_stats = Hashtbl.create 64;
@@ -88,7 +91,8 @@ let begin_instance t ~kernel ~host_path =
     }
   in
   t.next_launch <- t.next_launch + 1;
-  t.instances <- instance :: t.instances;
+  t.instances_rev <- instance :: t.instances_rev;
+  t.instances_fwd <- None;
   let root = Cct.root t.cct ~key:(kernel_key t kernel) in
   (* shadow-stack cursor per thread: (cta, warp, lane) -> CCT node *)
   let cursors : (int, int) Hashtbl.t = Hashtbl.create 1024 in
@@ -117,7 +121,7 @@ let begin_instance t ~kernel ~host_path =
             let lane, _ = accesses.(0) in
             cursor (thread_key ~cta:m.cta ~warp:m.warp ~lane)
         in
-        instance.mem_events <- (m, node) :: instance.mem_events
+        Tracebuf.push instance.trace ~node m
       end
     | Gpusim.Hookev.Bb b ->
       let stat =
@@ -144,13 +148,21 @@ let finish_instance instance result = instance.result <- Some result
 
 (* ----- accessors ----- *)
 
-let instances t = List.rev t.instances
+let instances t =
+  match t.instances_fwd with
+  | Some l -> l
+  | None ->
+    let l = List.rev t.instances_rev in
+    t.instances_fwd <- Some l;
+    l
+
 let instances_of t kernel = List.filter (fun i -> i.kernel = kernel) (instances t)
 let allocations t = List.rev t.allocs
 let transfers t = List.rev t.transfers
 
-(* Memory events of an instance in execution order. *)
-let mem_events instance = List.rev instance.mem_events
+(* Memory events of an instance, decoded from the packed trace in
+   execution order.  Prefer folding over [instance.trace] directly. *)
+let mem_events instance = Tracebuf.to_events instance.trace
 
 (* Expand a CCT node into the device call path: list of (function,
    file:line) frames from the kernel entry downward. *)

@@ -11,9 +11,9 @@ type instance = {
   kernel : string;
   launch_index : int;
   host_path : Records.host_frame list;  (** CPU call path at launch *)
-  mutable mem_events : (Gpusim.Hookev.mem * int) list;
-      (** warp-level memory events with their CCT node, most recent
-          first; use {!mem_events} for execution order *)
+  trace : Tracebuf.t;
+      (** packed warp-level memory events with their CCT node, in
+          execution order *)
   mutable mem_count : int;
   bb_stats : (int, bb_stat) Hashtbl.t;  (** per manifest block id *)
   arith_stats : (Bitc.Loc.t * int, int ref) Hashtbl.t;
@@ -24,7 +24,8 @@ type t = {
   manifest : Passes.Manifest.t;
   cct : Cct.t;
   mutable kernel_keys : (string * int) list;
-  mutable instances : instance list;
+  mutable instances_rev : instance list;  (** most recent first *)
+  mutable instances_fwd : instance list option;  (** cached launch order *)
   mutable next_launch : int;
   mutable allocs : Records.alloc list;
   mutable transfers : Records.transfer list;
@@ -73,7 +74,9 @@ val instances_of : t -> string -> instance list
 val allocations : t -> Records.alloc list
 val transfers : t -> Records.transfer list
 
-(** Memory events of an instance in execution order. *)
+(** Memory events of an instance in execution order, decoded from the
+    packed trace.  Allocates one record per event — prefer iterating
+    [instance.trace] with {!Tracebuf.iter}/{!Tracebuf.fold}. *)
 val mem_events : instance -> (Gpusim.Hookev.mem * int) list
 
 (** Expand a CCT node into the device call path: (function, call-site

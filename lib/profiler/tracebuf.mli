@@ -1,0 +1,66 @@
+(** Packed warp-level memory-event trace (paper Section 3.2): a
+    growable struct-of-arrays buffer with flat int columns per record
+    field plus a shared lane/address arena, mirroring the paper's
+    fixed-size device trace records.  Appending allocates no per-event
+    list or tuple; iteration is a single pass over the columns in
+    execution order.  Kernel names and source locations are interned
+    in side tables. *)
+
+type t
+
+val create : unit -> t
+
+(** Number of events recorded. *)
+val length : t -> int
+
+(** Append one warp-level memory event with its CCT node. *)
+val push : t -> node:int -> Gpusim.Hookev.mem -> unit
+
+(** {2 Zero-copy column accessors (event index in [0, length))} *)
+
+val kernel : t -> int -> string
+val cta : t -> int -> int
+val warp : t -> int -> int
+val loc : t -> int -> Bitc.Loc.t
+val loc_id : t -> int -> int
+val bits : t -> int -> int
+val kind : t -> int -> int
+val node : t -> int -> int
+
+(** Number of active lanes of event [i]. *)
+val acc_len : t -> int -> int
+
+(** Offset of event [i]'s first slot in the access arena. *)
+val acc_off : t -> int -> int
+
+(** Lane id / byte address of the [j]-th active lane of event [i]. *)
+val lane : t -> int -> int -> int
+
+val addr : t -> int -> int -> int
+
+(** The shared address arena; the slice
+    [acc_off t i, acc_off t i + acc_len t i) holds event [i]'s
+    addresses.  Invalidated by the next [push] that grows the arena. *)
+val addr_arena : t -> int array
+
+val iter_accesses : t -> int -> (lane:int -> addr:int -> unit) -> unit
+
+(** {2 Interning tables} *)
+
+(** Number of distinct source locations seen. *)
+val num_locs : t -> int
+
+val loc_of_id : t -> int -> Bitc.Loc.t
+
+(** {2 Whole-trace iteration (execution order)} *)
+
+val iter : t -> (int -> unit) -> unit
+val fold : t -> init:'a -> f:('a -> int -> 'a) -> 'a
+
+(** {2 Decode — compatibility and round-trip testing} *)
+
+(** Materialize event [i] as the unpacked event record. *)
+val event : t -> int -> Gpusim.Hookev.mem * int
+
+val of_events : (Gpusim.Hookev.mem * int) list -> t
+val to_events : t -> (Gpusim.Hookev.mem * int) list

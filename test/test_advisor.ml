@@ -63,6 +63,54 @@ let test_bypass_study_shape () =
   check "prediction in range" true
     (b.predicted_warps >= 0 && b.predicted_warps <= b.warps_per_cta)
 
+(* ----- the domain pool ----- *)
+
+let test_pool_map_order () =
+  let xs = List.init 37 Fun.id in
+  Alcotest.(check (list int))
+    "map preserves input order" (List.map (fun x -> x * x) xs)
+    (Pool.map ~domains:4 (fun x -> x * x) xs);
+  Alcotest.(check (list int)) "empty list" [] (Pool.map ~domains:4 Fun.id []);
+  Alcotest.(check (list int))
+    "sequential fallback" [ 2; 4 ]
+    (Pool.map ~domains:1 (fun x -> 2 * x) [ 1; 2 ])
+
+let test_pool_map_exception () =
+  match
+    Pool.map ~domains:3
+      (fun x -> if x mod 5 = 3 then failwith (string_of_int x) else x)
+      (List.init 20 Fun.id)
+  with
+  | _ -> Alcotest.fail "expected an exception"
+  | exception Failure msg ->
+    (* first failing input in input order, not completion order *)
+    Alcotest.(check string) "first error wins" "3" msg
+
+(* The sweep must not depend on how many domains execute it. *)
+let test_bypass_parallel_deterministic () =
+  let w = Workloads.Registry.find "nn" in
+  let arch = Gpusim.Arch.kepler_k40c ~num_sms:5 ~l1_kb:16 () in
+  let a = Advisor.bypass_study ~domains:1 ~arch w in
+  let b = Advisor.bypass_study ~domains:4 ~arch w in
+  check "parallel sweep == sequential sweep" true (a = b)
+
+let test_compile_cache_hits () =
+  let src = "__global__ void memo(float* a) { a[threadIdx.x] = 3.0f; }" in
+  let c1 = Advisor.compile_source ~file:"memo.cu" src in
+  let hits0, _ = Advisor.compile_cache_stats () in
+  let c2 = Advisor.compile_source ~file:"memo.cu" src in
+  let hits1, _ = Advisor.compile_cache_stats () in
+  check "same compiled value returned" true (c1 == c2);
+  check "hit counted" true (hits1 = hits0 + 1);
+  (* a different instrumentation selection is a different cache entry *)
+  let c3 =
+    Advisor.compile_source
+      ~instrument:
+        { Passes.Instrument.memory = true; control_flow = false; arithmetic = false }
+      ~file:"memo.cu" src
+  in
+  check "instrumented compile is distinct" true (c3 != c1)
+
 let test_rewrite_all_kernels () =
   let c =
     Advisor.instrument_source ~file:"k.cu"
@@ -90,4 +138,11 @@ let () =
         [ Alcotest.test_case "overhead" `Slow test_overhead_positive;
           Alcotest.test_case "bypass shape" `Slow test_bypass_study_shape;
           Alcotest.test_case "rewrite all kernels" `Quick test_rewrite_all_kernels ] );
+      ( "pool",
+        [ Alcotest.test_case "map order" `Quick test_pool_map_order;
+          Alcotest.test_case "map exception" `Quick test_pool_map_exception;
+          Alcotest.test_case "parallel bypass deterministic" `Slow
+            test_bypass_parallel_deterministic ] );
+      ( "compile-cache",
+        [ Alcotest.test_case "memoization" `Quick test_compile_cache_hits ] );
     ]

@@ -136,6 +136,75 @@ let test_transfers_have_paths () =
       check "transfer path nonempty" true (t.transfer_path <> []))
     (Profiler.Profile.transfers profiler)
 
+(* ----- packed trace buffer ----- *)
+
+let gen_mem_event =
+  QCheck2.Gen.(
+    let* kernel = oneofl [ "k"; "scale"; "Kernel" ] in
+    let* cta = int_range 0 15 in
+    let* warp = int_range 0 7 in
+    let* file = oneofl [ "a.cu"; "b.cu" ] in
+    let* line = int_range 1 500 in
+    let* col = int_range 0 40 in
+    let* bits = oneofl [ 8; 32; 64 ] in
+    let* kind = int_range 0 2 in
+    let* node = int_range 0 100 in
+    let* accesses =
+      list_size (int_range 0 32) (pair (int_range 0 31) (int_range 0 1_000_000))
+    in
+    return
+      ( { Gpusim.Hookev.kernel; cta; warp;
+          loc = { Bitc.Loc.file; line; col };
+          bits; kind;
+          accesses = Array.of_list accesses },
+        node ))
+
+(* The packed buffer is lossless: encode then decode is the identity,
+   and the zero-copy column accessors agree with the decoded records. *)
+let qcheck_tracebuf_roundtrip =
+  QCheck2.Test.make ~name:"tracebuf encode/decode roundtrip" ~count:100
+    QCheck2.Gen.(list_size (int_range 0 50) gen_mem_event)
+    (fun events ->
+      let tr = Profiler.Tracebuf.of_events events in
+      let decoded = Profiler.Tracebuf.to_events tr in
+      assert (Profiler.Tracebuf.length tr = List.length events);
+      assert (decoded = events);
+      List.iteri
+        (fun i ((m : Gpusim.Hookev.mem), node) ->
+          assert (Profiler.Tracebuf.kernel tr i = m.kernel);
+          assert (Profiler.Tracebuf.cta tr i = m.cta);
+          assert (Profiler.Tracebuf.warp tr i = m.warp);
+          assert (Profiler.Tracebuf.loc tr i = m.loc);
+          assert (Profiler.Tracebuf.bits tr i = m.bits);
+          assert (Profiler.Tracebuf.kind tr i = m.kind);
+          assert (Profiler.Tracebuf.node tr i = node);
+          assert (Profiler.Tracebuf.acc_len tr i = Array.length m.accesses);
+          Array.iteri
+            (fun j (lane, addr) ->
+              assert (Profiler.Tracebuf.lane tr i j = lane);
+              assert (Profiler.Tracebuf.addr tr i j = addr))
+            m.accesses)
+        events;
+      true)
+
+(* Interned locations stay stable under repeated pushes of the same
+   site, and the arena view matches the per-lane accessor. *)
+let qcheck_tracebuf_arena_view =
+  QCheck2.Test.make ~name:"tracebuf arena slice = addr accessor" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 30) gen_mem_event)
+    (fun events ->
+      let tr = Profiler.Tracebuf.of_events events in
+      let arena = Profiler.Tracebuf.addr_arena tr in
+      Profiler.Tracebuf.iter tr (fun i ->
+          let off = Profiler.Tracebuf.acc_off tr i in
+          for j = 0 to Profiler.Tracebuf.acc_len tr i - 1 do
+            assert (arena.(off + j) = Profiler.Tracebuf.addr tr i j)
+          done;
+          assert (
+            Profiler.Tracebuf.loc_of_id tr (Profiler.Tracebuf.loc_id tr i)
+            = Profiler.Tracebuf.loc tr i));
+      true)
+
 let test_statistics_merge_instances () =
   (* two launches from the same host context merge into one summary *)
   let m = Minicuda.Frontend.compile ~file:"p.cu" profile_src in
@@ -178,6 +247,9 @@ let () =
       ( "data-centric",
         [ Alcotest.test_case "address mapping + flow" `Quick test_data_centric_mapping;
           Alcotest.test_case "transfer paths" `Quick test_transfers_have_paths ] );
+      ( "tracebuf",
+        [ QCheck_alcotest.to_alcotest qcheck_tracebuf_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_tracebuf_arena_view ] );
       ( "statistics",
         [ Alcotest.test_case "merge by context" `Quick test_statistics_merge_instances ] );
     ]

@@ -354,11 +354,29 @@ let bechamel () =
       | _ -> Printf.printf "  %-40s (no estimate)\n" name)
     (List.sort compare rows)
 
+(* ----- smoke: one native launch per workload -----
+
+   A seconds-long end-to-end pass over every workload (compile ->
+   codegen -> simulate), for quick sanity checks and CI.  Exposed both
+   as the [smoke] section and as `--smoke` / the dune @smoke alias. *)
+
+let smoke () =
+  heading "Smoke: one native launch per workload";
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun (w : Workloads.Common.t) ->
+      let t = Unix.gettimeofday () in
+      let cycles, _host = Advisor.run_native ~arch:(kepler16 ()) w in
+      Printf.printf "  %-10s %10d cycles  %6.2fs\n%!" w.name cycles
+        (Unix.gettimeofday () -. t))
+    Workloads.Registry.all;
+  Printf.printf "smoke total: %.2fs\n%!" (Unix.gettimeofday () -. t0)
+
 let all_sections =
   [ ("table1", table1); ("table2", table2); ("fig4", fig4); ("fig5", fig5);
     ("table3", table3); ("fig6", fig6); ("fig7", fig7); ("fig8", fig8);
     ("fig9", fig9); ("fig10", fig10); ("vertical", vertical);
-    ("ablation", ablation); ("bech", bechamel) ]
+    ("ablation", ablation); ("bech", bechamel); ("smoke", smoke) ]
 
 let () =
   (* `--json FILE` may appear anywhere among the section names *)
@@ -369,7 +387,17 @@ let () =
     | [] -> (None, List.rev acc)
   in
   let json_file, names = split_json [] (List.tl (Array.to_list Sys.argv)) in
-  let requested = if names = [] then List.map fst all_sections else names in
+  (* `--smoke` is shorthand for the smoke section alone *)
+  let names =
+    List.map (function "--smoke" -> "smoke" | n -> n) names
+  in
+  let requested =
+    if names = [] then
+      (* [smoke] duplicates work the full suite already does; keep the
+         default run to the paper's sections *)
+      List.filter (fun n -> n <> "smoke") (List.map fst all_sections)
+    else names
+  in
   Printf.printf "CUDAAdvisor reproduction benchmarks\n%!";
   let timings = ref [] in
   List.iter
@@ -388,6 +416,7 @@ let () =
   | Some file ->
     let open Analysis.Json in
     let hits, misses = Advisor.compile_cache_stats () in
+    let dhits, dmisses = Ptx.Decode.cache_stats () in
     let doc =
       Obj
         [
@@ -396,6 +425,7 @@ let () =
           ("bechamel_ns_per_run",
            Obj (List.map (fun (n, t) -> (n, Float t)) (List.sort compare !bech_rows)));
           ("compile_cache", Obj [ ("hits", Int hits); ("misses", Int misses) ]);
+          ("decode_cache", Obj [ ("hits", Int dhits); ("misses", Int dmisses) ]);
           ("pool_domains", Int (Domain.recommended_domain_count ()));
         ]
     in

@@ -1,0 +1,146 @@
+(* Calendar queue (Brown 1988) tuned for the event loop's near-monotonic
+   timestamps: a ring of per-timestamp FIFO buckets covering the window
+   [cur, cur + window), with a binary heap as fallback for keys outside
+   the window.  Push and pop are O(1) amortized when keys cluster just
+   ahead of the current time — the common case for warp wakeups, whose
+   deltas are bounded by the memory latencies.
+
+   Invariants:
+   - [cur] only advances; every queued key is >= [cur] once popped past.
+   - Ring keys lie in [cur, cur + window), so each slot holds at most
+     one distinct key at a time (its unique representative mod window).
+   - Keys pushed below [cur] or at/above [cur + window] go to the
+     fallback heap; pop compares the ring's next timestamp against the
+     heap minimum, so ordering by key is exact either way.
+
+   Note this structure is NOT pop-order-identical to [Heap] when keys
+   tie: [Heap]'s tie order depends on its internal arrangement, while
+   buckets here are FIFO.  The simulator's golden metrics are sensitive
+   to tie order (see DESIGN.md), so [Gpu.launch] uses the heap by
+   default and this queue only when explicitly selected. *)
+
+type 'a slot = {
+  mutable skey : int;
+  mutable front : 'a list; (* next to pop, in order *)
+  mutable back : 'a list; (* most recent push first *)
+}
+
+type 'a t = {
+  mask : int; (* window - 1; window is a power of two *)
+  slots : 'a slot array;
+  mutable cur : int; (* lower bound for every ring key *)
+  mutable ring_size : int;
+  overflow : 'a Heap.t;
+  mutable size : int;
+  (* memoized key of the next pop; [max_int] = unknown/empty *)
+  mutable next_key : int;
+}
+
+let create ?(window = 2048) () =
+  if window <= 0 then invalid_arg "Calq.create: window must be positive";
+  let w = ref 1 in
+  while !w < window do
+    w := !w * 2
+  done;
+  {
+    mask = !w - 1;
+    slots = Array.init !w (fun _ -> { skey = 0; front = []; back = [] });
+    cur = 0;
+    ring_size = 0;
+    overflow = Heap.create ();
+    size = 0;
+    next_key = max_int;
+  }
+
+let is_empty t = t.size = 0
+let size t = t.size
+
+let[@inline] slot_empty (s : 'a slot) = s.front == [] && s.back == []
+
+let push t key v =
+  t.size <- t.size + 1;
+  if key >= t.cur && key - t.cur <= t.mask then begin
+    let s = t.slots.(key land t.mask) in
+    s.skey <- key;
+    s.back <- v :: s.back;
+    t.ring_size <- t.ring_size + 1
+  end
+  else Heap.push t.overflow key v;
+  (* [max_int] means "unknown", not "infinity": only lower a *known*
+     memo.  (With an unknown memo a smaller key may already be queued,
+     so the pushed key is merely an upper bound.) *)
+  if t.next_key <> max_int && key < t.next_key then t.next_key <- key
+
+(* Key of the next pop.  Advances [cur] over empty slots as a side
+   effect (invisible to ordering: nothing is queued below the first
+   nonempty timestamp), memoizing the result so back-to-back peeks
+   after a run of pushes stay O(1). *)
+let min_key t =
+  if t.size = 0 then max_int
+  else if t.next_key <> max_int then t.next_key
+  else begin
+    let hk = Heap.min_key t.overflow in
+    if t.ring_size = 0 then t.next_key <- hk
+    else begin
+      (* scan the ring from [cur]; the heap minimum bounds the scan *)
+      let ts = ref t.cur in
+      let stop = min hk (t.cur + t.mask) in
+      while
+        slot_empty t.slots.(!ts land t.mask) && !ts < stop
+      do
+        incr ts
+      done;
+      let s = t.slots.(!ts land t.mask) in
+      if (not (slot_empty s)) && s.skey = !ts && !ts <= hk then begin
+        t.cur <- !ts;
+        t.next_key <- !ts
+      end
+      else begin
+        (* ring's next timestamp is past the heap minimum *)
+        t.cur <- max t.cur (min !ts hk);
+        t.next_key <- hk
+      end
+    end;
+    t.next_key
+  end
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let k = min_key t in
+    t.next_key <- max_int;
+    t.size <- t.size - 1;
+    if k >= t.cur && k - t.cur <= t.mask && not (slot_empty t.slots.(k land t.mask))
+       && t.slots.(k land t.mask).skey = k
+    then begin
+      let s = t.slots.(k land t.mask) in
+      let v =
+        match s.front with
+        | x :: tl ->
+          s.front <- tl;
+          x
+        | [] -> (
+          match List.rev s.back with
+          | x :: tl ->
+            s.front <- tl;
+            s.back <- [];
+            x
+          | [] -> assert false)
+      in
+      t.ring_size <- t.ring_size - 1;
+      t.cur <- k;
+      Some (k, v)
+    end
+    else
+      match Heap.pop t.overflow with
+      | Some (hk, v) ->
+        if t.ring_size = 0 then t.cur <- max t.cur hk;
+        Some (hk, v)
+      | None -> assert false
+  end
+
+(* [run_ahead_ok t k]: would [push t k v; pop t] return [(k, v)] and
+   leave the queue's observable ordering unchanged?  True exactly when
+   [k] beats every queued key strictly — a tie loses to the already
+   queued item (bucket FIFO / heap arrangement), so ties never skip. *)
+let run_ahead_ok t k = t.size = 0 || k < min_key t

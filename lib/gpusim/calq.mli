@@ -1,0 +1,30 @@
+(** Calendar queue: per-timestamp FIFO buckets over a sliding window
+    with a heap fallback for out-of-window keys.  O(1) amortized
+    push/pop for the event loop's near-monotonic timestamps.  Pops are
+    in exact key order, but ties break FIFO rather than matching
+    {!Heap}'s arrangement-dependent order — see DESIGN.md for why that
+    makes it an opt-in scheduler. *)
+
+type 'a t
+
+(** [create ?window ()] builds an empty queue whose ring covers
+    [window] consecutive timestamps (rounded up to a power of two,
+    default 2048). *)
+val create : ?window:int -> unit -> 'a t
+
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+val push : 'a t -> int -> 'a -> unit
+
+(** Pop an element with the minimum key. *)
+val pop : 'a t -> (int * 'a) option
+
+(** Minimum key currently queued; [max_int] when empty.  May advance
+    the internal cursor over empty buckets (not observable through
+    [pop] ordering). *)
+val min_key : 'a t -> int
+
+(** [run_ahead_ok t k] is [true] iff [push t k v] immediately followed
+    by [pop t] would return [(k, v)] and change nothing observable:
+    true exactly when [k] is strictly below every queued key. *)
+val run_ahead_ok : 'a t -> int -> bool

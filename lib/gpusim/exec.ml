@@ -1,7 +1,13 @@
-(* Functional + timing execution of one warp instruction.  Lanes of a
-   warp execute in lock-step under the active mask of the top SIMT-stack
-   entry; memory instructions are coalesced into cache-line transactions
-   and timed through the L1/MSHR/L2/DRAM hierarchy. *)
+(* Functional + timing execution of warp instructions over the
+   predecoded program form ([Ptx.Isa.dinst]).  Lanes of a warp execute
+   in lock-step under the active mask of the top SIMT-stack entry;
+   memory instructions are coalesced into cache-line transactions and
+   timed through the L1/MSHR/L2/DRAM hierarchy.
+
+   This is the innermost loop of every experiment, so the hot arms
+   avoid per-lane closures and boxing: masks are iterated inline,
+   operands are the pre-split [dop] form, and register-file accesses
+   use the flat unchecked accessors ([Decode] validated the indices). *)
 
 open Machine
 
@@ -10,6 +16,7 @@ exception Trap of { kernel : string; pc : int; loc : Bitc.Loc.t; msg : string }
 type ctx = {
   arch : Arch.t;
   prog : Ptx.Isa.prog;
+  dec : Ptx.Isa.decoded; (* predecoded program, for call targets *)
   kernel : string;
   devmem : Devmem.t;
   l2 : Cache.t;
@@ -38,90 +45,124 @@ let make_scratch () = (Array.make 32 0, Array.make 64 0)
 let trap ctx ~pc ~loc fmt =
   Printf.ksprintf (fun msg -> raise (Trap { kernel = ctx.kernel; pc; loc; msg })) fmt
 
-(* ----- per-lane helpers ----- *)
+(* Same-module copies of the {!Machine} register-file accessors.  The
+   classic (non-flambda) inliner will not fold the cross-module
+   originals into the interpreter arms — each register read was a real
+   call — but it reliably inlines small same-module bodies.  The
+   float-tagged paths are kept out of line so the hot bodies stay under
+   the inlining budget; they are rare (a float register read as an int
+   is a trap, an int register read as a float only happens for
+   implicit coercions). *)
 
-(* Operand evaluation, typed so the hot loop never boxes a [Value.t].
-   [ev_int]/[ev_float] mirror [Value.to_int]/[Value.to_float] on the old
-   boxed representation (float-as-int traps, int-to-float coerces);
-   [store_operand] copies an operand into a destination register
-   preserving its int/float identity (Mov, Selp, call arguments). *)
+let ntz_table =
+  let t = Bytes.make 37 '\000' in
+  for i = 0 to 31 do
+    Bytes.unsafe_set t ((1 lsl i) mod 37) (Char.chr i)
+  done;
+  t
 
-let[@inline] ev_int (frame : frame) lane (op : Ptx.Isa.operand) =
-  match op with
-  | Ptx.Isa.R r -> reg_int frame lane r
-  | Ptx.Isa.I i -> i
-  | Ptx.Isa.F f -> Value.to_int (Value.F f)
+(* Bit index of the isolated low bit [b] (a power of two); same scheme
+   as {!Machine.ntz}. *)
+let[@inline] ntz b = Char.code (Bytes.unsafe_get ntz_table (b mod 37))
 
-let[@inline] ev_float (frame : frame) lane (op : Ptx.Isa.operand) =
-  match op with
-  | Ptx.Isa.R r -> reg_float frame lane r
-  | Ptx.Isa.I i -> float_of_int i
-  | Ptx.Isa.F f -> f
+let[@inline] popcount mask =
+  let c = ref 0 in
+  let m = ref mask in
+  while !m <> 0 do
+    incr c;
+    m := !m land (!m - 1)
+  done;
+  !c
 
-let ev_value (frame : frame) lane (op : Ptx.Isa.operand) : Value.t =
-  match op with
-  | Ptx.Isa.R r -> reg_value frame lane r
-  | Ptx.Isa.I i -> Value.I i
-  | Ptx.Isa.F f -> Value.F f
+let fget_int_float frame i = Value.to_int (Value.F (Array.unsafe_get frame.regs_f i))
 
-let[@inline] store_operand (frame : frame) lane (op : Ptx.Isa.operand) dframe dlane dst =
-  match op with
-  | Ptx.Isa.R r -> copy_reg ~src:frame ~src_lane:lane ~src_r:r ~dst:dframe ~dst_lane:dlane ~dst_r:dst
-  | Ptx.Isa.I i -> set_reg_int dframe dlane dst i
-  | Ptx.Isa.F f -> set_reg_float dframe dlane dst f
+let[@inline] fget_int frame i =
+  if Bytes.unsafe_get frame.regs_tag i = '\000' then Array.unsafe_get frame.regs_i i
+  else fget_int_float frame i
+
+let[@inline] fget_float frame i =
+  if Bytes.unsafe_get frame.regs_tag i = '\001' then Array.unsafe_get frame.regs_f i
+  else float_of_int (Array.unsafe_get frame.regs_i i)
+
+let[@inline] fset_int frame i v =
+  Bytes.unsafe_set frame.regs_tag i '\000';
+  Array.unsafe_set frame.regs_i i v
+
+let[@inline] fset_float frame i v =
+  Bytes.unsafe_set frame.regs_tag i '\001';
+  Array.unsafe_set frame.regs_f i v
+
+(* ----- per-lane operand evaluation -----
+
+   [base] is the lane index: register [r] of lane [l] lives at flat
+   index [(r lsl 5) + l] (see the layout note on {!Machine.frame}).  The typed
+   reads mirror [Value.to_int]/[Value.to_float] on the old boxed
+   representation: a float immediate (or float register) read as an int
+   traps, ints coerce to float implicitly. *)
+
+let[@inline] dev_int (df : Ptx.Isa.dfunc) frame base (o : Ptx.Isa.dop) =
+  if o.okind = 0 then fget_int frame ((o.onum lsl 5) + base)
+  else if o.okind = 1 then o.onum
+  else Value.to_int (Value.F (Array.unsafe_get df.fimms o.onum))
+
+let[@inline] dev_float (df : Ptx.Isa.dfunc) frame base (o : Ptx.Isa.dop) =
+  if o.okind = 0 then fget_float frame ((o.onum lsl 5) + base)
+  else if o.okind = 1 then float_of_int o.onum
+  else Array.unsafe_get df.fimms o.onum
+
+let dev_value (df : Ptx.Isa.dfunc) frame base (o : Ptx.Isa.dop) : Value.t =
+  if o.okind = 0 then
+    let i = (o.onum lsl 5) + base in
+    if Bytes.unsafe_get frame.regs_tag i = '\001' then
+      Value.F (Array.unsafe_get frame.regs_f i)
+    else Value.I (Array.unsafe_get frame.regs_i i)
+  else if o.okind = 1 then Value.I o.onum
+  else Value.F (Array.unsafe_get df.fimms o.onum)
+
+(* Copy an operand into a destination register preserving its int/float
+   identity (Mov, Selp, call arguments). *)
+let[@inline] dstore (df : Ptx.Isa.dfunc) sframe sbase (o : Ptx.Isa.dop) dframe dbase
+    dst =
+  if o.okind = 0 then begin
+    let si = (o.onum lsl 5) + sbase in
+    if Bytes.unsafe_get sframe.regs_tag si = '\001' then
+      fset_float dframe ((dst lsl 5) + dbase) (Array.unsafe_get sframe.regs_f si)
+    else fset_int dframe ((dst lsl 5) + dbase) (Array.unsafe_get sframe.regs_i si)
+  end
+  else if o.okind = 1 then fset_int dframe ((dst lsl 5) + dbase) o.onum
+  else fset_float dframe ((dst lsl 5) + dbase) (Array.unsafe_get df.fimms o.onum)
 
 let first_lane mask =
   let rec go i = if i = 32 then invalid_arg "first_lane: empty mask" else if mask land (1 lsl i) <> 0 then i else go (i + 1) in
   go 0
 
-let int_binop ctx ~pc ~loc (op : Bitc.Instr.binop) a b =
-  match op with
-  | Add -> a + b
-  | Sub -> a - b
-  | Mul -> a * b
-  | Div -> if b = 0 then trap ctx ~pc ~loc "integer division by zero" else a / b
-  | Rem -> if b = 0 then trap ctx ~pc ~loc "integer remainder by zero" else a mod b
-  | And -> a land b
-  | Or -> a lor b
-  | Xor -> a lxor b
-  | Shl -> a lsl (b land 31)
-  | Lshr -> a lsr (b land 31)
-  | Min -> min a b
-  | Max -> max a b
+(* Comparison identical to the polymorphic [compare] the interpreter
+   historically used: total order with nan below everything. *)
+let[@inline] int_cmp (x : int) y = if x < y then -1 else if x > y then 1 else 0
 
-let float_binop ctx ~pc ~loc (op : Bitc.Instr.binop) a b =
-  match op with
-  | Add -> a +. b
-  | Sub -> a -. b
-  | Mul -> a *. b
-  | Div -> a /. b
-  | Min -> Float.min a b
-  | Max -> Float.max a b
-  | Rem | And | Or | Xor | Shl | Lshr ->
-    trap ctx ~pc ~loc "bitwise operator on float operands"
-
-let compare_vals (op : Bitc.Instr.cmp) c =
+let[@inline] compare_vals (op : Bitc.Instr.cmp) c =
   match op with Eq -> c = 0 | Ne -> c <> 0 | Lt -> c < 0 | Le -> c <= 0 | Gt -> c > 0 | Ge -> c >= 0
 
 (* ----- local / shared byte buffers ----- *)
 
 (* Load from a byte buffer straight into a register (no intermediate
-   [Value.t]); store an operand's value into a byte buffer likewise. *)
+   [Value.t]); store a value into a byte buffer likewise.  [di] is the
+   destination's flat register index. *)
 
-let[@inline] bytes_read_reg (buf : Bytes.t) ~addr ~width ~fl frame lane dst =
+let[@inline] bytes_read_reg (buf : Bytes.t) ~addr ~width ~fl frame di =
   match width, fl with
-  | 1, false -> set_reg_int frame lane dst (Char.code (Bytes.get buf addr))
-  | 4, false -> set_reg_int frame lane dst (Int32.to_int (Bytes.get_int32_le buf addr))
-  | 4, true -> set_reg_float frame lane dst (Int32.float_of_bits (Bytes.get_int32_le buf addr))
-  | 8, false -> set_reg_int frame lane dst (Int64.to_int (Bytes.get_int64_le buf addr))
+  | 1, false -> fset_int frame di (Char.code (Bytes.get buf addr))
+  | 4, false -> fset_int frame di (Int32.to_int (Bytes.get_int32_le buf addr))
+  | 4, true -> fset_float frame di (Int32.float_of_bits (Bytes.get_int32_le buf addr))
+  | 8, false -> fset_int frame di (Int64.to_int (Bytes.get_int64_le buf addr))
   | _ -> invalid_arg "bytes_read: unsupported width"
 
-let[@inline] bytes_write_op (buf : Bytes.t) ~addr ~width ~fl frame lane src =
+let[@inline] bytes_write_op df (buf : Bytes.t) ~addr ~width ~fl frame base src =
   match width, fl with
-  | 1, false -> Bytes.set buf addr (Char.chr (ev_int frame lane src land 0xff))
-  | 4, false -> Bytes.set_int32_le buf addr (Int32.of_int (ev_int frame lane src))
-  | 4, true -> Bytes.set_int32_le buf addr (Int32.bits_of_float (ev_float frame lane src))
-  | 8, false -> Bytes.set_int64_le buf addr (Int64.of_int (ev_int frame lane src))
+  | 1, false -> Bytes.set buf addr (Char.chr (dev_int df frame base src land 0xff))
+  | 4, false -> Bytes.set_int32_le buf addr (Int32.of_int (dev_int df frame base src))
+  | 4, true -> Bytes.set_int32_le buf addr (Int32.bits_of_float (dev_float df frame base src))
+  | 8, false -> Bytes.set_int64_le buf addr (Int64.of_int (dev_int df frame base src))
   | _ -> invalid_arg "bytes_write: unsupported width"
 
 (* ----- timing of global transactions ----- *)
@@ -151,12 +192,11 @@ let l2_side_fill ctx ?(sector = false) ~scale ~now line_addr =
 (* Time one read transaction on line [line_addr] issued at [now];
    returns data-arrival time.  [granularity] is the transaction size in
    bytes: full L1 lines for caching loads, 32 B sectors for bypassed
-   ones, which scales the bandwidth they consume. *)
-let time_read_txn ctx (sm : sm) ~cop ~granularity ~now line_addr =
+   ones, which scales the bandwidth they consume.  [cache_l1] selects
+   the L1 path (a caching load with L1 enabled). *)
+let time_read_txn ctx (sm : sm) ~cache_l1 ~granularity ~now line_addr =
   let arch = ctx.arch in
-  let scale = max 1 (arch.line_size / max 1 granularity) in
-  match cop with
-  | Ptx.Isa.Ca when ctx.l1_enabled ->
+  if cache_l1 then begin
     (* serial tag-port lookup: divergent accesses queue here *)
     let at = max now sm.l1_port_free in
     sm.l1_port_free <- at + 1;
@@ -167,11 +207,14 @@ let time_read_txn ctx (sm : sm) ~cop ~granularity ~now line_addr =
         + l2_side_fill ctx ~scale:1 ~now:start line_addr
       in
       Mshr.acquire sm.mshr ~line:(line_addr / arch.line_size) ~now:at ~latency
-  | Ptx.Isa.Ca | Ptx.Isa.Cg ->
+  end
+  else begin
     (* bypass L1: straight to L2/DRAM through the TPC-level sector path,
        which has ample bandwidth for 32 B sectors *)
+    let scale = max 1 (arch.line_size / max 1 granularity) in
     now + Arch.l1_miss_to_l2_latency arch
     + l2_side_fill ctx ~scale ~sector:(scale > 1) ~now line_addr
+  end
 
 (* Stores are write-through fire-and-forget: they do not stall the warp
    but they evict L1/L2 copies and consume shared bandwidth. *)
@@ -222,6 +265,8 @@ let rec normalize (warp : warp) =
         iter_lanes frame.init_mask (fun lane ->
             set_reg_value caller lane dst frame.retvals.(lane))
       | _, _ -> ());
+      (* no reference to the popped frame survives this point *)
+      release_frame frame;
       if rest = [] then begin
         warp.status <- Finished;
         warp.cta.finished_warps <- warp.cta.finished_warps + 1
@@ -235,49 +280,49 @@ let rec normalize (warp : warp) =
 
 (* ----- hook dispatch ----- *)
 
-let dispatch_hook ctx (warp : warp) (frame : frame) ~pc ~mask ~issue ~name ~args =
-  let loc = frame.func.locs.(pc) in
+let dispatch_hook ctx (warp : warp) (frame : frame) ~pc ~mask ~issue
+    ~(hook : Ptx.Isa.dhook) =
+  let df = frame.dfunc in
+  let loc = df.fsrc.locs.(pc) in
   let fl = first_lane mask in
-  let evi op = ev_int frame fl op in
+  let fbase = fl in
+  let evi op = dev_int df frame fbase op in
   let cta = warp.cta.cta_linear in
   let event =
-    match name, (args : Ptx.Isa.operand list) with
-    | "__ca_record_mem", [ addr; bits; _line; _col; kind ] ->
+    match hook with
+    | Ptx.Isa.DH_mem { addr; bits; kind } ->
       let accesses = Array.make (popcount mask) (0, 0) in
       let k = ref 0 in
       iter_lanes mask (fun lane ->
-          accesses.(!k) <- (lane, ev_int frame lane addr);
+          accesses.(!k) <- (lane, dev_int df frame lane addr);
           incr k);
       Some
         (Hookev.Mem
            { kernel = ctx.kernel; cta; warp = warp.warp_id; loc; bits = evi bits;
              kind = evi kind; accesses })
-    | "__ca_record_bb", [ bb_id; _line; _col ] ->
+    | Ptx.Isa.DH_bb { bb_id } ->
       Some
         (Hookev.Bb
            { kernel = ctx.kernel; cta; warp = warp.warp_id; bb_id = evi bb_id; loc;
              active_mask = mask; live_mask = warp.live_mask })
-    | ("__ca_record_arith_i" | "__ca_record_arith_f"), [ code; a; b; _line; _col ] ->
+    | Ptx.Isa.DH_arith { code; a; b } ->
       let operands = Array.make (popcount mask) (0, 0., 0.) in
       let k = ref 0 in
       iter_lanes mask (fun lane ->
-          operands.(!k) <- (lane, ev_float frame lane a, ev_float frame lane b);
+          let base = lane in
+          operands.(!k) <- (lane, dev_float df frame base a, dev_float df frame base b);
           incr k);
       Some
         (Hookev.Arith
            { kernel = ctx.kernel; cta; warp = warp.warp_id; code = evi code; loc;
              operands })
-    | "__ca_push_call", [ callsite ] ->
+    | Ptx.Isa.DH_call { callsite; push } ->
       Some
         (Hookev.Call
-           { kernel = ctx.kernel; cta; warp = warp.warp_id; callsite = evi callsite;
-             mask; push = true })
-    | "__ca_pop_call", [ callsite ] ->
-      Some
-        (Hookev.Call
-           { kernel = ctx.kernel; cta; warp = warp.warp_id; callsite = evi callsite;
-             mask; push = false })
-    | _ -> trap ctx ~pc ~loc "unknown or malformed hook %s" name
+           { kernel = ctx.kernel; cta; warp = warp.warp_id;
+             callsite = evi callsite; mask; push })
+    | Ptx.Isa.DH_bad { hname } ->
+      trap ctx ~pc ~loc "unknown or malformed hook %s" hname
   in
   Option.iter ctx.sink event;
   ctx.stats.hook_calls <- ctx.stats.hook_calls + 1;
@@ -291,33 +336,6 @@ let dispatch_hook ctx (warp : warp) (frame : frame) ~pc ~mask ~issue ~name ~args
   start - issue + busy + h.hook_mem_txn
 
 (* ----- one warp instruction ----- *)
-
-
-(* Cycle at which every source register an instruction reads is ready
-   (scoreboard), computed without materializing a source list. *)
-let srcs_ready_at (frame : frame) (inst : Ptx.Isa.inst) =
-  let rr = frame.reg_ready in
-  let of_op acc (op : Ptx.Isa.operand) =
-    match op with Ptx.Isa.R r -> max acc rr.(r) | Ptx.Isa.I _ | Ptx.Isa.F _ -> acc
-  in
-  let of_pred acc = function Some (r, _) -> max acc rr.(r) | None -> acc in
-  match inst with
-  | Ptx.Isa.Mov { src; _ } -> of_op 0 src
-  | Ptx.Isa.Iop { a; b; _ } | Ptx.Isa.Fop { a; b; _ } -> of_op (of_op 0 a) b
-  | Ptx.Isa.Unop { a; _ } -> of_op 0 a
-  | Ptx.Isa.Setp { a; b; _ } -> of_op (of_op 0 a) b
-  | Ptx.Isa.Selp { cond; a; b; _ } -> of_op (of_op (of_op 0 cond) a) b
-  | Ptx.Isa.Ld { addr; pred; _ } -> of_pred (of_op 0 addr) pred
-  | Ptx.Isa.St { addr; src; pred; _ } -> of_pred (of_op (of_op 0 addr) src) pred
-  | Ptx.Isa.Atom { addr; src; _ } -> of_op (of_op 0 addr) src
-  | Ptx.Isa.Bra _ -> 0
-  | Ptx.Isa.Cond_bra { pr; _ } -> rr.(pr)
-  | Ptx.Isa.Call { args; _ } -> List.fold_left of_op 0 args
-  | Ptx.Isa.Ret (Some op) -> of_op 0 op
-  | Ptx.Isa.Ret None -> 0
-  | Ptx.Isa.Bar -> 0
-  | Ptx.Isa.Sreg _ -> 0
-  | Ptx.Isa.Hook { args; _ } -> List.fold_left of_op 0 args
 
 (* Execute the next instruction of [warp] on [sm].
 
@@ -336,257 +354,448 @@ let step ctx (sm : sm) (warp : warp) =
     let entry = List.hd frame.stack in
     let pc = entry.pc in
     let mask = entry.mask in
-    let body = frame.func.body in
-    let inst = body.(pc) in
-    let loc () = frame.func.locs.(pc) in
-    let srcs_ready = srcs_ready_at frame inst in
-    let base = max warp.ready_at sm.next_issue in
-    if srcs_ready > base then
+    let df = frame.dfunc in
+    let inst = Array.unsafe_get df.dbody pc in
+    (* scoreboard: cycle at which every source register is ready *)
+    let srcs_ready =
+      let srcs = Array.unsafe_get df.dsrcs pc in
+      let rr = frame.reg_ready in
+      let acc = ref 0 in
+      for j = 0 to Array.length srcs - 1 do
+        let t = Array.unsafe_get rr (Array.unsafe_get srcs j) in
+        if t > !acc then acc := t
+      done;
+      !acc
+    in
+    let base_t = max warp.ready_at sm.next_issue in
+    if srcs_ready > base_t then
       (* operands still in flight: requeue without consuming an issue
          slot so other warps fill the latency *)
       warp.ready_at <- srcs_ready
     else begin
-    let issue = base in
+    let issue = base_t in
     sm.next_issue <- issue + ctx.arch.issue_gap;
     warp.insts <- warp.insts + 1;
     ctx.stats.warp_insts <- ctx.stats.warp_insts + 1;
     ctx.stats.thread_insts <- ctx.stats.thread_insts + popcount mask;
     let arch = ctx.arch in
-    let advance () = entry.pc <- pc + 1 in
-    (* pipelined completion: the warp issues on, the consumer waits *)
-    let pipeline ~dst ~latency =
-      frame.reg_ready.(dst) <- issue + latency;
-      warp.ready_at <- issue + 1
-    in
-    (* serializing completion: the warp itself stalls *)
-    let serialize ?dst cost =
-      (match dst with Some d -> frame.reg_ready.(d) <- issue + cost | None -> ());
-      warp.ready_at <- issue + cost
-    in
-    (* apply a predicate to the active mask *)
-    let masked pred =
-      match pred with
-      | None -> mask
-      | Some (r, expect) ->
+    let rr = frame.reg_ready in
+    (* apply a predicate register to the active mask *)
+    let masked pr pexpect =
+      if pr < 0 then mask
+      else begin
         let acc = ref 0 in
-        iter_lanes mask (fun lane ->
-            let v = reg_int frame lane r <> 0 in
-            if v = expect then acc := !acc lor (1 lsl lane));
+        let m = ref mask in
+        while !m <> 0 do
+          let bit = !m land (- !m) in
+          m := !m lxor bit;
+          if (fget_int frame ((pr lsl 5) + ntz bit) <> 0) = pexpect then
+            acc := !acc lor bit
+        done;
         !acc
+      end
     in
     match inst with
-    | Ptx.Isa.Mov { dst; src } ->
-      iter_lanes mask (fun l -> store_operand frame l src frame l dst);
-      advance ();
-      pipeline ~dst ~latency:1
-    | Ptx.Isa.Iop { op; dst; a; b } ->
-      iter_lanes mask (fun l ->
-          let x = ev_int frame l a and y = ev_int frame l b in
-          set_reg_int frame l dst (int_binop ctx ~pc ~loc:(loc ()) op x y));
-      advance ();
-      pipeline ~dst ~latency:arch.alu_latency
-    | Ptx.Isa.Fop { op; dst; a; b } ->
-      iter_lanes mask (fun l ->
-          let x = ev_float frame l a and y = ev_float frame l b in
-          set_reg_float frame l dst (float_binop ctx ~pc ~loc:(loc ()) op x y));
-      advance ();
-      pipeline ~dst ~latency:arch.alu_latency
-    | Ptx.Isa.Unop { op; dst; a; fl } ->
-      let apply l =
-        match op with
+    | Ptx.Isa.DMov { dst; src } ->
+      let m = ref mask in
+      while !m <> 0 do
+        let bit = !m land (- !m) in
+        m := !m lxor bit;
+        let base = ntz bit in
+        dstore df frame base src frame base dst
+      done;
+      entry.pc <- pc + 1;
+      Array.unsafe_set rr dst (issue + 1);
+      warp.ready_at <- issue + 1
+    | Ptx.Isa.DIop { op; dst; a; b } ->
+      let m = ref mask in
+      while !m <> 0 do
+        let bit = !m land (- !m) in
+        m := !m lxor bit;
+        let base = ntz bit in
+        let x = dev_int df frame base a and y = dev_int df frame base b in
+        let v =
+          match op with
+          | Bitc.Instr.Add -> x + y
+          | Sub -> x - y
+          | Mul -> x * y
+          | Div ->
+            if y = 0 then trap ctx ~pc ~loc:df.fsrc.locs.(pc) "integer division by zero"
+            else x / y
+          | Rem ->
+            if y = 0 then trap ctx ~pc ~loc:df.fsrc.locs.(pc) "integer remainder by zero"
+            else x mod y
+          | And -> x land y
+          | Or -> x lor y
+          | Xor -> x lxor y
+          | Shl -> x lsl (y land 31)
+          | Lshr -> x lsr (y land 31)
+          | Min -> min x y
+          | Max -> max x y
+        in
+        fset_int frame ((dst lsl 5) + base) v
+      done;
+      entry.pc <- pc + 1;
+      Array.unsafe_set rr dst (issue + arch.alu_latency);
+      warp.ready_at <- issue + 1
+    | Ptx.Isa.DFop { op; dst; a; b } ->
+      let m = ref mask in
+      while !m <> 0 do
+        let bit = !m land (- !m) in
+        m := !m lxor bit;
+        let base = ntz bit in
+        let x = dev_float df frame base a and y = dev_float df frame base b in
+        let v =
+          match op with
+          | Bitc.Instr.Add -> x +. y
+          | Sub -> x -. y
+          | Mul -> x *. y
+          | Div -> x /. y
+          | Min -> Float.min x y
+          | Max -> Float.max x y
+          | Rem | And | Or | Xor | Shl | Lshr ->
+            trap ctx ~pc ~loc:df.fsrc.locs.(pc) "bitwise operator on float operands"
+        in
+        fset_float frame ((dst lsl 5) + base) v
+      done;
+      entry.pc <- pc + 1;
+      Array.unsafe_set rr dst (issue + arch.alu_latency);
+      warp.ready_at <- issue + 1
+    | Ptx.Isa.DUnop { op; dst; a; fl; sfu } ->
+      let m = ref mask in
+      while !m <> 0 do
+        let bit = !m land (- !m) in
+        m := !m lxor bit;
+        let base = ntz bit in
+        (match op with
         | Bitc.Instr.Neg ->
-          if fl then set_reg_float frame l dst (-.ev_float frame l a)
-          else set_reg_int frame l dst (-ev_int frame l a)
-        | Bitc.Instr.Not -> set_reg_int frame l dst (if ev_int frame l a = 0 then 1 else 0)
-        | Bitc.Instr.Int_to_float -> set_reg_float frame l dst (float_of_int (ev_int frame l a))
-        | Bitc.Instr.Float_to_int -> set_reg_int frame l dst (int_of_float (ev_float frame l a))
-        | Bitc.Instr.Sqrt -> set_reg_float frame l dst (sqrt (ev_float frame l a))
-        | Bitc.Instr.Exp -> set_reg_float frame l dst (exp (ev_float frame l a))
-        | Bitc.Instr.Log -> set_reg_float frame l dst (log (ev_float frame l a))
-        | Bitc.Instr.Fabs -> set_reg_float frame l dst (Float.abs (ev_float frame l a))
-      in
-      iter_lanes mask apply;
-      advance ();
-      let sfu =
-        match op with
-        | Bitc.Instr.Sqrt | Bitc.Instr.Exp | Bitc.Instr.Log -> true
-        | _ -> false
-      in
-      pipeline ~dst ~latency:(if sfu then arch.sfu_latency else arch.alu_latency)
-    | Ptx.Isa.Setp { op; dst; a; b; fl } ->
-      iter_lanes mask (fun l ->
-          let c =
-            if fl then compare (ev_float frame l a) (ev_float frame l b)
-            else compare (ev_int frame l a) (ev_int frame l b)
-          in
-          set_reg_int frame l dst (if compare_vals op c then 1 else 0));
-      advance ();
-      pipeline ~dst ~latency:arch.alu_latency
-    | Ptx.Isa.Selp { dst; cond; a; b } ->
-      iter_lanes mask (fun l ->
-          let c = ev_int frame l cond <> 0 in
-          store_operand frame l (if c then a else b) frame l dst);
-      advance ();
-      pipeline ~dst ~latency:arch.alu_latency
-    | Ptx.Isa.Ld { dst; space; cop; addr; width; fl; pred } -> (
-      let active = masked pred in
-      advance ();
-      match space with
-      | Ptx.Isa.Local ->
-        iter_lanes active (fun l ->
-            let a = ev_int frame l addr in
-            bytes_read_reg frame.local.(l) ~addr:a ~width ~fl frame l dst);
-        serialize ~dst arch.alu_latency
-      | Ptx.Isa.Shared ->
-        iter_lanes active (fun l ->
-            let a = ev_int frame l addr in
-            bytes_read_reg warp.cta.shared ~addr:a ~width ~fl frame l dst);
-        ctx.stats.shared_accesses <- ctx.stats.shared_accesses + 1;
-        serialize ~dst arch.shared_latency
-      | Ptx.Isa.Global ->
-        (* a fully predicated-off load must not touch the scoreboard:
-           its twin with the complementary predicate owns [dst] *)
-        if active = 0 then serialize 1
-        else begin
-          let n = ref 0 in
-          iter_lanes active (fun l ->
-              let a = ev_int frame l addr in
-              (match width, fl with
-              | 4, true -> set_reg_float frame l dst (Devmem.read_f32 ctx.devmem a)
-              | 1, false -> set_reg_int frame l dst (Devmem.read_u8 ctx.devmem a)
-              | 4, false -> set_reg_int frame l dst (Devmem.read_i32 ctx.devmem a)
-              | 8, false -> set_reg_int frame l dst (Devmem.read_i64 ctx.devmem a)
-              | _ ->
-                raise
-                  (Devmem.Fault { addr = a; size = width; msg = "unsupported access width" }));
-              ctx.addr_scratch.(!n) <- a;
-              incr n);
-          (* bypassed loads move 32 B sectors, not full L1 lines *)
-          let granularity =
-            match cop with
-            | Ptx.Isa.Ca when ctx.l1_enabled -> arch.line_size
-            | Ptx.Isa.Ca | Ptx.Isa.Cg -> min 32 arch.line_size
-          in
-          let nlines =
-            Coalesce.collect_unique_lines ~line_size:granularity ~width
-              ~src:ctx.addr_scratch ~off:0 ~n:!n ctx.line_scratch
-          in
-          ctx.stats.global_loads <- ctx.stats.global_loads + 1;
-          ctx.stats.load_transactions <- ctx.stats.load_transactions + nlines;
-          let arrival = ref issue in
-          for k = 0 to nlines - 1 do
-            arrival :=
-              max !arrival
-                (time_read_txn ctx sm ~cop ~granularity ~now:issue
-                   (ctx.line_scratch.(k) * granularity))
-          done;
-          frame.reg_ready.(dst) <- !arrival;
-          warp.ready_at <- issue + arch.alu_latency + ((nlines - 1) * arch.txn_issue)
-        end)
-    | Ptx.Isa.St { space; addr; src; width; fl; pred; cop = _ } -> (
-      let active = masked pred in
-      advance ();
-      match space with
-      | Ptx.Isa.Local ->
-        iter_lanes active (fun l ->
-            let a = ev_int frame l addr in
-            bytes_write_op frame.local.(l) ~addr:a ~width ~fl frame l src);
-        serialize arch.alu_latency
-      | Ptx.Isa.Shared ->
-        iter_lanes active (fun l ->
-            let a = ev_int frame l addr in
-            bytes_write_op warp.cta.shared ~addr:a ~width ~fl frame l src);
-        ctx.stats.shared_accesses <- ctx.stats.shared_accesses + 1;
-        serialize arch.shared_latency
-      | Ptx.Isa.Global ->
-        if active = 0 then serialize 1
-        else begin
-          let n = ref 0 in
-          iter_lanes active (fun l ->
-              let a = ev_int frame l addr in
-              (match width, fl with
-              | 1, false -> Devmem.write_u8 ctx.devmem a (ev_int frame l src land 0xff)
-              | 4, false -> Devmem.write_i32 ctx.devmem a (ev_int frame l src)
-              | 4, true -> Devmem.write_f32 ctx.devmem a (ev_float frame l src)
-              | 8, false -> Devmem.write_i64 ctx.devmem a (ev_int frame l src)
-              | _ ->
-                raise
-                  (Devmem.Fault { addr = a; size = width; msg = "unsupported access width" }));
-              ctx.addr_scratch.(!n) <- a;
-              incr n);
-          let nlines =
-            Coalesce.collect_unique_lines ~line_size:arch.line_size ~width
-              ~src:ctx.addr_scratch ~off:0 ~n:!n ctx.line_scratch
-          in
-          for k = 0 to nlines - 1 do
-            time_write_txn ctx sm ~now:issue (ctx.line_scratch.(k) * arch.line_size)
-          done;
-          ctx.stats.global_stores <- ctx.stats.global_stores + 1;
-          ctx.stats.store_transactions <- ctx.stats.store_transactions + nlines;
-          serialize (arch.alu_latency + ((nlines - 1) * arch.txn_issue))
-        end)
-    | Ptx.Isa.Atom { dst; addr; src; width; fl } ->
-      iter_lanes mask (fun l ->
-          let a = ev_int frame l addr in
-          (match width, fl with
-          | 4, true ->
-            let old = Devmem.read_f32 ctx.devmem a in
-            Devmem.write_f32 ctx.devmem a (old +. ev_float frame l src);
-            set_reg_float frame l dst old
-          | 1, false ->
-            let old = Devmem.read_u8 ctx.devmem a in
-            Devmem.write_u8 ctx.devmem a ((old + ev_int frame l src) land 0xff);
-            set_reg_int frame l dst old
-          | 4, false ->
-            let old = Devmem.read_i32 ctx.devmem a in
-            Devmem.write_i32 ctx.devmem a (old + ev_int frame l src);
-            set_reg_int frame l dst old
-          | 8, false ->
-            let old = Devmem.read_i64 ctx.devmem a in
-            Devmem.write_i64 ctx.devmem a (old + ev_int frame l src);
-            set_reg_int frame l dst old
-          | _ ->
-            raise (Devmem.Fault { addr = a; size = width; msg = "unsupported access width" }));
-          time_write_txn ctx sm ~now:issue (a / arch.line_size * arch.line_size));
+          if fl then fset_float frame ((dst lsl 5) + base) (-.dev_float df frame base a)
+          else fset_int frame ((dst lsl 5) + base) (-dev_int df frame base a)
+        | Bitc.Instr.Not ->
+          fset_int frame ((dst lsl 5) + base) (if dev_int df frame base a = 0 then 1 else 0)
+        | Bitc.Instr.Int_to_float ->
+          fset_float frame ((dst lsl 5) + base) (float_of_int (dev_int df frame base a))
+        | Bitc.Instr.Float_to_int ->
+          fset_int frame ((dst lsl 5) + base) (int_of_float (dev_float df frame base a))
+        | Bitc.Instr.Sqrt -> fset_float frame ((dst lsl 5) + base) (sqrt (dev_float df frame base a))
+        | Bitc.Instr.Exp -> fset_float frame ((dst lsl 5) + base) (exp (dev_float df frame base a))
+        | Bitc.Instr.Log -> fset_float frame ((dst lsl 5) + base) (log (dev_float df frame base a))
+        | Bitc.Instr.Fabs ->
+          fset_float frame ((dst lsl 5) + base) (Float.abs (dev_float df frame base a)));
+        ()
+      done;
+      entry.pc <- pc + 1;
+      Array.unsafe_set rr dst (issue + if sfu then arch.sfu_latency else arch.alu_latency);
+      warp.ready_at <- issue + 1
+    | Ptx.Isa.DSetp { op; dst; a; b; fl } ->
+      let m = ref mask in
+      while !m <> 0 do
+        let bit = !m land (- !m) in
+        m := !m lxor bit;
+        let base = ntz bit in
+        let c =
+          if fl then Float.compare (dev_float df frame base a) (dev_float df frame base b)
+          else int_cmp (dev_int df frame base a) (dev_int df frame base b)
+        in
+        fset_int frame ((dst lsl 5) + base) (if compare_vals op c then 1 else 0)
+      done;
+      entry.pc <- pc + 1;
+      Array.unsafe_set rr dst (issue + arch.alu_latency);
+      warp.ready_at <- issue + 1
+    | Ptx.Isa.DSelp { dst; cond; a; b } ->
+      let m = ref mask in
+      while !m <> 0 do
+        let bit = !m land (- !m) in
+        m := !m lxor bit;
+        let base = ntz bit in
+        let c = dev_int df frame base cond <> 0 in
+        dstore df frame base (if c then a else b) frame base dst
+      done;
+      entry.pc <- pc + 1;
+      Array.unsafe_set rr dst (issue + arch.alu_latency);
+      warp.ready_at <- issue + 1
+    | Ptx.Isa.DLd_local { dst; addr; width; fl; pr; pexpect } ->
+      let active = masked pr pexpect in
+      entry.pc <- pc + 1;
+      let m = ref active in
+      while !m <> 0 do
+        let bit = !m land (- !m) in
+        m := !m lxor bit;
+        let l = ntz bit in
+        let base = l in
+        let a = dev_int df frame base addr in
+        bytes_read_reg frame.local.(l) ~addr:a ~width ~fl frame ((dst lsl 5) + base)
+      done;
+      Array.unsafe_set rr dst (issue + arch.alu_latency);
+      warp.ready_at <- issue + arch.alu_latency
+    | Ptx.Isa.DLd_shared { dst; addr; width; fl; pr; pexpect } ->
+      let active = masked pr pexpect in
+      entry.pc <- pc + 1;
+      let shared = warp.cta.shared in
+      let m = ref active in
+      while !m <> 0 do
+        let bit = !m land (- !m) in
+        m := !m lxor bit;
+        let base = ntz bit in
+        let a = dev_int df frame base addr in
+        bytes_read_reg shared ~addr:a ~width ~fl frame ((dst lsl 5) + base)
+      done;
+      ctx.stats.shared_accesses <- ctx.stats.shared_accesses + 1;
+      Array.unsafe_set rr dst (issue + arch.shared_latency);
+      warp.ready_at <- issue + arch.shared_latency
+    | Ptx.Isa.DLd_global { dst; cg; addr; width; fl; pr; pexpect } ->
+      let active = masked pr pexpect in
+      entry.pc <- pc + 1;
+      (* a fully predicated-off load must not touch the scoreboard:
+         its twin with the complementary predicate owns [dst] *)
+      if active = 0 then warp.ready_at <- issue + 1
+      else begin
+        let devmem = ctx.devmem in
+        let scratch = ctx.addr_scratch in
+        let n = ref 0 in
+        (match width, fl with
+        | 4, true ->
+          let m = ref active in
+          while !m <> 0 do
+            let bit = !m land (- !m) in
+            m := !m lxor bit;
+            let base = ntz bit in
+            let a = dev_int df frame base addr in
+            fset_float frame ((dst lsl 5) + base) (Devmem.read_f32 devmem a);
+            scratch.(!n) <- a;
+            incr n
+          done
+        | 1, false ->
+          let m = ref active in
+          while !m <> 0 do
+            let bit = !m land (- !m) in
+            m := !m lxor bit;
+            let base = ntz bit in
+            let a = dev_int df frame base addr in
+            fset_int frame ((dst lsl 5) + base) (Devmem.read_u8 devmem a);
+            scratch.(!n) <- a;
+            incr n
+          done
+        | 4, false ->
+          let m = ref active in
+          while !m <> 0 do
+            let bit = !m land (- !m) in
+            m := !m lxor bit;
+            let base = ntz bit in
+            let a = dev_int df frame base addr in
+            fset_int frame ((dst lsl 5) + base) (Devmem.read_i32 devmem a);
+            scratch.(!n) <- a;
+            incr n
+          done
+        | 8, false ->
+          let m = ref active in
+          while !m <> 0 do
+            let bit = !m land (- !m) in
+            m := !m lxor bit;
+            let base = ntz bit in
+            let a = dev_int df frame base addr in
+            fset_int frame ((dst lsl 5) + base) (Devmem.read_i64 devmem a);
+            scratch.(!n) <- a;
+            incr n
+          done
+        | _ ->
+          let a = dev_int df frame (first_lane active) addr in
+          raise (Devmem.Fault { addr = a; size = width; msg = "unsupported access width" }));
+        let cache_l1 = (not cg) && ctx.l1_enabled in
+        (* bypassed loads move 32 B sectors, not full L1 lines *)
+        let granularity = if cache_l1 then arch.line_size else min 32 arch.line_size in
+        let nlines =
+          Coalesce.collect_unique_lines ~line_size:granularity ~width ~src:scratch
+            ~off:0 ~n:!n ctx.line_scratch
+        in
+        ctx.stats.global_loads <- ctx.stats.global_loads + 1;
+        ctx.stats.load_transactions <- ctx.stats.load_transactions + nlines;
+        let arrival = ref issue in
+        for k = 0 to nlines - 1 do
+          arrival :=
+            max !arrival
+              (time_read_txn ctx sm ~cache_l1 ~granularity ~now:issue
+                 (ctx.line_scratch.(k) * granularity))
+        done;
+        Array.unsafe_set rr dst !arrival;
+        warp.ready_at <- issue + arch.alu_latency + ((nlines - 1) * arch.txn_issue)
+      end
+    | Ptx.Isa.DSt_local { addr; src; width; fl; pr; pexpect } ->
+      let active = masked pr pexpect in
+      entry.pc <- pc + 1;
+      let m = ref active in
+      while !m <> 0 do
+        let bit = !m land (- !m) in
+        m := !m lxor bit;
+        let l = ntz bit in
+        let base = l in
+        let a = dev_int df frame base addr in
+        bytes_write_op df frame.local.(l) ~addr:a ~width ~fl frame base src
+      done;
+      warp.ready_at <- issue + arch.alu_latency
+    | Ptx.Isa.DSt_shared { addr; src; width; fl; pr; pexpect } ->
+      let active = masked pr pexpect in
+      entry.pc <- pc + 1;
+      let shared = warp.cta.shared in
+      let m = ref active in
+      while !m <> 0 do
+        let bit = !m land (- !m) in
+        m := !m lxor bit;
+        let base = ntz bit in
+        let a = dev_int df frame base addr in
+        bytes_write_op df shared ~addr:a ~width ~fl frame base src
+      done;
+      ctx.stats.shared_accesses <- ctx.stats.shared_accesses + 1;
+      warp.ready_at <- issue + arch.shared_latency
+    | Ptx.Isa.DSt_global { addr; src; width; fl; pr; pexpect } ->
+      let active = masked pr pexpect in
+      entry.pc <- pc + 1;
+      if active = 0 then warp.ready_at <- issue + 1
+      else begin
+        let devmem = ctx.devmem in
+        let scratch = ctx.addr_scratch in
+        let n = ref 0 in
+        (match width, fl with
+        | 1, false ->
+          let m = ref active in
+          while !m <> 0 do
+            let bit = !m land (- !m) in
+            m := !m lxor bit;
+            let base = ntz bit in
+            let a = dev_int df frame base addr in
+            Devmem.write_u8 devmem a (dev_int df frame base src land 0xff);
+            scratch.(!n) <- a;
+            incr n
+          done
+        | 4, false ->
+          let m = ref active in
+          while !m <> 0 do
+            let bit = !m land (- !m) in
+            m := !m lxor bit;
+            let base = ntz bit in
+            let a = dev_int df frame base addr in
+            Devmem.write_i32 devmem a (dev_int df frame base src);
+            scratch.(!n) <- a;
+            incr n
+          done
+        | 4, true ->
+          let m = ref active in
+          while !m <> 0 do
+            let bit = !m land (- !m) in
+            m := !m lxor bit;
+            let base = ntz bit in
+            let a = dev_int df frame base addr in
+            Devmem.write_f32 devmem a (dev_float df frame base src);
+            scratch.(!n) <- a;
+            incr n
+          done
+        | 8, false ->
+          let m = ref active in
+          while !m <> 0 do
+            let bit = !m land (- !m) in
+            m := !m lxor bit;
+            let base = ntz bit in
+            let a = dev_int df frame base addr in
+            Devmem.write_i64 devmem a (dev_int df frame base src);
+            scratch.(!n) <- a;
+            incr n
+          done
+        | _ ->
+          let a = dev_int df frame (first_lane active) addr in
+          raise (Devmem.Fault { addr = a; size = width; msg = "unsupported access width" }));
+        let nlines =
+          Coalesce.collect_unique_lines ~line_size:arch.line_size ~width ~src:scratch
+            ~off:0 ~n:!n ctx.line_scratch
+        in
+        for k = 0 to nlines - 1 do
+          time_write_txn ctx sm ~now:issue (ctx.line_scratch.(k) * arch.line_size)
+        done;
+        ctx.stats.global_stores <- ctx.stats.global_stores + 1;
+        ctx.stats.store_transactions <- ctx.stats.store_transactions + nlines;
+        warp.ready_at <- issue + arch.alu_latency + ((nlines - 1) * arch.txn_issue)
+      end
+    | Ptx.Isa.DAtom { dst; addr; src; width; fl } ->
+      let m = ref mask in
+      while !m <> 0 do
+        let bit = !m land (- !m) in
+        m := !m lxor bit;
+        let base = ntz bit in
+        let a = dev_int df frame base addr in
+        (match width, fl with
+        | 4, true ->
+          let old = Devmem.read_f32 ctx.devmem a in
+          Devmem.write_f32 ctx.devmem a (old +. dev_float df frame base src);
+          fset_float frame ((dst lsl 5) + base) old
+        | 1, false ->
+          let old = Devmem.read_u8 ctx.devmem a in
+          Devmem.write_u8 ctx.devmem a ((old + dev_int df frame base src) land 0xff);
+          fset_int frame ((dst lsl 5) + base) old
+        | 4, false ->
+          let old = Devmem.read_i32 ctx.devmem a in
+          Devmem.write_i32 ctx.devmem a (old + dev_int df frame base src);
+          fset_int frame ((dst lsl 5) + base) old
+        | 8, false ->
+          let old = Devmem.read_i64 ctx.devmem a in
+          Devmem.write_i64 ctx.devmem a (old + dev_int df frame base src);
+          fset_int frame ((dst lsl 5) + base) old
+        | _ ->
+          raise (Devmem.Fault { addr = a; size = width; msg = "unsupported access width" }));
+        time_write_txn ctx sm ~now:issue (a / arch.line_size * arch.line_size)
+      done;
       ctx.stats.global_atomics <- ctx.stats.global_atomics + 1;
-      advance ();
-      serialize ~dst (arch.atom_latency + (6 * (popcount mask - 1)))
-    | Ptx.Isa.Bra { target } ->
+      entry.pc <- pc + 1;
+      let cost = arch.atom_latency + (6 * (popcount mask - 1)) in
+      Array.unsafe_set rr dst (issue + cost);
+      warp.ready_at <- issue + cost
+    | Ptx.Isa.DBra { target } ->
       entry.pc <- target;
-      serialize arch.branch_latency
-    | Ptx.Isa.Cond_bra { pr; if_true; if_false; reconv } ->
+      warp.ready_at <- issue + arch.branch_latency
+    | Ptx.Isa.DCond_bra { pr; if_true; if_false; rpc } ->
       ctx.stats.branches <- ctx.stats.branches + 1;
       let mt = ref 0 in
-      iter_lanes mask (fun l ->
-          if reg_int frame l pr <> 0 then mt := !mt lor (1 lsl l));
+      let m = ref mask in
+      while !m <> 0 do
+        let bit = !m land (- !m) in
+        m := !m lxor bit;
+        if fget_int frame ((pr lsl 5) + ntz bit) <> 0 then mt := !mt lor bit
+      done;
       let mt = !mt in
       let mf = mask land lnot mt in
       if mf = 0 then entry.pc <- if_true
       else if mt = 0 then entry.pc <- if_false
       else begin
         ctx.stats.divergent_branches <- ctx.stats.divergent_branches + 1;
-        let rpc = match reconv with Some r -> r | None -> exit_pc frame.func in
         entry.pc <- rpc;
         frame.stack <-
           { pc = if_true; mask = mt; rpc }
           :: { pc = if_false; mask = mf; rpc }
           :: frame.stack
       end;
-      serialize arch.branch_latency
-    | Ptx.Isa.Call { callee; args; dst } ->
-      let cf = Ptx.Isa.find_func ctx.prog callee in
-      advance ();
-      let new_frame = make_frame cf ~init_mask:mask ~ret_dst:dst in
-      iter_lanes mask (fun l ->
-          List.iteri (fun i a -> store_operand frame l a new_frame l i) args);
+      warp.ready_at <- issue + arch.branch_latency
+    | Ptx.Isa.DCall { callee; args; ret_dst } ->
+      let cdf = Array.unsafe_get ctx.dec.dfuncs callee in
+      entry.pc <- pc + 1;
+      let new_frame = make_frame cdf ~init_mask:mask ~ret_dst in
+      let m = ref mask in
+      while !m <> 0 do
+        let bit = !m land (- !m) in
+        m := !m lxor bit;
+        let l = ntz bit in
+        let base = l and cbase = l in
+        for i = 0 to Array.length args - 1 do
+          dstore df frame base (Array.unsafe_get args i) new_frame cbase i
+        done
+      done;
       Array.fill new_frame.reg_ready 0 (Array.length new_frame.reg_ready)
         (issue + arch.call_latency);
       warp.frames <- new_frame :: warp.frames;
-      serialize arch.call_latency
-    | Ptx.Isa.Ret v ->
+      warp.ready_at <- issue + arch.call_latency
+    | Ptx.Isa.DRet { v } ->
       iter_lanes mask (fun l ->
           frame.retvals.(l) <-
-            (match v with Some op -> ev_value frame l op | None -> Value.zero));
+            (match v with
+            | Some op -> dev_value df frame l op
+            | None -> Value.zero));
       (match warp.frames with
       | _ :: caller :: _ -> (
         match frame.ret_dst with
@@ -595,23 +804,29 @@ let step ctx (sm : sm) (warp : warp) =
       | _ -> ());
       frame.stack <- List.tl frame.stack;
       normalize warp;
-      serialize arch.call_latency
-    | Ptx.Isa.Bar ->
-      advance ();
+      warp.ready_at <- issue + arch.call_latency
+    | Ptx.Isa.DBar ->
+      entry.pc <- pc + 1;
       ctx.stats.barriers <- ctx.stats.barriers + 1;
       warp.status <- At_barrier;
       warp.barrier_arrival <- issue + 1;
       warp.cta.at_barrier <- warp.cta.at_barrier + 1;
-      serialize 1
-    | Ptx.Isa.Sreg { dst; which } ->
-      iter_lanes mask (fun l ->
-          set_reg_int frame l dst (sreg_value ctx warp l which));
-      advance ();
-      pipeline ~dst ~latency:1
-    | Ptx.Isa.Hook { name; args } ->
+      warp.ready_at <- issue + 1
+    | Ptx.Isa.DSreg { dst; which } ->
+      let m = ref mask in
+      while !m <> 0 do
+        let bit = !m land (- !m) in
+        m := !m lxor bit;
+        let l = ntz bit in
+        fset_int frame ((dst lsl 5) + l) (sreg_value ctx warp l which)
+      done;
+      entry.pc <- pc + 1;
+      Array.unsafe_set rr dst (issue + 1);
+      warp.ready_at <- issue + 1
+    | Ptx.Isa.DHook { hook } ->
       (* instrumentation cost serializes the warp: the inserted analysis
          call performs atomics and trace-buffer writes inline *)
-      let cost = dispatch_hook ctx warp frame ~pc ~mask ~issue ~name ~args in
-      advance ();
-      serialize cost
+      let cost = dispatch_hook ctx warp frame ~pc ~mask ~issue ~hook in
+      entry.pc <- pc + 1;
+      warp.ready_at <- issue + cost
     end)

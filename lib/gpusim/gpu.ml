@@ -1,5 +1,5 @@
 (* Kernel launch engine: CTA scheduling across SMs, per-SM greedy
-   warp scheduling driven by an event heap, barrier handling, and
+   warp scheduling driven by an event queue, barrier handling, and
    result/statistics collection. *)
 
 exception Launch_error of string
@@ -30,8 +30,21 @@ type result = {
   warps_per_cta : int;
 }
 
+(* Event-queue implementation driving the launch.  [Exact_heap] is the
+   authoritative scheduler: golden metrics depend on its pop order down
+   to arrangement-dependent tie-breaks (see DESIGN.md).  [Calendar]
+   swaps in the bucketed calendar queue, which pops in the same *key*
+   order but breaks ties FIFO, so per-launch cycle counts can differ in
+   the last few digits; functional results are unaffected. *)
+type sched = Exact_heap | Calendar
+
 let launch_overhead = 2_000
-let max_warp_insts = 400_000_000
+
+(* Runaway guard, per warp: a single warp spinning without progress is
+   the failure mode this catches (the old launch-global counter tripped
+   on the *sum* over warps, so big-enough grids could trip it without
+   any warp misbehaving). *)
+let max_warp_insts = 50_000_000
 
 let occupancy_limit (arch : Arch.t) ~warps_per_cta ~shared_bytes =
   let by_warps = arch.max_warps_per_sm / warps_per_cta in
@@ -40,8 +53,39 @@ let occupancy_limit (arch : Arch.t) ~warps_per_cta ~shared_bytes =
   in
   max 1 (min arch.max_ctas_per_sm (min by_warps by_shared))
 
-let launch ?(sink = Hookev.null_sink) ?(l1_enabled = true) device ~prog ~kernel
-    ~grid:(gx, gy) ~block:(bx, by) ~args () : result =
+(* The event loop is written against this record so the scheduler is
+   swappable; one indirect call per queue operation is noise next to
+   the instruction run each pop now triggers. *)
+type 'a queue = {
+  qpush : int -> 'a -> unit;
+  qpop : unit -> (int * 'a) option;
+  qempty : unit -> bool;
+  (* [qrun_ahead k]: popping right after pushing key [k] would return
+     that same element and leave the queue bit-identical — so the
+     caller may keep hold of the element and skip both operations. *)
+  qrun_ahead : int -> bool;
+}
+
+let heap_queue () : 'a queue =
+  let h = Heap.create () in
+  {
+    qpush = (fun k v -> Heap.push h k v);
+    qpop = (fun () -> Heap.pop h);
+    qempty = (fun () -> Heap.is_empty h);
+    qrun_ahead = (fun k -> Heap.run_ahead_ok h k);
+  }
+
+let calendar_queue () : 'a queue =
+  let q = Calq.create () in
+  {
+    qpush = (fun k v -> Calq.push q k v);
+    qpop = (fun () -> Calq.pop q);
+    qempty = (fun () -> Calq.is_empty q);
+    qrun_ahead = (fun k -> Calq.run_ahead_ok q k);
+  }
+
+let launch ?(sink = Hookev.null_sink) ?(l1_enabled = true) ?(sched = Exact_heap)
+    device ~prog ~kernel ~grid:(gx, gy) ~block:(bx, by) ~args () : result =
   let arch = device.arch in
   let kf = Ptx.Isa.find_func prog kernel in
   if not kf.is_kernel then fail "%s is not a kernel" kernel;
@@ -56,12 +100,16 @@ let launch ?(sink = Hookev.null_sink) ?(l1_enabled = true) device ~prog ~kernel
   if shared_bytes > arch.shared_mem_per_sm then
     fail "kernel needs %d B shared memory, SM has %d" shared_bytes
       arch.shared_mem_per_sm;
+  (* decode once per program; cached across launches and sweeps *)
+  let dec = Ptx.Decode.of_prog prog in
+  let kdf = dec.Ptx.Isa.dfuncs.(Ptx.Decode.func_index dec kernel) in
   let stats = Stats.create () in
   let addr_scratch, line_scratch = Exec.make_scratch () in
   let ctx =
     {
       Exec.arch;
       prog;
+      dec;
       kernel;
       devmem = device.devmem;
       l2 = device.l2;
@@ -91,7 +139,9 @@ let launch ?(sink = Hookev.null_sink) ?(l1_enabled = true) device ~prog ~kernel
   let l2_before =
     { device.l2.Cache.stats with Cache.reads = device.l2.Cache.stats.Cache.reads }
   in
-  let heap : (Machine.sm * Machine.warp) Heap.t = Heap.create () in
+  let q : (Machine.sm * Machine.warp) queue =
+    match sched with Exact_heap -> heap_queue () | Calendar -> calendar_queue ()
+  in
   let total_ctas = gx * gy in
   let next_cta = ref 0 in
   let end_time = ref 0 in
@@ -117,7 +167,7 @@ let launch ?(sink = Hookev.null_sink) ?(l1_enabled = true) device ~prog ~kernel
                min 32 (threads_per_cta - first_thread) |> fun n ->
                if n <= 0 then 0 else Machine.full_mask n
              in
-             let frame = Machine.make_frame kf ~init_mask:live ~ret_dst:None in
+             let frame = Machine.make_frame kdf ~init_mask:live ~ret_dst:None in
              Array.iteri
                (fun i v ->
                  Machine.iter_lanes live (fun lane ->
@@ -136,7 +186,7 @@ let launch ?(sink = Hookev.null_sink) ?(l1_enabled = true) device ~prog ~kernel
     in
     cta.Machine.warps <- Lazy.force warps;
     sm.Machine.resident_ctas <- sm.Machine.resident_ctas + 1;
-    Array.iter (fun w -> Heap.push heap w.Machine.ready_at (sm, w)) cta.Machine.warps;
+    Array.iter (fun w -> q.qpush w.Machine.ready_at (sm, w)) cta.Machine.warps;
     cta
   in
   (* Initial CTA placement: fill SMs round-robin up to the occupancy
@@ -171,39 +221,55 @@ let launch ?(sink = Hookev.null_sink) ?(l1_enabled = true) device ~prog ~kernel
             w.status <- Machine.Ready;
             w.ready_at <- release_time;
             let sm = sms.(cta.sm_id) in
-            Heap.push heap w.ready_at (sm, w)
+            q.qpush w.ready_at (sm, w)
           end)
         cta.warps
     end
     else if active = 0 && cta.at_barrier > 0 then cta.at_barrier <- 0
   in
-  (* Main event loop. *)
-  while not (Heap.is_empty heap) do
-    match Heap.pop heap with
+  (* Main event loop.  Each pop steps its warp in a *superstep*: as long
+     as the warp stays ready and requeueing it would pop it right back
+     (the [qrun_ahead] identity check), keep stepping it without
+     touching the queue.  The skipped push/pop pairs are exact no-ops
+     on the queue's internal arrangement, so event ordering — including
+     tie-breaks — and therefore cycle counts are bit-identical to the
+     one-instruction-per-pop loop. *)
+  while not (q.qempty ()) do
+    match q.qpop () with
     | None -> ()
     | Some (_, (sm, warp)) -> (
       match warp.Machine.status with
       | Machine.Finished | Machine.At_barrier -> ()
       | Machine.Ready ->
-        Exec.step ctx sm warp;
-        if stats.Stats.warp_insts > max_warp_insts then
-          fail "kernel %s exceeded %d warp instructions (runaway loop?)" kernel
-            max_warp_insts;
-        end_time := max !end_time warp.Machine.ready_at;
-        let cta = warp.Machine.cta in
-        (match warp.Machine.status with
-        | Machine.Ready -> Heap.push heap warp.Machine.ready_at (sm, warp)
-        | Machine.At_barrier -> try_release_barrier cta
-        | Machine.Finished ->
-          try_release_barrier cta;
-          if cta.Machine.finished_warps = Array.length cta.Machine.warps then begin
-            sm.Machine.resident_ctas <- sm.Machine.resident_ctas - 1;
-            if !next_cta < total_ctas then begin
-              ignore
-                (make_cta ~linear:!next_cta ~sm ~start_time:warp.Machine.ready_at);
-              incr next_cta
+        let running = ref true in
+        while !running do
+          Exec.step ctx sm warp;
+          if warp.Machine.insts > max_warp_insts then
+            fail "kernel %s: warp exceeded %d instructions (runaway loop?)" kernel
+              max_warp_insts;
+          if warp.Machine.ready_at > !end_time then end_time := warp.Machine.ready_at;
+          match warp.Machine.status with
+          | Machine.Ready ->
+            if not (q.qrun_ahead warp.Machine.ready_at) then begin
+              q.qpush warp.Machine.ready_at (sm, warp);
+              running := false
             end
-          end))
+          | Machine.At_barrier ->
+            running := false;
+            try_release_barrier warp.Machine.cta
+          | Machine.Finished ->
+            running := false;
+            let cta = warp.Machine.cta in
+            try_release_barrier cta;
+            if cta.Machine.finished_warps = Array.length cta.Machine.warps then begin
+              sm.Machine.resident_ctas <- sm.Machine.resident_ctas - 1;
+              if !next_cta < total_ctas then begin
+                ignore
+                  (make_cta ~linear:!next_cta ~sm ~start_time:warp.Machine.ready_at);
+                incr next_cta
+              end
+            end
+        done)
   done;
   if !next_cta < total_ctas then
     fail "launch of %s ended with %d/%d CTAs unscheduled" kernel !next_cta total_ctas;

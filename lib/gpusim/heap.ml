@@ -67,3 +67,46 @@ let pop t =
     if t.size > 0 then sift_down t 0;
     match v with Some v -> Some (key, v) | None -> assert false
   end
+
+let min_key t = if t.size = 0 then max_int else t.keys.(0)
+
+(* Would [push t k v; pop t] return [k] and leave the arrays arranged
+   exactly as they are now?  The event loop uses this to keep stepping
+   the warp it just popped without touching the heap; because it only
+   skips *identity* push/pop pairs, every later pop sees the very same
+   arrangement — and hence the very same tie-breaks among equal keys —
+   as the unskipped schedule, keeping cycle counts bit-identical.
+
+   Why these conditions: [push k] sifts [k] up the ancestor path of
+   slot [n] (all the way, since [k] is below the root), shifting each
+   ancestor one step down the path and parking [w = keys.((n-1)/2)] in
+   slot [n].  [pop] then takes [k] from the root, moves [w] back to the
+   root and sifts it down.  The net effect is the identity iff that
+   sift-down retraces the same path, which at each path node [par ->
+   cur] requires the displaced key [keys.(par)] to win the 3-way
+   minimum: it must beat [w] strictly, and — when [cur] is a right
+   child — also beat the left sibling if that sibling beats [w].  (When
+   [cur] is a left child the right sibling can never win: the heap
+   invariant puts it at >= keys.(par), and sift-down prefers the left
+   child on ties.)  The walk terminates by itself: if [n] is even, slot
+   [n-1] >= [w] by the invariant, so [w] stops at [(n-1)/2]. *)
+let run_ahead_ok t k =
+  let n = t.size in
+  n = 0
+  || k < t.keys.(0)
+     &&
+     let keys = t.keys in
+     let w = keys.((n - 1) / 2) in
+     let ok = ref true in
+     let cur = ref ((n - 1) / 2) in
+     while !ok && !cur > 0 do
+       let par = (!cur - 1) / 2 in
+       let kp = keys.(par) in
+       if kp >= w then ok := false
+       else if !cur land 1 = 0 then begin
+         let ks = keys.(!cur - 1) in
+         if ks < w && kp >= ks then ok := false
+       end;
+       cur := par
+     done;
+     !ok

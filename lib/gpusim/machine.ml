@@ -13,14 +13,22 @@ type simt_entry = {
 }
 
 type frame = {
-  func : Ptx.Isa.func;
+  mutable dfunc : Ptx.Isa.dfunc;
+      (* predecoded body; source func at [dfunc.fsrc].  Mutable only so
+         recycled frames (see the frame pool below) can be rebound to a
+         different function of the same register/local shape. *)
   nregs : int;
-  (* Unboxed register file, flattened lane-major: register [r] of lane
-     [l] lives at index [l * nregs + r].  Registers hold either an int
-     or a float; a boxed [Value.t] per write would be promoted into
-     these long-lived arrays and dominate GC time, so the two payloads
-     live in parallel flat arrays with a tag byte selecting which one is
-     current ('\001' = float). *)
+  (* Unboxed register file, flattened register-major: register [r] of
+     lane [l] lives at index [(r lsl 5) + l].  A warp instruction reads
+     and writes the *same* register for every active lane, so keeping
+     the 32 lanes of one register contiguous turns each operand into a
+     handful of adjacent cache lines instead of one line per lane
+     (lane-major strides by [nregs * 8] bytes and thrashes L2 once
+     frames outgrow it).  Registers hold either an int or a float; a
+     boxed [Value.t] per write would be promoted into these long-lived
+     arrays and dominate GC time, so the two payloads live in parallel
+     flat arrays with a tag byte selecting which one is current
+     ('\001' = float). *)
   regs_i : int array;
   regs_f : float array;
   regs_tag : Bytes.t;
@@ -32,8 +40,8 @@ type frame = {
   (* per-lane local frame for allocas *)
   local : Bytes.t array;
   mutable stack : simt_entry list; (* top first *)
-  init_mask : int; (* lanes that entered this call *)
-  ret_dst : int option; (* caller register receiving the return value *)
+  mutable init_mask : int; (* lanes that entered this call *)
+  mutable ret_dst : int option; (* caller register receiving the return value *)
   retvals : Value.t array; (* per lane *)
 }
 
@@ -86,9 +94,13 @@ let ntz_table =
   done;
   t
 
+(* Bit index of the isolated low bit [b] (a power of two). *)
+let[@inline] ntz b = Array.unsafe_get ntz_table (b mod 37)
+
 (* Apply [f] to each set lane of [mask] in ascending order, without
-   materializing a lane list — this runs once per simulated
-   instruction, the innermost loop of every experiment. *)
+   materializing a lane list.  Cold and warm paths only: the
+   interpreter's hottest loops in [Exec.step] iterate the mask inline
+   so no closure is allocated per instruction. *)
 let[@inline] iter_lanes mask f =
   let m = ref mask in
   while !m <> 0 do
@@ -110,25 +122,89 @@ let full_mask n = if n >= 63 then invalid_arg "full_mask" else (1 lsl n) - 1
 
 let exit_pc (f : Ptx.Isa.func) = Array.length f.body
 
-let make_frame (func : Ptx.Isa.func) ~init_mask ~ret_dst =
-  let nregs = max func.nregs 1 in
+(* ----- frame pool -----
+
+   A launch allocates hundreds of frames (one per warp plus one per
+   device-function call), each ~100s of KB of flat register file, and
+   drops them all on the floor when warps retire.  Those arrays go
+   straight to the major heap, and the resulting churn (allocation +
+   marking + sweeping) is a measurable slice of simulation time.  Since
+   frames of equal shape — same register count and local-memory size —
+   are interchangeable once zeroed, retired frames are recycled through
+   a pool instead.
+
+   The pool is domain-local ([Domain.DLS]): experiment sweeps launch
+   kernels from parallel domains and the pool must not become a point
+   of cross-domain sharing.  A recycled frame is reset to exactly the
+   freshly-allocated state (all-zero registers, int tags, zero
+   scoreboard, zeroed locals), so observable behaviour — including
+   reads of never-written registers — is bit-identical to fresh
+   allocation. *)
+
+type frame_pool = { mutable pool_n : int; mutable pool_free : frame list }
+
+let frame_pools : (int * int, frame_pool) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+
+(* Per-shape cap: bounds pool memory at [cap] x frame size per shape per
+   domain.  512 covers full occupancy of every architecture we model. *)
+let frame_pool_cap = 512
+
+let local_len (dfunc : Ptx.Isa.dfunc) = max dfunc.fsrc.local_bytes 1
+
+let release_frame (f : frame) =
+  let tbl = Domain.DLS.get frame_pools in
+  let key = (f.nregs, Bytes.length f.local.(0)) in
+  match Hashtbl.find_opt tbl key with
+  | Some p -> if p.pool_n < frame_pool_cap then begin
+      p.pool_n <- p.pool_n + 1;
+      p.pool_free <- f :: p.pool_free
+    end
+  | None -> Hashtbl.add tbl key { pool_n = 1; pool_free = [ f ] }
+
+let fresh_frame (dfunc : Ptx.Isa.dfunc) ~init_mask ~ret_dst =
+  let nregs = dfunc.dnregs in
   {
-    func;
+    dfunc;
     nregs;
     regs_i = Array.make (32 * nregs) 0;
     regs_f = Array.make (32 * nregs) 0.;
     regs_tag = Bytes.make (32 * nregs) '\000';
     reg_ready = Array.make nregs 0;
-    local = Array.init 32 (fun _ -> Bytes.make (max func.local_bytes 1) '\000');
-    stack = [ { pc = 0; mask = init_mask; rpc = exit_pc func } ];
+    local = Array.init 32 (fun _ -> Bytes.make (local_len dfunc) '\000');
+    stack = [ { pc = 0; mask = init_mask; rpc = Array.length dfunc.dbody } ];
     init_mask;
     ret_dst;
     retvals = Array.make 32 Value.zero;
   }
 
+let reset_frame (f : frame) (dfunc : Ptx.Isa.dfunc) ~init_mask ~ret_dst =
+  let nregs = f.nregs in
+  f.dfunc <- dfunc;
+  Array.fill f.regs_i 0 (32 * nregs) 0;
+  Array.fill f.regs_f 0 (32 * nregs) 0.;
+  Bytes.fill f.regs_tag 0 (32 * nregs) '\000';
+  Array.fill f.reg_ready 0 nregs 0;
+  let ll = Bytes.length f.local.(0) in
+  Array.iter (fun b -> Bytes.fill b 0 ll '\000') f.local;
+  Array.fill f.retvals 0 32 Value.zero;
+  f.stack <- [ { pc = 0; mask = init_mask; rpc = Array.length dfunc.dbody } ];
+  f.init_mask <- init_mask;
+  f.ret_dst <- ret_dst;
+  f
+
+let make_frame (dfunc : Ptx.Isa.dfunc) ~init_mask ~ret_dst =
+  let tbl = Domain.DLS.get frame_pools in
+  match Hashtbl.find_opt tbl (dfunc.dnregs, local_len dfunc) with
+  | Some ({ pool_free = f :: tl; _ } as p) ->
+    p.pool_n <- p.pool_n - 1;
+    p.pool_free <- tl;
+    reset_frame f dfunc ~init_mask ~ret_dst
+  | _ -> fresh_frame dfunc ~init_mask ~ret_dst
+
 (* ----- register accessors ----- *)
 
-let[@inline] reg_idx frame lane r = (lane * frame.nregs) + r
+let[@inline] reg_idx _frame lane r = (r lsl 5) lor lane
 
 let[@inline] reg_is_float frame lane r =
   Bytes.get frame.regs_tag (reg_idx frame lane r) = '\001'
@@ -173,3 +249,27 @@ let[@inline] copy_reg ~src ~src_lane ~src_r ~dst ~dst_lane ~dst_r =
   if reg_is_float src src_lane src_r then
     set_reg_float dst dst_lane dst_r src.regs_f.(reg_idx src src_lane src_r)
   else set_reg_int dst dst_lane dst_r src.regs_i.(reg_idx src src_lane src_r)
+
+(* ----- flat register accessors (the interpreter's hot path) -----
+
+   These take the precomputed flat index [lane * nregs + r] directly
+   and skip bounds checks: [Decode] validates every register index of
+   every instruction against the function's register count, and lanes
+   are < 32 by construction, so the index is always in range. *)
+
+let[@inline] fget_int frame i =
+  if Bytes.unsafe_get frame.regs_tag i = '\001' then
+    Value.to_int (Value.F (Array.unsafe_get frame.regs_f i))
+  else Array.unsafe_get frame.regs_i i
+
+let[@inline] fget_float frame i =
+  if Bytes.unsafe_get frame.regs_tag i = '\001' then Array.unsafe_get frame.regs_f i
+  else float_of_int (Array.unsafe_get frame.regs_i i)
+
+let[@inline] fset_int frame i v =
+  Bytes.unsafe_set frame.regs_tag i '\000';
+  Array.unsafe_set frame.regs_i i v
+
+let[@inline] fset_float frame i v =
+  Bytes.unsafe_set frame.regs_tag i '\001';
+  Array.unsafe_set frame.regs_f i v

@@ -116,15 +116,12 @@ let rewrite_kernel_vertical (f : Isa.func) ~should_bypass : Isa.func =
   { f with body }
 
 let rewrite_prog_vertical (p : Isa.prog) ~should_bypass : Isa.prog =
-  {
-    p with
-    funcs =
-      List.map
-        (fun (name, f) ->
-          if f.Isa.is_kernel then (name, rewrite_kernel_vertical f ~should_bypass)
-          else (name, f))
-        p.funcs;
-  }
+  Isa.make_prog ~module_name:p.module_name
+    (List.map
+       (fun (name, f) ->
+         if f.Isa.is_kernel then (name, rewrite_kernel_vertical f ~should_bypass)
+         else (name, f))
+       p.funcs)
 
 (* Apply the rewrite to one kernel of a program. *)
 let rewrite_prog (p : Isa.prog) ~kernel ~warps_to_cache : Isa.prog =
@@ -140,4 +137,4 @@ let rewrite_prog (p : Isa.prog) ~kernel ~warps_to_cache : Isa.prog =
       p.funcs
   in
   if not !found then invalid_arg (Printf.sprintf "Bypass.rewrite_prog: no kernel %s" kernel);
-  { p with funcs }
+  Isa.make_prog ~module_name:p.module_name funcs

@@ -232,4 +232,4 @@ let gen_module (m : Bitc.Irmod.t) : Isa.prog =
           Some (f.name, pf))
       m.funcs
   in
-  { Isa.module_name = m.name; funcs }
+  Isa.make_prog ~module_name:m.name funcs

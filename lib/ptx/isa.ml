@@ -76,13 +76,101 @@ type func = {
   is_kernel : bool;
 }
 
+(* ----- predecoded form -----
+
+   The simulator never interprets [inst] directly: [Decode] lowers each
+   function once into flat descriptor arrays whose operands are
+   pre-split (register index vs. immediate), whose call targets are
+   interned as indices into the program's function table, and whose
+   reconvergence points are resolved.  The types live here so the
+   decoded program can be cached on the [prog] itself. *)
+
+(* Decoded operand: [okind] selects a register (0, index in [onum]),
+   an integer immediate (1, value in [onum]) or a float immediate
+   (2, [onum] indexes the function's float-immediate pool — floats are
+   pooled so this record stays all-int and unboxed). *)
+type dop = { okind : int; onum : int }
+
+(* Decoded instrumentation hook: the hook name's string match happens
+   once at decode time, not per dynamic event. *)
+type dhook =
+  | DH_mem of { addr : dop; bits : dop; kind : dop }
+  | DH_bb of { bb_id : dop }
+  | DH_arith of { code : dop; a : dop; b : dop }
+  | DH_call of { callsite : dop; push : bool }
+  | DH_bad of { hname : string } (* unknown hook: traps when executed *)
+
+(* Decoded instruction, parallel to [inst] pc-for-pc.  Memory spaces are
+   split into distinct constructors, predicates are unpacked ([pr] < 0
+   means unpredicated), [rpc] carries the resolved reconvergence pc and
+   [callee] indexes the decoded function table. *)
+type dinst =
+  | DMov of { dst : int; src : dop }
+  | DIop of { op : Bitc.Instr.binop; dst : int; a : dop; b : dop }
+  | DFop of { op : Bitc.Instr.binop; dst : int; a : dop; b : dop }
+  | DUnop of { op : Bitc.Instr.unop; dst : int; a : dop; fl : bool; sfu : bool }
+  | DSetp of { op : Bitc.Instr.cmp; dst : int; a : dop; b : dop; fl : bool }
+  | DSelp of { dst : int; cond : dop; a : dop; b : dop }
+  | DLd_local of { dst : int; addr : dop; width : int; fl : bool; pr : int; pexpect : bool }
+  | DLd_shared of { dst : int; addr : dop; width : int; fl : bool; pr : int; pexpect : bool }
+  | DLd_global of {
+      dst : int;
+      cg : bool; (* bypass L1 *)
+      addr : dop;
+      width : int;
+      fl : bool;
+      pr : int;
+      pexpect : bool;
+    }
+  | DSt_local of { addr : dop; src : dop; width : int; fl : bool; pr : int; pexpect : bool }
+  | DSt_shared of { addr : dop; src : dop; width : int; fl : bool; pr : int; pexpect : bool }
+  | DSt_global of { addr : dop; src : dop; width : int; fl : bool; pr : int; pexpect : bool }
+  | DAtom of { dst : int; addr : dop; src : dop; width : int; fl : bool }
+  | DBra of { target : int }
+  | DCond_bra of { pr : int; if_true : int; if_false : int; rpc : int }
+  | DCall of { callee : int; args : dop array; ret_dst : int option }
+  | DRet of { v : dop option }
+  | DBar
+  | DSreg of { dst : int; which : Bitc.Instr.special }
+  | DHook of { hook : dhook }
+
+type dfunc = {
+  fsrc : func; (* metadata (name, locs, …) stays on the source func *)
+  dbody : dinst array;
+  (* register sources read per pc, for the issue scoreboard; the empty
+     array is shared *)
+  dsrcs : int array array;
+  fimms : float array; (* float-immediate pool *)
+  dnregs : int; (* frame register count, >= 1 *)
+}
+
+type decoded = {
+  dfuncs : dfunc array;
+  dnames : string array;
+  dindex : (string, int) Hashtbl.t;
+}
+
 type prog = {
   module_name : string;
   funcs : (string * func) list;
+  (* name -> func index; [find_func] on the launch and call paths must
+     not scan the association list *)
+  index : (string, func) Hashtbl.t;
+  (* decode cache, filled by [Decode.of_prog] on first launch.  The
+     decoded value is immutable, so the benign race when two domains
+     decode the same prog concurrently only duplicates work. *)
+  mutable decoded : decoded option;
 }
 
+(* The only constructor: every rewrite (codegen, bypass transforms)
+   must rebuild the index and drop any stale decode. *)
+let make_prog ~module_name funcs =
+  let index = Hashtbl.create (max 4 (List.length funcs)) in
+  List.iter (fun (name, f) -> Hashtbl.replace index name f) funcs;
+  { module_name; funcs; index; decoded = None }
+
 let find_func prog name =
-  match List.assoc_opt name prog.funcs with
+  match Hashtbl.find_opt prog.index name with
   | Some f -> f
   | None -> invalid_arg (Printf.sprintf "Isa.find_func: unknown function %s" name)
 

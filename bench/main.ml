@@ -370,6 +370,22 @@ let smoke () =
       Printf.printf "  %-10s %10d cycles  %6.2fs\n%!" w.name cycles
         (Unix.gettimeofday () -. t))
     Workloads.Registry.all;
+  (* Self-profiling self-check: one traced nn profile must export a
+     Chrome trace that parses as JSON.  The @smoke alias runs this, so
+     CI fails on malformed exporter output. *)
+  let was_enabled = Obs.Trace.enabled () in
+  Obs.Trace.enable ();
+  ignore (Advisor.profile ~arch:(kepler16 ()) (Workloads.Registry.find "nn"));
+  let chrome = Obs.Trace.export_chrome () in
+  if not was_enabled then Obs.Trace.disable ();
+  (match Obs.Jsonv.parse chrome with
+  | Ok _ ->
+    Printf.printf "trace self-check: %d events, JSON parses\n%!"
+      (Obs.Trace.event_count ())
+  | Error msg ->
+    Printf.eprintf "trace self-check FAILED: exported trace is not valid JSON (%s)\n%!"
+      msg;
+    exit 1);
   Printf.printf "smoke total: %.2fs\n%!" (Unix.gettimeofday () -. t0)
 
 let all_sections =
@@ -387,6 +403,10 @@ let () =
     | [] -> (None, List.rev acc)
   in
   let json_file, names = split_json [] (List.tl (Array.to_list Sys.argv)) in
+  (* `OBS_TRACE=file` turns on self-profiling for the whole run and
+     writes a Chrome trace of the harness itself on exit *)
+  let obs_trace_file = Sys.getenv_opt "OBS_TRACE" in
+  if obs_trace_file <> None then Obs.Trace.enable ();
   (* `--smoke` is shorthand for the smoke section alone *)
   let names =
     List.map (function "--smoke" -> "smoke" | n -> n) names
@@ -405,18 +425,44 @@ let () =
       match List.assoc_opt name all_sections with
       | Some f ->
         let t0 = Unix.gettimeofday () in
-        f ();
+        Obs.Trace.with_span ~cat:"bench" ("bench." ^ name) f;
         timings := (name, Unix.gettimeofday () -. t0) :: !timings
       | None ->
         Printf.eprintf "unknown section %s (available: %s)\n" name
           (String.concat ", " (List.map fst all_sections)))
     requested;
+  (match obs_trace_file with
+  | Some f ->
+    Obs.Trace.export_chrome_to_file f;
+    Printf.printf "\nwrote Chrome trace to %s\n%!" f
+  | None -> ());
   match json_file with
   | None -> ()
   | Some file ->
     let open Analysis.Json in
+    (* both cache blocks read the Obs registry now; the keys are kept
+       for scripts that already consume them *)
     let hits, misses = Advisor.compile_cache_stats () in
     let dhits, dmisses = Ptx.Decode.cache_stats () in
+    let metrics =
+      Obj
+        (List.map
+           (fun (name, v) ->
+             match v with
+             | Obs.Metrics.Counter i -> (name, Int i)
+             | Obs.Metrics.Gauge g -> (name, Float g)
+             | Obs.Metrics.Histogram h ->
+               ( name,
+                 Obj
+                   [ ("count", Int h.count); ("sum", Int h.sum);
+                     ("max", Int h.max_value); ("mean", Float h.mean);
+                     ( "buckets",
+                       Obj
+                         (List.map
+                            (fun (b, c) -> (Obs.Metrics.bucket_label b, Int c))
+                            h.filled) ) ] ))
+           (Obs.Metrics.snapshot ()))
+    in
     let doc =
       Obj
         [
@@ -426,6 +472,7 @@ let () =
            Obj (List.map (fun (n, t) -> (n, Float t)) (List.sort compare !bech_rows)));
           ("compile_cache", Obj [ ("hits", Int hits); ("misses", Int misses) ]);
           ("decode_cache", Obj [ ("hits", Int dhits); ("misses", Int dmisses) ]);
+          ("metrics", metrics);
           ("pool_domains", Int (Domain.recommended_domain_count ()));
         ]
     in

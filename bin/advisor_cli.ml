@@ -43,21 +43,67 @@ let find_app name =
     `Error
       (false, Printf.sprintf "unknown application %s (try `cudaadvisor list`)" name)
 
+(* ----- observability flags (shared by every subcommand) ----- *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Enable self-profiling and write a Chrome trace-event JSON file to \
+              $(docv) on exit (load it in chrome://tracing or ui.perfetto.dev).")
+
+let metrics_flag =
+  Arg.(
+    value & flag
+    & info [ "metrics" ] ~doc:"Dump the self-profiling metrics registry on exit.")
+
+let log_arg =
+  let level_conv =
+    Arg.enum
+      [ ("debug", Obs.Log.Debug); ("info", Obs.Log.Info); ("warn", Obs.Log.Warn);
+        ("error", Obs.Log.Error); ("quiet", Obs.Log.Quiet) ]
+  in
+  Arg.(
+    value
+    & opt (some level_conv) None
+    & info [ "log" ] ~docv:"LEVEL"
+        ~doc:"Log level: debug, info, warn, error or quiet (default: \
+              $(b,OBS_LOG) environment variable, else warn).")
+
+(* Applies the flags as a side effect of term evaluation (so tracing is
+   on before the command body runs) and hands the command a finalizer
+   to run once its work is done. *)
+let obs_term =
+  let make trace_file metrics log_level =
+    (match log_level with Some l -> Obs.Log.set_level l | None -> ());
+    if trace_file <> None then Obs.Trace.enable ();
+    fun () ->
+      (match trace_file with
+      | Some f ->
+        Obs.Trace.export_chrome_to_file f;
+        Printf.eprintf "wrote Chrome trace to %s\n%!" f
+      | None -> ());
+      if metrics then print_string (Obs.Metrics.to_text ())
+  in
+  Term.(const make $ trace_arg $ metrics_flag $ log_arg)
+
 (* ----- list ----- *)
 
 let list_cmd =
-  let run () =
+  let run finish =
     List.iter
       (fun (w : Workloads.Common.t) ->
         Printf.printf "%-10s %-40s (%s)\n" w.name w.description w.input_desc)
-      Workloads.Registry.all
+      Workloads.Registry.all;
+    finish ()
   in
   Cmd.v (Cmd.info "list" ~doc:"List the available benchmark applications.")
-    Term.(const run $ const ())
+    Term.(const run $ obs_term)
 
 (* ----- profile ----- *)
 
-let profile_run app arch scale analysis json =
+let profile_run finish app arch scale analysis json =
   match find_app app with
   | `Error _ as e -> e
   | `Ok w when json ->
@@ -66,6 +112,7 @@ let profile_run app arch scale analysis json =
       (Analysis.Report.to_string
          (Analysis.Report.of_profile ~app:w.name ~arch_name:arch.Gpusim.Arch.name
             ~line_size:arch.Gpusim.Arch.line_size session.profiler));
+    finish ();
     `Ok ()
   | `Ok w ->
     let session = Advisor.profile ~arch ?scale w in
@@ -91,6 +138,7 @@ let profile_run app arch scale analysis json =
         Format.printf "%s@   cycles: %a@." ctx Analysis.Statistics.pp_summary s)
       (Analysis.Statistics.by_context (Advisor.instances session)
          ~metric:Analysis.Statistics.cycles);
+    finish ();
     `Ok ()
 
 let analysis_arg =
@@ -110,11 +158,13 @@ let profile_cmd =
     (Cmd.info "profile"
        ~doc:"Instrument an application, run it under the profiler, print analyses.")
     Term.(
-      ret (const profile_run $ app_arg $ arch_arg $ scale_arg $ analysis_arg $ json_flag))
+      ret
+        (const profile_run $ obs_term $ app_arg $ arch_arg $ scale_arg
+        $ analysis_arg $ json_flag))
 
 (* ----- report (Figures 8/9) ----- *)
 
-let report_run app arch scale =
+let report_run finish app arch scale =
   match find_app app with
   | `Error _ as e -> e
   | `Ok w ->
@@ -138,17 +188,18 @@ let report_run app arch scale =
       print_string
         (Analysis.Views.data_centric_report session.profiler instance ~line_size
            ~top:3));
+    finish ();
     `Ok ()
 
 let report_cmd =
   Cmd.v
     (Cmd.info "report"
        ~doc:"Code- and data-centric debugging views of the most divergent accesses.")
-    Term.(ret (const report_run $ app_arg $ arch_arg $ scale_arg))
+    Term.(ret (const report_run $ obs_term $ app_arg $ arch_arg $ scale_arg))
 
 (* ----- bypass ----- *)
 
-let bypass_run app arch scale =
+let bypass_run finish app arch scale =
   match find_app app with
   | `Error _ as e -> e
   | `Ok w ->
@@ -162,62 +213,96 @@ let bypass_run app arch scale =
     Printf.printf "oracle:     N=%d (%d cycles)\n" b.oracle_warps b.oracle_cycles;
     Printf.printf "prediction: N=%d (%d cycles)  [Eq. (1)]\n" b.predicted_warps
       b.predicted_cycles;
+    finish ();
     `Ok ()
 
 let bypass_cmd =
   Cmd.v
     (Cmd.info "bypass"
        ~doc:"Horizontal cache-bypassing study: oracle sweep vs the Eq.-(1) model.")
-    Term.(ret (const bypass_run $ app_arg $ arch_arg $ scale_arg))
+    Term.(ret (const bypass_run $ obs_term $ app_arg $ arch_arg $ scale_arg))
 
 (* ----- overhead ----- *)
 
-let overhead_run app arch scale =
+let overhead_run finish app arch scale =
   match find_app app with
   | `Error _ as e -> e
   | `Ok w ->
     let o = Advisor.overhead_study ~arch ?scale w in
     Printf.printf "native:       %9d cycles\ninstrumented: %9d cycles\nslowdown: %.1fx\n"
       o.native_cycles o.instrumented_cycles o.slowdown;
+    finish ();
     `Ok ()
 
 let overhead_cmd =
   Cmd.v
     (Cmd.info "overhead" ~doc:"Instrumentation overhead (Figure 10 methodology).")
-    Term.(ret (const overhead_run $ app_arg $ arch_arg $ scale_arg))
+    Term.(ret (const overhead_run $ obs_term $ app_arg $ arch_arg $ scale_arg))
 
 (* ----- dump-ir / dump-ptx ----- *)
 
 let instrument_flag =
   Arg.(value & flag & info [ "instrument" ] ~doc:"Run the instrumentation engine first.")
 
-let dump_ir_run app instrument =
+let dump_ir_run finish app instrument =
   match find_app app with
   | `Error _ as e -> e
   | `Ok w ->
     let m = Workloads.Common.compile w in
     if instrument then ignore (Passes.Instrument.run m);
     print_string (Bitc.Printer.module_to_string m);
+    finish ();
     `Ok ()
 
 let dump_ir_cmd =
   Cmd.v
     (Cmd.info "dump-ir" ~doc:"Print the (optionally instrumented) Bitc IR.")
-    Term.(ret (const dump_ir_run $ app_arg $ instrument_flag))
+    Term.(ret (const dump_ir_run $ obs_term $ app_arg $ instrument_flag))
 
-let dump_ptx_run app instrument =
+let dump_ptx_run finish app instrument =
   match find_app app with
   | `Error _ as e -> e
   | `Ok w ->
     let m = Workloads.Common.compile w in
     if instrument then ignore (Passes.Instrument.run m);
     print_string (Ptx.Printer.prog_to_string (Ptx.Codegen.gen_module m));
+    finish ();
     `Ok ()
 
 let dump_ptx_cmd =
   Cmd.v
     (Cmd.info "dump-ptx" ~doc:"Print the generated PTX-like code.")
-    Term.(ret (const dump_ptx_run $ app_arg $ instrument_flag))
+    Term.(ret (const dump_ptx_run $ obs_term $ app_arg $ instrument_flag))
+
+(* ----- trace (profile the profiler itself) ----- *)
+
+let trace_run app arch scale trace_file metrics log_level =
+  match find_app app with
+  | `Error _ as e -> e
+  | `Ok w ->
+    (match log_level with Some l -> Obs.Log.set_level l | None -> ());
+    Obs.Trace.enable ();
+    let session = Advisor.profile ~arch ?scale w in
+    ignore (Advisor.reuse_distance session);
+    ignore (Advisor.mem_divergence session);
+    ignore (Advisor.branch_divergence session);
+    let out = Option.value trace_file ~default:(w.name ^ "-trace.json") in
+    Obs.Trace.export_chrome_to_file out;
+    print_string (Obs.Trace.to_text ());
+    if metrics then print_string (Obs.Metrics.to_text ());
+    Printf.printf "wrote Chrome trace to %s (load it in chrome://tracing or ui.perfetto.dev)\n"
+      out;
+    `Ok ()
+
+let trace_cmd =
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run a profiling session with self-profiling enabled: print the span \
+             tree and export a Chrome trace of the pipeline itself.")
+    Term.(
+      ret
+        (const trace_run $ app_arg $ arch_arg $ scale_arg $ trace_arg
+        $ metrics_flag $ log_arg))
 
 let () =
   let info =
@@ -228,4 +313,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; profile_cmd; report_cmd; bypass_cmd; overhead_cmd;
-            dump_ir_cmd; dump_ptx_cmd ]))
+            trace_cmd; dump_ir_cmd; dump_ptx_cmd ]))

@@ -58,6 +58,32 @@ let sites_json ~line_size events ~top =
              ("avg_unique_lines", Json.Float s.site_avg_lines) ])
        sites)
 
+(* Launch-level hardware counters summed over every kernel instance:
+   the [Gpusim.Stats.t] aggregates (barriers, hook calls, transactions,
+   ...) that the per-metric sections above do not carry. *)
+let launch_stats_json (instances : Profiler.Profile.instance list) =
+  let results =
+    List.filter_map (fun (i : Profiler.Profile.instance) -> i.result) instances
+  in
+  let sum f = Json.Int (List.fold_left (fun acc r -> acc + f r) 0 results) in
+  let stat f = sum (fun (r : Gpusim.Gpu.result) -> f r.stats) in
+  Json.Obj
+    [ ("launches", Json.Int (List.length results));
+      ("cycles", sum (fun r -> r.Gpusim.Gpu.cycles));
+      ("ctas", sum (fun r -> r.Gpusim.Gpu.ctas));
+      ("warp_insts", stat (fun s -> s.Gpusim.Stats.warp_insts));
+      ("thread_insts", stat (fun s -> s.Gpusim.Stats.thread_insts));
+      ("global_loads", stat (fun s -> s.Gpusim.Stats.global_loads));
+      ("global_stores", stat (fun s -> s.Gpusim.Stats.global_stores));
+      ("global_atomics", stat (fun s -> s.Gpusim.Stats.global_atomics));
+      ("load_transactions", stat (fun s -> s.Gpusim.Stats.load_transactions));
+      ("store_transactions", stat (fun s -> s.Gpusim.Stats.store_transactions));
+      ("shared_accesses", stat (fun s -> s.Gpusim.Stats.shared_accesses));
+      ("branches", stat (fun s -> s.Gpusim.Stats.branches));
+      ("divergent_branches", stat (fun s -> s.Gpusim.Stats.divergent_branches));
+      ("hook_calls", stat (fun s -> s.Gpusim.Stats.hook_calls));
+      ("barriers", stat (fun s -> s.Gpusim.Stats.barriers)) ]
+
 (* The full report of one profiled application run. *)
 let of_profile ?(top_sites = 5) ~app ~arch_name ~line_size
     (profiler : Profiler.Profile.t) =
@@ -86,6 +112,7 @@ let of_profile ?(top_sites = 5) ~app ~arch_name ~line_size
     [ ("application", Json.String app);
       ("architecture", Json.String arch_name);
       ("kernel_launches", Json.Int (List.length instances));
+      ("launch_stats", launch_stats_json instances);
       ("reuse_distance", reuse_distance_json rd);
       ("memory_divergence", mem_divergence_json md);
       ("branch_divergence", branch_divergence_json bd);

@@ -16,15 +16,24 @@ type compiled = {
 (* Compile device source; when [instrument] is set, run the engine with
    the given optional-instrumentation selection. *)
 let compile_uncached ?instrument ~file src =
-  let modul = Minicuda.Frontend.compile ~file src in
+  Obs.Trace.with_span ~cat:"compile" "compile" @@ fun () ->
+  let modul =
+    Obs.Trace.with_span ~cat:"compile" "frontend" (fun () ->
+        Minicuda.Frontend.compile ~file src)
+  in
   let manifest =
     match instrument with
     | None -> None
     | Some options ->
-      let r = Passes.Instrument.run ~options modul in
-      Some r.Passes.Instrument.manifest
+      Obs.Trace.with_span ~cat:"compile" "instrument" (fun () ->
+          let r = Passes.Instrument.run ~options modul in
+          Some r.Passes.Instrument.manifest)
   in
-  { modul; manifest; prog = Ptx.Codegen.gen_module modul }
+  let prog =
+    Obs.Trace.with_span ~cat:"compile" "codegen" (fun () ->
+        Ptx.Codegen.gen_module modul)
+  in
+  { modul; manifest; prog }
 
 (* Experiments recompile the same workload dozens of times (a bypass
    sweep is ~15 otherwise-identical runs), so compilation memoizes on
@@ -40,23 +49,29 @@ let compile_cache :
   Hashtbl.create 16
 
 let compile_cache_lock = Mutex.create ()
-let compile_cache_hits = ref 0
-let compile_cache_misses = ref 0
+
+(* Hit/miss counts live in the Obs metrics registry
+   ("advisor.compile_cache.*"); [compile_cache_stats] remains as the
+   legacy accessor over the same counters. *)
+let compile_cache_hits = Obs.Metrics.counter "advisor.compile_cache.hits"
+let compile_cache_misses = Obs.Metrics.counter "advisor.compile_cache.misses"
 
 let compile_source ?instrument ~file src =
   Mutex.protect compile_cache_lock (fun () ->
       let key = (file, src, instrument) in
       match Hashtbl.find_opt compile_cache key with
       | Some compiled ->
-        incr compile_cache_hits;
+        Obs.Metrics.incr compile_cache_hits;
         compiled
       | None ->
-        incr compile_cache_misses;
+        Obs.Metrics.incr compile_cache_misses;
         let compiled = compile_uncached ?instrument ~file src in
         Hashtbl.add compile_cache key compiled;
         compiled)
 
-let compile_cache_stats () = (!compile_cache_hits, !compile_cache_misses)
+let compile_cache_stats () =
+  ( Obs.Metrics.counter_value compile_cache_hits,
+    Obs.Metrics.counter_value compile_cache_misses )
 
 let instrument_source ?(options = Passes.Instrument.all) ~file src =
   compile_source ~instrument:options ~file src
@@ -79,6 +94,7 @@ let default_options =
 (* Run [workload] fully instrumented under the profiler. *)
 let profile ?(options = default_options) ?(keep_mem_events = true) ?scale
     ~arch (workload : Workloads.Common.t) =
+  Obs.Trace.with_span ~cat:"advisor" ("profile:" ^ workload.name) @@ fun () ->
   let scale = Option.value scale ~default:workload.default_scale in
   let compiled =
     compile_source ~instrument:options ~file:workload.source_file workload.source
@@ -86,7 +102,8 @@ let profile ?(options = default_options) ?(keep_mem_events = true) ?scale
   let manifest = Option.get compiled.manifest in
   let profiler = Profiler.Profile.create ~keep_mem_events ~manifest () in
   let host = Hostrt.Host.create ~profiler ~arch ~prog:compiled.prog () in
-  workload.run host ~scale;
+  Obs.Trace.with_span ~cat:"advisor" ("run:" ^ workload.name) (fun () ->
+      workload.run host ~scale);
   { workload; arch; profiler; host; scale }
 
 (* Run [workload] natively (no instrumentation, no profiler); returns
@@ -94,6 +111,7 @@ let profile ?(options = default_options) ?(keep_mem_events = true) ?scale
    and of the bypassing experiments (Figs. 6/7). *)
 let run_native ?(l1_enabled = true) ?(transform = fun p -> p) ?scale ~arch
     (workload : Workloads.Common.t) =
+  Obs.Trace.with_span ~cat:"advisor" ("native:" ^ workload.name) @@ fun () ->
   let scale = Option.value scale ~default:workload.default_scale in
   let compiled = compile_source ~file:workload.source_file workload.source in
   let prog = transform compiled.prog in
@@ -106,15 +124,18 @@ let run_native ?(l1_enabled = true) ?(transform = fun p -> p) ?scale ~arch
 let instances session = Profiler.Profile.instances session.profiler
 
 let reuse_distance ?granularity session =
+  Obs.Trace.with_span ~cat:"analysis" "analysis.reuse_distance" @@ fun () ->
   Analysis.Reuse_distance.merge
     (List.map (Analysis.Reuse_distance.of_instance ?granularity) (instances session))
 
 let mem_divergence ?line_size session =
+  Obs.Trace.with_span ~cat:"analysis" "analysis.mem_divergence" @@ fun () ->
   let line_size = Option.value line_size ~default:session.arch.Gpusim.Arch.line_size in
   Analysis.Mem_divergence.merge
     (List.map (Analysis.Mem_divergence.of_instance ~line_size) (instances session))
 
 let branch_divergence session =
+  Obs.Trace.with_span ~cat:"analysis" "analysis.branch_divergence" @@ fun () ->
   Analysis.Branch_divergence.of_instances (instances session)
 
 (* ----- the bypassing study (Section 4.2-(D)) ----- *)
@@ -144,6 +165,7 @@ let rewrite_all_kernels prog ~warps_to_cache =
    feeds Eq. (1); the oracle exhaustively sweeps the number of caching
    warps like [31] does in its sampling phase. *)
 let bypass_study ?scale ?domains ~arch (workload : Workloads.Common.t) =
+  Obs.Trace.with_span ~cat:"advisor" ("bypass_study:" ^ workload.name) @@ fun () ->
   let session = profile ?scale ~arch workload in
   (* Eq. (1) multiplies R.D. by the cache-line size, i.e. the reuse
      footprint is counted in cache lines: use the line-based RD model. *)
@@ -229,6 +251,8 @@ type vertical_experiment = {
    them to ld.cg for every warp, and re-run. *)
 let vertical_bypass_study ?(threshold = 0.15) ?scale ~arch
     (workload : Workloads.Common.t) =
+  Obs.Trace.with_span ~cat:"advisor" ("vertical_bypass:" ^ workload.name)
+  @@ fun () ->
   let session = profile ?scale ~arch workload in
   let line_size = arch.Gpusim.Arch.line_size in
   let traces =
@@ -262,6 +286,8 @@ type overhead = {
 
 (* Memory + control-flow instrumentation, as in Figure 10. *)
 let overhead_study ?scale ~arch (workload : Workloads.Common.t) =
+  Obs.Trace.with_span ~cat:"advisor" ("overhead_study:" ^ workload.name)
+  @@ fun () ->
   let native_cycles = fst (run_native ?scale ~arch workload) in
   let options =
     { Passes.Instrument.memory = true; control_flow = true; arithmetic = false }

@@ -42,6 +42,13 @@ let default_domains () =
     | _ -> invalid_arg (Printf.sprintf "POOL_DOMAINS=%S is not a positive integer" s))
   | None -> Domain.recommended_domain_count ()
 
+(* Every task reports how long it sat in the queue (submission of the
+   batch to a worker picking it up) and how long it ran; the sweeps are
+   seconds-long simulations, so two clock reads per task are noise. *)
+let m_tasks = Obs.Metrics.counter "pool.tasks"
+let m_wait = Obs.Metrics.histogram "pool.task.wait_ns"
+let m_run = Obs.Metrics.histogram "pool.task.run_ns"
+
 (* [map ?domains f xs] is [List.map f xs] with the applications spread
    over [domains] domains (the caller works too).  Results keep input
    order and do not depend on the domain count; if any application
@@ -59,13 +66,18 @@ let map ?domains f xs =
     let results = Array.make n None in
     let errors = Array.make n None in
     let next = Atomic.make 0 in
+    let submitted = Obs.Clock.now_ns () in
     let work () =
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
-          (match f items.(i) with
+          let picked = Obs.Clock.now_ns () in
+          Obs.Metrics.incr m_tasks;
+          Obs.Metrics.observe m_wait (picked - submitted);
+          (match Obs.Trace.with_span ~cat:"pool" "pool.task" (fun () -> f items.(i)) with
           | v -> results.(i) <- Some v
           | exception e -> errors.(i) <- Some e);
+          Obs.Metrics.observe m_run (Obs.Clock.now_ns () - picked);
           loop ()
         end
       in

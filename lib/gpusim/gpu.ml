@@ -64,6 +64,7 @@ type 'a queue = {
      that same element and leave the queue bit-identical — so the
      caller may keep hold of the element and skip both operations. *)
   qrun_ahead : int -> bool;
+  qsize : unit -> int; (* queue-depth sampling (Obs), read-only *)
 }
 
 let heap_queue () : 'a queue =
@@ -73,6 +74,7 @@ let heap_queue () : 'a queue =
     qpop = (fun () -> Heap.pop h);
     qempty = (fun () -> Heap.is_empty h);
     qrun_ahead = (fun k -> Heap.run_ahead_ok h k);
+    qsize = (fun () -> Heap.size h);
   }
 
 let calendar_queue () : 'a queue =
@@ -82,10 +84,44 @@ let calendar_queue () : 'a queue =
     qpop = (fun () -> Calq.pop q);
     qempty = (fun () -> Calq.is_empty q);
     qrun_ahead = (fun k -> Calq.run_ahead_ok q k);
+    qsize = (fun () -> Calq.size q);
   }
+
+(* ----- self-profiling (Obs) -----
+
+   Always-on registry instruments are updated once per launch / per SM
+   — noise next to the event loop.  In-loop sampling (scheduler queue
+   depth, MSHR occupancy) reads the tracing flag once per launch and
+   fires every [sample_period] pops only when tracing is enabled, so
+   the disabled hot path pays one hoisted bool and a land/branch per
+   pop. *)
+
+let m_launches = Obs.Metrics.counter "sim.launches"
+let m_cycles = Obs.Metrics.counter "sim.cycles"
+let m_warp_insts = Obs.Metrics.counter "sim.warp_insts"
+let m_l1_hit_rate = Obs.Metrics.histogram "sim.l1.hit_rate_pct"
+let m_mshr_occupancy = Obs.Metrics.histogram "sim.mshr.occupancy"
+let m_queue_depth = Obs.Metrics.histogram "sim.queue.depth"
+
+let sample_period_mask = 255 (* sample every 256 pops *)
+
+(* Per-SM cycle gauges, interned once per SM index. *)
+let sm_cycle_gauges : (int, Obs.Metrics.gauge) Hashtbl.t = Hashtbl.create 64
+let sm_gauges_lock = Mutex.create ()
+
+let sm_cycle_gauge i =
+  Mutex.protect sm_gauges_lock (fun () ->
+      match Hashtbl.find_opt sm_cycle_gauges i with
+      | Some g -> g
+      | None ->
+        let g = Obs.Metrics.gauge (Printf.sprintf "sim.sm%d.cycles" i) in
+        Hashtbl.replace sm_cycle_gauges i g;
+        g)
 
 let launch ?(sink = Hookev.null_sink) ?(l1_enabled = true) ?(sched = Exact_heap)
     device ~prog ~kernel ~grid:(gx, gy) ~block:(bx, by) ~args () : result =
+  Obs.Trace.with_span ~cat:"sim" ("launch:" ^ kernel) @@ fun () ->
+  let obs_on = Obs.Trace.enabled () in
   let arch = device.arch in
   let kf = Ptx.Isa.find_func prog kernel in
   if not kf.is_kernel then fail "%s is not a kernel" kernel;
@@ -234,19 +270,35 @@ let launch ?(sink = Hookev.null_sink) ?(l1_enabled = true) ?(sched = Exact_heap)
      on the queue's internal arrangement, so event ordering — including
      tie-breaks — and therefore cycle counts are bit-identical to the
      one-instruction-per-pop loop. *)
+  let pops = ref 0 in
   while not (q.qempty ()) do
     match q.qpop () with
     | None -> ()
     | Some (_, (sm, warp)) -> (
+      (* scheduler/memory-system sampling: only when tracing is on, and
+         only every [sample_period_mask + 1] pops *)
+      if obs_on then begin
+        incr pops;
+        if !pops land sample_period_mask = 0 then begin
+          Obs.Metrics.observe m_queue_depth (q.qsize ());
+          Obs.Metrics.observe m_mshr_occupancy (Mshr.in_flight sm.Machine.mshr)
+        end
+      end;
       match warp.Machine.status with
       | Machine.Finished | Machine.At_barrier -> ()
       | Machine.Ready ->
         let running = ref true in
         while !running do
           Exec.step ctx sm warp;
-          if warp.Machine.insts > max_warp_insts then
-            fail "kernel %s: warp exceeded %d instructions (runaway loop?)" kernel
+          if warp.Machine.insts > max_warp_insts then begin
+            Obs.Log.error "gpusim"
+              "kernel %s: warp %d of CTA %d exceeded %d instructions (runaway \
+               loop?); aborting launch"
+              kernel warp.Machine.warp_id warp.Machine.cta.Machine.cta_linear
               max_warp_insts;
+            fail "kernel %s: warp exceeded %d instructions (runaway loop?)" kernel
+              max_warp_insts
+          end;
           if warp.Machine.ready_at > !end_time then end_time := warp.Machine.ready_at;
           match warp.Machine.status with
           | Machine.Ready ->
@@ -294,6 +346,31 @@ let launch ?(sink = Hookev.null_sink) ?(l1_enabled = true) ?(sched = Exact_heap)
   let mshr_merges =
     Array.fold_left (fun acc (sm : Machine.sm) -> acc + sm.mshr.Mshr.merges) 0 sms
   in
+  (* per-launch self-profiling: registry counters/histograms always,
+     per-SM gauges and trace counter tracks only when tracing *)
+  Obs.Metrics.incr m_launches;
+  Obs.Metrics.add m_cycles (!end_time + launch_overhead);
+  Obs.Metrics.add m_warp_insts stats.Stats.warp_insts;
+  Array.iter
+    (fun (sm : Machine.sm) ->
+      let s = sm.l1.Cache.stats in
+      if s.Cache.reads > 0 then
+        Obs.Metrics.observe m_l1_hit_rate
+          (int_of_float (100. *. Cache.hit_rate s)))
+    sms;
+  if obs_on then begin
+    Array.iter
+      (fun (sm : Machine.sm) ->
+        Obs.Metrics.set_gauge (sm_cycle_gauge sm.Machine.sm_id')
+          (float_of_int sm.Machine.next_issue))
+      sms;
+    (if l1_stats.Cache.reads > 0 then
+       Obs.Trace.counter ~cat:"sim" "l1.hit_rate_pct"
+         (100. *. Cache.hit_rate l1_stats));
+    if device.l2.Cache.stats.Cache.reads > 0 then
+      Obs.Trace.counter ~cat:"sim" "l2.hit_rate_pct"
+        (100. *. Cache.hit_rate device.l2.Cache.stats)
+  end;
   {
     cycles = !end_time + launch_overhead;
     stats;

@@ -15,6 +15,13 @@ type t = {
   l1_enabled : bool;
 }
 
+(* Host-side traffic totals: allocation and PCIe-transfer volume, the
+   denominators of the data-centric views. *)
+let m_host_allocs = Obs.Metrics.counter "host.mallocs"
+let m_dev_allocs = Obs.Metrics.counter "host.cuda_mallocs"
+let m_h2d_bytes = Obs.Metrics.counter "host.memcpy.h2d_bytes"
+let m_d2h_bytes = Obs.Metrics.counter "host.memcpy.d2h_bytes"
+
 let create ?profiler ?(l1_enabled = true) ~arch ~prog () =
   {
     device = Gpusim.Gpu.create_device arch;
@@ -55,12 +62,14 @@ let record_alloc t ~side ~base ~size ~label =
 
 (* malloc on the host. *)
 let malloc t ~label bytes =
+  Obs.Metrics.incr m_host_allocs;
   let base = Gpusim.Devmem.malloc t.hostmem bytes in
   record_alloc t ~side:Profiler.Records.Host_side ~base ~size:bytes ~label;
   base
 
 (* cudaMalloc on the device. *)
 let cuda_malloc t ~label bytes =
+  Obs.Metrics.incr m_dev_allocs;
   let base = Gpusim.Devmem.malloc (dev_mem t) bytes in
   record_alloc t ~side:Profiler.Records.Device_side ~base ~size:bytes ~label;
   base
@@ -73,10 +82,12 @@ let record_transfer t ~direction ~src ~dst ~bytes =
   | None -> ()
 
 let memcpy_h2d t ~dst ~src ~bytes =
+  Obs.Metrics.add m_h2d_bytes bytes;
   Gpusim.Devmem.blit ~src:t.hostmem ~src_addr:src ~dst:(dev_mem t) ~dst_addr:dst ~bytes;
   record_transfer t ~direction:Profiler.Records.Host_to_device ~src ~dst ~bytes
 
 let memcpy_d2h t ~dst ~src ~bytes =
+  Obs.Metrics.add m_d2h_bytes bytes;
   Gpusim.Devmem.blit ~src:(dev_mem t) ~src_addr:src ~dst:t.hostmem ~dst_addr:dst ~bytes;
   record_transfer t ~direction:Profiler.Records.Device_to_host ~src ~dst ~bytes
 

@@ -27,10 +27,20 @@ let pop_scope env =
 let lookup env name =
   List.find_map (fun scope -> Hashtbl.find_opt scope name) env.scopes
 
+(* Shadowing an outer binding is legal but almost always an accident in
+   kernel code; it used to pass silently — now it is counted and
+   reported through the leveled logger. *)
+let m_warnings = Obs.Metrics.counter "frontend.warnings"
+
 let bind env pos name binding =
   match env.scopes with
-  | scope :: _ ->
+  | scope :: outer ->
     if Hashtbl.mem scope name then err env pos "redeclaration of %s" name;
+    if List.exists (fun s -> Hashtbl.mem s name) outer then begin
+      Obs.Metrics.incr m_warnings;
+      Obs.Log.warn "minicuda" "%s:%d:%d: declaration of %s shadows an outer binding"
+        env.file pos.Ast.line pos.Ast.col name
+    end;
     Hashtbl.replace scope name binding
   | [] -> invalid_arg "Typecheck.bind: no scope"
 

@@ -1,0 +1,26 @@
+(* Monotonic nanosecond clock for spans and latency metrics.
+
+   The stdlib exposes no monotonic clock, so this wraps
+   [Unix.gettimeofday] and clamps it against a process-global
+   high-water mark: a wall-clock step backwards (NTP, VM migration)
+   yields repeated timestamps instead of negative span durations.
+   The clamp is an atomic max, so timestamps are monotonic across
+   domains too — an event recorded after another (in real time, on any
+   domain) never carries a smaller stamp. *)
+
+let high_water = Atomic.make 0
+
+let now_ns () =
+  let t = int_of_float (Unix.gettimeofday () *. 1e9) in
+  let rec clamp () =
+    let hw = Atomic.get high_water in
+    if t <= hw then hw
+    else if Atomic.compare_and_set high_water hw t then t
+    else clamp ()
+  in
+  clamp ()
+
+(* Process start, for human-readable relative timestamps in log lines. *)
+let start_ns = now_ns ()
+
+let elapsed_ns () = now_ns () - start_ns

@@ -1,0 +1,187 @@
+(* A minimal JSON parser, used to *validate* the tool's own JSON output
+   (Chrome trace export, machine-readable reports) in tests and the
+   smoke alias — the emitting paths live elsewhere and must never be
+   trusted to produce well-formed output unchecked.
+
+   Accepts strict JSON (RFC 8259-ish): no comments, no trailing
+   commas.  Numbers are parsed as floats. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Bad of string * int (* message, position *)
+
+let bad pos msg = raise (Bad (msg, pos))
+
+let parse_exn (s : string) : t =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | Some c' -> bad !pos (Printf.sprintf "expected %C, found %C" c c')
+    | None -> bad !pos (Printf.sprintf "expected %C, found end of input" c)
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else bad !pos (Printf.sprintf "expected %s" word)
+  in
+  let parse_hex4 () =
+    if !pos + 4 > n then bad !pos "truncated \\u escape";
+    let h = String.sub s !pos 4 in
+    (match int_of_string_opt ("0x" ^ h) with
+    | Some _ -> ()
+    | None -> bad !pos (Printf.sprintf "invalid \\u escape %S" h));
+    pos := !pos + 4
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then bad !pos "unterminated string";
+      let c = s.[!pos] in
+      advance ();
+      if c = '"' then Buffer.contents buf
+      else if c = '\\' then begin
+        (if !pos >= n then bad !pos "unterminated escape";
+         let e = s.[!pos] in
+         advance ();
+         match e with
+         | '"' -> Buffer.add_char buf '"'
+         | '\\' -> Buffer.add_char buf '\\'
+         | '/' -> Buffer.add_char buf '/'
+         | 'b' -> Buffer.add_char buf '\b'
+         | 'f' -> Buffer.add_char buf '\012'
+         | 'n' -> Buffer.add_char buf '\n'
+         | 'r' -> Buffer.add_char buf '\r'
+         | 't' -> Buffer.add_char buf '\t'
+         | 'u' ->
+           parse_hex4 ();
+           Buffer.add_char buf '?'
+         | e -> bad !pos (Printf.sprintf "invalid escape \\%c" e));
+        go ()
+      end
+      else if Char.code c < 0x20 then bad !pos "raw control character in string"
+      else begin
+        Buffer.add_char buf c;
+        go ()
+      end
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let consume p =
+      while !pos < n && p s.[!pos] do
+        advance ()
+      done
+    in
+    if peek () = Some '-' then advance ();
+    consume (function '0' .. '9' -> true | _ -> false);
+    if peek () = Some '.' then begin
+      advance ();
+      consume (function '0' .. '9' -> true | _ -> false)
+    end;
+    (match peek () with
+    | Some ('e' | 'E') ->
+      advance ();
+      (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+      consume (function '0' .. '9' -> true | _ -> false)
+    | _ -> ());
+    let text = String.sub s start (!pos - start) in
+    match float_of_string_opt text with
+    | Some f -> Num f
+    | None -> bad start (Printf.sprintf "invalid number %S" text)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> bad !pos "unexpected end of input"
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((k, v) :: acc)
+          | Some '}' ->
+            advance ();
+            Obj (List.rev ((k, v) :: acc))
+          | _ -> bad !pos "expected ',' or '}' in object"
+        in
+        members []
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        Arr []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements (v :: acc)
+          | Some ']' ->
+            advance ();
+            Arr (List.rev (v :: acc))
+          | _ -> bad !pos "expected ',' or ']' in array"
+        in
+        elements []
+      end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> bad !pos (Printf.sprintf "unexpected character %C" c)
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then bad !pos "trailing garbage after JSON value";
+  v
+
+let parse s =
+  match parse_exn s with
+  | v -> Ok v
+  | exception Bad (msg, pos) -> Error (Printf.sprintf "at byte %d: %s" pos msg)
+
+(* Field accessors for validation code. *)
+let member k = function Obj fields -> List.assoc_opt k fields | _ -> None
+let to_list = function Arr l -> Some l | _ -> None
+let to_string_opt = function Str s -> Some s | _ -> None
+let to_float_opt = function Num f -> Some f | _ -> None

@@ -8,9 +8,14 @@
    register count, which is what licenses the interpreter's unchecked
    register-file accesses. *)
 
-let cache_hits = Atomic.make 0
-let cache_misses = Atomic.make 0
-let cache_stats () = (Atomic.get cache_hits, Atomic.get cache_misses)
+(* Cache hit/miss counts live in the Obs metrics registry
+   ("ptx.decode_cache.*"); [cache_stats] remains as the legacy
+   accessor over the same counters. *)
+let cache_hits = Obs.Metrics.counter "ptx.decode_cache.hits"
+let cache_misses = Obs.Metrics.counter "ptx.decode_cache.misses"
+
+let cache_stats () =
+  (Obs.Metrics.counter_value cache_hits, Obs.Metrics.counter_value cache_misses)
 
 let bad_reg fname r nregs =
   invalid_arg
@@ -164,11 +169,11 @@ let decode (p : Isa.prog) : Isa.decoded =
 let of_prog (p : Isa.prog) : Isa.decoded =
   match p.decoded with
   | Some d ->
-    Atomic.incr cache_hits;
+    Obs.Metrics.incr cache_hits;
     d
   | None ->
-    Atomic.incr cache_misses;
-    let d = decode p in
+    Obs.Metrics.incr cache_misses;
+    let d = Obs.Trace.with_span ~cat:"compile" "decode" (fun () -> decode p) in
     p.decoded <- Some d;
     d
 

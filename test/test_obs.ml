@@ -1,0 +1,241 @@
+(* The self-profiling layer: histogram bucket arithmetic, registry
+   behavior, span nesting under domain parallelism, Chrome-trace
+   export validity, and the contract that observation never changes
+   what is observed (golden metrics identical with tracing on/off). *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* ----- histogram buckets ----- *)
+
+(* bucket_lo b <= v <= bucket_hi b  iff  bucket_index v = b *)
+let qcheck_bucket_bounds =
+  QCheck2.Test.make ~name:"bucket bounds characterize bucket_index" ~count:500
+    QCheck2.Gen.(
+      oneof
+        [ int_range (-4096) 4096; map abs int;
+          map (fun b -> 1 lsl abs (b mod 62)) int ])
+    (fun v ->
+      let b = Obs.Metrics.bucket_index v in
+      b >= 0
+      && b < Obs.Metrics.num_buckets
+      && Obs.Metrics.bucket_lo b <= v
+      && v <= Obs.Metrics.bucket_hi b)
+
+(* Both endpoints of every bucket map back to that bucket, and the
+   buckets tile the int range without overlap. *)
+let test_bucket_endpoints () =
+  for b = 0 to Obs.Metrics.num_buckets - 1 do
+    check_int "lo endpoint" b (Obs.Metrics.bucket_index (Obs.Metrics.bucket_lo b));
+    check_int "hi endpoint" b (Obs.Metrics.bucket_index (Obs.Metrics.bucket_hi b));
+    if b > 0 then
+      check_int "buckets are adjacent"
+        (Obs.Metrics.bucket_hi (b - 1) + 1)
+        (Obs.Metrics.bucket_lo b)
+  done
+
+let test_histogram_aggregates () =
+  let h = Obs.Metrics.histogram "test.obs.hist" in
+  let values = [ 0; 1; 1; 3; 100; 7; 65_536; -5 ] in
+  List.iter (Obs.Metrics.observe h) values;
+  let s =
+    match List.assoc "test.obs.hist" (Obs.Metrics.snapshot ()) with
+    | Obs.Metrics.Histogram s -> s
+    | _ -> Alcotest.fail "test.obs.hist is not a histogram"
+  in
+  check_int "count" (List.length values) s.count;
+  check_int "sum" (List.fold_left ( + ) 0 values) s.sum;
+  check_int "max" 65_536 s.max_value;
+  check_int "bucket of 1 holds both 1s"
+    2
+    (List.assoc (Obs.Metrics.bucket_index 1) s.filled);
+  check_int "v<=0 shares bucket 0" 2 (List.assoc 0 s.filled)
+
+(* ----- registry ----- *)
+
+let test_registry () =
+  let c = Obs.Metrics.counter "test.obs.counter" in
+  Obs.Metrics.add c 41;
+  Obs.Metrics.incr c;
+  check_int "counter accumulates" 42 (Obs.Metrics.counter_value c);
+  let c' = Obs.Metrics.counter "test.obs.counter" in
+  Obs.Metrics.incr c';
+  check_int "same name interns to same cell" 43 (Obs.Metrics.counter_value c);
+  Obs.Metrics.register_probe "test.obs.probe" (fun () -> 2.5);
+  (match List.assoc "test.obs.probe" (Obs.Metrics.snapshot ()) with
+  | Obs.Metrics.Gauge v -> Alcotest.(check (float 0.)) "probe polled" 2.5 v
+  | _ -> Alcotest.fail "probe missing from snapshot");
+  (* names are kind-stable *)
+  check_bool "kind mismatch rejected" true
+    (match Obs.Metrics.gauge "test.obs.counter" with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  (* snapshot is sorted by name *)
+  let names = List.map fst (Obs.Metrics.snapshot ()) in
+  check_bool "snapshot sorted" true (List.sort String.compare names = names)
+
+(* ----- spans under domain parallelism ----- *)
+
+(* Walk a parsed Chrome trace and check per-tid stack discipline:
+   every E matches the innermost open B of its tid, and nothing stays
+   open.  Returns the number of B/E pairs seen. *)
+let check_chrome_pairs json =
+  let events =
+    match Obs.Jsonv.to_list json with
+    | Some l -> l
+    | None -> Alcotest.fail "trace is not a JSON array"
+  in
+  let str e k = Option.bind (Obs.Jsonv.member k e) Obs.Jsonv.to_string_opt in
+  let num e k = Option.bind (Obs.Jsonv.member k e) Obs.Jsonv.to_float_opt in
+  let stacks : (int, string list) Hashtbl.t = Hashtbl.create 8 in
+  let pairs = ref 0 in
+  List.iter
+    (fun e ->
+      let tid = int_of_float (Option.value ~default:(-1.) (num e "tid")) in
+      let name = Option.value ~default:"?" (str e "name") in
+      match str e "ph" with
+      | Some "B" ->
+        let st = Option.value ~default:[] (Hashtbl.find_opt stacks tid) in
+        Hashtbl.replace stacks tid (name :: st)
+      | Some "E" -> (
+        match Hashtbl.find_opt stacks tid with
+        | Some (top :: rest) ->
+          Alcotest.(check string) "E closes innermost B" top name;
+          incr pairs;
+          Hashtbl.replace stacks tid rest
+        | _ -> Alcotest.fail (Printf.sprintf "unmatched E %S on tid %d" name tid))
+      | Some ("C" | "i" | "M") -> ()
+      | ph ->
+        Alcotest.fail
+          (Printf.sprintf "unknown phase %S" (Option.value ~default:"" ph)))
+    events;
+  Hashtbl.iter
+    (fun tid st ->
+      if st <> [] then
+        Alcotest.fail (Printf.sprintf "tid %d left %d spans open" tid (List.length st)))
+    stacks;
+  !pairs
+
+let with_tracing f =
+  Obs.Trace.clear ();
+  Obs.Trace.enable ();
+  Fun.protect ~finally:(fun () -> Obs.Trace.disable ()) f
+
+let test_span_nesting_parallel () =
+  with_tracing @@ fun () ->
+  let items = List.init 16 Fun.id in
+  let out =
+    Pool.map ~domains:4
+      (fun i ->
+        Obs.Trace.with_span ~cat:"test" "outer" (fun () ->
+            Obs.Trace.with_span ~cat:"test" "inner" (fun () ->
+                Obs.Trace.counter "test.progress" (float_of_int i);
+                i * i)))
+      items
+  in
+  Alcotest.(check (list int)) "map result unchanged" (List.map (fun i -> i * i) items) out;
+  let json =
+    match Obs.Jsonv.parse (Obs.Trace.export_chrome ()) with
+    | Ok j -> j
+    | Error msg -> Alcotest.fail ("export is not valid JSON: " ^ msg)
+  in
+  let pairs = check_chrome_pairs json in
+  (* pool.task > outer > inner: three nested spans per item *)
+  check_int "three span pairs per item" (3 * List.length items) pairs;
+  (* the text tree renders without raising and mentions both spans *)
+  let text = Obs.Trace.to_text () in
+  check_bool "text tree has outer" true
+    (String.length text > 0 && contains text "outer" && contains text "inner")
+
+(* spans survive exceptions: the E is still recorded *)
+let test_span_exception_safety () =
+  with_tracing @@ fun () ->
+  (try
+     Obs.Trace.with_span "doomed" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  let json =
+    match Obs.Jsonv.parse (Obs.Trace.export_chrome ()) with
+    | Ok j -> j
+    | Error msg -> Alcotest.fail ("export is not valid JSON: " ^ msg)
+  in
+  check_int "B/E pair despite exception" 1 (check_chrome_pairs json)
+
+(* truncation: buffers stop recording at capacity but never break B/E
+   matching *)
+let test_capacity_truncation () =
+  Fun.protect ~finally:(fun () -> Obs.Trace.set_capacity 1_000_000)
+  @@ fun () ->
+  Obs.Trace.set_capacity 1024;
+  with_tracing @@ fun () ->
+  for _ = 1 to 3000 do
+    Obs.Trace.with_span "spam" Fun.id
+  done;
+  check_bool "events were dropped" true (Obs.Trace.dropped_count () > 0);
+  let json =
+    match Obs.Jsonv.parse (Obs.Trace.export_chrome ()) with
+    | Ok j -> j
+    | Error msg -> Alcotest.fail ("export is not valid JSON: " ^ msg)
+  in
+  ignore (check_chrome_pairs json)
+
+(* ----- observation must not perturb the simulation ----- *)
+
+let nn () = Workloads.Registry.find "nn"
+let arch () = Gpusim.Arch.kepler_k40c ~l1_kb:16 ()
+
+type fingerprint = {
+  fp_cycles : int;
+  fp_rd_mean : float;
+  fp_md_degree : float;
+  fp_bd : int * int;
+}
+
+let fingerprint () =
+  let session = Advisor.profile ~arch:(arch ()) (nn ()) in
+  let rd = Advisor.reuse_distance session in
+  let md = Advisor.mem_divergence session in
+  let bd = Advisor.branch_divergence session in
+  {
+    fp_cycles = Hostrt.Host.total_kernel_cycles session.host;
+    fp_rd_mean = rd.mean_finite_distance;
+    fp_md_degree = md.Analysis.Mem_divergence.degree;
+    fp_bd = (bd.divergent_blocks, bd.total_blocks);
+  }
+
+let test_tracing_is_invisible () =
+  Obs.Trace.disable ();
+  let off = fingerprint () in
+  let on_ = with_tracing fingerprint in
+  check_int "cycles identical" off.fp_cycles on_.fp_cycles;
+  check_bool "rd mean bit-identical" true (off.fp_rd_mean = on_.fp_rd_mean);
+  check_bool "md degree bit-identical" true (off.fp_md_degree = on_.fp_md_degree);
+  check_bool "bd identical" true (off.fp_bd = on_.fp_bd)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          QCheck_alcotest.to_alcotest qcheck_bucket_bounds;
+          Alcotest.test_case "bucket endpoints" `Quick test_bucket_endpoints;
+          Alcotest.test_case "histogram aggregates" `Quick test_histogram_aggregates;
+          Alcotest.test_case "registry" `Quick test_registry;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "span nesting across domains" `Quick
+            test_span_nesting_parallel;
+          Alcotest.test_case "exception safety" `Quick test_span_exception_safety;
+          Alcotest.test_case "capacity truncation" `Quick test_capacity_truncation;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "tracing on = tracing off" `Quick
+            test_tracing_is_invisible;
+        ] );
+    ]

@@ -37,7 +37,7 @@ let app_arg =
     & info [] ~docv:"APP" ~doc:"Benchmark name (see `cudaadvisor list`).")
 
 let find_app name =
-  match List.find_opt (fun (w : Workloads.Common.t) -> w.name = name) Workloads.Registry.all with
+  match Workloads.Registry.find_opt name with
   | Some w -> `Ok w
   | None ->
     `Error
@@ -71,12 +71,22 @@ let log_arg =
         ~doc:"Log level: debug, info, warn, error or quiet (default: \
               $(b,OBS_LOG) environment variable, else warn).")
 
+let max_warp_instrs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-warp-instrs" ] ~docv:"N"
+        ~doc:"Per-warp executed-instruction limit before a launch is aborted as \
+              runaway (default: $(b,CUDAADVISOR_MAX_WARP_INSTRS) environment \
+              variable, else the built-in limit).")
+
 (* Applies the flags as a side effect of term evaluation (so tracing is
    on before the command body runs) and hands the command a finalizer
    to run once its work is done. *)
 let obs_term =
-  let make trace_file metrics log_level =
+  let make trace_file metrics log_level max_warp =
     (match log_level with Some l -> Obs.Log.set_level l | None -> ());
+    (match max_warp with Some n -> Gpusim.Gpu.set_max_warp_insts n | None -> ());
     if trace_file <> None then Obs.Trace.enable ();
     fun () ->
       (match trace_file with
@@ -86,7 +96,7 @@ let obs_term =
       | None -> ());
       if metrics then print_string (Obs.Metrics.to_text ())
   in
-  Term.(const make $ trace_arg $ metrics_flag $ log_arg)
+  Term.(const make $ trace_arg $ metrics_flag $ log_arg $ max_warp_instrs_arg)
 
 (* ----- list ----- *)
 
@@ -96,6 +106,11 @@ let list_cmd =
       (fun (w : Workloads.Common.t) ->
         Printf.printf "%-10s %-40s (%s)\n" w.name w.description w.input_desc)
       Workloads.Registry.all;
+    Printf.printf "\nSeeded-bug variants (for `cudaadvisor check`):\n";
+    List.iter
+      (fun (w : Workloads.Common.t) ->
+        Printf.printf "%-22s %-40s (%s)\n" w.name w.description w.input_desc)
+      Workloads.Registry.seeded;
     finish ()
   in
   Cmd.v (Cmd.info "list" ~doc:"List the available benchmark applications.")
@@ -196,6 +211,70 @@ let report_cmd =
     (Cmd.info "report"
        ~doc:"Code- and data-centric debugging views of the most divergent accesses.")
     Term.(ret (const report_run $ obs_term $ app_arg $ arch_arg $ scale_arg))
+
+(* ----- check ----- *)
+
+let pp_device_path path =
+  String.concat " <- "
+    (List.map
+       (fun (fn, loc) ->
+         if Bitc.Loc.is_none loc then fn
+         else Printf.sprintf "%s (%s)" fn (Bitc.Loc.to_string loc))
+       path)
+
+let check_run finish app arch scale json =
+  match find_app app with
+  | `Error _ as e -> e
+  | `Ok w ->
+    match Advisor.check ~arch ?scale w with
+    | exception Gpusim.Gpu.Launch_error msg ->
+      `Error (false, Printf.sprintf "launch aborted: %s" msg)
+    | r ->
+    let errors = Advisor.check_error_count r in
+    if json then
+      print_endline (Analysis.Json.to_string (Advisor.check_report_json r))
+    else begin
+      List.iter
+        (fun (f : Passes.Check_static.finding) ->
+          Printf.printf "error: [%s] %s in %s: %s\n" f.rule
+            (Bitc.Loc.to_string f.loc) f.in_func f.message)
+        r.static_findings;
+      List.iter
+        (fun (race : Analysis.Race.race) ->
+          Printf.printf
+            "error: [%s] shared-memory race between %s and %s (%d conflicting \
+             cells; e.g. cta %d, barrier interval %d, shared byte %d)\n"
+            race.race_kind
+            (Bitc.Loc.to_string race.a_loc)
+            (Bitc.Loc.to_string race.b_loc)
+            race.conflicts race.sample_cta race.sample_epoch race.sample_addr;
+          Printf.printf "  site A: %s\n  site B: %s\n"
+            (pp_device_path race.a_path) (pp_device_path race.b_path))
+        r.races.Analysis.Race.races;
+      List.iter
+        (fun (a : Analysis.Race.barrier_advice) ->
+          Printf.printf
+            "advice: __syncthreads at %s in %s separated no conflicting \
+             accesses in any of its %d dynamic instances; it may be redundant\n"
+            (Bitc.Loc.to_string a.advice_loc)
+            a.advice_func a.boundaries)
+        r.races.Analysis.Race.redundant_barriers;
+      Printf.printf "%s: %d error(s), %d advice\n" w.name errors
+        (List.length r.races.Analysis.Race.redundant_barriers)
+    end;
+    finish ();
+    if errors > 0 then exit 1;
+    `Ok ()
+
+let check_cmd =
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Correctness checks: static divergent-barrier and out-of-bounds \
+             analysis plus the dynamic shared-memory race detector.  Exits \
+             non-zero if any error is found.")
+    Term.(
+      ret (const check_run $ obs_term $ app_arg $ arch_arg $ scale_arg
+          $ json_flag))
 
 (* ----- bypass ----- *)
 
@@ -312,5 +391,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; profile_cmd; report_cmd; bypass_cmd; overhead_cmd;
-            trace_cmd; dump_ir_cmd; dump_ptx_cmd ]))
+          [ list_cmd; profile_cmd; report_cmd; check_cmd; bypass_cmd;
+            overhead_cmd; trace_cmd; dump_ir_cmd; dump_ptx_cmd ]))

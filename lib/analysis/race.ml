@@ -1,0 +1,296 @@
+(* Dynamic shared-memory race detection over the checker's packed trace
+   channel ([Profiler.Tracebuf.Shared]), the runtime half of
+   `advisor check`.
+
+   Model: a barrier epoch is the number of __syncthreads a warp has
+   passed.  Within one CTA, accesses made in the same epoch by
+   *different warps* have no ordering — __syncthreads is the only
+   inter-warp ordering primitive the programming model gives inside a
+   CTA — so two same-epoch accesses to the same byte from different
+   warps conflict whenever at least one of them writes (atomics conflict
+   with plain reads and writes but commute with each other).  The
+   detector is warp-granular: lanes of one warp execute in lockstep on
+   this simulator, so intra-warp ordering is defined and intra-warp
+   conflicts are out of scope (a documented false-negative window, like
+   CUDA's warp-synchronous programming idioms).
+
+   The same per-byte access histories also yield redundant-barrier
+   advice: the barrier ending epoch [k] of a CTA is individually
+   removable iff merging epochs [k] and [k+1] creates no new conflict —
+   i.e. no byte sees a conflicting cross-warp pair with one access in
+   epoch [k] and the other in epoch [k+1].  (Pairs spanning more than
+   one boundary stay protected by the other barriers.)  A barrier *site*
+   is advised redundant when every one of its dynamic boundary instances
+   is removable.  Advice is reported separately from race findings: a
+   redundant barrier is a performance hint, not a bug. *)
+
+module Shared = Profiler.Tracebuf.Shared
+
+type race = {
+  race_kind : string; (* "write-write" | "read-write" | "atomic-conflict" *)
+  a_loc : Bitc.Loc.t;
+  a_tag : int; (* Shared.tag_* of the first site *)
+  a_path : (string * Bitc.Loc.t) list; (* device call path (kernel first) *)
+  b_loc : Bitc.Loc.t;
+  b_tag : int;
+  b_path : (string * Bitc.Loc.t) list;
+  conflicts : int; (* distinct (cta, epoch, byte) cells in conflict *)
+  sample_cta : int;
+  sample_epoch : int;
+  sample_addr : int; (* CTA-local byte address of one conflicting cell *)
+}
+
+type barrier_advice = {
+  advice_loc : Bitc.Loc.t;
+  advice_func : string;
+  boundaries : int; (* dynamic boundary instances observed for the site *)
+}
+
+type result = {
+  races : race list;
+  redundant_barriers : barrier_advice list;
+}
+
+(* One recorded access to a byte: epoch, warp, tag and attribution. *)
+type access = {
+  acc_epoch : int;
+  acc_warp : int;
+  acc_tag : int;
+  acc_loc : Bitc.Loc.t;
+  acc_node : int;
+}
+
+let conflicting a b =
+  if a.acc_warp = b.acc_warp then false
+  else
+    let writes t = t = Shared.tag_write in
+    let atomic t = t = Shared.tag_atomic in
+    if atomic a.acc_tag && atomic b.acc_tag then false
+    else writes a.acc_tag || writes b.acc_tag || atomic a.acc_tag
+         || atomic b.acc_tag
+
+let race_kind a b =
+  let t1, t2 = (a.acc_tag, b.acc_tag) in
+  if t1 = Shared.tag_atomic || t2 = Shared.tag_atomic then "atomic-conflict"
+  else if t1 = Shared.tag_write && t2 = Shared.tag_write then "write-write"
+  else "read-write"
+
+(* Canonical ordering of a site pair so (A, B) and (B, A) aggregate
+   into one finding. *)
+let pair_key a b =
+  let ka = (a.acc_loc, a.acc_tag) and kb = (b.acc_loc, b.acc_tag) in
+  let cmp =
+    let c = Bitc.Loc.compare a.acc_loc b.acc_loc in
+    if c <> 0 then c else compare a.acc_tag b.acc_tag
+  in
+  if cmp <= 0 then (ka, kb) else (kb, ka)
+
+let of_instance (profile : Profiler.Profile.t)
+    (instance : Profiler.Profile.instance) =
+  let t = instance.shared in
+  (* per (cta, byte) access history, deduplicated on
+     (epoch, warp, tag, loc) *)
+  let bytes : (int * int, access list ref) Hashtbl.t = Hashtbl.create 1024 in
+  (* barrier boundary (cta, epoch-it-ends) -> manifest barrier id *)
+  let boundaries : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  Shared.iter t (fun i ->
+      let cta = Shared.cta t i in
+      let tag = Shared.tag t i in
+      if tag = Shared.tag_barrier then
+        Hashtbl.replace boundaries (cta, Shared.epoch t i) (Shared.bar_id t i)
+      else begin
+        let acc =
+          {
+            acc_epoch = Shared.epoch t i;
+            acc_warp = Shared.warp t i;
+            acc_tag = tag;
+            acc_loc = Shared.loc t i;
+            acc_node = Shared.node t i;
+          }
+        in
+        let width = max 1 (Shared.bits t i / 8) in
+        Shared.iter_addrs t i (fun addr ->
+            for byte = addr to addr + width - 1 do
+              let key = (cta, byte) in
+              let cell =
+                match Hashtbl.find_opt bytes key with
+                | Some c -> c
+                | None ->
+                  let c = ref [] in
+                  Hashtbl.add bytes key c;
+                  c
+              in
+              let seen =
+                List.exists
+                  (fun o ->
+                    o.acc_epoch = acc.acc_epoch && o.acc_warp = acc.acc_warp
+                    && o.acc_tag = acc.acc_tag
+                    && Bitc.Loc.equal o.acc_loc acc.acc_loc)
+                  !cell
+              in
+              if not seen then cell := acc :: !cell
+            done)
+      end);
+  (* aggregate same-epoch conflicts by site pair *)
+  let agg :
+      ( (Bitc.Loc.t * int) * (Bitc.Loc.t * int),
+        race ref )
+      Hashtbl.t =
+    Hashtbl.create 64
+  in
+  (* boundaries that must stay: merging their two epochs would conflict *)
+  let needed : (int * int, unit) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun (cta, byte) cell ->
+      let accs = !cell in
+      let rec pairs = function
+        | [] -> ()
+        | a :: rest ->
+          List.iter
+            (fun b ->
+              if conflicting a b then begin
+                if a.acc_epoch = b.acc_epoch then begin
+                  let key = pair_key a b in
+                  match Hashtbl.find_opt agg key with
+                  | Some r -> r := { !r with conflicts = !r.conflicts + 1 }
+                  | None ->
+                    let first, second =
+                      if fst key = (a.acc_loc, a.acc_tag) then (a, b) else (b, a)
+                    in
+                    Hashtbl.add agg key
+                      (ref
+                         {
+                           race_kind = race_kind a b;
+                           a_loc = first.acc_loc;
+                           a_tag = first.acc_tag;
+                           a_path =
+                             Profiler.Profile.device_path profile instance
+                               first.acc_node;
+                           b_loc = second.acc_loc;
+                           b_tag = second.acc_tag;
+                           b_path =
+                             Profiler.Profile.device_path profile instance
+                               second.acc_node;
+                           conflicts = 1;
+                           sample_cta = cta;
+                           sample_epoch = a.acc_epoch;
+                           sample_addr = byte;
+                         })
+                end
+                else begin
+                  let lo = min a.acc_epoch b.acc_epoch
+                  and hi = max a.acc_epoch b.acc_epoch in
+                  if hi = lo + 1 then Hashtbl.replace needed (cta, lo) ()
+                end
+              end)
+            rest;
+          pairs rest
+      in
+      pairs accs)
+    bytes;
+  let races = Hashtbl.fold (fun _ r acc -> !r :: acc) agg [] in
+  (* fold dynamic boundaries into per-site advice *)
+  let site_stats : (int, int * bool) Hashtbl.t = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun (cta, epoch) bar_id ->
+      let count, all_removable =
+        Option.value (Hashtbl.find_opt site_stats bar_id) ~default:(0, true)
+      in
+      let removable = not (Hashtbl.mem needed (cta, epoch)) in
+      Hashtbl.replace site_stats bar_id (count + 1, all_removable && removable))
+    boundaries;
+  let advice =
+    Hashtbl.fold
+      (fun bar_id (count, all_removable) acc ->
+        if not all_removable then acc
+        else
+          let b = Passes.Manifest.barrier profile.manifest bar_id in
+          { advice_loc = b.Passes.Manifest.bar_loc;
+            advice_func = b.Passes.Manifest.bar_func;
+            boundaries = count }
+          :: acc)
+      site_stats []
+  in
+  (races, advice)
+
+(* Merge advice across instances: a site is redundant only if it is
+   redundant in every instance where it appeared. *)
+let of_profile (profile : Profiler.Profile.t) =
+  let per_instance =
+    List.map (of_instance profile) (Profiler.Profile.instances profile)
+  in
+  let race_tbl :
+      (Bitc.Loc.t * int * Bitc.Loc.t * int, race) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  List.iter
+    (fun r ->
+      let key = (r.a_loc, r.a_tag, r.b_loc, r.b_tag) in
+      match Hashtbl.find_opt race_tbl key with
+      | Some prev ->
+        Hashtbl.replace race_tbl key
+          { prev with conflicts = prev.conflicts + r.conflicts }
+      | None -> Hashtbl.add race_tbl key r)
+    (List.concat_map fst per_instance);
+  let races = Hashtbl.fold (fun _ r acc -> r :: acc) race_tbl [] in
+  (* all sites that produced advice, and all sites observed at all *)
+  let advice_tbl : (Bitc.Loc.t * string, barrier_advice) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let instances_with = Hashtbl.create 16 and instances_adviced = Hashtbl.create 16 in
+  List.iteri
+    (fun _idx (_, advice) ->
+      List.iter
+        (fun a ->
+          let key = (a.advice_loc, a.advice_func) in
+          Hashtbl.replace instances_adviced key
+            (Option.value (Hashtbl.find_opt instances_adviced key) ~default:0 + 1);
+          match Hashtbl.find_opt advice_tbl key with
+          | Some prev ->
+            Hashtbl.replace advice_tbl key
+              { prev with boundaries = prev.boundaries + a.boundaries }
+          | None -> Hashtbl.add advice_tbl key a)
+        advice)
+    per_instance;
+  (* count the instances in which each site executed at least once: a
+     site redundant in one launch but needed in another is not advice *)
+  List.iter
+    (fun (instance : Profiler.Profile.instance) ->
+      let t = instance.shared in
+      let seen = Hashtbl.create 8 in
+      Shared.iter t (fun i ->
+          if Shared.tag t i = Shared.tag_barrier then begin
+            let b =
+              Passes.Manifest.barrier profile.manifest (Shared.bar_id t i)
+            in
+            Hashtbl.replace seen
+              (b.Passes.Manifest.bar_loc, b.Passes.Manifest.bar_func)
+              ()
+          end);
+      Hashtbl.iter
+        (fun key () ->
+          Hashtbl.replace instances_with key
+            (Option.value (Hashtbl.find_opt instances_with key) ~default:0 + 1))
+        seen)
+    (Profiler.Profile.instances profile);
+  let redundant_barriers =
+    Hashtbl.fold
+      (fun key a acc ->
+        let appeared =
+          Option.value (Hashtbl.find_opt instances_with key) ~default:0
+        in
+        let adviced =
+          Option.value (Hashtbl.find_opt instances_adviced key) ~default:0
+        in
+        if appeared > 0 && adviced = appeared then a :: acc else acc)
+      advice_tbl []
+    |> List.sort (fun a b -> Bitc.Loc.compare a.advice_loc b.advice_loc)
+  in
+  let races =
+    List.sort
+      (fun a b ->
+        let c = Bitc.Loc.compare a.a_loc b.a_loc in
+        if c <> 0 then c else Bitc.Loc.compare b.b_loc a.b_loc)
+      races
+  in
+  { races; redundant_barriers }

@@ -119,4 +119,60 @@ let of_profile ?(top_sites = 5) ~app ~arch_name ~line_size
       ("divergent_sites", sites_json ~line_size events ~top:top_sites);
       ("contexts", Json.List contexts) ]
 
+(* ----- the `advisor check` report ----- *)
+
+let path_json path =
+  Json.List
+    (List.map
+       (fun (fn, loc) ->
+         Json.Obj [ ("function", Json.String fn); ("loc", loc_json loc) ])
+       path)
+
+let static_finding_json (f : Passes.Check_static.finding) =
+  Json.Obj
+    [ ("kind", Json.String "static"); ("rule", Json.String f.rule);
+      ("function", Json.String f.in_func); ("loc", loc_json f.loc);
+      ("related", loc_json f.related); ("message", Json.String f.message) ]
+
+let race_json (r : Race.race) =
+  Json.Obj
+    [ ("kind", Json.String "shared-race");
+      ("rule", Json.String r.race_kind);
+      ( "sites",
+        Json.List
+          [ Json.Obj [ ("loc", loc_json r.a_loc); ("path", path_json r.a_path) ];
+            Json.Obj [ ("loc", loc_json r.b_loc); ("path", path_json r.b_path) ]
+          ] );
+      ("conflicting_cells", Json.Int r.conflicts);
+      ( "sample",
+        Json.Obj
+          [ ("cta", Json.Int r.sample_cta); ("epoch", Json.Int r.sample_epoch);
+            ("shared_byte", Json.Int r.sample_addr) ] ) ]
+
+let barrier_advice_json (a : Race.barrier_advice) =
+  Json.Obj
+    [ ("kind", Json.String "redundant-barrier");
+      ("function", Json.String a.advice_func); ("loc", loc_json a.advice_loc);
+      ("dynamic_boundaries", Json.Int a.boundaries);
+      ( "message",
+        Json.String
+          "no cross-warp sharing spans this barrier in any observed epoch; \
+           it may be removable" ) ]
+
+(* The combined static + dynamic correctness report.  [errors] are
+   definite findings (`advisor check` fails on any); [advice] is
+   non-failing guidance. *)
+let check_json ~app ~(static : Passes.Check_static.finding list)
+    (races : Race.result) =
+  let errors =
+    List.map static_finding_json static @ List.map race_json races.Race.races
+  in
+  Json.Obj
+    [ ("application", Json.String app);
+      ("error_count", Json.Int (List.length errors));
+      ("errors", Json.List errors);
+      ( "advice",
+        Json.List (List.map barrier_advice_json races.Race.redundant_barriers)
+      ) ]
+
 let to_string = Json.to_string

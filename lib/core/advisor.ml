@@ -89,7 +89,7 @@ type session = {
 (* Default instrumentation for profiling sessions: memory + control
    flow, as in the paper's case studies (arithmetic hooks are opt-in). *)
 let default_options =
-  { Passes.Instrument.memory = true; control_flow = true; arithmetic = false }
+  { Passes.Instrument.memory = true; control_flow = true; arithmetic = false; sharing = false }
 
 (* Run [workload] fully instrumented under the profiler. *)
 let profile ?(options = default_options) ?(keep_mem_events = true) ?scale
@@ -137,6 +137,50 @@ let mem_divergence ?line_size session =
 let branch_divergence session =
   Obs.Trace.with_span ~cat:"analysis" "analysis.branch_divergence" @@ fun () ->
   Analysis.Branch_divergence.of_instances (instances session)
+
+(* ----- correctness checking (`advisor check`) ----- *)
+
+type check_report = {
+  checked_app : string;
+  static_findings : Passes.Check_static.finding list;
+  races : Analysis.Race.result;
+}
+
+(* Instrumentation used by the dynamic race detector: only the
+   correctness hooks, so the run stays cheap and the profiling hook mix
+   (and its golden metrics) is untouched. *)
+let check_options =
+  { Passes.Instrument.memory = false;
+    control_flow = false;
+    arithmetic = false;
+    sharing = true }
+
+(* Run both halves of the checker on a workload: the static pass over
+   the pristine (uninstrumented) module, then a run with sharing
+   instrumentation feeding the barrier-epoch race detector. *)
+let check ?scale ~arch (workload : Workloads.Common.t) =
+  Obs.Trace.with_span ~cat:"advisor" ("check:" ^ workload.name) @@ fun () ->
+  let pristine = compile_source ~file:workload.source_file workload.source in
+  let static_findings =
+    Obs.Trace.with_span ~cat:"analysis" "check.static" (fun () ->
+        Passes.Check_static.run pristine.modul)
+  in
+  let session =
+    profile ~options:check_options ~keep_mem_events:false ?scale ~arch workload
+  in
+  let races =
+    Obs.Trace.with_span ~cat:"analysis" "check.races" (fun () ->
+        Analysis.Race.of_profile session.profiler)
+  in
+  { checked_app = workload.name; static_findings; races }
+
+(* Definite problems only — redundant-barrier advice does not count. *)
+let check_error_count r =
+  List.length r.static_findings + List.length r.races.Analysis.Race.races
+
+let check_report_json r =
+  Analysis.Report.check_json ~app:r.checked_app ~static:r.static_findings
+    r.races
 
 (* ----- the bypassing study (Section 4.2-(D)) ----- *)
 
@@ -290,7 +334,7 @@ let overhead_study ?scale ~arch (workload : Workloads.Common.t) =
   @@ fun () ->
   let native_cycles = fst (run_native ?scale ~arch workload) in
   let options =
-    { Passes.Instrument.memory = true; control_flow = true; arithmetic = false }
+    { Passes.Instrument.memory = true; control_flow = true; arithmetic = false; sharing = false }
   in
   let session = profile ~options ~keep_mem_events:false ?scale ~arch workload in
   let instrumented_cycles = Hostrt.Host.total_kernel_cycles session.host in

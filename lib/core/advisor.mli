@@ -87,6 +87,30 @@ val mem_divergence : ?line_size:int -> session -> Analysis.Mem_divergence.result
 (** Whole-application branch divergence (Section 4.2-(C), Table 3). *)
 val branch_divergence : session -> Analysis.Branch_divergence.result
 
+(** {2 Correctness checking — [advisor check]} *)
+
+type check_report = {
+  checked_app : string;
+  static_findings : Passes.Check_static.finding list;
+  races : Analysis.Race.result;
+}
+
+(** The instrumentation selection the dynamic detector runs under
+    (sharing hooks only). *)
+val check_options : Passes.Instrument.options
+
+(** Run the static pass (divergent barriers, constant out-of-bounds
+    GEPs) over the pristine module, then the workload under sharing
+    instrumentation feeding the barrier-epoch race detector. *)
+val check :
+  ?scale:int -> arch:Gpusim.Arch.t -> Workloads.Common.t -> check_report
+
+(** Definite problems (static findings + races); redundant-barrier
+    advice does not count. *)
+val check_error_count : check_report -> int
+
+val check_report_json : check_report -> Analysis.Json.t
+
 (** One row of Figures 6/7: baseline vs exhaustive-oracle vs Eq.-(1)
     prediction for horizontal cache bypassing. *)
 type bypass_experiment = {

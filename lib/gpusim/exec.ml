@@ -321,6 +321,21 @@ let dispatch_hook ctx (warp : warp) (frame : frame) ~pc ~mask ~issue
         (Hookev.Call
            { kernel = ctx.kernel; cta; warp = warp.warp_id;
              callsite = evi callsite; mask; push })
+    | Ptx.Isa.DH_shared { addr; bits; kind } ->
+      let accesses = Array.make (popcount mask) (0, 0) in
+      let k = ref 0 in
+      iter_lanes mask (fun lane ->
+          accesses.(!k) <- (lane, dev_int df frame lane addr);
+          incr k);
+      Some
+        (Hookev.Shared
+           { kernel = ctx.kernel; cta; warp = warp.warp_id; loc; bits = evi bits;
+             kind = evi kind; accesses })
+    | Ptx.Isa.DH_bar { bar_id } ->
+      Some
+        (Hookev.Barrier
+           { kernel = ctx.kernel; cta; warp = warp.warp_id; bar_id = evi bar_id;
+             loc; mask })
     | Ptx.Isa.DH_bad { hname } ->
       trap ctx ~pc ~loc "unknown or malformed hook %s" hname
   in

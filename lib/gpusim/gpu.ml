@@ -43,8 +43,29 @@ let launch_overhead = 2_000
 (* Runaway guard, per warp: a single warp spinning without progress is
    the failure mode this catches (the old launch-global counter tripped
    on the *sum* over warps, so big-enough grids could trip it without
-   any warp misbehaving). *)
-let max_warp_insts = 50_000_000
+   any warp misbehaving).  The limit is configurable — programmatically
+   (CLI `--max-warp-instrs`) or through the CUDAADVISOR_MAX_WARP_INSTRS
+   environment variable — and sampled once per launch. *)
+let default_max_warp_insts = 50_000_000
+
+let max_warp_insts_override : int option ref = ref None
+
+let set_max_warp_insts limit =
+  if limit <= 0 then invalid_arg "Gpu.set_max_warp_insts: limit must be positive";
+  max_warp_insts_override := Some limit
+
+let clear_max_warp_insts () = max_warp_insts_override := None
+
+let max_warp_insts () =
+  match !max_warp_insts_override with
+  | Some n -> n
+  | None -> (
+    match Sys.getenv_opt "CUDAADVISOR_MAX_WARP_INSTRS" with
+    | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n > 0 -> n
+      | _ -> default_max_warp_insts)
+    | None -> default_max_warp_insts)
 
 let occupancy_limit (arch : Arch.t) ~warps_per_cta ~shared_bytes =
   let by_warps = arch.max_warps_per_sm / warps_per_cta in
@@ -131,6 +152,7 @@ let launch ?(sink = Hookev.null_sink) ?(l1_enabled = true) ?(sched = Exact_heap)
   if threads_per_cta <= 0 || threads_per_cta > arch.max_threads_per_cta then
     fail "block size %dx%d out of range" bx by;
   if gx <= 0 || gy <= 0 then fail "empty grid %dx%d" gx gy;
+  let max_warp_insts = max_warp_insts () in
   let warps_per_cta = (threads_per_cta + 31) / 32 in
   let shared_bytes = Ptx.Isa.shared_bytes_for_launch prog kernel in
   if shared_bytes > arch.shared_mem_per_sm then

@@ -38,6 +38,25 @@ type sched = Exact_heap | Calendar
 
 val launch_overhead : int
 
+(** {2 Per-warp runaway guard}
+
+    A launch aborts (with {!Launch_error}, after logging through
+    [Obs.Log]) when any single warp executes more than the limit.  The
+    effective limit, sampled once per launch, is the programmatic
+    override if set, else the [CUDAADVISOR_MAX_WARP_INSTRS] environment
+    variable (ignored unless a positive integer), else
+    {!default_max_warp_insts}. *)
+
+val default_max_warp_insts : int
+
+(** Raises [Invalid_argument] on non-positive limits. *)
+val set_max_warp_insts : int -> unit
+
+val clear_max_warp_insts : unit -> unit
+
+(** The limit the next launch will use. *)
+val max_warp_insts : unit -> int
+
 (** Maximum CTAs resident per SM for a kernel with the given shape. *)
 val occupancy_limit : Arch.t -> warps_per_cta:int -> shared_bytes:int -> int
 

@@ -47,11 +47,22 @@ type call = {
   push : bool; (* push = call, pop = return *)
 }
 
+type barrier = {
+  kernel : string;
+  cta : int;
+  warp : int;
+  bar_id : int; (* manifest barrier id *)
+  loc : Bitc.Loc.t;
+  mask : int; (* lanes that passed the barrier *)
+}
+
 type t =
   | Mem of mem
   | Bb of bb
   | Arith of arith
   | Call of call
+  | Shared of mem (* shared-memory access; addresses are CTA-local *)
+  | Barrier of barrier
 
 type sink = t -> unit
 

@@ -1,0 +1,277 @@
+(* Static correctness checks over Bitc modules, the compile-time half of
+   `advisor check`:
+
+   - divergent-barrier: a __syncthreads that is reachable from a
+     thread-divergent conditional branch without post-dominating it.
+     Such a barrier is not executed by all threads of the CTA, which is
+     undefined behaviour on real hardware (threads of the skipping path
+     never arrive; CUDA deadlocks or silently desynchronizes).
+   - oob-shared-gep / oob-local-gep: address computations into a
+     __shared__ or local array with a constant index outside the
+     declared bounds.
+
+   The divergence analysis is a per-function forward taint: values are
+   divergent when they (transitively) depend on a lane-varying special
+   register (%tid.x, %tid.y, %warpid — CTA ids and launch dimensions are
+   uniform across a CTA).  Taint flows through arithmetic, selects,
+   address computations, calls (conservatively: any tainted argument
+   taints the result) and through memory via per-thread allocas (a store
+   of a tainted value into an alloca taints later loads from it).
+   Control-dependence taint (a value assigned under a divergent branch)
+   is NOT tracked; that is the checker's documented false-negative
+   window.  Post-dominance comes from [Cfg.post_dominators]: a barrier
+   block S is safe w.r.t. a divergent branch in block B iff S is on the
+   immediate-post-dominator chain of B. *)
+
+type finding = {
+  rule : string; (* "divergent-barrier" | "oob-shared-gep" | "oob-local-gep" *)
+  in_func : string;
+  loc : Bitc.Loc.t; (* the offending barrier / GEP *)
+  related : Bitc.Loc.t; (* divergent branch for barriers; [Loc.none] otherwise *)
+  message : string;
+}
+
+(* ----- divergence taint ----- *)
+
+let divergent_special (s : Bitc.Instr.special) =
+  match s with
+  | Tid_x | Tid_y | Warpid -> true
+  | Ctaid_x | Ctaid_y | Ntid_x | Ntid_y | Nctaid_x | Nctaid_y -> false
+
+(* Follow an address value back to its root register through GEP /
+   pointer-cast chains, so stores through derived pointers taint the
+   underlying alloca. *)
+let rec root_reg (f : Bitc.Func.t) (defs : Bitc.Instr.t option array)
+    (v : Bitc.Value.t) =
+  match v with
+  | Bitc.Value.Reg r -> (
+    match defs.(r) with
+    | Some { kind = Bitc.Instr.Gep { base; _ }; _ } -> root_reg f defs base
+    | Some { kind = Bitc.Instr.Ptr_cast p; _ } -> root_reg f defs p
+    | _ -> Some r)
+  | _ -> None
+
+(* Compute the set of divergent (lane-varying) registers of [f] as a
+   boolean array indexed by register number. *)
+let divergent_regs (f : Bitc.Func.t) =
+  let n = f.Bitc.Func.next_reg in
+  let tainted = Array.make n false in
+  (* defining instruction of each register, for root tracing *)
+  let defs = Array.make n None in
+  List.iter
+    (fun (b : Bitc.Block.t) ->
+      List.iter
+        (fun (i : Bitc.Instr.t) ->
+          match i.result with
+          | Some r when r < n -> defs.(r) <- Some i
+          | _ -> ())
+        b.instrs)
+    f.blocks;
+  let value_tainted (v : Bitc.Value.t) =
+    match v with Bitc.Value.Reg r when r < n -> tainted.(r) | _ -> false
+  in
+  (* allocas whose contents are divergent *)
+  let tainted_mem = Array.make n false in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let taint r =
+      if r < n && not tainted.(r) then begin
+        tainted.(r) <- true;
+        changed := true
+      end
+    in
+    List.iter
+      (fun (b : Bitc.Block.t) ->
+        List.iter
+          (fun (i : Bitc.Instr.t) ->
+            match i.kind, i.result with
+            | Bitc.Instr.Special s, Some r when divergent_special s -> taint r
+            | Bitc.Instr.Load ptr, Some r ->
+              let from_mem =
+                match root_reg f defs ptr with
+                | Some root -> root < n && tainted_mem.(root)
+                | None -> false
+              in
+              if from_mem || value_tainted ptr then taint r
+            | Bitc.Instr.Store { ptr; value; _ }, _
+              when value_tainted value || value_tainted ptr -> (
+              match root_reg f defs ptr with
+              | Some root when root < n && not tainted_mem.(root) ->
+                tainted_mem.(root) <- true;
+                changed := true
+              | _ -> ())
+            | Bitc.Instr.Atomic_add { ptr; value; _ }, res -> (
+              (match res with
+              | Some r -> taint r (* atomics return lane-varying old values *)
+              | None -> ());
+              if value_tainted value || value_tainted ptr then
+                match root_reg f defs ptr with
+                | Some root when root < n && not tainted_mem.(root) ->
+                  tainted_mem.(root) <- true;
+                  changed := true
+                | _ -> ())
+            | _, Some r when not tainted.(r) ->
+              if List.exists value_tainted (Bitc.Instr.operands i) then taint r
+            | _ -> ())
+          b.instrs)
+      f.blocks
+  done;
+  tainted
+
+(* ----- divergent-barrier check ----- *)
+
+(* Does block [s] post-dominate block [b]?  Walk the immediate
+   post-dominator chain from [b]; [-1] terminates it at the virtual
+   exit. *)
+let postdominates ipdom ~s ~b =
+  let rec walk i = i = s || (i >= 0 && i <> ipdom.(i) && walk ipdom.(i)) in
+  walk b
+
+(* Influence region of the branch ending block [b]: blocks reachable
+   from its successors without passing through its immediate
+   post-dominator [stop].  Once control reaches [stop] the branch has
+   reconverged, so only barriers strictly inside the region execute
+   under the branch's divergence ([stop] = -1 means the branch
+   reconverges only at function exit: the whole reachable set is the
+   region). *)
+let influence_region (cfg : Bitc.Cfg.t) b ~stop =
+  let n = Bitc.Cfg.size cfg in
+  let seen = Array.make n false in
+  let rec dfs i =
+    if i <> stop && not seen.(i) then begin
+      seen.(i) <- true;
+      List.iter dfs cfg.succ.(i)
+    end
+  in
+  List.iter dfs cfg.succ.(b);
+  seen
+
+let check_barriers (f : Bitc.Func.t) =
+  let has_sync =
+    List.exists
+      (fun (b : Bitc.Block.t) ->
+        List.exists
+          (fun (i : Bitc.Instr.t) -> i.kind = Bitc.Instr.Sync)
+          b.instrs)
+      f.blocks
+  in
+  if not has_sync then []
+  else begin
+    let tainted = divergent_regs f in
+    let cfg = Bitc.Cfg.build f in
+    let ipdom = Bitc.Cfg.post_dominators cfg in
+    let n = Bitc.Cfg.size cfg in
+    (* blocks holding a Sync, with the location of the first one *)
+    let sync_loc = Array.make n None in
+    for i = 0 to n - 1 do
+      let b = Bitc.Cfg.block cfg i in
+      sync_loc.(i) <-
+        List.find_map
+          (fun (ins : Bitc.Instr.t) ->
+            if ins.kind = Bitc.Instr.Sync then Some ins.loc else None)
+          b.Bitc.Block.instrs
+    done;
+    let findings = ref [] in
+    let flagged = Array.make n false in
+    for b = 0 to n - 1 do
+      let block = Bitc.Cfg.block cfg b in
+      match block.Bitc.Block.term with
+      | Some (Bitc.Instr.Cond_br (cond, _, _))
+        when (match cond with
+             | Bitc.Value.Reg r -> r < Array.length tainted && tainted.(r)
+             | _ -> false) ->
+        let reach = influence_region cfg b ~stop:ipdom.(b) in
+        for s = 0 to n - 1 do
+          match sync_loc.(s) with
+          | Some loc
+            when reach.(s) && (not (postdominates ipdom ~s ~b))
+                 && not flagged.(s) ->
+            flagged.(s) <- true;
+            let branch_loc =
+              match
+                List.rev block.Bitc.Block.instrs
+                |> List.find_opt (fun (i : Bitc.Instr.t) ->
+                       not (Bitc.Loc.is_none i.loc))
+              with
+              | Some i -> i.loc
+              | None -> Bitc.Loc.none
+            in
+            findings :=
+              { rule = "divergent-barrier";
+                in_func = f.Bitc.Func.name;
+                loc;
+                related = branch_loc;
+                message =
+                  Printf.sprintf
+                    "__syncthreads may not be reached by all threads: it \
+                     does not post-dominate the thread-dependent branch at \
+                     %s"
+                    (Bitc.Loc.to_string branch_loc) }
+              :: !findings
+          | _ -> ()
+        done
+      | _ -> ()
+    done;
+    List.rev !findings
+  end
+
+(* ----- constant out-of-bounds GEP check ----- *)
+
+let check_geps (f : Bitc.Func.t) =
+  (* allocation size (in elements) of registers defined by allocas *)
+  let n = f.Bitc.Func.next_reg in
+  let alloc_elems = Array.make n 0 in
+  let alloc_rule = Array.make n "" in
+  List.iter
+    (fun (b : Bitc.Block.t) ->
+      List.iter
+        (fun (i : Bitc.Instr.t) ->
+          match i.kind, i.result with
+          | Bitc.Instr.Shared_alloca (_, elems), Some r when r < n ->
+            alloc_elems.(r) <- elems;
+            alloc_rule.(r) <- "oob-shared-gep"
+          | Bitc.Instr.Alloca (_, elems), Some r when r < n ->
+            alloc_elems.(r) <- elems;
+            alloc_rule.(r) <- "oob-local-gep"
+          | _ -> ())
+        b.instrs)
+    f.blocks;
+  let findings = ref [] in
+  List.iter
+    (fun (b : Bitc.Block.t) ->
+      List.iter
+        (fun (i : Bitc.Instr.t) ->
+          match i.kind with
+          | Bitc.Instr.Gep { base = Bitc.Value.Reg r; index = Bitc.Value.Int idx; _ }
+            when r < n && alloc_elems.(r) > 0 && (idx < 0 || idx >= alloc_elems.(r))
+            ->
+            findings :=
+              { rule = alloc_rule.(r);
+                in_func = f.Bitc.Func.name;
+                loc = i.loc;
+                related = Bitc.Loc.none;
+                message =
+                  Printf.sprintf
+                    "constant index %d is out of bounds for an array of %d \
+                     elements"
+                    idx alloc_elems.(r) }
+              :: !findings
+          | _ -> ())
+        b.instrs)
+    f.blocks;
+  List.rev !findings
+
+(* ----- entry point ----- *)
+
+(* Check every kernel and device function of [m].  Run this on the
+   pristine (uninstrumented) module: instrumentation inserts hook calls
+   and casts that would only add noise. *)
+let run (m : Bitc.Irmod.t) =
+  List.concat_map
+    (fun (f : Bitc.Func.t) ->
+      match f.fkind with
+      | Bitc.Func.Kernel | Bitc.Func.Device ->
+        check_barriers f @ check_geps f
+      | Bitc.Func.Host -> [])
+    m.funcs

@@ -10,6 +10,8 @@ let record_arith_i = "__ca_record_arith_i"
 let record_arith_f = "__ca_record_arith_f"
 let push_call = "__ca_push_call"
 let pop_call = "__ca_pop_call"
+let record_shared = "__ca_record_shared"
+let record_bar = "__ca_record_bar"
 
 let is_hook name = String.length name >= 5 && String.sub name 0 5 = "__ca_"
 
@@ -36,7 +38,12 @@ let declare_all (m : Bitc.Irmod.t) =
     ~params:[ i32; f32; f32; i32; i32 ]
     ~ret:Bitc.Types.Void;
   Bitc.Irmod.declare m push_call ~params:[ i32 ] ~ret:Bitc.Types.Void;
-  Bitc.Irmod.declare m pop_call ~params:[ i32 ] ~ret:Bitc.Types.Void
+  Bitc.Irmod.declare m pop_call ~params:[ i32 ] ~ret:Bitc.Types.Void;
+  Bitc.Irmod.declare m record_shared
+    ~params:[ byte_ptr; i32; i32; i32; i32 ]
+    ~ret:Bitc.Types.Void;
+  Bitc.Irmod.declare m record_bar ~params:[ i32; i32; i32 ]
+    ~ret:Bitc.Types.Void
 
 (* Numeric opcodes for the arithmetic-operation hook. *)
 let arith_code_of_binop (op : Bitc.Instr.binop) =

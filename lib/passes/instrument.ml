@@ -18,12 +18,26 @@ type options = {
   memory : bool;
   control_flow : bool;
   arithmetic : bool;
+  sharing : bool;
 }
 
-let all = { memory = true; control_flow = true; arithmetic = true }
-let memory_only = { memory = true; control_flow = false; arithmetic = false }
-let control_flow_only = { memory = false; control_flow = true; arithmetic = false }
-let nothing = { memory = false; control_flow = false; arithmetic = false }
+(* [sharing] is the correctness-checking category (shared-memory accesses
+   + barrier epochs for `advisor check`); it is off in every preset so
+   the profiling hook mix — and therefore the golden metrics — is
+   unchanged unless a client asks for it. *)
+let all = { memory = true; control_flow = true; arithmetic = true; sharing = false }
+
+let memory_only =
+  { memory = true; control_flow = false; arithmetic = false; sharing = false }
+
+let control_flow_only =
+  { memory = false; control_flow = true; arithmetic = false; sharing = false }
+
+let nothing =
+  { memory = false; control_flow = false; arithmetic = false; sharing = false }
+
+let sharing_only =
+  { memory = false; control_flow = false; arithmetic = false; sharing = true }
 
 type result = { manifest : Manifest.t }
 
@@ -99,6 +113,57 @@ let arith_hooks (f : Bitc.Func.t) (i : Bitc.Instr.t) =
       emit (Hooks.arith_code_of_unop op) a zero ty
   | _ -> []
 
+(* Shared-memory instrumentation for the correctness checker: every
+   shared-space load/store/atomic gets a [record_shared] hook mirroring
+   the global-memory [Record] shape (address, width, location, kind). *)
+let shared_hooks (f : Bitc.Func.t) (i : Bitc.Instr.t) =
+  let instrument ptr ~value_ty ~kind =
+    match Bitc.Func.value_ty f ptr with
+    | Bitc.Types.Ptr (_, Bitc.Types.Shared) ->
+      let cast_reg = Bitc.Func.fresh_reg f Bitc.Builder.byte_ptr_ty in
+      let cast =
+        { Bitc.Instr.result = Some cast_reg;
+          ty = Bitc.Builder.byte_ptr_ty;
+          kind = Bitc.Instr.Ptr_cast ptr;
+          loc = i.loc }
+      in
+      let bits = 8 * Bitc.Types.size_of value_ty in
+      let call =
+        hook_call ~callee:Hooks.record_shared
+          ~args:
+            [ Bitc.Value.Reg cast_reg;
+              Bitc.Value.Int bits;
+              Bitc.Value.Int i.loc.Bitc.Loc.line;
+              Bitc.Value.Int i.loc.Bitc.Loc.col;
+              Bitc.Value.Int kind ]
+          ~loc:i.loc
+      in
+      [ cast; call ]
+    | _ -> []
+  in
+  match i.kind with
+  | Bitc.Instr.Load ptr -> instrument ptr ~value_ty:i.ty ~kind:Hooks.mem_kind_load
+  | Bitc.Instr.Store { ptr; value_ty; _ } ->
+    instrument ptr ~value_ty ~kind:Hooks.mem_kind_store
+  | Bitc.Instr.Atomic_add { ptr; value_ty; _ } ->
+    instrument ptr ~value_ty ~kind:Hooks.mem_kind_atomic
+  | _ -> []
+
+(* Barrier-epoch instrumentation: a [record_bar] hook after each
+   __syncthreads so the checker can advance the per-warp epoch once the
+   barrier has released. *)
+let barrier_hooks manifest (f : Bitc.Func.t) (i : Bitc.Instr.t) =
+  match i.kind with
+  | Bitc.Instr.Sync ->
+    let id = Manifest.add_barrier manifest ~in_func:f.Bitc.Func.name ~loc:i.loc in
+    [ hook_call ~callee:Hooks.record_bar
+        ~args:
+          [ Bitc.Value.Int id;
+            Bitc.Value.Int i.loc.Bitc.Loc.line;
+            Bitc.Value.Int i.loc.Bitc.Loc.col ]
+        ~loc:i.loc ]
+  | _ -> []
+
 (* Mandatory call-path instrumentation around calls to functions defined
    in this module (device functions; hooks themselves are skipped). *)
 let call_hooks (m : Bitc.Irmod.t) manifest (f : Bitc.Func.t) (i : Bitc.Instr.t) =
@@ -140,9 +205,13 @@ let instrument_func (m : Bitc.Irmod.t) options manifest (f : Bitc.Func.t) =
             if skip then [ i ]
             else
               let mem = if options.memory then mem_hooks f i else [] in
+              let shared = if options.sharing then shared_hooks f i else [] in
+              let bar =
+                if options.sharing then barrier_hooks manifest f i else []
+              in
               let arith = if options.arithmetic then arith_hooks f i else [] in
               let push, pop = call_hooks m manifest f i in
-              mem @ arith @ push @ [ i ] @ pop)
+              mem @ shared @ arith @ push @ [ i ] @ bar @ pop)
           b.instrs
       in
       let body =

@@ -7,11 +7,15 @@
     entries: Listings 3/4) and arithmetic operations (opcode + dynamic
     operand values). *)
 
-(** Which optional instrumentation categories to insert. *)
+(** Which optional instrumentation categories to insert.  [sharing]
+    inserts the correctness-checking hooks (shared-memory accesses and
+    barrier epochs for [advisor check]); it is off in every preset so the
+    profiling hook mix and its golden metrics are unchanged. *)
 type options = {
   memory : bool;
   control_flow : bool;
   arithmetic : bool;
+  sharing : bool;
 }
 
 val all : options
@@ -20,6 +24,9 @@ val control_flow_only : options
 
 (** No optional instrumentation — only the mandatory call hooks. *)
 val nothing : options
+
+(** Only the correctness-checking hooks (plus the mandatory call hooks). *)
+val sharing_only : options
 
 type result = { manifest : Manifest.t }
 

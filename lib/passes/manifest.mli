@@ -17,6 +17,12 @@ type block_info = {
   block_loc : Bitc.Loc.t;
 }
 
+type barrier_info = {
+  barrier_id : int;
+  bar_func : string;
+  bar_loc : Bitc.Loc.t;
+}
+
 type t
 
 val create : unit -> t
@@ -25,10 +31,13 @@ val create : unit -> t
 val add_callsite : t -> caller:string -> callee:string -> loc:Bitc.Loc.t -> int
 
 val add_block : t -> in_func:string -> block_name:string -> loc:Bitc.Loc.t -> int
+val add_barrier : t -> in_func:string -> loc:Bitc.Loc.t -> int
 
 (** Resolve an id; raises [Invalid_argument] on unknown ids. *)
 val callsite : t -> int -> callsite
 
 val block : t -> int -> block_info
+val barrier : t -> int -> barrier_info
 val num_blocks : t -> int
 val num_callsites : t -> int
+val num_barriers : t -> int

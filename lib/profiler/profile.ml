@@ -14,6 +14,9 @@ type instance = {
   (* packed warp-level memory events with the CCT node of their call
      path, in execution order *)
   trace : Tracebuf.t;
+  (* packed shared-memory access + barrier-epoch rows for the checker;
+     empty unless the module was instrumented with [sharing] hooks *)
+  shared : Tracebuf.Shared.t;
   mutable mem_count : int;
   bb_stats : (int, bb_stat) Hashtbl.t;
   arith_stats : (Bitc.Loc.t * int, int ref) Hashtbl.t;
@@ -84,6 +87,7 @@ let begin_instance t ~kernel ~host_path =
       launch_index = t.next_launch;
       host_path;
       trace = Tracebuf.create ();
+      shared = Tracebuf.Shared.create ();
       mem_count = 0;
       bb_stats = Hashtbl.create 64;
       arith_stats = Hashtbl.create 64;
@@ -99,6 +103,11 @@ let begin_instance t ~kernel ~host_path =
   let thread_key ~cta ~warp ~lane = (((cta * 64) + warp) * 32) + lane in
   let cursor key = Option.value (Hashtbl.find_opt cursors key) ~default:root in
   let lanes_of_mask = Gpusim.Machine.lanes_of_mask in
+  (* barrier-epoch counter per (cta, warp): how many barriers that warp
+     has passed so far in this instance *)
+  let epochs : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let warp_key ~cta ~warp = (cta * 64) + warp in
+  let epoch_of key = Option.value (Hashtbl.find_opt epochs key) ~default:0 in
   let sink (ev : Gpusim.Hookev.t) =
     match ev with
     | Gpusim.Hookev.Call { cta; warp; callsite; mask; push; _ } ->
@@ -139,6 +148,34 @@ let begin_instance t ~kernel ~host_path =
       (match Hashtbl.find_opt instance.arith_stats key with
       | Some r -> incr r
       | None -> Hashtbl.replace instance.arith_stats key (ref 1))
+    | Gpusim.Hookev.Shared m ->
+      let node =
+        match m.accesses with
+        | [||] -> root
+        | accesses ->
+          let lane, _ = accesses.(0) in
+          cursor (thread_key ~cta:m.cta ~warp:m.warp ~lane)
+      in
+      let tag =
+        if m.kind = Passes.Hooks.mem_kind_store then Tracebuf.Shared.tag_write
+        else if m.kind = Passes.Hooks.mem_kind_atomic then
+          Tracebuf.Shared.tag_atomic
+        else Tracebuf.Shared.tag_read
+      in
+      Tracebuf.Shared.push_access instance.shared ~cta:m.cta ~warp:m.warp
+        ~epoch:(epoch_of (warp_key ~cta:m.cta ~warp:m.warp))
+        ~tag ~bits:m.bits ~loc:m.loc ~node m.accesses
+    | Gpusim.Hookev.Barrier b ->
+      let key = warp_key ~cta:b.cta ~warp:b.warp in
+      let e = epoch_of key in
+      let node =
+        match lanes_of_mask b.mask with
+        | lane :: _ -> cursor (thread_key ~cta:b.cta ~warp:b.warp ~lane)
+        | [] -> root
+      in
+      Tracebuf.Shared.push_barrier instance.shared ~cta:b.cta ~warp:b.warp
+        ~epoch:e ~bar_id:b.bar_id ~loc:b.loc ~node;
+      Hashtbl.replace epochs key (e + 1)
   in
   (instance, sink)
 

@@ -14,6 +14,9 @@ type instance = {
   trace : Tracebuf.t;
       (** packed warp-level memory events with their CCT node, in
           execution order *)
+  shared : Tracebuf.Shared.t;
+      (** shared-memory access + barrier-epoch rows for [advisor check];
+          empty unless the module carries [sharing] instrumentation *)
   mutable mem_count : int;
   bb_stats : (int, bb_stat) Hashtbl.t;  (** per manifest block id *)
   arith_stats : (Bitc.Loc.t * int, int ref) Hashtbl.t;

@@ -216,3 +216,157 @@ let of_events events =
   t
 
 let to_events t = List.init t.len (event t)
+
+(* ----- shared-memory correctness channel ----- *)
+
+(* Packed channel for the `advisor check` race detector: one row per
+   warp-level shared-memory access or per-warp barrier passage, in
+   execution order.  Same SoA layout as the main trace, specialized to
+   the checker's needs: a barrier-epoch column replaces the kernel
+   column (the channel lives inside one instance, so the kernel is
+   known), and barrier rows reuse the width column for the manifest
+   barrier id.  Shared addresses are CTA-local, so row comparisons are
+   only meaningful within one CTA — which is all the detector does. *)
+module Shared = struct
+  let tag_read = 0
+  let tag_write = 1
+  let tag_barrier = 2
+  let tag_atomic = 3
+
+  type t = {
+    mutable len : int;
+    mutable cta_col : int array;
+    mutable warp_col : int array;
+    mutable epoch_col : int array; (* barriers this warp passed before the row *)
+    mutable tag_col : int array; (* tag_read/_write/_atomic/_barrier *)
+    mutable bits_col : int array; (* access width; barrier rows: barrier id *)
+    mutable loc_col : int array; (* interned Bitc.Loc.t *)
+    mutable node_col : int array; (* CCT node of the calling context *)
+    mutable off_col : int array; (* first slot in the address arena *)
+    mutable nacc_col : int array; (* number of active lanes *)
+    mutable acc_len : int;
+    mutable addr_arena : int array; (* per-lane CTA-local byte addresses *)
+    loc_ids : (Bitc.Loc.t, int) Hashtbl.t;
+    mutable loc_tbl : Bitc.Loc.t array;
+    mutable nlocs : int;
+  }
+
+  let create () =
+    {
+      len = 0;
+      cta_col = Array.make 64 0;
+      warp_col = Array.make 64 0;
+      epoch_col = Array.make 64 0;
+      tag_col = Array.make 64 0;
+      bits_col = Array.make 64 0;
+      loc_col = Array.make 64 0;
+      node_col = Array.make 64 0;
+      off_col = Array.make 64 0;
+      nacc_col = Array.make 64 0;
+      acc_len = 0;
+      addr_arena = Array.make 256 0;
+      loc_ids = Hashtbl.create 64;
+      loc_tbl = Array.make 64 Bitc.Loc.none;
+      nlocs = 0;
+    }
+
+  let length t = t.len
+
+  let intern_loc t loc =
+    match Hashtbl.find_opt t.loc_ids loc with
+    | Some id -> id
+    | None ->
+      let id = t.nlocs in
+      if id = Array.length t.loc_tbl then begin
+        let a = Array.make (2 * id) Bitc.Loc.none in
+        Array.blit t.loc_tbl 0 a 0 id;
+        t.loc_tbl <- a
+      end;
+      t.loc_tbl.(id) <- loc;
+      t.nlocs <- id + 1;
+      Hashtbl.add t.loc_ids loc id;
+      id
+
+  let ensure_event t =
+    if t.len = Array.length t.cta_col then begin
+      let n = t.len in
+      t.cta_col <- grow_int_col t.cta_col n;
+      t.warp_col <- grow_int_col t.warp_col n;
+      t.epoch_col <- grow_int_col t.epoch_col n;
+      t.tag_col <- grow_int_col t.tag_col n;
+      t.bits_col <- grow_int_col t.bits_col n;
+      t.loc_col <- grow_int_col t.loc_col n;
+      t.node_col <- grow_int_col t.node_col n;
+      t.off_col <- grow_int_col t.off_col n;
+      t.nacc_col <- grow_int_col t.nacc_col n
+    end
+
+  let ensure_arena t extra =
+    let need = t.acc_len + extra in
+    let cap = Array.length t.addr_arena in
+    if need > cap then begin
+      let cap' = ref (2 * cap) in
+      while !cap' < need do
+        cap' := !cap' * 2
+      done;
+      let addrs = Array.make !cap' 0 in
+      Array.blit t.addr_arena 0 addrs 0 t.acc_len;
+      t.addr_arena <- addrs
+    end
+
+  let push_row t ~cta ~warp ~epoch ~tag ~bits ~loc ~node =
+    ensure_event t;
+    let i = t.len in
+    t.len <- i + 1;
+    t.cta_col.(i) <- cta;
+    t.warp_col.(i) <- warp;
+    t.epoch_col.(i) <- epoch;
+    t.tag_col.(i) <- tag;
+    t.bits_col.(i) <- bits;
+    t.loc_col.(i) <- intern_loc t loc;
+    t.node_col.(i) <- node;
+    t.off_col.(i) <- t.acc_len;
+    t.nacc_col.(i) <- 0;
+    i
+
+  let push_access t ~cta ~warp ~epoch ~tag ~bits ~loc ~node
+      (accesses : (int * int) array) =
+    let i = push_row t ~cta ~warp ~epoch ~tag ~bits ~loc ~node in
+    let n = Array.length accesses in
+    ensure_arena t n;
+    t.off_col.(i) <- t.acc_len;
+    t.nacc_col.(i) <- n;
+    for j = 0 to n - 1 do
+      let _lane, addr = accesses.(j) in
+      t.addr_arena.(t.acc_len + j) <- addr
+    done;
+    t.acc_len <- t.acc_len + n
+
+  let push_barrier t ~cta ~warp ~epoch ~bar_id ~loc ~node =
+    ignore (push_row t ~cta ~warp ~epoch ~tag:tag_barrier ~bits:bar_id ~loc ~node)
+
+  let[@inline] cta t i = t.cta_col.(i)
+  let[@inline] warp t i = t.warp_col.(i)
+  let[@inline] epoch t i = t.epoch_col.(i)
+  let[@inline] tag t i = t.tag_col.(i)
+  let[@inline] bits t i = t.bits_col.(i)
+  let[@inline] bar_id t i = t.bits_col.(i)
+  let[@inline] loc_id t i = t.loc_col.(i)
+  let[@inline] loc t i = t.loc_tbl.(t.loc_col.(i))
+  let[@inline] node t i = t.node_col.(i)
+  let[@inline] acc_len t i = t.nacc_col.(i)
+  let[@inline] addr t i j = t.addr_arena.(t.off_col.(i) + j)
+  let num_locs t = t.nlocs
+  let loc_of_id t id = t.loc_tbl.(id)
+
+  let iter_addrs t i f =
+    let off = t.off_col.(i) and n = t.nacc_col.(i) in
+    for j = 0 to n - 1 do
+      f t.addr_arena.(off + j)
+    done
+
+  let iter t f =
+    for i = 0 to t.len - 1 do
+      f i
+    done
+end

@@ -64,3 +64,63 @@ val event : t -> int -> Gpusim.Hookev.mem * int
 
 val of_events : (Gpusim.Hookev.mem * int) list -> t
 val to_events : t -> (Gpusim.Hookev.mem * int) list
+
+(** Packed channel for the [advisor check] race detector: one row per
+    warp-level shared-memory access or per-warp barrier passage, in
+    execution order.  Barrier rows reuse the width column for the
+    manifest barrier id.  Shared addresses are CTA-local; comparisons
+    are only meaningful within one CTA. *)
+module Shared : sig
+  (** Row tags. *)
+  val tag_read : int
+
+  val tag_write : int
+  val tag_barrier : int
+  val tag_atomic : int
+
+  type t
+
+  val create : unit -> t
+  val length : t -> int
+
+  (** Append one shared-memory access row; [accesses] are the
+      (lane, CTA-local byte address) pairs of the active lanes. *)
+  val push_access :
+    t ->
+    cta:int ->
+    warp:int ->
+    epoch:int ->
+    tag:int ->
+    bits:int ->
+    loc:Bitc.Loc.t ->
+    node:int ->
+    (int * int) array ->
+    unit
+
+  (** Append one barrier-passage row for a warp: the barrier ends
+      [epoch] for that warp. *)
+  val push_barrier :
+    t -> cta:int -> warp:int -> epoch:int -> bar_id:int -> loc:Bitc.Loc.t ->
+    node:int -> unit
+
+  (** {2 Zero-copy column accessors (row index in [0, length))} *)
+
+  val cta : t -> int -> int
+  val warp : t -> int -> int
+  val epoch : t -> int -> int
+  val tag : t -> int -> int
+  val bits : t -> int -> int
+
+  (** Barrier rows only: the manifest barrier id. *)
+  val bar_id : t -> int -> int
+
+  val loc : t -> int -> Bitc.Loc.t
+  val loc_id : t -> int -> int
+  val node : t -> int -> int
+  val acc_len : t -> int -> int
+  val addr : t -> int -> int -> int
+  val num_locs : t -> int
+  val loc_of_id : t -> int -> Bitc.Loc.t
+  val iter_addrs : t -> int -> (int -> unit) -> unit
+  val iter : t -> (int -> unit) -> unit
+end

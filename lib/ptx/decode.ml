@@ -142,6 +142,9 @@ let decode_func ~dindex (name : string) (f : Isa.func) : Isa.dfunc =
           DH_arith { code; a; b }
         | "__ca_push_call", [ callsite ] -> DH_call { callsite; push = true }
         | "__ca_pop_call", [ callsite ] -> DH_call { callsite; push = false }
+        | "__ca_record_shared", [ addr; bits; _line; _col; kind ] ->
+          DH_shared { addr; bits; kind }
+        | "__ca_record_bar", [ bar_id; _line; _col ] -> DH_bar { bar_id }
         | _, _ -> DH_bad { hname }
       in
       DHook { hook }

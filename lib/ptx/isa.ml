@@ -98,6 +98,8 @@ type dhook =
   | DH_bb of { bb_id : dop }
   | DH_arith of { code : dop; a : dop; b : dop }
   | DH_call of { callsite : dop; push : bool }
+  | DH_shared of { addr : dop; bits : dop; kind : dop }
+  | DH_bar of { bar_id : dop }
   | DH_bad of { hname : string } (* unknown hook: traps when executed *)
 
 (* Decoded instruction, parallel to [inst] pc-for-pc.  Memory spaces are

@@ -1,4 +1,7 @@
-(* The benchmark registry: the ten applications of Table 2. *)
+(* The benchmark registry: the ten applications of Table 2, plus the
+   seeded-bug variants that validate `advisor check` (kept out of [all]
+   so every profiling experiment and test still iterates exactly the
+   paper's clean set). *)
 
 let all : Common.t list =
   [
@@ -14,5 +17,10 @@ let all : Common.t list =
     Syr2k.workload;
   ]
 
+let seeded : Common.t list = Seeded.all
 let names = List.map (fun (w : Common.t) -> w.name) all
-let find name = Common.find all name
+let seeded_names = List.map (fun (w : Common.t) -> w.name) seeded
+let find name = Common.find (all @ seeded) name
+
+let find_opt name =
+  List.find_opt (fun (w : Common.t) -> w.name = name) (all @ seeded)

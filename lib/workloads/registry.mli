@@ -1,8 +1,19 @@
 (** The benchmark registry: the ten applications of the paper's
-    Table 2. *)
+    Table 2, plus the seeded-bug variants used to validate
+    [advisor check]. *)
 
+(** The ten clean Table-2 applications (only these feed the profiling
+    experiments and golden metrics). *)
 val all : Common.t list
-val names : string list
 
-(** Find by name; raises [Invalid_argument] on unknown names. *)
+(** Workload variants with one deliberately planted bug each. *)
+val seeded : Common.t list
+
+val names : string list
+val seeded_names : string list
+
+(** Find by name across [all] and [seeded]; raises [Invalid_argument]
+    on unknown names. *)
 val find : string -> Common.t
+
+val find_opt : string -> Common.t option

@@ -1,0 +1,270 @@
+(* Seeded-bug workload variants for validating `advisor check`.  Each is
+   a small kernel with one deliberately planted synchronization or
+   bounds defect; none of them is part of {!Registry.all} (the Table-2
+   set stays the paper's ten clean applications) — the registry exposes
+   them through a separate [seeded] list.
+
+   The four variants cover the checker's two halves:
+   - [hotspot_racy] and [reduce_missing_sync] are *dynamic* bugs: the
+     barrier separating a shared-memory producer from its cross-warp
+     consumers is missing, so the race detector must report same-epoch
+     conflicts (the static pass sees nothing wrong);
+   - [stencil_divergent_sync] is a *static* bug: a __syncthreads under a
+     thread-dependent branch.  Dynamically the warp epochs diverge and
+     no same-epoch conflict exists — exactly the detector's documented
+     blind spot, which the static barrier check covers;
+   - [shared_oob] is a *static* bounds bug: a constant index past the
+     end of a __shared__ array, kept behind a never-taken guard so the
+     simulated run stays well-defined. *)
+
+(* ----- hotspot with its tile barrier removed ----- *)
+
+let hotspot_racy_source =
+  {|
+__global__ void calculate_temp_racy(float* power, float* temp_src,
+                                    float* temp_dst, int grid_cols,
+                                    int grid_rows, float Cap, float Rx,
+                                    float Ry, float Rz, float step,
+                                    float amb_temp) {
+  __shared__ float temp_on_cuda[256];
+  __shared__ float power_on_cuda[256];
+  int bx = blockIdx.x;
+  int by = blockIdx.y;
+  int tx = threadIdx.x;
+  int ty = threadIdx.y;
+  int col = bx * 14 + tx - 1;
+  int row = by * 14 + ty - 1;
+  int index = row * grid_cols + col;
+  bool valid = row >= 0 && row < grid_rows && col >= 0 && col < grid_cols;
+  if (valid) {
+    temp_on_cuda[ty * 16 + tx] = temp_src[index];
+    power_on_cuda[ty * 16 + tx] = power[index];
+  } else {
+    temp_on_cuda[ty * 16 + tx] = amb_temp;
+    power_on_cuda[ty * 16 + tx] = 0.0f;
+  }
+  bool interior = tx >= 1 && tx <= 14 && ty >= 1 && ty <= 14;
+  if (interior && valid) {
+    float t = temp_on_cuda[ty * 16 + tx];
+    float delta = (step / Cap)
+      * (power_on_cuda[ty * 16 + tx]
+         + (temp_on_cuda[(ty + 1) * 16 + tx] + temp_on_cuda[(ty - 1) * 16 + tx]
+            - 2.0f * t) / Ry
+         + (temp_on_cuda[ty * 16 + tx + 1] + temp_on_cuda[ty * 16 + tx - 1]
+            - 2.0f * t) / Rx
+         + (amb_temp - t) / Rz);
+    temp_dst[index] = t + delta;
+  }
+}
+|}
+
+let hotspot_racy_run host ~scale =
+  let open Hostrt.Host in
+  let rows = 32 * scale in
+  let cols = rows in
+  in_function host ~func:"main" ~file:"hotspot_racy.cu" ~line:300 (fun () ->
+      let rng = Rng.create ~seed:5 () in
+      let hm = host_mem host in
+      let cells = rows * cols in
+      let h_temp = malloc host ~label:"FilesavingTemp" (4 * cells) in
+      let h_power = malloc host ~label:"FilesavingPower" (4 * cells) in
+      Gpusim.Devmem.write_f32_array hm h_temp
+        (Array.init cells (fun _ -> 320. +. Rng.float_range rng 0. 20.));
+      Gpusim.Devmem.write_f32_array hm h_power
+        (Array.init cells (fun _ -> Rng.float_range rng 0. 0.01));
+      let d_power = cuda_malloc host ~label:"MatrixPower" (4 * cells) in
+      let d_temp0 = cuda_malloc host ~label:"MatrixTemp[0]" (4 * cells) in
+      let d_temp1 = cuda_malloc host ~label:"MatrixTemp[1]" (4 * cells) in
+      memcpy_h2d host ~dst:d_power ~src:h_power ~bytes:(4 * cells);
+      memcpy_h2d host ~dst:d_temp0 ~src:h_temp ~bytes:(4 * cells);
+      memcpy_h2d host ~dst:d_temp1 ~src:h_temp ~bytes:(4 * cells);
+      let tiles = (rows + 13) / 14 in
+      ignore
+        (launch_kernel host ~kernel:"calculate_temp_racy" ~grid:(tiles, tiles)
+           ~block:(16, 16)
+           ~args:
+             [ iarg d_power; iarg d_temp0; iarg d_temp1; iarg cols; iarg rows;
+               farg 0.5; farg 1.0; farg 1.0; farg 0.0005; farg 0.001; farg 80.0
+             ]);
+      memcpy_d2h host ~dst:h_temp ~src:d_temp1 ~bytes:(4 * cells))
+
+let hotspot_racy =
+  {
+    Common.name = "hotspot_racy";
+    description = "hotspot variant: tile-staging __syncthreads removed";
+    source_file = "hotspot_racy.cu";
+    source = hotspot_racy_source;
+    warps_per_cta = 8;
+    input_desc = "temp/power (32*scale)^2 grids, 1 iteration";
+    kernels = [ "calculate_temp_racy" ];
+    run = hotspot_racy_run;
+    default_scale = 1;
+  }
+
+(* ----- tree reduction missing the in-loop barrier ----- *)
+
+let reduce_missing_sync_source =
+  {|
+__global__ void reduce_sum(float* in, float* out, int n) {
+  __shared__ float buf[256];
+  int tx = threadIdx.x;
+  int i = blockIdx.x * 256 + tx;
+  if (i < n) {
+    buf[tx] = in[i];
+  } else {
+    buf[tx] = 0.0f;
+  }
+  __syncthreads();
+  for (int s = 128; s > 0; s = s / 2) {
+    if (tx < s) {
+      buf[tx] = buf[tx] + buf[tx + s];
+    }
+  }
+  if (tx == 0) {
+    out[blockIdx.x] = buf[0];
+  }
+}
+|}
+
+let reduce_missing_sync_run host ~scale =
+  let open Hostrt.Host in
+  let blocks = 4 * scale in
+  let n = 256 * blocks in
+  in_function host ~func:"main" ~file:"reduce_missing_sync.cu" ~line:100
+    (fun () ->
+      let rng = Rng.create ~seed:11 () in
+      let hm = host_mem host in
+      let h_in = malloc host ~label:"h_in" (4 * n) in
+      Gpusim.Devmem.write_f32_array hm h_in
+        (Array.init n (fun _ -> Rng.float_range rng 0. 1.));
+      let d_in = cuda_malloc host ~label:"d_in" (4 * n) in
+      let d_out = cuda_malloc host ~label:"d_out" (4 * blocks) in
+      memcpy_h2d host ~dst:d_in ~src:h_in ~bytes:(4 * n);
+      ignore
+        (launch_kernel host ~kernel:"reduce_sum" ~grid:(blocks, 1)
+           ~block:(256, 1)
+           ~args:[ iarg d_in; iarg d_out; iarg n ]);
+      let h_out = malloc host ~label:"h_out" (4 * blocks) in
+      memcpy_d2h host ~dst:h_out ~src:d_out ~bytes:(4 * blocks))
+
+let reduce_missing_sync =
+  {
+    Common.name = "reduce_missing_sync";
+    description = "tree reduction: __syncthreads missing inside the loop";
+    source_file = "reduce_missing_sync.cu";
+    source = reduce_missing_sync_source;
+    warps_per_cta = 8;
+    input_desc = "1024*scale floats, 4*scale blocks";
+    kernels = [ "reduce_sum" ];
+    run = reduce_missing_sync_run;
+    default_scale = 1;
+  }
+
+(* ----- barrier under a thread-dependent branch ----- *)
+
+let stencil_divergent_sync_source =
+  {|
+__global__ void stencil_shift(float* in, float* out, int n) {
+  __shared__ float tile[64];
+  int tx = threadIdx.x;
+  int i = blockIdx.x * 64 + tx;
+  tile[tx] = in[i];
+  if (tx < 32) {
+    __syncthreads();
+    out[i] = tile[tx] + tile[tx + 32];
+  } else {
+    out[i] = tile[tx];
+  }
+}
+|}
+
+let stencil_divergent_sync_run host ~scale =
+  let open Hostrt.Host in
+  let blocks = 4 * scale in
+  let n = 64 * blocks in
+  in_function host ~func:"main" ~file:"stencil_divergent_sync.cu" ~line:100
+    (fun () ->
+      let rng = Rng.create ~seed:13 () in
+      let hm = host_mem host in
+      let h_in = malloc host ~label:"h_in" (4 * n) in
+      Gpusim.Devmem.write_f32_array hm h_in
+        (Array.init n (fun _ -> Rng.float_range rng 0. 1.));
+      let d_in = cuda_malloc host ~label:"d_in" (4 * n) in
+      let d_out = cuda_malloc host ~label:"d_out" (4 * n) in
+      memcpy_h2d host ~dst:d_in ~src:h_in ~bytes:(4 * n);
+      ignore
+        (launch_kernel host ~kernel:"stencil_shift" ~grid:(blocks, 1)
+           ~block:(64, 1)
+           ~args:[ iarg d_in; iarg d_out; iarg n ]);
+      let h_out = malloc host ~label:"h_out" (4 * n) in
+      memcpy_d2h host ~dst:h_out ~src:d_out ~bytes:(4 * n))
+
+let stencil_divergent_sync =
+  {
+    Common.name = "stencil_divergent_sync";
+    description = "stencil variant: __syncthreads under a divergent branch";
+    source_file = "stencil_divergent_sync.cu";
+    source = stencil_divergent_sync_source;
+    warps_per_cta = 2;
+    input_desc = "256*scale floats";
+    kernels = [ "stencil_shift" ];
+    run = stencil_divergent_sync_run;
+    default_scale = 1;
+  }
+
+(* ----- constant out-of-bounds shared index ----- *)
+
+let shared_oob_source =
+  {|
+__global__ void oob_copy(float* in, float* out, int n, int debug) {
+  __shared__ float buf[32];
+  int tx = threadIdx.x;
+  int i = blockIdx.x * 32 + tx;
+  if (i < n) {
+    buf[tx] = in[i];
+  } else {
+    buf[tx] = 0.0f;
+  }
+  __syncthreads();
+  if (debug == 123456789) {
+    out[0] = buf[32];
+  }
+  if (i < n) {
+    out[i] = buf[tx];
+  }
+}
+|}
+
+let shared_oob_run host ~scale =
+  let open Hostrt.Host in
+  let blocks = 4 * scale in
+  let n = 32 * blocks in
+  in_function host ~func:"main" ~file:"shared_oob.cu" ~line:100 (fun () ->
+      let rng = Rng.create ~seed:17 () in
+      let hm = host_mem host in
+      let h_in = malloc host ~label:"h_in" (4 * n) in
+      Gpusim.Devmem.write_f32_array hm h_in
+        (Array.init n (fun _ -> Rng.float_range rng 0. 1.));
+      let d_in = cuda_malloc host ~label:"d_in" (4 * n) in
+      let d_out = cuda_malloc host ~label:"d_out" (4 * n) in
+      memcpy_h2d host ~dst:d_in ~src:h_in ~bytes:(4 * n);
+      ignore
+        (launch_kernel host ~kernel:"oob_copy" ~grid:(blocks, 1) ~block:(32, 1)
+           ~args:[ iarg d_in; iarg d_out; iarg n; iarg 0 ]);
+      let h_out = malloc host ~label:"h_out" (4 * n) in
+      memcpy_d2h host ~dst:h_out ~src:d_out ~bytes:(4 * n))
+
+let shared_oob =
+  {
+    Common.name = "shared_oob";
+    description = "copy kernel: constant index past a __shared__ array";
+    source_file = "shared_oob.cu";
+    source = shared_oob_source;
+    warps_per_cta = 1;
+    input_desc = "128*scale floats";
+    kernels = [ "oob_copy" ];
+    run = shared_oob_run;
+    default_scale = 1;
+  }
+
+let all = [ hotspot_racy; reduce_missing_sync; stencil_divergent_sync; shared_oob ]

@@ -31,7 +31,7 @@ let test_profile_options_respected () =
   let s =
     Advisor.profile
       ~options:
-        { Passes.Instrument.memory = false; control_flow = true; arithmetic = false }
+        { Passes.Instrument.memory = false; control_flow = true; arithmetic = false; sharing = false }
       ~arch w
   in
   let i = List.hd (Advisor.instances s) in
@@ -106,7 +106,7 @@ let test_compile_cache_hits () =
   let c3 =
     Advisor.compile_source
       ~instrument:
-        { Passes.Instrument.memory = true; control_flow = false; arithmetic = false }
+        { Passes.Instrument.memory = true; control_flow = false; arithmetic = false; sharing = false }
       ~file:"memo.cu" src
   in
   check "instrumented compile is distinct" true (c3 != c1)

@@ -93,7 +93,7 @@ let test_arith_hooks () =
   ignore
     (Passes.Instrument.run
        ~options:
-         { Passes.Instrument.memory = false; control_flow = false; arithmetic = true }
+         { Passes.Instrument.memory = false; control_flow = false; arithmetic = true; sharing = false }
        m);
   (* fmul, fadd and the tid arithmetic: at least the two float ops *)
   check "arith hooks present" true (count_hook_calls m >= 2);

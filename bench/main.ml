@@ -388,11 +388,107 @@ let smoke () =
     exit 1);
   Printf.printf "smoke total: %.2fs\n%!" (Unix.gettimeofday () -. t0)
 
+(* ----- serve: daemon throughput and overlapping cold compiles ----- *)
+
+(* Distinct synthetic sources big enough that compile time dominates
+   scheduling noise. *)
+let gen_kernels ~tag n =
+  let b = Buffer.create (n * 160) in
+  for i = 0 to n - 1 do
+    Printf.bprintf b
+      "__global__ void k%d_%s(float* a, int n) {\n\
+      \  int i = blockDim.x * blockIdx.x + threadIdx.x;\n\
+      \  if (i < n) { a[i] = a[i] * %d.0 + 1.0; }\n}\n"
+      i tag (i + 1)
+  done;
+  Buffer.contents b
+
+let serve_bench () =
+  heading "Serve: overlapping cold compiles and daemon throughput";
+  let time f =
+    let t = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t
+  in
+  (* Cold-compile latency isolation: per-key in-flight tracking means a
+     cheap compile runs concurrently with an expensive one instead of
+     queueing behind it on the old whole-cache lock (under which the
+     small compile's latency would be ~the big compile's). *)
+  let compile tag n file = ignore (Advisor.compile_source ~file (gen_kernels ~tag n)) in
+  let small_alone = time (fun () -> compile "small_alone" 50 "bench-serve-sa.cu") in
+  let big_alone = time (fun () -> compile "big_alone" 3000 "bench-serve-ba.cu") in
+  let _, misses0 = Advisor.compile_cache_stats () in
+  let big = Domain.spawn (fun () -> compile "big_infl" 3000 "bench-serve-bi.cu") in
+  (* wait for the big compile to claim its key (miss counted at claim) *)
+  while snd (Advisor.compile_cache_stats ()) <= misses0 do
+    Domain.cpu_relax ()
+  done;
+  let small_during = time (fun () -> compile "small_during" 50 "bench-serve-sd.cu") in
+  Domain.join big;
+  Printf.printf
+    "  cold compile of 50 kernels: %5.1f ms alone, %5.1f ms while a 3000-kernel \
+     compile is in flight\n  (the pre-fix whole-cache lock pinned the latter to \
+     the big compile's %.0f ms)\n%!"
+    (small_alone *. 1000.) (small_during *. 1000.) (big_alone *. 1000.);
+  (* Daemon round-trip throughput: an in-process daemon on a Unix
+     socket, a batch of profile requests, warm compile cache. *)
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "advisor-bench-%d.sock" (Unix.getpid ()))
+  in
+  let cfg =
+    {
+      Serve.Server.socket_path = Some path;
+      stdio = false;
+      workers = 4;
+      queue_cap = 64;
+      default_timeout_ms = Some 300_000;
+    }
+  in
+  let srv = Serve.Server.create cfg in
+  let daemon = Domain.spawn (fun () -> Serve.Server.run srv) in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let rec connect tries =
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> ()
+    | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
+      when tries > 0 ->
+      Unix.sleepf 0.01;
+      connect (tries - 1)
+  in
+  connect 200;
+  let requests = 32 in
+  let elapsed =
+    time (fun () ->
+        for i = 1 to requests do
+          let line =
+            Printf.sprintf {|{"id": %d, "op": "profile", "app": "nn"}|} i ^ "\n"
+          in
+          let data = Bytes.of_string line in
+          ignore (Unix.write fd data 0 (Bytes.length data))
+        done;
+        let buf = Bytes.create 65536 in
+        let seen = ref 0 in
+        while !seen < requests do
+          let n = Unix.read fd buf 0 (Bytes.length buf) in
+          if n = 0 then failwith "serve bench: daemon closed the connection";
+          Bytes.iteri (fun i c -> if i < n && c = '\n' then incr seen) buf
+        done)
+  in
+  Unix.close fd;
+  Serve.Server.request_shutdown srv;
+  Domain.join daemon;
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  Printf.printf
+    "  %d served profile(nn) round-trips on 4 workers: %.2fs (%.1f req/s)\n%!"
+    requests elapsed (float_of_int requests /. elapsed)
+
 let all_sections =
   [ ("table1", table1); ("table2", table2); ("fig4", fig4); ("fig5", fig5);
     ("table3", table3); ("fig6", fig6); ("fig7", fig7); ("fig8", fig8);
     ("fig9", fig9); ("fig10", fig10); ("vertical", vertical);
-    ("ablation", ablation); ("bech", bechamel); ("smoke", smoke) ]
+    ("ablation", ablation); ("serve", serve_bench); ("bech", bechamel);
+    ("smoke", smoke) ]
 
 let () =
   (* `--json FILE` may appear anywhere among the section names *)

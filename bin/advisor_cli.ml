@@ -8,12 +8,14 @@
 open Cmdliner
 
 let arch_conv =
-  let parse = function
-    | "kepler" | "kepler-16k" -> Ok (Gpusim.Arch.kepler_k40c ~l1_kb:16 ())
-    | "kepler-32k" -> Ok (Gpusim.Arch.kepler_k40c ~l1_kb:32 ())
-    | "kepler-48k" -> Ok (Gpusim.Arch.kepler_k40c ~l1_kb:48 ())
-    | "pascal" -> Ok (Gpusim.Arch.pascal_p100 ())
-    | s -> Error (`Msg (Printf.sprintf "unknown architecture %s" s))
+  let parse s =
+    match Gpusim.Arch.of_name s with
+    | Some arch -> Ok arch
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown architecture %s (expected one of %s)" s
+             (String.concat ", " Gpusim.Arch.known_names)))
   in
   Arg.conv (parse, fun fmt a -> Format.pp_print_string fmt a.Gpusim.Arch.short_name)
 
@@ -383,6 +385,82 @@ let trace_cmd =
         (const trace_run $ app_arg $ arch_arg $ scale_arg $ trace_arg
         $ metrics_flag $ log_arg))
 
+(* ----- serve (long-lived batch-profiling daemon) ----- *)
+
+let serve_run finish socket stdio workers queue_cap timeout_ms =
+  let cfg =
+    {
+      Serve.Server.socket_path = socket;
+      (* no socket means the daemon would otherwise serve nothing *)
+      stdio = stdio || socket = None;
+      workers;
+      queue_cap;
+      default_timeout_ms = (if timeout_ms <= 0 then None else Some timeout_ms);
+    }
+  in
+  let srv = Serve.Server.create cfg in
+  let stop _ = Serve.Server.request_shutdown srv in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+  Serve.Server.run srv;
+  finish ();
+  `Ok ()
+
+let serve_cmd =
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Also listen for clients on a Unix-domain socket at $(docv) \
+                (removed again on shutdown).")
+  in
+  let stdio_flag =
+    Arg.(
+      value & flag
+      & info [ "stdio" ]
+          ~doc:"Serve newline-delimited JSON on stdin/stdout (the default when \
+                no $(b,--socket) is given; EOF on stdin drains and exits).")
+  in
+  let workers_arg =
+    Arg.(
+      value
+      & opt int Serve.Server.default_config.Serve.Server.workers
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Worker domains executing requests concurrently.")
+  in
+  let queue_arg =
+    Arg.(
+      value
+      & opt int Serve.Server.default_config.Serve.Server.queue_cap
+      & info [ "queue" ] ~docv:"N"
+          ~doc:"Bounded job-queue capacity; further requests are rejected with \
+                an \"overloaded\" error until the queue drains.")
+  in
+  let timeout_arg =
+    Arg.(
+      value
+      & opt int
+          (Option.value
+             Serve.Server.default_config.Serve.Server.default_timeout_ms
+             ~default:0)
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:"Default per-request wall-clock timeout (requests may override \
+                with a \"timeout_ms\" field; 0 disables).  A timed-out job \
+                aborts its own simulation only.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Long-lived batch-profiling daemon: accepts newline-delimited JSON \
+             requests (profile, check, bypass, trace, compile, ...) over \
+             stdin/stdout and an optional Unix-domain socket, runs them \
+             concurrently on a bounded queue, and answers with JSON responses \
+             carrying the request id.  Shuts down gracefully on SIGINT/SIGTERM.")
+    Term.(
+      ret
+        (const serve_run $ obs_term $ socket_arg $ stdio_flag $ workers_arg
+        $ queue_arg $ timeout_arg))
+
 let () =
   let info =
     Cmd.info "cudaadvisor" ~version:"1.0.0"
@@ -392,4 +470,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; profile_cmd; report_cmd; check_cmd; bypass_cmd;
-            overhead_cmd; trace_cmd; dump_ir_cmd; dump_ptx_cmd ]))
+            overhead_cmd; trace_cmd; dump_ir_cmd; dump_ptx_cmd; serve_cmd ]))

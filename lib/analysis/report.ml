@@ -119,6 +119,35 @@ let of_profile ?(top_sites = 5) ~app ~arch_name ~line_size
       ("divergent_sites", sites_json ~line_size events ~top:top_sites);
       ("contexts", Json.List contexts) ]
 
+(* ----- the bypassing-study report ----- *)
+
+(* Machine-readable Figures 6/7 row (used by the serve daemon's
+   `bypass` op).  Takes scalars rather than [Advisor.bypass_experiment]
+   so this encoder stays below the core library in the dependency
+   order. *)
+let bypass_json ~app ~arch_name ~warps_per_cta ~baseline_cycles ~sweep
+    ~oracle_warps ~oracle_cycles ~predicted_warps ~predicted_cycles =
+  Json.Obj
+    [ ("application", Json.String app);
+      ("architecture", Json.String arch_name);
+      ("warps_per_cta", Json.Int warps_per_cta);
+      ("baseline_cycles", Json.Int baseline_cycles);
+      ( "sweep",
+        Json.List
+          (List.map
+             (fun (n, c) ->
+               Json.Obj
+                 [ ("caching_warps", Json.Int n); ("cycles", Json.Int c) ])
+             sweep) );
+      ( "oracle",
+        Json.Obj
+          [ ("warps", Json.Int oracle_warps); ("cycles", Json.Int oracle_cycles) ]
+      );
+      ( "predicted",
+        Json.Obj
+          [ ("warps", Json.Int predicted_warps);
+            ("cycles", Json.Int predicted_cycles) ] ) ]
+
 (* ----- the `advisor check` report ----- *)
 
 let path_json path =

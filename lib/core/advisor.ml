@@ -42,32 +42,75 @@ let compile_uncached ?instrument ~file src =
    in place: each distinct instrumentation of a source is compiled
    fresh, then shared.  Everything in [compiled] is read-only after
    construction — the PTX program in particular is safe to simulate
-   from several domains at once — and the lock makes the memo table
-   itself domain-safe. *)
+   from several domains at once.
+
+   Concurrency: the lock protects only the table, never a compilation.
+   A cold key is published as [In_flight] first, then compiled *outside*
+   the lock, then published as [Ready] — so distinct keys compile
+   concurrently (parallel sweeps and serve requests used to serialize
+   every cold compile on this one mutex), while duplicate keys wait on
+   the condition variable for the first compiler instead of compiling
+   twice.  If the compile raises, the slot is removed and waiters are
+   woken so one of them can claim the key and surface the same error. *)
+type cache_slot = Ready of compiled | In_flight
+
 let compile_cache :
-    (string * string * Passes.Instrument.options option, compiled) Hashtbl.t =
+    (string * string * Passes.Instrument.options option, cache_slot) Hashtbl.t =
   Hashtbl.create 16
 
 let compile_cache_lock = Mutex.create ()
+let compile_cache_cond = Condition.create ()
 
 (* Hit/miss counts live in the Obs metrics registry
    ("advisor.compile_cache.*"); [compile_cache_stats] remains as the
-   legacy accessor over the same counters. *)
+   legacy accessor over the same counters.  A "wait" is a request that
+   found its key in flight and blocked for the first compiler (it
+   counts as a hit once the result arrives). *)
 let compile_cache_hits = Obs.Metrics.counter "advisor.compile_cache.hits"
 let compile_cache_misses = Obs.Metrics.counter "advisor.compile_cache.misses"
+let compile_cache_waits = Obs.Metrics.counter "advisor.compile_cache.waits"
 
 let compile_source ?instrument ~file src =
-  Mutex.protect compile_cache_lock (fun () ->
-      let key = (file, src, instrument) in
+  let key = (file, src, instrument) in
+  (* Under the lock: either hand back a ready result, claim the key for
+     this domain, or wait for the in-flight compiler and re-check. *)
+  let claim () =
+    Mutex.lock compile_cache_lock;
+    let rec go ~waited =
       match Hashtbl.find_opt compile_cache key with
-      | Some compiled ->
+      | Some (Ready compiled) ->
         Obs.Metrics.incr compile_cache_hits;
-        compiled
+        Mutex.unlock compile_cache_lock;
+        `Done compiled
+      | Some In_flight ->
+        if not waited then Obs.Metrics.incr compile_cache_waits;
+        Condition.wait compile_cache_cond compile_cache_lock;
+        go ~waited:true
       | None ->
         Obs.Metrics.incr compile_cache_misses;
-        let compiled = compile_uncached ?instrument ~file src in
-        Hashtbl.add compile_cache key compiled;
-        compiled)
+        Hashtbl.replace compile_cache key In_flight;
+        Mutex.unlock compile_cache_lock;
+        `Compile
+    in
+    go ~waited:false
+  in
+  let publish slot =
+    Mutex.protect compile_cache_lock (fun () ->
+        (match slot with
+        | Some compiled -> Hashtbl.replace compile_cache key (Ready compiled)
+        | None -> Hashtbl.remove compile_cache key);
+        Condition.broadcast compile_cache_cond)
+  in
+  match claim () with
+  | `Done compiled -> compiled
+  | `Compile -> (
+    match compile_uncached ?instrument ~file src with
+    | compiled ->
+      publish (Some compiled);
+      compiled
+    | exception e ->
+      publish None;
+      raise e)
 
 let compile_cache_stats () =
   ( Obs.Metrics.counter_value compile_cache_hits,

@@ -22,7 +22,10 @@ type compiled = {
 (** Compile MiniCUDA device source, optionally running the
     instrumentation engine with the given option set.  Memoized on
     (file, source, options): experiment sweeps recompiling the same
-    workload share one read-only [compiled].  Domain-safe. *)
+    workload share one read-only [compiled].  Domain-safe, with per-key
+    in-flight tracking: concurrent cold compiles of distinct keys
+    overlap, concurrent compiles of the same key block for the first
+    one instead of compiling twice. *)
 val compile_source :
   ?instrument:Passes.Instrument.options -> file:string -> string -> compiled
 

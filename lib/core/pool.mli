@@ -1,18 +1,62 @@
-(** A tiny stdlib-only domain pool for experiment sweeps: independent
-    full simulations (bypass sweep points, per-app bench sections)
-    spread over OCaml 5 domains.
+(** A tiny stdlib-only domain pool: experiment sweeps (independent full
+    simulations spread over OCaml 5 domains) and long-lived worker
+    groups for the serve daemon.
 
     A process-global budget caps the extra domains live at once, so
-    nested [map] calls degrade to sequential execution instead of
-    exceeding the runtime's domain limit. *)
+    nested [map] calls and worker groups degrade to fewer domains —
+    down to sequential execution — instead of exceeding the runtime's
+    domain limit. *)
 
 (** [map ?domains f xs] is [List.map f xs] with the applications spread
     over up to [domains] domains, the calling domain included.
-    [domains] defaults to the [POOL_DOMAINS] environment variable, else
+    [domains] defaults to the [POOL_DOMAINS] environment variable
+    (malformed values warn through [Obs.Log] and are ignored), else
     [Domain.recommended_domain_count ()].  Results keep input order and
     are independent of the domain count (for deterministic [f]); if
     applications raise, the first exception in input order is re-raised
-    after all workers finish. *)
+    after all workers finish.  Reserved domain budget is always
+    released and spawned workers always joined, even when a spawn fails
+    partway through. *)
 val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
 
 val iter : ?domains:int -> ('a -> unit) -> 'a list -> unit
+
+(** {2 Domain budget}
+
+    The global extra-domain budget shared by [map] and worker groups.
+    Exposed so long-lived embedders can account their own domains
+    against it. *)
+
+(** Take up to [n] domains from the budget; returns how many were
+    actually granted (possibly 0). *)
+val reserve : int -> int
+
+(** Return [n] domains to the budget. *)
+val release : int -> unit
+
+(** Domains currently available to [reserve]. *)
+val available : unit -> int
+
+(** {2 Long-lived worker groups} *)
+
+(** A set of domains all running the same loop (e.g. draining a job
+    queue) until it returns. *)
+type group
+
+(** Spawn up to [want] workers running [work]; the actual count
+    (see {!group_size}) is bounded by the budget and by spawn success,
+    and may be 0. *)
+val spawn_group : want:int -> (unit -> unit) -> group
+
+val group_size : group -> int
+
+(** Join every worker and release their budget.  Call exactly once. *)
+val join_group : group -> unit
+
+(**/**)
+
+(** Test-only fault injection: substitute [Domain.spawn]. *)
+module Private : sig
+  val set_spawn : ((unit -> unit) -> unit Domain.t) -> unit
+  val reset_spawn : unit -> unit
+end

@@ -127,3 +127,14 @@ let pascal_p100 ?(num_sms = 56) () =
 (* Effective L1-miss penalty: on Pascal the unified cache sits in the
    TPC, in front of the NoC, so the miss path to L2 is shorter. *)
 let l1_miss_to_l2_latency t = if t.l1_in_tpc then t.l2_latency - 30 else t.l2_latency
+
+(* Architectures by user-facing name, shared by the CLI's --arch flag
+   and the serve protocol's "arch" field. *)
+let of_name = function
+  | "kepler" | "kepler-16k" -> Some (kepler_k40c ~l1_kb:16 ())
+  | "kepler-32k" -> Some (kepler_k40c ~l1_kb:32 ())
+  | "kepler-48k" -> Some (kepler_k40c ~l1_kb:48 ())
+  | "pascal" | "pascal-24k" -> Some (pascal_p100 ())
+  | _ -> None
+
+let known_names = [ "kepler"; "kepler-32k"; "kepler-48k"; "pascal" ]

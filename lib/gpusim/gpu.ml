@@ -59,13 +59,41 @@ let clear_max_warp_insts () = max_warp_insts_override := None
 let max_warp_insts () =
   match !max_warp_insts_override with
   | Some n -> n
-  | None -> (
-    match Sys.getenv_opt "CUDAADVISOR_MAX_WARP_INSTRS" with
-    | Some s -> (
-      match int_of_string_opt (String.trim s) with
-      | Some n when n > 0 -> n
-      | _ -> default_max_warp_insts)
-    | None -> default_max_warp_insts)
+  | None ->
+    (* malformed values warn (once per launch) and fall back — they must
+       never abort a long-lived daemon *)
+    Obs.Env.positive_int "CUDAADVISOR_MAX_WARP_INSTRS"
+      ~default:(fun () -> default_max_warp_insts)
+
+(* ----- per-domain cancellation (wall-clock timeouts) -----
+
+   A long-lived embedder (`advisor serve`) needs to abort one runaway
+   *request* without killing the process or waiting for the
+   instruction-count runaway guard, which is calibrated for honest
+   workloads, not deadlines.  The embedder installs a check on its own
+   domain (typically "past the request deadline?"); the launch loop
+   polls it on entry and then every [cancel_poll_mask + 1] executed
+   instructions — layered on the guard, which stays the backstop for
+   infinite loops when no deadline is set.  Raising {!Cancelled}
+   unwinds this launch only; the device and all other domains are
+   untouched. *)
+
+exception Cancelled of string
+
+let cancel_key : (unit -> string option) Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> fun () -> None)
+
+let set_cancel_check f = Domain.DLS.set cancel_key f
+let clear_cancel_check () = Domain.DLS.set cancel_key (fun () -> None)
+
+(* Poll the calling domain's check and raise if it fired.  Exposed for
+   non-simulation long operations (the serve daemon's diagnostic ops). *)
+let poll_cancel () =
+  match (Domain.DLS.get cancel_key) () with
+  | Some reason -> raise (Cancelled reason)
+  | None -> ()
+
+let cancel_poll_mask = 0xFFF (* poll every 4096 executed instructions *)
 
 let occupancy_limit (arch : Arch.t) ~warps_per_cta ~shared_bytes =
   let by_warps = arch.max_warps_per_sm / warps_per_cta in
@@ -153,6 +181,17 @@ let launch ?(sink = Hookev.null_sink) ?(l1_enabled = true) ?(sched = Exact_heap)
     fail "block size %dx%d out of range" bx by;
   if gx <= 0 || gy <= 0 then fail "empty grid %dx%d" gx gy;
   let max_warp_insts = max_warp_insts () in
+  (* sampled once per launch: the cancellation check of the domain that
+     issued this launch (a constant [fun () -> None] unless an embedder
+     installed one) *)
+  let cancel_check = Domain.DLS.get cancel_key in
+  (* cheap launches may execute fewer instructions than a poll period,
+     so an expired deadline must also cancel at launch entry *)
+  (match cancel_check () with
+  | Some reason ->
+    Obs.Log.warn "gpusim" "kernel %s: launch cancelled: %s" kernel reason;
+    raise (Cancelled reason)
+  | None -> ());
   let warps_per_cta = (threads_per_cta + 31) / 32 in
   let shared_bytes = Ptx.Isa.shared_bytes_for_launch prog kernel in
   if shared_bytes > arch.shared_mem_per_sm then
@@ -293,6 +332,7 @@ let launch ?(sink = Hookev.null_sink) ?(l1_enabled = true) ?(sched = Exact_heap)
      tie-breaks — and therefore cycle counts are bit-identical to the
      one-instruction-per-pop loop. *)
   let pops = ref 0 in
+  let steps = ref 0 in
   while not (q.qempty ()) do
     match q.qpop () with
     | None -> ()
@@ -312,6 +352,13 @@ let launch ?(sink = Hookev.null_sink) ?(l1_enabled = true) ?(sched = Exact_heap)
         let running = ref true in
         while !running do
           Exec.step ctx sm warp;
+          incr steps;
+          (if !steps land cancel_poll_mask = 0 then
+             match cancel_check () with
+             | Some reason ->
+               Obs.Log.warn "gpusim" "kernel %s: launch cancelled: %s" kernel reason;
+               raise (Cancelled reason)
+             | None -> ());
           if warp.Machine.insts > max_warp_insts then begin
             Obs.Log.error "gpusim"
               "kernel %s: warp %d of CTA %d exceeded %d instructions (runaway \

@@ -57,6 +57,28 @@ val clear_max_warp_insts : unit -> unit
 (** The limit the next launch will use. *)
 val max_warp_insts : unit -> int
 
+(** {2 Per-domain cancellation}
+
+    Wall-clock request timeouts for long-lived embedders (the serve
+    daemon), layered on the runaway guard: the embedder installs a
+    check on its own domain, and any launch issued from that domain
+    polls it at launch entry and then every few thousand executed
+    instructions, raising {!Cancelled} when it fires.  Only the cancelled launch unwinds;
+    the device, the process and other domains are untouched. *)
+
+exception Cancelled of string
+
+(** Install a check on the calling domain: return [Some reason] to
+    abort in-flight and future launches of this domain. *)
+val set_cancel_check : (unit -> string option) -> unit
+
+val clear_cancel_check : unit -> unit
+
+(** Poll the calling domain's check now, raising {!Cancelled} if it
+    fired.  For long non-simulation operations that want the same
+    deadline behaviour. *)
+val poll_cancel : unit -> unit
+
 (** Maximum CTAs resident per SM for a kernel with the given shape. *)
 val occupancy_limit : Arch.t -> warps_per_cta:int -> shared_bytes:int -> int
 

@@ -1,0 +1,27 @@
+(* Lenient numeric environment-variable parsing.
+
+   Configuration knobs read from the environment (POOL_DOMAINS,
+   CUDAADVISOR_MAX_WARP_INSTRS, the serve daemon's sizing variables)
+   must never be able to kill the process: a typo that aborts a one-shot
+   CLI run is an annoyance, but the same typo aborting a long-lived
+   `advisor serve` daemon takes every queued request down with it.
+   Malformed values are reported once through the logger and replaced by
+   the caller's default — consistently, for every variable. *)
+
+(* [positive_int name ~default] reads [name] as a strictly positive
+   integer.  Unset yields [default ()]; set-but-malformed (including
+   zero and negatives) warns through {!Log} and also yields
+   [default ()].  The default is a thunk so callers whose fallback is
+   itself a computation (e.g. [Domain.recommended_domain_count]) only
+   pay for it when needed. *)
+let positive_int name ~default =
+  match Sys.getenv_opt name with
+  | None -> default ()
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n > 0 -> n
+    | Some _ | None ->
+      let d = default () in
+      Log.warn "env" "ignoring %s=%S: not a positive integer; using default %d"
+        name s d;
+      d)

@@ -1,0 +1,61 @@
+(* A bounded, closeable multi-producer/multi-consumer job queue.
+
+   The bound is the daemon's backpressure: [try_push] never blocks and
+   never grows the queue past [cap] — a full queue is reported to the
+   caller, which replies "overloaded" instead of queueing unboundedly
+   (the reader would otherwise buffer an arbitrary backlog of
+   seconds-long simulations and look alive while being hours behind).
+
+   [pop] blocks on a condition variable until an item or [close];
+   closing wakes every consumer, and consumers drain items enqueued
+   before the close, so graceful shutdown finishes accepted work. *)
+
+type 'a t = {
+  cap : int;
+  items : 'a Queue.t;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  mutable closed : bool;
+}
+
+let create ~cap =
+  if cap < 1 then invalid_arg "Jobq.create: cap must be >= 1";
+  {
+    cap;
+    items = Queue.create ();
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+    closed = false;
+  }
+
+let capacity t = t.cap
+
+let length t = Mutex.protect t.lock (fun () -> Queue.length t.items)
+
+let try_push t x =
+  Mutex.protect t.lock (fun () ->
+      if t.closed then `Closed
+      else if Queue.length t.items >= t.cap then `Full
+      else begin
+        Queue.push x t.items;
+        Condition.signal t.nonempty;
+        `Ok
+      end)
+
+(* Blocks until an item is available or the queue is closed *and*
+   drained; [None] means "no more work ever" — the consumer exits. *)
+let pop t =
+  Mutex.lock t.lock;
+  while Queue.is_empty t.items && not t.closed do
+    Condition.wait t.nonempty t.lock
+  done;
+  let item = if Queue.is_empty t.items then None else Some (Queue.pop t.items) in
+  Mutex.unlock t.lock;
+  item
+
+let close t =
+  Mutex.protect t.lock (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.nonempty)
+
+let is_closed t = Mutex.protect t.lock (fun () -> t.closed)

@@ -1,0 +1,129 @@
+(* The serve wire protocol: newline-delimited JSON, one request object
+   per line in, one response object per line out.
+
+   Request:  {"id": <any>, "op": "profile", "app": "nn",
+              "arch": "kepler", "scale": 2, "timeout_ms": 60000}
+   Response: {"id": <echoed>, "ok": true,  "op": "profile", "result": {...}}
+         or  {"id": <echoed>, "ok": false, "op": "profile",
+              "error": {"code": "timeout", "message": "..."}}
+
+   The [id] is opaque to the daemon and echoed verbatim (clients
+   correlate by it — responses may come back out of order, since
+   requests run concurrently).  Unknown request fields are ignored for
+   forward compatibility; wrongly-typed known fields are a
+   ["bad_request"].
+
+   Error codes: "bad_request", "unknown_op", "unknown_app",
+   "unknown_arch", "overloaded" (bounded queue full — retry later),
+   "timeout" (the per-request wall-clock deadline fired),
+   "failed" (the operation itself raised), "shutting_down". *)
+
+module Json = Analysis.Json
+module Jsonv = Obs.Jsonv
+
+type request = {
+  id : Json.t; (* echoed verbatim; [Json.Null] when absent *)
+  op : string;
+  app : string option;
+  arch_name : string; (* default "kepler" *)
+  scale : int option;
+  timeout_ms : int option; (* overrides the server default *)
+  domains : int option; (* fan-out inside one request (bypass) *)
+  instrument : string option; (* compile op: none|profile|check|all *)
+  out : string option; (* trace op: Chrome-trace output path *)
+  ms : int option; (* sleep op *)
+}
+
+(* Parsed values echo back through the response encoder, so convert the
+   validator's representation to the emitter's; integral numbers become
+   [Int] (ids are typically sequence numbers). *)
+let rec json_of_jsonv : Jsonv.t -> Json.t = function
+  | Jsonv.Null -> Json.Null
+  | Jsonv.Bool b -> Json.Bool b
+  | Jsonv.Num f ->
+    if Float.is_integer f && Float.abs f < 1e15 then Json.Int (int_of_float f)
+    else Json.Float f
+  | Jsonv.Str s -> Json.String s
+  | Jsonv.Arr l -> Json.List (List.map json_of_jsonv l)
+  | Jsonv.Obj fields ->
+    Json.Obj (List.map (fun (k, v) -> (k, json_of_jsonv v)) fields)
+
+(* ----- request parsing ----- *)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let str_field obj name =
+  match Jsonv.member name obj with
+  | None | Some Jsonv.Null -> Ok None
+  | Some (Jsonv.Str s) -> Ok (Some s)
+  | Some _ -> Error (Printf.sprintf "field %S must be a string" name)
+
+let int_field obj name =
+  match Jsonv.member name obj with
+  | None | Some Jsonv.Null -> Ok None
+  | Some (Jsonv.Num f) when Float.is_integer f -> Ok (Some (int_of_float f))
+  | Some _ -> Error (Printf.sprintf "field %S must be an integer" name)
+
+(* Parse one request line.  Errors carry (id, code, message) so the
+   reply can still correlate when the envelope parsed but a field was
+   bad; an unparseable line gets [id = Null]. *)
+let parse_request line : (request, Json.t * string * string) result =
+  match Jsonv.parse line with
+  | Error msg -> Error (Json.Null, "bad_request", "invalid JSON: " ^ msg)
+  | Ok (Jsonv.Obj _ as obj) -> (
+    let id =
+      match Jsonv.member "id" obj with
+      | None -> Json.Null
+      | Some v -> json_of_jsonv v
+    in
+    let fields =
+      let* op =
+        match Jsonv.member "op" obj with
+        | Some (Jsonv.Str s) -> Ok s
+        | Some _ -> Error "field \"op\" must be a string"
+        | None -> Error "missing required field \"op\""
+      in
+      let* app = str_field obj "app" in
+      let* arch = str_field obj "arch" in
+      let* scale = int_field obj "scale" in
+      let* timeout_ms = int_field obj "timeout_ms" in
+      let* domains = int_field obj "domains" in
+      let* instrument = str_field obj "instrument" in
+      let* out = str_field obj "out" in
+      let* ms = int_field obj "ms" in
+      Ok
+        {
+          id;
+          op;
+          app;
+          arch_name = Option.value arch ~default:"kepler";
+          scale;
+          timeout_ms;
+          domains;
+          instrument;
+          out;
+          ms;
+        }
+    in
+    match fields with
+    | Ok req -> Ok req
+    | Error msg -> Error (id, "bad_request", msg))
+  | Ok _ -> Error (Json.Null, "bad_request", "request must be a JSON object")
+
+(* ----- response encoding ----- *)
+
+let ok_response ~id ~op result =
+  Json.Obj
+    [ ("id", id); ("ok", Json.Bool true); ("op", Json.String op);
+      ("result", result) ]
+
+let error_response ~id ~op ~code message =
+  Json.Obj
+    [ ("id", id); ("ok", Json.Bool false); ("op", Json.String op);
+      ( "error",
+        Json.Obj
+          [ ("code", Json.String code); ("message", Json.String message) ] ) ]
+
+(* One response per line: the emitter never produces raw newlines
+   (strings are escaped), so [to_string] output is line-safe. *)
+let to_line json = Json.to_string json

@@ -1,0 +1,209 @@
+(* Request routing: one function per op, all reusing the Advisor front
+   door and the `--json` report encoders, so a served response is
+   byte-identical to the one-shot CLI's machine-readable output.
+
+   Ops needing an application are validated *before* they are enqueued
+   ([validate]), so a typo'd app name answers immediately instead of
+   occupying a queue slot behind seconds-long simulations. *)
+
+module Json = Analysis.Json
+
+type outcome = (Json.t, string * string) result (* error = (code, message) *)
+
+let known_ops =
+  [ "ping"; "list"; "metrics"; "sleep"; "compile"; "profile"; "check";
+    "bypass"; "trace" ]
+
+let needs_app op = List.mem op [ "compile"; "profile"; "check"; "bypass"; "trace" ]
+
+let resolve_app (r : Protocol.request) =
+  match r.app with
+  | None -> Error ("bad_request", Printf.sprintf "op %S needs an \"app\" field" r.op)
+  | Some name -> (
+    match Workloads.Registry.find_opt name with
+    | Some w -> Ok w
+    | None ->
+      Error
+        ( "unknown_app",
+          Printf.sprintf "unknown application %S (op \"list\" enumerates them)"
+            name ))
+
+let resolve_arch (r : Protocol.request) =
+  match Gpusim.Arch.of_name r.arch_name with
+  | Some arch -> Ok arch
+  | None ->
+    Error
+      ( "unknown_arch",
+        Printf.sprintf "unknown architecture %S (expected one of %s)" r.arch_name
+          (String.concat ", " Gpusim.Arch.known_names) )
+
+(* Cheap pre-enqueue validation: op known, app/arch resolvable.  The
+   expensive work happens later on a worker domain. *)
+let validate (r : Protocol.request) : (unit, string * string) result =
+  if not (List.mem r.op known_ops) then
+    Error
+      ( "unknown_op",
+        Printf.sprintf "unknown op %S (expected one of %s)" r.op
+          (String.concat ", " known_ops) )
+  else
+    match resolve_arch r with
+    | Error _ as e -> e
+    | Ok _ ->
+      if needs_app r.op then
+        match resolve_app r with Error e -> Error e | Ok _ -> Ok ()
+      else Ok ()
+
+(* ----- the ops ----- *)
+
+let ping () =
+  Ok
+    (Json.Obj
+       [ ("pong", Json.Bool true);
+         ("uptime_ns", Json.Int (Obs.Clock.elapsed_ns ())) ])
+
+let list_apps () =
+  let names l = Json.List (List.map (fun (w : Workloads.Common.t) -> Json.String w.name) l) in
+  Ok
+    (Json.Obj
+       [ ("apps", names Workloads.Registry.all);
+         ("seeded", names Workloads.Registry.seeded);
+         ("archs", Json.List (List.map (fun a -> Json.String a) Gpusim.Arch.known_names)) ])
+
+let metrics () =
+  let value = function
+    | Obs.Metrics.Counter i -> Json.Int i
+    | Obs.Metrics.Gauge f -> Json.Float f
+    | Obs.Metrics.Histogram h ->
+      Json.Obj
+        [ ("count", Json.Int h.Obs.Metrics.count);
+          ("sum", Json.Int h.Obs.Metrics.sum);
+          ("max", Json.Int h.Obs.Metrics.max_value);
+          ("mean", Json.Float h.Obs.Metrics.mean) ]
+  in
+  Ok (Json.Obj (List.map (fun (name, v) -> (name, value v)) (Obs.Metrics.snapshot ())))
+
+(* Diagnostic op: busy-wait politely for [ms], polling the same
+   cancellation check the simulator does — exercising queueing,
+   backpressure and timeouts without burning simulation cycles. *)
+let sleep (r : Protocol.request) =
+  match r.ms with
+  | None -> Error ("bad_request", "op \"sleep\" needs an integer \"ms\" field")
+  | Some ms ->
+    let until = Obs.Clock.now_ns () + (max 0 ms * 1_000_000) in
+    let rec wait () =
+      Gpusim.Gpu.poll_cancel ();
+      let left_ns = until - Obs.Clock.now_ns () in
+      if left_ns > 0 then begin
+        Unix.sleepf (Float.min 0.005 (float_of_int left_ns /. 1e9));
+        wait ()
+      end
+    in
+    wait ();
+    Ok (Json.Obj [ ("slept_ms", Json.Int ms) ])
+
+let compile (r : Protocol.request) =
+  let ( let* ) = Result.bind in
+  let* w = resolve_app r in
+  let* instrument =
+    match Option.value r.instrument ~default:"none" with
+    | "none" -> Ok None
+    | "profile" -> Ok (Some Advisor.default_options)
+    | "check" -> Ok (Some Advisor.check_options)
+    | "all" -> Ok (Some Passes.Instrument.all)
+    | other ->
+      Error
+        ( "bad_request",
+          Printf.sprintf
+            "field \"instrument\" must be none, profile, check or all (got %S)"
+            other )
+  in
+  let compiled =
+    Advisor.compile_source ?instrument ~file:w.Workloads.Common.source_file
+      w.Workloads.Common.source
+  in
+  let kernels =
+    List.filter_map
+      (fun (name, f) -> if f.Ptx.Isa.is_kernel then Some (Json.String name) else None)
+      compiled.Advisor.prog.Ptx.Isa.funcs
+  in
+  let hits, misses = Advisor.compile_cache_stats () in
+  Ok
+    (Json.Obj
+       [ ("app", Json.String w.Workloads.Common.name);
+         ("functions", Json.Int (List.length compiled.Advisor.prog.Ptx.Isa.funcs));
+         ("kernels", Json.List kernels);
+         ("instrumented", Json.Bool (compiled.Advisor.manifest <> None));
+         ( "compile_cache",
+           Json.Obj [ ("hits", Json.Int hits); ("misses", Json.Int misses) ] ) ])
+
+let profile (r : Protocol.request) =
+  let ( let* ) = Result.bind in
+  let* w = resolve_app r in
+  let* arch = resolve_arch r in
+  let session = Advisor.profile ~arch ?scale:r.scale w in
+  Ok
+    (Analysis.Report.of_profile ~app:w.Workloads.Common.name
+       ~arch_name:arch.Gpusim.Arch.name ~line_size:arch.Gpusim.Arch.line_size
+       session.Advisor.profiler)
+
+let check (r : Protocol.request) =
+  let ( let* ) = Result.bind in
+  let* w = resolve_app r in
+  let* arch = resolve_arch r in
+  let report = Advisor.check ~arch ?scale:r.scale w in
+  Ok (Advisor.check_report_json report)
+
+let bypass (r : Protocol.request) =
+  let ( let* ) = Result.bind in
+  let* w = resolve_app r in
+  let* arch = resolve_arch r in
+  (* default to no intra-request fan-out: the whole sweep then runs on
+     the worker's own domain, where the request deadline is polled *)
+  let domains = Option.value r.domains ~default:1 in
+  let b = Advisor.bypass_study ?scale:r.scale ~domains ~arch w in
+  Ok
+    (Analysis.Report.bypass_json ~app:b.Advisor.app ~arch_name:b.Advisor.arch_name
+       ~warps_per_cta:b.Advisor.warps_per_cta
+       ~baseline_cycles:b.Advisor.baseline_cycles ~sweep:b.Advisor.sweep
+       ~oracle_warps:b.Advisor.oracle_warps ~oracle_cycles:b.Advisor.oracle_cycles
+       ~predicted_warps:b.Advisor.predicted_warps
+       ~predicted_cycles:b.Advisor.predicted_cycles)
+
+(* Self-profiling run: turn tracing on (process-wide — spans from
+   concurrent requests share the buffers), profile the app with the
+   standard analyses, optionally export the accumulated Chrome trace. *)
+let trace (r : Protocol.request) =
+  let ( let* ) = Result.bind in
+  let* w = resolve_app r in
+  let* arch = resolve_arch r in
+  Obs.Trace.enable ();
+  let session = Advisor.profile ~arch ?scale:r.scale w in
+  ignore (Advisor.reuse_distance session);
+  ignore (Advisor.mem_divergence session);
+  ignore (Advisor.branch_divergence session);
+  let out_field =
+    match r.out with
+    | None -> []
+    | Some file ->
+      Obs.Trace.export_chrome_to_file file;
+      [ ("out", Json.String file) ]
+  in
+  Ok
+    (Json.Obj
+       ([ ("app", Json.String w.Workloads.Common.name);
+          ("span_events", Json.Int (Obs.Trace.event_count ()));
+          ("dropped", Json.Int (Obs.Trace.dropped_count ())) ]
+       @ out_field))
+
+let dispatch (r : Protocol.request) : outcome =
+  match r.op with
+  | "ping" -> ping ()
+  | "list" -> list_apps ()
+  | "metrics" -> metrics ()
+  | "sleep" -> sleep r
+  | "compile" -> compile r
+  | "profile" -> profile r
+  | "check" -> check r
+  | "bypass" -> bypass r
+  | "trace" -> trace r
+  | op -> Error ("unknown_op", Printf.sprintf "unknown op %S" op)

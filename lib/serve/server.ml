@@ -1,0 +1,341 @@
+(* The `advisor serve` daemon.
+
+   One select loop on the calling domain owns all I/O: it accepts
+   Unix-domain-socket connections, reads newline-delimited JSON
+   requests from them and from stdin, validates cheaply, and enqueues
+   jobs on a bounded queue ({!Jobq}).  A group of worker domains
+   (accounted against the {!Pool} budget, so simulations *inside* a
+   request still fan out safely) drains the queue and writes each
+   response directly to its connection under a per-connection write
+   lock — responses may interleave across requests, which is why the
+   protocol echoes ids.
+
+   Backpressure: a full queue answers "overloaded" immediately instead
+   of buffering an unbounded backlog of seconds-long simulations.
+
+   Timeouts: each job installs a wall-clock deadline as the worker
+   domain's {!Gpusim.Gpu} cancellation check before dispatching, so a
+   runaway simulation unwinds with a "timeout" error while the daemon
+   (and every other request) keeps running.  This layers on the
+   instruction-count runaway guard, which remains the backstop for
+   infinite loops when no deadline is configured.
+
+   Shutdown: SIGINT/SIGTERM (wired by the CLI to {!request_shutdown})
+   stops accepting and reading, drains every accepted job, flushes the
+   responses, closes the socket and returns — the CLI then runs its
+   usual finalizer (trace export, metrics dump) and exits 0. *)
+
+module Json = Analysis.Json
+
+type config = {
+  socket_path : string option;
+  stdio : bool;
+  workers : int;
+  queue_cap : int;
+  default_timeout_ms : int option; (* None/0 = no per-request deadline *)
+}
+
+let default_config =
+  {
+    socket_path = None;
+    stdio = true;
+    workers = min 4 (Domain.recommended_domain_count ());
+    queue_cap = 64;
+    default_timeout_ms = Some 300_000;
+  }
+
+(* ----- metrics ----- *)
+
+let m_depth = Obs.Metrics.gauge "serve.queue.depth"
+let m_wait = Obs.Metrics.histogram "serve.request.wait_ns"
+let m_run = Obs.Metrics.histogram "serve.request.run_ns"
+let m_requests = Obs.Metrics.counter "serve.requests"
+let m_ok = Obs.Metrics.counter "serve.requests.ok"
+let m_failed = Obs.Metrics.counter "serve.requests.failed"
+let m_timeout = Obs.Metrics.counter "serve.requests.timeout"
+let m_overloaded = Obs.Metrics.counter "serve.requests.overloaded"
+let m_rejected = Obs.Metrics.counter "serve.requests.rejected"
+let m_connections = Obs.Metrics.counter "serve.connections"
+
+(* ----- connections and jobs ----- *)
+
+type conn = {
+  in_fd : Unix.file_descr;
+  out_fd : Unix.file_descr;
+  wlock : Mutex.t;
+  mutable pending : string; (* partial line carried between reads *)
+  mutable reading : bool; (* false after EOF / read error *)
+  mutable writable : bool; (* false after a write error *)
+  inflight : int Atomic.t; (* enqueued jobs not yet replied to *)
+  kind : [ `Stdio | `Socket ];
+}
+
+type job = { req : Protocol.request; conn : conn; enq_ns : int }
+
+type t = {
+  cfg : config;
+  queue : job Jobq.t;
+  stop : bool Atomic.t;
+  mutable inline : bool; (* no worker domains: run jobs on the I/O domain *)
+}
+
+let create cfg = { cfg; queue = Jobq.create ~cap:cfg.queue_cap; stop = Atomic.make false; inline = false }
+
+(* Domain- and signal-safe: flips one atomic the select loop polls. *)
+let request_shutdown t = Atomic.set t.stop true
+
+(* ----- writing ----- *)
+
+let write_line conn line =
+  let data = Bytes.of_string (line ^ "\n") in
+  Mutex.protect conn.wlock (fun () ->
+      if conn.writable then
+        try
+          let len = Bytes.length data in
+          let off = ref 0 in
+          while !off < len do
+            off := !off + Unix.write conn.out_fd data !off (len - !off)
+          done
+        with Unix.Unix_error (e, _, _) ->
+          conn.writable <- false;
+          Obs.Log.debug "serve" "dropping reply: %s" (Unix.error_message e))
+
+let reply conn response =
+  write_line conn (Protocol.to_line response);
+  ignore (Atomic.fetch_and_add conn.inflight (-1))
+
+(* ----- job execution (worker domains) ----- *)
+
+let run_job t job =
+  Obs.Metrics.set_gauge m_depth (float_of_int (Jobq.length t.queue));
+  let started = Obs.Clock.now_ns () in
+  Obs.Metrics.observe m_wait (started - job.enq_ns);
+  let timeout_ms =
+    match job.req.Protocol.timeout_ms with
+    | Some ms -> Some ms
+    | None -> t.cfg.default_timeout_ms
+  in
+  (match timeout_ms with
+  | Some ms when ms > 0 ->
+    let deadline = started + (ms * 1_000_000) in
+    Gpusim.Gpu.set_cancel_check (fun () ->
+        if Obs.Clock.now_ns () > deadline then
+          Some (Printf.sprintf "request exceeded its %d ms timeout" ms)
+        else None)
+  | _ -> ());
+  Fun.protect ~finally:Gpusim.Gpu.clear_cancel_check @@ fun () ->
+  let id = job.req.Protocol.id and op = job.req.Protocol.op in
+  let response =
+    Obs.Trace.with_span ~cat:"serve" ("serve:" ^ op) (fun () ->
+        match Router.dispatch job.req with
+        | Ok result ->
+          Obs.Metrics.incr m_ok;
+          Protocol.ok_response ~id ~op result
+        | Error (code, msg) ->
+          Obs.Metrics.incr m_failed;
+          Protocol.error_response ~id ~op ~code msg
+        | exception Gpusim.Gpu.Cancelled reason ->
+          Obs.Metrics.incr m_timeout;
+          Protocol.error_response ~id ~op ~code:"timeout" reason
+        | exception Gpusim.Gpu.Launch_error msg ->
+          Obs.Metrics.incr m_failed;
+          Protocol.error_response ~id ~op ~code:"failed" ("launch aborted: " ^ msg)
+        | exception e ->
+          Obs.Metrics.incr m_failed;
+          Protocol.error_response ~id ~op ~code:"failed" (Printexc.to_string e))
+  in
+  Obs.Metrics.observe m_run (Obs.Clock.now_ns () - started);
+  reply job.conn response
+
+let worker_loop t =
+  let rec go () =
+    match Jobq.pop t.queue with
+    | None -> ()
+    | Some job ->
+      run_job t job;
+      go ()
+  in
+  go ()
+
+(* ----- request intake (I/O domain) ----- *)
+
+let handle_line t conn line =
+  let line = String.trim line in
+  if line <> "" then begin
+    Obs.Metrics.incr m_requests;
+    match Protocol.parse_request line with
+    | Error (id, code, msg) ->
+      Obs.Metrics.incr m_rejected;
+      write_line conn (Protocol.to_line (Protocol.error_response ~id ~op:"?" ~code msg))
+    | Ok req -> (
+      let id = req.Protocol.id and op = req.Protocol.op in
+      match Router.validate req with
+      | Error (code, msg) ->
+        Obs.Metrics.incr m_rejected;
+        write_line conn (Protocol.to_line (Protocol.error_response ~id ~op ~code msg))
+      | Ok () -> (
+        ignore (Atomic.fetch_and_add conn.inflight 1);
+        match Jobq.try_push t.queue { req; conn; enq_ns = Obs.Clock.now_ns () } with
+        | `Ok ->
+          Obs.Metrics.set_gauge m_depth (float_of_int (Jobq.length t.queue));
+          if t.inline then
+            (* no worker domains: serve the job right here, sequentially *)
+            (match Jobq.pop t.queue with
+            | Some job -> run_job t job
+            | None -> ())
+        | `Full ->
+          ignore (Atomic.fetch_and_add conn.inflight (-1));
+          Obs.Metrics.incr m_overloaded;
+          write_line conn
+            (Protocol.to_line
+               (Protocol.error_response ~id ~op ~code:"overloaded"
+                  (Printf.sprintf
+                     "job queue is full (%d queued); retry later or raise \
+                      --queue" (Jobq.capacity t.queue))))
+        | `Closed ->
+          ignore (Atomic.fetch_and_add conn.inflight (-1));
+          Obs.Metrics.incr m_rejected;
+          write_line conn
+            (Protocol.to_line
+               (Protocol.error_response ~id ~op ~code:"shutting_down"
+                  "daemon is shutting down"))))
+  end
+
+let read_conn t conn =
+  let buf = Bytes.create 4096 in
+  let n =
+    try Unix.read conn.in_fd buf 0 (Bytes.length buf)
+    with Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> 0
+  in
+  if n = 0 then begin
+    (* EOF: a final unterminated line still counts as a request *)
+    conn.reading <- false;
+    if String.trim conn.pending <> "" then handle_line t conn conn.pending;
+    conn.pending <- ""
+  end
+  else begin
+    let data = conn.pending ^ Bytes.sub_string buf 0 n in
+    let rec go = function
+      | [ last ] -> conn.pending <- last
+      | line :: rest ->
+        handle_line t conn line;
+        go rest
+      | [] -> conn.pending <- ""
+    in
+    go (String.split_on_char '\n' data)
+  end
+
+(* ----- the daemon loop ----- *)
+
+let make_conn ~kind ~in_fd ~out_fd =
+  {
+    in_fd;
+    out_fd;
+    wlock = Mutex.create ();
+    pending = "";
+    reading = true;
+    writable = true;
+    inflight = Atomic.make 0;
+    kind;
+  }
+
+let setup_listener path =
+  (try Unix.unlink path with Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 64;
+  fd
+
+let run t =
+  ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
+  let listen_fd = Option.map setup_listener t.cfg.socket_path in
+  let conns = ref [] in
+  if t.cfg.stdio then
+    conns := [ make_conn ~kind:`Stdio ~in_fd:Unix.stdin ~out_fd:Unix.stdout ];
+  let group =
+    if t.cfg.workers <= 0 then None
+    else Some (Pool.spawn_group ~want:t.cfg.workers (fun () -> worker_loop t))
+  in
+  let worker_count = match group with None -> 0 | Some g -> Pool.group_size g in
+  if worker_count = 0 then begin
+    t.inline <- true;
+    if t.cfg.workers > 0 then
+      Obs.Log.warn "serve"
+        "no worker domains available; serving requests sequentially"
+  end;
+  Obs.Log.info "serve" "serving%s%s: %d workers, queue %d, timeout %s"
+    (if t.cfg.stdio then " stdio" else "")
+    (match t.cfg.socket_path with
+    | Some p -> Printf.sprintf " socket %s" p
+    | None -> "")
+    worker_count t.cfg.queue_cap
+    (match t.cfg.default_timeout_ms with
+    | Some ms when ms > 0 -> Printf.sprintf "%dms" ms
+    | _ -> "none");
+  let reading_conns () = List.filter (fun c -> c.reading) !conns in
+  (* Drop closed socket connections once their replies are out; stdio
+     fds are never closed (the parent owns them). *)
+  let sweep_closed () =
+    conns :=
+      List.filter
+        (fun c ->
+          if c.reading || Atomic.get c.inflight > 0 then true
+          else
+            match c.kind with
+            | `Stdio -> true (* keep: EOF on stdin is remembered via [reading] *)
+            | `Socket ->
+              (try Unix.close c.in_fd with Unix.Unix_error _ -> ());
+              false)
+        !conns
+  in
+  (try
+     let running = ref true in
+     while !running && not (Atomic.get t.stop) do
+       sweep_closed ();
+       let watch =
+         (match listen_fd with Some fd -> [ fd ] | None -> [])
+         @ List.map (fun c -> c.in_fd) (reading_conns ())
+       in
+       if watch = [] then
+         (* nothing will ever produce another request: batch mode done *)
+         running := false
+       else begin
+         match Unix.select watch [] [] 0.25 with
+         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+         | ready, _, _ ->
+           List.iter
+             (fun fd ->
+               if listen_fd = Some fd then begin
+                 let cfd, _ = Unix.accept fd in
+                 Obs.Metrics.incr m_connections;
+                 conns := make_conn ~kind:`Socket ~in_fd:cfd ~out_fd:cfd :: !conns
+               end
+               else
+                 match List.find_opt (fun c -> c.in_fd = fd) !conns with
+                 | Some conn when conn.reading -> read_conn t conn
+                 | _ -> ())
+             ready
+       end
+     done
+   with e ->
+     (* an I/O-loop failure still drains accepted work below *)
+     Obs.Log.error "serve" "I/O loop failed: %s" (Printexc.to_string e));
+  (* ----- graceful shutdown: refuse new work, drain accepted work ----- *)
+  let drained = Jobq.length t.queue in
+  Jobq.close t.queue;
+  (match group with Some g -> Pool.join_group g | None -> ());
+  (match listen_fd with
+  | Some fd ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Option.iter
+      (fun p -> try Unix.unlink p with Unix.Unix_error _ -> ())
+      t.cfg.socket_path
+  | None -> ());
+  List.iter
+    (fun c ->
+      match c.kind with
+      | `Stdio -> ()
+      | `Socket -> ( try Unix.close c.in_fd with Unix.Unix_error _ -> ()))
+    !conns;
+  Obs.Log.info "serve" "shut down cleanly (drained %d queued job%s)" drained
+    (if drained = 1 then "" else "s")

@@ -1,0 +1,562 @@
+(* The serve daemon end to end: protocol parsing, request routing, a
+   live socket server (round-trips for every op, concurrency,
+   backpressure, per-request timeouts, graceful shutdown), and
+   regression tests for the concurrency bugfix sweep that shipped with
+   it (overlapping cold compiles, pool budget safety on spawn failure,
+   lenient env parsing). *)
+
+module Json = Analysis.Json
+module Jsonv = Obs.Jsonv
+module Protocol = Serve.Protocol
+module Router = Serve.Router
+module Jobq = Serve.Jobq
+module Server = Serve.Server
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* ----- protocol ----- *)
+
+let test_parse_ok () =
+  let line =
+    {|{"id": 7, "op": "profile", "app": "nn", "arch": "pascal", "scale": 2, "timeout_ms": 500, "domains": 3, "instrument": "all", "out": "/tmp/t.json", "ms": 10, "future_field": [1, 2]}|}
+  in
+  match Protocol.parse_request line with
+  | Error (_, code, msg) -> Alcotest.failf "parse failed: %s %s" code msg
+  | Ok r ->
+    check_string "op" "profile" r.Protocol.op;
+    check_bool "id" true (r.Protocol.id = Json.Int 7);
+    check_string "app" "nn" (Option.get r.Protocol.app);
+    check_string "arch" "pascal" r.Protocol.arch_name;
+    check_int "scale" 2 (Option.get r.Protocol.scale);
+    check_int "timeout_ms" 500 (Option.get r.Protocol.timeout_ms);
+    check_int "domains" 3 (Option.get r.Protocol.domains);
+    check_string "instrument" "all" (Option.get r.Protocol.instrument);
+    check_string "out" "/tmp/t.json" (Option.get r.Protocol.out);
+    check_int "ms" 10 (Option.get r.Protocol.ms)
+
+let test_parse_defaults () =
+  match Protocol.parse_request {|{"op": "ping"}|} with
+  | Error _ -> Alcotest.fail "minimal request should parse"
+  | Ok r ->
+    check_bool "absent id is Null" true (r.Protocol.id = Json.Null);
+    check_string "default arch" "kepler" r.Protocol.arch_name;
+    check_bool "absent app" true (r.Protocol.app = None)
+
+let test_parse_errors () =
+  let code_of = function
+    | Error (_, code, _) -> code
+    | Ok _ -> "parsed"
+  in
+  check_string "garbage" "bad_request" (code_of (Protocol.parse_request "{nope"));
+  check_string "non-object" "bad_request" (code_of (Protocol.parse_request "[1,2]"));
+  check_string "missing op" "bad_request" (code_of (Protocol.parse_request "{}"));
+  check_string "op not a string" "bad_request"
+    (code_of (Protocol.parse_request {|{"op": 3}|}));
+  check_string "scale not an int" "bad_request"
+    (code_of (Protocol.parse_request {|{"op": "profile", "scale": "big"}|}));
+  (* the id still comes back when the envelope parsed *)
+  (match Protocol.parse_request {|{"id": "abc", "op": "profile", "ms": 1.5}|} with
+  | Error (id, "bad_request", _) -> check_bool "id echoed" true (id = Json.String "abc")
+  | _ -> Alcotest.fail "fractional ms should be a bad_request with the id")
+
+let test_response_lines () =
+  let ok = Protocol.to_line (Protocol.ok_response ~id:(Json.Int 1) ~op:"ping" (Json.Obj [])) in
+  check_string "ok line" {|{"id":1,"ok":true,"op":"ping","result":{}}|} ok;
+  let err =
+    Protocol.to_line
+      (Protocol.error_response ~id:Json.Null ~op:"?" ~code:"bad_request" "line\nbreak")
+  in
+  check_bool "responses never contain raw newlines" false
+    (String.contains err '\n')
+
+(* ----- router (no daemon) ----- *)
+
+let test_validate () =
+  let req line =
+    match Protocol.parse_request line with
+    | Ok r -> r
+    | Error (_, _, m) -> Alcotest.failf "setup parse: %s" m
+  in
+  let code line =
+    match Router.validate (req line) with Ok () -> "ok" | Error (c, _) -> c
+  in
+  check_string "known op" "ok" (code {|{"op": "ping"}|});
+  check_string "unknown op" "unknown_op" (code {|{"op": "frobnicate"}|});
+  check_string "unknown app" "unknown_app" (code {|{"op": "profile", "app": "doom"}|});
+  check_string "missing app" "bad_request" (code {|{"op": "profile"}|});
+  check_string "unknown arch" "unknown_arch"
+    (code {|{"op": "profile", "app": "nn", "arch": "volta"}|});
+  check_string "app op with everything" "ok" (code {|{"op": "check", "app": "nn"}|})
+
+let dispatch line =
+  match Protocol.parse_request line with
+  | Ok r -> Router.dispatch r
+  | Error (_, _, m) -> Alcotest.failf "setup parse: %s" m
+
+let test_dispatch_ping_list () =
+  (match dispatch {|{"op": "ping"}|} with
+  | Ok (Json.Obj fields) -> check_bool "pong" true (List.assoc "pong" fields = Json.Bool true)
+  | _ -> Alcotest.fail "ping should return an object");
+  match dispatch {|{"op": "list"}|} with
+  | Ok (Json.Obj fields) ->
+    let names = function
+      | Json.List l -> List.map (function Json.String s -> s | _ -> "?") l
+      | _ -> []
+    in
+    check_bool "nn listed" true (List.mem "nn" (names (List.assoc "apps" fields)));
+    check_bool "archs listed" true
+      (List.mem "pascal" (names (List.assoc "archs" fields)))
+  | _ -> Alcotest.fail "list should return an object"
+
+let test_dispatch_bad_fields () =
+  let code line =
+    match dispatch line with Error (c, _) -> c | Ok _ -> "ok" in
+  check_string "sleep needs ms" "bad_request" (code {|{"op": "sleep"}|});
+  check_string "bad instrument" "bad_request"
+    (code {|{"op": "compile", "app": "nn", "instrument": "wat"}|})
+
+(* ----- a live daemon over a Unix socket ----- *)
+
+let fresh_socket_path =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "advisor-test-%d-%d.sock" (Unix.getpid ()) !n)
+
+(* Run [f client_socket_path] against a daemon on its own domain; shut
+   it down and join afterwards, whatever happens. *)
+let with_server ?(workers = 2) ?(queue = 16) ?timeout_ms f =
+  let path = fresh_socket_path () in
+  let cfg =
+    {
+      Server.socket_path = Some path;
+      stdio = false;
+      workers;
+      queue_cap = queue;
+      default_timeout_ms = timeout_ms;
+    }
+  in
+  let srv = Server.create cfg in
+  let daemon = Domain.spawn (fun () -> Server.run srv) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.request_shutdown srv;
+      Domain.join daemon;
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () -> f path srv)
+
+let connect path =
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  let rec go () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> fd
+    | exception
+        Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT | Unix.ENOTSOCK), _, _)
+      when Unix.gettimeofday () < deadline ->
+      Unix.close fd;
+      Unix.sleepf 0.01;
+      go ()
+  in
+  go ()
+
+let send fd line =
+  let data = Bytes.of_string (line ^ "\n") in
+  let len = Bytes.length data in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd data !off (len - !off)
+  done
+
+(* Read exactly [n] response lines (any order), failing loudly on EOF
+   or a 120 s stall. *)
+let read_lines ?(timeout = 120.) fd n =
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
+  let buf = Bytes.create 65536 in
+  let pending = ref "" in
+  let lines = ref [] in
+  while List.length !lines < n do
+    let r = Unix.read fd buf 0 (Bytes.length buf) in
+    if r = 0 then
+      Alcotest.failf "server closed the connection after %d/%d responses"
+        (List.length !lines) n;
+    let rec go = function
+      | [ last ] -> pending := last
+      | line :: rest ->
+        if String.trim line <> "" then lines := !lines @ [ line ];
+        go rest
+      | [] -> pending := ""
+    in
+    go (String.split_on_char '\n' (!pending ^ Bytes.sub_string buf 0 r))
+  done;
+  !lines
+
+let parse_resp line =
+  match Jsonv.parse line with
+  | Ok v -> v
+  | Error m -> Alcotest.failf "unparseable response %S: %s" line m
+
+let field name v =
+  match Jsonv.member name v with
+  | Some f -> f
+  | None -> Alcotest.failf "response is missing field %S" name
+
+let resp_ok v = field "ok" v = Jsonv.Bool true
+
+let resp_err_code v =
+  match Jsonv.member "code" (field "error" v) with
+  | Some (Jsonv.Str s) -> s
+  | _ -> Alcotest.fail "error response without a code"
+
+(* Collect [n] responses into an (id -> response) table; ids in these
+   tests are always small ints. *)
+let collect fd n =
+  let lines = read_lines fd n in
+  List.map
+    (fun line ->
+      let v = parse_resp line in
+      match field "id" v with
+      | Jsonv.Num f -> (int_of_float f, (line, v))
+      | Jsonv.Null -> (-1, (line, v))
+      | _ -> Alcotest.failf "unexpected id in %S" line)
+    lines
+
+(* The served profile response must be byte-identical to the one-shot
+   CLI's --json output wrapped in the response envelope. *)
+let expected_profile_nn_line ~id =
+  let w = Workloads.Registry.find "nn" in
+  let arch = Option.get (Gpusim.Arch.of_name "kepler") in
+  let session = Advisor.profile ~arch w in
+  let report =
+    Analysis.Report.of_profile ~app:w.Workloads.Common.name
+      ~arch_name:arch.Gpusim.Arch.name ~line_size:arch.Gpusim.Arch.line_size
+      session.Advisor.profiler
+  in
+  Protocol.to_line (Protocol.ok_response ~id:(Json.Int id) ~op:"profile" report)
+
+let test_roundtrip_every_op () =
+  with_server ~workers:2 (fun path _srv ->
+      let fd = connect path in
+      let trace_out = Filename.temp_file "advisor-test-trace" ".json" in
+      send fd {|{"id": 0, "op": "ping"}|};
+      send fd {|{"id": 1, "op": "list"}|};
+      send fd {|{"id": 2, "op": "metrics"}|};
+      send fd {|{"id": 3, "op": "sleep", "ms": 5}|};
+      send fd {|{"id": 4, "op": "compile", "app": "nn", "instrument": "profile"}|};
+      send fd {|{"id": 5, "op": "profile", "app": "nn"}|};
+      send fd {|{"id": 6, "op": "check", "app": "nn"}|};
+      send fd {|{"id": 7, "op": "bypass", "app": "nn"}|};
+      send fd
+        (Printf.sprintf {|{"id": 8, "op": "trace", "app": "nn", "out": %S}|}
+           trace_out);
+      let by_id = collect fd 9 in
+      Unix.close fd;
+      for i = 0 to 8 do
+        let line, v = List.assoc i by_id in
+        check_bool (Printf.sprintf "request %d ok (%s)" i line) true (resp_ok v)
+      done;
+      (* spot-check op-specific payloads *)
+      let result i = field "result" (snd (List.assoc i by_id)) in
+      (match Jsonv.member "kernels" (result 4) with
+      | Some (Jsonv.Arr (_ :: _)) -> ()
+      | _ -> Alcotest.fail "compile response lists kernels");
+      (match Jsonv.member "error_count" (result 6) with
+      | Some (Jsonv.Num _) -> ()
+      | _ -> Alcotest.fail "check response carries an error count");
+      (match Jsonv.member "oracle" (result 7) with
+      | Some _ -> ()
+      | None -> Alcotest.fail "bypass response carries the oracle");
+      check_bool "trace wrote the chrome file" true (Sys.file_exists trace_out);
+      Sys.remove trace_out;
+      Obs.Trace.disable ();
+      Obs.Trace.clear ())
+
+let test_served_profile_matches_oneshot () =
+  with_server ~workers:2 (fun path _srv ->
+      let fd = connect path in
+      send fd {|{"id": 11, "op": "profile", "app": "nn"}|};
+      let line = List.hd (read_lines fd 1) in
+      Unix.close fd;
+      check_string "served profile == one-shot report" (expected_profile_nn_line ~id:11)
+        line)
+
+let test_malformed_and_unknown_over_socket () =
+  with_server ~workers:1 (fun path _srv ->
+      let fd = connect path in
+      send fd "this is not json";
+      send fd {|{"id": 1, "op": "frobnicate"}|};
+      send fd {|{"id": 2, "op": "profile", "app": "doom"}|};
+      let by_id = collect fd 3 in
+      Unix.close fd;
+      let code i = resp_err_code (snd (List.assoc i by_id)) in
+      check_string "garbage line" "bad_request" (code (-1));
+      check_string "unknown op" "unknown_op" (code 1);
+      check_string "unknown app" "unknown_app" (code 2))
+
+(* >= 8 profile requests in flight at once, all answered correctly and
+   identically to the one-shot report. *)
+let test_concurrent_profiles () =
+  with_server ~workers:8 (fun path _srv ->
+      let fd = connect path in
+      for i = 0 to 7 do
+        send fd (Printf.sprintf {|{"id": %d, "op": "profile", "app": "nn"}|} i)
+      done;
+      let by_id = collect fd 8 in
+      Unix.close fd;
+      for i = 0 to 7 do
+        check_string
+          (Printf.sprintf "profile %d matches the one-shot report" i)
+          (expected_profile_nn_line ~id:i)
+          (fst (List.assoc i by_id))
+      done)
+
+(* One worker busy + one queue slot full => further requests are
+   rejected immediately with "overloaded", and the accepted ones still
+   complete. *)
+let test_overloaded () =
+  with_server ~workers:1 ~queue:1 (fun path _srv ->
+      let fd = connect path in
+      send fd {|{"id": 0, "op": "sleep", "ms": 600}|};
+      (* let the single worker pop request 0 off the queue *)
+      Unix.sleepf 0.2;
+      send fd {|{"id": 1, "op": "sleep", "ms": 10}|};
+      (* queue now holds request 1; these two must bounce *)
+      send fd {|{"id": 2, "op": "sleep", "ms": 10}|};
+      send fd {|{"id": 3, "op": "sleep", "ms": 10}|};
+      let by_id = collect fd 4 in
+      Unix.close fd;
+      check_bool "slow request completed" true (resp_ok (snd (List.assoc 0 by_id)));
+      check_bool "queued request completed" true (resp_ok (snd (List.assoc 1 by_id)));
+      check_string "third rejected" "overloaded" (resp_err_code (snd (List.assoc 2 by_id)));
+      check_string "fourth rejected" "overloaded" (resp_err_code (snd (List.assoc 3 by_id))))
+
+(* A per-request deadline kills that request (code "timeout") without
+   taking the daemon down: both a diagnostic sleep and a real
+   simulation get cancelled, and the daemon keeps answering. *)
+let test_timeout_leaves_daemon_alive () =
+  with_server ~workers:2 (fun path _srv ->
+      let fd = connect path in
+      send fd {|{"id": 0, "op": "sleep", "ms": 60000, "timeout_ms": 100}|};
+      send fd {|{"id": 1, "op": "profile", "app": "bfs", "timeout_ms": 1}|};
+      let by_id = collect fd 2 in
+      check_string "sleep timed out" "timeout" (resp_err_code (snd (List.assoc 0 by_id)));
+      check_string "simulation timed out" "timeout"
+        (resp_err_code (snd (List.assoc 1 by_id)));
+      (* the daemon survived both cancellations *)
+      send fd {|{"id": 2, "op": "profile", "app": "nn"}|};
+      let line = List.hd (read_lines fd 1) in
+      Unix.close fd;
+      check_string "daemon still serves correct results"
+        (expected_profile_nn_line ~id:2) line)
+
+(* Graceful shutdown drains accepted work: requests enqueued before the
+   stop are answered, then [run] returns. *)
+let test_shutdown_drains () =
+  with_server ~workers:1 (fun path srv ->
+      let fd = connect path in
+      send fd {|{"id": 0, "op": "sleep", "ms": 300}|};
+      send fd {|{"id": 1, "op": "sleep", "ms": 50}|};
+      (* both lines are on the daemon's side of the socket; give the
+         select loop a beat to enqueue them, then pull the plug *)
+      Unix.sleepf 0.15;
+      Server.request_shutdown srv;
+      let by_id = collect fd 2 in
+      Unix.close fd;
+      check_bool "in-flight request drained" true (resp_ok (snd (List.assoc 0 by_id)));
+      check_bool "queued request drained" true (resp_ok (snd (List.assoc 1 by_id))))
+
+(* ----- jobq ----- *)
+
+let test_jobq () =
+  let q = Jobq.create ~cap:2 in
+  check_int "capacity" 2 (Jobq.capacity q);
+  check_bool "push 1" true (Jobq.try_push q 1 = `Ok);
+  check_bool "push 2" true (Jobq.try_push q 2 = `Ok);
+  check_bool "push 3 bounces" true (Jobq.try_push q 3 = `Full);
+  check_bool "pop 1" true (Jobq.pop q = Some 1);
+  check_bool "push 4 after pop" true (Jobq.try_push q 4 = `Ok);
+  Jobq.close q;
+  check_bool "push after close" true (Jobq.try_push q 5 = `Closed);
+  check_bool "drains after close" true (Jobq.pop q = Some 2);
+  check_bool "drains after close (2)" true (Jobq.pop q = Some 4);
+  check_bool "then says closed" true (Jobq.pop q = None)
+
+(* ----- bugfix: concurrent cold compiles of distinct keys overlap ----- *)
+
+let gen_source ~tag n =
+  let b = Buffer.create (n * 160) in
+  for i = 0 to n - 1 do
+    Printf.bprintf b
+      "__global__ void k%d_%s(float* a, int n) {\n\
+      \  int i = blockDim.x * blockIdx.x + threadIdx.x;\n\
+      \  if (i < n) { a[i] = a[i] * %d.0 + 1.0; }\n\
+       }\n"
+      i tag (i + 1)
+  done;
+  Buffer.contents b
+
+(* Deterministic overlap proof: misses are counted when a compile
+   *claims* its key (before the work), so once the big compile's miss
+   is visible it holds no lock — under the old whole-cache lock the
+   small compile below would block behind it and [big_done] would
+   already be true when it returned. *)
+let test_cold_compiles_overlap () =
+  let _, m0 = Advisor.compile_cache_stats () in
+  let big_done = Atomic.make false in
+  let big =
+    Domain.spawn (fun () ->
+        let c =
+          Advisor.compile_source ~file:"overlap-big.cu" (gen_source ~tag:"big" 3000)
+        in
+        Atomic.set big_done true;
+        List.length c.Advisor.prog.Ptx.Isa.funcs)
+  in
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while
+    snd (Advisor.compile_cache_stats ()) < m0 + 1
+    && Unix.gettimeofday () < deadline
+  do
+    Domain.cpu_relax ()
+  done;
+  check_int "big compile claimed its key" (m0 + 1)
+    (snd (Advisor.compile_cache_stats ()));
+  let small =
+    Advisor.compile_source ~file:"overlap-small.cu" (gen_source ~tag:"small" 40)
+  in
+  let overlapped = not (Atomic.get big_done) in
+  check_int "small compile finished" 40
+    (List.length small.Advisor.prog.Ptx.Isa.funcs);
+  check_int "big compile finished" 3000 (Domain.join big);
+  check_bool "distinct cold compiles ran concurrently" true overlapped;
+  check_int "two misses total" (m0 + 2) (snd (Advisor.compile_cache_stats ()))
+
+(* Duplicate keys still compile exactly once: the loser waits for the
+   winner's slot instead of redoing (or corrupting) the work. *)
+let test_same_key_compiles_once () =
+  let h0, m0 = Advisor.compile_cache_stats () in
+  let src = gen_source ~tag:"dup" 500 in
+  let compile () = Advisor.compile_source ~file:"dup.cu" src in
+  let results = Pool.map ~domains:4 (fun _ -> compile ()) [ 1; 2; 3; 4 ] in
+  let first = List.hd results in
+  List.iter
+    (fun c -> check_bool "all callers share one compiled value" true (c == first))
+    results;
+  let h1, m1 = Advisor.compile_cache_stats () in
+  check_int "exactly one miss" (m0 + 1) m1;
+  check_bool "the rest hit the cache or waited" true (h1 - h0 <= 3)
+
+(* ----- bugfix: pool budget safety when spawns fail or tasks raise ----- *)
+
+let test_pool_spawn_failure_releases_budget () =
+  let before = Pool.available () in
+  Pool.Private.set_spawn (fun _ -> failwith "injected spawn failure");
+  Fun.protect ~finally:Pool.Private.reset_spawn (fun () ->
+      let r = Pool.map ~domains:6 (fun x -> x * x) [ 1; 2; 3; 4; 5 ] in
+      Alcotest.(check (list int)) "results survive a failed spawn" [ 1; 4; 9; 16; 25 ] r);
+  check_int "budget restored after spawn failure" before (Pool.available ())
+
+let test_pool_partial_spawn_failure () =
+  let before = Pool.available () in
+  let spawned = Atomic.make 0 in
+  Pool.Private.set_spawn (fun f ->
+      if Atomic.fetch_and_add spawned 1 >= 1 then failwith "injected spawn failure"
+      else Domain.spawn f);
+  Fun.protect ~finally:Pool.Private.reset_spawn (fun () ->
+      let r = Pool.map ~domains:6 (fun x -> x + 1) [ 1; 2; 3; 4; 5; 6 ] in
+      Alcotest.(check (list int)) "results survive a partial spawn failure"
+        [ 2; 3; 4; 5; 6; 7 ] r);
+  check_int "budget restored after partial spawn failure" before (Pool.available ())
+
+let test_pool_budget_restored_when_task_raises () =
+  let before = Pool.available () in
+  (match Pool.map ~domains:4 (fun x -> if x = 3 then failwith "task blew up" else x) [ 1; 2; 3; 4 ] with
+  | _ -> Alcotest.fail "the task exception must propagate"
+  | exception Failure m -> check_string "first exception re-raised" "task blew up" m);
+  check_int "budget restored after task exception" before (Pool.available ())
+
+let test_spawn_group_accounting () =
+  let before = Pool.available () in
+  let hits = Atomic.make 0 in
+  let g = Pool.spawn_group ~want:3 (fun () -> Atomic.incr hits) in
+  check_bool "spawned some workers" true (Pool.group_size g >= 1);
+  check_int "budget debited while the group lives"
+    (before - Pool.group_size g)
+    (Pool.available ());
+  let size = Pool.group_size g in
+  Pool.join_group g;
+  check_int "every worker ran" size (Atomic.get hits);
+  check_int "budget restored after join" before (Pool.available ())
+
+(* ----- bugfix: malformed env vars warn and fall back ----- *)
+
+let test_env_fallback () =
+  Unix.putenv "CUDAADVISOR_MAX_WARP_INSTRS" "a lot";
+  check_int "garbage instr budget falls back to the default"
+    Gpusim.Gpu.default_max_warp_insts
+    (Gpusim.Gpu.max_warp_insts ());
+  Unix.putenv "CUDAADVISOR_MAX_WARP_INSTRS" "-3";
+  check_int "non-positive instr budget falls back to the default"
+    Gpusim.Gpu.default_max_warp_insts
+    (Gpusim.Gpu.max_warp_insts ());
+  Unix.putenv "CUDAADVISOR_MAX_WARP_INSTRS"
+    (string_of_int Gpusim.Gpu.default_max_warp_insts);
+  Unix.putenv "POOL_DOMAINS" "over 9000!";
+  (* the old behavior was an int_of_string abort inside map *)
+  Alcotest.(check (list int)) "pool still maps with a garbage POOL_DOMAINS"
+    [ 2; 4; 6 ]
+    (Pool.map (fun x -> x * 2) [ 1; 2; 3 ]);
+  Unix.putenv "POOL_DOMAINS" (string_of_int (Domain.recommended_domain_count ()));
+  check_int "valid env values are honored" 1234
+    (Obs.Env.positive_int "CUDAADVISOR_TEST_ENV_XYZ" ~default:(fun () -> 1234))
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "parse full request" `Quick test_parse_ok;
+          Alcotest.test_case "parse defaults" `Quick test_parse_defaults;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "response lines" `Quick test_response_lines;
+        ] );
+      ( "router",
+        [
+          Alcotest.test_case "validate" `Quick test_validate;
+          Alcotest.test_case "ping and list" `Quick test_dispatch_ping_list;
+          Alcotest.test_case "bad op fields" `Quick test_dispatch_bad_fields;
+        ] );
+      ( "jobq",
+        [ Alcotest.test_case "bounded, closeable" `Quick test_jobq ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "round-trip every op" `Quick test_roundtrip_every_op;
+          Alcotest.test_case "served profile == one-shot" `Quick
+            test_served_profile_matches_oneshot;
+          Alcotest.test_case "malformed and unknown requests" `Quick
+            test_malformed_and_unknown_over_socket;
+          Alcotest.test_case "8 concurrent profiles" `Quick test_concurrent_profiles;
+          Alcotest.test_case "overloaded backpressure" `Quick test_overloaded;
+          Alcotest.test_case "timeout leaves the daemon alive" `Quick
+            test_timeout_leaves_daemon_alive;
+          Alcotest.test_case "graceful shutdown drains" `Quick test_shutdown_drains;
+        ] );
+      ( "bugfixes",
+        [
+          Alcotest.test_case "cold compiles of distinct keys overlap" `Quick
+            test_cold_compiles_overlap;
+          Alcotest.test_case "same key compiles once" `Quick
+            test_same_key_compiles_once;
+          Alcotest.test_case "spawn failure releases budget" `Quick
+            test_pool_spawn_failure_releases_budget;
+          Alcotest.test_case "partial spawn failure" `Quick
+            test_pool_partial_spawn_failure;
+          Alcotest.test_case "task exception releases budget" `Quick
+            test_pool_budget_restored_when_task_raises;
+          Alcotest.test_case "worker group accounting" `Quick
+            test_spawn_group_accounting;
+          Alcotest.test_case "malformed env vars fall back" `Quick test_env_fallback;
+        ] );
+    ]

@@ -443,6 +443,9 @@ let serve_bench () =
       workers = 4;
       queue_cap = 64;
       default_timeout_ms = Some 300_000;
+      (* cache off: this section measures raw daemon round-trip cost;
+         the cached path is the servefleet section's subject *)
+      cache = None;
     }
   in
   let srv = Serve.Server.create cfg in
@@ -483,12 +486,251 @@ let serve_bench () =
     "  %d served profile(nn) round-trips on 4 workers: %.2fs (%.1f req/s)\n%!"
     requests elapsed (float_of_int requests /. elapsed)
 
+(* ----- serve-fleet: result-cache latency and shard scaling -----
+
+   Launches real `advisor serve` processes through the CLI binary (the
+   supervisor forks, which is only well-defined from a single-domain
+   process — never from this multi-domain bench), replays a hot/cold
+   request mix against 1, 2 and 4 shards, and reports cold vs cached
+   p50/p99 latency plus pipelined hot throughput. *)
+
+let fleet_rows : (string * Analysis.Json.t) list ref = ref []
+
+let cli_binary () =
+  Filename.concat
+    (Filename.concat (Filename.dirname Sys.executable_name) "../bin")
+    "advisor_cli.exe"
+
+type bconn = { bfd : Unix.file_descr; mutable bbuf : string }
+
+let bconnect path =
+  let deadline = Unix.gettimeofday () +. 30.0 in
+  let rec go () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> { bfd = fd; bbuf = "" }
+    | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
+      when Unix.gettimeofday () < deadline ->
+      Unix.close fd;
+      Unix.sleepf 0.02;
+      go ()
+  in
+  go ()
+
+let bsend c line =
+  let data = Bytes.of_string (line ^ "\n") in
+  let len = Bytes.length data in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write c.bfd data !off (len - !off)
+  done
+
+let bread_line c =
+  let rec go () =
+    match String.index_opt c.bbuf '\n' with
+    | Some i ->
+      let line = String.sub c.bbuf 0 i in
+      c.bbuf <- String.sub c.bbuf (i + 1) (String.length c.bbuf - i - 1);
+      line
+    | None ->
+      let b = Bytes.create 65536 in
+      let n = Unix.read c.bfd b 0 (Bytes.length b) in
+      if n = 0 then failwith "fleet bench: daemon closed the connection";
+      c.bbuf <- c.bbuf ^ Bytes.sub_string b 0 n;
+      go ()
+  in
+  go ()
+
+let contains_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let pct values p =
+  let a = Array.of_list values in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 0 then 0. else a.(min (n - 1) (p * n / 100))
+
+let serve_fleet_bench () =
+  heading "Serve fleet: cached-result latency and shard scaling";
+  let cli = cli_binary () in
+  if not (Sys.file_exists cli) then
+    Printf.printf "  skipped: %s not found (run from the dune build tree)\n%!"
+      cli
+  else begin
+    fleet_rows := [];
+    (* the hot/cold keyspace: two linear-scaling apps on two
+       architectures — cheap enough that cold passes at several scales
+       stay in seconds (hotspot/lavaMD grow quadratically or worse) *)
+    let apps =
+      List.filter
+        (fun a -> Workloads.Registry.find_opt a <> None)
+        [ "nn"; "bfs" ]
+    in
+    let keys =
+      List.concat_map
+        (fun app -> List.map (fun arch -> (app, arch)) [ "kepler"; "pascal" ])
+        apps
+    in
+    let req i (app, arch) =
+      Printf.sprintf
+        {|{"id": %d, "op": "profile", "app": "%s", "arch": "%s"}|} i app arch
+    in
+    (* PR 5 baseline: the same hot request against a --no-cache daemon
+       recomputes the simulation every time (warm compile/decode
+       caches — exactly the pre-result-cache serving cost) *)
+    (let path =
+       Filename.concat (Filename.get_temp_dir_name ())
+         (Printf.sprintf "advisor-fleetbench-%d-base.sock" (Unix.getpid ()))
+     in
+     let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+     let pid =
+       Unix.create_process cli
+         [| cli; "serve"; "--socket"; path; "--workers"; "2"; "--no-cache" |]
+         devnull devnull devnull
+     in
+     Unix.close devnull;
+     Fun.protect
+       ~finally:(fun () ->
+         (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+         ignore (Unix.waitpid [] pid);
+         try Unix.unlink path with Unix.Unix_error _ -> ())
+       (fun () ->
+         let c = bconnect path in
+         let rt i =
+           let t0 = Unix.gettimeofday () in
+           bsend c (req i (List.hd keys));
+           ignore (bread_line c);
+           (Unix.gettimeofday () -. t0) *. 1000.
+         in
+         ignore (rt 0) (* warm the compile/decode caches *);
+         let samples = List.init 10 rt in
+         Unix.close c.bfd;
+         let p50 = pct samples 50 in
+         Printf.printf "  no-cache baseline: repeated profile p50 %7.1f ms\n%!"
+           p50;
+         let open Analysis.Json in
+         fleet_rows :=
+           ("baseline_no_cache_hot_ms_p50", Float p50) :: !fleet_rows));
+    List.iter
+      (fun shards ->
+        let path =
+          Filename.concat (Filename.get_temp_dir_name ())
+            (Printf.sprintf "advisor-fleetbench-%d-%d.sock" (Unix.getpid ())
+               shards)
+        in
+        let argv =
+          Array.append
+            [| cli; "serve"; "--socket"; path; "--workers"; "2" |]
+            (if shards > 1 then [| "--shards"; string_of_int shards |]
+             else [||])
+        in
+        let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+        let pid = Unix.create_process cli argv devnull devnull devnull in
+        Unix.close devnull;
+        Fun.protect
+          ~finally:(fun () ->
+            (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+            ignore (Unix.waitpid [] pid);
+            try Unix.unlink path with Unix.Unix_error _ -> ())
+          (fun () ->
+            let c = bconnect path in
+            (* readiness: every shard answering health checks *)
+            let deadline = Unix.gettimeofday () +. 30.0 in
+            let rec ready () =
+              let ok =
+                if shards > 1 then begin
+                  bsend c {|{"id": "r", "op": "fleet"}|};
+                  let l = bread_line c in
+                  (not (contains_sub l "starting"))
+                  && not (contains_sub l "dead")
+                end
+                else begin
+                  bsend c {|{"id": "r", "op": "ping"}|};
+                  contains_sub (bread_line c) "pong"
+                end
+              in
+              if not ok then
+                if Unix.gettimeofday () < deadline then begin
+                  Unix.sleepf 0.05;
+                  ready ()
+                end
+                else failwith "fleet bench: shards never became ready"
+            in
+            ready ();
+            let round_trip i k =
+              let t0 = Unix.gettimeofday () in
+              bsend c (req i k);
+              ignore (bread_line c);
+              (Unix.gettimeofday () -. t0) *. 1000.
+            in
+            (* cold pass: every key once, nothing cached yet *)
+            let cold = List.mapi round_trip keys in
+            (* hot passes: the same keys, now served from the cache *)
+            let hot = ref [] in
+            for _round = 1 to 5 do
+              hot := List.mapi round_trip keys @ !hot
+            done;
+            (* pipelined cold throughput: distinct compute-bound keys
+               (scales past the defaults) spread across the shards by
+               the consistent hash — the fleet's scaling axis on
+               multi-core hosts *)
+            let cold_keys =
+              List.concat_map
+                (fun (app, arch) ->
+                  List.map (fun scale -> (app, arch, scale)) [ 3; 4 ])
+                keys
+            in
+            let t0 = Unix.gettimeofday () in
+            List.iteri
+              (fun i (app, arch, scale) ->
+                bsend c
+                  (Printf.sprintf
+                     {|{"id": %d, "op": "profile", "app": "%s", "arch": "%s", "scale": %d}|}
+                     i app arch scale))
+              cold_keys;
+            List.iter (fun _ -> ignore (bread_line c)) cold_keys;
+            let cold_req_s =
+              float_of_int (List.length cold_keys)
+              /. (Unix.gettimeofday () -. t0)
+            in
+            (* pipelined hot throughput *)
+            let n_pipe = 128 in
+            let t0 = Unix.gettimeofday () in
+            for i = 0 to n_pipe - 1 do
+              bsend c (req i (List.nth keys (i mod List.length keys)))
+            done;
+            for _ = 1 to n_pipe do
+              ignore (bread_line c)
+            done;
+            let req_s = float_of_int n_pipe /. (Unix.gettimeofday () -. t0) in
+            Unix.close c.bfd;
+            let cold50 = pct cold 50
+            and hot50 = pct !hot 50
+            and hot99 = pct !hot 99 in
+            Printf.printf
+              "  %d shard(s): cold p50 %7.1f ms | hot p50 %6.3f ms  p99 %6.3f \
+               ms | hot %8.0f req/s | cold pipelined %5.2f req/s\n%!"
+              shards cold50 hot50 hot99 req_s cold_req_s;
+            let open Analysis.Json in
+            fleet_rows :=
+              ( string_of_int shards,
+                Obj
+                  [ ("shards", Int shards); ("cold_ms_p50", Float cold50);
+                    ("hot_ms_p50", Float hot50); ("hot_ms_p99", Float hot99);
+                    ("hot_req_per_s", Float req_s);
+                    ("cold_pipelined_req_per_s", Float cold_req_s) ] )
+              :: !fleet_rows))
+      [ 1; 2; 4 ]
+  end
+
 let all_sections =
   [ ("table1", table1); ("table2", table2); ("fig4", fig4); ("fig5", fig5);
     ("table3", table3); ("fig6", fig6); ("fig7", fig7); ("fig8", fig8);
     ("fig9", fig9); ("fig10", fig10); ("vertical", vertical);
-    ("ablation", ablation); ("serve", serve_bench); ("bech", bechamel);
-    ("smoke", smoke) ]
+    ("ablation", ablation); ("serve", serve_bench);
+    ("servefleet", serve_fleet_bench); ("bech", bechamel); ("smoke", smoke) ]
 
 let () =
   (* `--json FILE` may appear anywhere among the section names *)
@@ -566,6 +808,7 @@ let () =
            Obj (List.rev_map (fun (n, s) -> (n, Float s)) !timings));
           ("bechamel_ns_per_run",
            Obj (List.map (fun (n, t) -> (n, Float t)) (List.sort compare !bech_rows)));
+          ("serve_fleet", Obj (List.rev !fleet_rows));
           ("compile_cache", Obj [ ("hits", Int hits); ("misses", Int misses) ]);
           ("decode_cache", Obj [ ("hits", Int dhits); ("misses", Int dmisses) ]);
           ("metrics", metrics);

@@ -387,7 +387,18 @@ let trace_cmd =
 
 (* ----- serve (long-lived batch-profiling daemon) ----- *)
 
-let serve_run finish socket stdio workers queue_cap timeout_ms =
+let serve_run finish socket stdio workers queue_cap timeout_ms shards no_cache
+    cache_entries cache_mb cache_dir =
+  let cache =
+    if no_cache then None
+    else
+      Some
+        {
+          Serve.Rescache.max_entries = cache_entries;
+          max_bytes = cache_mb * 1024 * 1024;
+          dir = cache_dir;
+        }
+  in
   let cfg =
     {
       Serve.Server.socket_path = socket;
@@ -396,15 +407,42 @@ let serve_run finish socket stdio workers queue_cap timeout_ms =
       workers;
       queue_cap;
       default_timeout_ms = (if timeout_ms <= 0 then None else Some timeout_ms);
+      cache;
     }
   in
-  let srv = Serve.Server.create cfg in
-  let stop _ = Serve.Server.request_shutdown srv in
-  Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
-  Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
-  Serve.Server.run srv;
-  finish ();
-  `Ok ()
+  match
+    if shards <= 1 then begin
+      let srv = Serve.Server.create cfg in
+      let stop _ = Serve.Server.request_shutdown srv in
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+      Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+      Serve.Server.run srv
+    end
+    else
+      match socket with
+      | None ->
+        failwith "--shards requires --socket (the fleet has no stdio mode)"
+      | Some path ->
+        let fleet =
+          Serve.Fleet.create
+            {
+              Serve.Fleet.socket_path = path;
+              shards;
+              shard_base = { cfg with socket_path = None; stdio = false };
+            }
+        in
+        let stop _ = Serve.Fleet.request_shutdown fleet in
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+        Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+        Sys.set_signal Sys.sighup
+          (Sys.Signal_handle
+             (fun _ -> Serve.Fleet.request_rolling_restart fleet));
+        Serve.Fleet.run fleet
+  with
+  | () ->
+    finish ();
+    `Ok ()
+  | exception Failure msg -> `Error (false, msg)
 
 let serve_cmd =
   let socket_arg =
@@ -449,17 +487,64 @@ let serve_cmd =
                 with a \"timeout_ms\" field; 0 disables).  A timed-out job \
                 aborts its own simulation only.")
   in
+  let shards_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:"Run a fleet of $(docv) daemon shards behind one supervisor on \
+                the $(b,--socket) path.  Requests are routed to shards by a \
+                consistent hash of their result-cache key, so repeated \
+                requests hit the same shard's warm caches.  SIGHUP triggers a \
+                rolling restart that drains one shard at a time.")
+  in
+  let no_cache_flag =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:"Disable the content-addressed result cache (every request \
+                recomputes).")
+  in
+  let cache_entries_arg =
+    Arg.(
+      value
+      & opt int Serve.Rescache.default_config.Serve.Rescache.max_entries
+      & info [ "cache-entries" ] ~docv:"N"
+          ~doc:"Result-cache capacity in entries (least-recently-used \
+                eviction).")
+  in
+  let cache_mb_arg =
+    Arg.(
+      value
+      & opt int
+          (Serve.Rescache.default_config.Serve.Rescache.max_bytes
+          / (1024 * 1024))
+      & info [ "cache-mb" ] ~docv:"MB"
+          ~doc:"Result-cache capacity in megabytes of serialized results.")
+  in
+  let cache_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:"Persist the result cache to $(docv) so it survives daemon \
+                restarts; reloaded (newest first, within the configured \
+                bounds) on startup.  With $(b,--shards), each shard uses \
+                $(docv)/shard-<i>.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Long-lived batch-profiling daemon: accepts newline-delimited JSON \
              requests (profile, check, bypass, trace, compile, ...) over \
              stdin/stdout and an optional Unix-domain socket, runs them \
              concurrently on a bounded queue, and answers with JSON responses \
-             carrying the request id.  Shuts down gracefully on SIGINT/SIGTERM.")
+             carrying the request id.  Deterministic results are served from a \
+             two-tier content-addressed cache.  Shuts down gracefully on \
+             SIGINT/SIGTERM.")
     Term.(
       ret
         (const serve_run $ obs_term $ socket_arg $ stdio_flag $ workers_arg
-        $ queue_arg $ timeout_arg))
+        $ queue_arg $ timeout_arg $ shards_arg $ no_cache_flag
+        $ cache_entries_arg $ cache_mb_arg $ cache_dir_arg))
 
 let () =
   let info =

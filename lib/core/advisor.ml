@@ -116,6 +116,50 @@ let compile_cache_stats () =
   ( Obs.Metrics.counter_value compile_cache_hits,
     Obs.Metrics.counter_value compile_cache_misses )
 
+(* ----- canonical result keys (content-addressed result caching) ----- *)
+
+(* Whitespace normalization for cache-key purposes only (the compiler
+   always sees the original text): CRLF -> LF, trailing whitespace
+   stripped from every line, trailing blank lines dropped.  None of
+   these can change the line or column of any token, so two sources
+   with equal canonical forms compile to identical programs and produce
+   byte-identical reports. *)
+let canonical_source src =
+  let strip_line line =
+    let n = String.length line in
+    let n = if n > 0 && line.[n - 1] = '\r' then n - 1 else n in
+    let rec keep i =
+      if i > 0 && (line.[i - 1] = ' ' || line.[i - 1] = '\t') then keep (i - 1)
+      else i
+    in
+    String.sub line 0 (keep n)
+  in
+  let lines = List.map strip_line (String.split_on_char '\n' src) in
+  let rec drop_blank = function "" :: rest -> drop_blank rest | l -> l in
+  String.concat "\n" (List.rev (drop_blank (List.rev lines)))
+
+(* The content-addressed identity of one result: a digest over a
+   canonical field list — sorted keys, defaults already filled in by
+   the caller, source reduced to the digest of its canonical form.
+   Anything that can change the result bytes must be in here; anything
+   that cannot (request ids, timeouts, fan-out width) must not be, or
+   identical requests would stop sharing an entry. *)
+let result_key ~op ~app ~arch_name ~scale ?(extra = []) ~source () =
+  let fields =
+    ("app", app) :: ("arch", arch_name) :: ("op", op)
+    :: ("scale", string_of_int scale)
+    :: ("source", Digest.to_hex (Digest.string (canonical_source source)))
+    :: extra
+  in
+  let fields =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) fields
+  in
+  let canon =
+    String.concat "&"
+      (List.map (fun (k, v) -> k ^ "=" ^ String.escaped v) fields)
+  in
+  Digest.to_hex (Digest.string canon)
+
 let instrument_source ?(options = Passes.Instrument.all) ~file src =
   compile_source ~instrument:options ~file src
 

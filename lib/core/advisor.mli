@@ -32,6 +32,28 @@ val compile_source :
 (** (hits, misses) of the compile memo table since process start. *)
 val compile_cache_stats : unit -> int * int
 
+(** Whitespace-normalize device source for cache-key purposes: CRLF →
+    LF, trailing whitespace stripped per line, trailing blank lines
+    dropped.  Never changes the line/column of any token, so equal
+    canonical forms imply byte-identical reports. *)
+val canonical_source : string -> string
+
+(** Content-addressed identity of one advisor result: a stable hex
+    digest of (op, app, arch, scale, canonicalized source, extras),
+    independent of field order.  Callers fill defaults in before
+    keying; [extra] carries op-specific options as (name, value)
+    pairs.  Everything that can change the result bytes belongs in the
+    key; nothing else does. *)
+val result_key :
+  op:string ->
+  app:string ->
+  arch_name:string ->
+  scale:int ->
+  ?extra:(string * string) list ->
+  source:string ->
+  unit ->
+  string
+
 (** [compile_source] with instrumentation always on (defaults to all
     three optional categories). *)
 val instrument_source :

@@ -1,0 +1,60 @@
+(* Request -> content-addressed result key.
+
+   A request is cacheable when its result is a pure function of the
+   request content: [profile], [check] and [bypass] — their reports
+   are deterministic (pinned by the golden-metric tests) and every
+   input that can change the bytes is folded into the key.  The other
+   ops read mutable process state (uptime, the metrics registry, the
+   span buffers, the compile-cache counters) or exist for their side
+   effects, so they are never cached.
+
+   Canonicalization before hashing:
+   - field defaults are filled in exactly as the router would
+     (arch "kepler", per-app default scale), so {"op":"profile",
+     "app":"nn"} and the same request with the defaults spelled out
+     share one entry;
+   - the arch name is resolved to the architecture's canonical short
+     name, collapsing aliases ("kepler" = "kepler-16k");
+   - the app name is replaced by (name, canonicalized source), so a
+     key identifies the *content* profiled, not just its label;
+   - [Advisor.result_key] sorts the field list, so key construction
+     is independent of request-field order by construction;
+   - fields that cannot change the result bytes are excluded:
+     [id] (echoed around the cached payload), [timeout_ms] (a hit is
+     faster than any deadline) and [domains] (bypass results are
+     documented domain-count-independent). *)
+
+let cacheable_ops = [ "profile"; "check"; "bypass" ]
+
+(* [None] = this request must not be served from (or stored into) the
+   cache.  Unresolvable app/arch names also return [None]: validation
+   rejects them before any cache interaction. *)
+let of_request (r : Protocol.request) : string option =
+  if not (List.mem r.op cacheable_ops) then None
+  else
+    match r.app with
+    | None -> None
+    | Some name -> (
+      match
+        (Workloads.Registry.find_opt name, Gpusim.Arch.of_name r.arch_name)
+      with
+      | Some w, Some arch ->
+        let scale =
+          Option.value r.scale ~default:w.Workloads.Common.default_scale
+        in
+        Some
+          (Advisor.result_key ~op:r.op ~app:w.Workloads.Common.name
+             ~arch_name:arch.Gpusim.Arch.short_name ~scale
+             ~source:w.Workloads.Common.source ())
+      | _ -> None)
+
+(* Routing identity for the shard fleet: the cache key when there is
+   one (so repeats land on the shard that holds the entry), else a
+   stable hash of the op/app/arch triple (so e.g. repeated [compile]
+   requests reuse one shard's warm compile cache). *)
+let routing_key (r : Protocol.request) : string =
+  match of_request r with
+  | Some key -> key
+  | None ->
+    String.concat "|"
+      [ r.op; Option.value r.app ~default:""; r.arch_name ]

@@ -1,0 +1,58 @@
+(* Consistent-hash ring for shard routing.
+
+   Each shard owns [vnodes] pseudo-random points on a hash circle; a
+   key routes to the first point clockwise from its own hash.  The
+   property that matters for the fleet: when one shard is excluded
+   (draining for a rolling restart, or unhealthy), only the keys that
+   shard owned move — every other key keeps its shard and therefore
+   its warm result/compile caches.  Plain modulo hashing would reshuffle
+   nearly every key on any membership change. *)
+
+let vnodes = 64
+
+(* A stable, platform-independent hash: the first 8 bytes of the MD5
+   digest, masked positive.  [Hashtbl.hash] would work but its value is
+   not pinned across OCaml versions; routing stability across the
+   supervisor and tests is worth the explicit construction. *)
+let hash_string s =
+  let d = Digest.string s in
+  let v = ref 0 in
+  for i = 0 to 7 do
+    v := (!v lsl 8) lor Char.code d.[i]
+  done;
+  !v land max_int
+
+type t = { points : (int * int) array (* (point hash, shard id), sorted *) }
+
+let make shard_ids =
+  let points =
+    List.concat_map
+      (fun id ->
+        List.init vnodes (fun v ->
+            (hash_string (Printf.sprintf "shard-%d#%d" id v), id)))
+      shard_ids
+  in
+  { points = Array.of_list (List.sort compare points) }
+
+(* First point at or clockwise-after [key]'s hash whose shard satisfies
+   [alive]; [None] only when no live shard remains. *)
+let route t ~alive key =
+  let n = Array.length t.points in
+  if n = 0 then None
+  else begin
+    let h = hash_string key in
+    let rec bs lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if fst t.points.(mid) < h then bs (mid + 1) hi else bs lo mid
+    in
+    let start = match bs 0 n with i when i = n -> 0 | i -> i in
+    let rec scan i remaining =
+      if remaining = 0 then None
+      else
+        let _, id = t.points.(i) in
+        if alive id then Some id else scan ((i + 1) mod n) (remaining - 1)
+    in
+    scan start n
+  end

@@ -1,0 +1,730 @@
+(* The shard fleet: `advisor serve --shards N`.
+
+   One supervisor process owns the public Unix socket and forks N shard
+   processes, each a completely ordinary {!Server} daemon on a private
+   socket ([<public>.shard-<i>]).  The supervisor is a pure relay: it
+   never parses a response beyond extracting the id, and it forwards
+   request lines verbatim, so a response through the fleet is
+   byte-identical to one from a single daemon.
+
+   Routing: every request maps to its {!Cachekey.routing_key} (the
+   content-addressed result key when the op is cacheable) and rides a
+   consistent-hash ring ({!Chash}) over the healthy shards.  Identical
+   requests therefore always land on the same shard, whose result
+   cache, compile memo and decode cache stay hot; when a shard leaves
+   the ring (draining or unhealthy) only the keys it owned move.
+
+   Health: the supervisor pings every shard on a dedicated connection
+   (interval {!health_interval}).  Any traffic from the shard — a ping
+   reply or an ordinary response line — counts as proof of liveness; a
+   shard is killed and respawned only after {!max_health_failures}
+   consecutive probe failures AND {!stall_kill_timeout} seconds of
+   total silence, so a compute-saturated shard that is slow to answer
+   pings is left alone.
+   Shards that exit on their own are reaped ([waitpid WNOHANG]) and
+   respawned.  A shard crash mid-request is answered with an error
+   response for every id that was in flight to it — requests are never
+   silently dropped.
+
+   Rolling restart (SIGHUP, or {!request_rolling_restart}): one shard
+   at a time — take it off the ring, wait for its in-flight requests to
+   drain, SIGTERM it (the shard's own graceful drain handles the rest),
+   respawn, wait until a health probe confirms it is up, move on.  The
+   rest of the fleet keeps serving throughout, so a well-behaved client
+   observes zero dropped requests.
+
+   Concurrency note: the supervisor deliberately runs on a single
+   domain and spawns none — [Unix.fork] is only well-defined in a
+   single-domain OCaml process, and all the heavy lifting happens in
+   the children anyway. *)
+
+module Json = Analysis.Json
+
+type config = {
+  socket_path : string; (* the public socket clients connect to *)
+  shards : int;
+  shard_base : Server.config;
+      (* per-shard template; socket_path/stdio are overridden, and a
+         cache [dir] gets a shard-<i> subdirectory so tiers never mix *)
+}
+
+let health_interval = 2.0 (* seconds between pings of an Up shard *)
+let starting_probe_interval = 0.1 (* probe cadence while coming up *)
+let probe_timeout = 5.0
+let max_health_failures = 3
+
+(* A compute-saturated shard can be slow to answer pings without being
+   hung: on a small host the worker domains starve the intake domain
+   for seconds at a time.  Any traffic from the shard (a response line
+   as much as a ping reply) proves liveness, so a shard is only killed
+   when probes keep failing AND it has been completely silent this
+   long. *)
+let stall_kill_timeout = 60.0
+let phase_timeout = 30.0 (* force progress in the rolling state machine *)
+
+(* ----- metrics ----- *)
+
+let m_requests = Obs.Metrics.counter "serve.fleet.requests"
+let m_forwarded = Obs.Metrics.counter "serve.fleet.forwarded"
+let m_replies = Obs.Metrics.counter "serve.fleet.replies"
+let m_local = Obs.Metrics.counter "serve.fleet.answered_locally"
+let m_shard_failures = Obs.Metrics.counter "serve.fleet.shard_failures"
+let m_restarts = Obs.Metrics.counter "serve.fleet.restarts"
+
+(* ----- state ----- *)
+
+type shard_state = Starting | Up | Draining | Dead
+
+type probe = {
+  pfd : Unix.file_descr;
+  mutable pbuf : string;
+  psent : float;
+}
+
+type shard = {
+  sid : int;
+  spath : string;
+  mutable pid : int; (* -1 = not running *)
+  mutable state : shard_state;
+  mutable outstanding : int; (* forwarded minus answered *)
+  mutable restarts : int;
+  mutable failures : int; (* consecutive health failures *)
+  mutable last_heard : float; (* last probe reply or response line *)
+  mutable next_probe : float;
+  mutable probe : probe option;
+}
+
+(* One upstream connection per (client, shard) pair actually used: the
+   shard writes each response on the connection its request came in on,
+   so responses route back to the right client with no id rewriting. *)
+type upstream = {
+  u_shard : int;
+  ufd : Unix.file_descr;
+  mutable upending : string; (* partial response line *)
+  mutable uids : (Json.t * string) list; (* (id, op) awaiting replies *)
+}
+
+type client = {
+  cfd : Unix.file_descr;
+  mutable cpending : string;
+  mutable creading : bool;
+  mutable cwritable : bool;
+  mutable ups : upstream list;
+}
+
+type t = {
+  cfg : config;
+  stop : bool Atomic.t;
+  restart_req : bool Atomic.t;
+  shards : shard array;
+  ring : Chash.t;
+  mutable clients : client list;
+  mutable rolling : int list; (* shard ids still to restart *)
+  mutable phase :
+    [ `Idle | `Drain of int | `AwaitExit of int | `AwaitUp of int ];
+  mutable phase_since : float;
+}
+
+let shard_socket base i = Printf.sprintf "%s.shard-%d" base i
+
+let create (cfg : config) =
+  if cfg.shards < 1 then invalid_arg "Fleet.create: shards must be >= 1";
+  {
+    cfg;
+    stop = Atomic.make false;
+    restart_req = Atomic.make false;
+    shards =
+      Array.init cfg.shards (fun i ->
+          {
+            sid = i;
+            spath = shard_socket cfg.socket_path i;
+            pid = -1;
+            state = Dead;
+            outstanding = 0;
+            restarts = 0;
+            failures = 0;
+            last_heard = 0.;
+            next_probe = 0.;
+            probe = None;
+          });
+    ring = Chash.make (List.init cfg.shards Fun.id);
+    clients = [];
+    rolling = [];
+    phase = `Idle;
+    phase_since = 0.;
+  }
+
+(* Signal-safe: both just flip an atomic the supervisor loop polls. *)
+let request_shutdown t = Atomic.set t.stop true
+let request_rolling_restart t = Atomic.set t.restart_req true
+
+let set_phase t p =
+  t.phase <- p;
+  t.phase_since <- Unix.gettimeofday ()
+
+(* ----- small I/O helpers (single-domain: no locks needed) ----- *)
+
+let write_all fd s =
+  let data = Bytes.of_string s in
+  let len = Bytes.length data in
+  let off = ref 0 in
+  try
+    while !off < len do
+      off := !off + Unix.write fd data !off (len - !off)
+    done;
+    true
+  with Unix.Unix_error _ -> false
+
+let read_chunk fd =
+  let buf = Bytes.create 65536 in
+  match Unix.read fd buf 0 (Bytes.length buf) with
+  | 0 -> `Eof
+  | n -> `Data (Bytes.sub_string buf 0 n)
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> `Data ""
+  | exception Unix.Unix_error _ -> `Eof
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let reply_client client line =
+  if client.cwritable then
+    if not (write_all client.cfd (line ^ "\n")) then client.cwritable <- false
+
+(* ----- shard processes ----- *)
+
+(* Every supervisor-owned fd a freshly-forked shard must not inherit. *)
+let inherited_fds t ~listen_fd =
+  let acc = ref [ listen_fd ] in
+  List.iter
+    (fun c ->
+      acc := c.cfd :: List.map (fun u -> u.ufd) c.ups @ !acc)
+    t.clients;
+  Array.iter
+    (fun s -> match s.probe with Some p -> acc := p.pfd :: !acc | None -> ())
+    t.shards;
+  !acc
+
+let shard_config t (s : shard) =
+  let cache =
+    Option.map
+      (fun (c : Rescache.config) ->
+        match c.Rescache.dir with
+        | None -> c
+        | Some d ->
+          { c with
+            Rescache.dir =
+              Some (Filename.concat d (Printf.sprintf "shard-%d" s.sid)) })
+      t.cfg.shard_base.Server.cache
+  in
+  { t.cfg.shard_base with
+    Server.socket_path = Some s.spath;
+    stdio = false;
+    cache }
+
+let spawn t ~listen_fd (s : shard) =
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+    (* the child: a fresh single-domain process that simply runs an
+       ordinary daemon on the shard's private socket *)
+    List.iter close_quietly (inherited_fds t ~listen_fd);
+    Sys.set_signal Sys.sighup Sys.Signal_ignore;
+    let code =
+      try
+        let srv = Server.create (shard_config t s) in
+        let stop_ _ = Server.request_shutdown srv in
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_);
+        Sys.set_signal Sys.sigint (Sys.Signal_handle stop_);
+        Server.run srv;
+        0
+      with e ->
+        Obs.Log.error "fleet" "shard %d died: %s" s.sid (Printexc.to_string e);
+        1
+    in
+    exit code
+  | pid ->
+    s.pid <- pid;
+    s.state <- Starting;
+    s.failures <- 0;
+    s.last_heard <- Unix.gettimeofday ();
+    (match s.probe with
+    | Some p ->
+      close_quietly p.pfd;
+      s.probe <- None
+    | None -> ());
+    s.next_probe <- Unix.gettimeofday () +. starting_probe_interval;
+    Obs.Log.info "fleet" "shard %d: pid %d on %s" s.sid pid s.spath
+
+(* ----- the fleet op (answered by the supervisor itself) ----- *)
+
+let state_name = function
+  | Starting -> "starting"
+  | Up -> "up"
+  | Draining -> "draining"
+  | Dead -> "dead"
+
+let fleet_result t =
+  Json.Obj
+    [ ("supervisor_pid", Json.Int (Unix.getpid ()));
+      ("rolling_restart_in_progress", Json.Bool (t.phase <> `Idle));
+      ( "shards",
+        Json.List
+          (Array.to_list
+             (Array.map
+                (fun s ->
+                  Json.Obj
+                    [ ("id", Json.Int s.sid); ("pid", Json.Int s.pid);
+                      ("state", Json.String (state_name s.state));
+                      ("socket", Json.String s.spath);
+                      ("outstanding", Json.Int s.outstanding);
+                      ("restarts", Json.Int s.restarts) ])
+                t.shards))) ]
+
+(* ----- request intake and forwarding ----- *)
+
+let upstream_for t client sid =
+  match List.find_opt (fun u -> u.u_shard = sid) client.ups with
+  | Some u -> Some u
+  | None -> (
+    let s = t.shards.(sid) in
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX s.spath) with
+    | () ->
+      let u = { u_shard = sid; ufd = fd; upending = ""; uids = [] } in
+      client.ups <- u :: client.ups;
+      Some u
+    | exception Unix.Unix_error _ ->
+      close_quietly fd;
+      s.failures <- s.failures + 1;
+      None)
+
+let forward t client (req : Protocol.request) line =
+  let alive i = t.shards.(i).state = Up in
+  match Chash.route t.ring ~alive (Cachekey.routing_key req) with
+  | None ->
+    Obs.Metrics.incr m_local;
+    reply_client client
+      (Protocol.to_line
+         (Protocol.error_response ~id:req.Protocol.id ~op:req.Protocol.op
+            ~code:"overloaded" "no healthy shard available; retry later"))
+  | Some sid -> (
+    match upstream_for t client sid with
+    | Some u when write_all u.ufd (line ^ "\n") ->
+      u.uids <- (req.Protocol.id, req.Protocol.op) :: u.uids;
+      t.shards.(sid).outstanding <- t.shards.(sid).outstanding + 1;
+      Obs.Metrics.incr m_forwarded
+    | _ ->
+      Obs.Metrics.incr m_shard_failures;
+      reply_client client
+        (Protocol.to_line
+           (Protocol.error_response ~id:req.Protocol.id ~op:req.Protocol.op
+              ~code:"failed" "shard unavailable; retry later")))
+
+let handle_client_line t client line =
+  let line = String.trim line in
+  if line <> "" then begin
+    Obs.Metrics.incr m_requests;
+    match Protocol.parse_request line with
+    | Error (id, code, msg) ->
+      Obs.Metrics.incr m_local;
+      reply_client client
+        (Protocol.to_line (Protocol.error_response ~id ~op:"?" ~code msg))
+    | Ok req when req.Protocol.op = "fleet" ->
+      Obs.Metrics.incr m_local;
+      reply_client client
+        (Protocol.to_line
+           (Protocol.ok_response ~id:req.Protocol.id ~op:"fleet"
+              (fleet_result t)))
+    | Ok req -> forward t client req line
+  end
+
+let read_client t client =
+  match read_chunk client.cfd with
+  | `Eof ->
+    client.creading <- false;
+    if String.trim client.cpending <> "" then
+      handle_client_line t client client.cpending;
+    client.cpending <- ""
+  | `Data d ->
+    let data = client.cpending ^ d in
+    let rec go = function
+      | [ last ] -> client.cpending <- last
+      | line :: rest ->
+        handle_client_line t client line;
+        go rest
+      | [] -> client.cpending <- ""
+    in
+    go (String.split_on_char '\n' data)
+
+(* ----- response pumping ----- *)
+
+let response_id line =
+  match Obs.Jsonv.parse line with
+  | Ok v -> (
+    match Obs.Jsonv.member "id" v with
+    | Some j -> Protocol.json_of_jsonv j
+    | None -> Json.Null)
+  | Error _ -> Json.Null
+
+let remove_id u id =
+  let rec go acc = function
+    | [] -> (List.rev acc, false)
+    | (i, _) :: rest when i = id -> (List.rev_append acc rest, true)
+    | x :: rest -> go (x :: acc) rest
+  in
+  let uids', found = go [] u.uids in
+  u.uids <- uids';
+  found
+
+(* The shard died with requests in flight on this connection: answer
+   each of them with an error so no request is ever silently dropped. *)
+let fail_pending t client u =
+  List.iter
+    (fun (id, op) ->
+      Obs.Metrics.incr m_local;
+      reply_client client
+        (Protocol.to_line
+           (Protocol.error_response ~id ~op ~code:"failed"
+              "shard exited before answering; retry")))
+    u.uids;
+  let s = t.shards.(u.u_shard) in
+  s.outstanding <- max 0 (s.outstanding - List.length u.uids);
+  u.uids <- []
+
+let close_upstream t client u =
+  fail_pending t client u;
+  close_quietly u.ufd;
+  client.ups <- List.filter (fun x -> x != u) client.ups
+
+let handle_upstream t client u =
+  match read_chunk u.ufd with
+  | `Eof -> close_upstream t client u
+  | `Data d ->
+    let s = t.shards.(u.u_shard) in
+    s.failures <- 0;
+    s.last_heard <- Unix.gettimeofday ();
+    let data = u.upending ^ d in
+    let rec go = function
+      | [ last ] -> u.upending <- last
+      | line :: rest ->
+        if String.trim line <> "" then begin
+          reply_client client line;
+          if remove_id u (response_id line) then
+            s.outstanding <- max 0 (s.outstanding - 1);
+          Obs.Metrics.incr m_replies
+        end;
+        go rest
+      | [] -> u.upending <- ""
+    in
+    go (String.split_on_char '\n' data)
+
+(* ----- health checks ----- *)
+
+let probe_failed t s now =
+  ignore t;
+  (match s.probe with
+  | Some p ->
+    close_quietly p.pfd;
+    s.probe <- None
+  | None -> ());
+  s.failures <- s.failures + 1;
+  s.next_probe <-
+    now +. (if s.state = Starting then starting_probe_interval else 1.0);
+  if s.state = Up && s.failures >= max_health_failures then
+    if now -. s.last_heard >= stall_kill_timeout then begin
+      Obs.Log.error "fleet" "shard %d failed %d health checks; restarting"
+        s.sid s.failures;
+      Obs.Metrics.incr m_shard_failures;
+      s.state <- Dead;
+      if s.pid > 0 then
+        try Unix.kill s.pid Sys.sigkill with Unix.Unix_error _ -> ()
+    end
+    else
+      Obs.Log.warn "fleet"
+        "shard %d slow to answer pings (%d misses) but heard %.0fs ago; \
+         assuming busy"
+        s.sid s.failures (now -. s.last_heard)
+
+let start_probe t s now =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX s.spath) with
+  | () ->
+    if write_all fd "{\"id\":\"__health\",\"op\":\"ping\"}\n" then
+      s.probe <- Some { pfd = fd; pbuf = ""; psent = now }
+    else begin
+      close_quietly fd;
+      probe_failed t s now
+    end
+  | exception Unix.Unix_error _ ->
+    close_quietly fd;
+    probe_failed t s now
+
+let handle_probe t s now =
+  match s.probe with
+  | None -> ()
+  | Some p -> (
+    match read_chunk p.pfd with
+    | `Eof -> probe_failed t s now
+    | `Data d ->
+      p.pbuf <- p.pbuf ^ d;
+      if String.contains p.pbuf '\n' then begin
+        close_quietly p.pfd;
+        s.probe <- None;
+        s.failures <- 0;
+        s.last_heard <- now;
+        s.next_probe <- now +. health_interval;
+        if s.state = Starting then begin
+          s.state <- Up;
+          Obs.Log.info "fleet" "shard %d is up" s.sid
+        end
+      end)
+
+let step_health t now =
+  Array.iter
+    (fun s ->
+      match s.state with
+      | Dead | Draining -> ()
+      | Starting | Up -> (
+        match s.probe with
+        | Some p when now -. p.psent > probe_timeout -> probe_failed t s now
+        | Some _ -> ()
+        | None -> if now >= s.next_probe && s.pid > 0 then start_probe t s now))
+    t.shards
+
+(* ----- child reaping ----- *)
+
+let reap t ~listen_fd =
+  Array.iter
+    (fun s ->
+      if s.pid > 0 then
+        match Unix.waitpid [ Unix.WNOHANG ] s.pid with
+        | 0, _ -> ()
+        | _, _status ->
+          s.pid <- -1;
+          (match s.probe with
+          | Some p ->
+            close_quietly p.pfd;
+            s.probe <- None
+          | None -> ());
+          let expected =
+            match t.phase with `AwaitExit i -> i = s.sid | _ -> false
+          in
+          if not expected then begin
+            Obs.Log.warn "fleet" "shard %d exited unexpectedly; restarting"
+              s.sid;
+            s.restarts <- s.restarts + 1;
+            Obs.Metrics.incr m_restarts;
+            spawn t ~listen_fd s
+          end
+        | exception Unix.Unix_error _ -> s.pid <- -1)
+    t.shards
+
+(* ----- rolling restart state machine ----- *)
+
+let step_rolling t ~listen_fd now =
+  let stuck () = now -. t.phase_since > phase_timeout in
+  match t.phase with
+  | `Idle -> (
+    if Atomic.exchange t.restart_req false then
+      if t.rolling = [] then begin
+        t.rolling <- Array.to_list (Array.map (fun s -> s.sid) t.shards);
+        Obs.Log.info "fleet" "rolling restart: %d shard(s)"
+          (List.length t.rolling)
+      end
+      else Obs.Log.warn "fleet" "rolling restart already in progress";
+    match t.rolling with
+    | [] -> ()
+    | sid :: rest -> (
+      let s = t.shards.(sid) in
+      match s.state with
+      | Up | Starting ->
+        s.state <- Draining;
+        Obs.Log.info "fleet" "rolling restart: draining shard %d (%d in flight)"
+          sid s.outstanding;
+        set_phase t (`Drain sid)
+      | Dead ->
+        (* already down; the reaper/respawner owns it *)
+        t.rolling <- rest
+      | Draining -> set_phase t (`Drain sid)))
+  | `Drain sid ->
+    let s = t.shards.(sid) in
+    if s.pid <= 0 then set_phase t (`AwaitExit sid)
+    else if s.outstanding <= 0 || stuck () then begin
+      (try Unix.kill s.pid Sys.sigterm with Unix.Unix_error _ -> ());
+      set_phase t (`AwaitExit sid)
+    end
+  | `AwaitExit sid ->
+    let s = t.shards.(sid) in
+    if s.pid <= 0 then begin
+      s.restarts <- s.restarts + 1;
+      Obs.Metrics.incr m_restarts;
+      spawn t ~listen_fd s;
+      set_phase t (`AwaitUp sid)
+    end
+    else if stuck () then
+      (try Unix.kill s.pid Sys.sigkill with Unix.Unix_error _ -> ())
+  | `AwaitUp sid ->
+    if t.shards.(sid).state = Up then begin
+      Obs.Log.info "fleet" "rolling restart: shard %d back up" sid;
+      t.rolling <- List.tl t.rolling;
+      set_phase t `Idle
+    end
+    else if stuck () then begin
+      (* the replacement never came up; give up on the rolling pass so
+         the fleet is not wedged — health/reaping keep trying *)
+      Obs.Log.error "fleet" "rolling restart: shard %d did not come back; \
+                             aborting the rolling pass" sid;
+      t.rolling <- [];
+      set_phase t `Idle
+    end
+
+(* ----- client lifecycle ----- *)
+
+let drop_client t c =
+  List.iter
+    (fun u ->
+      let s = t.shards.(u.u_shard) in
+      s.outstanding <- max 0 (s.outstanding - List.length u.uids);
+      close_quietly u.ufd)
+    c.ups;
+  c.ups <- [];
+  close_quietly c.cfd
+
+let sweep_clients t =
+  t.clients <-
+    List.filter
+      (fun c ->
+        let finished =
+          (not c.creading) && List.for_all (fun u -> u.uids = []) c.ups
+        in
+        if finished || not c.cwritable then begin
+          drop_client t c;
+          false
+        end
+        else true)
+      t.clients
+
+(* ----- the supervisor loop ----- *)
+
+let find_upstream t fd =
+  let rec go = function
+    | [] -> None
+    | c :: rest -> (
+      match List.find_opt (fun u -> u.ufd = fd) c.ups with
+      | Some u -> Some (c, u)
+      | None -> go rest)
+  in
+  go t.clients
+
+let run t =
+  ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
+  let listen_fd = Server.setup_listener t.cfg.socket_path in
+  Array.iter (fun s -> spawn t ~listen_fd s) t.shards;
+  Obs.Log.info "fleet" "supervising %d shard(s) behind %s" t.cfg.shards
+    t.cfg.socket_path;
+  (try
+     while not (Atomic.get t.stop) do
+       let now = Unix.gettimeofday () in
+       reap t ~listen_fd;
+       step_health t now;
+       step_rolling t ~listen_fd now;
+       sweep_clients t;
+       let probe_fds =
+         Array.fold_left
+           (fun acc s ->
+             match s.probe with Some p -> p.pfd :: acc | None -> acc)
+           [] t.shards
+       in
+       let client_fds =
+         List.concat_map
+           (fun c ->
+             (if c.creading then [ c.cfd ] else [])
+             @ List.map (fun u -> u.ufd) c.ups)
+           t.clients
+       in
+       let watch = (listen_fd :: client_fds) @ probe_fds in
+       match Unix.select watch [] [] 0.1 with
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+       | ready, _, _ ->
+         List.iter
+           (fun fd ->
+             if fd = listen_fd then begin
+               match Unix.accept listen_fd with
+               | cfd, _ ->
+                 t.clients <-
+                   {
+                     cfd;
+                     cpending = "";
+                     creading = true;
+                     cwritable = true;
+                     ups = [];
+                   }
+                   :: t.clients
+               | exception Unix.Unix_error _ -> ()
+             end
+             else
+               match
+                 Array.find_opt
+                   (fun s ->
+                     match s.probe with
+                     | Some p -> p.pfd = fd
+                     | None -> false)
+                   t.shards
+               with
+               | Some s -> handle_probe t s (Unix.gettimeofday ())
+               | None -> (
+                 match List.find_opt (fun c -> c.cfd = fd) t.clients with
+                 | Some c when c.creading -> read_client t c
+                 | Some _ -> ()
+                 | None -> (
+                   match find_upstream t fd with
+                   | Some (c, u) -> handle_upstream t c u
+                   | None -> ())))
+           ready
+     done
+   with e ->
+     Obs.Log.error "fleet" "supervisor loop failed: %s" (Printexc.to_string e));
+  (* ----- shutdown: stop intake, pump out in-flight replies, stop shards ----- *)
+  close_quietly listen_fd;
+  (try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ());
+  let outstanding () =
+    Array.fold_left (fun acc s -> acc + s.outstanding) 0 t.shards
+  in
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let continue_ = ref true in
+  while !continue_ && outstanding () > 0 && Unix.gettimeofday () < deadline do
+    let fds =
+      List.concat_map (fun c -> List.map (fun u -> u.ufd) c.ups) t.clients
+    in
+    if fds = [] then continue_ := false
+    else
+      match Unix.select fds [] [] 0.25 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | ready, _, _ ->
+        List.iter
+          (fun fd ->
+            match find_upstream t fd with
+            | Some (c, u) -> handle_upstream t c u
+            | None -> ())
+          ready
+  done;
+  Array.iter
+    (fun s ->
+      if s.pid > 0 then
+        try Unix.kill s.pid Sys.sigterm with Unix.Unix_error _ -> ())
+    t.shards;
+  Array.iter
+    (fun s ->
+      if s.pid > 0 then begin
+        (try ignore (Unix.waitpid [] s.pid) with Unix.Unix_error _ -> ());
+        s.pid <- -1
+      end;
+      match s.probe with
+      | Some p ->
+        close_quietly p.pfd;
+        s.probe <- None
+      | None -> ())
+    t.shards;
+  List.iter (fun c -> drop_client t c) t.clients;
+  t.clients <- [];
+  Obs.Log.info "fleet" "fleet shut down cleanly"

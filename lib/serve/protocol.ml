@@ -127,3 +127,13 @@ let error_response ~id ~op ~code message =
 (* One response per line: the emitter never produces raw newlines
    (strings are escaped), so [to_string] output is line-safe. *)
 let to_line json = Json.to_string json
+
+(* A success line spliced around an already-serialized [result] (the
+   result cache stores serialized bytes).  Byte-identical to
+   [to_line (ok_response ...)] because the emitter writes object fields
+   in order with no whitespace. *)
+let ok_line_raw ~id ~op raw_result =
+  Printf.sprintf "{\"id\":%s,\"ok\":true,\"op\":%s,\"result\":%s}"
+    (Json.to_string id)
+    (Json.to_string (Json.String op))
+    raw_result

@@ -33,6 +33,7 @@ type config = {
   workers : int;
   queue_cap : int;
   default_timeout_ms : int option; (* None/0 = no per-request deadline *)
+  cache : Rescache.config option; (* None = result caching off *)
 }
 
 let default_config =
@@ -42,6 +43,7 @@ let default_config =
     workers = min 4 (Domain.recommended_domain_count ());
     queue_cap = 64;
     default_timeout_ms = Some 300_000;
+    cache = Some Rescache.default_config;
   }
 
 (* ----- metrics ----- *)
@@ -70,16 +72,29 @@ type conn = {
   kind : [ `Stdio | `Socket ];
 }
 
-type job = { req : Protocol.request; conn : conn; enq_ns : int }
+type job = {
+  req : Protocol.request;
+  conn : conn;
+  enq_ns : int;
+  cache_key : string option; (* store the result here after a miss *)
+}
 
 type t = {
   cfg : config;
   queue : job Jobq.t;
+  cache : Rescache.t option;
   stop : bool Atomic.t;
   mutable inline : bool; (* no worker domains: run jobs on the I/O domain *)
 }
 
-let create cfg = { cfg; queue = Jobq.create ~cap:cfg.queue_cap; stop = Atomic.make false; inline = false }
+let create cfg =
+  {
+    cfg;
+    queue = Jobq.create ~cap:cfg.queue_cap;
+    cache = Option.map Rescache.create cfg.cache;
+    stop = Atomic.make false;
+    inline = false;
+  }
 
 (* Domain- and signal-safe: flips one atomic the select loop polls. *)
 let request_shutdown t = Atomic.set t.stop true
@@ -100,8 +115,8 @@ let write_line conn line =
           conn.writable <- false;
           Obs.Log.debug "serve" "dropping reply: %s" (Unix.error_message e))
 
-let reply conn response =
-  write_line conn (Protocol.to_line response);
+let reply conn line =
+  write_line conn line;
   ignore (Atomic.fetch_and_add conn.inflight (-1))
 
 (* ----- job execution (worker domains) ----- *)
@@ -125,27 +140,37 @@ let run_job t job =
   | _ -> ());
   Fun.protect ~finally:Gpusim.Gpu.clear_cancel_check @@ fun () ->
   let id = job.req.Protocol.id and op = job.req.Protocol.op in
-  let response =
+  let line =
     Obs.Trace.with_span ~cat:"serve" ("serve:" ^ op) (fun () ->
         match Router.dispatch job.req with
         | Ok result ->
           Obs.Metrics.incr m_ok;
-          Protocol.ok_response ~id ~op result
+          (* serialize once; the same bytes answer this request and, via
+             the cache, every identical request after it *)
+          let raw = Analysis.Json.to_string result in
+          (match (t.cache, job.cache_key) with
+          | Some cache, Some key -> Rescache.store cache key raw
+          | _ -> ());
+          Protocol.ok_line_raw ~id ~op raw
         | Error (code, msg) ->
           Obs.Metrics.incr m_failed;
-          Protocol.error_response ~id ~op ~code msg
+          Protocol.to_line (Protocol.error_response ~id ~op ~code msg)
         | exception Gpusim.Gpu.Cancelled reason ->
           Obs.Metrics.incr m_timeout;
-          Protocol.error_response ~id ~op ~code:"timeout" reason
+          Protocol.to_line (Protocol.error_response ~id ~op ~code:"timeout" reason)
         | exception Gpusim.Gpu.Launch_error msg ->
           Obs.Metrics.incr m_failed;
-          Protocol.error_response ~id ~op ~code:"failed" ("launch aborted: " ^ msg)
+          Protocol.to_line
+            (Protocol.error_response ~id ~op ~code:"failed"
+               ("launch aborted: " ^ msg))
         | exception e ->
           Obs.Metrics.incr m_failed;
-          Protocol.error_response ~id ~op ~code:"failed" (Printexc.to_string e))
+          Protocol.to_line
+            (Protocol.error_response ~id ~op ~code:"failed"
+               (Printexc.to_string e)))
   in
   Obs.Metrics.observe m_run (Obs.Clock.now_ns () - started);
-  reply job.conn response
+  reply job.conn line
 
 let worker_loop t =
   let rec go () =
@@ -173,9 +198,27 @@ let handle_line t conn line =
       | Error (code, msg) ->
         Obs.Metrics.incr m_rejected;
         write_line conn (Protocol.to_line (Protocol.error_response ~id ~op ~code msg))
-      | Ok () -> (
+      | Ok () ->
+      (* The fast path: a content-addressed hit answers right here on
+         the I/O domain — no queue slot, no worker, no simulation. *)
+      let cache_key =
+        match t.cache with None -> None | Some _ -> Cachekey.of_request req
+      in
+      let cached =
+        match (t.cache, cache_key) with
+        | Some cache, Some key -> Rescache.find cache key
+        | _ -> None
+      in
+      match cached with
+      | Some raw ->
+        Obs.Metrics.incr m_ok;
+        write_line conn (Protocol.ok_line_raw ~id ~op raw)
+      | None -> (
         ignore (Atomic.fetch_and_add conn.inflight 1);
-        match Jobq.try_push t.queue { req; conn; enq_ns = Obs.Clock.now_ns () } with
+        match
+          Jobq.try_push t.queue
+            { req; conn; enq_ns = Obs.Clock.now_ns (); cache_key }
+        with
         | `Ok ->
           Obs.Metrics.set_gauge m_depth (float_of_int (Jobq.length t.queue));
           if t.inline then
@@ -239,8 +282,38 @@ let make_conn ~kind ~in_fd ~out_fd =
     kind;
   }
 
+(* A socket file left behind by a killed daemon used to make startup
+   fail (EADDRINUSE after an unguarded bind, or an unconditional unlink
+   that could silently steal the path from a *live* daemon).  Probe
+   before touching anything: a successful connect means a live daemon
+   owns the path — starting a second one is an error worth a clear
+   message; connection-refused means nobody is accepting — the file is
+   stale and safe to remove.  A path that exists but is not a socket is
+   never unlinked. *)
 let setup_listener path =
-  (try Unix.unlink path with Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  (match Unix.stat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  | { Unix.st_kind; _ } when st_kind <> Unix.S_SOCK ->
+    failwith
+      (Printf.sprintf "--socket %s: path exists and is not a socket; refusing \
+                       to replace it" path)
+  | _ ->
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      match Unix.connect probe (Unix.ADDR_UNIX path) with
+      | () -> true
+      | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) ->
+        false
+    in
+    (try Unix.close probe with Unix.Unix_error _ -> ());
+    if live then
+      failwith
+        (Printf.sprintf "--socket %s: a live daemon is already serving on \
+                         this path" path)
+    else begin
+      Obs.Log.warn "serve" "removing stale socket file %s" path;
+      try Unix.unlink path with Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+    end);
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind fd (Unix.ADDR_UNIX path);
   Unix.listen fd 64;

@@ -128,7 +128,7 @@ let fresh_socket_path =
 
 (* Run [f client_socket_path] against a daemon on its own domain; shut
    it down and join afterwards, whatever happens. *)
-let with_server ?(workers = 2) ?(queue = 16) ?timeout_ms f =
+let with_server ?(workers = 2) ?(queue = 16) ?timeout_ms ?cache f =
   let path = fresh_socket_path () in
   let cfg =
     {
@@ -137,6 +137,7 @@ let with_server ?(workers = 2) ?(queue = 16) ?timeout_ms f =
       workers;
       queue_cap = queue;
       default_timeout_ms = timeout_ms;
+      cache;
     }
   in
   let srv = Server.create cfg in
@@ -368,6 +369,457 @@ let test_shutdown_drains () =
       check_bool "in-flight request drained" true (resp_ok (snd (List.assoc 0 by_id)));
       check_bool "queued request drained" true (resp_ok (snd (List.assoc 1 by_id))))
 
+(* ----- the content-addressed result cache ----- *)
+
+let metric_counter name =
+  match List.assoc_opt name (Obs.Metrics.snapshot ()) with
+  | Some (Obs.Metrics.Counter i) -> i
+  | _ -> 0
+
+let fresh_cache_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "advisor-rescache-%d-%d" (Unix.getpid ()) !n)
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error _ -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+    (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+
+(* A hot request is answered from the cache byte-for-byte (including a
+   *different* id spliced around the cached payload) without launching
+   a single simulation. *)
+let test_cache_hit_byte_identical_no_launches () =
+  (* computed first: this launches simulations of its own *)
+  let expected_cold = expected_profile_nn_line ~id:31 in
+  let expected_hot = expected_profile_nn_line ~id:32 in
+  with_server ~workers:2 ~cache:Serve.Rescache.default_config (fun path _srv ->
+      let fd = connect path in
+      send fd {|{"id": 31, "op": "profile", "app": "nn"}|};
+      let cold = List.hd (read_lines fd 1) in
+      check_string "cold response matches the one-shot report" expected_cold cold;
+      let launches0 = metric_counter "sim.launches" in
+      let hits0 = metric_counter "serve.cache.hits" in
+      send fd {|{"id": 32, "op": "profile", "app": "nn"}|};
+      let hot = List.hd (read_lines fd 1) in
+      Unix.close fd;
+      check_string "hot response matches the one-shot report" expected_hot hot;
+      check_int "hot response is a cache hit" (hits0 + 1)
+        (metric_counter "serve.cache.hits");
+      check_int "hot response launched zero simulations" launches0
+        (metric_counter "sim.launches"))
+
+(* Requests that spell out the defaults, reorder fields, or vary
+   id/timeout share the cold request's cache entry; a different scale
+   does not. *)
+let test_cache_defaults_and_reordering_share_entry () =
+  with_server ~workers:2 ~cache:Serve.Rescache.default_config (fun path _srv ->
+      let fd = connect path in
+      send fd {|{"id": 0, "op": "check", "app": "nn"}|};
+      ignore (read_lines fd 1);
+      let hits0 = metric_counter "serve.cache.hits" in
+      let w = Workloads.Registry.find "nn" in
+      send fd
+        (Printf.sprintf
+           {|{"scale": %d, "app": "nn", "arch": "kepler-16k", "op": "check", "timeout_ms": 99999, "id": "other"}|}
+           w.Workloads.Common.default_scale);
+      ignore (read_lines fd 1);
+      check_int "defaults spelled out + reordered fields still hit" (hits0 + 1)
+        (metric_counter "serve.cache.hits");
+      send fd
+        (Printf.sprintf {|{"id": 2, "op": "check", "app": "nn", "scale": %d}|}
+           (w.Workloads.Common.default_scale + 1));
+      ignore (read_lines fd 1);
+      Unix.close fd;
+      check_int "a different scale is a different entry" (hits0 + 1)
+        (metric_counter "serve.cache.hits"))
+
+let test_lru_eviction_bounds () =
+  let open Serve.Rescache in
+  (* entry bound *)
+  let c = create { max_entries = 3; max_bytes = 1024 * 1024; dir = None } in
+  store c "k1" "one";
+  store c "k2" "two";
+  store c "k3" "three";
+  check_bool "k1 resident" true (find c "k1" <> None);
+  (* k1 was just touched: k2 is now least recent and must evict *)
+  store c "k4" "four";
+  check_int "entry bound holds" 3 (entries c);
+  check_bool "least-recently-used entry evicted" true (find c "k2" = None);
+  check_bool "recently-touched entry survives" true (find c "k1" <> None);
+  (* byte bound *)
+  let c = create { max_entries = 100; max_bytes = 10; dir = None } in
+  store c "b1" "12345678";
+  store c "b2" "12345678";
+  check_int "byte bound evicts to fit" 1 (entries c);
+  check_bool "newest entry kept" true (find c "b2" <> None);
+  check_bool "bytes within bound" true (bytes c <= 10);
+  (* an entry larger than the whole byte budget is never resident *)
+  store c "huge" (String.make 64 'x');
+  check_int "oversized entry is not cached" 0 (entries c)
+
+let test_disk_tier_restart_roundtrip () =
+  let open Serve.Rescache in
+  let dir = fresh_cache_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let cfg = { max_entries = 16; max_bytes = 1024 * 1024; dir = Some dir } in
+      let c1 = create cfg in
+      store c1 "alpha" {|{"v": 1}|};
+      store c1 "beta" {|{"v": 2}|};
+      (* a fresh instance on the same dir = a daemon restart *)
+      let loads0 = metric_counter "serve.cache.loads" in
+      let c2 = create cfg in
+      check_int "restart reloaded both entries" (loads0 + 2)
+        (metric_counter "serve.cache.loads");
+      check_bool "alpha survives the restart" true
+        (find c2 "alpha" = Some {|{"v": 1}|});
+      check_bool "beta survives the restart" true
+        (find c2 "beta" = Some {|{"v": 2}|});
+      (* memory eviction falls back to the disk tier *)
+      let small =
+        create { max_entries = 1; max_bytes = 1024 * 1024; dir = Some dir }
+      in
+      store small "gamma" {|{"v": 3}|};
+      (* gamma displaced whatever the startup load kept; an evicted
+         key must still be served from its file *)
+      check_bool "memory miss falls back to disk" true
+        (find small "alpha" = Some {|{"v": 1}|}))
+
+let test_corrupt_cache_files_skipped () =
+  let open Serve.Rescache in
+  let dir = fresh_cache_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let cfg = { max_entries = 16; max_bytes = 1024 * 1024; dir = Some dir } in
+      let c1 = create cfg in
+      store c1 "good" {|{"ok": true}|};
+      (* sabotage: garbage, a truncated entry, and a flipped payload *)
+      let write name content =
+        let oc = open_out_bin (Filename.concat dir name) in
+        output_string oc content;
+        close_out oc
+      in
+      write "0123456789abcdef0123456789abcdef" "total garbage";
+      write "fedcba9876543210fedcba9876543210"
+        "cudaadvisor-rescache 1 00000000000000000000000000000000 9999\ntrunc\n{";
+      let corrupt0 = metric_counter "serve.cache.corrupt" in
+      let c2 = create cfg in
+      check_bool "good entry still loads" true
+        (find c2 "good" = Some {|{"ok": true}|});
+      check_bool "corrupt files were counted and skipped" true
+        (metric_counter "serve.cache.corrupt" >= corrupt0 + 2))
+
+(* ----- cache keys ----- *)
+
+(* [Advisor.result_key] sorts its field list before hashing, so the key
+   is invariant under any permutation of the extra fields. *)
+let qcheck_key_stable_under_reordering =
+  QCheck2.Test.make ~name:"result key is stable under field reordering"
+    ~count:200
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 6)
+           (pair
+              (string_size ~gen:printable (int_range 1 8))
+              (string_size ~gen:printable (int_range 0 12))))
+        int)
+    (fun (extra, seed) ->
+      (* a deterministic shuffle driven by the generated seed *)
+      let shuffled =
+        List.map snd
+          (List.sort compare
+             (List.mapi (fun i kv -> ((i * seed * 2654435761) land 0xffff, i, kv)) extra
+             |> List.map (fun (h, i, kv) -> ((h, i), kv))))
+      in
+      Advisor.result_key ~op:"profile" ~app:"nn" ~arch_name:"kepler" ~scale:1
+        ~extra ~source:"__global__ void k() {}" ()
+      = Advisor.result_key ~op:"profile" ~app:"nn" ~arch_name:"kepler" ~scale:1
+          ~extra:shuffled ~source:"__global__ void k() {}" ())
+
+let qcheck_canonical_source_whitespace =
+  QCheck2.Test.make
+    ~name:"keys ignore line endings and trailing whitespace" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 8) (string_size ~gen:printable (int_range 0 12)))
+    (fun lines ->
+      (* strip what canonicalization strips, then re-decorate randomly *)
+      let base = List.map (fun l -> String.concat "" (String.split_on_char '\r' l)) lines in
+      let plain = String.concat "\n" base in
+      let decorated = String.concat "\r\n" (List.map (fun l -> l ^ "  \t") base) ^ "\n\n" in
+      let key source =
+        Advisor.result_key ~op:"check" ~app:"nn" ~arch_name:"kepler" ~scale:1
+          ~source ()
+      in
+      key plain = key decorated)
+
+let test_cachekey_of_request () =
+  let req line =
+    match Protocol.parse_request line with
+    | Ok r -> r
+    | Error (_, c, m) -> Alcotest.failf "bad test request (%s: %s)" c m
+  in
+  let key line = Serve.Cachekey.of_request (req line) in
+  let k_implicit = key {|{"id": 1, "op": "profile", "app": "nn"}|} in
+  check_bool "cacheable op yields a key" true (k_implicit <> None);
+  check_bool "defaults filled: explicit arch/scale gives the same key" true
+    (let w = Workloads.Registry.find "nn" in
+     key
+       (Printf.sprintf
+          {|{"id": 2, "op": "profile", "app": "nn", "arch": "kepler", "scale": %d, "timeout_ms": 5}|}
+          w.Workloads.Common.default_scale)
+     = k_implicit);
+  check_bool "arch aliases collapse" true
+    (key {|{"op": "profile", "app": "nn", "arch": "kepler-16k"}|} = k_implicit);
+  check_bool "another arch is another key" true
+    (key {|{"op": "profile", "app": "nn", "arch": "pascal"}|} <> k_implicit);
+  check_bool "another op is another key" true
+    (key {|{"op": "check", "app": "nn"}|} <> k_implicit);
+  check_bool "non-cacheable ops have no key" true
+    (key {|{"op": "metrics"}|} = None
+    && key {|{"op": "trace", "app": "nn"}|} = None
+    && key {|{"op": "compile", "app": "nn"}|} = None);
+  check_bool "unknown app has no key" true
+    (key {|{"op": "profile", "app": "doom"}|} = None)
+
+(* Excluding one shard from the ring moves only that shard's keys. *)
+let test_chash_stability () =
+  let ring = Serve.Chash.make [ 0; 1; 2; 3 ] in
+  let all _ = true in
+  let keys = List.init 200 (fun i -> Printf.sprintf "key-%d" i) in
+  let moved =
+    List.filter
+      (fun k ->
+        let before = Serve.Chash.route ring ~alive:all k in
+        let after = Serve.Chash.route ring ~alive:(fun s -> s <> 2) k in
+        match (before, after) with
+        | Some 2, Some s -> s = 2 (* must move off 2: never true *)
+        | Some b, Some a -> b <> a (* must not move *)
+        | _ -> true)
+      keys
+  in
+  check_int "only the excluded shard's keys moved" 0 (List.length moved);
+  check_bool "no live shard routes nothing" true
+    (Serve.Chash.route ring ~alive:(fun _ -> false) "x" = None)
+
+(* ----- stale socket files ----- *)
+
+let test_stale_socket_recovered () =
+  let path = fresh_socket_path () in
+  (* a killed daemon leaves the file behind: bind, then close without
+     unlinking — connects now get ECONNREFUSED *)
+  let dead = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind dead (Unix.ADDR_UNIX path);
+  Unix.close dead;
+  check_bool "stale socket file exists" true (Sys.file_exists path);
+  let cfg =
+    {
+      Server.socket_path = Some path;
+      stdio = false;
+      workers = 1;
+      queue_cap = 4;
+      default_timeout_ms = None;
+      cache = None;
+    }
+  in
+  let srv = Server.create cfg in
+  let daemon = Domain.spawn (fun () -> Server.run srv) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.request_shutdown srv;
+      Domain.join daemon;
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+      let fd = connect path in
+      send fd {|{"id": 1, "op": "ping"}|};
+      let line = List.hd (read_lines fd 1) in
+      Unix.close fd;
+      check_bool "daemon reclaimed the stale socket and serves" true
+        (resp_ok (parse_resp line)))
+
+let test_live_socket_refused () =
+  with_server ~workers:1 (fun path _srv ->
+      let cfg =
+        {
+          Server.socket_path = Some path;
+          stdio = false;
+          workers = 1;
+          queue_cap = 4;
+          default_timeout_ms = None;
+          cache = None;
+        }
+      in
+      let srv2 = Server.create cfg in
+      match Server.run srv2 with
+      | () -> Alcotest.fail "a second daemon must refuse a live socket"
+      | exception Failure msg ->
+        check_bool "the error names the live daemon" true
+          (let rec has i =
+             i + 4 <= String.length msg
+             && (String.sub msg i 4 = "live" || has (i + 1))
+           in
+           has 0);
+        (* the probe must not have stolen the path from the live daemon *)
+        let fd = connect path in
+        send fd {|{"id": 1, "op": "ping"}|};
+        let line = List.hd (read_lines fd 1) in
+        Unix.close fd;
+        check_bool "first daemon unharmed" true (resp_ok (parse_resp line)))
+
+(* ----- the shard fleet, end to end -----
+
+   The supervisor forks, which is only well-defined from a
+   single-domain process — so these tests drive the real CLI binary as
+   a subprocess instead of running a fleet in this (multi-domain) test
+   runner. *)
+
+let cli_binary () =
+  Filename.concat
+    (Filename.concat (Filename.dirname Sys.executable_name) "../bin")
+    "advisor_cli.exe"
+
+let start_fleet ~shards path =
+  let cli = cli_binary () in
+  if not (Sys.file_exists cli) then
+    Alcotest.skip ();
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+  let pid =
+    Unix.create_process cli
+      [| cli; "serve"; "--socket"; path; "--shards"; string_of_int shards;
+         "--workers"; "2" |]
+      devnull devnull devnull
+  in
+  Unix.close devnull;
+  pid
+
+let stop_fleet pid path =
+  (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+  ignore (Unix.waitpid [] pid);
+  try Unix.unlink path with Unix.Unix_error _ -> ()
+
+(* Ask the supervisor for fleet state until every shard reports "up". *)
+let wait_fleet_up fd n =
+  let deadline = Unix.gettimeofday () +. 30.0 in
+  let rec go () =
+    send fd {|{"id": "up?", "op": "fleet"}|};
+    let v = parse_resp (List.hd (read_lines fd 1)) in
+    let states =
+      match Jsonv.member "shards" (field "result" v) with
+      | Some (Jsonv.Arr shards) ->
+        List.filter_map
+          (fun s ->
+            match Jsonv.member "state" s with
+            | Some (Jsonv.Str st) -> Some st
+            | _ -> None)
+          shards
+      | _ -> []
+    in
+    if List.length states = n && List.for_all (( = ) "up") states then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.failf "fleet never became ready (states: %s)"
+        (String.concat "," states)
+    else begin
+      Unix.sleepf 0.05;
+      go ()
+    end
+  in
+  go ()
+
+let fleet_pids fd =
+  send fd {|{"id": "pids", "op": "fleet"}|};
+  let v = parse_resp (List.hd (read_lines fd 1)) in
+  match Jsonv.member "shards" (field "result" v) with
+  | Some (Jsonv.Arr shards) ->
+    List.filter_map
+      (fun s ->
+        match Jsonv.member "pid" s with
+        | Some (Jsonv.Num p) -> Some (int_of_float p)
+        | _ -> None)
+      shards
+  | _ -> []
+
+let test_fleet_end_to_end () =
+  let expected = expected_profile_nn_line ~id:41 in
+  let path = fresh_socket_path () in
+  let pid = start_fleet ~shards:2 path in
+  Fun.protect
+    ~finally:(fun () -> stop_fleet pid path)
+    (fun () ->
+      let fd = connect path in
+      wait_fleet_up fd 2;
+      (* cold then hot: both byte-identical to the one-shot report *)
+      send fd {|{"id": 41, "op": "profile", "app": "nn"}|};
+      let cold = List.hd (read_lines fd 1) in
+      check_string "served-through-fleet profile == one-shot" expected cold;
+      send fd {|{"id": 41, "op": "profile", "app": "nn"}|};
+      let hot = List.hd (read_lines fd 1) in
+      check_string "cached fleet response is byte-identical" expected hot;
+      (* errors still relay *)
+      send fd {|{"id": 42, "op": "profile", "app": "doom"}|};
+      check_string "unknown app through the fleet" "unknown_app"
+        (resp_err_code (parse_resp (List.hd (read_lines fd 1))));
+      send fd "not json at all";
+      check_string "garbage answered by the supervisor" "bad_request"
+        (resp_err_code (parse_resp (List.hd (read_lines fd 1))));
+      Unix.close fd)
+
+let test_fleet_rolling_restart_drops_nothing () =
+  let path = fresh_socket_path () in
+  let pid = start_fleet ~shards:2 path in
+  Fun.protect
+    ~finally:(fun () -> stop_fleet pid path)
+    (fun () ->
+      let fd = connect path in
+      wait_fleet_up fd 2;
+      (* warm one cache entry so the stream below has hot traffic *)
+      send fd {|{"id": 0, "op": "profile", "app": "nn"}|};
+      ignore (read_lines fd 1);
+      let before = fleet_pids fd in
+      Unix.kill pid Sys.sighup;
+      (* hammer the fleet while it restarts shard by shard: every
+         round-trip must come back ok *)
+      let deadline = Unix.gettimeofday () +. 60.0 in
+      let requests = ref 0 in
+      let rec pump () =
+        incr requests;
+        send fd
+          (Printf.sprintf {|{"id": %d, "op": "profile", "app": "nn"}|}
+             !requests);
+        let v = parse_resp (List.hd (read_lines fd 1)) in
+        check_bool
+          (Printf.sprintf "request %d survived the rolling restart" !requests)
+          true (resp_ok v);
+        let after = fleet_pids fd in
+        let all_replaced =
+          List.length after = List.length before
+          && List.for_all (fun p -> not (List.mem p before)) after
+        in
+        if not all_replaced then
+          if Unix.gettimeofday () > deadline then
+            Alcotest.failf "rolling restart never completed (pids %s -> %s)"
+              (String.concat "," (List.map string_of_int before))
+              (String.concat "," (List.map string_of_int after))
+          else begin
+            Unix.sleepf 0.02;
+            pump ()
+          end
+      in
+      pump ();
+      wait_fleet_up fd 2;
+      check_bool "traffic flowed during the restart" true (!requests > 0);
+      (* and the fleet still serves correct bytes afterwards *)
+      send fd {|{"id": 77, "op": "profile", "app": "nn"}|};
+      let line = List.hd (read_lines fd 1) in
+      Unix.close fd;
+      check_string "post-restart response is still byte-identical"
+        (expected_profile_nn_line ~id:77) line)
+
 (* ----- jobq ----- *)
 
 let test_jobq () =
@@ -542,6 +994,42 @@ let () =
           Alcotest.test_case "timeout leaves the daemon alive" `Quick
             test_timeout_leaves_daemon_alive;
           Alcotest.test_case "graceful shutdown drains" `Quick test_shutdown_drains;
+        ] );
+      ( "rescache",
+        [
+          Alcotest.test_case "hot hit: byte-identical, zero launches" `Quick
+            test_cache_hit_byte_identical_no_launches;
+          Alcotest.test_case "defaults and field order share one entry" `Quick
+            test_cache_defaults_and_reordering_share_entry;
+          Alcotest.test_case "LRU entry and byte bounds" `Quick
+            test_lru_eviction_bounds;
+          Alcotest.test_case "disk tier survives a restart" `Quick
+            test_disk_tier_restart_roundtrip;
+          Alcotest.test_case "corrupt cache files are skipped" `Quick
+            test_corrupt_cache_files_skipped;
+        ] );
+      ( "cachekey",
+        [
+          QCheck_alcotest.to_alcotest qcheck_key_stable_under_reordering;
+          QCheck_alcotest.to_alcotest qcheck_canonical_source_whitespace;
+          Alcotest.test_case "request canonicalization" `Quick
+            test_cachekey_of_request;
+          Alcotest.test_case "consistent hashing moves only lost keys" `Quick
+            test_chash_stability;
+        ] );
+      ( "sockets",
+        [
+          Alcotest.test_case "stale socket file is reclaimed" `Quick
+            test_stale_socket_recovered;
+          Alcotest.test_case "live socket is refused" `Quick
+            test_live_socket_refused;
+        ] );
+      ( "fleet",
+        [
+          Alcotest.test_case "2-shard fleet end to end" `Quick
+            test_fleet_end_to_end;
+          Alcotest.test_case "rolling restart drops nothing" `Quick
+            test_fleet_rolling_restart_drops_nothing;
         ] );
       ( "bugfixes",
         [

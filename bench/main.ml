@@ -725,12 +725,87 @@ let serve_fleet_bench () =
       [ 1; 2; 4 ]
   end
 
+(* ----- staticfast: IR-only estimator vs the simulator -----
+
+   Calibration of the static tier: for every registry workload, the
+   estimator's memory-divergence degree, branch-divergence percentage
+   and no-reuse fraction against the instrumented simulation's, plus
+   the latency of each path.  The error columns are what the
+   calibration test pins (with recorded tolerances). *)
+
+let staticfast_rows : (string * Analysis.Json.t) list ref = ref []
+
+let staticfast () =
+  heading "Static fast path: estimate vs simulation (Kepler, 128B lines)";
+  let arch = kepler16 () in
+  (* First estimates pay the (memoized) frontend; warm it so the
+     latency column measures the estimator itself, which is what the
+     serve intake path runs on a warm daemon. *)
+  List.iter
+    (fun (w : Workloads.Common.t) -> ignore (Advisor.estimate ~arch w))
+    Workloads.Registry.all;
+  staticfast_rows := [];
+  Printf.printf "%-10s %8s %9s %8s | %6s %6s %6s | %6s %6s %6s | %6s %6s %6s\n"
+    "App" "est ms" "sim ms" "speedup" "deg^" "deg" "err" "br%^" "br%" "err"
+    "nr^" "nr" "err";
+  List.iter
+    (fun (w : Workloads.Common.t) ->
+      let t0 = Unix.gettimeofday () in
+      let e = Advisor.estimate ~arch w in
+      let est_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+      let t1 = Unix.gettimeofday () in
+      let s = Advisor.profile ~arch w in
+      let sim_ms = (Unix.gettimeofday () -. t1) *. 1000. in
+      Hashtbl.replace sessions w.name s;
+      let md = Advisor.mem_divergence ~line_size:128 s in
+      let bd = Advisor.branch_divergence s in
+      let rd = Advisor.reuse_distance s in
+      let sim_deg = md.Analysis.Mem_divergence.degree in
+      let sim_br = Analysis.Branch_divergence.percent bd in
+      let sim_nr = Analysis.Reuse_distance.no_reuse_fraction rd in
+      let module E = Passes.Estimate in
+      let deg_err = Float.abs (e.E.degree -. sim_deg) in
+      let br_err = Float.abs (e.E.branch_percent -. sim_br) in
+      let nr_err = Float.abs (e.E.no_reuse_fraction -. sim_nr) in
+      Printf.printf
+        "%-10s %8.3f %9.1f %7.0fx | %6.2f %6.2f %6.2f | %6.2f %6.2f %6.2f | \
+         %6.2f %6.2f %6.2f\n%!"
+        w.name est_ms sim_ms (sim_ms /. est_ms) e.E.degree sim_deg deg_err
+        e.E.branch_percent sim_br br_err e.E.no_reuse_fraction sim_nr nr_err;
+      let open Analysis.Json in
+      staticfast_rows :=
+        ( w.name,
+          Obj
+            [ ("estimate_ms", Float est_ms); ("simulate_ms", Float sim_ms);
+              ("speedup", Float (sim_ms /. est_ms));
+              ( "degree",
+                Obj
+                  [ ("estimated", Float e.E.degree); ("simulated", Float sim_deg);
+                    ("abs_error", Float deg_err);
+                    ( "confidence",
+                      String (E.confidence_label e.E.degree_confidence) ) ] );
+              ( "branch_percent",
+                Obj
+                  [ ("estimated", Float e.E.branch_percent);
+                    ("simulated", Float sim_br); ("abs_error", Float br_err);
+                    ( "confidence",
+                      String (E.confidence_label e.E.branch_confidence) ) ] );
+              ( "no_reuse_fraction",
+                Obj
+                  [ ("estimated", Float e.E.no_reuse_fraction);
+                    ("simulated", Float sim_nr); ("abs_error", Float nr_err);
+                    ( "confidence",
+                      String (E.confidence_label e.E.reuse_confidence) ) ] ) ] )
+        :: !staticfast_rows)
+    Workloads.Registry.all
+
 let all_sections =
   [ ("table1", table1); ("table2", table2); ("fig4", fig4); ("fig5", fig5);
     ("table3", table3); ("fig6", fig6); ("fig7", fig7); ("fig8", fig8);
     ("fig9", fig9); ("fig10", fig10); ("vertical", vertical);
     ("ablation", ablation); ("serve", serve_bench);
-    ("servefleet", serve_fleet_bench); ("bech", bechamel); ("smoke", smoke) ]
+    ("servefleet", serve_fleet_bench); ("staticfast", staticfast);
+    ("bech", bechamel); ("smoke", smoke) ]
 
 let () =
   (* `--json FILE` may appear anywhere among the section names *)
@@ -809,6 +884,7 @@ let () =
           ("bechamel_ns_per_run",
            Obj (List.map (fun (n, t) -> (n, Float t)) (List.sort compare !bech_rows)));
           ("serve_fleet", Obj (List.rev !fleet_rows));
+          ("staticfast", Obj (List.rev !staticfast_rows));
           ("compile_cache", Obj [ ("hits", Int hits); ("misses", Int misses) ]);
           ("decode_cache", Obj [ ("hits", Int dhits); ("misses", Int dmisses) ]);
           ("metrics", metrics);

@@ -120,9 +120,35 @@ let list_cmd =
 
 (* ----- profile ----- *)
 
-let profile_run finish app arch scale analysis json =
+let profile_run finish app arch scale analysis json tier =
   match find_app app with
   | `Error _ as e -> e
+  | `Ok w when tier = `Static && json ->
+    print_endline
+      (Analysis.Report.to_string (Advisor.estimate_json ~arch w));
+    finish ();
+    `Ok ()
+  | `Ok w when tier = `Static ->
+    let e = Advisor.estimate ~arch w in
+    let module E = Passes.Estimate in
+    Printf.printf "== Static estimate (no simulation; line size %d B) ==\n"
+      e.E.line_size;
+    Printf.printf "memory divergence: %.2f lines/access [%s]\n" e.E.degree
+      (E.confidence_label e.E.degree_confidence);
+    Printf.printf "branch divergence: %.2f%% [%s]\n" e.E.branch_percent
+      (E.confidence_label e.E.branch_confidence);
+    Printf.printf "no-reuse fraction: %.2f [%s]\n" e.E.no_reuse_fraction
+      (E.confidence_label e.E.reuse_confidence);
+    Printf.printf "global-memory sites:\n";
+    List.iter
+      (fun (s : E.site) ->
+        Printf.printf "  %-24s %-6s %-8s %6.2f lines [%s]\n"
+          (Bitc.Loc.to_string s.E.site_loc)
+          s.E.site_kind s.E.pattern s.E.lines
+          (E.confidence_label s.E.lines_confidence))
+      e.E.sites;
+    finish ();
+    `Ok ()
   | `Ok w when json ->
     let session = Advisor.profile ~arch ?scale w in
     print_endline
@@ -170,6 +196,15 @@ let analysis_arg =
 let json_flag =
   Arg.(value & flag & info [ "json" ] ~doc:"Emit a machine-readable JSON report.")
 
+let tier_arg =
+  let tier = Arg.enum [ ("exact", `Exact); ("static", `Static) ] in
+  Arg.(
+    value
+    & opt tier `Exact
+    & info [ "tier" ] ~docv:"TIER"
+        ~doc:"Answer tier: exact (instrument and simulate, the default) or \
+              static (IR-only estimate, no simulator launch).")
+
 let profile_cmd =
   Cmd.v
     (Cmd.info "profile"
@@ -177,7 +212,7 @@ let profile_cmd =
     Term.(
       ret
         (const profile_run $ obs_term $ app_arg $ arch_arg $ scale_arg
-        $ analysis_arg $ json_flag))
+        $ analysis_arg $ json_flag $ tier_arg))
 
 (* ----- report (Figures 8/9) ----- *)
 

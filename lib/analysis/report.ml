@@ -148,6 +148,65 @@ let bypass_json ~app ~arch_name ~warps_per_cta ~baseline_cycles ~sweep
           [ ("warps", Json.Int predicted_warps);
             ("cycles", Json.Int predicted_cycles) ] ) ]
 
+(* ----- the static-estimate report (`profile --tier static`) ----- *)
+
+let confidence_json c = Json.String (Passes.Estimate.confidence_label c)
+
+(* The IR-only counterpart of [of_profile]: same top-level metric
+   sections, each value paired with its confidence tier, plus the
+   per-site access patterns and loop bounds the estimator recovered.
+   A "tier" field distinguishes it from a simulated profile at a
+   glance. *)
+let estimate_json ~app ~arch_name (e : Passes.Estimate.t) =
+  let bx, by = e.Passes.Estimate.block in
+  Json.Obj
+    [ ("application", Json.String app);
+      ("architecture", Json.String arch_name);
+      ("tier", Json.String "static");
+      ( "block",
+        Json.Obj [ ("x", Json.Int bx); ("y", Json.Int by) ] );
+      ("line_size", Json.Int e.line_size);
+      ( "memory_divergence",
+        Json.Obj
+          [ ("degree", Json.Float e.degree);
+            ("confidence", confidence_json e.degree_confidence) ] );
+      ( "branch_divergence",
+        Json.Obj
+          [ ("percent", Json.Float e.branch_percent);
+            ("confidence", confidence_json e.branch_confidence) ] );
+      ( "reuse_distance",
+        Json.Obj
+          [ ("no_reuse_fraction", Json.Float e.no_reuse_fraction);
+            ("confidence", confidence_json e.reuse_confidence);
+            ( "histogram",
+              Json.Obj
+                (List.map
+                   (fun (label, frac) -> (label, Json.Float frac))
+                   e.reuse_histogram) ) ] );
+      ( "sites",
+        Json.List
+          (List.map
+             (fun (s : Passes.Estimate.site) ->
+               Json.Obj
+                 [ ("loc", loc_json s.site_loc);
+                   ("function", Json.String s.site_func);
+                   ("kind", Json.String s.site_kind);
+                   ("pattern", Json.String s.pattern);
+                   ("lines", Json.Float s.lines);
+                   ("confidence", confidence_json s.lines_confidence);
+                   ("weight", Json.Float s.weight) ])
+             e.sites) );
+      ( "loop_bounds",
+        Json.List
+          (List.map
+             (fun (l : Passes.Estimate.loop_bound) ->
+               Json.Obj
+                 [ ("function", Json.String l.loop_func);
+                   ("header", Json.String l.loop_header);
+                   ("trips", Json.Float l.trips);
+                   ("confidence", confidence_json l.trips_confidence) ])
+             e.loop_bounds) ) ]
+
 (* ----- the `advisor check` report ----- *)
 
 let path_json path =

@@ -1,0 +1,210 @@
+(* Bounded symbolic polynomials over the quantities a static GPU-kernel
+   estimator can name: special registers (thread/block ids and
+   dimensions), kernel parameters, and loop induction variables.  The
+   -O0-style IR the frontend emits computes every address as integer
+   arithmetic over these, so a small polynomial algebra recovers the
+   access pattern of most GEPs exactly.
+
+   Everything is normalized eagerly: each monomial keeps its symbol
+   list sorted, the monomial list is sorted and merged, and zero
+   coefficients are dropped — so structural equality is semantic
+   equality.  Products are bounded (degree and term count) and collapse
+   to [Unknown] past the caps, keeping evaluation linear in practice
+   even on adversarial inputs. *)
+
+type sym =
+  | Tid_x
+  | Tid_y
+  | Ctaid_x
+  | Ctaid_y
+  | Ntid_x
+  | Ntid_y
+  | Nctaid_x
+  | Nctaid_y
+  | Warpid
+  | Param of int (* function parameter, by register index *)
+  | Loop of int (* induction variable of the loop headed by block index *)
+
+(* [syms] is sorted; [] is the constant term. *)
+type mono = { coeff : int; syms : sym list }
+
+type t =
+  | Poly of mono list (* sorted by [syms]; no zero coefficients *)
+  | Unknown
+
+let max_degree = 4
+let max_terms = 64
+
+let compare_syms = compare
+
+let normalize monos =
+  let monos = List.filter (fun m -> m.coeff <> 0) monos in
+  let sorted =
+    List.sort (fun a b -> compare_syms a.syms b.syms)
+      (List.map (fun m -> { m with syms = List.sort compare m.syms }) monos)
+  in
+  let rec merge = function
+    | a :: b :: rest when a.syms = b.syms ->
+      merge ({ a with coeff = a.coeff + b.coeff } :: rest)
+    | a :: rest -> if a.coeff = 0 then merge rest else a :: merge rest
+    | [] -> []
+  in
+  merge sorted
+
+let poly monos =
+  let monos = normalize monos in
+  if
+    List.length monos > max_terms
+    || List.exists (fun m -> List.length m.syms > max_degree) monos
+  then Unknown
+  else Poly monos
+
+let const c = Poly (if c = 0 then [] else [ { coeff = c; syms = [] } ])
+let sym s = Poly [ { coeff = 1; syms = [ s ] } ]
+let unknown = Unknown
+let zero = const 0
+
+let add a b =
+  match a, b with
+  | Poly xs, Poly ys -> poly (xs @ ys)
+  | _ -> Unknown
+
+let neg = function
+  | Poly xs -> Poly (List.map (fun m -> { m with coeff = -m.coeff }) xs)
+  | Unknown -> Unknown
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  match a, b with
+  | Poly xs, Poly ys ->
+    poly
+      (List.concat_map
+         (fun x ->
+           List.map
+             (fun y -> { coeff = x.coeff * y.coeff; syms = x.syms @ y.syms })
+             ys)
+         xs)
+  | _ -> Unknown
+
+let mul_const c t = mul (const c) t
+
+let equal a b =
+  match a, b with
+  | Poly xs, Poly ys -> xs = ys (* both normalized *)
+  | Unknown, Unknown -> true
+  | _ -> false
+
+let is_known = function Poly _ -> true | Unknown -> false
+
+let to_const = function
+  | Poly [] -> Some 0
+  | Poly [ { coeff; syms = [] } ] -> Some coeff
+  | _ -> None
+
+(* Constant term of a known polynomial (0 when absent). *)
+let const_part = function
+  | Poly monos -> (
+    match List.find_opt (fun m -> m.syms = []) monos with
+    | Some m -> m.coeff
+    | None -> 0)
+  | Unknown -> 0
+
+let mentions pred = function
+  | Poly monos -> List.exists (fun m -> List.exists pred m.syms) monos
+  | Unknown -> false
+
+let lane_varying_sym = function
+  | Tid_x | Tid_y | Warpid -> true
+  | Ctaid_x | Ctaid_y | Ntid_x | Ntid_y | Nctaid_x | Nctaid_y | Param _
+  | Loop _ ->
+    false
+
+(* Does the value vary across the lanes of one warp?  [Warpid] is
+   constant within a warp, so only the thread-id symbols count. *)
+let intra_warp_sym = function Tid_x | Tid_y -> true | _ -> false
+
+let mentions_loop t = mentions (function Loop _ -> true | _ -> false) t
+let mentions_loop_of h = mentions (function Loop l -> l = h | _ -> false)
+
+(* Substitute an integer for every occurrence of [s]. *)
+let subst s value = function
+  | Unknown -> Unknown
+  | Poly monos ->
+    poly
+      (List.map
+         (fun m ->
+           let hits, rest = List.partition (fun x -> x = s) m.syms in
+           let scale =
+             List.fold_left (fun acc _ -> acc * value) 1 hits
+           in
+           { coeff = m.coeff * scale; syms = rest })
+         monos)
+
+(* Coefficient of the pure degree-1 monomial of [s]. *)
+let coeff_of t s =
+  match t with
+  | Poly monos -> (
+    match List.find_opt (fun m -> m.syms = [ s ]) monos with
+    | Some m -> m.coeff
+    | None -> 0)
+  | Unknown -> 0
+
+(* Drop the pure degree-1 monomial of [s]; used to peel an induction
+   variable out of a loop-exit condition. *)
+let without_sym t s =
+  match t with
+  | Poly monos -> Poly (List.filter (fun m -> m.syms <> [ s ]) monos)
+  | Unknown -> Unknown
+
+(* The intra-warp shape of a value: either it is warp-uniform, or it is
+   the affine form [cx*tid.x + cy*tid.y + uniform], or a thread-id
+   symbol appears inside a product we cannot enumerate (a symbolic
+   stride like [tid.x * n]). *)
+type lane_pattern =
+  | Uniform
+  | Strided of { cx : int; cy : int }
+  | Symbolic
+
+let lane_pattern = function
+  | Unknown -> Symbolic
+  | Poly monos as t ->
+    let mixed =
+      List.exists
+        (fun m ->
+          List.exists intra_warp_sym m.syms
+          && m.syms <> [ Tid_x ] && m.syms <> [ Tid_y ])
+        monos
+    in
+    if mixed then Symbolic
+    else
+      let cx = coeff_of t Tid_x and cy = coeff_of t Tid_y in
+      if cx = 0 && cy = 0 then Uniform else Strided { cx; cy }
+
+let sym_to_string = function
+  | Tid_x -> "tid.x"
+  | Tid_y -> "tid.y"
+  | Ctaid_x -> "ctaid.x"
+  | Ctaid_y -> "ctaid.y"
+  | Ntid_x -> "ntid.x"
+  | Ntid_y -> "ntid.y"
+  | Nctaid_x -> "nctaid.x"
+  | Nctaid_y -> "nctaid.y"
+  | Warpid -> "warpid"
+  | Param i -> Printf.sprintf "p%d" i
+  | Loop h -> Printf.sprintf "iv%d" h
+
+let to_string = function
+  | Unknown -> "unknown"
+  | Poly [] -> "0"
+  | Poly monos ->
+    String.concat " + "
+      (List.map
+         (fun m ->
+           match m.syms with
+           | [] -> string_of_int m.coeff
+           | syms ->
+             let factors = String.concat "*" (List.map sym_to_string syms) in
+             if m.coeff = 1 then factors
+             else Printf.sprintf "%d*%s" m.coeff factors)
+         monos)

@@ -1,0 +1,88 @@
+(* Natural-loop detection over a {!Cfg}.  The frontend emits reducible
+   control flow (structured for/while/if), so every loop is a natural
+   loop: a back edge [u -> h] where [h] dominates [u], with the body
+   being every block that can reach [u] without passing through [h].
+
+   Dominators are computed with the same small-CFG boolean-set dataflow
+   as {!Cfg.post_dominators}; kernels have a handful of blocks. *)
+
+type loop = {
+  header : int; (* block index of the loop header *)
+  body : bool array; (* indexed by block; includes the header *)
+}
+
+let dominators (cfg : Cfg.t) =
+  let n = Cfg.size cfg in
+  let dom = Array.init n (fun _ -> Array.make n true) in
+  if n > 0 then begin
+    let entry = Array.make n false in
+    entry.(0) <- true;
+    dom.(0) <- entry
+  end;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 1 to n - 1 do
+      let inter = Array.make n true in
+      (match cfg.Cfg.pred.(i) with
+      | [] -> Array.fill inter 0 n false (* unreachable *)
+      | first :: rest ->
+        Array.blit dom.(first) 0 inter 0 n;
+        List.iter
+          (fun j -> Array.iteri (fun k v -> inter.(k) <- v && dom.(j).(k)) inter)
+          rest);
+      inter.(i) <- true;
+      if inter <> dom.(i) then begin
+        dom.(i) <- inter;
+        changed := true
+      end
+    done
+  done;
+  dom
+
+(* All natural loops of [cfg]; loops sharing a header are merged. *)
+let find (cfg : Cfg.t) =
+  let n = Cfg.size cfg in
+  let dom = dominators cfg in
+  let loops : (int, bool array) Hashtbl.t = Hashtbl.create 8 in
+  for u = 0 to n - 1 do
+    List.iter
+      (fun h ->
+        if dom.(u).(h) then begin
+          (* back edge u -> h: collect the natural loop body *)
+          let body =
+            match Hashtbl.find_opt loops h with
+            | Some b -> b
+            | None ->
+              let b = Array.make n false in
+              b.(h) <- true;
+              Hashtbl.replace loops h b;
+              b
+          in
+          let rec up i =
+            if not body.(i) then begin
+              body.(i) <- true;
+              List.iter up cfg.Cfg.pred.(i)
+            end
+          in
+          up u
+        end)
+      cfg.Cfg.succ.(u)
+  done;
+  Hashtbl.fold (fun header body acc -> { header; body } :: acc) loops []
+  |> List.sort (fun a b -> compare a.header b.header)
+
+(* Loops containing block [i], innermost (smallest body) first. *)
+let containing loops i =
+  List.filter (fun l -> i < Array.length l.body && l.body.(i)) loops
+  |> List.sort (fun a b ->
+         compare
+           (Array.fold_left (fun acc v -> if v then acc + 1 else acc) 0 a.body)
+           (Array.fold_left (fun acc v -> if v then acc + 1 else acc) 0 b.body))
+
+let innermost loops i =
+  match containing loops i with [] -> None | l :: _ -> Some l
+
+(* Is the edge [u -> v] a back edge of one of [loops]? *)
+let is_back_edge loops ~u ~v =
+  List.exists (fun l -> l.header = v && u < Array.length l.body && l.body.(u)) loops

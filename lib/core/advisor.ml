@@ -225,6 +225,25 @@ let branch_divergence session =
   Obs.Trace.with_span ~cat:"analysis" "analysis.branch_divergence" @@ fun () ->
   Analysis.Branch_divergence.of_instances (instances session)
 
+(* ----- the static fast path (`profile --tier static`) ----- *)
+
+(* IR-only estimate of the profiling metrics: compile uninstrumented
+   (memoized — warm requests skip straight to the pass) and run the
+   static estimator with the workload's launch geometry and the
+   architecture's cache-line size.  No simulator, no host run: this is
+   the sub-millisecond tier the serve daemon answers from its intake
+   domain. *)
+let estimate ~arch (workload : Workloads.Common.t) =
+  Obs.Trace.with_span ~cat:"advisor" ("estimate:" ^ workload.name) @@ fun () ->
+  let compiled = compile_source ~file:workload.source_file workload.source in
+  Passes.Estimate.run ~block:workload.block_dims
+    ~line_size:arch.Gpusim.Arch.line_size compiled.modul
+
+let estimate_json ~arch (workload : Workloads.Common.t) =
+  Analysis.Report.estimate_json ~app:workload.name
+    ~arch_name:arch.Gpusim.Arch.name
+    (estimate ~arch workload)
+
 (* ----- correctness checking (`advisor check`) ----- *)
 
 type check_report = {

@@ -112,6 +112,18 @@ val mem_divergence : ?line_size:int -> session -> Analysis.Mem_divergence.result
 (** Whole-application branch divergence (Section 4.2-(C), Table 3). *)
 val branch_divergence : session -> Analysis.Branch_divergence.result
 
+(** {2 The static fast path — [profile --tier static]} *)
+
+(** IR-only estimate of the profiling metrics (coalescing degree,
+    branch uniformity, reuse-distance histogram), each tagged with a
+    confidence tier.  Compiles uninstrumented through the memoized
+    compile cache and never touches the simulator. *)
+val estimate : arch:Gpusim.Arch.t -> Workloads.Common.t -> Passes.Estimate.t
+
+(** [estimate] rendered as the machine-readable report served for
+    [profile_fast] / [profile --tier static]. *)
+val estimate_json : arch:Gpusim.Arch.t -> Workloads.Common.t -> Analysis.Json.t
+
 (** {2 Correctness checking — [advisor check]} *)
 
 type check_report = {

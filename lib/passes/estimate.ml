@@ -1,0 +1,940 @@
+(* IR-only profile estimation: predict the paper's profiling metrics —
+   per-site coalescing (transactions per warp access), branch
+   uniformity, and an approximate reuse-distance histogram — without
+   running the simulator.
+
+   The frontend emits -O0-style IR: every source variable is a
+   1-element alloca, loops keep their [for.cond]/[for.body] shape, and
+   every address is integer arithmetic over thread/block ids, kernel
+   parameters and loop counters.  A small symbolic evaluator
+   ({!Bitc.Affine}) recovers those expressions; {!Bitc.Loops} plus the
+   loop-exit compare give symbolic trip counts; and per-warp lane
+   enumeration turns an affine byte offset into a transaction count.
+
+   Every prediction carries a confidence tier:
+   - [Exact]     — fully determined by the IR (e.g. a warp-uniform
+                   address is always one transaction, a constant-bound
+                   loop trip count);
+   - [Affine]    — derived from a recovered affine model plus a benign
+                   assumption (line-aligned bases, full warps);
+   - [Heuristic] — a modeling default stands in for an unknown
+                   (symbolic trip counts, boundary-guard probabilities,
+                   symbolic row pitches assumed larger than a line);
+   - [Unknown]   — the IR defeated the model; the value is a coarse
+                   prior.
+
+   Only [Global]-space accesses are modeled: the dynamic profiler
+   instruments exactly those (see {!Instrument.mem_hooks}), so this is
+   what the simulator-measured metrics cover. *)
+
+module A = Bitc.Affine
+
+type confidence = Exact | Affine | Heuristic | Unknown
+
+let confidence_label = function
+  | Exact -> "exact"
+  | Affine -> "affine-model"
+  | Heuristic -> "heuristic"
+  | Unknown -> "unknown"
+
+(* Exact is the strongest claim; a combined result is only as strong as
+   its weakest input. *)
+let rank = function Exact -> 3 | Affine -> 2 | Heuristic -> 1 | Unknown -> 0
+let weakest a b = if rank a <= rank b then a else b
+
+(* ----- reuse-distance buckets (Figure 4's x-axis) ----- *)
+
+(* Kept structurally identical to [Analysis.Reuse_distance] (passes
+   sits below analysis in the dependency order, so the labels are
+   duplicated; the calibration test pins them against each other). *)
+let bucket_labels = [ "0"; "1-2"; "3-8"; "9-32"; "33-128"; "129-512"; ">512"; "inf" ]
+
+let bucket_of_distance d =
+  if d <= 0 then "0"
+  else if d <= 2 then "1-2"
+  else if d <= 8 then "3-8"
+  else if d <= 32 then "9-32"
+  else if d <= 128 then "33-128"
+  else if d <= 512 then "129-512"
+  else ">512"
+
+(* ----- results ----- *)
+
+type site = {
+  site_loc : Bitc.Loc.t;
+  site_func : string;
+  site_kind : string; (* "load" | "store" | "atomic" *)
+  pattern : string; (* recovered byte-offset expression, or "unknown" *)
+  lines : float; (* predicted unique cache lines per warp access *)
+  lines_confidence : confidence;
+  weight : float; (* estimated executions per thread *)
+}
+
+type loop_bound = {
+  loop_func : string;
+  loop_header : string; (* header block name *)
+  trips : float;
+  trips_confidence : confidence;
+}
+
+type t = {
+  block : int * int;
+  line_size : int;
+  sites : site list; (* global-space memory sites, program order *)
+  degree : float; (* predicted memory-divergence degree *)
+  degree_confidence : confidence;
+  branch_percent : float; (* predicted divergent dynamic blocks, % *)
+  branch_confidence : confidence;
+  reuse_histogram : (string * float) list; (* bucket label -> fraction *)
+  no_reuse_fraction : float;
+  reuse_confidence : confidence;
+  loop_bounds : loop_bound list;
+}
+
+(* Trip count assumed for loops whose bound the IR leaves symbolic (a
+   kernel parameter, a loaded value): the geometric middle of the
+   registry's real bounds. *)
+let default_trips = 64.
+
+(* Fraction of warp-level block executions assumed divergent inside the
+   influence region of a *boundary guard* (a thread-id-affine bound
+   check like [if (i < n)]): only warps straddling the boundary
+   diverge. *)
+let boundary_divergence = 0.1
+
+(* ----- per-function machinery ----- *)
+
+type alloca_info =
+  | Single of Bitc.Value.t (* stored exactly once with this value *)
+  | Induction of { init : Bitc.Value.t; step : int; header : int }
+  | Shortcircuit of { is_and : bool; lhs : Bitc.Value.t; rhs : Bitc.Value.t }
+  | Opaque
+
+type func_ctx = {
+  f : Bitc.Func.t;
+  defs : Bitc.Instr.t option array;
+  cfg : Bitc.Cfg.t;
+  loops : Bitc.Loops.loop list;
+  allocas : alloca_info array; (* by alloca register *)
+  memo : A.t option array; (* eval memo, by register *)
+  visiting : bool array; (* recursion guard through alloca contents *)
+}
+
+let build_defs (f : Bitc.Func.t) =
+  let defs = Array.make f.Bitc.Func.next_reg None in
+  Bitc.Func.iter_instrs f (fun _ i ->
+      match i.Bitc.Instr.result with
+      | Some r when r < Array.length defs -> defs.(r) <- Some i
+      | _ -> ());
+  defs
+
+(* Block index of every store instruction (used to place IV increments
+   inside loops and to recognize the short-circuit lowering shape). *)
+let block_index_of_stores (cfg : Bitc.Cfg.t) =
+  let table : (Bitc.Instr.t, int) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri
+    (fun bi (b : Bitc.Block.t) ->
+      List.iter
+        (fun (i : Bitc.Instr.t) ->
+          match i.kind with
+          | Bitc.Instr.Store _ -> Hashtbl.replace table i bi
+          | _ -> ())
+        b.Bitc.Block.instrs)
+    cfg.Bitc.Cfg.blocks;
+  table
+
+(* Classify every 1-element local alloca by its store set.  Stores
+   through GEPs/casts (or into multi-element arrays) make the alloca
+   [Opaque].  Two-store allocas are matched against the two shapes the
+   frontend emits: the loop-counter increment and the short-circuit
+   temporary of [a && b] / [a || b]. *)
+let classify_allocas (f : Bitc.Func.t) defs (cfg : Bitc.Cfg.t) loops =
+  let n = f.Bitc.Func.next_reg in
+  let info = Array.make n Opaque in
+  let stores : (int, (Bitc.Value.t * int) list) Hashtbl.t = Hashtbl.create 16 in
+  let poisoned = Array.make n false in
+  let store_blocks = block_index_of_stores cfg in
+  let scalar_alloca r =
+    match defs.(r) with
+    | Some { Bitc.Instr.kind = Bitc.Instr.Alloca (_, 1); _ } -> true
+    | _ -> false
+  in
+  Bitc.Func.iter_instrs f (fun _ i ->
+      match i.Bitc.Instr.kind with
+      | Bitc.Instr.Store { ptr = Bitc.Value.Reg r; value; _ } when scalar_alloca r
+        ->
+        let bi = Option.value (Hashtbl.find_opt store_blocks i) ~default:0 in
+        Hashtbl.replace stores r
+          ((value, bi) :: Option.value (Hashtbl.find_opt stores r) ~default:[])
+      | Bitc.Instr.Store { ptr; _ } | Bitc.Instr.Atomic_add { ptr; _ } -> (
+        (* store through a derived pointer: poison the root *)
+        match Check_static.root_reg f defs ptr with
+        | Some root when root < n -> poisoned.(root) <- true
+        | _ -> ())
+      | _ -> ());
+  (* Is [v] a register holding [load alloca_r] (directly)? *)
+  let is_self_load alloca_r v =
+    match v with
+    | Bitc.Value.Reg r -> (
+      match defs.(r) with
+      | Some { Bitc.Instr.kind = Bitc.Instr.Load (Bitc.Value.Reg p); _ } ->
+        p = alloca_r
+      | _ -> false)
+    | _ -> false
+  in
+  (* [a := a + step] inside a loop: the frontend's counter update. *)
+  let as_induction r ~init ~inc ~inc_block =
+    let step =
+      match inc with
+      | Bitc.Value.Reg vr -> (
+        match defs.(vr) with
+        | Some { Bitc.Instr.kind = Bitc.Instr.Binop (Bitc.Instr.Add, _, x, y); _ }
+          -> (
+          if is_self_load r x then
+            match y with Bitc.Value.Int c -> Some c | _ -> None
+          else if is_self_load r y then
+            match x with Bitc.Value.Int c -> Some c | _ -> None
+          else None)
+        | Some { Bitc.Instr.kind = Bitc.Instr.Binop (Bitc.Instr.Sub, _, x, y); _ }
+          -> (
+          if is_self_load r x then
+            match y with Bitc.Value.Int c -> Some (-c) | _ -> None
+          else None)
+        | _ -> None)
+      | _ -> None
+    in
+    match step with
+    | Some step when step <> 0 -> (
+      match Bitc.Loops.innermost loops inc_block with
+      | Some l -> Some (Induction { init; step; header = l.Bitc.Loops.header })
+      | None -> None)
+    | _ -> None
+  in
+  (* The [a && b] / [a || b] lowering: store lhs, cond-branch on the
+     lhs into the rhs block, which stores rhs and falls through. *)
+  let as_shortcircuit ~lhs ~lhs_block ~rhs ~rhs_block =
+    if lhs_block >= Bitc.Cfg.size cfg then None
+    else
+      match (Bitc.Cfg.block cfg lhs_block).Bitc.Block.term with
+      | Some (Bitc.Instr.Cond_br (c, t, fl)) when c = lhs ->
+        let ti = Bitc.Cfg.index_of cfg t
+        and fi = Bitc.Cfg.index_of cfg fl in
+        if ti = rhs_block then Some (Shortcircuit { is_and = true; lhs; rhs })
+        else if fi = rhs_block then
+          Some (Shortcircuit { is_and = false; lhs; rhs })
+        else None
+      | _ -> None
+  in
+  Hashtbl.iter
+    (fun r store_list ->
+      if not poisoned.(r) then
+        match List.rev store_list with
+        | [ (v, _) ] -> info.(r) <- Single v
+        | [ (a, ba); (b, bb) ] -> (
+          let attempt =
+            match as_induction r ~init:a ~inc:b ~inc_block:bb with
+            | Some x -> Some x
+            | None -> (
+              match as_induction r ~init:b ~inc:a ~inc_block:ba with
+              | Some x -> Some x
+              | None -> (
+                match
+                  as_shortcircuit ~lhs:a ~lhs_block:ba ~rhs:b ~rhs_block:bb
+                with
+                | Some x -> Some x
+                | None ->
+                  as_shortcircuit ~lhs:b ~lhs_block:bb ~rhs:a ~rhs_block:ba))
+          in
+          match attempt with Some x -> info.(r) <- x | None -> ())
+        | _ -> ())
+    stores;
+  info
+
+(* ----- the symbolic evaluator ----- *)
+
+let sym_of_special (s : Bitc.Instr.special) =
+  match s with
+  | Bitc.Instr.Tid_x -> A.Tid_x
+  | Bitc.Instr.Tid_y -> A.Tid_y
+  | Bitc.Instr.Ctaid_x -> A.Ctaid_x
+  | Bitc.Instr.Ctaid_y -> A.Ctaid_y
+  | Bitc.Instr.Ntid_x -> A.Ntid_x
+  | Bitc.Instr.Ntid_y -> A.Ntid_y
+  | Bitc.Instr.Nctaid_x -> A.Nctaid_x
+  | Bitc.Instr.Nctaid_y -> A.Nctaid_y
+  | Bitc.Instr.Warpid -> A.Warpid
+
+let rec eval ctx (v : Bitc.Value.t) : A.t =
+  match v with
+  | Bitc.Value.Int i -> A.const i
+  | Bitc.Value.Bool b -> A.const (if b then 1 else 0)
+  | Bitc.Value.Float _ | Bitc.Value.Null -> A.unknown
+  | Bitc.Value.Reg r ->
+    if r < Bitc.Func.arity ctx.f then A.sym (A.Param r)
+    else if r >= Array.length ctx.memo then A.unknown
+    else (
+      match ctx.memo.(r) with
+      | Some t -> t
+      | None ->
+        let t = eval_reg ctx r in
+        ctx.memo.(r) <- Some t;
+        t)
+
+and eval_reg ctx r =
+  match ctx.defs.(r) with
+  | None -> A.unknown
+  | Some i -> (
+    match i.Bitc.Instr.kind with
+    | Bitc.Instr.Special s -> A.sym (sym_of_special s)
+    | Bitc.Instr.Binop (op, _, a, b) -> (
+      let ea = eval ctx a and eb = eval ctx b in
+      match op with
+      | Bitc.Instr.Add -> A.add ea eb
+      | Bitc.Instr.Sub -> A.sub ea eb
+      | Bitc.Instr.Mul -> A.mul ea eb
+      | Bitc.Instr.Shl -> (
+        match A.to_const eb with
+        | Some c when c >= 0 && c < 31 -> A.mul_const (1 lsl c) ea
+        | _ -> A.unknown)
+      | Bitc.Instr.Div -> (
+        match A.to_const ea, A.to_const eb with
+        | Some x, Some y when y <> 0 -> A.const (x / y)
+        | _ -> A.unknown)
+      | Bitc.Instr.Rem -> (
+        match A.to_const ea, A.to_const eb with
+        | Some x, Some y when y <> 0 -> A.const (x mod y)
+        | _ -> A.unknown)
+      | _ -> A.unknown)
+    | Bitc.Instr.Unop (Bitc.Instr.Neg, a) -> A.neg (eval ctx a)
+    | Bitc.Instr.Load (Bitc.Value.Reg p) when p < Array.length ctx.allocas -> (
+      match ctx.allocas.(p) with
+      | Single v ->
+        if ctx.visiting.(p) then A.unknown
+        else begin
+          ctx.visiting.(p) <- true;
+          let t = eval ctx v in
+          ctx.visiting.(p) <- false;
+          t
+        end
+      | Induction { init; step; header } ->
+        if ctx.visiting.(p) then A.unknown
+        else begin
+          ctx.visiting.(p) <- true;
+          let base = eval ctx init in
+          ctx.visiting.(p) <- false;
+          A.add base (A.mul_const step (A.sym (A.Loop header)))
+        end
+      | Shortcircuit _ | Opaque -> A.unknown)
+    | _ -> A.unknown)
+
+(* ----- condition analysis (guard probabilities) ----- *)
+
+(* [cond_info ctx depth v] estimates (probability the condition holds,
+   is it a recovered bounds check).  A bounds check is a comparison
+   whose two sides are both affine-recovered — the shape of an
+   [if (i < n)] launch guard: it only splits the lanes of warps at the
+   boundary, unlike a data-dependent test. *)
+let rec cond_info ctx depth (v : Bitc.Value.t) : float * bool =
+  if depth > 4 then (0.5, false)
+  else
+    match v with
+    | Bitc.Value.Bool b -> ((if b then 1. else 0.), true)
+    | Bitc.Value.Reg c -> (
+      match ctx.defs.(c) with
+      | Some { Bitc.Instr.kind = Bitc.Instr.Cmp (op, _, a, b); _ } -> (
+        let ea = eval ctx a and eb = eval ctx b in
+        let known = A.is_known ea && A.is_known eb in
+        let lane =
+          A.mentions A.lane_varying_sym ea || A.mentions A.lane_varying_sym eb
+        in
+        match op with
+        | Bitc.Instr.Eq when known && lane -> (1. /. 32., true)
+        | Bitc.Instr.Ne when known && lane -> (31. /. 32., true)
+        | (Bitc.Instr.Lt | Bitc.Instr.Le | Bitc.Instr.Gt | Bitc.Instr.Ge)
+          when known && lane ->
+          (0.9, true) (* launch guard: the in-bounds side dominates *)
+        | _ -> (0.5, known))
+      | Some { Bitc.Instr.kind = Bitc.Instr.Unop (Bitc.Instr.Not, x); _ } ->
+        let p, bounds = cond_info ctx (depth + 1) x in
+        (1. -. p, bounds)
+      | Some { Bitc.Instr.kind = Bitc.Instr.Load (Bitc.Value.Reg p); _ }
+        when p < Array.length ctx.allocas -> (
+        match ctx.allocas.(p) with
+        | Shortcircuit { is_and; lhs; rhs } ->
+          let pl, bl = cond_info ctx (depth + 1) lhs in
+          let pr, br = cond_info ctx (depth + 1) rhs in
+          if is_and then (pl *. pr, bl && br)
+          else (1. -. ((1. -. pl) *. (1. -. pr)), bl && br)
+        | Single v when not ctx.visiting.(p) ->
+          ctx.visiting.(p) <- true;
+          let r = cond_info ctx (depth + 1) v in
+          ctx.visiting.(p) <- false;
+          r
+        | _ -> (0.5, false))
+      | _ -> (0.5, false))
+    | _ -> (0.5, false)
+
+(* ----- pointer resolution ----- *)
+
+(* Resolve a pointer value to (root, byte-offset polynomial).  The root
+   is either a pointer-typed parameter register, an alloca register, or
+   unknown.  Derived pointers spilled into a scalar alloca (the -O0
+   calling convention copies every parameter into one) are followed. *)
+type root = Root_param of int | Root_alloca of int | Root_unknown
+
+let rec resolve_ptr ctx (v : Bitc.Value.t) : root * A.t =
+  match v with
+  | Bitc.Value.Reg r when r < Bitc.Func.arity ctx.f -> (Root_param r, A.zero)
+  | Bitc.Value.Reg r -> (
+    match ctx.defs.(r) with
+    | Some { Bitc.Instr.kind = Bitc.Instr.Gep { base; index; elem }; _ } ->
+      let root, off = resolve_ptr ctx base in
+      let width = Bitc.Types.size_of elem in
+      (root, A.add off (A.mul_const width (eval ctx index)))
+    | Some { Bitc.Instr.kind = Bitc.Instr.Ptr_cast p; _ } -> resolve_ptr ctx p
+    | Some { Bitc.Instr.kind = Bitc.Instr.Alloca _; _ }
+    | Some { Bitc.Instr.kind = Bitc.Instr.Shared_alloca _; _ } ->
+      (Root_alloca r, A.zero)
+    | Some { Bitc.Instr.kind = Bitc.Instr.Load (Bitc.Value.Reg p); _ }
+      when p < Array.length ctx.allocas -> (
+      match ctx.allocas.(p) with
+      | Single stored when not ctx.visiting.(p) ->
+        ctx.visiting.(p) <- true;
+        let res = resolve_ptr ctx stored in
+        ctx.visiting.(p) <- false;
+        res
+      | _ -> (Root_unknown, A.unknown))
+    | _ -> (Root_unknown, A.unknown))
+  | _ -> (Root_unknown, A.unknown)
+
+(* ----- trip counts ----- *)
+
+(* Estimated trip count of a loop from the compare that guards its
+   exit edge: a block in the loop ends in [Cond_br cond t f] with
+   exactly one successor outside the loop, and [cond] compares two
+   polynomials mentioning the loop's own induction symbol linearly.
+   Solving [init + step*k < bound] for the iteration count is exact
+   when [bound - init] is constant; a symbolic-but-affine bound gets
+   the default with [Heuristic] confidence. *)
+let loop_trips ctx (l : Bitc.Loops.loop) =
+  let h = l.Bitc.Loops.header in
+  let n = Bitc.Cfg.size ctx.cfg in
+  let exit_tests =
+    List.filter
+      (fun bi ->
+        bi < n && l.Bitc.Loops.body.(bi)
+        &&
+        match (Bitc.Cfg.block ctx.cfg bi).Bitc.Block.term with
+        | Some (Bitc.Instr.Cond_br _) ->
+          List.exists
+            (fun s -> not l.Bitc.Loops.body.(s))
+            ctx.cfg.Bitc.Cfg.succ.(bi)
+        | _ -> false)
+      (List.init n Fun.id)
+  in
+  let solve cond_reg ~true_in_loop =
+    match ctx.defs.(cond_reg) with
+    | Some { Bitc.Instr.kind = Bitc.Instr.Cmp (op, _, a, b); _ } -> (
+      let ea = eval ctx a and eb = eval ctx b in
+      (* normalize to "continue while lhs < rhs" *)
+      let continue_op =
+        if true_in_loop then op
+        else
+          match op with
+          | Bitc.Instr.Lt -> Bitc.Instr.Ge
+          | Bitc.Instr.Le -> Bitc.Instr.Gt
+          | Bitc.Instr.Gt -> Bitc.Instr.Le
+          | Bitc.Instr.Ge -> Bitc.Instr.Lt
+          | Bitc.Instr.Eq -> Bitc.Instr.Ne
+          | Bitc.Instr.Ne -> Bitc.Instr.Eq
+      in
+      let lt lhs rhs extra =
+        (* iterations satisfy lhs < rhs + extra *)
+        let diff = A.sub (A.add rhs (A.const extra)) lhs in
+        let iv_coeff = A.coeff_of diff (A.Loop h) in
+        if iv_coeff >= 0 then None (* not decreasing towards exit *)
+        else
+          let rest = A.without_sym diff (A.Loop h) in
+          if A.mentions_loop rest then None
+          else
+            match A.to_const rest with
+            | Some c ->
+              let steps =
+                (* largest k with c + iv_coeff*k > 0 *)
+                if c <= 0 then 0 else (c + -iv_coeff - 1) / -iv_coeff
+              in
+              Some (float_of_int steps, Exact)
+            | None ->
+              if A.is_known rest then Some (default_trips, Heuristic) else None
+      in
+      match continue_op with
+      | Bitc.Instr.Lt -> lt ea eb 0
+      | Bitc.Instr.Le -> lt ea eb 1
+      | Bitc.Instr.Gt -> lt eb ea 0
+      | Bitc.Instr.Ge -> lt eb ea 1
+      | Bitc.Instr.Ne | Bitc.Instr.Eq -> None)
+    | _ -> None
+  in
+  let result =
+    List.find_map
+      (fun bi ->
+        match (Bitc.Cfg.block ctx.cfg bi).Bitc.Block.term with
+        | Some (Bitc.Instr.Cond_br (Bitc.Value.Reg c, t, f)) ->
+          let ti = Bitc.Cfg.index_of ctx.cfg t
+          and fi = Bitc.Cfg.index_of ctx.cfg f in
+          let true_in_loop = ti < n && l.Bitc.Loops.body.(ti) in
+          let false_in_loop = fi < n && l.Bitc.Loops.body.(fi) in
+          if true_in_loop = false_in_loop then None else solve c ~true_in_loop
+        | _ -> None)
+      exit_tests
+  in
+  match result with
+  | Some (trips, conf) -> (Float.max 0. trips, conf)
+  | None -> (default_trips, Unknown)
+
+(* ----- per-block execution weights ----- *)
+
+(* Expected executions of each block per thread: an acyclic propagation
+   over the CFG with back edges removed gives per-entry probabilities;
+   multiplying by the trip counts of the enclosing loops turns them
+   into counts.  Loop-exit tests pass their full weight to both sides
+   (the trip-count factor accounts for iteration, the exit side
+   continues the straight-line flow); other conditions split by
+   {!cond_info}'s probability. *)
+let block_weights ctx trips_of =
+  let n = Bitc.Cfg.size ctx.cfg in
+  let prob = Array.make n 0. in
+  if n > 0 then prob.(0) <- 1.;
+  let order = Bitc.Cfg.reverse_postorder ctx.cfg in
+  let edge_probs bi =
+    match (Bitc.Cfg.block ctx.cfg bi).Bitc.Block.term with
+    | Some (Bitc.Instr.Br _) -> [ (List.hd ctx.cfg.Bitc.Cfg.succ.(bi), 1.0) ]
+    | Some (Bitc.Instr.Cond_br (cond, t, f)) ->
+      let ti = Bitc.Cfg.index_of ctx.cfg t
+      and fi = Bitc.Cfg.index_of ctx.cfg f in
+      let in_loop i =
+        List.exists
+          (fun (l : Bitc.Loops.loop) -> i < Array.length l.body && l.body.(i))
+          (Bitc.Loops.containing ctx.loops bi)
+      in
+      let loop_exit =
+        Bitc.Loops.containing ctx.loops bi <> [] && in_loop ti <> in_loop fi
+      in
+      if loop_exit then [ (ti, 1.0); (fi, 1.0) ]
+      else
+        let p_then = fst (cond_info ctx 0 cond) in
+        [ (ti, p_then); (fi, 1. -. p_then) ]
+    | _ -> []
+  in
+  Array.iter
+    (fun bi ->
+      if prob.(bi) > 0. then
+        List.iter
+          (fun (s, p) ->
+            if not (Bitc.Loops.is_back_edge ctx.loops ~u:bi ~v:s) then
+              prob.(s) <- prob.(s) +. (prob.(bi) *. p))
+          (edge_probs bi))
+    order;
+  let weight = Array.make n 0. in
+  for bi = 0 to n - 1 do
+    let mult =
+      List.fold_left
+        (fun acc (l : Bitc.Loops.loop) -> acc *. fst (trips_of l))
+        1.
+        (Bitc.Loops.containing ctx.loops bi)
+    in
+    weight.(bi) <- prob.(bi) *. mult
+  done;
+  weight
+
+(* ----- per-site coalescing ----- *)
+
+(* The intra-warp shape of a byte offset, refined beyond
+   {!A.lane_pattern} with the launch geometry in hand:
+   - when [bx] is a warp multiple, [tid.y] is constant within a warp
+     and drops out of the lane analysis entirely;
+   - [L_row_split]: [tid.x]'s stride is a known constant but [tid.y]'s
+     is symbolic (a row-major array with a parameter pitch) — each of
+     the warp's rows coalesces by [cx], and the rows are assumed to
+     land on disjoint lines (any realistic pitch exceeds a line). *)
+type lane_class =
+  | L_uniform
+  | L_strided of { cx : int; cy : int }
+  | L_row_split of { cx : int }
+  | L_symbolic
+
+let classify_lane ~tid_y_uniform (off : A.t) =
+  match off with
+  | A.Unknown -> L_symbolic
+  | A.Poly monos ->
+    let x_mixed =
+      List.exists
+        (fun (m : A.mono) -> List.mem A.Tid_x m.A.syms && m.A.syms <> [ A.Tid_x ])
+        monos
+    in
+    if x_mixed then L_symbolic
+    else
+      let y_mixed =
+        (not tid_y_uniform)
+        && List.exists
+             (fun (m : A.mono) ->
+               List.mem A.Tid_y m.A.syms && m.A.syms <> [ A.Tid_y ])
+             monos
+      in
+      let cx = A.coeff_of off A.Tid_x in
+      let cy = if tid_y_uniform then 0 else A.coeff_of off A.Tid_y in
+      if y_mixed then L_row_split { cx }
+      else if cx = 0 && cy = 0 then L_uniform
+      else L_strided { cx; cy }
+
+(* Unique cache lines (and distinct elements) the warp's lanes touch
+   for a byte offset [cx*tid.x + cy*tid.y + uniform], assuming a
+   line-aligned base and a full warp laid out row-major over a
+   [bx * by] block. *)
+let enumerate_strided ~bx ~by ~warp_size ~line_size ~cx ~cy =
+  let lanes = min warp_size (max 1 (bx * max 1 by)) in
+  let lines = Hashtbl.create 64 and elems = Hashtbl.create 64 in
+  for l = 0 to lanes - 1 do
+    let tx = l mod bx and ty = l / bx in
+    let off = (cx * tx) + (cy * ty) in
+    let line =
+      if off >= 0 then off / line_size else ((off + 1) / line_size) - 1
+    in
+    Hashtbl.replace lines line ();
+    Hashtbl.replace elems off ()
+  done;
+  (Hashtbl.length lines, Hashtbl.length elems)
+
+type site_model = {
+  sm_site : site;
+  sm_block : int; (* CFG block index *)
+  sm_root : root;
+  sm_offset : A.t; (* byte offset with ntid substituted *)
+  sm_is_load : bool;
+  sm_is_store : bool;
+  sm_lane : lane_class;
+  sm_elems : int; (* distinct elements per warp access (>= 1) *)
+}
+
+(* ----- the estimator ----- *)
+
+type acc = {
+  mutable models : site_model list; (* reversed *)
+  mutable bounds : loop_bound list; (* reversed *)
+  mutable branch_num : float;
+  mutable branch_den : float;
+  mutable branch_conf : confidence;
+  mutable reuse_conf : confidence;
+  mutable samples : float;
+  hist : (string, float) Hashtbl.t;
+}
+
+let run ~block:(bx, by) ?(warp_size = 32) ~line_size (m : Bitc.Irmod.t) =
+  let bx = max 1 bx and by = max 1 by in
+  let warps_per_cta = max 1 (bx * by / max 1 warp_size) in
+  let tid_y_uniform = bx mod warp_size = 0 in
+  let acc =
+    {
+      models = [];
+      bounds = [];
+      branch_num = 0.;
+      branch_den = 0.;
+      branch_conf = Exact;
+      reuse_conf = Exact;
+      samples = 0.;
+      hist = Hashtbl.create 8;
+    }
+  in
+  let bump label frac =
+    Hashtbl.replace acc.hist label
+      (frac +. Option.value (Hashtbl.find_opt acc.hist label) ~default:0.)
+  in
+  let funcs =
+    List.filter
+      (fun (f : Bitc.Func.t) ->
+        match f.fkind with
+        | Bitc.Func.Kernel | Bitc.Func.Device -> true
+        | Bitc.Func.Host -> false)
+      m.Bitc.Irmod.funcs
+  in
+  List.iter
+    (fun (f : Bitc.Func.t) ->
+      let defs = build_defs f in
+      let cfg = Bitc.Cfg.build f in
+      let loops = Bitc.Loops.find cfg in
+      let allocas = classify_allocas f defs cfg loops in
+      let ctx =
+        {
+          f;
+          defs;
+          cfg;
+          loops;
+          allocas;
+          memo = Array.make f.Bitc.Func.next_reg None;
+          visiting = Array.make f.Bitc.Func.next_reg false;
+        }
+      in
+      let trips_table = Hashtbl.create 8 in
+      let trips_of (l : Bitc.Loops.loop) =
+        match Hashtbl.find_opt trips_table l.Bitc.Loops.header with
+        | Some t -> t
+        | None ->
+          let t = loop_trips ctx l in
+          Hashtbl.replace trips_table l.Bitc.Loops.header t;
+          t
+      in
+      List.iter
+        (fun (l : Bitc.Loops.loop) ->
+          let trips, conf = trips_of l in
+          acc.bounds <-
+            {
+              loop_func = f.Bitc.Func.name;
+              loop_header =
+                (Bitc.Cfg.block cfg l.Bitc.Loops.header).Bitc.Block.name;
+              trips;
+              trips_confidence = conf;
+            }
+            :: acc.bounds)
+        loops;
+      let weights = block_weights ctx trips_of in
+      let tainted = Check_static.divergent_regs f in
+      (* --- memory sites --- *)
+      let subst_block t = A.subst A.Ntid_x bx (A.subst A.Ntid_y by t) in
+      let f_models = ref [] in
+      Array.iteri
+        (fun bi (b : Bitc.Block.t) ->
+          List.iter
+            (fun (i : Bitc.Instr.t) ->
+              let classify ptr kind ~is_load ~is_store =
+                match Bitc.Func.value_ty f ptr with
+                | Bitc.Types.Ptr (_, Bitc.Types.Global) ->
+                  let root, off = resolve_ptr ctx ptr in
+                  let off = subst_block off in
+                  let lane = classify_lane ~tid_y_uniform off in
+                  let divergent_addr =
+                    match ptr with
+                    | Bitc.Value.Reg r -> r < Array.length tainted && tainted.(r)
+                    | _ -> false
+                  in
+                  let lines, conf, elems =
+                    match lane with
+                    | L_symbolic when not (A.is_known off) ->
+                      (* nothing recovered: coarse prior keyed on the
+                         taint analysis *)
+                      if divergent_addr then
+                        (float_of_int warp_size /. 2., Unknown, warp_size / 2)
+                      else (1., Heuristic, 1)
+                    | L_symbolic ->
+                      (* affine but with a symbolic lane stride (e.g.
+                         [tid.x * n]): any realistic row length exceeds
+                         a cache line, so predict full divergence *)
+                      (float_of_int warp_size, Heuristic, warp_size)
+                    | L_uniform -> (1., Exact, 1)
+                    | L_row_split { cx } ->
+                      (* [rows] distinct tid.y values per warp, each row
+                         coalescing by the constant tid.x stride *)
+                      let lanes = min warp_size (max 1 (bx * max 1 by)) in
+                      let rows = (lanes + bx - 1) / bx in
+                      let row_lines, row_elems =
+                        enumerate_strided ~bx ~by:1 ~warp_size:(min bx lanes)
+                          ~line_size ~cx ~cy:0
+                      in
+                      ( float_of_int (rows * row_lines),
+                        Heuristic,
+                        rows * row_elems )
+                    | L_strided { cx; cy } ->
+                      let l, e =
+                        enumerate_strided ~bx ~by ~warp_size ~line_size ~cx ~cy
+                      in
+                      (float_of_int l, Affine, e)
+                  in
+                  let weight =
+                    if bi < Array.length weights then weights.(bi) else 1.
+                  in
+                  let site =
+                    {
+                      site_loc = i.Bitc.Instr.loc;
+                      site_func = f.Bitc.Func.name;
+                      site_kind = kind;
+                      pattern = A.to_string off;
+                      lines;
+                      lines_confidence = conf;
+                      weight;
+                    }
+                  in
+                  f_models :=
+                    {
+                      sm_site = site;
+                      sm_block = bi;
+                      sm_root = root;
+                      sm_offset = off;
+                      sm_is_load = is_load;
+                      sm_is_store = is_store;
+                      sm_lane = lane;
+                      sm_elems = max 1 elems;
+                    }
+                    :: !f_models
+                | _ -> ()
+              in
+              match i.Bitc.Instr.kind with
+              | Bitc.Instr.Load ptr ->
+                classify ptr "load" ~is_load:true ~is_store:false
+              | Bitc.Instr.Store { ptr; _ } ->
+                classify ptr "store" ~is_load:false ~is_store:true
+              | Bitc.Instr.Atomic_add { ptr; _ } ->
+                classify ptr "atomic" ~is_load:true ~is_store:true
+              | _ -> ())
+            b.Bitc.Block.instrs)
+        cfg.Bitc.Cfg.blocks;
+      let f_models = List.rev !f_models in
+      (* --- branch divergence --- *)
+      let n = Bitc.Cfg.size cfg in
+      let ipdom = lazy (Bitc.Cfg.post_dominators cfg) in
+      let divergent_frac = Array.make n 0. in
+      Array.iteri
+        (fun bi (b : Bitc.Block.t) ->
+          match b.Bitc.Block.term with
+          | Some (Bitc.Instr.Cond_br ((Bitc.Value.Reg c as cond), _, _))
+            when c < Array.length tainted && tainted.(c) ->
+            let _, bounds = cond_info ctx 0 cond in
+            let frac = if bounds then boundary_divergence else 0.5 in
+            if acc.branch_conf <> Unknown then acc.branch_conf <- Heuristic;
+            let region =
+              Check_static.influence_region cfg bi ~stop:(Lazy.force ipdom).(bi)
+            in
+            for s = 0 to n - 1 do
+              if region.(s) then
+                divergent_frac.(s) <- Float.max divergent_frac.(s) frac
+            done
+          | _ -> ())
+        cfg.Bitc.Cfg.blocks;
+      for bi = 0 to n - 1 do
+        acc.branch_den <- acc.branch_den +. weights.(bi);
+        acc.branch_num <- acc.branch_num +. (weights.(bi) *. divergent_frac.(bi))
+      done;
+      (* --- reuse-distance samples --- *)
+      (* One sample per dynamic load, resolved at the element's next
+         access, exactly like the dynamic analysis.  Atomics produce no
+         samples.  The per-site mass is its execution weight. *)
+      (* Distinct elements the CTA's warps touch per iteration of a
+         loop body: the stack distance a loop-invariant reload sees. *)
+      let loop_footprint body =
+        let per_warp =
+          List.fold_left
+            (fun a sm ->
+              if sm.sm_block < Array.length body && body.(sm.sm_block) then
+                a + sm.sm_elems
+              else a)
+            0 f_models
+        in
+        per_warp * warps_per_cta
+      in
+      (* A load whose element is also stored through an equal offset
+         (a read-modify-write accumulator) resolves as write-evicted:
+         the element's next access is the store, bucket "inf". *)
+      let killed sm =
+        A.is_known sm.sm_offset
+        && List.exists
+             (fun other ->
+               other.sm_is_store
+               && other.sm_root = sm.sm_root
+               && A.equal other.sm_offset sm.sm_offset)
+             f_models
+      in
+      List.iter
+        (fun sm ->
+          if sm.sm_is_load && not sm.sm_is_store then begin
+            let samples = sm.sm_site.weight in
+            if samples > 0. then begin
+              acc.samples <- acc.samples +. samples;
+              (* intra-warp: a broadcast's lanes reload one element, so
+                 all but one lane's samples land at distance 0 *)
+              let broadcast_frac =
+                match sm.sm_lane with
+                | L_uniform ->
+                  float_of_int (warp_size - 1) /. float_of_int warp_size
+                | _ -> 0.
+              in
+              if broadcast_frac > 0. then begin
+                acc.reuse_conf <- weakest acc.reuse_conf Affine;
+                bump "0" (samples *. broadcast_frac)
+              end;
+              let rest = samples *. (1. -. broadcast_frac) in
+              (* cross-iteration behaviour of the remaining samples *)
+              if not (A.is_known sm.sm_offset) then begin
+                acc.reuse_conf <- weakest acc.reuse_conf Unknown;
+                bump "inf" rest
+              end
+              else
+                match Bitc.Loops.innermost loops sm.sm_block with
+                | None ->
+                  (* executed once: the element is never re-accessed *)
+                  acc.reuse_conf <- weakest acc.reuse_conf Affine;
+                  bump "inf" rest
+                | Some l ->
+                  if killed sm then begin
+                    (* the next access is the store: write-evicted *)
+                    acc.reuse_conf <- weakest acc.reuse_conf Affine;
+                    bump "inf" rest
+                  end
+                  else if A.mentions_loop sm.sm_offset then begin
+                    (* streaming: fresh elements every iteration *)
+                    acc.reuse_conf <- weakest acc.reuse_conf Affine;
+                    bump "inf" rest
+                  end
+                  else begin
+                    (* loop-invariant reload: re-accessed next iteration
+                       at the body's footprint distance *)
+                    let d = loop_footprint l.Bitc.Loops.body in
+                    let trips, _ = trips_of l in
+                    let t = Float.max 1. trips in
+                    let reused = (t -. 1.) /. t in
+                    acc.reuse_conf <- weakest acc.reuse_conf Heuristic;
+                    bump (bucket_of_distance d) (rest *. reused);
+                    bump "inf" (rest *. (1. -. reused))
+                  end
+            end
+          end)
+        f_models;
+      acc.models <- List.rev_append f_models acc.models)
+    funcs;
+  let models = List.rev acc.models in
+  (* --- memory-divergence degree: execution-weighted mean --- *)
+  let degree, degree_conf =
+    let num, den, conf =
+      List.fold_left
+        (fun (num, den, conf) sm ->
+          let w = sm.sm_site.weight in
+          ( num +. (sm.sm_site.lines *. w),
+            den +. w,
+            if w > 0. then weakest conf sm.sm_site.lines_confidence else conf ))
+        (0., 0., Exact) models
+    in
+    if den = 0. then (0., Exact) else (num /. den, conf)
+  in
+  let reuse_histogram =
+    List.map
+      (fun label ->
+        let v = Option.value (Hashtbl.find_opt acc.hist label) ~default:0. in
+        (label, if acc.samples = 0. then 0. else v /. acc.samples))
+      bucket_labels
+  in
+  let no_reuse_fraction =
+    match List.assoc_opt "inf" reuse_histogram with Some fr -> fr | None -> 0.
+  in
+  let branch_percent =
+    if acc.branch_den = 0. then 0. else 100. *. acc.branch_num /. acc.branch_den
+  in
+  {
+    block = (bx, by);
+    line_size;
+    sites = List.map (fun sm -> sm.sm_site) models;
+    degree;
+    degree_confidence = degree_conf;
+    branch_percent;
+    branch_confidence = (if acc.branch_num = 0. then Exact else acc.branch_conf);
+    reuse_histogram;
+    no_reuse_fraction;
+    reuse_confidence = (if acc.samples = 0. then Exact else acc.reuse_conf);
+    loop_bounds = List.rev acc.bounds;
+  }

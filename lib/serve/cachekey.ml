@@ -19,12 +19,28 @@
      key identifies the *content* profiled, not just its label;
    - [Advisor.result_key] sorts the field list, so key construction
      is independent of request-field order by construction;
+   - the answer tier is part of the key: a profile request is keyed as
+     op "profile" with an explicit tier field ("exact" by default,
+     "static" for [profile_fast] / ["tier":"static"]), so a cached
+     static estimate can never answer an exact profile request — nor
+     the reverse — while [profile_fast] and its spelled-out form share
+     one entry;
    - fields that cannot change the result bytes are excluded:
      [id] (echoed around the cached payload), [timeout_ms] (a hit is
      faster than any deadline) and [domains] (bypass results are
      documented domain-count-independent). *)
 
-let cacheable_ops = [ "profile"; "check"; "bypass" ]
+let cacheable_ops = [ "profile"; "profile_fast"; "check"; "bypass" ]
+
+(* Canonical (op-for-key, extra fields) of a request: the two spellings
+   of a static profile collapse to one identity, and the tier tag keeps
+   static and exact results apart. *)
+let canonical_op (r : Protocol.request) =
+  match r.op with
+  | "profile" | "profile_fast" ->
+    let tier = if Router.is_static r then "static" else "exact" in
+    ("profile", [ ("tier", tier) ])
+  | op -> (op, [])
 
 (* [None] = this request must not be served from (or stored into) the
    cache.  Unresolvable app/arch names also return [None]: validation
@@ -42,9 +58,10 @@ let of_request (r : Protocol.request) : string option =
         let scale =
           Option.value r.scale ~default:w.Workloads.Common.default_scale
         in
+        let op, extra = canonical_op r in
         Some
-          (Advisor.result_key ~op:r.op ~app:w.Workloads.Common.name
-             ~arch_name:arch.Gpusim.Arch.short_name ~scale
+          (Advisor.result_key ~op ~app:w.Workloads.Common.name
+             ~arch_name:arch.Gpusim.Arch.short_name ~scale ~extra
              ~source:w.Workloads.Common.source ())
       | _ -> None)
 

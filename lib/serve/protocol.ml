@@ -30,6 +30,7 @@ type request = {
   timeout_ms : int option; (* overrides the server default *)
   domains : int option; (* fan-out inside one request (bypass) *)
   instrument : string option; (* compile op: none|profile|check|all *)
+  tier : string option; (* profile op: exact|static answer tier *)
   out : string option; (* trace op: Chrome-trace output path *)
   ms : int option; (* sleep op *)
 }
@@ -89,6 +90,7 @@ let parse_request line : (request, Json.t * string * string) result =
       let* timeout_ms = int_field obj "timeout_ms" in
       let* domains = int_field obj "domains" in
       let* instrument = str_field obj "instrument" in
+      let* tier = str_field obj "tier" in
       let* out = str_field obj "out" in
       let* ms = int_field obj "ms" in
       Ok
@@ -101,6 +103,7 @@ let parse_request line : (request, Json.t * string * string) result =
           timeout_ms;
           domains;
           instrument;
+          tier;
           out;
           ms;
         }

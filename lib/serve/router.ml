@@ -11,10 +11,20 @@ module Json = Analysis.Json
 type outcome = (Json.t, string * string) result (* error = (code, message) *)
 
 let known_ops =
-  [ "ping"; "list"; "metrics"; "sleep"; "compile"; "profile"; "check";
-    "bypass"; "trace" ]
+  [ "ping"; "list"; "metrics"; "sleep"; "compile"; "profile"; "profile_fast";
+    "check"; "bypass"; "trace" ]
 
-let needs_app op = List.mem op [ "compile"; "profile"; "check"; "bypass"; "trace" ]
+let needs_app op =
+  List.mem op [ "compile"; "profile"; "profile_fast"; "check"; "bypass"; "trace" ]
+
+(* Static-tier requests are answered by the IR-only estimator — no
+   simulator launch, cheap enough for the intake domain.  [profile_fast]
+   is sugar for [profile] with ["tier":"static"]. *)
+let is_static (r : Protocol.request) =
+  match r.op, r.tier with
+  | "profile_fast", _ -> true
+  | "profile", Some "static" -> true
+  | _ -> false
 
 let resolve_app (r : Protocol.request) =
   match r.app with
@@ -37,8 +47,29 @@ let resolve_arch (r : Protocol.request) =
         Printf.sprintf "unknown architecture %S (expected one of %s)" r.arch_name
           (String.concat ", " Gpusim.Arch.known_names) )
 
-(* Cheap pre-enqueue validation: op known, app/arch resolvable.  The
-   expensive work happens later on a worker domain. *)
+(* The answer tiers a request may name.  [profile] accepts both
+   ("exact" is the default); [profile_fast] is already the static tier,
+   so naming "exact" on it contradicts the op; no other op is tiered. *)
+let validate_tier (r : Protocol.request) : (unit, string * string) result =
+  match r.op, r.tier with
+  | _, None -> Ok ()
+  | "profile", Some ("exact" | "static") -> Ok ()
+  | "profile", Some other ->
+    Error
+      ( "bad_request",
+        Printf.sprintf "field \"tier\" must be exact or static (got %S)" other )
+  | "profile_fast", Some "static" -> Ok ()
+  | "profile_fast", Some other ->
+    Error
+      ( "bad_request",
+        Printf.sprintf "op \"profile_fast\" is the static tier (got tier %S)"
+          other )
+  | op, Some _ ->
+    Error
+      ("bad_request", Printf.sprintf "op %S does not take a \"tier\" field" op)
+
+(* Cheap pre-enqueue validation: op known, tier sensible, app/arch
+   resolvable.  The expensive work happens later on a worker domain. *)
 let validate (r : Protocol.request) : (unit, string * string) result =
   if not (List.mem r.op known_ops) then
     Error
@@ -46,12 +77,15 @@ let validate (r : Protocol.request) : (unit, string * string) result =
         Printf.sprintf "unknown op %S (expected one of %s)" r.op
           (String.concat ", " known_ops) )
   else
-    match resolve_arch r with
+    match validate_tier r with
     | Error _ as e -> e
-    | Ok _ ->
-      if needs_app r.op then
-        match resolve_app r with Error e -> Error e | Ok _ -> Ok ()
-      else Ok ()
+    | Ok () -> (
+      match resolve_arch r with
+      | Error _ as e -> e
+      | Ok _ ->
+        if needs_app r.op then
+          match resolve_app r with Error e -> Error e | Ok _ -> Ok ()
+        else Ok ())
 
 (* ----- the ops ----- *)
 
@@ -146,6 +180,15 @@ let profile (r : Protocol.request) =
        ~arch_name:arch.Gpusim.Arch.name ~line_size:arch.Gpusim.Arch.line_size
        session.Advisor.profiler)
 
+(* The static tier: an IR-only estimate with zero simulator launches.
+   Serialization-stable like every other op, so it caches the same
+   way. *)
+let profile_static (r : Protocol.request) =
+  let ( let* ) = Result.bind in
+  let* w = resolve_app r in
+  let* arch = resolve_arch r in
+  Ok (Advisor.estimate_json ~arch w)
+
 let check (r : Protocol.request) =
   let ( let* ) = Result.bind in
   let* w = resolve_app r in
@@ -196,14 +239,16 @@ let trace (r : Protocol.request) =
        @ out_field))
 
 let dispatch (r : Protocol.request) : outcome =
-  match r.op with
-  | "ping" -> ping ()
-  | "list" -> list_apps ()
-  | "metrics" -> metrics ()
-  | "sleep" -> sleep r
-  | "compile" -> compile r
-  | "profile" -> profile r
-  | "check" -> check r
-  | "bypass" -> bypass r
-  | "trace" -> trace r
-  | op -> Error ("unknown_op", Printf.sprintf "unknown op %S" op)
+  if is_static r then profile_static r
+  else
+    match r.op with
+    | "ping" -> ping ()
+    | "list" -> list_apps ()
+    | "metrics" -> metrics ()
+    | "sleep" -> sleep r
+    | "compile" -> compile r
+    | "profile" -> profile r
+    | "check" -> check r
+    | "bypass" -> bypass r
+    | "trace" -> trace r
+    | op -> Error ("unknown_op", Printf.sprintf "unknown op %S" op)

@@ -59,6 +59,14 @@ let m_overloaded = Obs.Metrics.counter "serve.requests.overloaded"
 let m_rejected = Obs.Metrics.counter "serve.requests.rejected"
 let m_connections = Obs.Metrics.counter "serve.connections"
 
+(* The static fast path: requests answered by the IR-only estimator on
+   the intake domain (hits), requests that fell back to the worker
+   queue because the estimator raised (fallbacks), and how long each
+   inline estimate took. *)
+let m_static_hits = Obs.Metrics.counter "serve.static.hits"
+let m_static_fallbacks = Obs.Metrics.counter "serve.static.fallbacks"
+let m_estimate_ms = Obs.Metrics.histogram "serve.static.estimate.ms"
+
 (* ----- connections and jobs ----- *)
 
 type conn = {
@@ -184,6 +192,37 @@ let worker_loop t =
 
 (* ----- request intake (I/O domain) ----- *)
 
+(* Hand a validated request to the worker queue (the caller has already
+   bumped [inflight]); a full or closing queue answers immediately. *)
+let enqueue t conn req cache_key =
+  let id = req.Protocol.id and op = req.Protocol.op in
+  match
+    Jobq.try_push t.queue { req; conn; enq_ns = Obs.Clock.now_ns (); cache_key }
+  with
+  | `Ok ->
+    Obs.Metrics.set_gauge m_depth (float_of_int (Jobq.length t.queue));
+    if t.inline then
+      (* no worker domains: serve the job right here, sequentially *)
+      (match Jobq.pop t.queue with
+      | Some job -> run_job t job
+      | None -> ())
+  | `Full ->
+    ignore (Atomic.fetch_and_add conn.inflight (-1));
+    Obs.Metrics.incr m_overloaded;
+    write_line conn
+      (Protocol.to_line
+         (Protocol.error_response ~id ~op ~code:"overloaded"
+            (Printf.sprintf
+               "job queue is full (%d queued); retry later or raise --queue"
+               (Jobq.capacity t.queue))))
+  | `Closed ->
+    ignore (Atomic.fetch_and_add conn.inflight (-1));
+    Obs.Metrics.incr m_rejected;
+    write_line conn
+      (Protocol.to_line
+         (Protocol.error_response ~id ~op ~code:"shutting_down"
+            "daemon is shutting down"))
+
 let handle_line t conn line =
   let line = String.trim line in
   if line <> "" then begin
@@ -213,35 +252,34 @@ let handle_line t conn line =
       | Some raw ->
         Obs.Metrics.incr m_ok;
         write_line conn (Protocol.ok_line_raw ~id ~op raw)
-      | None -> (
+      | None when Router.is_static req -> (
+        (* The static tier never touches the simulator: answer right
+           here on the intake domain, zero queue slots, zero launches.
+           If the estimator itself raises, fall back to the worker
+           queue so the request still gets a proper error envelope. *)
+        let started = Obs.Clock.now_ns () in
+        match Router.dispatch req with
+        | Ok result ->
+          let raw = Analysis.Json.to_string result in
+          (match (t.cache, cache_key) with
+          | Some cache, Some key -> Rescache.store cache key raw
+          | _ -> ());
+          Obs.Metrics.incr m_static_hits;
+          Obs.Metrics.observe m_estimate_ms
+            ((Obs.Clock.now_ns () - started) / 1_000_000);
+          Obs.Metrics.incr m_ok;
+          write_line conn (Protocol.ok_line_raw ~id ~op raw)
+        | Error (code, msg) ->
+          Obs.Metrics.incr m_failed;
+          write_line conn
+            (Protocol.to_line (Protocol.error_response ~id ~op ~code msg))
+        | exception _ ->
+          Obs.Metrics.incr m_static_fallbacks;
+          ignore (Atomic.fetch_and_add conn.inflight 1);
+          enqueue t conn req cache_key)
+      | None ->
         ignore (Atomic.fetch_and_add conn.inflight 1);
-        match
-          Jobq.try_push t.queue
-            { req; conn; enq_ns = Obs.Clock.now_ns (); cache_key }
-        with
-        | `Ok ->
-          Obs.Metrics.set_gauge m_depth (float_of_int (Jobq.length t.queue));
-          if t.inline then
-            (* no worker domains: serve the job right here, sequentially *)
-            (match Jobq.pop t.queue with
-            | Some job -> run_job t job
-            | None -> ())
-        | `Full ->
-          ignore (Atomic.fetch_and_add conn.inflight (-1));
-          Obs.Metrics.incr m_overloaded;
-          write_line conn
-            (Protocol.to_line
-               (Protocol.error_response ~id ~op ~code:"overloaded"
-                  (Printf.sprintf
-                     "job queue is full (%d queued); retry later or raise \
-                      --queue" (Jobq.capacity t.queue))))
-        | `Closed ->
-          ignore (Atomic.fetch_and_add conn.inflight (-1));
-          Obs.Metrics.incr m_rejected;
-          write_line conn
-            (Protocol.to_line
-               (Protocol.error_response ~id ~op ~code:"shutting_down"
-                  "daemon is shutting down"))))
+        enqueue t conn req cache_key)
   end
 
 let read_conn t conn =

@@ -118,6 +118,7 @@ let workload =
     source_file = "backprop.cu";
     source;
     warps_per_cta = 8;
+    block_dims = (16, 16);
     input_desc = "4096*scale input units (paper: 65536)";
     kernels = [ "bpnn_layerforward_CUDA"; "bpnn_adjust_weights_cuda" ];
     run;

@@ -129,6 +129,7 @@ let workload =
     source_file = "bfs.cu";
     source;
     warps_per_cta = 16;
+    block_dims = (512, 1);
     input_desc = "random graph, 10000*scale nodes, 6 edges/node (graph1MW_6 analog)";
     kernels = [ "Kernel"; "Kernel2" ];
     run;

@@ -71,6 +71,7 @@ let workload =
     source_file = "bicg.cu";
     source;
     warps_per_cta = 8;
+    block_dims = (256, 1);
     input_desc = "(256*scale)^2 matrix";
     kernels = [ "bicg_kernel1"; "bicg_kernel2" ];
     run;

@@ -7,6 +7,7 @@ type t = {
   source_file : string; (* e.g. "bfs.cu" *)
   source : string; (* MiniCUDA device code *)
   warps_per_cta : int; (* Table 2 *)
+  block_dims : int * int; (* (x, y) CTA shape the driver launches with *)
   input_desc : string; (* Table 2's input dataset, scaled *)
   kernels : string list;
   (* Host driver: allocate, transfer, launch; [scale] grows the input

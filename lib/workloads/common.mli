@@ -7,6 +7,9 @@ type t = {
   source_file : string;
   source : string;  (** MiniCUDA device code *)
   warps_per_cta : int;  (** Table 2 *)
+  block_dims : int * int;
+      (** (x, y) CTA shape the driver launches with — the thread-layout
+          input of the static estimator *)
   input_desc : string;
   kernels : string list;  (** kernel names, for bypass rewriting *)
   run : Hostrt.Host.t -> scale:int -> unit;

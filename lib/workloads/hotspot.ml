@@ -92,6 +92,7 @@ let workload =
     source_file = "hotspot.cu";
     source;
     warps_per_cta = 8;
+    block_dims = (16, 16);
     input_desc = "temp/power (128*scale)^2 grids, 4 iterations";
     kernels = [ "calculate_temp" ];
     run;

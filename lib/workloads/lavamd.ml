@@ -149,6 +149,7 @@ let workload =
     source_file = "lavaMD.cu";
     source;
     warps_per_cta = 4;
+    block_dims = (128, 1);
     input_desc = "-boxes1d (3*scale) (paper: 10), 100 particles/box";
     kernels = [ "kernel_gpu_cuda" ];
     run;

@@ -63,6 +63,7 @@ let workload =
     source_file = "nn.cu";
     source;
     warps_per_cta = 8;
+    block_dims = (256, 1);
     input_desc = "filelist_4 -r 5 -lat 30 -lng 90 (8192*scale records)";
     kernels = [ "euclid" ];
     run;

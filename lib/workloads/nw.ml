@@ -159,6 +159,7 @@ let workload =
     source_file = "needle.cu";
     source;
     warps_per_cta = 1;
+    block_dims = (16, 1);
     input_desc = "(256*scale)x(256*scale) alignment, penalty 10 (paper: 2048-10)";
     kernels = [ "needle_cuda_shared_1"; "needle_cuda_shared_2" ];
     run;

@@ -95,6 +95,7 @@ let hotspot_racy =
     source_file = "hotspot_racy.cu";
     source = hotspot_racy_source;
     warps_per_cta = 8;
+    block_dims = (16, 16);
     input_desc = "temp/power (32*scale)^2 grids, 1 iteration";
     kernels = [ "calculate_temp_racy" ];
     run = hotspot_racy_run;
@@ -154,6 +155,7 @@ let reduce_missing_sync =
     source_file = "reduce_missing_sync.cu";
     source = reduce_missing_sync_source;
     warps_per_cta = 8;
+    block_dims = (256, 1);
     input_desc = "1024*scale floats, 4*scale blocks";
     kernels = [ "reduce_sum" ];
     run = reduce_missing_sync_run;
@@ -206,6 +208,7 @@ let stencil_divergent_sync =
     source_file = "stencil_divergent_sync.cu";
     source = stencil_divergent_sync_source;
     warps_per_cta = 2;
+    block_dims = (64, 1);
     input_desc = "256*scale floats";
     kernels = [ "stencil_shift" ];
     run = stencil_divergent_sync_run;
@@ -261,6 +264,7 @@ let shared_oob =
     source_file = "shared_oob.cu";
     source = shared_oob_source;
     warps_per_cta = 1;
+    block_dims = (32, 1);
     input_desc = "128*scale floats";
     kernels = [ "oob_copy" ];
     run = shared_oob_run;

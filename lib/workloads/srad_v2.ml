@@ -118,6 +118,7 @@ let workload =
     source_file = "srad.cu";
     source;
     warps_per_cta = 8;
+    block_dims = (16, 16);
     input_desc = "(128*scale)^2 image, 2 iterations (paper: 2048x2048)";
     kernels = [ "srad_cuda_1"; "srad_cuda_2" ];
     run;

@@ -56,6 +56,7 @@ let workload =
     source_file = "syr2k.cu";
     source;
     warps_per_cta = 8;
+    block_dims = (32, 8);
     input_desc = "(96*scale)^2 matrices";
     kernels = [ "syr2k_kernel" ];
     run;

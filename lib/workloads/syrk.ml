@@ -53,6 +53,7 @@ let workload =
     source_file = "syrk.cu";
     source;
     warps_per_cta = 8;
+    block_dims = (32, 8);
     input_desc = "(96*scale)^2 matrices";
     kernels = [ "syrk_kernel" ];
     run;

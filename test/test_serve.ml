@@ -88,7 +88,19 @@ let test_validate () =
   check_string "missing app" "bad_request" (code {|{"op": "profile"}|});
   check_string "unknown arch" "unknown_arch"
     (code {|{"op": "profile", "app": "nn", "arch": "volta"}|});
-  check_string "app op with everything" "ok" (code {|{"op": "check", "app": "nn"}|})
+  check_string "app op with everything" "ok" (code {|{"op": "check", "app": "nn"}|});
+  check_string "profile accepts tier static" "ok"
+    (code {|{"op": "profile", "app": "nn", "tier": "static"}|});
+  check_string "profile accepts tier exact" "ok"
+    (code {|{"op": "profile", "app": "nn", "tier": "exact"}|});
+  check_string "profile_fast is an op" "ok"
+    (code {|{"op": "profile_fast", "app": "nn"}|});
+  check_string "profile_fast rejects tier exact" "bad_request"
+    (code {|{"op": "profile_fast", "app": "nn", "tier": "exact"}|});
+  check_string "unknown tier rejected" "bad_request"
+    (code {|{"op": "profile", "app": "nn", "tier": "fuzzy"}|});
+  check_string "tier on a non-tiered op rejected" "bad_request"
+    (code {|{"op": "check", "app": "nn", "tier": "static"}|})
 
 let dispatch line =
   match Protocol.parse_request line with
@@ -414,6 +426,48 @@ let test_cache_hit_byte_identical_no_launches () =
       check_int "hot response launched zero simulations" launches0
         (metric_counter "sim.launches"))
 
+(* The static tier answers from the intake domain: a [profile_fast]
+   round-trip launches zero simulations, matches the one-shot
+   estimate byte for byte, and its spelled-out twin
+   [profile + tier:static] is served from the same cache entry — while
+   an exact profile of the same app still simulates. *)
+let test_profile_fast_roundtrip_no_launches () =
+  let w = Workloads.Registry.find "nn" in
+  let arch = Option.get (Gpusim.Arch.of_name "kepler") in
+  let raw = Json.to_string (Advisor.estimate_json ~arch w) in
+  let expected ~id ~op =
+    Protocol.ok_line_raw ~id:(Json.Int id) ~op raw
+  in
+  with_server ~workers:2 ~cache:Serve.Rescache.default_config (fun path _srv ->
+      let fd = connect path in
+      let launches0 = metric_counter "sim.launches" in
+      let static0 = metric_counter "serve.static.hits" in
+      send fd {|{"id": 41, "op": "profile_fast", "app": "nn"}|};
+      let cold = List.hd (read_lines fd 1) in
+      check_string "estimate matches the one-shot encoder"
+        (expected ~id:41 ~op:"profile_fast") cold;
+      check_int "zero simulator launches" launches0
+        (metric_counter "sim.launches");
+      check_int "answered by the static path" (static0 + 1)
+        (metric_counter "serve.static.hits");
+      let hits0 = metric_counter "serve.cache.hits" in
+      send fd {|{"id": 42, "op": "profile", "app": "nn", "tier": "static"}|};
+      let hot = List.hd (read_lines fd 1) in
+      check_string "spelled-out static tier splices the same bytes"
+        (expected ~id:42 ~op:"profile") hot;
+      check_int "served from the shared cache entry" (hits0 + 1)
+        (metric_counter "serve.cache.hits");
+      check_int "still zero simulator launches" launches0
+        (metric_counter "sim.launches");
+      (* an exact profile of the same app must NOT see the static entry *)
+      send fd {|{"id": 43, "op": "profile", "app": "nn"}|};
+      let exact = List.hd (read_lines fd 1) in
+      Unix.close fd;
+      check_bool "exact profile is not the cached estimate" false
+        (String.equal exact (expected ~id:43 ~op:"profile"));
+      check_bool "exact profile simulated" true
+        (metric_counter "sim.launches" > launches0))
+
 (* Requests that spell out the defaults, reorder fields, or vary
    id/timeout share the cold request's cache entry; a different scale
    does not. *)
@@ -587,6 +641,31 @@ let test_cachekey_of_request () =
     && key {|{"op": "compile", "app": "nn"}|} = None);
   check_bool "unknown app has no key" true
     (key {|{"op": "profile", "app": "doom"}|} = None)
+
+(* Bugfix regression: the answer tier is part of the cache key, so a
+   cached static estimate can never answer an exact profile request (or
+   the reverse), while the two spellings of a static profile share one
+   entry. *)
+let test_cachekey_tier_separation () =
+  let req line =
+    match Protocol.parse_request line with
+    | Ok r -> r
+    | Error (_, c, m) -> Alcotest.failf "bad test request (%s: %s)" c m
+  in
+  let key line =
+    match Serve.Cachekey.of_request (req line) with
+    | Some k -> k
+    | None -> Alcotest.failf "expected a cache key for %s" line
+  in
+  let exact = key {|{"op": "profile", "app": "nn"}|} in
+  let exact_spelled = key {|{"op": "profile", "app": "nn", "tier": "exact"}|} in
+  let static = key {|{"op": "profile", "app": "nn", "tier": "static"}|} in
+  let fast = key {|{"op": "profile_fast", "app": "nn"}|} in
+  let fast_spelled = key {|{"op": "profile_fast", "app": "nn", "tier": "static"}|} in
+  check_bool "static tier never shares the exact entry" false (String.equal static exact);
+  check_string "tier default is exact" exact exact_spelled;
+  check_string "profile_fast is the static entry" static fast;
+  check_string "profile_fast with tier spelled out too" static fast_spelled
 
 (* Excluding one shard from the ring moves only that shard's keys. *)
 let test_chash_stability () =
@@ -999,6 +1078,8 @@ let () =
         [
           Alcotest.test_case "hot hit: byte-identical, zero launches" `Quick
             test_cache_hit_byte_identical_no_launches;
+          Alcotest.test_case "profile_fast: static tier, zero launches" `Quick
+            test_profile_fast_roundtrip_no_launches;
           Alcotest.test_case "defaults and field order share one entry" `Quick
             test_cache_defaults_and_reordering_share_entry;
           Alcotest.test_case "LRU entry and byte bounds" `Quick
@@ -1014,6 +1095,8 @@ let () =
           QCheck_alcotest.to_alcotest qcheck_canonical_source_whitespace;
           Alcotest.test_case "request canonicalization" `Quick
             test_cachekey_of_request;
+          Alcotest.test_case "answer tier separates entries" `Quick
+            test_cachekey_tier_separation;
           Alcotest.test_case "consistent hashing moves only lost keys" `Quick
             test_chash_stability;
         ] );

@@ -438,7 +438,8 @@ let serve_bench () =
   in
   let cfg =
     {
-      Serve.Server.socket_path = Some path;
+      Serve.Server.default_config with
+      socket_path = Some path;
       stdio = false;
       workers = 4;
       queue_cap = 64;
@@ -799,13 +800,66 @@ let staticfast () =
         :: !staticfast_rows)
     Workloads.Registry.all
 
+(* ----- fleet telemetry costs: snapshot, merge, exposition render ----- *)
+
+let telemetry_rows : (string * Analysis.Json.t) list ref = ref []
+
+let telemetry () =
+  section "Telemetry costs (registry snapshot, cross-shard merge, exposition)";
+  (* a registry shaped like a busy shard: per-op histograms + counters *)
+  let ops = [ "ping"; "list"; "profile"; "profile_fast"; "check"; "bypass" ] in
+  List.iter
+    (fun op ->
+      let h = Obs.Metrics.histogram (Printf.sprintf "bench.tele.op.%s.ns" op) in
+      for i = 1 to 10_000 do
+        Obs.Metrics.observe h (i * 997)
+      done;
+      Obs.Metrics.add
+        (Obs.Metrics.counter (Printf.sprintf "bench.tele.%s.count" op))
+        (op |> String.length))
+    ops;
+  let time_n n f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to n do
+      ignore (Sys.opaque_identity (f ()))
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int n *. 1e6
+  in
+  let snap_us = time_n 200 Obs.Metrics.snapshot in
+  let snap = Obs.Metrics.snapshot () in
+  Printf.printf "registry snapshot (%d instruments): %8.1f us\n"
+    (List.length snap) snap_us;
+  (* merging 8 shard snapshots, the supervisor's aggregation unit *)
+  let shards = List.init 8 (fun _ -> snap) in
+  let merge_us = time_n 100 (fun () -> Obs.Metrics.merge_snapshots shards) in
+  Printf.printf "merge of 8 shard snapshots:     %8.1f us\n" merge_us;
+  let prom_us = time_n 100 (fun () -> Obs.Metrics.to_prometheus ~snap ()) in
+  let prom_lines =
+    List.length (String.split_on_char '\n' (Obs.Metrics.to_prometheus ~snap ()))
+  in
+  Printf.printf "prometheus render (%4d lines):  %8.1f us\n" prom_lines prom_us;
+  let h =
+    match List.assoc "bench.tele.op.profile.ns" snap with
+    | Obs.Metrics.Histogram h -> h
+    | _ -> assert false
+  in
+  let pct_us =
+    time_n 10_000 (fun () -> Obs.Metrics.percentile h 0.99)
+  in
+  Printf.printf "p99 from log2 buckets:          %8.3f us\n" pct_us;
+  telemetry_rows :=
+    [ ("snapshot_us", Analysis.Json.Float snap_us);
+      ("merge8_us", Analysis.Json.Float merge_us);
+      ("prometheus_us", Analysis.Json.Float prom_us);
+      ("percentile_us", Analysis.Json.Float pct_us) ]
+
 let all_sections =
   [ ("table1", table1); ("table2", table2); ("fig4", fig4); ("fig5", fig5);
     ("table3", table3); ("fig6", fig6); ("fig7", fig7); ("fig8", fig8);
     ("fig9", fig9); ("fig10", fig10); ("vertical", vertical);
     ("ablation", ablation); ("serve", serve_bench);
     ("servefleet", serve_fleet_bench); ("staticfast", staticfast);
-    ("bech", bechamel); ("smoke", smoke) ]
+    ("telemetry", telemetry); ("bech", bechamel); ("smoke", smoke) ]
 
 let () =
   (* `--json FILE` may appear anywhere among the section names *)
@@ -885,6 +939,7 @@ let () =
            Obj (List.map (fun (n, t) -> (n, Float t)) (List.sort compare !bech_rows)));
           ("serve_fleet", Obj (List.rev !fleet_rows));
           ("staticfast", Obj (List.rev !staticfast_rows));
+          ("telemetry", Obj !telemetry_rows);
           ("compile_cache", Obj [ ("hits", Int hits); ("misses", Int misses) ]);
           ("decode_cache", Obj [ ("hits", Int dhits); ("misses", Int dmisses) ]);
           ("metrics", metrics);

@@ -423,7 +423,8 @@ let trace_cmd =
 (* ----- serve (long-lived batch-profiling daemon) ----- *)
 
 let serve_run finish socket stdio workers queue_cap timeout_ms shards no_cache
-    cache_entries cache_mb cache_dir =
+    cache_entries cache_mb cache_dir trace_dir metrics_addr access_log
+    access_log_sample =
   let cache =
     if no_cache then None
     else
@@ -443,6 +444,11 @@ let serve_run finish socket stdio workers queue_cap timeout_ms shards no_cache
       queue_cap;
       default_timeout_ms = (if timeout_ms <= 0 then None else Some timeout_ms);
       cache;
+      label = "serve";
+      trace_dir;
+      metrics_addr;
+      access_log;
+      access_log_sample;
     }
   in
   match
@@ -566,6 +572,43 @@ let serve_cmd =
                 bounds) on startup.  With $(b,--shards), each shard uses \
                 $(docv)/shard-<i>.")
   in
+  let trace_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-dir" ] ~docv:"DIR"
+          ~doc:"Write one span record per traced request phase to \
+                $(docv)/spans-<pid>.ndjson (created if missing).  Each \
+                supervisor, shard and worker appends to its own file; \
+                $(b,advisor trace-merge) $(docv) joins them into a single \
+                Chrome trace.")
+  in
+  let metrics_addr_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-addr" ] ~docv:"[HOST:]PORT"
+          ~doc:"Serve a Prometheus text exposition of the metrics registry \
+                over HTTP on $(docv) (host defaults to 127.0.0.1).  With \
+                $(b,--shards), the supervisor answers each scrape with a \
+                fresh fleet-wide aggregation.")
+  in
+  let access_log_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "access-log" ] ~docv:"PATH"
+          ~doc:"Append one NDJSON line per finished request (op, tier, cache \
+                disposition, queue wait, latency, outcome) to $(docv).  With \
+                $(b,--shards), each shard logs to $(docv).shard-<i>.")
+  in
+  let access_log_sample_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "access-log-sample" ] ~docv:"N"
+          ~doc:"Write every $(docv)-th access-log entry (1 = all); skipped \
+                entries are counted in serve.access_log.sampled_out.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Long-lived batch-profiling daemon: accepts newline-delimited JSON \
@@ -579,7 +622,107 @@ let serve_cmd =
       ret
         (const serve_run $ obs_term $ socket_arg $ stdio_flag $ workers_arg
         $ queue_arg $ timeout_arg $ shards_arg $ no_cache_flag
-        $ cache_entries_arg $ cache_mb_arg $ cache_dir_arg))
+        $ cache_entries_arg $ cache_mb_arg $ cache_dir_arg $ trace_dir_arg
+        $ metrics_addr_arg $ access_log_arg $ access_log_sample_arg))
+
+(* ----- trace-merge (join per-process span files into one Chrome trace) ----- *)
+
+let trace_merge_run dir out trace_id =
+  match Obs.Tracemerge.merge ?trace_id ~dir () with
+  | exception Sys_error msg -> `Error (false, msg)
+  | m ->
+    let out =
+      Option.value out ~default:(Filename.concat dir "trace-merged.json")
+    in
+    let oc = open_out out in
+    output_string oc m.Obs.Tracemerge.json;
+    close_out oc;
+    Printf.printf
+      "merged %d span(s) from %d file(s) across %d process group(s) into %s\n"
+      m.Obs.Tracemerge.records m.Obs.Tracemerge.files
+      (List.length m.Obs.Tracemerge.procs)
+      out;
+    if m.Obs.Tracemerge.skipped > 0 then
+      Printf.printf "skipped %d malformed or filtered line(s)\n"
+        m.Obs.Tracemerge.skipped;
+    List.iter (fun p -> Printf.printf "  process: %s\n" p)
+      m.Obs.Tracemerge.procs;
+    `Ok ()
+
+let trace_merge_cmd =
+  let dir_arg =
+    Arg.(
+      required
+      & pos 0 (some dir) None
+      & info [] ~docv:"DIR"
+          ~doc:"Span directory written by $(b,advisor serve --trace-dir).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:"Output file (default: $(i,DIR)/trace-merged.json).")
+  in
+  let id_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "id" ] ~docv:"TRACE_ID"
+          ~doc:"Keep only spans belonging to this trace id (default: all).")
+  in
+  Cmd.v
+    (Cmd.info "trace-merge"
+       ~doc:"Merge the per-process span files under a $(b,--trace-dir) \
+             directory into a single Chrome trace (chrome://tracing, \
+             ui.perfetto.dev) with one process group per supervisor, shard \
+             and worker, linked by trace id.")
+    Term.(ret (const trace_merge_run $ dir_arg $ out_arg $ id_arg))
+
+(* ----- top (live fleet dashboard) ----- *)
+
+let top_run socket interval_ms frames once =
+  let frames = if once then Some 1 else frames in
+  match Serve.Top.run ~socket_path:socket ~interval_ms ~frames with
+  | () -> `Ok ()
+  | exception Failure msg -> `Error (false, msg)
+
+let top_cmd =
+  let socket_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Unix-domain socket of the daemon or fleet supervisor to watch.")
+  in
+  let interval_arg =
+    Arg.(
+      value & opt int 1000
+      & info [ "interval-ms" ] ~docv:"MS"
+          ~doc:"Refresh interval between samples (minimum 50).")
+  in
+  let frames_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "frames" ] ~docv:"N"
+          ~doc:"Draw $(docv) frames, then exit (default: run until \
+                interrupted).")
+  in
+  let once_flag =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:"Print a single dashboard frame without clearing the screen \
+                and exit (shorthand for $(b,--frames) 1).")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Live terminal dashboard over a running serve daemon or fleet: \
+             request throughput, cache hit ratio, queue pressure, shard \
+             health counters and per-op latency percentiles with SLO burn, \
+             refreshed from the aggregated metrics registry.")
+    Term.(ret (const top_run $ socket_arg $ interval_arg $ frames_arg $ once_flag))
 
 let () =
   let info =
@@ -590,4 +733,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; profile_cmd; report_cmd; check_cmd; bypass_cmd;
-            overhead_cmd; trace_cmd; dump_ir_cmd; dump_ptx_cmd; serve_cmd ]))
+            overhead_cmd; trace_cmd; dump_ir_cmd; dump_ptx_cmd; serve_cmd;
+            trace_merge_cmd; top_cmd ]))

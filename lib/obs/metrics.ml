@@ -177,6 +177,129 @@ let snapshot () =
          (name, v))
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+(* ----- snapshot merging (fleet aggregation) ----- *)
+
+(* Log2 buckets need no per-histogram configuration, so histograms from
+   different processes merge bucket-wise; counts and sums add, the max
+   is the max of maxes.  Property-tested in test_obs.ml: merge is
+   associative and commutative, and merging equals snapshotting the
+   concatenated observations. *)
+let merge_histogram_snapshots a b =
+  let rec merge_filled xs ys =
+    match (xs, ys) with
+    | [], r | r, [] -> r
+    | (bx, cx) :: xt, (by, cy) :: yt ->
+      if bx < by then (bx, cx) :: merge_filled xt ys
+      else if by < bx then (by, cy) :: merge_filled xs yt
+      else (bx, cx + cy) :: merge_filled xt yt
+  in
+  let count = a.count + b.count in
+  let sum = a.sum + b.sum in
+  {
+    count;
+    sum;
+    max_value = max a.max_value b.max_value;
+    mean = (if count = 0 then 0. else float_of_int sum /. float_of_int count);
+    filled = merge_filled a.filled b.filled;
+  }
+
+(* Counters sum, gauges are last-write-wins (the later snapshot in
+   argument order), histograms add bucket-wise.  A name registered as
+   different kinds in different processes is a bug; the later value
+   wins rather than aborting a supervisor over one bad shard. *)
+let merge_values a b =
+  match (a, b) with
+  | Counter x, Counter y -> Counter (x + y)
+  | Histogram x, Histogram y -> Histogram (merge_histogram_snapshots x y)
+  | _, y -> y
+
+(* Merge snapshots left to right into one, sorted by name. *)
+let merge_snapshots snaps =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun snap ->
+      List.iter
+        (fun (name, v) ->
+          match Hashtbl.find_opt tbl name with
+          | None -> Hashtbl.replace tbl name v
+          | Some prev -> Hashtbl.replace tbl name (merge_values prev v))
+        snap)
+    snaps;
+  Hashtbl.fold (fun name v acc -> (name, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* Upper-bound percentile estimate from the log2 buckets: the value is
+   the inclusive upper bound of the smallest bucket whose cumulative
+   count reaches q of the total, clamped to the observed max.  Monotone
+   in q by construction (the cumulative threshold only grows), with at
+   most 2x overestimate from the bucket width. *)
+let percentile h q =
+  if h.count = 0 then 0
+  else begin
+    let q = Float.max 0. (Float.min 1. q) in
+    let need = max 1 (int_of_float (Float.ceil (q *. float_of_int h.count))) in
+    let rec find cum = function
+      | [] -> h.max_value
+      | (b, c) :: rest ->
+        let cum = cum + c in
+        if cum >= need then min (bucket_hi b) h.max_value else find cum rest
+    in
+    find 0 h.filled
+  end
+
+(* ----- Prometheus text exposition (version 0.0.4) ----- *)
+
+(* Metric names sanitized to [a-zA-Z_:][a-zA-Z0-9_:]*; our dotted names
+   become underscore-separated (serve.cache.hits -> serve_cache_hits).
+   Histograms render as cumulative le-buckets with _sum/_count; probes
+   render as gauges.  Line-by-line parseability is asserted in CI. *)
+let prometheus_name s =
+  let b = Bytes.of_string s in
+  Bytes.iteri
+    (fun i c ->
+      let ok =
+        (c >= 'a' && c <= 'z')
+        || (c >= 'A' && c <= 'Z')
+        || (c >= '0' && c <= '9' && i > 0)
+        || c = '_' || c = ':'
+      in
+      if not ok then Bytes.set b i '_')
+    b;
+  Bytes.to_string b
+
+let prometheus_float f =
+  if Float.is_nan f then "NaN"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.9g" f
+
+let to_prometheus ?snap () =
+  let snap = match snap with Some s -> s | None -> snapshot () in
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (name, v) ->
+      let n = prometheus_name name in
+      match v with
+      | Counter i ->
+        Printf.bprintf buf "# TYPE %s counter\n%s %d\n" n n i
+      | Gauge f ->
+        Printf.bprintf buf "# TYPE %s gauge\n%s %s\n" n n (prometheus_float f)
+      | Histogram h ->
+        Printf.bprintf buf "# TYPE %s histogram\n" n;
+        let cum = ref 0 in
+        List.iter
+          (fun (b, c) ->
+            cum := !cum + c;
+            (* the top bucket's bound is max_int; +Inf below covers it *)
+            if b < num_buckets - 1 then
+              Printf.bprintf buf "%s_bucket{le=\"%d\"} %d\n" n (bucket_hi b)
+                !cum)
+          h.filled;
+        Printf.bprintf buf "%s_bucket{le=\"+Inf\"} %d\n" n h.count;
+        Printf.bprintf buf "%s_sum %d\n%s_count %d\n" n h.sum n h.count)
+    snap;
+  Buffer.contents buf
+
 (* Human-readable dump for `--metrics`. *)
 let to_text () =
   let buf = Buffer.create 1024 in

@@ -71,6 +71,12 @@ let m_local = Obs.Metrics.counter "serve.fleet.answered_locally"
 let m_shard_failures = Obs.Metrics.counter "serve.fleet.shard_failures"
 let m_restarts = Obs.Metrics.counter "serve.fleet.restarts"
 
+(* Errors the supervisor manufactures for requests that were in flight
+   to a shard when it died.  Counted separately from [m_shard_failures]
+   (one shard death can synthesize many errors) so dashboards can tell
+   "a shard bounced" from "requests were hurt by it". *)
+let m_synth = Obs.Metrics.counter "serve.fleet.synthesized_errors"
+
 (* ----- state ----- *)
 
 type shard_state = Starting | Up | Draining | Dead
@@ -101,7 +107,8 @@ type upstream = {
   u_shard : int;
   ufd : Unix.file_descr;
   mutable upending : string; (* partial response line *)
-  mutable uids : (Json.t * string) list; (* (id, op) awaiting replies *)
+  (* (id, op, forward time ns, trace id) awaiting replies *)
+  mutable uids : (Json.t * string * int * string option) list;
 }
 
 type client = {
@@ -123,6 +130,9 @@ type t = {
   mutable phase :
     [ `Idle | `Drain of int | `AwaitExit of int | `AwaitUp of int ];
   mutable phase_since : float;
+  (* last cross-shard metrics merge, reused by `fleet` status so a
+     tight status-polling loop does not re-poll every shard each time *)
+  mutable merged_cache : (float * (string * Obs.Metrics.value) list) option;
 }
 
 let shard_socket base i = Printf.sprintf "%s.shard-%d" base i
@@ -152,6 +162,7 @@ let create (cfg : config) =
     rolling = [];
     phase = `Idle;
     phase_since = 0.;
+    merged_cache = None;
   }
 
 (* Signal-safe: both just flip an atomic the supervisor loop polls. *)
@@ -191,9 +202,10 @@ let reply_client client line =
 
 (* ----- shard processes ----- *)
 
-(* Every supervisor-owned fd a freshly-forked shard must not inherit. *)
+(* Every supervisor-owned fd a freshly-forked shard must not inherit.
+   [listen_fd] is the list of listening sockets (public + exposition). *)
 let inherited_fds t ~listen_fd =
-  let acc = ref [ listen_fd ] in
+  let acc = ref listen_fd in
   List.iter
     (fun c ->
       acc := c.cfd :: List.map (fun u -> u.ufd) c.ups @ !acc)
@@ -218,7 +230,16 @@ let shard_config t (s : shard) =
   { t.cfg.shard_base with
     Server.socket_path = Some s.spath;
     stdio = false;
-    cache }
+    cache;
+    (* spans and access-log lines from this shard carry its role *)
+    label = Printf.sprintf "shard-%d" s.sid;
+    (* the supervisor owns the exposition endpoint; shards must not
+       fight over the port *)
+    metrics_addr = None;
+    access_log =
+      Option.map
+        (fun p -> Printf.sprintf "%s.shard-%d" p s.sid)
+        t.cfg.shard_base.Server.access_log }
 
 let spawn t ~listen_fd (s : shard) =
   flush stdout;
@@ -228,6 +249,9 @@ let spawn t ~listen_fd (s : shard) =
     (* the child: a fresh single-domain process that simply runs an
        ordinary daemon on the shard's private socket *)
     List.iter close_quietly (inherited_fds t ~listen_fd);
+    (* drop the supervisor's span-sink channel inherited across the
+       fork; the shard's own Server.run reopens a per-pid file *)
+    Obs.Trace.close_dir_sink ();
     Sys.set_signal Sys.sighup Sys.Signal_ignore;
     let code =
       try
@@ -255,6 +279,80 @@ let spawn t ~listen_fd (s : shard) =
     s.next_probe <- Unix.gettimeofday () +. starting_probe_interval;
     Obs.Log.info "fleet" "shard %d: pid %d on %s" s.sid pid s.spath
 
+(* ----- cross-shard metrics aggregation ----- *)
+
+(* Poll one shard's typed metrics over a fresh, briefly-blocking
+   connection.  The supervisor is single-domain so the read blocks the
+   loop — bounded by a 2s receive timeout; metrics requests are rare
+   (a scrape or an explicit `metrics` op), and a dead shard fails the
+   connect immediately.  Any failure shape returns None: aggregation
+   degrades to the shards that answered. *)
+let poll_shard_metrics (s : shard) =
+  if s.pid <= 0 || s.state = Dead then None
+  else begin
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX s.spath) with
+    | exception Unix.Unix_error _ ->
+      close_quietly fd;
+      None
+    | () ->
+      Fun.protect ~finally:(fun () -> close_quietly fd) @@ fun () ->
+      (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 2.0
+       with Unix.Unix_error _ | Invalid_argument _ -> ());
+      if not (write_all fd "{\"id\":\"__metrics\",\"op\":\"metrics_raw\"}\n")
+      then None
+      else begin
+        let buf = Buffer.create 8192 in
+        let chunk = Bytes.create 65536 in
+        let rec read_line () =
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 -> None
+          | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            let s = Buffer.contents buf in
+            (match String.index_opt s '\n' with
+            | Some i -> Some (String.sub s 0 i)
+            | None -> read_line ())
+          | exception Unix.Unix_error _ -> None
+        in
+        match read_line () with
+        | None -> None
+        | Some resp -> (
+          match Obs.Jsonv.parse resp with
+          | Ok v
+            when (match Obs.Jsonv.member "ok" v with
+                 | Some (Obs.Jsonv.Bool true) -> true
+                 | _ -> false) -> (
+            match Obs.Jsonv.member "result" v with
+            | Some res -> Some (Metricsenc.of_raw res)
+            | None -> None)
+          | _ -> None)
+      end
+  end
+
+(* The fleet-wide snapshot: the supervisor's own registry (fleet.*
+   counters) merged with every reachable shard's.  Counters sum and
+   histograms add bucket-wise across processes; for gauges the last
+   shard polled wins (they describe "a current value somewhere", not a
+   fleet total). *)
+let merged_snapshot t =
+  let shard_snaps =
+    Array.to_list t.shards |> List.filter_map poll_shard_metrics
+  in
+  let snap = Obs.Metrics.merge_snapshots (Obs.Metrics.snapshot () :: shard_snaps) in
+  t.merged_cache <- Some (Unix.gettimeofday (), snap);
+  snap
+
+(* A recent merge for `fleet` status: tight status-polling loops (the
+   tests poll every 20-50ms) must not re-poll every shard each time. *)
+let merged_cache_max_age = 5.0
+
+let merged_for_status t =
+  match t.merged_cache with
+  | Some (ts, snap) when Unix.gettimeofday () -. ts < merged_cache_max_age ->
+    snap
+  | _ -> merged_snapshot t
+
 (* ----- the fleet op (answered by the supervisor itself) ----- *)
 
 let state_name = function
@@ -262,6 +360,33 @@ let state_name = function
   | Up -> "up"
   | Draining -> "draining"
   | Dead -> "dead"
+
+(* Per-op SLO status from a merged snapshot: for every op with traffic,
+   its request count (the per-op latency histogram's count), target,
+   breach count and error-budget burn. *)
+let slo_json snap =
+  Json.Obj
+    (List.filter_map
+       (fun (op, target_ms) ->
+         match List.assoc_opt ("serve.op." ^ op ^ ".ns") snap with
+         | Some (Obs.Metrics.Histogram h) when h.Obs.Metrics.count > 0 ->
+           let breaches =
+             match List.assoc_opt ("serve.slo." ^ op ^ ".breach") snap with
+             | Some (Obs.Metrics.Counter c) -> c
+             | _ -> 0
+           in
+           Some
+             ( op,
+               Json.Obj
+                 [ ("requests", Json.Int h.Obs.Metrics.count);
+                   ("target_ms", Json.Int target_ms);
+                   ("breaches", Json.Int breaches);
+                   ("p99_ns", Json.Int (Obs.Metrics.percentile h 0.99));
+                   ( "burn",
+                     Json.Float (Slo.burn ~breaches ~requests:h.Obs.Metrics.count)
+                   ) ] )
+         | _ -> None)
+       Slo.default_targets_ms)
 
 let fleet_result t =
   Json.Obj
@@ -278,7 +403,9 @@ let fleet_result t =
                       ("socket", Json.String s.spath);
                       ("outstanding", Json.Int s.outstanding);
                       ("restarts", Json.Int s.restarts) ])
-                t.shards))) ]
+                t.shards)) );
+      ("slo_objective", Json.Float Slo.objective);
+      ("slo", slo_json (merged_for_status t)) ]
 
 (* ----- request intake and forwarding ----- *)
 
@@ -298,6 +425,28 @@ let upstream_for t client sid =
       s.failures <- s.failures + 1;
       None)
 
+(* When a span sink is active (--trace-dir), stamp a trace id on the
+   forwarded line: the client's own id rides verbatim; otherwise one is
+   minted and spliced into the request envelope (with the supervisor's
+   span as [parent_span]) so the shard's spans link back here.  With no
+   sink the line is always forwarded untouched — byte-identity with a
+   single daemon is load-bearing and string-equality tested. *)
+let trace_for_forward (req : Protocol.request) line =
+  if not (Obs.Trace.sink_active ()) then (line, None)
+  else
+    match req.Protocol.trace_id with
+    | Some tid -> (line, Some tid)
+    | None -> (
+      let tid = Server.gen_trace_id () in
+      match String.index_opt line '{' with
+      | Some i ->
+        ( String.sub line 0 (i + 1)
+          ^ Printf.sprintf
+              "\"trace_id\":\"%s\",\"parent_span\":\"fleet:forward\"," tid
+          ^ String.sub line (i + 1) (String.length line - i - 1),
+          Some tid )
+      | None -> (line, Some tid))
+
 let forward t client (req : Protocol.request) line =
   let alive i = t.shards.(i).state = Up in
   match Chash.route t.ring ~alive (Cachekey.routing_key req) with
@@ -308,11 +457,20 @@ let forward t client (req : Protocol.request) line =
          (Protocol.error_response ~id:req.Protocol.id ~op:req.Protocol.op
             ~code:"overloaded" "no healthy shard available; retry later"))
   | Some sid -> (
+    let fwd_ns = Obs.Clock.now_ns () in
+    let line, trace = trace_for_forward req line in
     match upstream_for t client sid with
     | Some u when write_all u.ufd (line ^ "\n") ->
-      u.uids <- (req.Protocol.id, req.Protocol.op) :: u.uids;
+      u.uids <- (req.Protocol.id, req.Protocol.op, fwd_ns, trace) :: u.uids;
       t.shards.(sid).outstanding <- t.shards.(sid).outstanding + 1;
-      Obs.Metrics.incr m_forwarded
+      Obs.Metrics.incr m_forwarded;
+      (match trace with
+      | Some tid ->
+        Obs.Trace.record_span ~trace_id:tid ~cat:"fleet" ~name:"fleet:forward"
+          ~start_ns:fwd_ns
+          ~dur_ns:(Obs.Clock.now_ns () - fwd_ns)
+          ()
+      | None -> ())
     | _ ->
       Obs.Metrics.incr m_shard_failures;
       reply_client client
@@ -335,6 +493,22 @@ let handle_client_line t client line =
         (Protocol.to_line
            (Protocol.ok_response ~id:req.Protocol.id ~op:"fleet"
               (fleet_result t)))
+    | Ok req
+      when List.mem req.Protocol.op [ "metrics"; "metrics_raw"; "metrics_text" ]
+      ->
+      (* metrics ops answer fleet-wide: a fresh merge over every
+         reachable shard plus the supervisor's own registry *)
+      Obs.Metrics.incr m_local;
+      let snap = merged_snapshot t in
+      let result =
+        match req.Protocol.op with
+        | "metrics" -> Metricsenc.snapshot_json snap
+        | "metrics_raw" -> Metricsenc.raw_json snap
+        | _ -> Metricsenc.text_json snap
+      in
+      reply_client client
+        (Protocol.to_line
+           (Protocol.ok_response ~id:req.Protocol.id ~op:req.Protocol.op result))
     | Ok req -> forward t client req line
   end
 
@@ -368,8 +542,9 @@ let response_id line =
 
 let remove_id u id =
   let rec go acc = function
-    | [] -> (List.rev acc, false)
-    | (i, _) :: rest when i = id -> (List.rev_append acc rest, true)
+    | [] -> (List.rev acc, None)
+    | ((i, _, _, _) as entry) :: rest when i = id ->
+      (List.rev_append acc rest, Some entry)
     | x :: rest -> go (x :: acc) rest
   in
   let uids', found = go [] u.uids in
@@ -377,11 +552,17 @@ let remove_id u id =
   found
 
 (* The shard died with requests in flight on this connection: answer
-   each of them with an error so no request is ever silently dropped. *)
+   each of them with an error so no request is ever silently dropped.
+   The death counts against [serve.fleet.shard_failures] and each
+   manufactured error against [serve.fleet.synthesized_errors] — these
+   errors never pass through a shard's own serve.* counters, so without
+   this they would be invisible in the fleet's metrics. *)
 let fail_pending t client u =
+  if u.uids <> [] then Obs.Metrics.incr m_shard_failures;
   List.iter
-    (fun (id, op) ->
+    (fun (id, op, _, _) ->
       Obs.Metrics.incr m_local;
+      Obs.Metrics.incr m_synth;
       reply_client client
         (Protocol.to_line
            (Protocol.error_response ~id ~op ~code:"failed"
@@ -409,8 +590,17 @@ let handle_upstream t client u =
       | line :: rest ->
         if String.trim line <> "" then begin
           reply_client client line;
-          if remove_id u (response_id line) then
+          (match remove_id u (response_id line) with
+          | Some (_, _, fwd_ns, trace) ->
             s.outstanding <- max 0 (s.outstanding - 1);
+            (match trace with
+            | Some tid ->
+              Obs.Trace.record_span ~trace_id:tid ~parent:"fleet:forward"
+                ~cat:"fleet" ~name:"fleet:await" ~start_ns:fwd_ns
+                ~dur_ns:(Obs.Clock.now_ns () - fwd_ns)
+                ()
+            | None -> ())
+          | None -> ());
           Obs.Metrics.incr m_replies
         end;
         go rest
@@ -618,7 +808,18 @@ let find_upstream t fd =
 
 let run t =
   ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
-  let listen_fd = Server.setup_listener t.cfg.socket_path in
+  (* the supervisor's own spans (fleet:forward / fleet:await) carry its
+     role; shards label themselves in Server.run after the fork *)
+  Obs.Trace.set_proc_label "supervisor";
+  Option.iter Obs.Trace.open_dir_sink t.cfg.shard_base.Server.trace_dir;
+  let public_fd = Server.setup_listener t.cfg.socket_path in
+  let metrics_fd =
+    Option.map Server.setup_metrics_listener
+      t.cfg.shard_base.Server.metrics_addr
+  in
+  let listen_fd =
+    public_fd :: (match metrics_fd with Some fd -> [ fd ] | None -> [])
+  in
   Array.iter (fun s -> spawn t ~listen_fd s) t.shards;
   Obs.Log.info "fleet" "supervising %d shard(s) behind %s" t.cfg.shards
     t.cfg.socket_path;
@@ -642,14 +843,14 @@ let run t =
              @ List.map (fun u -> u.ufd) c.ups)
            t.clients
        in
-       let watch = (listen_fd :: client_fds) @ probe_fds in
+       let watch = listen_fd @ client_fds @ probe_fds in
        match Unix.select watch [] [] 0.1 with
        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
        | ready, _, _ ->
          List.iter
            (fun fd ->
-             if fd = listen_fd then begin
-               match Unix.accept listen_fd with
+             if fd = public_fd then begin
+               match Unix.accept public_fd with
                | cfd, _ ->
                  t.clients <-
                    {
@@ -662,6 +863,11 @@ let run t =
                    :: t.clients
                | exception Unix.Unix_error _ -> ()
              end
+             else if metrics_fd = Some fd then
+               (* a Prometheus scrape: answer with a fresh fleet-wide
+                  merge (scrapes are seconds apart; the merge is ms) *)
+               Server.answer_scrape fd
+                 (Obs.Metrics.to_prometheus ~snap:(merged_snapshot t) ())
              else
                match
                  Array.find_opt
@@ -685,7 +891,7 @@ let run t =
    with e ->
      Obs.Log.error "fleet" "supervisor loop failed: %s" (Printexc.to_string e));
   (* ----- shutdown: stop intake, pump out in-flight replies, stop shards ----- *)
-  close_quietly listen_fd;
+  List.iter close_quietly listen_fd;
   (try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ());
   let outstanding () =
     Array.fold_left (fun acc s -> acc + s.outstanding) 0 t.shards
@@ -727,4 +933,5 @@ let run t =
     t.shards;
   List.iter (fun c -> drop_client t c) t.clients;
   t.clients <- [];
+  if t.cfg.shard_base.Server.trace_dir <> None then Obs.Trace.close_dir_sink ();
   Obs.Log.info "fleet" "fleet shut down cleanly"

@@ -33,6 +33,8 @@ type request = {
   tier : string option; (* profile op: exact|static answer tier *)
   out : string option; (* trace op: Chrome-trace output path *)
   ms : int option; (* sleep op *)
+  trace_id : string option; (* distributed-trace id, propagated downstream *)
+  parent_span : string option; (* caller's span name, for cross-process links *)
 }
 
 (* Parsed values echo back through the response encoder, so convert the
@@ -93,6 +95,8 @@ let parse_request line : (request, Json.t * string * string) result =
       let* tier = str_field obj "tier" in
       let* out = str_field obj "out" in
       let* ms = int_field obj "ms" in
+      let* trace_id = str_field obj "trace_id" in
+      let* parent_span = str_field obj "parent_span" in
       Ok
         {
           id;
@@ -106,6 +110,8 @@ let parse_request line : (request, Json.t * string * string) result =
           tier;
           out;
           ms;
+          trace_id;
+          parent_span;
         }
     in
     match fields with

@@ -11,8 +11,8 @@ module Json = Analysis.Json
 type outcome = (Json.t, string * string) result (* error = (code, message) *)
 
 let known_ops =
-  [ "ping"; "list"; "metrics"; "sleep"; "compile"; "profile"; "profile_fast";
-    "check"; "bypass"; "trace" ]
+  [ "ping"; "list"; "metrics"; "metrics_raw"; "metrics_text"; "sleep";
+    "compile"; "profile"; "profile_fast"; "check"; "bypass"; "trace" ]
 
 let needs_app op =
   List.mem op [ "compile"; "profile"; "profile_fast"; "check"; "bypass"; "trace" ]
@@ -25,6 +25,12 @@ let is_static (r : Protocol.request) =
   | "profile_fast", _ -> true
   | "profile", Some "static" -> true
   | _ -> false
+
+(* The op name used for per-op latency histograms and SLO accounting:
+   both spellings of a static-tier profile class as "profile_fast" (they
+   share a latency profile and an answer cache), everything else as its
+   own op. *)
+let op_class (r : Protocol.request) = if is_static r then "profile_fast" else r.op
 
 let resolve_app (r : Protocol.request) =
   match r.app with
@@ -103,18 +109,9 @@ let list_apps () =
          ("seeded", names Workloads.Registry.seeded);
          ("archs", Json.List (List.map (fun a -> Json.String a) Gpusim.Arch.known_names)) ])
 
-let metrics () =
-  let value = function
-    | Obs.Metrics.Counter i -> Json.Int i
-    | Obs.Metrics.Gauge f -> Json.Float f
-    | Obs.Metrics.Histogram h ->
-      Json.Obj
-        [ ("count", Json.Int h.Obs.Metrics.count);
-          ("sum", Json.Int h.Obs.Metrics.sum);
-          ("max", Json.Int h.Obs.Metrics.max_value);
-          ("mean", Json.Float h.Obs.Metrics.mean) ]
-  in
-  Ok (Json.Obj (List.map (fun (name, v) -> (name, value v)) (Obs.Metrics.snapshot ())))
+let metrics () = Ok (Metricsenc.snapshot_json (Obs.Metrics.snapshot ()))
+let metrics_raw () = Ok (Metricsenc.raw_json (Obs.Metrics.snapshot ()))
+let metrics_text () = Ok (Metricsenc.text_json (Obs.Metrics.snapshot ()))
 
 (* Diagnostic op: busy-wait politely for [ms], polling the same
    cancellation check the simulator does — exercising queueing,
@@ -245,6 +242,8 @@ let dispatch (r : Protocol.request) : outcome =
     | "ping" -> ping ()
     | "list" -> list_apps ()
     | "metrics" -> metrics ()
+    | "metrics_raw" -> metrics_raw ()
+    | "metrics_text" -> metrics_text ()
     | "sleep" -> sleep r
     | "compile" -> compile r
     | "profile" -> profile r

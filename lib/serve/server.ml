@@ -34,6 +34,11 @@ type config = {
   queue_cap : int;
   default_timeout_ms : int option; (* None/0 = no per-request deadline *)
   cache : Rescache.config option; (* None = result caching off *)
+  label : string; (* logical process label in span records / access logs *)
+  trace_dir : string option; (* write per-request span records here *)
+  metrics_addr : string option; (* host:port for Prometheus exposition *)
+  access_log : string option; (* NDJSON access log path *)
+  access_log_sample : int; (* write every n-th access-log entry *)
 }
 
 let default_config =
@@ -44,6 +49,11 @@ let default_config =
     queue_cap = 64;
     default_timeout_ms = Some 300_000;
     cache = Some Rescache.default_config;
+    label = "serve";
+    trace_dir = None;
+    metrics_addr = None;
+    access_log = None;
+    access_log_sample = 1;
   }
 
 (* ----- metrics ----- *)
@@ -85,12 +95,14 @@ type job = {
   conn : conn;
   enq_ns : int;
   cache_key : string option; (* store the result here after a miss *)
+  trace : string option; (* distributed-trace id when a sink is active *)
 }
 
 type t = {
   cfg : config;
   queue : job Jobq.t;
   cache : Rescache.t option;
+  access : Accesslog.t option;
   stop : bool Atomic.t;
   mutable inline : bool; (* no worker domains: run jobs on the I/O domain *)
 }
@@ -100,9 +112,20 @@ let create cfg =
     cfg;
     queue = Jobq.create ~cap:cfg.queue_cap;
     cache = Option.map Rescache.create cfg.cache;
+    access =
+      Option.map
+        (fun path -> Accesslog.create ~path ~sample:cfg.access_log_sample)
+        cfg.access_log;
     stop = Atomic.make false;
     inline = false;
   }
+
+(* Trace ids minted at intake when the client did not send one;
+   pid-qualified so ids from different fleet processes never collide. *)
+let trace_seq = Atomic.make 0
+
+let gen_trace_id () =
+  Printf.sprintf "t-%d-%d" (Unix.getpid ()) (Atomic.fetch_and_add trace_seq 1)
 
 (* Domain- and signal-safe: flips one atomic the select loop polls. *)
 let request_shutdown t = Atomic.set t.stop true
@@ -127,12 +150,52 @@ let reply conn line =
   write_line conn line;
   ignore (Atomic.fetch_and_add conn.inflight (-1))
 
+(* ----- per-request accounting (latency histograms, SLOs, access log) ----- *)
+
+let request_tier (req : Protocol.request) =
+  match req.Protocol.op with
+  | "profile" | "profile_fast" ->
+    if Router.is_static req then "static" else "exact"
+  | _ -> ""
+
+(* One terminal accounting point for every *validated* answer: total
+   latency lands in the op class's histogram, the SLO check runs, and
+   an access-log line is written.  Rejected requests (parse/validate
+   failures, backpressure) go through [reject_entry] instead so the
+   latency histograms only describe work the daemon actually did. *)
+let account t ~(req : Protocol.request) ~outcome ~cache ~wait_ns ~run_ns
+    ~trace_id =
+  let cls = Router.op_class req in
+  let total_ns = wait_ns + run_ns in
+  Obs.Metrics.observe (Obs.Metrics.histogram ("serve.op." ^ cls ^ ".ns")) total_ns;
+  Slo.observe ~op:cls ~total_ns;
+  match t.access with
+  | None -> ()
+  | Some al ->
+    Accesslog.log al ~proc:t.cfg.label ~id:req.Protocol.id ~op:req.Protocol.op
+      ~app:(Option.value req.Protocol.app ~default:"")
+      ~arch:req.Protocol.arch_name ~tier:(request_tier req) ~cache ~outcome
+      ~wait_ns ~run_ns ?trace_id ()
+
+let reject_entry t ~id ~op ~outcome =
+  match t.access with
+  | None -> ()
+  | Some al ->
+    Accesslog.log al ~proc:t.cfg.label ~id ~op ~app:"" ~arch:"" ~tier:""
+      ~cache:"" ~outcome ~wait_ns:0 ~run_ns:0 ()
+
 (* ----- job execution (worker domains) ----- *)
 
 let run_job t job =
   Obs.Metrics.set_gauge m_depth (float_of_int (Jobq.length t.queue));
   let started = Obs.Clock.now_ns () in
-  Obs.Metrics.observe m_wait (started - job.enq_ns);
+  let wait_ns = started - job.enq_ns in
+  Obs.Metrics.observe m_wait wait_ns;
+  (match job.trace with
+  | Some tid ->
+    Obs.Trace.record_span ~trace_id:tid ~parent:"serve:intake" ~cat:"serve"
+      ~name:"serve:queue" ~start_ns:job.enq_ns ~dur_ns:wait_ns ()
+  | None -> ());
   let timeout_ms =
     match job.req.Protocol.timeout_ms with
     | Some ms -> Some ms
@@ -148,39 +211,57 @@ let run_job t job =
   | _ -> ());
   Fun.protect ~finally:Gpusim.Gpu.clear_cancel_check @@ fun () ->
   let id = job.req.Protocol.id and op = job.req.Protocol.op in
-  let line =
-    Obs.Trace.with_span ~cat:"serve" ("serve:" ^ op) (fun () ->
-        match Router.dispatch job.req with
-        | Ok result ->
-          Obs.Metrics.incr m_ok;
-          (* serialize once; the same bytes answer this request and, via
-             the cache, every identical request after it *)
-          let raw = Analysis.Json.to_string result in
-          (match (t.cache, job.cache_key) with
-          | Some cache, Some key -> Rescache.store cache key raw
-          | _ -> ());
-          Protocol.ok_line_raw ~id ~op raw
-        | Error (code, msg) ->
-          Obs.Metrics.incr m_failed;
-          Protocol.to_line (Protocol.error_response ~id ~op ~code msg)
-        | exception Gpusim.Gpu.Cancelled reason ->
-          Obs.Metrics.incr m_timeout;
-          Protocol.to_line (Protocol.error_response ~id ~op ~code:"timeout" reason)
-        | exception Gpusim.Gpu.Launch_error msg ->
-          Obs.Metrics.incr m_failed;
-          Protocol.to_line
-            (Protocol.error_response ~id ~op ~code:"failed"
-               ("launch aborted: " ^ msg))
-        | exception e ->
-          Obs.Metrics.incr m_failed;
-          Protocol.to_line
-            (Protocol.error_response ~id ~op ~code:"failed"
-               (Printexc.to_string e)))
+  let dispatch () =
+    match Router.dispatch job.req with
+    | Ok result ->
+      Obs.Metrics.incr m_ok;
+      (* serialize once; the same bytes answer this request and, via
+         the cache, every identical request after it *)
+      let raw = Analysis.Json.to_string result in
+      (match (t.cache, job.cache_key) with
+      | Some cache, Some key -> Rescache.store cache key raw
+      | _ -> ());
+      (Protocol.ok_line_raw ~id ~op raw, "ok")
+    | Error (code, msg) ->
+      Obs.Metrics.incr m_failed;
+      (Protocol.to_line (Protocol.error_response ~id ~op ~code msg), code)
+    | exception Gpusim.Gpu.Cancelled reason ->
+      Obs.Metrics.incr m_timeout;
+      ( Protocol.to_line (Protocol.error_response ~id ~op ~code:"timeout" reason),
+        "timeout" )
+    | exception Gpusim.Gpu.Launch_error msg ->
+      Obs.Metrics.incr m_failed;
+      ( Protocol.to_line
+          (Protocol.error_response ~id ~op ~code:"failed"
+             ("launch aborted: " ^ msg)),
+        "failed" )
+    | exception e ->
+      Obs.Metrics.incr m_failed;
+      ( Protocol.to_line
+          (Protocol.error_response ~id ~op ~code:"failed"
+             (Printexc.to_string e)),
+        "failed" )
   in
-  Obs.Metrics.observe m_run (Obs.Clock.now_ns () - started);
+  let traced () =
+    Obs.Trace.with_span ~cat:"serve" ("serve:" ^ op) dispatch
+  in
+  let line, outcome =
+    match job.trace with
+    | Some tid ->
+      (* workers run on their own domains; reinstall the request's
+         context so spans recorded inside keep the trace id *)
+      Obs.Trace.with_context ~trace_id:tid ~parent:"serve:queue" traced
+    | None -> traced ()
+  in
+  let run_ns = Obs.Clock.now_ns () - started in
+  Obs.Metrics.observe m_run run_ns;
+  account t ~req:job.req ~outcome
+    ~cache:(if job.cache_key <> None then "miss" else "")
+    ~wait_ns ~run_ns ~trace_id:job.trace;
   reply job.conn line
 
 let worker_loop t =
+  Obs.Trace.set_domain_label (t.cfg.label ^ "/worker");
   let rec go () =
     match Jobq.pop t.queue with
     | None -> ()
@@ -194,10 +275,11 @@ let worker_loop t =
 
 (* Hand a validated request to the worker queue (the caller has already
    bumped [inflight]); a full or closing queue answers immediately. *)
-let enqueue t conn req cache_key =
+let enqueue t conn req cache_key trace =
   let id = req.Protocol.id and op = req.Protocol.op in
   match
-    Jobq.try_push t.queue { req; conn; enq_ns = Obs.Clock.now_ns (); cache_key }
+    Jobq.try_push t.queue
+      { req; conn; enq_ns = Obs.Clock.now_ns (); cache_key; trace }
   with
   | `Ok ->
     Obs.Metrics.set_gauge m_depth (float_of_int (Jobq.length t.queue));
@@ -209,6 +291,7 @@ let enqueue t conn req cache_key =
   | `Full ->
     ignore (Atomic.fetch_and_add conn.inflight (-1));
     Obs.Metrics.incr m_overloaded;
+    reject_entry t ~id ~op ~outcome:"overloaded";
     write_line conn
       (Protocol.to_line
          (Protocol.error_response ~id ~op ~code:"overloaded"
@@ -218,6 +301,7 @@ let enqueue t conn req cache_key =
   | `Closed ->
     ignore (Atomic.fetch_and_add conn.inflight (-1));
     Obs.Metrics.incr m_rejected;
+    reject_entry t ~id ~op ~outcome:"shutting_down";
     write_line conn
       (Protocol.to_line
          (Protocol.error_response ~id ~op ~code:"shutting_down"
@@ -230,56 +314,105 @@ let handle_line t conn line =
     match Protocol.parse_request line with
     | Error (id, code, msg) ->
       Obs.Metrics.incr m_rejected;
+      reject_entry t ~id ~op:"?" ~outcome:code;
       write_line conn (Protocol.to_line (Protocol.error_response ~id ~op:"?" ~code msg))
-    | Ok req -> (
+    | Ok req ->
       let id = req.Protocol.id and op = req.Protocol.op in
-      match Router.validate req with
-      | Error (code, msg) ->
-        Obs.Metrics.incr m_rejected;
-        write_line conn (Protocol.to_line (Protocol.error_response ~id ~op ~code msg))
-      | Ok () ->
-      (* The fast path: a content-addressed hit answers right here on
-         the I/O domain — no queue slot, no worker, no simulation. *)
-      let cache_key =
-        match t.cache with None -> None | Some _ -> Cachekey.of_request req
+      (* Distributed tracing: only when a span sink is installed
+         (--trace-dir).  The client's id is honored, otherwise one is
+         minted here; the context makes every span recorded while
+         handling this request carry it. *)
+      let trace =
+        if not (Obs.Trace.sink_active ()) then None
+        else
+          Some
+            (match req.Protocol.trace_id with
+            | Some tid -> tid
+            | None -> gen_trace_id ())
       in
-      let cached =
-        match (t.cache, cache_key) with
-        | Some cache, Some key -> Rescache.find cache key
-        | _ -> None
-      in
-      match cached with
-      | Some raw ->
-        Obs.Metrics.incr m_ok;
-        write_line conn (Protocol.ok_line_raw ~id ~op raw)
-      | None when Router.is_static req -> (
-        (* The static tier never touches the simulator: answer right
-           here on the intake domain, zero queue slots, zero launches.
-           If the estimator itself raises, fall back to the worker
-           queue so the request still gets a proper error envelope. *)
-        let started = Obs.Clock.now_ns () in
-        match Router.dispatch req with
-        | Ok result ->
-          let raw = Analysis.Json.to_string result in
-          (match (t.cache, cache_key) with
-          | Some cache, Some key -> Rescache.store cache key raw
-          | _ -> ());
-          Obs.Metrics.incr m_static_hits;
-          Obs.Metrics.observe m_estimate_ms
-            ((Obs.Clock.now_ns () - started) / 1_000_000);
-          Obs.Metrics.incr m_ok;
-          write_line conn (Protocol.ok_line_raw ~id ~op raw)
+      let process () =
+        match Router.validate req with
         | Error (code, msg) ->
-          Obs.Metrics.incr m_failed;
-          write_line conn
-            (Protocol.to_line (Protocol.error_response ~id ~op ~code msg))
-        | exception _ ->
-          Obs.Metrics.incr m_static_fallbacks;
+          Obs.Metrics.incr m_rejected;
+          reject_entry t ~id ~op ~outcome:code;
+          write_line conn (Protocol.to_line (Protocol.error_response ~id ~op ~code msg))
+        | Ok () -> (
+        (* The fast path: a content-addressed hit answers right here on
+           the I/O domain — no queue slot, no worker, no simulation. *)
+        let cache_key =
+          match t.cache with None -> None | Some _ -> Cachekey.of_request req
+        in
+        let probe_start = Obs.Clock.now_ns () in
+        let cached =
+          match (t.cache, cache_key) with
+          | Some cache, Some key -> Rescache.find cache key
+          | _ -> None
+        in
+        (match (trace, cache_key) with
+        | Some tid, Some _ ->
+          Obs.Trace.record_span ~trace_id:tid ~parent:"serve:intake"
+            ~cat:"serve"
+            ~name:
+              (if cached = None then "serve:cache:miss" else "serve:cache:hit")
+            ~start_ns:probe_start
+            ~dur_ns:(Obs.Clock.now_ns () - probe_start)
+            ()
+        | _ -> ());
+        match cached with
+        | Some raw ->
+          Obs.Metrics.incr m_ok;
+          account t ~req ~outcome:"ok" ~cache:"hit" ~wait_ns:0
+            ~run_ns:(Obs.Clock.now_ns () - probe_start)
+            ~trace_id:trace;
+          write_line conn (Protocol.ok_line_raw ~id ~op raw)
+        | None when Router.is_static req -> (
+          (* The static tier never touches the simulator: answer right
+             here on the intake domain, zero queue slots, zero launches.
+             If the estimator itself raises, fall back to the worker
+             queue so the request still gets a proper error envelope. *)
+          let started = Obs.Clock.now_ns () in
+          match
+            Obs.Trace.with_span ~cat:"serve" "serve:static" (fun () ->
+                Router.dispatch req)
+          with
+          | Ok result ->
+            let raw = Analysis.Json.to_string result in
+            (match (t.cache, cache_key) with
+            | Some cache, Some key -> Rescache.store cache key raw
+            | _ -> ());
+            Obs.Metrics.incr m_static_hits;
+            Obs.Metrics.observe m_estimate_ms
+              ((Obs.Clock.now_ns () - started) / 1_000_000);
+            Obs.Metrics.incr m_ok;
+            account t ~req ~outcome:"ok"
+              ~cache:(if cache_key <> None then "miss" else "")
+              ~wait_ns:0
+              ~run_ns:(Obs.Clock.now_ns () - started)
+              ~trace_id:trace;
+            write_line conn (Protocol.ok_line_raw ~id ~op raw)
+          | Error (code, msg) ->
+            Obs.Metrics.incr m_failed;
+            account t ~req ~outcome:code
+              ~cache:(if cache_key <> None then "miss" else "")
+              ~wait_ns:0
+              ~run_ns:(Obs.Clock.now_ns () - started)
+              ~trace_id:trace;
+            write_line conn
+              (Protocol.to_line (Protocol.error_response ~id ~op ~code msg))
+          | exception _ ->
+            Obs.Metrics.incr m_static_fallbacks;
+            ignore (Atomic.fetch_and_add conn.inflight 1);
+            enqueue t conn req cache_key trace)
+        | None ->
           ignore (Atomic.fetch_and_add conn.inflight 1);
-          enqueue t conn req cache_key)
-      | None ->
-        ignore (Atomic.fetch_and_add conn.inflight 1);
-        enqueue t conn req cache_key)
+          enqueue t conn req cache_key trace)
+      in
+      (match trace with
+      | Some tid ->
+        Obs.Trace.with_context ~trace_id:tid
+          ~parent:(Option.value req.Protocol.parent_span ~default:"")
+          (fun () -> Obs.Trace.with_span ~cat:"serve" "serve:intake" process)
+      | None -> process ())
   end
 
 let read_conn t conn =
@@ -357,9 +490,76 @@ let setup_listener path =
   Unix.listen fd 64;
   fd
 
+(* ----- Prometheus exposition listener (--metrics-addr) ----- *)
+
+(* "host:port" or bare "port" (loopback).  Numeric host only: the
+   single-threaded select loop must not block in a resolver. *)
+let parse_metrics_addr addr =
+  let host, port_s =
+    match String.rindex_opt addr ':' with
+    | Some i ->
+      (String.sub addr 0 i, String.sub addr (i + 1) (String.length addr - i - 1))
+    | None -> ("127.0.0.1", addr)
+  in
+  let host = if host = "" then "127.0.0.1" else host in
+  match
+    ( (try Some (Unix.inet_addr_of_string host) with Failure _ -> None),
+      int_of_string_opt port_s )
+  with
+  | Some ip, Some port when port > 0 && port < 65536 -> (ip, port)
+  | _ ->
+    failwith
+      (Printf.sprintf
+         "--metrics-addr %s: expected [numeric-host:]port, e.g. 127.0.0.1:9464"
+         addr)
+
+let setup_metrics_listener addr =
+  let ip, port = parse_metrics_addr addr in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (ip, port));
+  Unix.listen fd 16;
+  fd
+
+let http_text_response body =
+  Printf.sprintf
+    "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4; \
+     charset=utf-8\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+    (String.length body) body
+
+(* Answer one scrape: accept, write the whole response, close.  The
+   request line is never parsed — scrapes are GETs whose response does
+   not depend on the path, and the select loop must not wait on a slow
+   client.  The response is a few KB, well inside the socket buffer.
+   Any request bytes that already arrived are drained (nonblocking)
+   before the close: closing with unread data in the receive buffer
+   makes the kernel send RST instead of FIN, and the reset can discard
+   response bytes the client has not read yet. *)
+let answer_scrape listen_fd body =
+  match Unix.accept listen_fd with
+  | exception Unix.Unix_error _ -> ()
+  | cfd, _ -> (
+    let data = Bytes.of_string (http_text_response body) in
+    (try
+       let len = Bytes.length data in
+       let off = ref 0 in
+       while !off < len do
+         off := !off + Unix.write cfd data !off (len - !off)
+       done
+     with Unix.Unix_error _ -> ());
+    (try
+       Unix.set_nonblock cfd;
+       let junk = Bytes.create 1024 in
+       while Unix.read cfd junk 0 (Bytes.length junk) > 0 do () done
+     with Unix.Unix_error _ -> ());
+    try Unix.close cfd with Unix.Unix_error _ -> ())
+
 let run t =
   ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
+  if t.cfg.label <> "" then Obs.Trace.set_proc_label t.cfg.label;
+  Option.iter Obs.Trace.open_dir_sink t.cfg.trace_dir;
   let listen_fd = Option.map setup_listener t.cfg.socket_path in
+  let metrics_fd = Option.map setup_metrics_listener t.cfg.metrics_addr in
   let conns = ref [] in
   if t.cfg.stdio then
     conns := [ make_conn ~kind:`Stdio ~in_fd:Unix.stdin ~out_fd:Unix.stdout ];
@@ -405,6 +605,7 @@ let run t =
        sweep_closed ();
        let watch =
          (match listen_fd with Some fd -> [ fd ] | None -> [])
+         @ (match metrics_fd with Some fd -> [ fd ] | None -> [])
          @ List.map (fun c -> c.in_fd) (reading_conns ())
        in
        if watch = [] then
@@ -421,6 +622,8 @@ let run t =
                  Obs.Metrics.incr m_connections;
                  conns := make_conn ~kind:`Socket ~in_fd:cfd ~out_fd:cfd :: !conns
                end
+               else if metrics_fd = Some fd then
+                 answer_scrape fd (Obs.Metrics.to_prometheus ())
                else
                  match List.find_opt (fun c -> c.in_fd = fd) !conns with
                  | Some conn when conn.reading -> read_conn t conn
@@ -442,11 +645,16 @@ let run t =
       (fun p -> try Unix.unlink p with Unix.Unix_error _ -> ())
       t.cfg.socket_path
   | None -> ());
+  (match metrics_fd with
+  | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+  | None -> ());
   List.iter
     (fun c ->
       match c.kind with
       | `Stdio -> ()
       | `Socket -> ( try Unix.close c.in_fd with Unix.Unix_error _ -> ()))
     !conns;
+  Option.iter Accesslog.close t.access;
+  if t.cfg.trace_dir <> None then Obs.Trace.close_dir_sink ();
   Obs.Log.info "serve" "shut down cleanly (drained %d queued job%s)" drained
     (if drained = 1 then "" else "s")

@@ -216,6 +216,286 @@ let test_tracing_is_invisible () =
   check_bool "md degree bit-identical" true (off.fp_md_degree = on_.fp_md_degree);
   check_bool "bd identical" true (off.fp_bd = on_.fp_bd)
 
+(* ----- snapshot merging and percentiles (fleet aggregation) ----- *)
+
+(* Build a histogram snapshot purely from an observation list, mirroring
+   [observe]'s aggregate semantics (max over 0, mean = sum/count). *)
+let hsnap values =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun v ->
+      let b = Obs.Metrics.bucket_index v in
+      Hashtbl.replace tbl b
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl b)))
+    values;
+  let count = List.length values in
+  let sum = List.fold_left ( + ) 0 values in
+  {
+    Obs.Metrics.count;
+    sum;
+    max_value = List.fold_left max 0 values;
+    mean = (if count = 0 then 0. else float_of_int sum /. float_of_int count);
+    filled =
+      Hashtbl.fold (fun b c acc -> (b, c) :: acc) tbl [] |> List.sort compare;
+  }
+
+(* Snapshots of counters and histograms only: gauges are last-write-wins
+   by design, so they are deliberately outside the commutativity law. *)
+let snap_gen =
+  QCheck2.Gen.(
+    let values = list_size (int_range 0 8) (int_range 0 100_000) in
+    let entry =
+      oneof
+        [ map2
+            (fun i n ->
+              (Printf.sprintf "c%d" (abs i mod 4),
+               Obs.Metrics.Counter (abs n mod 1000)))
+            int int;
+          map2
+            (fun i vs ->
+              (Printf.sprintf "h%d" (abs i mod 3),
+               Obs.Metrics.Histogram (hsnap vs)))
+            int values ]
+    in
+    list_size (int_range 0 6) entry)
+
+let qcheck_merge_commutative =
+  QCheck2.Test.make ~name:"snapshot merge is commutative" ~count:200
+    QCheck2.Gen.(pair snap_gen snap_gen)
+    (fun (a, b) ->
+      Obs.Metrics.merge_snapshots [ a; b ] = Obs.Metrics.merge_snapshots [ b; a ])
+
+let qcheck_merge_associative =
+  QCheck2.Test.make ~name:"snapshot merge is associative" ~count:200
+    QCheck2.Gen.(triple snap_gen snap_gen snap_gen)
+    (fun (a, b, c) ->
+      let m = Obs.Metrics.merge_snapshots in
+      m [ m [ a; b ]; c ] = m [ a; m [ b; c ] ]
+      && m [ a; b; c ] = m [ m [ a; b ]; c ])
+
+let qcheck_merge_is_concat =
+  QCheck2.Test.make
+    ~name:"merged histogram = histogram of concatenated observations"
+    ~count:200
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 20) (int_range 0 1_000_000))
+        (list_size (int_range 0 20) (int_range 0 1_000_000)))
+    (fun (xs, ys) ->
+      Obs.Metrics.merge_histogram_snapshots (hsnap xs) (hsnap ys)
+      = hsnap (xs @ ys))
+
+let qcheck_percentile_monotone =
+  QCheck2.Test.make ~name:"percentiles are monotone in q and bounded by max"
+    ~count:300
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 50) (int_range 0 1_000_000))
+        (list_size (int_range 2 6) (int_range 0 1000)))
+    (fun (vs, qraw) ->
+      let h = hsnap vs in
+      let qs = List.sort compare (List.map (fun n -> float_of_int n /. 1000.) qraw) in
+      let ps = List.map (Obs.Metrics.percentile h) qs in
+      let rec mono = function
+        | a :: (b :: _ as r) -> a <= b && mono r
+        | _ -> true
+      in
+      mono ps && List.for_all (fun p -> p <= h.Obs.Metrics.max_value) ps)
+
+let test_merge_units () =
+  let m = Obs.Metrics.merge_snapshots in
+  check_bool "counters sum" true
+    (m [ [ ("a", Obs.Metrics.Counter 2) ]; [ ("a", Obs.Metrics.Counter 3) ] ]
+    = [ ("a", Obs.Metrics.Counter 5) ]);
+  check_bool "gauges last-write" true
+    (m [ [ ("g", Obs.Metrics.Gauge 1.) ]; [ ("g", Obs.Metrics.Gauge 7.) ] ]
+    = [ ("g", Obs.Metrics.Gauge 7.) ]);
+  check_bool "disjoint names union, sorted" true
+    (m [ [ ("b", Obs.Metrics.Counter 1) ]; [ ("a", Obs.Metrics.Counter 1) ] ]
+    = [ ("a", Obs.Metrics.Counter 1); ("b", Obs.Metrics.Counter 1) ]);
+  let h = hsnap [ 1; 1; 3; 100 ] in
+  check_int "p100 clamps to observed max" 100 (Obs.Metrics.percentile h 1.0);
+  check_int "empty histogram percentile" 0 (Obs.Metrics.percentile (hsnap []) 0.99)
+
+(* ----- Prometheus text exposition ----- *)
+
+let prom_line_ok line =
+  line = ""
+  || line.[0] = '#'
+  || (match String.rindex_opt line ' ' with
+     | None -> false
+     | Some i ->
+       float_of_string_opt
+         (String.sub line (i + 1) (String.length line - i - 1))
+       <> None)
+
+let test_prometheus_exposition () =
+  let snap =
+    [ ("t8.ctr", Obs.Metrics.Counter 5);
+      ("t8.gauge", Obs.Metrics.Gauge 2.5);
+      ("t8.lat.ns", Obs.Metrics.Histogram (hsnap [ 1; 1; 3; 100 ])) ]
+  in
+  let text = Obs.Metrics.to_prometheus ~snap () in
+  let lines = String.split_on_char '\n' text in
+  List.iter
+    (fun l ->
+      check_bool (Printf.sprintf "parses: %s" l) true (prom_line_ok l))
+    lines;
+  check_bool "counter line" true (contains text "t8_ctr 5");
+  check_bool "counter type" true (contains text "# TYPE t8_ctr counter");
+  check_bool "gauge line" true (contains text "t8_gauge 2.5");
+  check_bool "histogram count" true (contains text "t8_lat_ns_count 4");
+  check_bool "histogram sum" true (contains text "t8_lat_ns_sum 105");
+  check_bool "+Inf bucket" true (contains text "le=\"+Inf\"} 4");
+  (* cumulative buckets are non-decreasing *)
+  let bucket_counts =
+    List.filter_map
+      (fun l ->
+        if contains l "t8_lat_ns_bucket" then
+          String.rindex_opt l ' '
+          |> Option.map (fun i ->
+                 int_of_string
+                   (String.sub l (i + 1) (String.length l - i - 1)))
+        else None)
+      lines
+  in
+  check_bool "at least two buckets" true (List.length bucket_counts >= 2);
+  let rec mono = function
+    | a :: (b :: _ as r) -> a <= b && mono r
+    | _ -> true
+  in
+  check_bool "cumulative buckets monotone" true (mono bucket_counts)
+
+(* ----- structured log rendering ----- *)
+
+let test_log_render_formats () =
+  let text =
+    Obs.Log.render ~format:Obs.Log.Text ~t:1.5 ~lvl:Obs.Log.Warn
+      ~component:"gpusim" ~msg:"spill" ~kv:[ ("op", "profile") ]
+  in
+  check_bool "text has level and component" true
+    (contains text "warn" && contains text "gpusim: spill");
+  check_bool "text kv suffix" true (contains text " op=profile");
+  let json =
+    Obs.Log.render ~format:Obs.Log.Json ~t:1.5 ~lvl:Obs.Log.Error
+      ~component:"serve" ~msg:"bad \"quote\"" ~kv:[ ("shard", "2") ]
+  in
+  match Obs.Jsonv.parse json with
+  | Error m -> Alcotest.failf "json log line does not parse: %s (%s)" m json
+  | Ok v ->
+    let str k = Option.bind (Obs.Jsonv.member k v) Obs.Jsonv.to_string_opt in
+    Alcotest.(check (option string)) "level" (Some "error") (str "level");
+    Alcotest.(check (option string)) "component" (Some "serve") (str "component");
+    Alcotest.(check (option string)) "msg escaped" (Some "bad \"quote\"") (str "msg");
+    Alcotest.(check (option string)) "kv field" (Some "2") (str "shard");
+    check_bool "format_of_string" true
+      (Obs.Log.format_of_string "JSON" = Ok Obs.Log.Json
+      && Obs.Log.format_of_string "text" = Ok Obs.Log.Text
+      && Result.is_error (Obs.Log.format_of_string "yaml"))
+
+(* ----- trace context propagation and the span-record sink ----- *)
+
+let test_trace_context_sink () =
+  let recs = ref [] in
+  let m = Mutex.create () in
+  Obs.Trace.set_sink (fun r -> Mutex.protect m (fun () -> recs := r :: !recs));
+  Fun.protect ~finally:(fun () -> Obs.Trace.clear_sink ())
+  @@ fun () ->
+  Obs.Trace.with_context ~trace_id:"t-test" (fun () ->
+      Obs.Trace.with_span "outer" (fun () ->
+          Obs.Trace.with_span "inner" Fun.id));
+  let find name =
+    match
+      List.find_opt (fun r -> r.Obs.Trace.sr_name = name) !recs
+    with
+    | Some r -> r
+    | None -> Alcotest.failf "no span record named %S" name
+  in
+  check_int "two span records" 2 (List.length !recs);
+  let outer = find "outer" and inner = find "inner" in
+  Alcotest.(check string) "trace id stamped" "t-test" outer.Obs.Trace.sr_trace;
+  Alcotest.(check string) "same trace" "t-test" inner.Obs.Trace.sr_trace;
+  Alcotest.(check string) "child's parent is enclosing span" "outer"
+    inner.Obs.Trace.sr_parent;
+  check_bool "durations measured" true
+    (outer.Obs.Trace.sr_dur_ns >= inner.Obs.Trace.sr_dur_ns);
+  (* no ambient context -> the sink records nothing *)
+  Obs.Trace.with_span "quiet" Fun.id;
+  check_int "span outside a context is not recorded" 2 (List.length !recs);
+  check_bool "context is restored after with_context" true
+    (Obs.Trace.current_trace_id () = None)
+
+(* Worker domains spawned inside a context inherit it (Pool.map hands
+   the caller's context to its workers). *)
+let test_trace_context_crosses_pool () =
+  let recs = ref [] in
+  let m = Mutex.create () in
+  Obs.Trace.set_sink (fun r -> Mutex.protect m (fun () -> recs := r :: !recs));
+  Fun.protect ~finally:(fun () -> Obs.Trace.clear_sink ())
+  @@ fun () ->
+  Obs.Trace.with_context ~trace_id:"t-pool" (fun () ->
+      ignore
+        (Pool.map ~domains:3
+           (fun i -> Obs.Trace.with_span "task" (fun () -> i))
+           (List.init 8 Fun.id)));
+  let tasks = List.filter (fun r -> r.Obs.Trace.sr_name = "task") !recs in
+  check_int "every pooled task recorded" 8 (List.length tasks);
+  check_bool "all carry the caller's trace id" true
+    (List.for_all (fun r -> r.Obs.Trace.sr_trace = "t-pool") tasks)
+
+(* ----- merging per-process span files into one Chrome trace ----- *)
+
+let test_tracemerge () =
+  let dir = Filename.temp_file "advisor-spans" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let write name lines =
+    let oc = open_out (Filename.concat dir name) in
+    List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+    close_out oc
+  in
+  write "spans-100.ndjson"
+    [ {|{"trace":"t-1","parent":"","name":"fleet:forward","cat":"fleet","ts":1000,"dur":500,"pid":100,"dom":0,"proc":"supervisor"}|};
+      "this line is not json" ];
+  write "spans-200.ndjson"
+    [ {|{"trace":"t-1","parent":"fleet:forward","name":"serve:intake","ts":1200,"dur":200,"pid":200,"dom":0,"proc":"shard-0"}|};
+      {|{"trace":"t-1","parent":"serve:intake","name":"serve:profile","ts":1300,"dur":80,"pid":200,"dom":1,"proc":"shard-0/worker"}|};
+      {|{"trace":"t-other","parent":"","name":"noise","ts":1,"dur":1,"pid":200,"dom":0,"proc":"shard-0"}|} ];
+  let m = Obs.Tracemerge.merge ~trace_id:"t-1" ~dir () in
+  check_int "files read" 2 m.Obs.Tracemerge.files;
+  check_int "spans kept" 3 m.Obs.Tracemerge.records;
+  check_int "malformed + filtered skipped" 2 m.Obs.Tracemerge.skipped;
+  Alcotest.(check (list string)) "one process group per role"
+    [ "shard-0"; "shard-0/worker"; "supervisor" ]
+    m.Obs.Tracemerge.procs;
+  (match Obs.Jsonv.parse m.Obs.Tracemerge.json with
+  | Error e -> Alcotest.failf "merged trace is not valid JSON: %s" e
+  | Ok v ->
+    let events =
+      match Obs.Jsonv.to_list v with
+      | Some l -> l
+      | None -> Alcotest.fail "merged trace is not an array"
+    in
+    let ph e =
+      Option.bind (Obs.Jsonv.member "ph" e) Obs.Jsonv.to_string_opt
+    in
+    let xs = List.filter (fun e -> ph e = Some "X") events in
+    let ms = List.filter (fun e -> ph e = Some "M") events in
+    check_int "one X event per span" 3 (List.length xs);
+    check_bool "metadata names every process" true (List.length ms >= 3);
+    check_bool "spans carry the trace id" true
+      (List.for_all
+         (fun e ->
+           match Obs.Jsonv.member "args" e with
+           | Some a ->
+             Option.bind (Obs.Jsonv.member "trace_id" a)
+               Obs.Jsonv.to_string_opt
+             = Some "t-1"
+           | None -> false)
+         xs));
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Unix.rmdir dir
+
 let () =
   Alcotest.run "obs"
     [
@@ -232,6 +512,33 @@ let () =
             test_span_nesting_parallel;
           Alcotest.test_case "exception safety" `Quick test_span_exception_safety;
           Alcotest.test_case "capacity truncation" `Quick test_capacity_truncation;
+        ] );
+      ( "merge",
+        [
+          QCheck_alcotest.to_alcotest qcheck_merge_commutative;
+          QCheck_alcotest.to_alcotest qcheck_merge_associative;
+          QCheck_alcotest.to_alcotest qcheck_merge_is_concat;
+          QCheck_alcotest.to_alcotest qcheck_percentile_monotone;
+          Alcotest.test_case "merge unit cases" `Quick test_merge_units;
+        ] );
+      ( "exposition",
+        [
+          Alcotest.test_case "prometheus text parses" `Quick
+            test_prometheus_exposition;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "text and json rendering" `Quick
+            test_log_render_formats;
+        ] );
+      ( "distributed-trace",
+        [
+          Alcotest.test_case "context + sink span records" `Quick
+            test_trace_context_sink;
+          Alcotest.test_case "context crosses pool domains" `Quick
+            test_trace_context_crosses_pool;
+          Alcotest.test_case "trace-merge joins processes" `Quick
+            test_tracemerge;
         ] );
       ( "determinism",
         [

@@ -140,17 +140,20 @@ let fresh_socket_path =
 
 (* Run [f client_socket_path] against a daemon on its own domain; shut
    it down and join afterwards, whatever happens. *)
-let with_server ?(workers = 2) ?(queue = 16) ?timeout_ms ?cache f =
+let with_server ?(workers = 2) ?(queue = 16) ?timeout_ms ?cache
+    ?(extra = fun c -> c) f =
   let path = fresh_socket_path () in
   let cfg =
-    {
-      Server.socket_path = Some path;
-      stdio = false;
-      workers;
-      queue_cap = queue;
-      default_timeout_ms = timeout_ms;
-      cache;
-    }
+    extra
+      {
+        Server.default_config with
+        socket_path = Some path;
+        stdio = false;
+        workers;
+        queue_cap = queue;
+        default_timeout_ms = timeout_ms;
+        cache;
+      }
   in
   let srv = Server.create cfg in
   let daemon = Domain.spawn (fun () -> Server.run srv) in
@@ -699,7 +702,8 @@ let test_stale_socket_recovered () =
   check_bool "stale socket file exists" true (Sys.file_exists path);
   let cfg =
     {
-      Server.socket_path = Some path;
+      Server.default_config with
+      socket_path = Some path;
       stdio = false;
       workers = 1;
       queue_cap = 4;
@@ -724,9 +728,17 @@ let test_stale_socket_recovered () =
 
 let test_live_socket_refused () =
   with_server ~workers:1 (fun path _srv ->
+      (* the daemon binds its socket from a freshly spawned domain; make
+         sure it owns the path before the second daemon probes it, or
+         the probe can win the race, see ENOENT and claim the path *)
+      let fd0 = connect path in
+      send fd0 {|{"id": 0, "op": "ping"}|};
+      ignore (read_lines fd0 1);
+      Unix.close fd0;
       let cfg =
         {
-          Server.socket_path = Some path;
+          Server.default_config with
+          socket_path = Some path;
           stdio = false;
           workers = 1;
           queue_cap = 4;
@@ -751,6 +763,182 @@ let test_live_socket_refused () =
         Unix.close fd;
         check_bool "first daemon unharmed" true (resp_ok (parse_resp line)))
 
+(* ----- telemetry: metrics ops, exposition endpoint, access log, SLOs ----- *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_metrics_ops () =
+  with_server ~workers:1 (fun path _srv ->
+      let fd = connect path in
+      send fd {|{"id": 1, "op": "ping"}|};
+      ignore (read_lines fd 1);
+      (* flat shape: counters as numbers, histograms as objects with
+         monotone derived percentiles and the raw buckets *)
+      send fd {|{"id": 2, "op": "metrics"}|};
+      let flat = field "result" (parse_resp (List.hd (read_lines fd 1))) in
+      (match Jsonv.member "serve.requests" flat with
+      | Some (Jsonv.Num n) -> check_bool "requests counted" true (n >= 1.)
+      | _ -> Alcotest.fail "serve.requests missing from metrics");
+      (match Jsonv.member "serve.op.ping.ns" flat with
+      | Some h ->
+        let num k =
+          match Jsonv.member k h with
+          | Some (Jsonv.Num f) -> f
+          | _ -> Alcotest.failf "serve.op.ping.ns lacks %s" k
+        in
+        check_bool "p50 <= p95 <= p99 <= max" true
+          (num "p50" <= num "p95"
+          && num "p95" <= num "p99"
+          && num "p99" <= num "max");
+        (match Jsonv.member "buckets" h with
+        | Some (Jsonv.Obj (_ :: _)) -> ()
+        | _ -> Alcotest.fail "histogram carries no buckets")
+      | None -> Alcotest.fail "per-op latency histogram missing");
+      (* typed shape: decodes back into a snapshot losslessly *)
+      send fd {|{"id": 3, "op": "metrics_raw"}|};
+      let raw = field "result" (parse_resp (List.hd (read_lines fd 1))) in
+      let snap = Serve.Metricsenc.of_raw raw in
+      check_bool "raw decodes counters" true
+        (match List.assoc_opt "serve.requests" snap with
+        | Some (Obs.Metrics.Counter n) -> n >= 1
+        | _ -> false);
+      check_bool "raw decodes histograms with buckets" true
+        (match List.assoc_opt "serve.op.ping.ns" snap with
+        | Some (Obs.Metrics.Histogram h) ->
+          h.Obs.Metrics.count >= 1 && h.Obs.Metrics.filled <> []
+        | _ -> false);
+      (* exposition shape *)
+      send fd {|{"id": 4, "op": "metrics_text"}|};
+      let tx = field "result" (parse_resp (List.hd (read_lines fd 1))) in
+      (match Jsonv.member "text" tx with
+      | Some (Jsonv.Str t) ->
+        check_bool "exposition has a counter TYPE line" true
+          (contains t "# TYPE serve_requests counter")
+      | _ -> Alcotest.fail "metrics_text carries no text");
+      Unix.close fd)
+
+(* The HTTP exposition endpoint: a TCP scrape gets a 0.0.4 text page
+   whose every line is a comment or "name value". *)
+let test_exposition_endpoint () =
+  let port = 18200 + (Unix.getpid () mod 1000) in
+  let addr = Printf.sprintf "127.0.0.1:%d" port in
+  with_server ~workers:1
+    ~extra:(fun c -> { c with Server.metrics_addr = Some addr })
+    (fun path _srv ->
+      let fd = connect path in
+      send fd {|{"id": 1, "op": "ping"}|};
+      ignore (read_lines fd 1);
+      Unix.close fd;
+      let tcp = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect tcp
+        (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port));
+      let req = "GET /metrics HTTP/1.0\r\n\r\n" in
+      ignore (Unix.write_substring tcp req 0 (String.length req));
+      let buf = Buffer.create 8192 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        match Unix.read tcp chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> ()
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          drain ()
+      in
+      Unix.setsockopt_float tcp Unix.SO_RCVTIMEO 10.0;
+      drain ();
+      Unix.close tcp;
+      let resp = Buffer.contents buf in
+      check_bool "HTTP 200" true (contains resp "200 OK");
+      check_bool "prometheus content type" true
+        (contains resp "text/plain; version=0.0.4");
+      (* body starts after the blank line of the header block *)
+      let body =
+        let rec find i =
+          if i + 3 >= String.length resp then String.length resp
+          else if String.sub resp i 4 = "\r\n\r\n" then i + 4
+          else find (i + 1)
+        in
+        let s = find 0 in
+        String.sub resp s (String.length resp - s)
+      in
+      check_bool "body mentions serve_requests" true
+        (contains body "serve_requests");
+      List.iter
+        (fun line ->
+          let ok =
+            line = ""
+            || line.[0] = '#'
+            || (match String.rindex_opt line ' ' with
+               | None -> false
+               | Some i ->
+                 float_of_string_opt
+                   (String.sub line (i + 1) (String.length line - i - 1))
+                 <> None)
+          in
+          check_bool (Printf.sprintf "line parses: %s" line) true ok)
+        (String.split_on_char '\n' body))
+
+let test_access_log_sampling () =
+  let log_path = Filename.temp_file "advisor-access" ".ndjson" in
+  Sys.remove log_path;
+  with_server ~workers:1
+    ~extra:(fun c ->
+      { c with Server.access_log = Some log_path; access_log_sample = 2 })
+    (fun path _srv ->
+      let fd = connect path in
+      for i = 1 to 4 do
+        send fd (Printf.sprintf {|{"id": %d, "op": "ping"}|} i);
+        ignore (read_lines fd 1)
+      done;
+      Unix.close fd;
+      let ic = open_in log_path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      close_in ic;
+      check_int "every 2nd request logged" 2 (List.length !lines);
+      List.iter
+        (fun line ->
+          let v = parse_resp line in
+          check_bool "entry has op=ping" true
+            (Jsonv.member "op" v = Some (Jsonv.Str "ping"));
+          check_bool "entry has outcome=ok" true
+            (Jsonv.member "outcome" v = Some (Jsonv.Str "ok"));
+          check_bool "entry has total_ns" true
+            (match Jsonv.member "total_ns" v with
+            | Some (Jsonv.Num _) -> true
+            | _ -> false);
+          check_bool "entry names the serving process" true
+            (Jsonv.member "proc" v = Some (Jsonv.Str "serve")))
+        !lines);
+  Sys.remove log_path
+
+let test_slo_accounting () =
+  let before =
+    Obs.Metrics.counter_value (Serve.Slo.breaches "ping")
+  in
+  (* within target: no breach *)
+  Serve.Slo.observe ~op:"ping" ~total_ns:1_000_000;
+  check_int "fast request burns nothing" before
+    (Obs.Metrics.counter_value (Serve.Slo.breaches "ping"));
+  (* over the 50 ms ping target: one breach *)
+  Serve.Slo.observe ~op:"ping" ~total_ns:90_000_000;
+  check_int "slow request breaches" (before + 1)
+    (Obs.Metrics.counter_value (Serve.Slo.breaches "ping"));
+  (* untargeted op never breaches *)
+  Serve.Slo.observe ~op:"sleep" ~total_ns:max_int;
+  (* burn: breaches against the (1 - objective) budget *)
+  check_bool "burn of 1 breach in 100 requests = 1.0" true
+    (Float.abs (Serve.Slo.burn ~breaches:1 ~requests:100 -. 1.0) < 1e-9);
+  check_bool "burn without traffic is 0" true
+    (Serve.Slo.burn ~breaches:0 ~requests:0 = 0.)
+
 (* ----- the shard fleet, end to end -----
 
    The supervisor forks, which is only well-defined from a
@@ -763,15 +951,17 @@ let cli_binary () =
     (Filename.concat (Filename.dirname Sys.executable_name) "../bin")
     "advisor_cli.exe"
 
-let start_fleet ~shards path =
+let start_fleet ?(extra_args = []) ~shards path =
   let cli = cli_binary () in
   if not (Sys.file_exists cli) then
     Alcotest.skip ();
   let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
   let pid =
     Unix.create_process cli
-      [| cli; "serve"; "--socket"; path; "--shards"; string_of_int shards;
-         "--workers"; "2" |]
+      (Array.of_list
+         ([ cli; "serve"; "--socket"; path; "--shards"; string_of_int shards;
+            "--workers"; "2" ]
+         @ extra_args))
       devnull devnull devnull
   in
   Unix.close devnull;
@@ -898,6 +1088,176 @@ let test_fleet_rolling_restart_drops_nothing () =
       Unix.close fd;
       check_string "post-restart response is still byte-identical"
         (expected_profile_nn_line ~id:77) line)
+
+(* ----- fleet telemetry ----- *)
+
+let fetch_snapshot path =
+  let fd = connect path in
+  send fd {|{"id": "m", "op": "metrics_raw"}|};
+  let v = parse_resp (List.hd (read_lines fd 1)) in
+  Unix.close fd;
+  Serve.Metricsenc.of_raw (field "result" v)
+
+let snap_counter snap name =
+  match List.assoc_opt name snap with
+  | Some (Obs.Metrics.Counter n) -> n
+  | _ -> 0
+
+let snap_hist_count snap name =
+  match List.assoc_opt name snap with
+  | Some (Obs.Metrics.Histogram h) -> h.Obs.Metrics.count
+  | _ -> 0
+
+(* The supervisor's aggregated `metrics` must equal the per-shard sums.
+   Pinned on counters no probe or metrics poll can move (simulator
+   launches, finished profile ops): the shards are read directly first,
+   then the aggregate — any in-between metrics traffic cannot change
+   those. *)
+let test_fleet_aggregated_metrics () =
+  let path = fresh_socket_path () in
+  let pid = start_fleet ~shards:2 path in
+  Fun.protect
+    ~finally:(fun () -> stop_fleet pid path)
+    (fun () ->
+      let fd = connect path in
+      wait_fleet_up fd 2;
+      send fd {|{"id": 1, "op": "profile", "app": "nn"}|};
+      send fd {|{"id": 2, "op": "profile", "app": "bicg"}|};
+      let by_id = collect fd 2 in
+      List.iter
+        (fun i -> check_bool "profile ok" true (resp_ok (snd (List.assoc i by_id))))
+        [ 1; 2 ];
+      let s0 = fetch_snapshot (path ^ ".shard-0") in
+      let s1 = fetch_snapshot (path ^ ".shard-1") in
+      let agg = fetch_snapshot path in
+      Unix.close fd;
+      check_int "aggregated sim.launches = shard sums"
+        (snap_counter s0 "sim.launches" + snap_counter s1 "sim.launches")
+        (snap_counter agg "sim.launches");
+      check_bool "profiles actually launched simulations" true
+        (snap_counter agg "sim.launches" > 0);
+      check_int "aggregated profile latency count = shard sums"
+        (snap_hist_count s0 "serve.op.profile.ns"
+        + snap_hist_count s1 "serve.op.profile.ns")
+        (snap_hist_count agg "serve.op.profile.ns");
+      check_int "both profiles are in the aggregate" 2
+        (snap_hist_count agg "serve.op.profile.ns"))
+
+(* One traced profile through a 2-shard fleet: the merged Chrome trace
+   holds spans from at least three process groups (supervisor, shard
+   intake, shard worker) linked by the client's trace id. *)
+let test_fleet_distributed_trace () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "advisor-test-spans-%d" (Unix.getpid ()))
+  in
+  let path = fresh_socket_path () in
+  let pid = start_fleet ~shards:2 ~extra_args:[ "--trace-dir"; dir ] path in
+  let stopped = ref false in
+  let stop_once () =
+    if not !stopped then begin
+      stopped := true;
+      stop_fleet pid path
+    end
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      stop_once ();
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun f -> Sys.remove (Filename.concat dir f))
+          (Sys.readdir dir);
+        Unix.rmdir dir
+      end)
+    (fun () ->
+      let fd = connect path in
+      wait_fleet_up fd 2;
+      send fd {|{"id": 1, "op": "profile", "app": "nn", "trace_id": "t-e2e-1"}|};
+      let v = parse_resp (List.hd (read_lines fd 1)) in
+      check_bool "traced profile ok" true (resp_ok v);
+      Unix.close fd;
+      (* drain the fleet so every span file is closed and flushed *)
+      stop_once ();
+      let m = Obs.Tracemerge.merge ~trace_id:"t-e2e-1" ~dir () in
+      check_bool
+        (Printf.sprintf "spans from >= 3 process groups (got %s)"
+           (String.concat "," m.Obs.Tracemerge.procs))
+        true
+        (List.length m.Obs.Tracemerge.procs >= 3);
+      check_bool "supervisor group present" true
+        (List.mem "supervisor" m.Obs.Tracemerge.procs);
+      check_bool "a shard group present" true
+        (List.exists
+           (fun p -> contains p "shard-" && not (contains p "/worker"))
+           m.Obs.Tracemerge.procs);
+      check_bool "a worker group present" true
+        (List.exists (fun p -> contains p "/worker") m.Obs.Tracemerge.procs);
+      let j = m.Obs.Tracemerge.json in
+      List.iter
+        (fun name ->
+          check_bool (Printf.sprintf "span %s present" name) true
+            (contains j name))
+        [ "fleet:forward"; "fleet:await"; "serve:intake"; "serve:queue";
+          "serve:profile" ];
+      (* the merged trace is valid JSON *)
+      match Jsonv.parse j with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "merged trace does not parse: %s" e)
+
+(* A shard killed mid-request: the client gets a synthesized "failed"
+   error, and the aggregate counts it (the pre-fix code synthesized the
+   line without counting it anywhere). *)
+let test_fleet_shard_death_counted () =
+  let path = fresh_socket_path () in
+  let pid = start_fleet ~shards:2 path in
+  Fun.protect
+    ~finally:(fun () -> stop_fleet pid path)
+    (fun () ->
+      let fd = connect path in
+      wait_fleet_up fd 2;
+      send fd {|{"id": 9, "op": "sleep", "ms": 30000}|};
+      (* find the shard holding the sleeping request and kill it hard *)
+      let fd2 = connect path in
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      let rec victim () =
+        send fd2 {|{"id": "v", "op": "fleet"}|};
+        let v = parse_resp (List.hd (read_lines fd2 1)) in
+        let busy =
+          match Jsonv.member "shards" (field "result" v) with
+          | Some (Jsonv.Arr shards) ->
+            List.filter_map
+              (fun s ->
+                match
+                  (Jsonv.member "pid" s, Jsonv.member "outstanding" s)
+                with
+                | Some (Jsonv.Num p), Some (Jsonv.Num o) when o >= 1. ->
+                  Some (int_of_float p)
+                | _ -> None)
+              shards
+          | _ -> []
+        in
+        match busy with
+        | p :: _ -> p
+        | [] ->
+          if Unix.gettimeofday () > deadline then
+            Alcotest.fail "no shard ever reported the sleep outstanding"
+          else begin
+            Unix.sleepf 0.02;
+            victim ()
+          end
+      in
+      let shard_pid = victim () in
+      Unix.kill shard_pid Sys.sigkill;
+      (* the supervisor synthesizes the failure for the orphaned id *)
+      let v = parse_resp (List.hd (read_lines fd 1)) in
+      check_string "synthesized failure code" "failed" (resp_err_code v);
+      let agg = fetch_snapshot path in
+      check_bool "synthesized errors counted" true
+        (snap_counter agg "serve.fleet.synthesized_errors" >= 1);
+      check_bool "shard failure counted" true
+        (snap_counter agg "serve.fleet.shard_failures" >= 1);
+      Unix.close fd;
+      Unix.close fd2)
 
 (* ----- jobq ----- *)
 
@@ -1107,12 +1467,28 @@ let () =
           Alcotest.test_case "live socket is refused" `Quick
             test_live_socket_refused;
         ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "metrics, metrics_raw, metrics_text ops" `Quick
+            test_metrics_ops;
+          Alcotest.test_case "prometheus exposition over TCP" `Quick
+            test_exposition_endpoint;
+          Alcotest.test_case "access log with sampling" `Quick
+            test_access_log_sampling;
+          Alcotest.test_case "SLO breach accounting" `Quick test_slo_accounting;
+        ] );
       ( "fleet",
         [
           Alcotest.test_case "2-shard fleet end to end" `Quick
             test_fleet_end_to_end;
           Alcotest.test_case "rolling restart drops nothing" `Quick
             test_fleet_rolling_restart_drops_nothing;
+          Alcotest.test_case "aggregated metrics equal shard sums" `Quick
+            test_fleet_aggregated_metrics;
+          Alcotest.test_case "distributed trace merges >= 3 processes" `Quick
+            test_fleet_distributed_trace;
+          Alcotest.test_case "shard death is counted and synthesized" `Quick
+            test_fleet_shard_death_counted;
         ] );
       ( "bugfixes",
         [

@@ -1,0 +1,207 @@
+(* CI bench-regression gate.
+
+     gate.exe BASELINE.json CURRENT.json [--summary FILE]
+              [--tolerance-scale X]
+
+   Compares the bench harness's `--json` output against the committed
+   baseline (BENCH_BASELINE.json at the repo root) and exits non-zero
+   when a *gated* metric regressed beyond its tolerance:
+
+     - bechamel_ns_per_run."cudaadvisor/table1-simulate-nn"
+       (the simulator hot loop)                      : > 25%
+     - serve_fleet."1".hot_ms_p50
+       (the daemon's cached-answer hot path)         : > 25% + 0.05 ms
+
+   The absolute slack keeps sub-millisecond metrics from tripping on
+   scheduler jitter; `--tolerance-scale` (or the GATE_TOLERANCE_SCALE
+   environment variable) multiplies every relative tolerance — CI
+   runners have noisier neighbours than the machine the baseline was
+   recorded on.
+
+   Every other shared numeric leaf under sections / bechamel_ns_per_run
+   / serve_fleet / telemetry is compared too, but only *reported*
+   (warn at > 50%): those either measure wall-clock of whole sections
+   (dominated by machine speed) or are covered by their own tests.
+   The full comparison is written as a Markdown table to --summary
+   (CI passes $GITHUB_STEP_SUMMARY) and echoed to stdout. *)
+
+module Jsonv = Obs.Jsonv
+
+type gated = {
+  g_path : string list;
+  g_tolerance : float; (* relative, e.g. 0.25 = +25% *)
+  g_slack : float; (* absolute headroom in the metric's own unit *)
+  g_unit : string;
+}
+
+let gated_metrics =
+  [ { g_path = [ "bechamel_ns_per_run"; "cudaadvisor/table1-simulate-nn" ];
+      g_tolerance = 0.25;
+      g_slack = 0.0;
+      g_unit = "ns/run" };
+    { g_path = [ "serve_fleet"; "1"; "hot_ms_p50" ];
+      g_tolerance = 0.25;
+      g_slack = 0.05;
+      g_unit = "ms" } ]
+
+(* Numeric leaves under the comparable top-level sections, as
+   (dotted-path, value); lower is better for every one of them. *)
+let comparable_roots =
+  [ "sections"; "bechamel_ns_per_run"; "serve_fleet"; "telemetry" ]
+
+let leaves (doc : Jsonv.t) =
+  let rec go prefix v acc =
+    match v with
+    | Jsonv.Num f -> (List.rev prefix, f) :: acc
+    | Jsonv.Obj fields ->
+      List.fold_left (fun acc (k, v) -> go (k :: prefix) v acc) acc fields
+    | _ -> acc
+  in
+  match doc with
+  | Jsonv.Obj fields ->
+    List.concat_map
+      (fun (k, v) ->
+        if List.mem k comparable_roots then List.rev (go [ k ] v []) else [])
+      fields
+  | _ -> []
+
+let dotted path = String.concat "." path
+
+let read_json path =
+  let ic = open_in_bin path in
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Jsonv.parse s with
+  | Ok v -> v
+  | Error msg ->
+    Printf.eprintf "gate: %s: invalid JSON: %s\n" path msg;
+    exit 2
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let rec split pos opts = function
+    | "--summary" :: f :: rest -> split pos (("summary", f) :: opts) rest
+    | "--tolerance-scale" :: x :: rest -> split pos (("scale", x) :: opts) rest
+    | x :: rest -> split (x :: pos) opts rest
+    | [] -> (List.rev pos, opts)
+  in
+  let pos, opts = split [] [] args in
+  let baseline_file, current_file =
+    match pos with
+    | [ b; c ] -> (b, c)
+    | _ ->
+      Printf.eprintf
+        "usage: gate.exe BASELINE.json CURRENT.json [--summary FILE] \
+         [--tolerance-scale X]\n";
+      exit 2
+  in
+  let scale =
+    match
+      (List.assoc_opt "scale" opts, Sys.getenv_opt "GATE_TOLERANCE_SCALE")
+    with
+    | Some x, _ | None, Some x -> (
+      match float_of_string_opt x with
+      | Some f when f > 0. -> f
+      | _ ->
+        Printf.eprintf "gate: bad tolerance scale %S\n" x;
+        exit 2)
+    | None, None -> 1.0
+  in
+  let baseline = read_json baseline_file in
+  let current = read_json current_file in
+  let base_leaves = leaves baseline in
+  let cur_leaves = leaves current in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "### Bench regression gate\n\n\
+        baseline `%s` vs current `%s` (tolerance scale %.2f)\n\n\
+        | metric | baseline | current | delta | budget | status |\n\
+        | --- | ---: | ---: | ---: | ---: | --- |\n"
+       baseline_file current_file scale);
+  let failures = ref [] in
+  let row ~path ~unit ~base ~cur ~budget ~status =
+    Buffer.add_string buf
+      (Printf.sprintf "| `%s` | %.3f %s | %.3f %s | %+.1f%% | +%.0f%% | %s |\n"
+         (dotted path) base unit cur unit
+         (100. *. ((cur -. base) /. base))
+         (100. *. budget) status)
+  in
+  (* the gated metrics: absent from current = fail (a gate that cannot
+     see its metric must not silently pass) *)
+  List.iter
+    (fun g ->
+      match
+        (List.assoc_opt g.g_path base_leaves, List.assoc_opt g.g_path cur_leaves)
+      with
+      | Some base, Some cur ->
+        let tolerance = g.g_tolerance *. scale in
+        let limit = (base *. (1. +. tolerance)) +. g.g_slack in
+        if cur > limit then begin
+          failures :=
+            Printf.sprintf "%s: %.3f -> %.3f %s (limit %.3f)" (dotted g.g_path)
+              base cur g.g_unit limit
+            :: !failures;
+          row ~path:g.g_path ~unit:g.g_unit ~base ~cur ~budget:tolerance
+            ~status:"**FAIL**"
+        end
+        else
+          row ~path:g.g_path ~unit:g.g_unit ~base ~cur ~budget:tolerance
+            ~status:"ok (gated)"
+      | base, cur ->
+        let missing = if cur = None then current_file else baseline_file in
+        failures :=
+          Printf.sprintf "%s: missing from %s" (dotted g.g_path) missing
+          :: !failures;
+        Buffer.add_string buf
+          (Printf.sprintf "| `%s` | %s | %s | - | - | **FAIL** (missing) |\n"
+             (dotted g.g_path)
+             (match base with Some b -> Printf.sprintf "%.3f" b | None -> "?")
+             (match cur with Some c -> Printf.sprintf "%.3f" c | None -> "?")))
+    gated_metrics;
+  (* everything else shared: informational.  Skip leaves where lower is
+     not better (throughputs) or that are configuration echoes. *)
+  let is_gated path = List.exists (fun g -> g.g_path = path) gated_metrics in
+  let not_a_cost path =
+    match List.rev path with
+    | last :: _ ->
+      last = "shards" || last = "variants"
+      || (String.length last > 10
+          && String.sub last (String.length last - 10) 10 = "_req_per_s")
+    | [] -> true
+  in
+  List.iter
+    (fun (path, base) ->
+      if (not (is_gated path)) && not (not_a_cost path) then
+        match List.assoc_opt path cur_leaves with
+        | None -> ()
+        | Some cur when base = 0. -> ignore cur
+        | Some cur ->
+          let budget = 0.50 *. scale in
+          let status =
+            if cur > base *. (1. +. budget) then "warn" else "ok"
+          in
+          row ~path ~unit:"" ~base ~cur ~budget ~status)
+    base_leaves;
+  (match !failures with
+  | [] -> Buffer.add_string buf "\nGate passed.\n"
+  | fs ->
+    Buffer.add_string buf
+      (Printf.sprintf "\n**Gate FAILED** (%d metric(s)):\n" (List.length fs));
+    List.iter
+      (fun f -> Buffer.add_string buf (Printf.sprintf "- %s\n" f))
+      (List.rev fs));
+  let report = Buffer.contents buf in
+  print_string report;
+  (match List.assoc_opt "summary" opts with
+  | None -> ()
+  | Some file ->
+    let oc =
+      open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 file
+    in
+    output_string oc report;
+    close_out oc);
+  if !failures <> [] then exit 1

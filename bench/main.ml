@@ -800,6 +800,58 @@ let staticfast () =
         :: !staticfast_rows)
     Workloads.Registry.all
 
+(* ----- tune: variant tournaments over the registry ----- *)
+
+let tune_rows : (string * Analysis.Json.t) list ref = ref []
+
+(* The standard sweep (CTA-width double/halve, half-bypassed warps,
+   4x-unrolled loops) for every Table-2 app, through the same
+   Tune.Evaluate engine the serve daemon's `evaluate` op runs. *)
+let tune_bench () =
+  heading "Tune: variant tournaments (bypass / block-size / unroll sweep)";
+  let arch = kepler16 () in
+  tune_rows := [];
+  Printf.printf "%-10s %8s %-12s %8s %7s\n" "App" "variants" "best" "speedup"
+    "secs";
+  List.iter
+    (fun (w : Workloads.Common.t) ->
+      let t0 = Unix.gettimeofday () in
+      let result = Tune.Sweep.run ~arch w in
+      let secs = Unix.gettimeofday () -. t0 in
+      let doc =
+        match Obs.Jsonv.parse (Analysis.Json.to_string result) with
+        | Ok v -> v
+        | Error _ -> Obs.Jsonv.Null
+      in
+      let n_variants =
+        match Obs.Jsonv.member "variants" doc with
+        | Some (Obs.Jsonv.Arr vs) -> List.length vs
+        | _ -> 0
+      in
+      let best_name, best_speedup =
+        match Obs.Jsonv.member "ranking" doc with
+        | Some (Obs.Jsonv.Arr (top :: _)) ->
+          ( Option.value
+              (Option.bind (Obs.Jsonv.member "name" top) Obs.Jsonv.to_string_opt)
+              ~default:"?",
+            Option.value
+              (Option.bind
+                 (Obs.Jsonv.member "speedup_vs_baseline" top)
+                 Obs.Jsonv.to_float_opt)
+              ~default:Float.nan )
+        | _ -> ("?", Float.nan)
+      in
+      Printf.printf "%-10s %8d %-12s %7.3fx %7.2f\n%!" w.name n_variants
+        best_name best_speedup secs;
+      let open Analysis.Json in
+      tune_rows :=
+        ( w.name,
+          Obj
+            [ ("variants", Int n_variants); ("best", String best_name);
+              ("best_speedup", Float best_speedup); ("seconds", Float secs) ] )
+        :: !tune_rows)
+    Workloads.Registry.all
+
 (* ----- fleet telemetry costs: snapshot, merge, exposition render ----- *)
 
 let telemetry_rows : (string * Analysis.Json.t) list ref = ref []
@@ -859,7 +911,8 @@ let all_sections =
     ("fig9", fig9); ("fig10", fig10); ("vertical", vertical);
     ("ablation", ablation); ("serve", serve_bench);
     ("servefleet", serve_fleet_bench); ("staticfast", staticfast);
-    ("telemetry", telemetry); ("bech", bechamel); ("smoke", smoke) ]
+    ("tune", tune_bench); ("telemetry", telemetry); ("bech", bechamel);
+    ("smoke", smoke) ]
 
 let () =
   (* `--json FILE` may appear anywhere among the section names *)
@@ -939,6 +992,7 @@ let () =
            Obj (List.map (fun (n, t) -> (n, Float t)) (List.sort compare !bech_rows)));
           ("serve_fleet", Obj (List.rev !fleet_rows));
           ("staticfast", Obj (List.rev !staticfast_rows));
+          ("tune", Obj (List.rev !tune_rows));
           ("telemetry", Obj !telemetry_rows);
           ("compile_cache", Obj [ ("hits", Int hits); ("misses", Int misses) ]);
           ("decode_cache", Obj [ ("hits", Int dhits); ("misses", Int dmisses) ]);

@@ -338,6 +338,277 @@ let bypass_cmd =
        ~doc:"Horizontal cache-bypassing study: oracle sweep vs the Eq.-(1) model.")
     Term.(ret (const bypass_run $ obs_term $ app_arg $ arch_arg $ scale_arg))
 
+(* ----- evaluate (variant tournament) ----- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Manifest: {"baseline": "name", "variants": [{"name": ...,
+   "source_file": ... | "source": ..., "block_x": ...,
+   "bypass_warps": ...}, ...]}.  Relative source_file paths resolve
+   against the manifest's directory. *)
+let parse_manifest path =
+  let module Jsonv = Obs.Jsonv in
+  let ( let* ) = Result.bind in
+  let* doc =
+    match Jsonv.parse (read_file path) with
+    | Ok v -> Ok v
+    | Error msg -> Error (Printf.sprintf "%s: invalid JSON: %s" path msg)
+    | exception Sys_error msg -> Error msg
+  in
+  let str_of = function Some (Jsonv.Str s) -> Some s | _ -> None in
+  let int_of = function
+    | Some (Jsonv.Num f) when Float.is_integer f -> Some (int_of_float f)
+    | _ -> None
+  in
+  let* items =
+    match Jsonv.member "variants" doc with
+    | Some (Jsonv.Arr items) when items <> [] -> Ok items
+    | _ -> Error (Printf.sprintf "%s: needs a non-empty \"variants\" array" path)
+  in
+  let* specs =
+    List.fold_left
+      (fun acc (i, v) ->
+        let* acc = acc in
+        match v with
+        | Jsonv.Obj _ ->
+          let* source =
+            match (str_of (Jsonv.member "source" v),
+                   str_of (Jsonv.member "source_file" v)) with
+            | Some s, None -> Ok (Some s)
+            | None, Some f -> (
+              let f =
+                if Filename.is_relative f then
+                  Filename.concat (Filename.dirname path) f
+                else f
+              in
+              match read_file f with
+              | s -> Ok (Some s)
+              | exception Sys_error msg -> Error msg)
+            | None, None -> Ok None
+            | Some _, Some _ ->
+              Error
+                (Printf.sprintf
+                   "%s: variants[%d] has both \"source\" and \"source_file\""
+                   path i)
+          in
+          Ok
+            ({ Tune.Evaluate.sp_name =
+                 Option.value
+                   (str_of (Jsonv.member "name" v))
+                   ~default:(Printf.sprintf "v%d" i);
+               sp_source = source;
+               sp_block_x = int_of (Jsonv.member "block_x" v);
+               sp_bypass_warps = int_of (Jsonv.member "bypass_warps" v) }
+            :: acc)
+        | _ ->
+          Error (Printf.sprintf "%s: variants[%d] must be an object" path i))
+      (Ok [])
+      (List.mapi (fun i v -> (i, v)) items)
+  in
+  Ok (List.rev specs, str_of (Jsonv.member "baseline" doc))
+
+let evaluate_run finish app arch scale files manifest baseline sweep domains
+    json =
+  match find_app app with
+  | `Error _ as e -> e
+  | `Ok w -> (
+    let plan =
+      let ( let* ) = Result.bind in
+      let* specs, manifest_baseline =
+        match (sweep, manifest, files) with
+        | true, None, [] -> Ok (Tune.Sweep.specs_for w, None)
+        | false, Some path, [] -> parse_manifest path
+        | false, None, (_ :: _ as files) -> (
+          (* one variant per file, named by basename; the pristine
+             kernel rides along as the "base" baseline *)
+          match
+            List.map
+              (fun f ->
+                { Tune.Evaluate.sp_name =
+                    Filename.remove_extension (Filename.basename f);
+                  sp_source = Some (read_file f);
+                  sp_block_x = None;
+                  sp_bypass_warps = None })
+              files
+          with
+          | specs -> Ok (Tune.Evaluate.baseline_spec :: specs, None)
+          | exception Sys_error msg -> Error msg)
+        | false, None, [] ->
+          Error "need variant FILEs, --manifest or --sweep"
+        | _ ->
+          Error "FILEs, --manifest and --sweep are mutually exclusive"
+      in
+      let names = List.map (fun (s : Tune.Evaluate.spec) -> s.sp_name) specs in
+      let* () =
+        match
+          List.find_opt
+            (fun n -> List.length (List.filter (String.equal n) names) > 1)
+            names
+        with
+        | Some n -> Error (Printf.sprintf "duplicate variant name %S" n)
+        | None -> Ok ()
+      in
+      let baseline =
+        match (baseline, manifest_baseline) with
+        | Some b, _ -> b
+        | None, Some b -> b
+        | None, None -> List.hd names
+      in
+      if List.mem baseline names then Ok (specs, baseline)
+      else
+        Error
+          (Printf.sprintf "baseline %S does not name a variant (have: %s)"
+             baseline (String.concat ", " names))
+    in
+    match plan with
+    | Error msg -> `Error (false, msg)
+    | Ok (specs, baseline) ->
+      let result =
+        Tune.Evaluate.run_batch ~domains ?scale ~baseline ~arch w specs
+      in
+      if json then print_endline (Analysis.Json.to_string result)
+      else begin
+        let module Jsonv = Obs.Jsonv in
+        let doc =
+          match Jsonv.parse (Analysis.Json.to_string result) with
+          | Ok v -> v
+          | Error _ -> Jsonv.Null
+        in
+        let results_by_name =
+          match Jsonv.member "variants" doc with
+          | Some (Jsonv.Arr vs) ->
+            List.filter_map
+              (fun v ->
+                match
+                  (Option.bind (Jsonv.member "name" v) Jsonv.to_string_opt,
+                   Jsonv.member "result" v)
+                with
+                | Some n, Some r -> Some (n, r)
+                | _ -> None)
+              vs
+          | _ -> []
+        in
+        let fnum r k =
+          match Option.bind (Jsonv.member k r) Jsonv.to_float_opt with
+          | Some f -> Printf.sprintf "%.3f" f
+          | None -> "-"
+        in
+        Printf.printf "%s on %s (scale %s, baseline %s):\n"
+          w.Workloads.Common.name arch.Gpusim.Arch.name
+          (match Jsonv.member "scale" doc with
+          | Some (Jsonv.Num f) -> string_of_int (int_of_float f)
+          | _ -> "?")
+          baseline;
+        Printf.printf "%4s  %-16s %-14s %10s  %8s  %7s  %6s  %s\n" "rank"
+          "name" "status" "cycles" "speedup" "l1-hit" "m.div" "check";
+        (match Jsonv.member "ranking" doc with
+        | Some (Jsonv.Arr rows) ->
+          List.iter
+            (fun row ->
+              let name =
+                Option.value
+                  (Option.bind (Jsonv.member "name" row) Jsonv.to_string_opt)
+                  ~default:"?"
+              in
+              let r = List.assoc_opt name results_by_name in
+              let status =
+                Option.value
+                  (Option.bind (Jsonv.member "status" row) Jsonv.to_string_opt)
+                  ~default:"?"
+              in
+              let num k =
+                match Option.bind (Jsonv.member k row) Jsonv.to_float_opt with
+                | Some f -> f
+                | None -> Float.nan
+              in
+              Printf.printf "%4.0f  %-16s %-14s %10s  %8s  %7s  %6s  %s\n"
+                (num "rank") name status
+                (match Jsonv.member "cycles" row with
+                | Some (Jsonv.Num f) -> string_of_int (int_of_float f)
+                | _ -> "-")
+                (match Jsonv.member "speedup_vs_baseline" row with
+                | Some (Jsonv.Num f) -> Printf.sprintf "%.3f" f
+                | _ -> "-")
+                (match r with Some r -> fnum r "l1_hit_rate" | None -> "-")
+                (match r with
+                | Some r -> fnum r "divergence_degree"
+                | None -> "-")
+                (match Option.bind r (fun r -> Jsonv.member "check_clean" r) with
+                | Some (Jsonv.Bool true) -> "clean"
+                | Some (Jsonv.Bool false) -> "DIRTY"
+                | _ -> "-"))
+            rows
+        | _ -> ());
+        List.iter
+          (fun (n, r) ->
+            match
+              Option.bind (Jsonv.member "error" r) Jsonv.to_string_opt
+            with
+            | Some msg -> Printf.printf "  %s: %s\n" n msg
+            | None -> ())
+          results_by_name
+      end;
+      finish ();
+      `Ok ())
+
+let evaluate_cmd =
+  let files_arg =
+    Arg.(
+      value
+      & pos_right 0 file []
+      & info [] ~docv:"FILE"
+          ~doc:"Kernel-source variant files; each becomes one variant named \
+                after its basename, competing against the pristine kernel \
+                (variant \"base\").")
+  in
+  let manifest_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "manifest" ] ~docv:"FILE"
+          ~doc:"JSON manifest: {\"baseline\": NAME, \"variants\": [{\"name\", \
+                \"source_file\" or \"source\", \"block_x\", \
+                \"bypass_warps\"}, ...]}.")
+  in
+  let baseline_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "baseline" ] ~docv:"NAME"
+          ~doc:"Variant every other variant is ranked against (default: the \
+                manifest's baseline, else the first variant).")
+  in
+  let sweep_flag =
+    Arg.(
+      value & flag
+      & info [ "sweep" ]
+          ~doc:"Generate the standard tuning sweep instead of reading variant \
+                files: pristine baseline, CTA-width double/halve, \
+                half-bypassed warps, and 4x-unrolled inner loops.")
+  in
+  let domains_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Evaluate up to $(docv) variants concurrently.")
+  in
+  Cmd.v
+    (Cmd.info "evaluate"
+       ~doc:"Batch-evaluate kernel variants of one application: per-variant \
+             compile status, correctness check, cycles, L1 hit rate and \
+             divergence, plus a ranking against a baseline variant.  The \
+             same tournament is served by `cudaadvisor serve` as the \
+             \"evaluate\" op.")
+    Term.(
+      ret
+        (const evaluate_run $ obs_term $ app_arg $ arch_arg $ scale_arg
+        $ files_arg $ manifest_arg $ baseline_arg $ sweep_flag $ domains_arg
+        $ json_flag))
+
 (* ----- overhead ----- *)
 
 let overhead_run finish app arch scale =
@@ -733,5 +1004,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; profile_cmd; report_cmd; check_cmd; bypass_cmd;
-            overhead_cmd; trace_cmd; dump_ir_cmd; dump_ptx_cmd; serve_cmd;
-            trace_merge_cmd; top_cmd ]))
+            evaluate_cmd; overhead_cmd; trace_cmd; dump_ir_cmd; dump_ptx_cmd;
+            serve_cmd; trace_merge_cmd; top_cmd ]))

@@ -9,6 +9,10 @@ type t =
   | String of string
   | List of t list
   | Obj of (string * t) list
+  | Raw of string
+      (* pre-serialized JSON spliced verbatim: lets an assembler reuse
+         cached result bytes while guaranteeing the surrounding document
+         is byte-identical to one built from structured values *)
 
 let escape s =
   let buf = Buffer.create (String.length s + 8) in
@@ -28,6 +32,7 @@ let escape s =
 
 let rec write buf = function
   | Null -> Buffer.add_string buf "null"
+  | Raw s -> Buffer.add_string buf s
   | Bool b -> Buffer.add_string buf (if b then "true" else "false")
   | Int i -> Buffer.add_string buf (string_of_int i)
   | Float f ->

@@ -178,9 +178,11 @@ type session = {
 let default_options =
   { Passes.Instrument.memory = true; control_flow = true; arithmetic = false; sharing = false }
 
-(* Run [workload] fully instrumented under the profiler. *)
+(* Run [workload] fully instrumented under the profiler.  [block_x]
+   forces the CTA width on every launch (the block-size tuning knob of
+   `advisor evaluate`), grid-rescaled by the host runtime. *)
 let profile ?(options = default_options) ?(keep_mem_events = true) ?scale
-    ~arch (workload : Workloads.Common.t) =
+    ?block_x ~arch (workload : Workloads.Common.t) =
   Obs.Trace.with_span ~cat:"advisor" ("profile:" ^ workload.name) @@ fun () ->
   let scale = Option.value scale ~default:workload.default_scale in
   let compiled =
@@ -188,7 +190,10 @@ let profile ?(options = default_options) ?(keep_mem_events = true) ?scale
   in
   let manifest = Option.get compiled.manifest in
   let profiler = Profiler.Profile.create ~keep_mem_events ~manifest () in
-  let host = Hostrt.Host.create ~profiler ~arch ~prog:compiled.prog () in
+  let host =
+    Hostrt.Host.create ~profiler ?block_x_override:block_x ~arch
+      ~prog:compiled.prog ()
+  in
   Obs.Trace.with_span ~cat:"advisor" ("run:" ^ workload.name) (fun () ->
       workload.run host ~scale);
   { workload; arch; profiler; host; scale }
@@ -196,13 +201,15 @@ let profile ?(options = default_options) ?(keep_mem_events = true) ?scale
 (* Run [workload] natively (no instrumentation, no profiler); returns
    total kernel cycles — the baseline of the overhead study (Fig. 10)
    and of the bypassing experiments (Figs. 6/7). *)
-let run_native ?(l1_enabled = true) ?(transform = fun p -> p) ?scale ~arch
-    (workload : Workloads.Common.t) =
+let run_native ?(l1_enabled = true) ?(transform = fun p -> p) ?scale ?block_x
+    ~arch (workload : Workloads.Common.t) =
   Obs.Trace.with_span ~cat:"advisor" ("native:" ^ workload.name) @@ fun () ->
   let scale = Option.value scale ~default:workload.default_scale in
   let compiled = compile_source ~file:workload.source_file workload.source in
   let prog = transform compiled.prog in
-  let host = Hostrt.Host.create ~l1_enabled ~arch ~prog () in
+  let host =
+    Hostrt.Host.create ~l1_enabled ?block_x_override:block_x ~arch ~prog ()
+  in
   workload.run host ~scale;
   (Hostrt.Host.total_kernel_cycles host, host)
 

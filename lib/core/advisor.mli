@@ -75,11 +75,14 @@ type session = {
 
 (** Instrument [workload], run it on the simulated [arch] under the
     profiler, and return the session.  [keep_mem_events:false] drops the
-    raw memory trace (for overhead-only runs). *)
+    raw memory trace (for overhead-only runs).  [block_x] forces the
+    CTA width on every launch (grid-rescaled; see
+    {!Hostrt.Host.create}). *)
 val profile :
   ?options:Passes.Instrument.options ->
   ?keep_mem_events:bool ->
   ?scale:int ->
+  ?block_x:int ->
   arch:Gpusim.Arch.t ->
   Workloads.Common.t ->
   session
@@ -91,6 +94,7 @@ val run_native :
   ?l1_enabled:bool ->
   ?transform:(Ptx.Isa.prog -> Ptx.Isa.prog) ->
   ?scale:int ->
+  ?block_x:int ->
   arch:Gpusim.Arch.t ->
   Workloads.Common.t ->
   int * Hostrt.Host.t

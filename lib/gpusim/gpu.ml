@@ -86,6 +86,11 @@ let cancel_key : (unit -> string option) Domain.DLS.key =
 let set_cancel_check f = Domain.DLS.set cancel_key f
 let clear_cancel_check () = Domain.DLS.set cancel_key (fun () -> None)
 
+(* The calling domain's installed check, for propagating one request's
+   deadline into worker domains it fans work out to (DLS does not
+   inherit across [Domain.spawn]). *)
+let current_cancel_check () = Domain.DLS.get cancel_key
+
 (* Poll the calling domain's check and raise if it fired.  Exposed for
    non-simulation long operations (the serve daemon's diagnostic ops). *)
 let poll_cancel () =

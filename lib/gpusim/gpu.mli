@@ -74,6 +74,12 @@ val set_cancel_check : (unit -> string option) -> unit
 
 val clear_cancel_check : unit -> unit
 
+(** The check currently installed on the calling domain (the default
+    never fires).  Lets an embedder capture one request's deadline and
+    re-install it on worker domains it fans out to, since DLS state
+    does not inherit across [Domain.spawn]. *)
+val current_cancel_check : unit -> unit -> string option
+
 (** Poll the calling domain's check now, raising {!Cancelled} if it
     fired.  For long non-simulation operations that want the same
     deadline behaviour. *)

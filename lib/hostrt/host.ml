@@ -13,6 +13,9 @@ type t = {
   mutable shadow : Profiler.Records.host_frame list; (* top first *)
   mutable launches : (string * Gpusim.Gpu.result) list; (* reversed *)
   l1_enabled : bool;
+  block_x_override : int option;
+      (* tuning knob: force this CTA width on every launch, rescaling
+         grid.x so the total x-thread count never shrinks *)
 }
 
 (* Host-side traffic totals: allocation and PCIe-transfer volume, the
@@ -22,7 +25,10 @@ let m_dev_allocs = Obs.Metrics.counter "host.cuda_mallocs"
 let m_h2d_bytes = Obs.Metrics.counter "host.memcpy.h2d_bytes"
 let m_d2h_bytes = Obs.Metrics.counter "host.memcpy.d2h_bytes"
 
-let create ?profiler ?(l1_enabled = true) ~arch ~prog () =
+let create ?profiler ?(l1_enabled = true) ?block_x_override ~arch ~prog () =
+  (match block_x_override with
+  | Some bx when bx <= 0 -> invalid_arg "Host.create: block_x_override must be > 0"
+  | _ -> ());
   {
     device = Gpusim.Gpu.create_device arch;
     prog;
@@ -31,6 +37,7 @@ let create ?profiler ?(l1_enabled = true) ~arch ~prog () =
     shadow = [];
     launches = [];
     l1_enabled;
+    block_x_override;
   }
 
 let host_mem t = t.hostmem
@@ -95,6 +102,17 @@ let memcpy_d2h t ~dst ~src ~bytes =
    closes the instance at kernel exit (the data-marshaling point). *)
 let launch_kernel ?prog t ~kernel ~grid ~block ~args =
   let prog = Option.value prog ~default:t.prog in
+  (* The block-x tuning knob: keep the driver's total x-thread count by
+     rescaling grid.x around the forced CTA width (rounding up, so
+     bounds-checked kernels stay correct at any width). *)
+  let grid, block =
+    match t.block_x_override with
+    | Some bx when bx <> fst block ->
+      let gx, gy = grid and ox, oy = block in
+      let total_x = gx * ox in
+      (((total_x + bx - 1) / bx, gy), (bx, oy))
+    | _ -> (grid, block)
+  in
   let result =
     match t.profiler with
     | Some p ->

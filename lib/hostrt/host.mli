@@ -11,10 +11,15 @@
 type t
 
 (** Fresh host context over a simulated device.  When [profiler] is
-    given, every allocation, transfer and launch is recorded. *)
+    given, every allocation, transfer and launch is recorded.
+    [block_x_override] is the block-size tuning knob: every launch is
+    forced to that CTA width, with grid.x rescaled (rounding up) so the
+    total x-thread count never shrinks.  Raises [Invalid_argument] on a
+    non-positive override. *)
 val create :
   ?profiler:Profiler.Profile.t ->
   ?l1_enabled:bool ->
+  ?block_x_override:int ->
   arch:Gpusim.Arch.t ->
   prog:Ptx.Isa.prog ->
   unit ->

@@ -1,0 +1,210 @@
+(* Conservative source-to-source loop unrolling for MiniCUDA — the
+   unroll-factor knob of the tuning sweeps (`advisor evaluate` /
+   `lib/tune`).
+
+   Only the innermost loops of the exact shape
+
+     for (int K = INIT; K < BOUND; K = K + 1) { BODY }
+
+   are rewritten, and only when BODY is simple enough that duplicating
+   it is obviously meaning-preserving: no nested [for], no local
+   declarations (duplication would re-declare), no control keywords
+   that could leave the loop, and no other assignment to K.  The
+   rewrite keeps the original loop structure and handles any remainder
+   inline with guarded copies, so it is exact for every trip count:
+
+     for (int K = INIT; K < BOUND; K = K + 1) {
+       BODY
+       if (K + 1 < BOUND) { K = K + 1;
+         BODY
+         ... (factor - 1 guarded copies) ...
+       }
+     }
+
+   Working on source text (rather than the AST) is deliberate: the
+   transformed variant is submitted through the same front door as any
+   user-supplied kernel source, exercising the full compile path, and
+   the variant text itself is the content-addressed cache identity. *)
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_'
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let skip_ws src i =
+  let n = String.length src in
+  let rec go i = if i < n && is_space src.[i] then go (i + 1) else i in
+  go i
+
+(* [src.[i..]] starts the token [word] (not a prefix of a longer
+   identifier on either side). *)
+let token_at src i word =
+  let n = String.length src and w = String.length word in
+  i + w <= n
+  && String.sub src i w = word
+  && (i = 0 || not (is_ident_char src.[i - 1]))
+  && (i + w >= n || not (is_ident_char src.[i + w]))
+
+let contains_token src word =
+  let n = String.length src in
+  let rec go i = i < n && (token_at src i word || go (i + 1)) in
+  go 0
+
+(* Span of a balanced [(...)] or [{...}] starting at [i]; returns the
+   index one past the closing delimiter, or None when unbalanced. *)
+let balanced_span src i ~open_c ~close_c =
+  let n = String.length src in
+  let rec go i depth =
+    if i >= n then None
+    else if src.[i] = open_c then go (i + 1) (depth + 1)
+    else if src.[i] = close_c then
+      if depth = 1 then Some (i + 1) else go (i + 1) (depth - 1)
+    else go (i + 1) depth
+  in
+  if i < n && src.[i] = open_c then go i 0 else None
+
+(* Split a for-header body (the text between the parens) on its two
+   top-level semicolons. *)
+let split_header h =
+  let n = String.length h in
+  let rec go i depth acc cur =
+    if i >= n then List.rev (String.concat "" (List.rev cur) :: acc)
+    else
+      let c = h.[i] in
+      if c = '(' || c = '[' then go (i + 1) (depth + 1) acc (String.make 1 c :: cur)
+      else if c = ')' || c = ']' then go (i + 1) (depth - 1) acc (String.make 1 c :: cur)
+      else if c = ';' && depth = 0 then
+        go (i + 1) depth (String.concat "" (List.rev cur) :: acc) []
+      else go (i + 1) depth acc (String.make 1 c :: cur)
+  in
+  go 0 0 [] []
+
+let trim = String.trim
+
+(* "int K = INIT" -> Some (K, INIT) *)
+let parse_init s =
+  let s = trim s in
+  if not (token_at s 0 "int") then None
+  else
+    let i = skip_ws s 3 in
+    let n = String.length s in
+    let rec ident_end j = if j < n && is_ident_char s.[j] then ident_end (j + 1) else j in
+    let e = ident_end i in
+    if e = i then None
+    else
+      let var = String.sub s i (e - i) in
+      let j = skip_ws s e in
+      if j < n && s.[j] = '=' && (j + 1 >= n || s.[j + 1] <> '=') then
+        Some (var, trim (String.sub s (j + 1) (n - j - 1)))
+      else None
+
+(* "K < BOUND" -> Some BOUND (strict <, matching [var] only) *)
+let parse_cond ~var s =
+  let s = trim s in
+  let v = String.length var in
+  if not (token_at s 0 var) then None
+  else
+    let j = skip_ws s v in
+    let n = String.length s in
+    if j < n && s.[j] = '<' && (j + 1 >= n || (s.[j + 1] <> '=' && s.[j + 1] <> '<'))
+    then Some (trim (String.sub s (j + 1) (n - j - 1)))
+    else None
+
+(* normalized-whitespace equality with "K = K + 1" *)
+let is_incr ~var s =
+  let squash s =
+    String.concat " "
+      (List.filter (fun w -> w <> "")
+         (String.split_on_char ' '
+            (String.map (fun c -> if is_space c then ' ' else c) s)))
+  in
+  squash s = Printf.sprintf "%s = %s + 1" var var
+
+(* A body copy is safe when it cannot leave the loop, declares nothing,
+   contains no nested loop and never writes the induction variable. *)
+let body_safe ~var body =
+  let bad =
+    [ "for"; "while"; "return"; "break"; "continue"; "int"; "float"; "__syncthreads" ]
+  in
+  (not (List.exists (contains_token body) bad))
+  &&
+  (* no assignment to [var]: find each token occurrence and reject when
+     followed by '=' (but not '==') *)
+  let n = String.length body in
+  let rec ok i =
+    if i >= n then true
+    else if token_at body i var then begin
+      let j = skip_ws body (i + String.length var) in
+      if j < n && body.[j] = '=' && (j + 1 >= n || body.[j + 1] <> '=') then false
+      else ok (i + String.length var)
+    end
+    else ok (i + 1)
+  in
+  ok 0
+
+(* The guarded-copy expansion of one matched loop. *)
+let expand ~factor ~var ~init ~bound ~body =
+  let buf = Buffer.create (String.length body * factor + 256) in
+  Buffer.add_string buf
+    (Printf.sprintf "for (int %s = %s; %s < %s; %s = %s + 1) {" var init var
+       bound var var);
+  Buffer.add_string buf body;
+  for _ = 2 to factor do
+    Buffer.add_string buf
+      (Printf.sprintf "\nif (%s + 1 < %s) { %s = %s + 1;" var bound var var);
+    Buffer.add_string buf body
+  done;
+  for _ = 2 to factor do
+    Buffer.add_string buf "}"
+  done;
+  Buffer.add_string buf "\n}";
+  Buffer.contents buf
+
+(* Unroll every innermost matching loop of [src] by [factor].  Returns
+   the rewritten source and how many loops were rewritten (0 = returned
+   unchanged).  Raises [Invalid_argument] when [factor < 2]. *)
+let unroll ~factor src =
+  if factor < 2 then invalid_arg "Unroll.unroll: factor must be >= 2";
+  let n = String.length src in
+  let out = Buffer.create (n * 2) in
+  let count = ref 0 in
+  let ( let* ) o f = match o with Some v -> f v | None -> None in
+  let rec go i =
+    if i >= n then ()
+    else if token_at src i "for" then begin
+      match
+        let p = skip_ws src (i + 3) in
+        let* close = balanced_span src p ~open_c:'(' ~close_c:')' in
+        let header = String.sub src (p + 1) (close - p - 2) in
+        let* init_s, cond_s, step_s =
+          match split_header header with
+          | [ a; b; c ] -> Some (a, b, c)
+          | _ -> None
+        in
+        let* var, init = parse_init init_s in
+        let* bound = parse_cond ~var cond_s in
+        let* () = if is_incr ~var step_s then Some () else None in
+        let b = skip_ws src close in
+        let* bend = balanced_span src b ~open_c:'{' ~close_c:'}' in
+        let body = String.sub src (b + 1) (bend - b - 2) in
+        let* () = if body_safe ~var body then Some () else None in
+        Some (bend, expand ~factor ~var ~init ~bound ~body)
+      with
+      | Some (next, text) ->
+        incr count;
+        Buffer.add_string out text;
+        go next
+      | None ->
+        Buffer.add_string out "for";
+        go (i + 3)
+    end
+    else begin
+      Buffer.add_char out src.[i];
+      go (i + 1)
+    end
+  in
+  go 0;
+  (Buffer.contents out, !count)

@@ -28,7 +28,19 @@
    - fields that cannot change the result bytes are excluded:
      [id] (echoed around the cached payload), [timeout_ms] (a hit is
      faster than any deadline) and [domains] (bypass results are
-     documented domain-count-independent). *)
+     documented domain-count-independent).
+
+   [evaluate] is deliberately NOT whole-batch cacheable: its response
+   bytes depend on the variant mix, names and baseline of one
+   submission.  Caching happens one level down instead — the router
+   threads the result cache into [Tune.Evaluate.run_batch], which keys
+   each variant's result object by [Tune.Evaluate.variant_key]
+   ("evaluate.variant" | app | arch | scale | variant source | knobs),
+   so any batch containing a previously evaluated variant hits, no
+   matter how the surrounding batch is shaped.  For the fleet this
+   means a batch routes by the [routing_key] fallback
+   ("evaluate|app|arch"): every batch for one app lands on one shard,
+   which therefore accumulates all of that app's per-variant entries. *)
 
 let cacheable_ops = [ "profile"; "profile_fast"; "check"; "bypass" ]
 

@@ -21,6 +21,16 @@
 module Json = Analysis.Json
 module Jsonv = Obs.Jsonv
 
+(* One kernel variant of an evaluate batch: an optional source
+   replacement plus the two non-source knobs.  All fields optional —
+   an empty object is the app's pristine kernel. *)
+type variant = {
+  v_name : string option; (* stable id; defaults to "v<index>" *)
+  v_source : string option;
+  v_block_x : int option;
+  v_bypass_warps : int option;
+}
+
 type request = {
   id : Json.t; (* echoed verbatim; [Json.Null] when absent *)
   op : string;
@@ -28,11 +38,13 @@ type request = {
   arch_name : string; (* default "kepler" *)
   scale : int option;
   timeout_ms : int option; (* overrides the server default *)
-  domains : int option; (* fan-out inside one request (bypass) *)
+  domains : int option; (* fan-out inside one request (bypass/evaluate) *)
   instrument : string option; (* compile op: none|profile|check|all *)
   tier : string option; (* profile op: exact|static answer tier *)
   out : string option; (* trace op: Chrome-trace output path *)
   ms : int option; (* sleep op *)
+  variants : variant list option; (* evaluate op: the batch *)
+  baseline : string option; (* evaluate op: baseline variant name *)
   trace_id : string option; (* distributed-trace id, propagated downstream *)
   parent_span : string option; (* caller's span name, for cross-process links *)
 }
@@ -67,6 +79,36 @@ let int_field obj name =
   | Some (Jsonv.Num f) when Float.is_integer f -> Ok (Some (int_of_float f))
   | Some _ -> Error (Printf.sprintf "field %S must be an integer" name)
 
+(* "variants": an array of objects, each with optional name / source /
+   block_x / bypass_warps.  Parsing stays purely structural here;
+   semantic limits (batch size, unique names, baseline membership) are
+   the router's validation. *)
+let variants_field obj =
+  let variant_at i v =
+    match v with
+    | Jsonv.Obj _ ->
+      let* v_name = str_field v "name" in
+      let* v_source = str_field v "source" in
+      let* v_block_x = int_field v "block_x" in
+      let* v_bypass_warps = int_field v "bypass_warps" in
+      Ok { v_name; v_source; v_block_x; v_bypass_warps }
+    | _ -> Error (Printf.sprintf "variants[%d] must be a JSON object" i)
+  in
+  match Jsonv.member "variants" obj with
+  | None | Some Jsonv.Null -> Ok None
+  | Some (Jsonv.Arr items) ->
+    let* parsed =
+      List.fold_left
+        (fun acc (i, v) ->
+          let* acc = acc in
+          let* one = variant_at i v in
+          Ok (one :: acc))
+        (Ok [])
+        (List.mapi (fun i v -> (i, v)) items)
+    in
+    Ok (Some (List.rev parsed))
+  | Some _ -> Error "field \"variants\" must be an array"
+
 (* Parse one request line.  Errors carry (id, code, message) so the
    reply can still correlate when the envelope parsed but a field was
    bad; an unparseable line gets [id = Null]. *)
@@ -95,6 +137,8 @@ let parse_request line : (request, Json.t * string * string) result =
       let* tier = str_field obj "tier" in
       let* out = str_field obj "out" in
       let* ms = int_field obj "ms" in
+      let* variants = variants_field obj in
+      let* baseline = str_field obj "baseline" in
       let* trace_id = str_field obj "trace_id" in
       let* parent_span = str_field obj "parent_span" in
       Ok
@@ -110,6 +154,8 @@ let parse_request line : (request, Json.t * string * string) result =
           tier;
           out;
           ms;
+          variants;
+          baseline;
           trace_id;
           parent_span;
         }

@@ -12,10 +12,13 @@ type outcome = (Json.t, string * string) result (* error = (code, message) *)
 
 let known_ops =
   [ "ping"; "list"; "metrics"; "metrics_raw"; "metrics_text"; "sleep";
-    "compile"; "profile"; "profile_fast"; "check"; "bypass"; "trace" ]
+    "compile"; "profile"; "profile_fast"; "check"; "bypass"; "evaluate";
+    "trace" ]
 
 let needs_app op =
-  List.mem op [ "compile"; "profile"; "profile_fast"; "check"; "bypass"; "trace" ]
+  List.mem op
+    [ "compile"; "profile"; "profile_fast"; "check"; "bypass"; "evaluate";
+      "trace" ]
 
 (* Static-tier requests are answered by the IR-only estimator — no
    simulator launch, cheap enough for the intake domain.  [profile_fast]
@@ -74,6 +77,69 @@ let validate_tier (r : Protocol.request) : (unit, string * string) result =
     Error
       ("bad_request", Printf.sprintf "op %S does not take a \"tier\" field" op)
 
+(* An evaluate batch resolved to the tournament engine's variant
+   specs: names defaulted positionally ("v<index>") so every variant
+   has a stable id, baseline defaulted to the first variant.  Shared
+   by validation and dispatch so they cannot disagree. *)
+let max_batch_variants = 64
+
+let evaluate_plan (r : Protocol.request) :
+    (Tune.Evaluate.spec list * string, string * string) result =
+  let bad msg = Error ("bad_request", msg) in
+  match r.variants with
+  | None | Some [] ->
+    bad "op \"evaluate\" needs a non-empty \"variants\" array"
+  | Some vs when List.length vs > max_batch_variants ->
+    bad
+      (Printf.sprintf "too many variants (%d, max %d)" (List.length vs)
+         max_batch_variants)
+  | Some vs -> (
+    let specs =
+      List.mapi
+        (fun i (v : Protocol.variant) ->
+          { Tune.Evaluate.sp_name =
+              Option.value v.Protocol.v_name ~default:(Printf.sprintf "v%d" i);
+            sp_source = v.Protocol.v_source;
+            sp_block_x = v.Protocol.v_block_x;
+            sp_bypass_warps = v.Protocol.v_bypass_warps })
+        vs
+    in
+    let bad_knob =
+      List.find_map
+        (fun (s : Tune.Evaluate.spec) ->
+          match (s.sp_block_x, s.sp_bypass_warps) with
+          | Some bx, _ when bx <= 0 ->
+            Some
+              (Printf.sprintf "variant %S: \"block_x\" must be positive"
+                 s.sp_name)
+          | _, Some bw when bw < 0 ->
+            Some
+              (Printf.sprintf "variant %S: \"bypass_warps\" must be >= 0"
+                 s.sp_name)
+          | _ -> None)
+        specs
+    in
+    match bad_knob with
+    | Some msg -> bad msg
+    | None -> (
+      let names = List.map (fun (s : Tune.Evaluate.spec) -> s.sp_name) specs in
+      let dup =
+        List.find_map
+          (fun n ->
+            if List.length (List.filter (String.equal n) names) > 1 then Some n
+            else None)
+          names
+      in
+      match dup with
+      | Some n -> bad (Printf.sprintf "duplicate variant name %S" n)
+      | None -> (
+        let baseline = Option.value r.baseline ~default:(List.hd names) in
+        if List.mem baseline names then Ok (specs, baseline)
+        else
+          bad
+            (Printf.sprintf "baseline %S does not name a submitted variant"
+               baseline))))
+
 (* Cheap pre-enqueue validation: op known, tier sensible, app/arch
    resolvable.  The expensive work happens later on a worker domain. *)
 let validate (r : Protocol.request) : (unit, string * string) result =
@@ -88,10 +154,18 @@ let validate (r : Protocol.request) : (unit, string * string) result =
     | Ok () -> (
       match resolve_arch r with
       | Error _ as e -> e
-      | Ok _ ->
-        if needs_app r.op then
-          match resolve_app r with Error e -> Error e | Ok _ -> Ok ()
-        else Ok ())
+      | Ok _ -> (
+        let app_ok =
+          if needs_app r.op then
+            match resolve_app r with Error e -> Error e | Ok _ -> Ok ()
+          else Ok ()
+        in
+        match app_ok with
+        | Error _ as e -> e
+        | Ok () ->
+          if r.op = "evaluate" then
+            match evaluate_plan r with Error e -> Error e | Ok _ -> Ok ()
+          else Ok ()))
 
 (* ----- the ops ----- *)
 
@@ -107,6 +181,7 @@ let list_apps () =
     (Json.Obj
        [ ("apps", names Workloads.Registry.all);
          ("seeded", names Workloads.Registry.seeded);
+         ("stress", names Workloads.Registry.stress);
          ("archs", Json.List (List.map (fun a -> Json.String a) Gpusim.Arch.known_names)) ])
 
 let metrics () = Ok (Metricsenc.snapshot_json (Obs.Metrics.snapshot ()))
@@ -209,6 +284,26 @@ let bypass (r : Protocol.request) =
        ~predicted_warps:b.Advisor.predicted_warps
        ~predicted_cycles:b.Advisor.predicted_cycles)
 
+(* The tournament op: evaluate an N-variant batch through the tuning
+   engine.  The batch itself is never cached (its bytes depend on the
+   variant mix), but each variant's result is, under its own
+   content-addressed sub-key — [cache] is the server's result cache,
+   threaded down so resubmitted variants cost zero simulator
+   launches.  Stress on the variants list, not this process: like
+   [bypass], the batch defaults to the worker's own domain so the
+   request deadline keeps being polled between variants. *)
+let evaluate ?cache (r : Protocol.request) =
+  let ( let* ) = Result.bind in
+  let* w = resolve_app r in
+  let* arch = resolve_arch r in
+  let* specs, baseline = evaluate_plan r in
+  let domains = Option.value r.domains ~default:1 in
+  let lookup = Option.map (fun c key -> Rescache.find c key) cache in
+  let store = Option.map (fun c key raw -> Rescache.store c key raw) cache in
+  Ok
+    (Tune.Evaluate.run_batch ~domains ?lookup ?store ?scale:r.scale ~baseline
+       ~arch w specs)
+
 (* Self-profiling run: turn tracing on (process-wide — spans from
    concurrent requests share the buffers), profile the app with the
    standard analyses, optionally export the accumulated Chrome trace. *)
@@ -235,7 +330,10 @@ let trace (r : Protocol.request) =
           ("dropped", Json.Int (Obs.Trace.dropped_count ())) ]
        @ out_field))
 
-let dispatch (r : Protocol.request) : outcome =
+(* [cache] is the server's result cache, used only by ops that manage
+   sub-entries themselves (evaluate); whole-result caching of the other
+   ops stays in the server's intake/completion path. *)
+let dispatch ?cache (r : Protocol.request) : outcome =
   if is_static r then profile_static r
   else
     match r.op with
@@ -249,5 +347,6 @@ let dispatch (r : Protocol.request) : outcome =
     | "profile" -> profile r
     | "check" -> check r
     | "bypass" -> bypass r
+    | "evaluate" -> evaluate ?cache r
     | "trace" -> trace r
     | op -> Error ("unknown_op", Printf.sprintf "unknown op %S" op)

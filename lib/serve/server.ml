@@ -212,7 +212,7 @@ let run_job t job =
   Fun.protect ~finally:Gpusim.Gpu.clear_cancel_check @@ fun () ->
   let id = job.req.Protocol.id and op = job.req.Protocol.op in
   let dispatch () =
-    match Router.dispatch job.req with
+    match Router.dispatch ?cache:t.cache job.req with
     | Ok result ->
       Obs.Metrics.incr m_ok;
       (* serialize once; the same bytes answer this request and, via

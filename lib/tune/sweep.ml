@@ -1,0 +1,53 @@
+(* Canned tuning sweeps: for one workload, generate the standard
+   variant tournament over the three knobs the advisor can act on —
+   horizontal-bypass fraction (Section 4.2-(D)), CTA width, and
+   unroll factor — and run it through {!Evaluate.run_batch}.
+
+   The generated variants deliberately reuse the public knobs (source
+   rewrite, [block_x], [bypass_warps]) rather than private hooks, so a
+   sweep's per-variant results share cache entries with identical
+   variants submitted by hand, and the unrolled sources double as the
+   registry's stress workloads. *)
+
+module Common = Workloads.Common
+
+let baseline_name = Evaluate.baseline_spec.Evaluate.sp_name
+
+(* CTA-width candidates: double and halve the app's width, keeping at
+   least a quarter-warp and at most the simulator's 1024-thread CTA. *)
+let block_candidates (w : Common.t) =
+  let bx, by = w.Common.block_dims in
+  List.filter
+    (fun nbx -> nbx >= 8 && nbx <> bx && nbx * by <= 1024)
+    [ bx * 2; bx / 2 ]
+
+let specs_for (w : Common.t) =
+  let open Evaluate in
+  let blocks =
+    List.map
+      (fun nbx ->
+        { baseline_spec with
+          sp_name = Printf.sprintf "block%d" nbx;
+          sp_block_x = Some nbx })
+      (block_candidates w)
+  in
+  let bypass =
+    let caching = w.Common.warps_per_cta / 2 in
+    if caching >= 1 && caching < w.Common.warps_per_cta then
+      [ { baseline_spec with
+          sp_name = Printf.sprintf "bypass%d" caching;
+          sp_bypass_warps = Some caching } ]
+    else []
+  in
+  let unrolled =
+    match Minicuda.Unroll.unroll ~factor:4 w.Common.source with
+    | _, 0 -> [] (* no loop of the unrollable shape *)
+    | src, _ -> [ { baseline_spec with sp_name = "unroll4"; sp_source = Some src } ]
+  in
+  (baseline_spec :: blocks) @ bypass @ unrolled
+
+(* Run the standard sweep for one workload.  Same result shape as any
+   evaluate batch: variants + ranking vs the pristine baseline. *)
+let run ?domains ?lookup ?store ?scale ~arch (w : Common.t) =
+  Evaluate.run_batch ?domains ?lookup ?store ?scale ~baseline:baseline_name
+    ~arch w (specs_for w)

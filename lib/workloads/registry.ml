@@ -18,9 +18,33 @@ let all : Common.t list =
   ]
 
 let seeded : Common.t list = Seeded.all
+
+(* Stress variants: every Table-2 app whose source contains an
+   unrollable innermost loop, 4x unrolled (the tuning sweeps' unroll
+   knob).  Same inputs and drivers, bigger kernel bodies — larger
+   traces and register pressure without new golden metrics, so they
+   stay out of [all] like the seeded set. *)
+let stress : Common.t list =
+  List.filter_map
+    (fun (w : Common.t) ->
+      match Minicuda.Unroll.unroll ~factor:4 w.source with
+      | _, 0 -> None
+      | src, loops ->
+        Some
+          { w with
+            name = w.name ^ "-unroll4";
+            source = src;
+            description =
+              Printf.sprintf "%s (%d innermost loop%s 4x unrolled)"
+                w.description loops
+                (if loops = 1 then "" else "s");
+          })
+    all
+
 let names = List.map (fun (w : Common.t) -> w.name) all
 let seeded_names = List.map (fun (w : Common.t) -> w.name) seeded
-let find name = Common.find (all @ seeded) name
+let stress_names = List.map (fun (w : Common.t) -> w.name) stress
+let find name = Common.find (all @ seeded @ stress) name
 
 let find_opt name =
-  List.find_opt (fun (w : Common.t) -> w.name = name) (all @ seeded)
+  List.find_opt (fun (w : Common.t) -> w.name = name) (all @ seeded @ stress)

@@ -1,0 +1,124 @@
+(* The CI bench-regression gate (bench/gate.exe) as a subprocess:
+   exit codes, the gated-metric tolerances, the absolute slack on
+   sub-millisecond metrics, the missing-metric failure mode, and the
+   tolerance rescale used on noisy CI runners. *)
+
+let check_int = Alcotest.(check int)
+
+let gate_binary () =
+  Filename.concat
+    (Filename.concat (Filename.dirname Sys.executable_name) "../bench")
+    "gate.exe"
+
+let write_json name contents =
+  let path = Filename.temp_file ("gate-" ^ name) ".json" in
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  path
+
+(* A minimal but complete baseline: both gated metrics plus one
+   informational section leaf. *)
+let baseline_doc ~nn_ns ~p50_ms =
+  Printf.sprintf
+    {|{"sections": {"table1": {"seconds": 2.0}},
+       "bechamel_ns_per_run": {"cudaadvisor/table1-simulate-nn": %f},
+       "serve_fleet": {"1": {"hot_ms_p50": %f, "hot_req_per_s": 4000.0, "shards": 1}}}|}
+    nn_ns p50_ms
+
+let run_gate ?(env = []) args =
+  let gate = gate_binary () in
+  if not (Sys.file_exists gate) then Alcotest.skip ();
+  let cmd =
+    String.concat " "
+      (List.map Filename.quote (gate :: args))
+    ^ " > /dev/null 2>&1"
+  in
+  let cmd =
+    List.fold_left
+      (fun acc (k, v) -> Printf.sprintf "%s=%s %s" k (Filename.quote v) acc)
+      cmd env
+  in
+  match Unix.system cmd with
+  | Unix.WEXITED n -> n
+  | _ -> Alcotest.fail "gate killed by signal"
+
+let test_identical_passes () =
+  let base = write_json "base" (baseline_doc ~nn_ns:1_000_000. ~p50_ms:0.5) in
+  check_int "identical inputs pass" 0 (run_gate [ base; base ])
+
+let test_regression_fails () =
+  let base = write_json "base" (baseline_doc ~nn_ns:1_000_000. ~p50_ms:0.5) in
+  let slow = write_json "slow" (baseline_doc ~nn_ns:2_000_000. ~p50_ms:0.5) in
+  check_int "2x simulate regression fails" 1 (run_gate [ base; slow ]);
+  let slow_p50 = write_json "p50" (baseline_doc ~nn_ns:1_000_000. ~p50_ms:1.5) in
+  check_int "p50 regression fails" 1 (run_gate [ base; slow_p50 ])
+
+let test_within_tolerance_passes () =
+  let base = write_json "base" (baseline_doc ~nn_ns:1_000_000. ~p50_ms:0.5) in
+  let near = write_json "near" (baseline_doc ~nn_ns:1_200_000. ~p50_ms:0.6) in
+  (* +20% ns and +0.1 ms (< 25% + 0.05 ms slack on 0.5) both fit *)
+  check_int "within budget passes" 0 (run_gate [ base; near ])
+
+let test_slack_absorbs_jitter () =
+  (* on a 0.01 ms baseline, a 3x blowup is still under the 0.05 ms
+     absolute slack: scheduler jitter must not trip the gate *)
+  let base = write_json "base" (baseline_doc ~nn_ns:1_000_000. ~p50_ms:0.01) in
+  let jitter = write_json "jit" (baseline_doc ~nn_ns:1_000_000. ~p50_ms:0.03) in
+  check_int "sub-slack jitter passes" 0 (run_gate [ base; jitter ])
+
+let test_missing_gated_metric_fails () =
+  let base = write_json "base" (baseline_doc ~nn_ns:1_000_000. ~p50_ms:0.5) in
+  let partial =
+    write_json "partial"
+      {|{"bechamel_ns_per_run": {"cudaadvisor/table1-simulate-nn": 1000000.0}}|}
+  in
+  check_int "current missing a gated metric fails" 1 (run_gate [ base; partial ])
+
+let test_tolerance_scale_rescues () =
+  let base = write_json "base" (baseline_doc ~nn_ns:1_000_000. ~p50_ms:0.5) in
+  let warm = write_json "warm" (baseline_doc ~nn_ns:1_300_000. ~p50_ms:0.5) in
+  check_int "+30% fails at scale 1" 1 (run_gate [ base; warm ]);
+  check_int "+30% passes at scale 10" 0
+    (run_gate [ base; warm; "--tolerance-scale"; "10" ]);
+  check_int "env var rescales too" 0
+    (run_gate ~env:[ ("GATE_TOLERANCE_SCALE", "10") ] [ base; warm ])
+
+let test_usage_errors () =
+  let base = write_json "base" (baseline_doc ~nn_ns:1_000_000. ~p50_ms:0.5) in
+  check_int "missing positional args" 2 (run_gate [ base ]);
+  let garbage = write_json "garbage" "{nope" in
+  check_int "invalid JSON" 2 (run_gate [ base; garbage ]);
+  check_int "bad scale" 2 (run_gate [ base; base; "--tolerance-scale"; "zero" ])
+
+let test_summary_written () =
+  let base = write_json "base" (baseline_doc ~nn_ns:1_000_000. ~p50_ms:0.5) in
+  let summary = Filename.temp_file "gate-summary" ".md" in
+  check_int "gate passes" 0 (run_gate [ base; base; "--summary"; summary ]);
+  let ic = open_in summary in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Alcotest.(check bool)
+    "summary carries the markdown report" true
+    (String.length text > 0
+    && String.sub text 0 3 = "###")
+
+let () =
+  Alcotest.run "gate"
+    [
+      ( "gate",
+        [
+          Alcotest.test_case "identical passes" `Quick test_identical_passes;
+          Alcotest.test_case "regressions fail" `Quick test_regression_fails;
+          Alcotest.test_case "within tolerance passes" `Quick
+            test_within_tolerance_passes;
+          Alcotest.test_case "absolute slack absorbs jitter" `Quick
+            test_slack_absorbs_jitter;
+          Alcotest.test_case "missing gated metric fails" `Quick
+            test_missing_gated_metric_fails;
+          Alcotest.test_case "tolerance scale rescues" `Quick
+            test_tolerance_scale_rescues;
+          Alcotest.test_case "usage errors" `Quick test_usage_errors;
+          Alcotest.test_case "summary file written" `Quick test_summary_written;
+        ] );
+    ]

@@ -1403,6 +1403,188 @@ let test_env_fallback () =
   check_int "valid env values are honored" 1234
     (Obs.Env.positive_int "CUDAADVISOR_TEST_ENV_XYZ" ~default:(fun () -> 1234))
 
+(* ----- the evaluate batch op -----
+
+   The tournament endpoint: validation of the variants array, served
+   responses byte-identical to a direct [Tune.Evaluate.run_batch],
+   per-variant cache hits on resubmission (zero new simulator
+   launches), and the per-request deadline as a whole-batch budget
+   (partial results, never a silent truncation). *)
+
+let evaluate_request ~id ?timeout_ms ~baseline variants =
+  let opt name f = function None -> [] | Some v -> [ (name, f v) ] in
+  let var (name, source, block_x, bypass) =
+    Json.Obj
+      ([ ("name", Json.String name) ]
+      @ opt "source" (fun s -> Json.String s) source
+      @ opt "block_x" (fun b -> Json.Int b) block_x
+      @ opt "bypass_warps" (fun b -> Json.Int b) bypass)
+  in
+  Json.to_string
+    (Json.Obj
+       ([ ("id", Json.Int id);
+          ("op", Json.String "evaluate");
+          ("app", Json.String "nn");
+          ("baseline", Json.String baseline);
+          ("variants", Json.List (List.map var variants)) ]
+       @ opt "timeout_ms" (fun ms -> Json.Int ms) timeout_ms))
+
+let test_evaluate_validate () =
+  let req line =
+    match Protocol.parse_request line with
+    | Ok r -> r
+    | Error (_, _, m) -> Alcotest.failf "setup parse: %s" m
+  in
+  let code line =
+    match Router.validate (req line) with Ok () -> "ok" | Error (c, _) -> c
+  in
+  check_string "no variants" "bad_request" (code {|{"op": "evaluate", "app": "nn"}|});
+  check_string "empty variants" "bad_request"
+    (code {|{"op": "evaluate", "app": "nn", "variants": []}|});
+  check_string "nameless variants get positional ids" "ok"
+    (code {|{"op": "evaluate", "app": "nn", "variants": [{}, {"block_x": 128}]}|});
+  check_string "duplicate names" "bad_request"
+    (code
+       {|{"op": "evaluate", "app": "nn", "variants": [{"name": "a"}, {"name": "a"}]}|});
+  check_string "baseline must name a variant" "bad_request"
+    (code
+       {|{"op": "evaluate", "app": "nn", "baseline": "zz", "variants": [{"name": "a"}]}|});
+  check_string "non-positive block_x" "bad_request"
+    (code
+       {|{"op": "evaluate", "app": "nn", "variants": [{"name": "a", "block_x": 0}]}|});
+  check_string "negative bypass_warps" "bad_request"
+    (code
+       {|{"op": "evaluate", "app": "nn", "variants": [{"name": "a", "bypass_warps": -1}]}|});
+  (* non-object variants are already rejected by the protocol parser *)
+  (match
+     Protocol.parse_request {|{"op": "evaluate", "app": "nn", "variants": [3]}|}
+   with
+  | Error (_, c, _) -> check_string "variants must be objects" "bad_request" c
+  | Ok _ -> Alcotest.fail "non-object variant should not parse");
+  let big =
+    Printf.sprintf {|{"op": "evaluate", "app": "nn", "variants": [%s]}|}
+      (String.concat ", "
+         (List.init 65 (fun i -> Printf.sprintf {|{"name": "v%d"}|} i)))
+  in
+  check_string "oversized batch" "bad_request" (code big)
+
+(* The served batch must carry the same bytes a one-shot run of the
+   tournament engine produces, spliced into the response envelope. *)
+let test_evaluate_served_matches_direct () =
+  let w = Workloads.Registry.find "nn" in
+  let arch = Option.get (Gpusim.Arch.of_name "kepler") in
+  let specs =
+    [ Tune.Evaluate.baseline_spec;
+      { Tune.Evaluate.baseline_spec with
+        Tune.Evaluate.sp_name = "bypass4";
+        sp_bypass_warps = Some 4 } ]
+  in
+  let raw =
+    Json.to_string (Tune.Evaluate.run_batch ~baseline:"base" ~arch w specs)
+  in
+  let expected = Protocol.ok_line_raw ~id:(Json.Int 9) ~op:"evaluate" raw in
+  with_server ~workers:2 (fun path _srv ->
+      let fd = connect path in
+      send fd
+        (evaluate_request ~id:9 ~baseline:"base"
+           [ ("base", None, None, None); ("bypass4", None, None, Some 4) ]);
+      let line = List.hd (read_lines fd 1) in
+      Unix.close fd;
+      check_string "served batch == one-shot run_batch" expected line)
+
+(* An 8-variant tournament; resubmitting the identical batch is
+   answered entirely from per-variant cache entries: byte-identical
+   response, simulator launch counter flat. *)
+let test_evaluate_resubmit_cache_hits () =
+  let w = Workloads.Registry.find "nn" in
+  let commented i =
+    Some (w.Workloads.Common.source ^ Printf.sprintf "\n// tournament seat %d\n" i)
+  in
+  let variants =
+    [ ("base", None, None, None);
+      ("bypass4", None, None, Some 4);
+      ("block128", None, Some 128, None);
+      ("block512", None, Some 512, None);
+      ("seat4", commented 4, None, None);
+      ("seat5", commented 5, None, None);
+      ("seat6", commented 6, None, None);
+      ("seat7", commented 7, None, None) ]
+  in
+  with_server ~workers:2 ~cache:Serve.Rescache.default_config (fun path _srv ->
+      let fd = connect path in
+      let line = evaluate_request ~id:2 ~baseline:"base" variants in
+      send fd line;
+      let cold = List.hd (read_lines fd 1) in
+      let v = parse_resp cold in
+      check_bool "cold batch ok" true (resp_ok v);
+      (match Jsonv.member "variants" (field "result" v) with
+      | Some (Jsonv.Arr vs) -> check_int "all 8 variants" 8 (List.length vs)
+      | _ -> Alcotest.fail "no variants array");
+      (match Jsonv.member "ranking" (field "result" v) with
+      | Some (Jsonv.Arr rs) -> check_int "full ranking" 8 (List.length rs)
+      | _ -> Alcotest.fail "no ranking array");
+      let launches0 = metric_counter "sim.launches" in
+      send fd line;
+      let hot = List.hd (read_lines fd 1) in
+      Unix.close fd;
+      check_string "resubmitted batch is byte-identical" cold hot;
+      check_int "resubmission launched zero simulations" launches0
+        (metric_counter "sim.launches"))
+
+(* The request deadline is a whole-batch budget: cached variants are
+   still served (lookup precedes the deadline poll), fresh variants
+   come back as per-variant "deadline" errors, and every submitted
+   variant appears in the (ok) response. *)
+let test_evaluate_deadline_partial_batch () =
+  let w = Workloads.Registry.find "nn" in
+  let commented tag =
+    Some (w.Workloads.Common.source ^ Printf.sprintf "\n// %s\n" tag)
+  in
+  with_server ~workers:2 ~cache:Serve.Rescache.default_config (fun path _srv ->
+      let fd = connect path in
+      send fd
+        (evaluate_request ~id:0 ~baseline:"base"
+           [ ("base", None, None, None); ("warm", commented "warm", None, None) ]);
+      check_bool "warm-up batch ok" true
+        (resp_ok (parse_resp (List.hd (read_lines fd 1))));
+      send fd
+        (evaluate_request ~id:1 ~timeout_ms:1 ~baseline:"base"
+           [ ("base", None, None, None);
+             ("warm", commented "warm", None, None);
+             ("cold-a", commented "cold-a", None, None);
+             ("cold-b", commented "cold-b", None, None) ]);
+      let v = parse_resp (List.hd (read_lines fd 1)) in
+      Unix.close fd;
+      check_bool "deadline batch still answers ok" true (resp_ok v);
+      let variants =
+        match Jsonv.member "variants" (field "result" v) with
+        | Some (Jsonv.Arr vs) -> vs
+        | _ -> Alcotest.fail "no variants array"
+      in
+      check_int "no variant silently dropped" 4 (List.length variants);
+      let status_of name =
+        match
+          List.find_opt
+            (fun var -> Jsonv.member "name" var = Some (Jsonv.Str name))
+            variants
+        with
+        | Some var -> (
+          match
+            Option.bind (Jsonv.member "result" var) (Jsonv.member "status")
+          with
+          | Some (Jsonv.Str s) -> s
+          | _ -> Alcotest.failf "variant %s has no status" name)
+        | None -> Alcotest.failf "variant %s missing" name
+      in
+      check_string "cached baseline served past the deadline" "ok"
+        (status_of "base");
+      check_string "cached variant served past the deadline" "ok"
+        (status_of "warm");
+      check_string "fresh variant reports its deadline" "deadline"
+        (status_of "cold-a");
+      check_string "fresh variant reports its deadline" "deadline"
+        (status_of "cold-b"))
+
 let () =
   Alcotest.run "serve"
     [
@@ -1476,6 +1658,16 @@ let () =
           Alcotest.test_case "access log with sampling" `Quick
             test_access_log_sampling;
           Alcotest.test_case "SLO breach accounting" `Quick test_slo_accounting;
+        ] );
+      ( "evaluate",
+        [
+          Alcotest.test_case "variants validation" `Quick test_evaluate_validate;
+          Alcotest.test_case "served batch == one-shot" `Quick
+            test_evaluate_served_matches_direct;
+          Alcotest.test_case "resubmission hits per-variant cache" `Quick
+            test_evaluate_resubmit_cache_hits;
+          Alcotest.test_case "deadline yields a partial batch" `Quick
+            test_evaluate_deadline_partial_batch;
         ] );
       ( "fleet",
         [

@@ -19,7 +19,7 @@
    recorded on.
 
    Every other shared numeric leaf under sections / bechamel_ns_per_run
-   / serve_fleet / telemetry is compared too, but only *reported*
+   / serve_fleet / telemetry / bankconflict is compared too, but only *reported*
    (warn at > 50%): those either measure wall-clock of whole sections
    (dominated by machine speed) or are covered by their own tests.
    The full comparison is written as a Markdown table to --summary
@@ -47,7 +47,8 @@ let gated_metrics =
 (* Numeric leaves under the comparable top-level sections, as
    (dotted-path, value); lower is better for every one of them. *)
 let comparable_roots =
-  [ "sections"; "bechamel_ns_per_run"; "serve_fleet"; "telemetry" ]
+  [ "sections"; "bechamel_ns_per_run"; "serve_fleet"; "telemetry";
+    "bankconflict" ]
 
 let leaves (doc : Jsonv.t) =
   let rec go prefix v acc =

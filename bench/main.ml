@@ -905,14 +905,83 @@ let telemetry () =
       ("prometheus_us", Analysis.Json.Float prom_us);
       ("percentile_us", Analysis.Json.Float pct_us) ]
 
+(* ----- bank-conflict model: exactness and fidelity cost ----- *)
+
+let bankconflict_rows : (string * Analysis.Json.t) list ref = ref []
+
+let bankconflict () =
+  section "Shared-memory bank conflicts (model exactness + fidelity cost)";
+  bankconflict_rows := [];
+  let arch = kepler16 () in
+  (* (a) exactness: the microbenchmark degrees are known in closed form
+     (stride 1 -> conflict-free, stride 32 -> 32-way on every access) *)
+  Printf.printf "  %-14s %9s %7s %8s %11s\n" "micro" "accesses" "degree"
+    "replays" "wasted-cyc";
+  let micro_rows =
+    List.map
+      (fun name ->
+        let w = Workloads.Registry.find name in
+        let session = Advisor.profile ~bankmodel:true ~arch w in
+        let bc = Advisor.bank_conflict session in
+        let { Analysis.Bank_conflict.shared_accesses; replays; wasted_cycles; _ }
+            =
+          bc
+        in
+        let degree = Analysis.Bank_conflict.max_degree bc in
+        Printf.printf "  %-14s %9d %7d %8d %11d\n%!" name shared_accesses
+          degree replays wasted_cycles;
+        ( name,
+          Analysis.Json.Obj
+            [ ("shared_accesses", Analysis.Json.Int shared_accesses);
+              ("max_degree", Analysis.Json.Int degree);
+              ("replays", Analysis.Json.Int replays);
+              ("wasted_cycles", Analysis.Json.Int wasted_cycles) ] ))
+      Workloads.Registry.micro_names
+  in
+  (* (b) fidelity cost: simulator wall-clock with the bank model on vs
+     off, on the smoke path of the shared-memory Table-2 apps.  The
+     model adds only per-shared-access bank bookkeeping, so the budget
+     is <10% (reported and baselined warn-only, never gated). *)
+  let fidelity_apps = [ "backprop"; "nw" ] in
+  let cost_rows =
+    List.map
+      (fun name ->
+        let w = Workloads.Registry.find name in
+        let time bankmodel =
+          let t0 = Unix.gettimeofday () in
+          let cycles, _ = Advisor.run_native ~bankmodel ~arch w in
+          (cycles, Unix.gettimeofday () -. t0)
+        in
+        (* warm the compile/decode caches so neither side pays them *)
+        ignore (time false);
+        let cycles_off, off_s = time false in
+        let cycles_on, on_s = time true in
+        let overhead = (on_s -. off_s) /. off_s *. 100. in
+        Printf.printf
+          "  %-10s off %9d cyc %6.2fs   on %9d cyc %6.2fs   wall %+6.1f%%\n%!"
+          name cycles_off off_s cycles_on on_s overhead;
+        if overhead > 10. then
+          Printf.printf "  WARN: %s bank-model fidelity cost %.1f%% > 10%%\n%!"
+            name overhead;
+        ( name,
+          Analysis.Json.Obj
+            [ ("cycles_off", Analysis.Json.Int cycles_off);
+              ("cycles_on", Analysis.Json.Int cycles_on);
+              ("wall_overhead_pct", Analysis.Json.Float overhead) ] ))
+      fidelity_apps
+  in
+  bankconflict_rows :=
+    [ ("micro", Analysis.Json.Obj micro_rows);
+      ("fidelity", Analysis.Json.Obj cost_rows) ]
+
 let all_sections =
   [ ("table1", table1); ("table2", table2); ("fig4", fig4); ("fig5", fig5);
     ("table3", table3); ("fig6", fig6); ("fig7", fig7); ("fig8", fig8);
     ("fig9", fig9); ("fig10", fig10); ("vertical", vertical);
     ("ablation", ablation); ("serve", serve_bench);
     ("servefleet", serve_fleet_bench); ("staticfast", staticfast);
-    ("tune", tune_bench); ("telemetry", telemetry); ("bech", bechamel);
-    ("smoke", smoke) ]
+    ("tune", tune_bench); ("telemetry", telemetry);
+    ("bankconflict", bankconflict); ("bech", bechamel); ("smoke", smoke) ]
 
 let () =
   (* `--json FILE` may appear anywhere among the section names *)
@@ -994,6 +1063,7 @@ let () =
           ("staticfast", Obj (List.rev !staticfast_rows));
           ("tune", Obj (List.rev !tune_rows));
           ("telemetry", Obj !telemetry_rows);
+          ("bankconflict", Obj !bankconflict_rows);
           ("compile_cache", Obj [ ("hits", Int hits); ("misses", Int misses) ]);
           ("decode_cache", Obj [ ("hits", Int dhits); ("misses", Int dmisses) ]);
           ("metrics", metrics);

@@ -120,9 +120,11 @@ let list_cmd =
 
 (* ----- profile ----- *)
 
-let profile_run finish app arch scale analysis json tier =
+let profile_run finish app arch scale analysis json tier bankmodel =
   match find_app app with
   | `Error _ as e -> e
+  | `Ok _ when tier = `Static && bankmodel ->
+    `Error (false, "--bankmodel needs the exact tier (it charges simulated cycles)")
   | `Ok w when tier = `Static && json ->
     print_endline
       (Analysis.Report.to_string (Advisor.estimate_json ~arch w));
@@ -147,18 +149,35 @@ let profile_run finish app arch scale analysis json tier =
           s.E.site_kind s.E.pattern s.E.lines
           (E.confidence_label s.E.lines_confidence))
       e.E.sites;
+    if e.E.shared_sites <> [] then begin
+      Printf.printf
+        "shared-memory sites (%d banks x %d B, predicted worst degree %d):\n"
+        e.E.banks e.E.bank_width e.E.bank_degree;
+      List.iter
+        (fun (s : E.shared_site) ->
+          Printf.printf "  %-24s %-6s %-8s degree %2d%s [%s]\n"
+            (Bitc.Loc.to_string s.E.sh_loc)
+            s.E.sh_kind s.E.sh_pattern s.E.sh_degree
+            (if s.E.sh_broadcast then " (broadcast)" else "")
+            (E.confidence_label s.E.sh_confidence))
+        e.E.shared_sites
+    end;
     finish ();
     `Ok ()
   | `Ok w when json ->
-    let session = Advisor.profile ~arch ?scale w in
+    let session = Advisor.profile ~bankmodel ~arch ?scale w in
+    let bank_conflict =
+      if bankmodel then Some (Advisor.bank_conflict session) else None
+    in
     print_endline
       (Analysis.Report.to_string
-         (Analysis.Report.of_profile ~app:w.name ~arch_name:arch.Gpusim.Arch.name
+         (Analysis.Report.of_profile ?bank_conflict ~app:w.name
+            ~arch_name:arch.Gpusim.Arch.name
             ~line_size:arch.Gpusim.Arch.line_size session.profiler));
     finish ();
     `Ok ()
   | `Ok w ->
-    let session = Advisor.profile ~arch ?scale w in
+    let session = Advisor.profile ~bankmodel ~arch ?scale w in
     let line_size = arch.Gpusim.Arch.line_size in
     if List.mem `Rd analysis then begin
       Printf.printf "== Reuse distance (per CTA, element-based) ==\n";
@@ -174,6 +193,10 @@ let profile_run finish app arch scale analysis json tier =
       Printf.printf "== Branch divergence ==\n%d divergent of %d blocks (%.2f%%)\n"
         bd.divergent_blocks bd.total_blocks
         (Analysis.Branch_divergence.percent bd)
+    end;
+    if bankmodel then begin
+      Printf.printf "== Shared-memory bank conflicts ==\n";
+      Format.printf "%a@." Analysis.Bank_conflict.pp (Advisor.bank_conflict session)
     end;
     Printf.printf "== Kernel instances (merged by calling context) ==\n";
     List.iter
@@ -205,6 +228,14 @@ let tier_arg =
         ~doc:"Answer tier: exact (instrument and simulate, the default) or \
               static (IR-only estimate, no simulator launch).")
 
+let bankmodel_flag =
+  Arg.(
+    value & flag
+    & info [ "bankmodel" ]
+        ~doc:"Charge shared-memory bank-conflict replays as issue cycles and \
+              report the per-line conflict breakdown.  Off by default so \
+              cycle totals match earlier releases.")
+
 let profile_cmd =
   Cmd.v
     (Cmd.info "profile"
@@ -212,7 +243,7 @@ let profile_cmd =
     Term.(
       ret
         (const profile_run $ obs_term $ app_arg $ arch_arg $ scale_arg
-        $ analysis_arg $ json_flag $ tier_arg))
+        $ analysis_arg $ json_flag $ tier_arg $ bankmodel_flag))
 
 (* ----- report (Figures 8/9) ----- *)
 

@@ -1,0 +1,162 @@
+(* Shared-memory bank-conflict analysis: aggregates the simulator's
+   per-access conflict records (Profiler.Tracebuf.Conflict) by source
+   location and CCT device path, the same code-centric attribution the
+   paper applies to global-memory metrics.  Each site reports how many
+   of its warp accesses serialized, the worst and average conflict
+   degree, the replay count, the cycles those replays cost under the
+   bank model, and how many lanes were broadcasts (same-word reads,
+   free on hardware) rather than true conflicts. *)
+
+type site = {
+  site_loc : Bitc.Loc.t;
+  site_path : (string * Bitc.Loc.t) list; (* kernel entry + device frames *)
+  site_kind : string; (* "load" / "store" / "mixed" *)
+  site_conflicts : int; (* warp accesses that serialized *)
+  site_replays : int;
+  site_max_degree : int;
+  site_avg_degree : float;
+  site_broadcast_lanes : int;
+  site_wasted_cycles : int;
+}
+
+type result = {
+  banks : int;
+  bank_width : int;
+  replay_cost : int; (* issue cycles per replay under the bank model *)
+  shared_accesses : int; (* all warp-level shared accesses *)
+  conflict_accesses : int; (* accesses with degree > 1 *)
+  broadcast_accesses : int; (* accesses where >1 lane shared a word *)
+  replays : int; (* sum of (degree - 1) *)
+  wasted_cycles : int; (* replays * replay_cost *)
+  sites : site list; (* sorted by replays, worst first *)
+}
+
+type acc = {
+  mutable a_conflicts : int;
+  mutable a_replays : int;
+  mutable a_max_degree : int;
+  mutable a_degree_sum : int;
+  mutable a_broadcast : int;
+  mutable a_loads : int;
+  mutable a_stores : int;
+}
+
+let of_profile ~(arch : Gpusim.Arch.t) (p : Profiler.Profile.t) =
+  let module C = Profiler.Tracebuf.Conflict in
+  let table : (Bitc.Loc.t * (string * Bitc.Loc.t) list, acc) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let order = ref [] in (* first-seen order, for deterministic ties *)
+  let shared_accesses = ref 0 in
+  let broadcast_accesses = ref 0 in
+  let conflict_accesses = ref 0 in
+  let replays = ref 0 in
+  List.iter
+    (fun (inst : Profiler.Profile.instance) ->
+      (match inst.result with
+      | Some r ->
+        let s = r.Gpusim.Gpu.stats in
+        shared_accesses := !shared_accesses + s.Gpusim.Stats.shared_accesses;
+        broadcast_accesses :=
+          !broadcast_accesses + s.Gpusim.Stats.shared_broadcasts
+      | None -> ());
+      (* node -> device path, resolved once per node per instance *)
+      let paths : (int, (string * Bitc.Loc.t) list) Hashtbl.t =
+        Hashtbl.create 16
+      in
+      let path_of node =
+        match Hashtbl.find_opt paths node with
+        | Some path -> path
+        | None ->
+          let path = Profiler.Profile.device_path p inst node in
+          Hashtbl.replace paths node path;
+          path
+      in
+      let c = inst.conflicts in
+      C.iter c (fun i ->
+          incr conflict_accesses;
+          let r = C.replays c i in
+          let d = C.degree c i in
+          replays := !replays + r;
+          let key = (C.loc c i, path_of (C.node c i)) in
+          let a =
+            match Hashtbl.find_opt table key with
+            | Some a -> a
+            | None ->
+              let a =
+                { a_conflicts = 0; a_replays = 0; a_max_degree = 0;
+                  a_degree_sum = 0; a_broadcast = 0; a_loads = 0; a_stores = 0 }
+              in
+              Hashtbl.replace table key a;
+              order := key :: !order;
+              a
+          in
+          a.a_conflicts <- a.a_conflicts + 1;
+          a.a_replays <- a.a_replays + r;
+          a.a_degree_sum <- a.a_degree_sum + d;
+          if d > a.a_max_degree then a.a_max_degree <- d;
+          a.a_broadcast <- a.a_broadcast + C.broadcast c i;
+          if C.kind c i = Passes.Hooks.mem_kind_store then
+            a.a_stores <- a.a_stores + 1
+          else a.a_loads <- a.a_loads + 1))
+    (Profiler.Profile.instances p);
+  let replay_cost = arch.Gpusim.Arch.shared_replay in
+  let sites =
+    List.rev_map
+      (fun ((loc, path) as key) ->
+        let a = Hashtbl.find table key in
+        {
+          site_loc = loc;
+          site_path = path;
+          site_kind =
+            (if a.a_loads = 0 then "store"
+             else if a.a_stores = 0 then "load"
+             else "mixed");
+          site_conflicts = a.a_conflicts;
+          site_replays = a.a_replays;
+          site_max_degree = a.a_max_degree;
+          site_avg_degree =
+            float_of_int a.a_degree_sum /. float_of_int a.a_conflicts;
+          site_broadcast_lanes = a.a_broadcast;
+          site_wasted_cycles = a.a_replays * replay_cost;
+        })
+      !order
+    |> List.stable_sort (fun a b -> compare b.site_replays a.site_replays)
+  in
+  {
+    banks = arch.Gpusim.Arch.shared_banks;
+    bank_width = arch.Gpusim.Arch.shared_bank_width;
+    replay_cost;
+    shared_accesses = !shared_accesses;
+    conflict_accesses = !conflict_accesses;
+    broadcast_accesses = !broadcast_accesses;
+    replays = !replays;
+    wasted_cycles = !replays * replay_cost;
+    sites;
+  }
+
+(* Worst serialized pass count over the whole run: 1 when conflict-free. *)
+let max_degree r =
+  List.fold_left (fun acc s -> max acc s.site_max_degree) 1 r.sites
+
+let pp fmt r =
+  Format.fprintf fmt
+    "@[<v>%d-bank model (%d B banks, %d cycles/replay)@ shared accesses: %d@ \
+     conflicting: %d@ broadcasts: %d@ replays: %d (%d wasted cycles)@ "
+    r.banks r.bank_width r.replay_cost r.shared_accesses r.conflict_accesses
+    r.broadcast_accesses r.replays r.wasted_cycles;
+  (match r.sites with
+  | [] -> Format.fprintf fmt "no conflicting sites"
+  | sites ->
+    Format.fprintf fmt "@[<v 2>per-site (worst first):";
+    List.iter
+      (fun s ->
+        Format.fprintf fmt
+          "@ %s:%d [%s] degree avg %.1f max %d, %d accesses, %d replays (%d \
+           cycles), %d broadcast lanes"
+          s.site_loc.Bitc.Loc.file s.site_loc.Bitc.Loc.line s.site_kind
+          s.site_avg_degree s.site_max_degree s.site_conflicts s.site_replays
+          s.site_wasted_cycles s.site_broadcast_lanes)
+      sites;
+    Format.fprintf fmt "@]");
+  Format.fprintf fmt "@]"

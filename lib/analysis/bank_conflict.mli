@@ -1,0 +1,40 @@
+(** Shared-memory bank-conflict analysis: aggregates the simulator's
+    per-access conflict records by source location and CCT device path.
+    A bank serializes one pass per distinct word mapped to it within a
+    warp access; lanes reading the same word broadcast for free.  The
+    records exist whenever the run was instrumented; the cycle charge
+    ([wasted_cycles]) is only realized in simulated time when the
+    launch opted into the bank model. *)
+
+type site = {
+  site_loc : Bitc.Loc.t;
+  site_path : (string * Bitc.Loc.t) list;
+      (** kernel entry + device call frames *)
+  site_kind : string;  (** "load", "store" or "mixed" *)
+  site_conflicts : int;  (** warp accesses that serialized *)
+  site_replays : int;
+  site_max_degree : int;
+  site_avg_degree : float;
+  site_broadcast_lanes : int;
+  site_wasted_cycles : int;
+}
+
+type result = {
+  banks : int;
+  bank_width : int;
+  replay_cost : int;  (** issue cycles per replay under the bank model *)
+  shared_accesses : int;  (** all warp-level shared accesses *)
+  conflict_accesses : int;  (** accesses with degree > 1 *)
+  broadcast_accesses : int;  (** accesses where >1 lane shared a word *)
+  replays : int;  (** sum of (degree - 1) *)
+  wasted_cycles : int;  (** replays * replay_cost *)
+  sites : site list;  (** sorted by replays, worst first *)
+}
+
+val of_profile : arch:Gpusim.Arch.t -> Profiler.Profile.t -> result
+
+(** Worst serialized pass count anywhere in the run; 1 when
+    conflict-free. *)
+val max_degree : result -> int
+
+val pp : Format.formatter -> result -> unit

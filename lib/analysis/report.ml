@@ -84,8 +84,37 @@ let launch_stats_json (instances : Profiler.Profile.instance list) =
       ("hook_calls", stat (fun s -> s.Gpusim.Stats.hook_calls));
       ("barriers", stat (fun s -> s.Gpusim.Stats.barriers)) ]
 
-(* The full report of one profiled application run. *)
-let of_profile ?(top_sites = 5) ~app ~arch_name ~line_size
+(* Bank-conflict section: only emitted when the profile ran under the
+   bank model, so reports from default runs stay byte-identical. *)
+let bank_conflict_json (bc : Bank_conflict.result) =
+  Json.Obj
+    [ ("banks", Json.Int bc.Bank_conflict.banks);
+      ("bank_width", Json.Int bc.bank_width);
+      ("replay_cost", Json.Int bc.replay_cost);
+      ("shared_accesses", Json.Int bc.shared_accesses);
+      ("conflict_accesses", Json.Int bc.conflict_accesses);
+      ("broadcast_accesses", Json.Int bc.broadcast_accesses);
+      ("replays", Json.Int bc.replays);
+      ("wasted_cycles", Json.Int bc.wasted_cycles);
+      ( "sites",
+        Json.List
+          (List.map
+             (fun (s : Bank_conflict.site) ->
+               Json.Obj
+                 [ ("loc", loc_json s.site_loc);
+                   ("kind", Json.String s.site_kind);
+                   ("conflicts", Json.Int s.site_conflicts);
+                   ("replays", Json.Int s.site_replays);
+                   ("max_degree", Json.Int s.site_max_degree);
+                   ("avg_degree", Json.Float s.site_avg_degree);
+                   ("broadcast_lanes", Json.Int s.site_broadcast_lanes);
+                   ("wasted_cycles", Json.Int s.site_wasted_cycles) ])
+             bc.sites) ) ]
+
+(* The full report of one profiled application run.  [bank_conflict]
+   appends the bank-model section (present only for [--bankmodel]
+   runs). *)
+let of_profile ?(top_sites = 5) ?bank_conflict ~app ~arch_name ~line_size
     (profiler : Profiler.Profile.t) =
   let instances = Profiler.Profile.instances profiler in
   let events = List.concat_map Profiler.Profile.mem_events instances in
@@ -109,15 +138,19 @@ let of_profile ?(top_sites = 5) ~app ~arch_name ~line_size
            Json.Obj [ ("context", Json.String ctx); ("cycles", summary_json s) ])
   in
   Json.Obj
-    [ ("application", Json.String app);
-      ("architecture", Json.String arch_name);
-      ("kernel_launches", Json.Int (List.length instances));
-      ("launch_stats", launch_stats_json instances);
-      ("reuse_distance", reuse_distance_json rd);
-      ("memory_divergence", mem_divergence_json md);
-      ("branch_divergence", branch_divergence_json bd);
-      ("divergent_sites", sites_json ~line_size events ~top:top_sites);
-      ("contexts", Json.List contexts) ]
+    ([ ("application", Json.String app);
+       ("architecture", Json.String arch_name);
+       ("kernel_launches", Json.Int (List.length instances));
+       ("launch_stats", launch_stats_json instances);
+       ("reuse_distance", reuse_distance_json rd);
+       ("memory_divergence", mem_divergence_json md);
+       ("branch_divergence", branch_divergence_json bd);
+       ("divergent_sites", sites_json ~line_size events ~top:top_sites);
+       ("contexts", Json.List contexts) ]
+    @
+    match bank_conflict with
+    | None -> []
+    | Some bc -> [ ("bank_conflict", bank_conflict_json bc) ])
 
 (* ----- the bypassing-study report ----- *)
 
@@ -160,7 +193,7 @@ let confidence_json c = Json.String (Passes.Estimate.confidence_label c)
 let estimate_json ~app ~arch_name (e : Passes.Estimate.t) =
   let bx, by = e.Passes.Estimate.block in
   Json.Obj
-    [ ("application", Json.String app);
+    ([ ("application", Json.String app);
       ("architecture", Json.String arch_name);
       ("tier", Json.String "static");
       ( "block",
@@ -206,6 +239,32 @@ let estimate_json ~app ~arch_name (e : Passes.Estimate.t) =
                    ("trips", Json.Float l.trips);
                    ("confidence", confidence_json l.trips_confidence) ])
              e.loop_bounds) ) ]
+    @
+    (* Only apps touching shared memory get the section, so estimate
+       reports for the (shared-free) golden apps keep their exact
+       pre-bank-model bytes. *)
+    (match e.shared_sites with
+    | [] -> []
+    | shared ->
+      [ ( "bank_conflict",
+          Json.Obj
+            [ ("banks", Json.Int e.banks);
+              ("bank_width", Json.Int e.bank_width);
+              ("predicted_degree", Json.Int e.bank_degree);
+              ("confidence", confidence_json e.bank_confidence);
+              ( "sites",
+                Json.List
+                  (List.map
+                     (fun (s : Passes.Estimate.shared_site) ->
+                       Json.Obj
+                         [ ("loc", loc_json s.sh_loc);
+                           ("function", Json.String s.sh_func);
+                           ("kind", Json.String s.sh_kind);
+                           ("pattern", Json.String s.sh_pattern);
+                           ("degree", Json.Int s.sh_degree);
+                           ("broadcast", Json.Bool s.sh_broadcast);
+                           ("confidence", confidence_json s.sh_confidence) ])
+                     shared) ) ] ) ]))
 
 (* ----- the `advisor check` report ----- *)
 

@@ -180,9 +180,11 @@ let default_options =
 
 (* Run [workload] fully instrumented under the profiler.  [block_x]
    forces the CTA width on every launch (the block-size tuning knob of
-   `advisor evaluate`), grid-rescaled by the host runtime. *)
-let profile ?(options = default_options) ?(keep_mem_events = true) ?scale
-    ?block_x ~arch (workload : Workloads.Common.t) =
+   `advisor evaluate`), grid-rescaled by the host runtime.  [bankmodel]
+   opts every launch into charging shared-memory bank-conflict replays
+   as issue cycles; conflict *records* are collected either way. *)
+let profile ?(options = default_options) ?(keep_mem_events = true)
+    ?(bankmodel = false) ?scale ?block_x ~arch (workload : Workloads.Common.t) =
   Obs.Trace.with_span ~cat:"advisor" ("profile:" ^ workload.name) @@ fun () ->
   let scale = Option.value scale ~default:workload.default_scale in
   let compiled =
@@ -191,7 +193,7 @@ let profile ?(options = default_options) ?(keep_mem_events = true) ?scale
   let manifest = Option.get compiled.manifest in
   let profiler = Profiler.Profile.create ~keep_mem_events ~manifest () in
   let host =
-    Hostrt.Host.create ~profiler ?block_x_override:block_x ~arch
+    Hostrt.Host.create ~profiler ~bankmodel ?block_x_override:block_x ~arch
       ~prog:compiled.prog ()
   in
   Obs.Trace.with_span ~cat:"advisor" ("run:" ^ workload.name) (fun () ->
@@ -201,14 +203,15 @@ let profile ?(options = default_options) ?(keep_mem_events = true) ?scale
 (* Run [workload] natively (no instrumentation, no profiler); returns
    total kernel cycles — the baseline of the overhead study (Fig. 10)
    and of the bypassing experiments (Figs. 6/7). *)
-let run_native ?(l1_enabled = true) ?(transform = fun p -> p) ?scale ?block_x
-    ~arch (workload : Workloads.Common.t) =
+let run_native ?(l1_enabled = true) ?(bankmodel = false) ?(transform = fun p -> p)
+    ?scale ?block_x ~arch (workload : Workloads.Common.t) =
   Obs.Trace.with_span ~cat:"advisor" ("native:" ^ workload.name) @@ fun () ->
   let scale = Option.value scale ~default:workload.default_scale in
   let compiled = compile_source ~file:workload.source_file workload.source in
   let prog = transform compiled.prog in
   let host =
-    Hostrt.Host.create ~l1_enabled ?block_x_override:block_x ~arch ~prog ()
+    Hostrt.Host.create ~l1_enabled ~bankmodel ?block_x_override:block_x ~arch
+      ~prog ()
   in
   workload.run host ~scale;
   (Hostrt.Host.total_kernel_cycles host, host)
@@ -232,6 +235,10 @@ let branch_divergence session =
   Obs.Trace.with_span ~cat:"analysis" "analysis.branch_divergence" @@ fun () ->
   Analysis.Branch_divergence.of_instances (instances session)
 
+let bank_conflict session =
+  Obs.Trace.with_span ~cat:"analysis" "analysis.bank_conflict" @@ fun () ->
+  Analysis.Bank_conflict.of_profile ~arch:session.arch session.profiler
+
 (* ----- the static fast path (`profile --tier static`) ----- *)
 
 (* IR-only estimate of the profiling metrics: compile uninstrumented
@@ -244,6 +251,8 @@ let estimate ~arch (workload : Workloads.Common.t) =
   Obs.Trace.with_span ~cat:"advisor" ("estimate:" ^ workload.name) @@ fun () ->
   let compiled = compile_source ~file:workload.source_file workload.source in
   Passes.Estimate.run ~block:workload.block_dims
+    ~banks:arch.Gpusim.Arch.shared_banks
+    ~bank_width:arch.Gpusim.Arch.shared_bank_width
     ~line_size:arch.Gpusim.Arch.line_size compiled.modul
 
 let estimate_json ~arch (workload : Workloads.Common.t) =

@@ -75,12 +75,15 @@ type session = {
 
 (** Instrument [workload], run it on the simulated [arch] under the
     profiler, and return the session.  [keep_mem_events:false] drops the
-    raw memory trace (for overhead-only runs).  [block_x] forces the
-    CTA width on every launch (grid-rescaled; see
+    raw memory trace (for overhead-only runs).  [bankmodel] charges
+    shared-memory bank-conflict replays as issue cycles (conflict
+    records are collected regardless; see {!Gpusim.Gpu.launch}).
+    [block_x] forces the CTA width on every launch (grid-rescaled; see
     {!Hostrt.Host.create}). *)
 val profile :
   ?options:Passes.Instrument.options ->
   ?keep_mem_events:bool ->
+  ?bankmodel:bool ->
   ?scale:int ->
   ?block_x:int ->
   arch:Gpusim.Arch.t ->
@@ -88,10 +91,12 @@ val profile :
   session
 
 (** Run [workload] without instrumentation.  [transform] rewrites the
-    PTX before execution (e.g. bypassing); returns total kernel cycles
-    and the host. *)
+    PTX before execution (e.g. bypassing); [bankmodel] charges
+    shared-memory bank-conflict replay cycles (see {!profile}); returns
+    total kernel cycles and the host. *)
 val run_native :
   ?l1_enabled:bool ->
+  ?bankmodel:bool ->
   ?transform:(Ptx.Isa.prog -> Ptx.Isa.prog) ->
   ?scale:int ->
   ?block_x:int ->
@@ -115,6 +120,10 @@ val mem_divergence : ?line_size:int -> session -> Analysis.Mem_divergence.result
 
 (** Whole-application branch divergence (Section 4.2-(C), Table 3). *)
 val branch_divergence : session -> Analysis.Branch_divergence.result
+
+(** Shared-memory bank-conflict aggregation over the session's conflict
+    records, attributed to source lines and CCT device paths. *)
+val bank_conflict : session -> Analysis.Bank_conflict.result
 
 (** {2 The static fast path — [profile --tier static]} *)
 

@@ -42,6 +42,13 @@ type t = {
   atom_latency : int;
   txn_issue : int; (* extra cycles per additional coalesced transaction *)
   issue_gap : int; (* SM issue slot width *)
+  (* shared-memory banking: a warp's shared access is conflict-free only
+     when every active lane hits a distinct bank (or the same 4 B word —
+     broadcast).  [degree - 1] replays each cost [shared_replay]. *)
+  shared_banks : int;
+  shared_bank_width : int; (* bytes per bank slice of an address *)
+  shared_replay : int; (* issue cycles per conflict replay *)
+  shared_alloc_granularity : int; (* per-CTA shared allocation rounding *)
   (* where the L1/tex cache sits: Pascal's unified cache lives in the TPC
      between SM and NoC, which shortens the L1-miss path (Section 4.2-(D)) *)
   l1_in_tpc : bool;
@@ -84,6 +91,10 @@ let kepler_k40c ?(num_sms = 15) ?(l1_kb = 16) () =
     atom_latency = 120;
     txn_issue = 6;
     issue_gap = 1;
+    shared_banks = 32;
+    shared_bank_width = 4;
+    shared_replay = 2;
+    shared_alloc_granularity = 256;
     l1_in_tpc = false;
     hook = default_hook_cost;
   }
@@ -120,6 +131,10 @@ let pascal_p100 ?(num_sms = 56) () =
     atom_latency = 100;
     txn_issue = 4;
     issue_gap = 1;
+    shared_banks = 32;
+    shared_bank_width = 4;
+    shared_replay = 2;
+    shared_alloc_granularity = 256;
     l1_in_tpc = true;
     hook = default_hook_cost;
   }

@@ -38,6 +38,14 @@ type ctx = {
      so the inner loop allocates nothing. *)
   addr_scratch : int array; (* 32 lanes *)
   line_scratch : int array; (* each access may straddle 2 lines *)
+  (* shared-memory bank model: [bankcount] turns conflict detection on
+     (instrumented runs and [~bankmodel] runs); [bankmodel] additionally
+     charges the replays as issue cycles.  Native un-instrumented runs
+     skip the whole path, keeping golden timings bit-identical. *)
+  bankmodel : bool;
+  bankcount : bool;
+  bank_scratch : int array; (* active lanes' word indices, 32 lanes *)
+  bank_count : int array; (* per-bank distinct-word counts *)
 }
 
 let make_scratch () = (Array.make 32 0, Array.make 64 0)
@@ -164,6 +172,70 @@ let[@inline] bytes_write_op df (buf : Bytes.t) ~addr ~width ~fl frame base src =
   | 4, true -> Bytes.set_int32_le buf addr (Int32.bits_of_float (dev_float df frame base src))
   | 8, false -> Bytes.set_int64_le buf addr (Int64.of_int (dev_int df frame base src))
   | _ -> invalid_arg "bytes_write: unsupported width"
+
+(* ----- shared-memory bank conflicts ----- *)
+
+(* Conflict shape of one shared access: [words.(0..n-1)] hold the active
+   lanes' word indices (address / bank width).  A bank serializes one
+   pass per *distinct* word mapped to it; lanes reading the same word
+   are a broadcast and cost nothing.  Returns
+   [(degree lsl 8) lor broadcast_lanes] — degree is the worst bank's
+   pass count, broadcast_lanes the number of lanes whose word another
+   lane also touches.  O(n^2) over n <= 32 lanes, allocation-free. *)
+let conflict_shape ~banks (words : int array) n (bank_count : int array) =
+  Array.fill bank_count 0 banks 0;
+  let degree = ref 1 in
+  let broadcast = ref 0 in
+  for i = 0 to n - 1 do
+    let w = Array.unsafe_get words i in
+    let seen_before = ref false in
+    let shares_word = ref false in
+    for j = 0 to n - 1 do
+      if j <> i && Array.unsafe_get words j = w then begin
+        shares_word := true;
+        if j < i then seen_before := true
+      end
+    done;
+    if !shares_word then incr broadcast;
+    if not !seen_before then begin
+      let b = w mod banks in
+      let c = Array.unsafe_get bank_count b + 1 in
+      Array.unsafe_set bank_count b c;
+      if c > !degree then degree := c
+    end
+  done;
+  (!degree lsl 8) lor !broadcast
+
+(* Count one shared access's conflicts (word indices already collected
+   into [ctx.bank_scratch]), emit the per-site record to the profiler
+   sink, and return the extra issue cycles — zero unless the opt-in
+   [bankmodel] charges [replays * shared_replay]. *)
+let shared_conflicts ctx (warp : warp) ~loc ~kind ~n ~active =
+  if n < 2 then 0
+  else begin
+    let arch = ctx.arch in
+    let packed =
+      conflict_shape ~banks:arch.shared_banks ctx.bank_scratch n ctx.bank_count
+    in
+    let degree = packed lsr 8 in
+    let broadcast = packed land 0xff in
+    if broadcast > 0 then
+      ctx.stats.shared_broadcasts <- ctx.stats.shared_broadcasts + 1;
+    if degree <= 1 then 0
+    else begin
+      let replays = degree - 1 in
+      ctx.stats.shared_conflict_accesses <-
+        ctx.stats.shared_conflict_accesses + 1;
+      ctx.stats.shared_conflict_replays <-
+        ctx.stats.shared_conflict_replays + replays;
+      ctx.sink
+        (Hookev.Conflict
+           { kernel = ctx.kernel; cta = warp.cta.cta_linear;
+             warp = warp.warp_id; loc; kind; degree; replays;
+             broadcast_lanes = broadcast; active_lanes = popcount active });
+      if ctx.bankmodel then replays * arch.shared_replay else 0
+    end
+  end
 
 (* ----- timing of global transactions ----- *)
 
@@ -547,17 +619,36 @@ let step ctx (sm : sm) (warp : warp) =
       let active = masked pr pexpect in
       entry.pc <- pc + 1;
       let shared = warp.cta.shared in
+      let slen = Bytes.length shared in
+      let counting = ctx.bankcount in
+      let words = ctx.bank_scratch in
+      let n = ref 0 in
       let m = ref active in
       while !m <> 0 do
         let bit = !m land (- !m) in
         m := !m lxor bit;
         let base = ntz bit in
         let a = dev_int df frame base addr in
-        bytes_read_reg shared ~addr:a ~width ~fl frame ((dst lsl 5) + base)
+        if a < 0 || a + width > slen then
+          trap ctx ~pc ~loc:df.fsrc.locs.(pc)
+            "shared load out of bounds: CTA %d warp %d lane %d reads [%d, \
+             %d) of %d shared bytes"
+            warp.cta.cta_linear warp.warp_id base a (a + width) slen;
+        bytes_read_reg shared ~addr:a ~width ~fl frame ((dst lsl 5) + base);
+        if counting then begin
+          Array.unsafe_set words !n (a / arch.shared_bank_width);
+          incr n
+        end
       done;
       ctx.stats.shared_accesses <- ctx.stats.shared_accesses + 1;
-      Array.unsafe_set rr dst (issue + arch.shared_latency);
-      warp.ready_at <- issue + arch.shared_latency
+      let extra =
+        if counting then
+          shared_conflicts ctx warp ~loc:df.fsrc.locs.(pc) ~kind:1 ~n:!n
+            ~active
+        else 0
+      in
+      Array.unsafe_set rr dst (issue + arch.shared_latency + extra);
+      warp.ready_at <- issue + arch.shared_latency + extra
     | Ptx.Isa.DLd_global { dst; cg; addr; width; fl; pr; pexpect } ->
       let active = masked pr pexpect in
       entry.pc <- pc + 1;
@@ -652,16 +743,35 @@ let step ctx (sm : sm) (warp : warp) =
       let active = masked pr pexpect in
       entry.pc <- pc + 1;
       let shared = warp.cta.shared in
+      let slen = Bytes.length shared in
+      let counting = ctx.bankcount in
+      let words = ctx.bank_scratch in
+      let n = ref 0 in
       let m = ref active in
       while !m <> 0 do
         let bit = !m land (- !m) in
         m := !m lxor bit;
         let base = ntz bit in
         let a = dev_int df frame base addr in
-        bytes_write_op df shared ~addr:a ~width ~fl frame base src
+        if a < 0 || a + width > slen then
+          trap ctx ~pc ~loc:df.fsrc.locs.(pc)
+            "shared store out of bounds: CTA %d warp %d lane %d writes [%d, \
+             %d) of %d shared bytes"
+            warp.cta.cta_linear warp.warp_id base a (a + width) slen;
+        bytes_write_op df shared ~addr:a ~width ~fl frame base src;
+        if counting then begin
+          Array.unsafe_set words !n (a / arch.shared_bank_width);
+          incr n
+        end
       done;
       ctx.stats.shared_accesses <- ctx.stats.shared_accesses + 1;
-      warp.ready_at <- issue + arch.shared_latency
+      let extra =
+        if counting then
+          shared_conflicts ctx warp ~loc:df.fsrc.locs.(pc) ~kind:2 ~n:!n
+            ~active
+        else 0
+      in
+      warp.ready_at <- issue + arch.shared_latency + extra
     | Ptx.Isa.DSt_global { addr; src; width; fl; pr; pexpect } ->
       let active = masked pr pexpect in
       entry.pc <- pc + 1;

@@ -100,12 +100,27 @@ let poll_cancel () =
 
 let cancel_poll_mask = 0xFFF (* poll every 4096 executed instructions *)
 
+(* Resident-CTA limit per SM.  Shared allocations round up to the
+   hardware allocation granularity before dividing into the SM's array,
+   and a CTA that cannot fit on an SM at all is a launch error — the
+   old [max 1] silently scheduled a CTA whose warps exceeded
+   [max_warps_per_sm]. *)
 let occupancy_limit (arch : Arch.t) ~warps_per_cta ~shared_bytes =
+  if warps_per_cta > arch.max_warps_per_sm then
+    fail "CTA of %d warps exceeds the SM limit of %d warps" warps_per_cta
+      arch.max_warps_per_sm;
   let by_warps = arch.max_warps_per_sm / warps_per_cta in
+  let g = arch.shared_alloc_granularity in
+  let rounded = (shared_bytes + g - 1) / g * g in
   let by_shared =
-    if shared_bytes = 0 then max_int else arch.shared_mem_per_sm / shared_bytes
+    if rounded = 0 then max_int else arch.shared_mem_per_sm / rounded
   in
-  max 1 (min arch.max_ctas_per_sm (min by_warps by_shared))
+  if by_shared = 0 then
+    fail
+      "CTA shared allocation of %d B (%d B after %d B-granularity rounding) \
+       exceeds the SM's %d B"
+      shared_bytes rounded g arch.shared_mem_per_sm;
+  min arch.max_ctas_per_sm (min by_warps by_shared)
 
 (* The event loop is written against this record so the scheduler is
    swappable; one indirect call per queue operation is noise next to
@@ -173,7 +188,8 @@ let sm_cycle_gauge i =
         g)
 
 let launch ?(sink = Hookev.null_sink) ?(l1_enabled = true) ?(sched = Exact_heap)
-    device ~prog ~kernel ~grid:(gx, gy) ~block:(bx, by) ~args () : result =
+    ?(bankmodel = false) device ~prog ~kernel ~grid:(gx, gy) ~block:(bx, by)
+    ~args () : result =
   Obs.Trace.with_span ~cat:"sim" ("launch:" ^ kernel) @@ fun () ->
   let obs_on = Obs.Trace.enabled () in
   let arch = device.arch in
@@ -225,6 +241,12 @@ let launch ?(sink = Hookev.null_sink) ?(l1_enabled = true) ?(sched = Exact_heap)
       hook_free = ref 0;
       addr_scratch;
       line_scratch;
+      bankmodel;
+      (* conflict detection runs whenever a profiler is listening or the
+         bank model charges cycles; bare native runs skip it entirely *)
+      bankcount = bankmodel || sink != Hookev.null_sink;
+      bank_scratch = Array.make 32 0;
+      bank_count = Array.make arch.shared_banks 0;
     }
   in
   let sms =
@@ -255,7 +277,9 @@ let launch ?(sink = Hookev.null_sink) ?(l1_enabled = true) ?(sched = Exact_heap)
         Machine.cta_x = cx;
         cta_y = cy;
         cta_linear = linear;
-        shared = Bytes.make (max shared_bytes 1) '\000';
+        (* sized exactly: Exec bounds-checks every shared access, so a
+           0-byte kernel gets no silent padding byte to land in *)
+        shared = Bytes.make shared_bytes '\000';
         warps = [||];
         at_barrier = 0;
         finished_warps = 0;

@@ -85,18 +85,28 @@ val current_cancel_check : unit -> unit -> string option
     deadline behaviour. *)
 val poll_cancel : unit -> unit
 
-(** Maximum CTAs resident per SM for a kernel with the given shape. *)
+(** Maximum CTAs resident per SM for a kernel with the given shape.
+    Shared allocations round up to
+    [Arch.shared_alloc_granularity] before dividing into the SM's
+    array.  Raises {!Launch_error} when the CTA cannot fit on an SM at
+    all (more warps than [max_warps_per_sm], or a rounded shared
+    allocation larger than the SM's array). *)
 val occupancy_limit : Arch.t -> warps_per_cta:int -> shared_bytes:int -> int
 
 (** Launch [kernel] from [prog] over [grid] x [block] threads.  [sink]
     receives instrumentation hook events; [l1_enabled:false] disables
     L1 caching of global loads (Kepler's default for real hardware).
+    [bankmodel:true] opts into charging shared-memory bank-conflict
+    replays as issue cycles (conflict *counting* runs whenever a sink
+    is attached; with the model off, timing is bit-identical to the
+    pre-bank-model simulator).
     Raises {!Launch_error} on malformed launches and {!Exec.Trap} on
     runtime faults inside the kernel. *)
 val launch :
   ?sink:Hookev.sink ->
   ?l1_enabled:bool ->
   ?sched:sched ->
+  ?bankmodel:bool ->
   device ->
   prog:Ptx.Isa.prog ->
   kernel:string ->

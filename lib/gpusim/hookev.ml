@@ -56,6 +56,18 @@ type barrier = {
   mask : int; (* lanes that passed the barrier *)
 }
 
+type conflict = {
+  kernel : string;
+  cta : int;
+  warp : int;
+  loc : Bitc.Loc.t;
+  kind : int; (* Hooks.mem_kind_load / _store *)
+  degree : int; (* serialized passes through the worst bank (>= 2) *)
+  replays : int; (* degree - 1 extra issues *)
+  broadcast_lanes : int; (* active lanes that shared a word with another *)
+  active_lanes : int;
+}
+
 type t =
   | Mem of mem
   | Bb of bb
@@ -63,6 +75,7 @@ type t =
   | Call of call
   | Shared of mem (* shared-memory access; addresses are CTA-local *)
   | Barrier of barrier
+  | Conflict of conflict (* shared-memory bank conflict at one access *)
 
 type sink = t -> unit
 

@@ -13,6 +13,11 @@ type t = {
   mutable divergent_branches : int;
   mutable hook_calls : int;
   mutable barriers : int;
+  (* shared-memory bank model (counted whenever conflict detection runs;
+     replays are charged as cycles only under [~bankmodel]) *)
+  mutable shared_conflict_accesses : int; (* accesses with degree > 1 *)
+  mutable shared_conflict_replays : int; (* sum of (degree - 1) *)
+  mutable shared_broadcasts : int; (* accesses where >1 lane shared a word *)
 }
 
 let create () =
@@ -29,13 +34,18 @@ let create () =
     divergent_branches = 0;
     hook_calls = 0;
     barriers = 0;
+    shared_conflict_accesses = 0;
+    shared_conflict_replays = 0;
+    shared_broadcasts = 0;
   }
 
 let pp fmt t =
   Format.fprintf fmt
     "@[<v>warp insts: %d@ thread insts: %d@ global loads: %d (%d txns)@ global \
      stores: %d (%d txns)@ atomics: %d@ shared accesses: %d@ branches: %d (%d \
-     divergent)@ hook calls: %d@ barriers: %d@]"
+     divergent)@ hook calls: %d@ barriers: %d@ bank conflicts: %d (%d replays, \
+     %d broadcasts)@]"
     t.warp_insts t.thread_insts t.global_loads t.load_transactions t.global_stores
     t.store_transactions t.global_atomics t.shared_accesses t.branches
-    t.divergent_branches t.hook_calls t.barriers
+    t.divergent_branches t.hook_calls t.barriers t.shared_conflict_accesses
+    t.shared_conflict_replays t.shared_broadcasts

@@ -12,6 +12,8 @@ type t
 
 (** Fresh host context over a simulated device.  When [profiler] is
     given, every allocation, transfer and launch is recorded.
+    [bankmodel] opts every launch into charging shared-memory
+    bank-conflict replays as issue cycles (see {!Gpusim.Gpu.launch}).
     [block_x_override] is the block-size tuning knob: every launch is
     forced to that CTA width, with grid.x rescaled (rounding up) so the
     total x-thread count never shrinks.  Raises [Invalid_argument] on a
@@ -19,6 +21,7 @@ type t
 val create :
   ?profiler:Profiler.Profile.t ->
   ?l1_enabled:bool ->
+  ?bankmodel:bool ->
   ?block_x_override:int ->
   arch:Gpusim.Arch.t ->
   prog:Ptx.Isa.prog ->

@@ -218,48 +218,134 @@ let check_barriers (f : Bitc.Func.t) =
 
 (* ----- constant out-of-bounds GEP check ----- *)
 
-let check_geps (f : Bitc.Func.t) =
-  (* allocation size (in elements) of registers defined by allocas *)
+let align offset size = (offset + size - 1) / size * size
+
+(* Segment byte offset of every __shared__ alloca of [f] (indexed by
+   result register; -1 for non-shared registers) plus the function's
+   total shared bytes, replicating Ptx.Codegen's sequential
+   align-and-advance placement so static byte offsets agree with the
+   simulator's actual layout. *)
+let shared_layout (f : Bitc.Func.t) =
   let n = f.Bitc.Func.next_reg in
-  let alloc_elems = Array.make n 0 in
-  let alloc_rule = Array.make n "" in
-  List.iter
-    (fun (b : Bitc.Block.t) ->
-      List.iter
-        (fun (i : Bitc.Instr.t) ->
-          match i.kind, i.result with
-          | Bitc.Instr.Shared_alloca (_, elems), Some r when r < n ->
-            alloc_elems.(r) <- elems;
-            alloc_rule.(r) <- "oob-shared-gep"
-          | Bitc.Instr.Alloca (_, elems), Some r when r < n ->
-            alloc_elems.(r) <- elems;
-            alloc_rule.(r) <- "oob-local-gep"
-          | _ -> ())
-        b.instrs)
-    f.blocks;
+  let seg_off = Array.make n (-1) in
+  let off = ref 0 in
+  Bitc.Func.iter_instrs f (fun _ (i : Bitc.Instr.t) ->
+      match i.kind, i.result with
+      | Bitc.Instr.Shared_alloca (ty, elems), Some r when r < n ->
+        let size = Bitc.Types.size_of ty in
+        off := align !off size;
+        seg_off.(r) <- !off;
+        off := !off + (size * elems)
+      | _ -> ());
+  (seg_off, align !off 8)
+
+(* Total shared bytes a launch maps: the codegen stacks every
+   device/kernel function's 8-byte-aligned segment, and the simulator
+   sizes the CTA's scratchpad to exactly this sum. *)
+let total_shared_bytes (m : Bitc.Irmod.t) =
+  List.fold_left
+    (fun acc (f : Bitc.Func.t) ->
+      match f.fkind with
+      | Bitc.Func.Kernel | Bitc.Func.Device -> acc + snd (shared_layout f)
+      | Bitc.Func.Host -> acc)
+    0 m.funcs
+
+(* Fold a pointer to (root register, constant byte offset) through
+   chains of constant-index GEPs and pointer casts.  A symbolic index
+   anywhere in the chain defeats the fold. *)
+let fold_const_gep (defs : Bitc.Instr.t option array) (v : Bitc.Value.t) =
+  let rec go v =
+    match v with
+    | Bitc.Value.Reg r when r < Array.length defs -> (
+      match defs.(r) with
+      | Some
+          { Bitc.Instr.kind =
+              Bitc.Instr.Gep { base; index = Bitc.Value.Int idx; elem };
+            _
+          } -> (
+        match go base with
+        | Some (root, off) -> Some (root, off + (idx * Bitc.Types.size_of elem))
+        | None -> None)
+      | Some { Bitc.Instr.kind = Bitc.Instr.Ptr_cast p; _ } -> go p
+      | Some
+          { Bitc.Instr.kind =
+              Bitc.Instr.Alloca (_, _) | Bitc.Instr.Shared_alloca (_, _);
+            _
+          } ->
+        Some (r, 0)
+      | _ -> None)
+    | _ -> None
+  in
+  go v
+
+(* Constant-offset address computations folded to their root allocation
+   and bounds-checked in bytes.  Folding whole GEP chains closes the
+   old gap where [p = buf + k; p[c]] escaped because only the final GEP
+   (whose base is another GEP, not the alloca) was inspected.  For
+   __shared__ roots the launch's actual total shared size tells silent
+   neighbor-allocation corruption (the address stays inside the mapped
+   segment, so nothing traps) apart from an access past the whole
+   segment (which the simulator's bounds check traps on). *)
+let check_geps ~total_shared ~shared_base (f : Bitc.Func.t) =
+  let n = f.Bitc.Func.next_reg in
+  let defs = Array.make n None in
+  Bitc.Func.iter_instrs f (fun _ (i : Bitc.Instr.t) ->
+      match i.result with
+      | Some r when r < n -> defs.(r) <- Some i
+      | _ -> ());
+  let alloc_bytes = Array.make n 0 in
+  let is_shared = Array.make n false in
+  Bitc.Func.iter_instrs f (fun _ (i : Bitc.Instr.t) ->
+      match i.kind, i.result with
+      | Bitc.Instr.Shared_alloca (ty, elems), Some r when r < n ->
+        alloc_bytes.(r) <- Bitc.Types.size_of ty * elems;
+        is_shared.(r) <- true
+      | Bitc.Instr.Alloca (ty, elems), Some r when r < n ->
+        alloc_bytes.(r) <- Bitc.Types.size_of ty * elems
+      | _ -> ());
+  let seg_off, _ = shared_layout f in
   let findings = ref [] in
-  List.iter
-    (fun (b : Bitc.Block.t) ->
-      List.iter
-        (fun (i : Bitc.Instr.t) ->
-          match i.kind with
-          | Bitc.Instr.Gep { base = Bitc.Value.Reg r; index = Bitc.Value.Int idx; _ }
-            when r < n && alloc_elems.(r) > 0 && (idx < 0 || idx >= alloc_elems.(r))
-            ->
-            findings :=
-              { rule = alloc_rule.(r);
-                in_func = f.Bitc.Func.name;
-                loc = i.loc;
-                related = Bitc.Loc.none;
-                message =
+  Bitc.Func.iter_instrs f (fun _ (i : Bitc.Instr.t) ->
+      match i.kind, i.result with
+      | Bitc.Instr.Gep _, Some res -> (
+        match fold_const_gep defs (Bitc.Value.Reg res) with
+        | Some (root, off)
+          when root < n && alloc_bytes.(root) > 0
+               && (off < 0 || off >= alloc_bytes.(root)) ->
+          let bytes = alloc_bytes.(root) in
+          let rule, message =
+            if not is_shared.(root) then
+              ( "oob-local-gep",
+                Printf.sprintf
+                  "constant offset %d B is out of bounds for a %d B local \
+                   array"
+                  off bytes )
+            else
+              let addr = shared_base + seg_off.(root) + off in
+              if addr >= 0 && addr < total_shared then
+                ( "oob-shared-gep",
                   Printf.sprintf
-                    "constant index %d is out of bounds for an array of %d \
-                     elements"
-                    idx alloc_elems.(r) }
-              :: !findings
-          | _ -> ())
-        b.instrs)
-    f.blocks;
+                    "constant offset %d B runs past the %d B __shared__ \
+                     array into a neighboring shared allocation (the \
+                     launch maps %d B of shared memory, so nothing traps)"
+                    off bytes total_shared )
+              else
+                ( "oob-shared-gep",
+                  Printf.sprintf
+                    "constant offset %d B on a %d B __shared__ array is \
+                     outside the launch's %d B shared segment (the \
+                     simulator traps at this access)"
+                    off bytes total_shared )
+          in
+          findings :=
+            { rule;
+              in_func = f.Bitc.Func.name;
+              loc = i.loc;
+              related = Bitc.Loc.none;
+              message }
+            :: !findings
+        | _ -> ())
+      | _ -> ());
   List.rev !findings
 
 (* ----- entry point ----- *)
@@ -268,10 +354,14 @@ let check_geps (f : Bitc.Func.t) =
    pristine (uninstrumented) module: instrumentation inserts hook calls
    and casts that would only add noise. *)
 let run (m : Bitc.Irmod.t) =
+  let total_shared = total_shared_bytes m in
+  let shared_base = ref 0 in
   List.concat_map
     (fun (f : Bitc.Func.t) ->
       match f.fkind with
       | Bitc.Func.Kernel | Bitc.Func.Device ->
-        check_barriers f @ check_geps f
+        let base = !shared_base in
+        shared_base := base + snd (shared_layout f);
+        check_barriers f @ check_geps ~total_shared ~shared_base:base f
       | Bitc.Func.Host -> [])
     m.funcs

@@ -23,9 +23,14 @@
    - [Unknown]   — the IR defeated the model; the value is a coarse
                    prior.
 
-   Only [Global]-space accesses are modeled: the dynamic profiler
-   instruments exactly those (see {!Instrument.mem_hooks}), so this is
-   what the simulator-measured metrics cover. *)
+   [Global]-space accesses feed the coalescing/reuse metrics: the
+   dynamic profiler instruments exactly those (see
+   {!Instrument.mem_hooks}), so this is what the simulator-measured
+   metrics cover.  [Shared]-space accesses feed a separate bank-conflict
+   prediction: the same affine lane model, but the per-lane byte offset
+   is mapped to a bank ([offset / bank_width mod banks]) instead of a
+   cache line, predicting the serialized pass count the simulator's
+   bank model charges for. *)
 
 module A = Bitc.Affine
 
@@ -70,6 +75,16 @@ type site = {
   weight : float; (* estimated executions per thread *)
 }
 
+type shared_site = {
+  sh_loc : Bitc.Loc.t;
+  sh_func : string;
+  sh_kind : string; (* "load" | "store" | "atomic" *)
+  sh_pattern : string; (* recovered byte-offset expression, or "unknown" *)
+  sh_degree : int; (* predicted conflict degree (serialized passes) *)
+  sh_broadcast : bool; (* some lanes share a word (free on hardware) *)
+  sh_confidence : confidence;
+}
+
 type loop_bound = {
   loop_func : string;
   loop_header : string; (* header block name *)
@@ -80,7 +95,12 @@ type loop_bound = {
 type t = {
   block : int * int;
   line_size : int;
+  banks : int;
+  bank_width : int;
   sites : site list; (* global-space memory sites, program order *)
+  shared_sites : shared_site list; (* shared-space sites, program order *)
+  bank_degree : int; (* worst predicted conflict degree; 1 = conflict-free *)
+  bank_confidence : confidence;
   degree : float; (* predicted memory-divergence degree *)
   degree_confidence : confidence;
   branch_percent : float; (* predicted divergent dynamic blocks, % *)
@@ -605,6 +625,32 @@ let enumerate_strided ~bx ~by ~warp_size ~line_size ~cx ~cy =
   done;
   (Hashtbl.length lines, Hashtbl.length elems)
 
+(* Predicted bank-conflict shape of a shared access whose per-lane byte
+   offset is [base + cx*tid.x + cy*tid.y]: the same dedup the simulator
+   performs (lanes on one word broadcast; distinct words queue per
+   bank).  Mirrors [Gpusim.Exec]'s conflict detection exactly, which is
+   what the static-vs-dynamic calibration test pins. *)
+let predict_bank_degree ~bx ~by ~warp_size ~banks ~bank_width ~cx ~cy ~base =
+  let lanes = min warp_size (max 1 (bx * max 1 by)) in
+  let words = Hashtbl.create 64 and bank_count = Hashtbl.create 64 in
+  let degree = ref 1 and broadcast = ref false in
+  for l = 0 to lanes - 1 do
+    let tx = l mod bx and ty = l / bx in
+    let off = base + (cx * tx) + (cy * ty) in
+    let w =
+      if off >= 0 then off / bank_width else ((off + 1) / bank_width) - 1
+    in
+    if Hashtbl.mem words w then broadcast := true
+    else begin
+      Hashtbl.replace words w ();
+      let b = ((w mod banks) + banks) mod banks in
+      let c = 1 + Option.value (Hashtbl.find_opt bank_count b) ~default:0 in
+      Hashtbl.replace bank_count b c;
+      if c > !degree then degree := c
+    end
+  done;
+  (!degree, !broadcast)
+
 type site_model = {
   sm_site : site;
   sm_block : int; (* CFG block index *)
@@ -620,6 +666,7 @@ type site_model = {
 
 type acc = {
   mutable models : site_model list; (* reversed *)
+  mutable shared : shared_site list; (* reversed *)
   mutable bounds : loop_bound list; (* reversed *)
   mutable branch_num : float;
   mutable branch_den : float;
@@ -629,13 +676,15 @@ type acc = {
   hist : (string, float) Hashtbl.t;
 }
 
-let run ~block:(bx, by) ?(warp_size = 32) ~line_size (m : Bitc.Irmod.t) =
+let run ~block:(bx, by) ?(warp_size = 32) ?(banks = 32) ?(bank_width = 4)
+    ~line_size (m : Bitc.Irmod.t) =
   let bx = max 1 bx and by = max 1 by in
   let warps_per_cta = max 1 (bx * by / max 1 warp_size) in
   let tid_y_uniform = bx mod warp_size = 0 in
   let acc =
     {
       models = [];
+      shared = [];
       bounds = [];
       branch_num = 0.;
       branch_den = 0.;
@@ -774,6 +823,56 @@ let run ~block:(bx, by) ?(warp_size = 32) ~line_size (m : Bitc.Irmod.t) =
                       sm_elems = max 1 elems;
                     }
                     :: !f_models
+                | Bitc.Types.Ptr (_, Bitc.Types.Shared) ->
+                  (* shared access: map the affine lane offsets to banks
+                     instead of cache lines *)
+                  let _, off = resolve_ptr ctx ptr in
+                  let off = subst_block off in
+                  let lane = classify_lane ~tid_y_uniform off in
+                  let lanes = min warp_size (max 1 (bx * max 1 by)) in
+                  let degree, broadcast, conf =
+                    match lane with
+                    | L_uniform -> (1, lanes > 1, Exact)
+                    | L_strided { cx; cy } ->
+                      (* the uniform residue only shifts every lane by
+                         the same amount; a non-constant residue keeps
+                         the stride pattern but weakens the claim *)
+                      let residue =
+                        A.without_sym (A.without_sym off A.Tid_x) A.Tid_y
+                      in
+                      let base, conf =
+                        match A.to_const residue with
+                        | Some c -> (c, Exact)
+                        | None ->
+                          (0, if A.is_known residue then Affine else Heuristic)
+                      in
+                      let d, b =
+                        predict_bank_degree ~bx ~by ~warp_size ~banks
+                          ~bank_width ~cx ~cy ~base
+                      in
+                      (d, b, conf)
+                    | L_row_split { cx } ->
+                      (* symbolic tid.y stride: model one row's tid.x
+                         stride and assume the rows do not collide *)
+                      let row = min bx warp_size in
+                      let d, b =
+                        predict_bank_degree ~bx:row ~by:1 ~warp_size:row
+                          ~banks ~bank_width ~cx ~cy:0 ~base:0
+                      in
+                      (d, b, Heuristic)
+                    | L_symbolic -> (1, false, Unknown)
+                  in
+                  acc.shared <-
+                    {
+                      sh_loc = i.Bitc.Instr.loc;
+                      sh_func = f.Bitc.Func.name;
+                      sh_kind = kind;
+                      sh_pattern = A.to_string off;
+                      sh_degree = degree;
+                      sh_broadcast = broadcast;
+                      sh_confidence = conf;
+                    }
+                    :: acc.shared
                 | _ -> ()
               in
               match i.Bitc.Instr.kind with
@@ -925,10 +1024,21 @@ let run ~block:(bx, by) ?(warp_size = 32) ~line_size (m : Bitc.Irmod.t) =
   let branch_percent =
     if acc.branch_den = 0. then 0. else 100. *. acc.branch_num /. acc.branch_den
   in
+  let shared_sites = List.rev acc.shared in
+  let bank_degree, bank_confidence =
+    List.fold_left
+      (fun (d, conf) s -> (max d s.sh_degree, weakest conf s.sh_confidence))
+      (1, Exact) shared_sites
+  in
   {
     block = (bx, by);
     line_size;
+    banks;
+    bank_width;
     sites = List.map (fun sm -> sm.sm_site) models;
+    shared_sites;
+    bank_degree;
+    bank_confidence;
     degree;
     degree_confidence = degree_conf;
     branch_percent;

@@ -17,6 +17,9 @@ type instance = {
   (* packed shared-memory access + barrier-epoch rows for the checker;
      empty unless the module was instrumented with [sharing] hooks *)
   shared : Tracebuf.Shared.t;
+  (* packed bank-conflict rows: one per shared access whose lanes
+     serialized on a bank (the simulator filters conflict-free ones) *)
+  conflicts : Tracebuf.Conflict.t;
   mutable mem_count : int;
   bb_stats : (int, bb_stat) Hashtbl.t;
   arith_stats : (Bitc.Loc.t * int, int ref) Hashtbl.t;
@@ -88,6 +91,7 @@ let begin_instance t ~kernel ~host_path =
       host_path;
       trace = Tracebuf.create ();
       shared = Tracebuf.Shared.create ();
+      conflicts = Tracebuf.Conflict.create ();
       mem_count = 0;
       bb_stats = Hashtbl.create 64;
       arith_stats = Hashtbl.create 64;
@@ -176,6 +180,13 @@ let begin_instance t ~kernel ~host_path =
       Tracebuf.Shared.push_barrier instance.shared ~cta:b.cta ~warp:b.warp
         ~epoch:e ~bar_id:b.bar_id ~loc:b.loc ~node;
       Hashtbl.replace epochs key (e + 1)
+    | Gpusim.Hookev.Conflict c ->
+      (* the conflict is warp-wide: attribute it to the warp's first
+         thread's calling context, like memory events *)
+      let node =
+        cursor (thread_key ~cta:c.cta ~warp:c.warp ~lane:0)
+      in
+      Tracebuf.Conflict.push instance.conflicts ~node c
   in
   (instance, sink)
 

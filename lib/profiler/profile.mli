@@ -17,6 +17,10 @@ type instance = {
   shared : Tracebuf.Shared.t;
       (** shared-memory access + barrier-epoch rows for [advisor check];
           empty unless the module carries [sharing] instrumentation *)
+  conflicts : Tracebuf.Conflict.t;
+      (** bank-conflict rows: one per shared access whose lanes
+          serialized on a bank (the simulator filters conflict-free
+          accesses) *)
   mutable mem_count : int;
   bb_stats : (int, bb_stat) Hashtbl.t;  (** per manifest block id *)
   arith_stats : (Bitc.Loc.t * int, int ref) Hashtbl.t;

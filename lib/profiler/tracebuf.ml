@@ -370,3 +370,108 @@ module Shared = struct
       f i
     done
 end
+
+(* ----- shared-memory bank-conflict channel ----- *)
+
+(* Packed channel for the bank-conflict analysis: one row per shared
+   access whose active lanes serialized on a bank.  Conflict-free
+   accesses never reach the sink, so the channel stays tiny even on
+   shared-heavy kernels; the per-access lane addresses are not needed —
+   the simulator already reduced them to (degree, replays, broadcast). *)
+module Conflict = struct
+  type t = {
+    mutable len : int;
+    mutable cta_col : int array;
+    mutable warp_col : int array;
+    mutable loc_col : int array; (* interned Bitc.Loc.t *)
+    mutable node_col : int array; (* CCT node of the calling context *)
+    mutable kind_col : int array; (* Hooks.mem_kind_load / _store *)
+    mutable degree_col : int array; (* serialized passes, >= 2 *)
+    mutable replays_col : int array; (* degree - 1 *)
+    mutable broadcast_col : int array; (* lanes sharing a word *)
+    mutable active_col : int array; (* active lanes at the access *)
+    loc_ids : (Bitc.Loc.t, int) Hashtbl.t;
+    mutable loc_tbl : Bitc.Loc.t array;
+    mutable nlocs : int;
+  }
+
+  let create () =
+    {
+      len = 0;
+      cta_col = Array.make 64 0;
+      warp_col = Array.make 64 0;
+      loc_col = Array.make 64 0;
+      node_col = Array.make 64 0;
+      kind_col = Array.make 64 0;
+      degree_col = Array.make 64 0;
+      replays_col = Array.make 64 0;
+      broadcast_col = Array.make 64 0;
+      active_col = Array.make 64 0;
+      loc_ids = Hashtbl.create 64;
+      loc_tbl = Array.make 64 Bitc.Loc.none;
+      nlocs = 0;
+    }
+
+  let length t = t.len
+
+  let intern_loc t loc =
+    match Hashtbl.find_opt t.loc_ids loc with
+    | Some id -> id
+    | None ->
+      let id = t.nlocs in
+      if id = Array.length t.loc_tbl then begin
+        let a = Array.make (2 * id) Bitc.Loc.none in
+        Array.blit t.loc_tbl 0 a 0 id;
+        t.loc_tbl <- a
+      end;
+      t.loc_tbl.(id) <- loc;
+      t.nlocs <- id + 1;
+      Hashtbl.add t.loc_ids loc id;
+      id
+
+  let ensure_event t =
+    if t.len = Array.length t.cta_col then begin
+      let n = t.len in
+      t.cta_col <- grow_int_col t.cta_col n;
+      t.warp_col <- grow_int_col t.warp_col n;
+      t.loc_col <- grow_int_col t.loc_col n;
+      t.node_col <- grow_int_col t.node_col n;
+      t.kind_col <- grow_int_col t.kind_col n;
+      t.degree_col <- grow_int_col t.degree_col n;
+      t.replays_col <- grow_int_col t.replays_col n;
+      t.broadcast_col <- grow_int_col t.broadcast_col n;
+      t.active_col <- grow_int_col t.active_col n
+    end
+
+  let push t ~node (c : Gpusim.Hookev.conflict) =
+    ensure_event t;
+    let i = t.len in
+    t.len <- i + 1;
+    t.cta_col.(i) <- c.cta;
+    t.warp_col.(i) <- c.warp;
+    t.loc_col.(i) <- intern_loc t c.loc;
+    t.node_col.(i) <- node;
+    t.kind_col.(i) <- c.kind;
+    t.degree_col.(i) <- c.degree;
+    t.replays_col.(i) <- c.replays;
+    t.broadcast_col.(i) <- c.broadcast_lanes;
+    t.active_col.(i) <- c.active_lanes
+
+  let[@inline] cta t i = t.cta_col.(i)
+  let[@inline] warp t i = t.warp_col.(i)
+  let[@inline] loc_id t i = t.loc_col.(i)
+  let[@inline] loc t i = t.loc_tbl.(t.loc_col.(i))
+  let[@inline] node t i = t.node_col.(i)
+  let[@inline] kind t i = t.kind_col.(i)
+  let[@inline] degree t i = t.degree_col.(i)
+  let[@inline] replays t i = t.replays_col.(i)
+  let[@inline] broadcast t i = t.broadcast_col.(i)
+  let[@inline] active t i = t.active_col.(i)
+  let num_locs t = t.nlocs
+  let loc_of_id t id = t.loc_tbl.(id)
+
+  let iter t f =
+    for i = 0 to t.len - 1 do
+      f i
+    done
+end

@@ -124,3 +124,45 @@ module Shared : sig
   val iter_addrs : t -> int -> (int -> unit) -> unit
   val iter : t -> (int -> unit) -> unit
 end
+
+(** Packed channel for the bank-conflict analysis: one row per shared
+    access whose active lanes serialized on a bank (conflict-free
+    accesses never reach the sink).  The simulator has already reduced
+    the lane addresses to (degree, replays, broadcast lanes), so rows
+    carry no arena slice. *)
+module Conflict : sig
+  type t
+
+  val create : unit -> t
+  val length : t -> int
+
+  (** Append one conflict row with its CCT node. *)
+  val push : t -> node:int -> Gpusim.Hookev.conflict -> unit
+
+  (** {2 Zero-copy column accessors (row index in [0, length))} *)
+
+  val cta : t -> int -> int
+  val warp : t -> int -> int
+  val loc : t -> int -> Bitc.Loc.t
+  val loc_id : t -> int -> int
+  val node : t -> int -> int
+
+  (** Hooks.mem_kind_load or _store. *)
+  val kind : t -> int -> int
+
+  (** Serialized passes through the worst bank, [>= 2]. *)
+  val degree : t -> int -> int
+
+  (** [degree - 1] extra issues. *)
+  val replays : t -> int -> int
+
+  (** Active lanes whose word another lane also touched. *)
+  val broadcast : t -> int -> int
+
+  (** Active lanes at the access. *)
+  val active : t -> int -> int
+
+  val num_locs : t -> int
+  val loc_of_id : t -> int -> Bitc.Loc.t
+  val iter : t -> (int -> unit) -> unit
+end

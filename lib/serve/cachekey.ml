@@ -51,7 +51,16 @@ let canonical_op (r : Protocol.request) =
   match r.op with
   | "profile" | "profile_fast" ->
     let tier = if Router.is_static r then "static" else "exact" in
-    ("profile", [ ("tier", tier) ])
+    (* bankmodel changes the result bytes (cycle totals + report
+       section), so opting in forks the key; the default spelling and
+       an explicit false share the pre-existing entry. *)
+    let extra =
+      if (not (Router.is_static r))
+         && Option.value r.Protocol.bankmodel ~default:false
+      then [ ("bankmodel", "on"); ("tier", tier) ]
+      else [ ("tier", tier) ]
+    in
+    ("profile", extra)
   | op -> (op, [])
 
 (* [None] = this request must not be served from (or stored into) the

@@ -41,6 +41,7 @@ type request = {
   domains : int option; (* fan-out inside one request (bypass/evaluate) *)
   instrument : string option; (* compile op: none|profile|check|all *)
   tier : string option; (* profile op: exact|static answer tier *)
+  bankmodel : bool option; (* profile op: charge bank-conflict replays *)
   out : string option; (* trace op: Chrome-trace output path *)
   ms : int option; (* sleep op *)
   variants : variant list option; (* evaluate op: the batch *)
@@ -78,6 +79,12 @@ let int_field obj name =
   | None | Some Jsonv.Null -> Ok None
   | Some (Jsonv.Num f) when Float.is_integer f -> Ok (Some (int_of_float f))
   | Some _ -> Error (Printf.sprintf "field %S must be an integer" name)
+
+let bool_field obj name =
+  match Jsonv.member name obj with
+  | None | Some Jsonv.Null -> Ok None
+  | Some (Jsonv.Bool b) -> Ok (Some b)
+  | Some _ -> Error (Printf.sprintf "field %S must be a boolean" name)
 
 (* "variants": an array of objects, each with optional name / source /
    block_x / bypass_warps.  Parsing stays purely structural here;
@@ -135,6 +142,7 @@ let parse_request line : (request, Json.t * string * string) result =
       let* domains = int_field obj "domains" in
       let* instrument = str_field obj "instrument" in
       let* tier = str_field obj "tier" in
+      let* bankmodel = bool_field obj "bankmodel" in
       let* out = str_field obj "out" in
       let* ms = int_field obj "ms" in
       let* variants = variants_field obj in
@@ -152,6 +160,7 @@ let parse_request line : (request, Json.t * string * string) result =
           domains;
           instrument;
           tier;
+          bankmodel;
           out;
           ms;
           variants;

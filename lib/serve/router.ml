@@ -77,6 +77,18 @@ let validate_tier (r : Protocol.request) : (unit, string * string) result =
     Error
       ("bad_request", Printf.sprintf "op %S does not take a \"tier\" field" op)
 
+(* [bankmodel] charges simulated cycles, so it only means something on
+   an exact-tier profile; an explicit [false] anywhere is a no-op. *)
+let validate_bankmodel (r : Protocol.request) : (unit, string * string) result =
+  match r.bankmodel with
+  | None | Some false -> Ok ()
+  | Some true ->
+    if r.op = "profile" && not (is_static r) then Ok ()
+    else
+      Error
+        ( "bad_request",
+          "field \"bankmodel\" only applies to the exact profile tier" )
+
 (* An evaluate batch resolved to the tournament engine's variant
    specs: names defaulted positionally ("v<index>") so every variant
    has a stable id, baseline defaulted to the first variant.  Shared
@@ -150,6 +162,9 @@ let validate (r : Protocol.request) : (unit, string * string) result =
           (String.concat ", " known_ops) )
   else
     match validate_tier r with
+    | Error _ as e -> e
+    | Ok () ->
+    match validate_bankmodel r with
     | Error _ as e -> e
     | Ok () -> (
       match resolve_arch r with
@@ -246,9 +261,15 @@ let profile (r : Protocol.request) =
   let ( let* ) = Result.bind in
   let* w = resolve_app r in
   let* arch = resolve_arch r in
-  let session = Advisor.profile ~arch ?scale:r.scale w in
+  let bankmodel = Option.value r.bankmodel ~default:false in
+  let session = Advisor.profile ~bankmodel ~arch ?scale:r.scale w in
+  (* The bank-conflict section rides only on bank-model requests, so
+     default-profile response bytes are unchanged by the feature. *)
+  let bank_conflict =
+    if bankmodel then Some (Advisor.bank_conflict session) else None
+  in
   Ok
-    (Analysis.Report.of_profile ~app:w.Workloads.Common.name
+    (Analysis.Report.of_profile ?bank_conflict ~app:w.Workloads.Common.name
        ~arch_name:arch.Gpusim.Arch.name ~line_size:arch.Gpusim.Arch.line_size
        session.Advisor.profiler)
 

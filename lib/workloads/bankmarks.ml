@@ -1,0 +1,91 @@
+(* Shared-memory bank-conflict microbenchmarks: two tiny kernels whose
+   conflict degree is known *exactly* from the access stride, used to
+   pin the simulator's 32-bank model and calibrate the static
+   estimator's prediction against it.
+
+   With 32 banks of 4-byte words, a warp of 32 lanes reading
+   [buf[tid * S]] (4-byte elements) touches words [S * lane]: stride 1
+   maps every lane to its own bank (conflict-free), stride 32 maps all
+   32 lanes to bank 0 on 32 distinct words (a 32-way conflict — 31
+   replays per warp access).  Each kernel does one shared store and one
+   shared load per thread at the same stride, so every launch produces
+   exactly [2 * warps] conflicting warp accesses at stride 32 and none
+   at stride 1.
+
+   Like the seeded set, these stay out of {!Registry.all}: the Table-2
+   experiments and golden metrics iterate only the paper's clean
+   applications. *)
+
+(* One CTA of one warp: the degrees stay exact (no partial warps, no
+   multi-warp scheduling effects), and [scale] repeats the launch to
+   grow the record count linearly. *)
+let block = 32
+
+let stride1_source =
+  {|
+__global__ void bank_stride1(float* out, int n) {
+  __shared__ float buf[1024];
+  int tx = threadIdx.x;
+  buf[tx] = 1.0f + tx;
+  __syncthreads();
+  float v = buf[tx];
+  if (tx < n) {
+    out[tx] = v;
+  }
+}
+|}
+
+let stride32_source =
+  {|
+__global__ void bank_stride32(float* out, int n) {
+  __shared__ float buf[1024];
+  int tx = threadIdx.x;
+  buf[tx * 32] = 1.0f + tx;
+  __syncthreads();
+  float v = buf[tx * 32];
+  if (tx < n) {
+    out[tx] = v;
+  }
+}
+|}
+
+let run ~kernel host ~scale =
+  let open Hostrt.Host in
+  in_function host ~func:"main" ~file:(kernel ^ ".cu") ~line:1 (fun () ->
+      let n = block in
+      let d_out = cuda_malloc host ~label:"d_out" (4 * n) in
+      for _ = 1 to max 1 scale do
+        ignore
+          (launch_kernel host ~kernel ~grid:(1, 1) ~block:(block, 1)
+             ~args:[ iarg d_out; iarg n ])
+      done)
+
+let stride1 =
+  {
+    Common.name = "bank_stride1";
+    description = "bank-conflict microbenchmark, stride 1 (conflict-free)";
+    source_file = "bank_stride1.cu";
+    source = stride1_source;
+    warps_per_cta = 1;
+    block_dims = (block, 1);
+    input_desc = "one 32-thread CTA, scale launches";
+    kernels = [ "bank_stride1" ];
+    run = run ~kernel:"bank_stride1";
+    default_scale = 1;
+  }
+
+let stride32 =
+  {
+    Common.name = "bank_stride32";
+    description = "bank-conflict microbenchmark, stride 32 (32-way conflicts)";
+    source_file = "bank_stride32.cu";
+    source = stride32_source;
+    warps_per_cta = 1;
+    block_dims = (block, 1);
+    input_desc = "one 32-thread CTA, scale launches";
+    kernels = [ "bank_stride32" ];
+    run = run ~kernel:"bank_stride32";
+    default_scale = 1;
+  }
+
+let all = [ stride1; stride32 ]

@@ -19,6 +19,11 @@ let all : Common.t list =
 
 let seeded : Common.t list = Seeded.all
 
+(* Bank-conflict microbenchmarks with exactly known conflict degrees;
+   findable by name (for `bench bankconflict`, serve requests and the
+   calibration tests) but, like the seeded set, not part of [all]. *)
+let micro : Common.t list = Bankmarks.all
+
 (* Stress variants: every Table-2 app whose source contains an
    unrollable innermost loop, 4x unrolled (the tuning sweeps' unroll
    knob).  Same inputs and drivers, bigger kernel bodies — larger
@@ -44,7 +49,10 @@ let stress : Common.t list =
 let names = List.map (fun (w : Common.t) -> w.name) all
 let seeded_names = List.map (fun (w : Common.t) -> w.name) seeded
 let stress_names = List.map (fun (w : Common.t) -> w.name) stress
-let find name = Common.find (all @ seeded @ stress) name
+let micro_names = List.map (fun (w : Common.t) -> w.name) micro
+let find name = Common.find (all @ seeded @ stress @ micro) name
 
 let find_opt name =
-  List.find_opt (fun (w : Common.t) -> w.name = name) (all @ seeded @ stress)
+  List.find_opt
+    (fun (w : Common.t) -> w.name = name)
+    (all @ seeded @ stress @ micro)

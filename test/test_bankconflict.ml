@@ -1,0 +1,285 @@
+(* Shared-memory bank-conflict model: exact degrees on the stride
+   microbenchmarks with source-line attribution, replay-charging
+   semantics of the opt-in [bankmodel] flag (including byte-identity of
+   the report with the flag off), occupancy granularity rounding,
+   shared out-of-bounds traps, and a QCheck calibration of the static
+   estimator's predicted degree against the simulator. *)
+
+module BC = Analysis.Bank_conflict
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let arch () = Gpusim.Arch.kepler_k40c ()
+
+let profile ?(bankmodel = true) name =
+  Advisor.profile ~bankmodel ~arch:(arch ()) (Workloads.Registry.find name)
+
+(* ----- exact degrees on the microbenchmarks ----- *)
+
+let test_stride1_conflict_free () =
+  let bc = Advisor.bank_conflict (profile "bank_stride1") in
+  check_int "shared accesses (1 store + 1 load)" 2 bc.BC.shared_accesses;
+  check_int "conflicting accesses" 0 bc.BC.conflict_accesses;
+  check_int "replays" 0 bc.BC.replays;
+  check_int "wasted cycles" 0 bc.BC.wasted_cycles;
+  check_int "max degree" 1 (BC.max_degree bc);
+  check_int "no conflicting sites" 0 (List.length bc.BC.sites)
+
+let test_stride32_32way () =
+  let a = arch () in
+  let bc = Advisor.bank_conflict (profile "bank_stride32") in
+  check_int "shared accesses (1 store + 1 load)" 2 bc.BC.shared_accesses;
+  check_int "every access conflicts" 2 bc.BC.conflict_accesses;
+  check_int "max degree" 32 (BC.max_degree bc);
+  (* 32 lanes on one bank: 31 replays per access *)
+  check_int "replays" 62 bc.BC.replays;
+  check_int "wasted cycles"
+    (62 * a.Gpusim.Arch.shared_replay)
+    bc.BC.wasted_cycles;
+  (* source attribution: the store on line 5, the load on line 7 *)
+  let sites =
+    List.sort compare
+      (List.map
+         (fun (s : BC.site) -> (s.site_loc.Bitc.Loc.line, s.site_kind))
+         bc.BC.sites)
+  in
+  Alcotest.(check (list (pair int string)))
+    "per-line sites"
+    [ (5, "store"); (7, "load") ]
+    sites;
+  List.iter
+    (fun (s : BC.site) ->
+      check "site file" true (s.site_loc.Bitc.Loc.file = "bank_stride32.cu");
+      check_int "site degree" 32 s.site_max_degree;
+      check_int "site replays" 31 s.site_replays)
+    bc.BC.sites
+
+(* ----- replay charging is opt-in and additive ----- *)
+
+let native ?bankmodel name =
+  fst
+    (Advisor.run_native ?bankmodel ~arch:(arch ())
+       (Workloads.Registry.find name))
+
+let test_charging_opt_in () =
+  let off = native "bank_stride32" in
+  check_int "flag default = flag off" off (native ~bankmodel:false "bank_stride32");
+  check "conflicts cost cycles under the model" true
+    (native ~bankmodel:true "bank_stride32" > off);
+  (* conflict-free code is unaffected even with the model on *)
+  check_int "stride-1 unchanged under the model" (native "bank_stride1")
+    (native ~bankmodel:true "bank_stride1")
+
+(* With the flag off the profile report must be byte-identical to one
+   that never heard of the bank model: same bytes as the default, and
+   no bank_conflict section leaks in. *)
+let test_report_byte_identity_flag_off () =
+  let report session =
+    Analysis.Report.to_string
+      (Analysis.Report.of_profile ~app:"bank_stride32"
+         ~arch_name:(arch ()).Gpusim.Arch.name ~line_size:128
+         session.Advisor.profiler)
+  in
+  let default_bytes = report (profile ~bankmodel:false "bank_stride32") in
+  check "no bank_conflict section with the flag off" false
+    (Testutil.contains default_bytes "bank_conflict");
+  (* and the flag only changes simulated timing, never the report shape:
+     an opted-in session serializes identically unless the caller
+     attaches the analysis explicitly *)
+  let on_bytes = report (profile ~bankmodel:true "bank_stride32") in
+  check "bank_conflict only appears when explicitly attached" false
+    (Testutil.contains on_bytes "bank_conflict")
+
+(* ----- occupancy: shared allocations round to the granularity ----- *)
+
+let test_occupancy_granularity () =
+  let a = arch () in
+  let g = a.Gpusim.Arch.shared_alloc_granularity in
+  check_int "Kepler granularity" 256 g;
+  let lim b = Gpusim.Gpu.occupancy_limit a ~warps_per_cta:1 ~shared_bytes:b in
+  check_int "1 B costs a full granule" (lim g) (lim 1);
+  check_int "g+1 B costs two granules" (lim (2 * g)) (lim (g + 1));
+  (* a size where rounding changes the CTA count: pick the largest b
+     with floor(shared/b) > floor(shared/round(b)) *)
+  let shared = a.Gpusim.Arch.shared_mem_per_sm in
+  let round b = (b + g - 1) / g * g in
+  let b = 14 * g + 16 in
+  check "test input actually exercises rounding" true
+    (shared / b > shared / round b);
+  let expected =
+    min a.Gpusim.Arch.max_ctas_per_sm
+      (min a.Gpusim.Arch.max_warps_per_sm (shared / round b))
+  in
+  check_int "occupancy uses the rounded size" expected (lim b);
+  check "fewer CTAs than the unrounded division" true (lim b < shared / b)
+
+let raises_launch_error f =
+  match f () with
+  | (_ : int) -> false
+  | exception Gpusim.Gpu.Launch_error _ -> true
+
+let test_occupancy_impossible_cta () =
+  let a = arch () in
+  check "too many warps" true
+    (raises_launch_error (fun () ->
+         Gpusim.Gpu.occupancy_limit a
+           ~warps_per_cta:(a.Gpusim.Arch.max_warps_per_sm + 1)
+           ~shared_bytes:0));
+  check "shared allocation larger than the SM array" true
+    (raises_launch_error (fun () ->
+         Gpusim.Gpu.occupancy_limit a ~warps_per_cta:1
+           ~shared_bytes:(a.Gpusim.Arch.shared_mem_per_sm + 1)));
+  (* the SM array is granule-aligned, so the largest fitting request is
+     exactly one full array; one byte more must be rejected even though
+     it rounds to just one extra granule *)
+  check "exactly the SM array still fits" true
+    (Gpusim.Gpu.occupancy_limit a ~warps_per_cta:1
+       ~shared_bytes:a.Gpusim.Arch.shared_mem_per_sm
+    = 1)
+
+(* a launch whose static __shared__ arrays exceed the SM must abort *)
+let test_launch_impossible_shared () =
+  let src =
+    {|
+__global__ void big(float* out) {
+  __shared__ float buf[16384];
+  buf[threadIdx.x] = 1.0f;
+  out[threadIdx.x] = buf[threadIdx.x];
+}
+|}
+  in
+  check "64 KB __shared__ cannot launch on a 48 KB SM" true
+    (match
+       Testutil.run_kernel ~kernel:"big"
+         ~setup:(fun dev ->
+           [ Gpusim.Value.I (Gpusim.Devmem.malloc dev.Gpusim.Gpu.devmem 256) ])
+         src
+     with
+    | _ -> false
+    | exception Gpusim.Gpu.Launch_error _ -> true)
+
+(* ----- shared out-of-bounds accesses trap with source attribution ----- *)
+
+let oob_src =
+  {|
+__global__ void oob(float* out, int i) {
+  __shared__ float buf[32];
+  buf[i] = 1.0f;
+  out[threadIdx.x] = buf[0];
+}
+|}
+
+let run_oob i =
+  Testutil.run_kernel ~kernel:"oob"
+    ~setup:(fun dev ->
+      [ Gpusim.Value.I (Gpusim.Devmem.malloc dev.Gpusim.Gpu.devmem 256);
+        Gpusim.Value.I i ])
+    oob_src
+
+let test_shared_oob_trap () =
+  (* in bounds: runs to completion *)
+  check "last element is fine" true (match run_oob 31 with _ -> true);
+  match run_oob 32 with
+  | _ -> Alcotest.fail "one-past-the-end store must trap"
+  | exception Gpusim.Exec.Trap { loc; msg; _ } ->
+    check_int "trap attributed to the store line" 4 loc.Bitc.Loc.line;
+    check "trap names the shared store" true
+      (Testutil.contains msg "shared store out of bounds")
+
+let test_shared_oob_negative_trap () =
+  match run_oob (-1) with
+  | _ -> Alcotest.fail "negative index must trap"
+  | exception Gpusim.Exec.Trap { loc; _ } ->
+    check_int "trap attributed to the store line" 4 loc.Bitc.Loc.line
+
+(* ----- QCheck: static prediction calibrated against the simulator ----- *)
+
+let stride_src s =
+  Printf.sprintf
+    {|
+__global__ void k(float* out) {
+  __shared__ float buf[2048];
+  int tx = threadIdx.x;
+  buf[%d * tx] = 1.0f * tx;
+  __syncthreads();
+  out[tx] = buf[%d * tx];
+}
+|}
+    s s
+
+(* Both accesses share the stride, so the run-wide degree is
+   [replays / accesses + 1]. *)
+let simulated_degree src =
+  let m = Minicuda.Frontend.compile ~file:"bank.cu" src in
+  let prog = Ptx.Codegen.gen_module m in
+  let dev = Gpusim.Gpu.create_device (arch ()) in
+  let out = Gpusim.Devmem.malloc dev.Gpusim.Gpu.devmem (4 * 32) in
+  let r =
+    Gpusim.Gpu.launch ~bankmodel:true dev ~prog ~kernel:"k" ~grid:(1, 1)
+      ~block:(32, 1)
+      ~args:[ Gpusim.Value.I out ]
+      ()
+  in
+  let s = r.Gpusim.Gpu.stats in
+  check_int "two shared accesses" 2 s.Gpusim.Stats.shared_accesses;
+  (s.Gpusim.Stats.shared_conflict_replays / 2) + 1
+
+let static_degree src =
+  let e =
+    Passes.Estimate.run ~block:(32, 1) ~line_size:128
+      (Minicuda.Frontend.compile ~file:"bank.cu" src)
+  in
+  check_int "both shared sites extracted" 2
+    (List.length e.Passes.Estimate.shared_sites);
+  List.iter
+    (fun (s : Passes.Estimate.shared_site) ->
+      check "constant stride is Exact" true
+        (s.sh_confidence = Passes.Estimate.Exact))
+    e.Passes.Estimate.shared_sites;
+  e.Passes.Estimate.bank_degree
+
+let qcheck_static_matches_sim =
+  QCheck2.Test.make
+    ~name:"static predicted degree = simulated degree (constant strides)"
+    ~count:20
+    QCheck2.Gen.(int_range 0 40)
+    (fun s ->
+      let src = stride_src s in
+      static_degree src = simulated_degree src)
+
+let () =
+  Alcotest.run "bankconflict"
+    [
+      ( "microbenchmarks",
+        [
+          Alcotest.test_case "stride 1 conflict-free" `Quick
+            test_stride1_conflict_free;
+          Alcotest.test_case "stride 32 is a 32-way conflict" `Quick
+            test_stride32_32way;
+        ] );
+      ( "bankmodel flag",
+        [
+          Alcotest.test_case "charging is opt-in and additive" `Quick
+            test_charging_opt_in;
+          Alcotest.test_case "report bytes identical with the flag off" `Quick
+            test_report_byte_identity_flag_off;
+        ] );
+      ( "occupancy",
+        [
+          Alcotest.test_case "granularity rounding" `Quick
+            test_occupancy_granularity;
+          Alcotest.test_case "impossible CTA shapes" `Quick
+            test_occupancy_impossible_cta;
+          Alcotest.test_case "launch rejects oversized __shared__" `Quick
+            test_launch_impossible_shared;
+        ] );
+      ( "bounds",
+        [
+          Alcotest.test_case "one-past-the-end store traps" `Quick
+            test_shared_oob_trap;
+          Alcotest.test_case "negative index traps" `Quick
+            test_shared_oob_negative_trap;
+        ] );
+      ( "calibration",
+        [ QCheck_alcotest.to_alcotest qcheck_static_matches_sim ] );
+    ]
